@@ -1,0 +1,51 @@
+"""Ablations: the design choices DESIGN.md calls out (beyond the figures)."""
+
+from conftest import publish
+
+from repro.eval.ablations import (
+    ablation_abstracts,
+    ablation_lemma4,
+    ablation_metric,
+    ablation_partitioner,
+)
+
+
+def test_ablation_lemma4_report(results_dir, benchmark):
+    """Lemma-4 shortcut reduction: smaller overlay, transitive hops."""
+    result = benchmark.pedantic(ablation_lemma4, rounds=1, iterations=1)
+    on = next(r for r in result.rows if r["reduction"] == "on")
+    off = next(r for r in result.rows if r["reduction"] == "off")
+    assert on["shortcuts_stored"] <= off["shortcuts_stored"]
+    assert on["overlay_mb"] <= off["overlay_mb"] * 1.01
+    publish(result, results_dir)
+
+
+def test_ablation_abstracts_report(results_dir, benchmark):
+    """Abstract representations under a selective predicate."""
+    result = benchmark.pedantic(ablation_abstracts, rounds=1, iterations=1)
+    by_label = {r["abstract"]: r for r in result.rows}
+    # Counting abstracts cannot prune on attributes -> more traversal I/O.
+    assert by_label["counting"]["io_pages"] >= by_label["exact"]["io_pages"]
+    # Fixed-size summaries are the compact options.
+    assert by_label["bloom"]["directory_mb"] > 0
+    publish(result, results_dir)
+
+
+def test_ablation_partitioner_report(results_dir, benchmark):
+    """KL vs geometric vs grid vs object-based partitioning."""
+    result = benchmark.pedantic(ablation_partitioner, rounds=1, iterations=1)
+    by_label = {r["partitioner"]: r for r in result.rows}
+    assert (
+        by_label["geometric+KL"]["level1_borders"]
+        <= by_label["geometric"]["level1_borders"]
+    ), "KL refinement must not increase border nodes"
+    publish(result, results_dir)
+
+
+def test_ablation_metric_report(results_dir, benchmark):
+    """Travel-time metric: ROAD + NetExp agree, Euclidean refuses."""
+    result = benchmark.pedantic(ablation_metric, rounds=1, iterations=1)
+    by_engine = {r["engine"]: r for r in result.rows}
+    assert by_engine["ROAD"]["status"] == "ok"
+    assert "refused" in by_engine["Euclidean"]["status"]
+    publish(result, results_dir)

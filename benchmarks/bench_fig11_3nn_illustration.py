@@ -1,0 +1,32 @@
+"""Figure 11: anatomy of one 3NN query across the four approaches."""
+
+from conftest import publish
+
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import fig11_illustration
+from repro.eval.runner import build_engines, make_objects
+from repro.queries.types import KNNQuery
+
+
+def test_fig11_report(results_dir, benchmark):
+    """Time and I/O of a 3NN query with 5 sparse objects (Fig 11 setting)."""
+    result = benchmark.pedantic(
+        lambda: fig11_illustration(num_objects=5, k=3), rounds=1, iterations=1
+    )
+    publish(result, results_dir)
+
+
+def test_bench_road_3nn(benchmark):
+    """Benchmark: the ROAD 3NN query of Figure 11 (cold cache)."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 5, seed=0)
+    engines = build_engines(dataset, objects, engines=("ROAD",))
+    engine = engines["ROAD"]
+    query = KNNQuery(sorted(dataset.network.node_ids())[0], 3)
+
+    def run():
+        engine.reset_io()
+        return engine.execute(query)
+
+    result = benchmark(run)
+    assert len(result) == 3

@@ -1,0 +1,51 @@
+"""Figure 13: index construction time and size vs object cardinality."""
+
+from conftest import publish
+
+from repro.eval.config import OBJECT_COUNTS
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import fig13_index_vs_objects
+from repro.eval.runner import build_engine, make_objects
+
+
+def test_fig13_report(results_dir, benchmark):
+    """The full |O| sweep on CA for all four engines."""
+    result = benchmark.pedantic(
+        lambda: fig13_index_vs_objects(object_counts=OBJECT_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    # Shape check from the paper: DistIdx grows with |O|, ROAD stays flat.
+    distidx = [
+        row["size_mb"] for row in result.rows if row["engine"] == "DistIdx"
+    ]
+    road = [row["size_mb"] for row in result.rows if row["engine"] == "ROAD"]
+    assert distidx[-1] > distidx[0] * 5, "DistIdx index must blow up with |O|"
+    assert road[-1] < road[0] * 2.5, "ROAD index must stay ~flat in |O|"
+    result.note(
+        f"measured: DistIdx grows x{distidx[-1] / distidx[0]:.0f} from "
+        f"|O|=10 to 1000; ROAD x{road[-1] / road[0]:.2f}"
+    )
+    publish(result, results_dir)
+
+
+def test_bench_distidx_build_100_objects(benchmark):
+    """Benchmark: DistIdx construction at the default |O| (the costly one)."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 100, seed=0)
+    benchmark.pedantic(
+        lambda: build_engine("DistIdx", dataset.network, objects),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bench_road_build_100_objects(benchmark):
+    """Benchmark: ROAD construction at the default |O|."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 100, seed=0)
+    benchmark.pedantic(
+        lambda: build_engine("ROAD", dataset.network, objects, road_levels=4),
+        rounds=1,
+        iterations=1,
+    )

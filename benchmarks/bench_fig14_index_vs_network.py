@@ -1,0 +1,44 @@
+"""Figure 14: index construction time and size vs network."""
+
+from conftest import publish
+
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import fig14_index_vs_network
+from repro.eval.runner import build_engine, make_objects
+
+
+def test_fig14_report(results_dir, benchmark):
+    """Build cost on CA / NA / SF with |O|=100."""
+    result = benchmark.pedantic(fig14_index_vs_network, rounds=1, iterations=1)
+    by_engine = {}
+    for row in result.rows:
+        by_engine.setdefault(row["engine"], {})[row["network"]] = row
+    # Shape checks from the paper: DistIdx is the most expensive to build
+    # and store on the big networks; ROAD stays well below it.
+    for network in ("NA", "SF"):
+        assert (
+            by_engine["DistIdx"][network]["size_mb"]
+            > by_engine["ROAD"][network]["size_mb"]
+        ), f"DistIdx must out-size ROAD on {network}"
+        assert (
+            by_engine["DistIdx"][network]["build_s"]
+            > by_engine["NetExp"][network]["build_s"]
+        )
+    ratio = (
+        by_engine["ROAD"]["SF"]["size_mb"]
+        / by_engine["DistIdx"]["SF"]["size_mb"]
+    )
+    result.note(f"measured: ROAD/SF index is {ratio:.0%} of DistIdx's "
+                "(paper: ~33%)")
+    publish(result, results_dir)
+
+
+def test_bench_road_build_sf(benchmark):
+    """Benchmark: ROAD construction on the dense urban network."""
+    dataset = load_dataset("SF")
+    objects = make_objects(dataset.network, 100, seed=0)
+    benchmark.pedantic(
+        lambda: build_engine("ROAD", dataset.network, objects),
+        rounds=1,
+        iterations=1,
+    )

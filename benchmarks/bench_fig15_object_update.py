@@ -1,0 +1,41 @@
+"""Figure 15: object deletion/insertion time per engine and network."""
+
+from conftest import publish
+
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import fig15_object_update
+from repro.eval.runner import build_engines, make_objects
+from repro.objects.model import SpatialObject
+
+
+def test_fig15_report(results_dir, benchmark):
+    """Delete + re-insert random objects; average per engine and network."""
+    result = benchmark.pedantic(
+        lambda: fig15_object_update(trials=5), rounds=1, iterations=1
+    )
+    by_engine = {}
+    for row in result.rows:
+        by_engine.setdefault(row["engine"], []).append(row)
+    # Paper shape: DistIdx is orders of magnitude slower than everyone.
+    for network_rows in zip(*(by_engine[e] for e in ("NetExp", "ROAD", "DistIdx"))):
+        netexp, road, distidx = network_rows
+        assert distidx["delete_s"] > 10 * road["delete_s"]
+        assert distidx["insert_s"] > 10 * netexp["insert_s"]
+    publish(result, results_dir)
+
+
+def test_bench_road_object_insert(benchmark):
+    """Benchmark: one ROAD object insertion (Section 5.1 path)."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 100, seed=0)
+    engine = build_engines(dataset, objects, engines=("ROAD",))["ROAD"]
+    edges = sorted((u, v) for u, v, _ in dataset.network.edges())
+    counter = [engine.objects.next_id()]
+
+    def insert_one():
+        u, v = edges[counter[0] % len(edges)]
+        obj = SpatialObject(counter[0], (u, v), 0.0)
+        counter[0] += 1
+        engine.insert_object(obj)
+
+    benchmark.pedantic(insert_one, rounds=20, iterations=1)

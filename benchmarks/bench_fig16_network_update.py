@@ -1,0 +1,43 @@
+"""Figure 16: edge deletion/insertion time per engine and network."""
+
+from conftest import publish
+
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import fig16_network_update
+from repro.eval.runner import build_engines, make_objects
+
+
+def test_fig16_report(results_dir, benchmark):
+    """Set random edges to ~infinity and restore them (paper protocol)."""
+    result = benchmark.pedantic(
+        lambda: fig16_network_update(trials=3), rounds=1, iterations=1
+    )
+    by_engine = {}
+    for row in result.rows:
+        by_engine.setdefault(row["engine"], []).append(row)
+    # Paper shape: DistIdx rewrites signatures network-wide; ROAD only
+    # refreshes affected shortcuts; NetExp/Euclidean barely notice.
+    for netexp, road, distidx in zip(
+        by_engine["NetExp"], by_engine["ROAD"], by_engine["DistIdx"]
+    ):
+        assert distidx["delete_s"] > road["delete_s"]
+        assert netexp["delete_s"] <= road["delete_s"] * 50
+    publish(result, results_dir)
+
+
+def test_bench_road_edge_update(benchmark):
+    """Benchmark: one ROAD edge-distance change (filter-and-refresh)."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 100, seed=0)
+    engine = build_engines(dataset, objects, engines=("ROAD",))["ROAD"]
+    edges = sorted((u, v) for u, v, _ in engine.network.edges())
+    state = {"i": 0, "flip": False}
+
+    def update_one():
+        u, v = edges[state["i"] % len(edges)]
+        state["i"] += 1
+        current = engine.network.edge_distance(u, v)
+        engine.update_edge_distance(u, v, current * (2.0 if not state["flip"] else 0.5))
+        state["flip"] = not state["flip"]
+
+    benchmark.pedantic(update_one, rounds=10, iterations=1)

@@ -1,0 +1,90 @@
+"""Figure 17: kNN query performance (a: vs k, b: vs |O|, c: vs network)."""
+
+from conftest import publish
+
+from repro.eval.config import OBJECT_COUNTS
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import (
+    fig17a_knn_vs_k,
+    fig17b_knn_vs_objects,
+    fig17c_knn_vs_network,
+)
+from repro.eval.reporting import dominance
+from repro.eval.runner import build_engines, make_objects
+from repro.queries.types import KNNQuery
+
+
+def test_fig17a_report(results_dir, benchmark):
+    """kNN time vs k on CA, |O|=100."""
+    result = benchmark.pedantic(fig17a_knn_vs_k, rounds=1, iterations=1)
+    assert dominance(result, "time_ms") != "Euclidean"
+    # Paper: "Euclidean takes the longest processing time for all
+    # evaluated k's" — compare within each k.
+    by_k = {}
+    for row in result.rows:
+        by_k.setdefault(row["k"], {})[row["engine"]] = row["time_ms"]
+    for k, engines in by_k.items():
+        euclid = engines.pop("Euclidean")
+        assert euclid > max(engines.values()), (
+            f"Euclidean must be slowest at k={k}"
+        )
+    publish(result, results_dir)
+
+
+def test_fig17b_report(results_dir, benchmark):
+    """kNN time vs |O| on CA, k=5 (the ROAD/NetExp convergence figure)."""
+    result = benchmark.pedantic(
+        lambda: fig17b_knn_vs_objects(object_counts=OBJECT_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    road = [r["time_ms"] for r in result.rows if r["engine"] == "ROAD"]
+    netexp = [r["time_ms"] for r in result.rows if r["engine"] == "NetExp"]
+    # Paper shape: both expansion-based engines speed up as objects densify,
+    # and the gap between them narrows.
+    assert road[-1] < road[0], "ROAD must get faster as |O| grows"
+    assert netexp[-1] < netexp[0], "NetExp must get faster as |O| grows"
+    result.note(
+        "density note: mini-scale |O|=N corresponds to paper |O|=10N "
+        "(1:10 network)"
+    )
+    publish(result, results_dir)
+
+
+def test_fig17c_report(results_dir, benchmark):
+    """kNN time vs network, |O|=100, k=5."""
+    result = benchmark.pedantic(fig17c_knn_vs_network, rounds=1, iterations=1)
+    assert dominance(result, "time_ms") != "Euclidean"
+    publish(result, results_dir)
+
+
+def test_bench_road_knn_query(benchmark):
+    """Benchmark: one cold ROAD 5NN query on CA (the headline operation)."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 100, seed=0)
+    engine = build_engines(dataset, objects, engines=("ROAD",))["ROAD"]
+    nodes = sorted(dataset.network.node_ids())
+    query = KNNQuery(nodes[len(nodes) // 2], 5)
+
+    def run():
+        engine.reset_io()
+        return engine.execute(query)
+
+    result = benchmark(run)
+    assert len(result) == 5
+
+
+def test_bench_netexp_knn_query(benchmark):
+    """Benchmark: the same query under network expansion."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 100, seed=0)
+    engine = build_engines(dataset, objects, engines=("NetExp",))["NetExp"]
+    nodes = sorted(dataset.network.node_ids())
+    query = KNNQuery(nodes[len(nodes) // 2], 5)
+
+    def run():
+        engine.reset_io()
+        return engine.execute(query)
+
+    result = benchmark(run)
+    assert len(result) == 5

@@ -1,0 +1,58 @@
+"""Figure 18: range query performance (a: vs r, b: vs |O|, c: vs network)."""
+
+from conftest import publish
+
+from repro.eval.config import OBJECT_COUNTS
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import (
+    fig18a_range_vs_radius,
+    fig18b_range_vs_objects,
+    fig18c_range_vs_network,
+)
+from repro.eval.reporting import dominance
+from repro.eval.runner import build_engines, make_objects
+from repro.queries.types import RangeQuery
+
+
+def test_fig18a_report(results_dir, benchmark):
+    """Range time vs radius on CA, |O|=100."""
+    result = benchmark.pedantic(fig18a_range_vs_radius, rounds=1, iterations=1)
+    # Paper shape: processing time grows with r for the expansion engines.
+    for engine_name in ("NetExp", "ROAD"):
+        times = [
+            r["time_ms"] for r in result.rows if r["engine"] == engine_name
+        ]
+        assert times[-1] > times[0], f"{engine_name} must grow with r"
+    publish(result, results_dir)
+
+
+def test_fig18b_report(results_dir, benchmark):
+    """Range time vs |O| on CA, r=0.1 diameter."""
+    result = benchmark.pedantic(
+        lambda: fig18b_range_vs_objects(object_counts=OBJECT_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+
+
+def test_fig18c_report(results_dir, benchmark):
+    """Range time vs network, |O|=100, r=0.1 diameter."""
+    result = benchmark.pedantic(fig18c_range_vs_network, rounds=1, iterations=1)
+    assert dominance(result, "time_ms") != "Euclidean"
+    publish(result, results_dir)
+
+
+def test_bench_road_range_query(benchmark):
+    """Benchmark: one cold ROAD range query at the default radius."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 100, seed=0)
+    engine = build_engines(dataset, objects, engines=("ROAD",))["ROAD"]
+    nodes = sorted(dataset.network.node_ids())
+    query = RangeQuery(nodes[len(nodes) // 2], dataset.radius(0.1))
+
+    def run():
+        engine.reset_io()
+        return engine.execute(query)
+
+    benchmark(run)

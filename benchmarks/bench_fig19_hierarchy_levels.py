@@ -1,0 +1,39 @@
+"""Figure 19: impact of the Rnet hierarchy depth l (p=4)."""
+
+from conftest import publish
+
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import fig19_hierarchy_levels
+from repro.eval.runner import build_engine, make_objects
+
+
+def test_fig19_report(results_dir, benchmark):
+    """Level sweep per network: build time up, query time down."""
+    result = benchmark.pedantic(fig19_hierarchy_levels, rounds=1, iterations=1)
+    by_network = {}
+    for row in result.rows:
+        by_network.setdefault(row["network"], []).append(row)
+    for network, rows in by_network.items():
+        builds = [r["build_s"] for r in rows]
+        queries = [r["query_ms"] for r in rows]
+        assert builds[-1] > builds[0], f"{network}: build cost must grow with l"
+        assert queries[-1] < queries[0] * 1.25, (
+            f"{network}: query time must drop (or stay flat) as l grows"
+        )
+    publish(result, results_dir)
+
+
+def test_bench_road_build_deep_hierarchy(benchmark):
+    """Benchmark: building ROAD at the deepest swept level on CA."""
+    from repro.eval.config import profile
+
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, 100, seed=0)
+    deepest = profile("CA").level_sweep[-1]
+    benchmark.pedantic(
+        lambda: build_engine(
+            "ROAD", dataset.network, objects, road_levels=deepest
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""Table 1: evaluation parameters, plus dataset synthesis cost."""
+
+from conftest import publish
+
+from repro.eval.config import profiles, scale_profile
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import table1_parameters
+from repro.graph.stats import network_stats
+
+
+def test_table1_report(results_dir, benchmark):
+    """Render the parameter sheet and the active dataset statistics."""
+    result = benchmark.pedantic(table1_parameters, rounds=1, iterations=1)
+    result.note(f"active scale profile: {scale_profile()}")
+    for name, prof in profiles().items():
+        dataset = load_dataset(name)
+        stats = network_stats(dataset.network)
+        result.note(f"{name} replica: {stats.describe()}")
+    publish(result, results_dir)
+
+
+def test_bench_dataset_synthesis(benchmark):
+    """Benchmark: generating the CA replica (the harness's substrate)."""
+    from repro.eval.config import profile
+    from repro.graph.generators import road_network
+
+    prof = profile("CA")
+    benchmark.pedantic(
+        lambda: road_network(
+            prof.num_nodes, prof.edge_ratio, seed=prof.seed, clusters=prof.clusters
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario (Section 1): conference travel planning.
+
+Q1: "find the nearest bus station to the conference venue"
+Q2: "find hotels within 10-minute walk from the conference venue"
+
+Q2 is a range query under a *travel-time* metric — exactly the case where
+Euclidean-bound methods break (straight-line distance does not lower-bound
+minutes) while ROAD's shortcuts simply carry the metric.
+
+Run with::
+
+    python examples/conference_travel_planner.py
+"""
+
+from repro import ROAD, Predicate
+from repro.graph import sf_like, travel_time_metric
+from repro.objects import ObjectSet, place_uniform
+
+
+def main() -> None:
+    # A dense urban street network (San-Francisco-like), reweighted from
+    # metres to walking minutes with per-street speeds.
+    streets = sf_like(num_nodes=1500, seed=3)
+    walk_net = travel_time_metric(streets, seed=4, speed_range=(60.0, 90.0))
+    print(f"city: {walk_net.num_nodes} intersections, metric = "
+          f"{walk_net.metric!r} (minutes)")
+
+    road = ROAD.build(walk_net, levels=3, fanout=4)
+
+    # City POIs tagged by content providers on the shared map: bus
+    # stations, hotels, and restaurants, mixed in one directory.
+    pois = place_uniform(
+        walk_net,
+        120,
+        seed=9,
+        attr_choices={"type": ["bus_station", "hotel", "restaurant"]},
+    )
+    road.attach_objects(pois)
+
+    venue = 700  # the conference venue's nearest intersection
+
+    # Q1 — 1NN with predicate type=bus_station.
+    q1 = road.knn(venue, k=1, predicate=Predicate.of(type="bus_station"))
+    station = q1[0]
+    print(f"\nQ1: nearest bus station is object {station.object_id}, "
+          f"{station.distance:.1f} min walk")
+
+    # Q2 — range query: hotels within a 10-minute walk.
+    q2 = road.range(venue, 10.0, Predicate.of(type="hotel"))
+    print(f"\nQ2: {len(q2)} hotel(s) within a 10-minute walk:")
+    for entry in q2:
+        print(f"  hotel {entry.object_id}: {entry.distance:.1f} min")
+    if not q2:
+        nearest = road.knn(venue, k=1, predicate=Predicate.of(type="hotel"))
+        if nearest:
+            print(f"  (closest hotel is {nearest[0].distance:.1f} min away)")
+
+    # Why ROAD here: the Euclidean baseline refuses this metric outright.
+    from repro.baselines import EngineError, EuclideanEngine
+
+    try:
+        EuclideanEngine(walk_net, pois)
+    except EngineError as exc:
+        print(f"\nEuclidean baseline refuses travel time: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Live traffic maintenance (Section 5): congestion without rebuilds.
+
+A navigation service keeps one ROAD index while road conditions change all
+day: edge travel costs rise with congestion, accidents close streets, and
+new connections open.  Each change runs the paper's filtering-and-
+refreshing scheme — only the shortcuts whose Rnets are affected get
+recomputed — and every query stays exact afterwards.
+
+Run with::
+
+    python examples/live_traffic_updates.py
+"""
+
+import random
+
+from repro import ROAD
+from repro.graph import ca_like, dijkstra_distances
+from repro.objects import place_clustered
+
+
+def nearest_station(road, query_node):
+    entry = road.knn(query_node, k=1)[0]
+    return entry.object_id, entry.distance
+
+
+def verify_exact(road, query_node, k=3) -> bool:
+    """Cross-check a kNN answer against fresh Dijkstra (the oracle)."""
+    network = road.network
+    objects = road.directory().objects
+    dist = dijkstra_distances(network.neighbours, query_node)
+    truth = []
+    for obj in objects:
+        u, v = obj.edge
+        edge_distance = network.edge_distance(u, v)
+        candidates = [
+            dist[n] + obj.offset_from(n, edge_distance)
+            for n in (u, v)
+            if n in dist
+        ]
+        if candidates:
+            truth.append((min(candidates), obj.object_id))
+    truth.sort()
+    got = [e.object_id for e in road.knn(query_node, k)]
+    return got == [i for _, i in truth[:k]]
+
+
+def main() -> None:
+    rnd = random.Random(7)
+    highways = ca_like(num_nodes=1200, seed=5)
+    road = ROAD.build(highways, levels=3, fanout=4)
+
+    # Fuel stations cluster around a few towns (the uneven distribution
+    # footnote 3 of the paper says ROAD benefits from).
+    stations = place_clustered(highways, 30, clusters=4, seed=6)
+    road.attach_objects(stations)
+
+    commuter = 400
+    station, distance = nearest_station(road, commuter)
+    print(f"morning: nearest station {station} at {distance:.0f} m")
+
+    # --- Rush hour: congestion multiplies segment costs. -----------------
+    edges = sorted((u, v) for u, v, _ in highways.edges())
+    refreshed = 0
+    for _ in range(25):
+        u, v = edges[rnd.randrange(len(edges))]
+        factor = rnd.uniform(1.5, 4.0)
+        report = road.update_edge_distance(
+            u, v, highways.edge_distance(u, v) * factor
+        )
+        refreshed += report.refreshed_rnets
+    print(f"rush hour: 25 congested segments, {refreshed} Rnet shortcut "
+          f"sets refreshed (filter-and-refresh)")
+    station, distance = nearest_station(road, commuter)
+    print(f"rush hour: nearest station {station} at {distance:.0f} m")
+    assert verify_exact(road, commuter), "query diverged from ground truth!"
+
+    # --- An accident closes a street entirely. ----------------------------
+    for u, v in edges:
+        # pick a closable edge: no objects on it, network stays connected
+        if road.directory().objects.on_edge(u, v):
+            continue
+        probe = highways.copy()
+        probe.remove_edge(u, v)
+        if probe.connected():
+            report = road.remove_edge(u, v)
+            print(f"accident: closed ({u}, {v}); demoted borders: "
+                  f"{report.demoted_borders or 'none'}")
+            break
+    station, distance = nearest_station(road, commuter)
+    print(f"after closure: nearest station {station} at {distance:.0f} m")
+    assert verify_exact(road, commuter)
+
+    # --- A new bypass road opens between two districts. -------------------
+    a, b = 100, 900
+    if not highways.has_edge(a, b):
+        report = road.add_edge(a, b, 500.0)
+        print(f"new bypass ({a}, {b}); promoted borders: "
+              f"{report.promoted_borders or 'none'}")
+    station, distance = nearest_station(road, commuter)
+    print(f"after bypass: nearest station {station} at {distance:.0f} m")
+    assert verify_exact(road, commuter)
+    print("all answers verified against fresh Dijkstra ground truth")
+
+
+if __name__ == "__main__":
+    main()

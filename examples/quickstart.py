@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: build a ROAD index, attach objects, run both LDSQs.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ROAD, Predicate, SpatialObject
+from repro.graph import grid_network
+from repro.objects import ObjectSet
+
+
+def main() -> None:
+    # 1. A road network: a 12x12 city grid (ids are row-major; edge weights
+    #    are street lengths in metres).  Any `RoadNetwork` works here —
+    #    load real files with `repro.graph.load_network`.
+    network = grid_network(12, 12, spacing=100.0, seed=42)
+    print(f"network: {network.num_nodes} intersections, "
+          f"{network.num_edges} road segments")
+
+    # 2. Build the ROAD framework: a 3-level hierarchy of Rnets (p=4),
+    #    shortcuts between border nodes, and the Route Overlay index.
+    road = ROAD.build(network, levels=3, fanout=4)
+    stats = road.stats()
+    print(f"index: {stats['rnets']} Rnets over {stats['levels']} levels, "
+          f"{stats['shortcuts_stored']} stored shortcuts, "
+          f"built in {stats['build_seconds']:.2f}s")
+
+    # 3. Objects from a content provider: restaurants placed on edges, with
+    #    attributes the attribute predicate `A` can match on.
+    restaurants = ObjectSet(
+        [
+            SpatialObject(1, (0, 1), 40.0, {"type": "seafood", "name": "Wharf"}),
+            SpatialObject(2, (40, 41), 10.0, {"type": "sushi", "name": "Ebisu"}),
+            SpatialObject(3, (77, 78), 55.0, {"type": "seafood", "name": "Pier"}),
+            SpatialObject(4, (100, 101), 5.0, {"type": "diner", "name": "Mel's"}),
+            SpatialObject(5, (130, 131), 80.0, {"type": "sushi", "name": "Kama"}),
+        ]
+    )
+    road.attach_objects(restaurants)
+
+    # 4. kNN query: the three nearest restaurants from intersection 65.
+    query_node = 65
+    print(f"\n3 nearest restaurants from node {query_node}:")
+    for entry in road.knn(query_node, k=3):
+        obj = road.directory().get_object(entry.object_id)
+        print(f"  {obj.attr('name'):>6} ({obj.attr('type')}), "
+              f"{entry.distance:.0f} m away")
+
+    # 5. Range query with an attribute predicate: seafood within 800 m.
+    print(f"\nseafood within 800 m of node {query_node}:")
+    for entry in road.range(query_node, 800.0, Predicate.of(type="seafood")):
+        obj = road.directory().get_object(entry.object_id)
+        print(f"  {obj.attr('name'):>6}, {entry.distance:.0f} m away")
+
+    # 6. Everything stays correct under updates: a road doubles in length
+    #    (congestion), an object moves.
+    road.update_edge_distance(65, 66, network.edge_distance(65, 66) * 2)
+    road.directory().relocate(4, (64, 65), 20.0)
+    print(f"\nafter updates, nearest is: ", end="")
+    entry = road.knn(query_node, k=1)[0]
+    obj = road.directory().get_object(entry.object_id)
+    print(f"{obj.attr('name')} at {entry.distance:.0f} m")
+
+
+if __name__ == "__main__":
+    main()

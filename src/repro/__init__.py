@@ -1,0 +1,42 @@
+"""repro — a reproduction of "Fast Object Search on Road Networks" (EDBT'09).
+
+The ROAD framework evaluates location-dependent spatial queries (kNN and
+range) over objects on road networks by organising the network as a
+hierarchy of regional sub-networks (Rnets) augmented with shortcuts and
+object abstracts, letting searches bypass object-free regions.
+
+Public API tour:
+
+* :class:`repro.ROAD` — build the index, attach objects, query, maintain.
+* :mod:`repro.graph` — road-network model, generators, shortest paths.
+* :mod:`repro.objects` — spatial objects and placement.
+* :mod:`repro.queries` — LDSQ types (kNN / range, attribute predicates).
+* :mod:`repro.baselines` — NetExp, Euclidean and Distance-Index engines.
+* :mod:`repro.eval` — the experiment harness reproducing the paper's
+  figures.
+"""
+
+from repro.core.framework import ROAD, BuildReport, RoutedResult
+from repro.core.serialize import load_road, save_road
+from repro.graph.network import RoadNetwork
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery, ResultEntry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "BuildReport",
+    "KNNQuery",
+    "ObjectSet",
+    "Predicate",
+    "ROAD",
+    "RangeQuery",
+    "ResultEntry",
+    "RoadNetwork",
+    "RoutedResult",
+    "SpatialObject",
+    "__version__",
+    "load_road",
+    "save_road",
+]

@@ -1,0 +1,193 @@
+"""Euclidean distance bound baseline (IER) [16, 19].
+
+"Euclidean distance is always the lower bound of network distance" — so
+candidates can be fetched from an R-tree in increasing Euclidean distance
+and verified with exact shortest-path searches (A* [3]) until the bound
+proves no better candidate remains (Incremental Euclidean Restriction).
+
+The paper's criticisms are embodied faithfully: every candidate costs an
+exact network-distance computation ("false hits", "redundant shortest path
+searches over the same portion of the network"), and the heuristic is
+invalid for metrics like travel time where the lower-bound property fails —
+the engine refuses such networks (Section 2: "not always applicable").
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.engine import EngineError, SearchEngine
+from repro.graph.network import RoadNetwork
+from repro.graph.shortest_path import Unreachable, astar
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.queries.types import ANY, Predicate, ResultEntry
+from repro.storage.ccam import NetworkStore
+from repro.storage.pager import PageManager
+from repro.storage.rtree import Rect, RTree
+
+#: Metrics for which the Euclidean lower bound holds.
+SOUND_METRICS = ("distance",)
+
+
+class EuclideanEngine(SearchEngine):
+    """R-tree candidates by Euclidean distance + A* network verification."""
+
+    name = "Euclidean"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        objects: ObjectSet,
+        pager: Optional[PageManager] = None,
+        *,
+        unsafe_metric_override: bool = False,
+    ) -> None:
+        if network.metric not in SOUND_METRICS and not unsafe_metric_override:
+            raise EngineError(
+                f"Euclidean bound is unsound for metric {network.metric!r}: "
+                "straight-line distance does not lower-bound it (Section 2)"
+            )
+        super().__init__(network, pager)
+        self._objects = ObjectSet()
+        self._positions: Dict[int, Tuple[float, float]] = {}
+        self.store = self._timed(NetworkStore, network, self.pager, "euclid-net")
+        self.rtree = self._timed(RTree, self.pager, "euclid-rtree")
+        self._timed(self._load_objects, objects)
+
+    def _load_objects(self, objects: ObjectSet) -> None:
+        for obj in objects:
+            self.insert_object(obj)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def knn(self, node: int, k: int, predicate: Predicate = ANY) -> List[ResultEntry]:
+        """Incremental Euclidean Restriction kNN.
+
+        Candidates stream from the R-tree in Euclidean order; each is
+        verified by exact network distance.  The scan stops when the next
+        candidate's Euclidean distance exceeds the k-th best verified
+        network distance (lower-bound argument).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        qx, qy = self.store.coords(node)
+        best: List[Tuple[float, int]] = []  # (network distance, object id)
+        for euclid, object_id in self.rtree.iter_nearest(qx, qy):
+            if len(best) >= k and euclid >= best[-1][0] - 1e-12:
+                break
+            obj = self._objects.get(object_id)
+            if not predicate.matches(obj):
+                continue
+            network_distance = self._network_distance(node, obj)
+            if network_distance is None:
+                continue
+            best.append((network_distance, object_id))
+            best.sort()
+            del best[k:]
+        return [ResultEntry(object_id, d) for d, object_id in best]
+
+    def range(
+        self, node: int, radius: float, predicate: Predicate = ANY
+    ) -> List[ResultEntry]:
+        """Window candidates within Euclidean ``radius``, verify each."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        qx, qy = self.store.coords(node)
+        window = Rect(qx - radius, qy - radius, qx + radius, qy + radius)
+        results: List[ResultEntry] = []
+        for rect, object_id in self.rtree.window(window):
+            if rect.min_dist(qx, qy) > radius:
+                continue  # box corner: outside the circle
+            obj = self._objects.get(object_id)
+            if not predicate.matches(obj):
+                continue
+            network_distance = self._network_distance(node, obj, cutoff=radius)
+            if network_distance is not None and network_distance <= radius + 1e-9:
+                results.append(ResultEntry(object_id, network_distance))
+        results.sort(key=lambda e: (e.distance, e.object_id))
+        return results
+
+    def _network_distance(
+        self, node: int, obj: SpatialObject, cutoff: Optional[float] = None
+    ) -> Optional[float]:
+        """Exact ``||node, o||`` via A* to each host-edge endpoint."""
+        u, v = obj.edge
+        edge_distance = self.network.edge_distance(u, v)
+        best: Optional[float] = None
+        for endpoint in (u, v):
+            delta = obj.offset_from(endpoint, edge_distance)
+            target_cutoff = None if cutoff is None else cutoff - delta
+            if target_cutoff is not None and target_cutoff < 0:
+                continue
+            try:
+                d, _ = astar(
+                    self.store.neighbours,
+                    node,
+                    endpoint,
+                    self._heuristic(endpoint),
+                    cutoff=target_cutoff,
+                )
+            except Unreachable:
+                continue
+            total = d + delta
+            if best is None or total < best:
+                best = total
+        return best
+
+    def _heuristic(self, target: int):
+        tx, ty = self.store.coords(target)
+
+        def h(node: int) -> float:
+            x, y = self.store.coords(node)
+            return math.hypot(x - tx, y - ty)
+
+        return h
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert_object(self, obj: SpatialObject) -> None:
+        self._objects.add(obj)
+        position = self._interpolate(obj)
+        self._positions[obj.object_id] = position
+        self.rtree.insert(Rect.point(*position), obj.object_id)
+
+    def delete_object(self, object_id: int) -> SpatialObject:
+        obj = self._objects.remove(object_id)
+        position = self._positions.pop(object_id)
+        self.rtree.delete(Rect.point(*position), object_id)
+        return obj
+
+    def update_edge_distance(self, u: int, v: int, distance: float) -> None:
+        old = self.network.update_edge(u, v, distance)
+        self.store.update_edge_distance(u, v, distance)
+        factor = distance / old
+        for obj in list(self._objects.on_edge(u, v)):
+            self.delete_object(obj.object_id)
+            self.insert_object(
+                SpatialObject(obj.object_id, obj.edge, obj.delta * factor, dict(obj.attrs))
+            )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def index_size_bytes(self) -> int:
+        return self.store.size_bytes + self.rtree.size_bytes
+
+    @property
+    def objects(self) -> ObjectSet:
+        return self._objects
+
+    def _interpolate(self, obj: SpatialObject) -> Tuple[float, float]:
+        """Coordinates of an object: linear interpolation along its edge."""
+        u, v = obj.edge
+        ux, uy = self.network.coords(u)
+        vx, vy = self.network.coords(v)
+        edge_distance = self.network.edge_distance(u, v)
+        t = obj.delta / edge_distance if edge_distance > 0 else 0.0
+        t = min(max(t, 0.0), 1.0)
+        return ux + (vx - ux) * t, uy + (vy - uy) * t

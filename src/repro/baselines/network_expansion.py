@@ -1,0 +1,153 @@
+"""Network expansion baseline (NetExp) [9, 16].
+
+"Network expansion gradually expands the search space in a network by
+forming a spanning tree rooted at a query point" (Section 2) — i.e. plain
+Dijkstra from the query node, checking the objects stored with every
+settled node.  It is the correctness reference and the no-index baseline:
+nothing precomputed, so index cost and update cost are minimal while query
+cost grows with the explored area ("an almost blind scan over the entire
+search space").
+
+Objects are stored with network nodes (Section 6), so object lookups are
+co-located with the adjacency page already being read — no extra I/O.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.engine import SearchEngine
+from repro.graph.network import RoadNetwork
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.queries.types import ANY, Predicate, ResultEntry
+from repro.storage.ccam import NetworkStore
+from repro.storage.codecs import attrs_size, object_record_size
+from repro.storage.pager import PAGE_SIZE, PageManager
+
+
+class NetworkExpansionEngine(SearchEngine):
+    """Dijkstra-from-the-query-node search over CCAM-stored nodes."""
+
+    name = "NetExp"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        objects: ObjectSet,
+        pager: Optional[PageManager] = None,
+    ) -> None:
+        super().__init__(network, pager)
+        self._objects = ObjectSet()
+        self._node_objects: Dict[int, List[Tuple[SpatialObject, float]]] = {}
+        self.store = self._timed(NetworkStore, network, self.pager, "netexp")
+        self._timed(self._load_objects, objects)
+
+    def _load_objects(self, objects: ObjectSet) -> None:
+        for obj in objects:
+            self.insert_object(obj)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def knn(self, node: int, k: int, predicate: Predicate = ANY) -> List[ResultEntry]:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return self._expand(node, predicate, k=k)
+
+    def range(
+        self, node: int, radius: float, predicate: Predicate = ANY
+    ) -> List[ResultEntry]:
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        return self._expand(node, predicate, radius=radius)
+
+    def _expand(
+        self,
+        source: int,
+        predicate: Predicate,
+        *,
+        k: Optional[int] = None,
+        radius: Optional[float] = None,
+    ) -> List[ResultEntry]:
+        """Dijkstra expansion collecting objects off settled nodes."""
+        seq = itertools.count()
+        heap: List[Tuple[float, int, bool, int]] = [(0.0, next(seq), False, source)]
+        settled_nodes: Set[int] = set()
+        settled_objects: Set[int] = set()
+        result: List[ResultEntry] = []
+        while heap:
+            distance, _, is_object, item = heapq.heappop(heap)
+            if radius is not None and distance > radius:
+                break
+            if is_object:
+                if item in settled_objects:
+                    continue
+                settled_objects.add(item)
+                result.append(ResultEntry(item, distance))
+                if k is not None and len(result) >= k:
+                    break
+                continue
+            if item in settled_nodes:
+                continue
+            settled_nodes.add(item)
+            # Objects are co-located with the node's page: no extra I/O.
+            for obj, delta in self._node_objects.get(item, ()):
+                if obj.object_id not in settled_objects and predicate.matches(obj):
+                    heapq.heappush(
+                        heap, (distance + delta, next(seq), True, obj.object_id)
+                    )
+            for neighbour, weight in self.store.neighbours(item):
+                if neighbour not in settled_nodes:
+                    heapq.heappush(
+                        heap, (distance + weight, next(seq), False, neighbour)
+                    )
+        return result
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert_object(self, obj: SpatialObject) -> None:
+        u, v = obj.edge
+        distance = self.network.edge_distance(u, v)
+        self._objects.add(obj)
+        self._node_objects.setdefault(u, []).append((obj, obj.offset_from(u, distance)))
+        self._node_objects.setdefault(v, []).append((obj, obj.offset_from(v, distance)))
+
+    def delete_object(self, object_id: int) -> SpatialObject:
+        obj = self._objects.remove(object_id)
+        for node in obj.edge:
+            entries = self._node_objects.get(node, [])
+            entries[:] = [(o, d) for o, d in entries if o.object_id != object_id]
+            if not entries:
+                self._node_objects.pop(node, None)
+        return obj
+
+    def update_edge_distance(self, u: int, v: int, distance: float) -> None:
+        old = self.network.update_edge(u, v, distance)
+        self.store.update_edge_distance(u, v, distance)
+        # Objects on the segment keep their relative position (offsets are
+        # metric values and scale with the edge).
+        factor = distance / old
+        for obj in list(self._objects.on_edge(u, v)):
+            self.delete_object(obj.object_id)
+            scaled = SpatialObject(
+                obj.object_id, obj.edge, obj.delta * factor, dict(obj.attrs)
+            )
+            self.insert_object(scaled)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def index_size_bytes(self) -> int:
+        object_bytes = sum(
+            object_record_size(attrs_size(o.attrs)) * 2 for o in self._objects
+        )
+        object_pages = -(-object_bytes // PAGE_SIZE) if object_bytes else 0
+        return self.store.size_bytes + object_pages * PAGE_SIZE
+
+    @property
+    def objects(self) -> ObjectSet:
+        return self._objects

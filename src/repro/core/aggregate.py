@@ -1,0 +1,166 @@
+"""Aggregate nearest-neighbour queries on ROAD (extension).
+
+The paper's conclusion names "algorithms to support LDSQs other than those
+discussed" as future work; aggregate NN queries [19] are the natural next
+LDSQ: given several query nodes (a group of friends, a delivery fleet),
+find the k objects minimising an aggregate of their network distances —
+``sum`` (total travel), ``max`` (fairness), or ``min`` (anyone-can-go).
+
+Algorithm: one incremental ROAD expansion per query node
+(:func:`repro.core.search.iter_nearest_objects`), advanced in lockstep —
+always the expansion with the smallest frontier radius.  An object is
+*finalised* once every expansion has reported it.  Unseen distances are
+lower-bounded by the expansion's current radius, giving a sound
+termination test: stop when the k-th best finalised aggregate cannot be
+beaten by any partially-seen or unseen object.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.association_directory import AssociationDirectory
+from repro.core.route_overlay import RouteOverlay
+from repro.core.search import SearchStats, iter_nearest_objects
+from repro.queries.types import ANY, Predicate, ResultEntry
+
+#: Supported aggregate functions.
+AGGREGATES: Dict[str, Callable[[Sequence[float]], float]] = {
+    "sum": sum,
+    "max": max,
+    "min": min,
+}
+
+
+class _Expansion:
+    """One query node's lazily-advanced expansion with a peekable head."""
+
+    __slots__ = ("_iter", "head", "radius")
+
+    def __init__(self, it: Iterator[Tuple[float, int]]) -> None:
+        self._iter = it
+        self.head: Optional[Tuple[float, int]] = None
+        self.radius = 0.0
+        self.advance()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.head is None
+
+    def advance(self) -> Optional[Tuple[float, int]]:
+        """Consume the current head; pre-fetch the next object."""
+        consumed = self.head
+        try:
+            self.head = next(self._iter)
+            self.radius = self.head[0]
+        except StopIteration:
+            self.head = None
+            self.radius = math.inf
+        return consumed
+
+
+def aggregate_knn(
+    overlay: RouteOverlay,
+    directory: AssociationDirectory,
+    query_nodes: Sequence[int],
+    k: int,
+    agg: str = "sum",
+    predicate: Predicate = ANY,
+    stats: Optional[SearchStats] = None,
+) -> List[ResultEntry]:
+    """The k objects minimising ``agg`` of distances from ``query_nodes``.
+
+    Objects unreachable from some query node have that distance = ∞ and are
+    excluded for ``sum``/``max`` (included for ``min`` when reachable from
+    anyone).  Returns :class:`ResultEntry` rows whose ``distance`` is the
+    aggregate value, sorted ascending.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not query_nodes:
+        raise ValueError("need at least one query node")
+    if agg not in AGGREGATES:
+        raise ValueError(f"agg must be one of {sorted(AGGREGATES)}, got {agg!r}")
+    combine = AGGREGATES[agg]
+    m = len(query_nodes)
+
+    expansions = [
+        _Expansion(
+            iter_nearest_objects(overlay, directory, node, predicate, stats)
+        )
+        for node in query_nodes
+    ]
+    partials: Dict[int, Dict[int, float]] = {}
+    finalised: Dict[int, float] = {}
+
+    def lower_bound(known: Dict[int, float]) -> float:
+        """Sound lower bound on an object's final aggregate."""
+        values = [
+            known.get(i, expansions[i].radius) for i in range(m)
+        ]
+        return combine(values)
+
+    def kth_best() -> float:
+        if len(finalised) < k:
+            return math.inf
+        return sorted(finalised.values())[k - 1]
+
+    while True:
+        # Termination: nothing pending can beat the current k-th best.
+        best_possible = math.inf
+        for known in partials.values():
+            best_possible = min(best_possible, lower_bound(known))
+        unseen = combine([e.radius for e in expansions])
+        best_possible = min(best_possible, unseen)
+        if kth_best() <= best_possible:
+            break
+        if all(e.exhausted for e in expansions):
+            break
+
+        # Advance the expansion with the smallest frontier radius.
+        index = min(
+            (i for i, e in enumerate(expansions) if not e.exhausted),
+            key=lambda i: expansions[i].radius,
+            default=None,
+        )
+        if index is None:
+            break
+        item = expansions[index].advance()
+        if item is None:
+            continue
+        distance, object_id = item
+        if object_id in finalised:
+            continue
+        known = partials.setdefault(object_id, {})
+        known[index] = distance
+        if agg == "min":
+            # A later expansion can still see the object closer, but only
+            # while its radius is below the best sighting; finalise once no
+            # unseen expansion can undercut it.
+            best = min(known.values())
+            if all(
+                expansions[i].radius >= best
+                for i in range(m)
+                if i not in known
+            ):
+                finalised[object_id] = best
+                del partials[object_id]
+        elif len(known) == m:
+            finalised[object_id] = combine(
+                [known[i] for i in range(m)]
+            )
+            del partials[object_id]
+
+    # `min` stragglers: partially-seen objects are still valid candidates.
+    if agg == "min":
+        for object_id, known in partials.items():
+            if object_id not in finalised:
+                finalised[object_id] = min(known.values())
+
+    ranked = sorted(
+        (value, object_id)
+        for object_id, value in finalised.items()
+        if math.isfinite(value)
+    )
+    return [ResultEntry(object_id, value) for value, object_id in ranked[:k]]

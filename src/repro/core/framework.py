@@ -1,0 +1,398 @@
+"""The ROAD framework facade.
+
+One object wiring everything together the way Section 3 describes: a road
+network is partitioned into an Rnet hierarchy, shortcuts are computed
+bottom-up, the Route Overlay indexes nodes with their shortcut trees, and
+any number of Association Directories map object sets onto the same
+network.  Queries (Section 4) and maintenance (Section 5) are entry points
+on this facade.
+
+Typical use::
+
+    road = ROAD.build(network, levels=4, fanout=4)
+    road.attach_objects(objects)               # the default directory
+    nearest = road.knn(query_node, k=5)
+    hotels = road.range(venue, 1000.0, Predicate.of(type="hotel"))
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.association_directory import AssociationDirectory
+from repro.core.maintenance import (
+    MaintenanceError,
+    MaintenanceReport,
+    add_edge as _add_edge,
+    change_edge_distance as _change_edge_distance,
+    remove_edge as _remove_edge,
+)
+from repro.core.object_abstract import AbstractFactory, exact_abstract
+from repro.core.paths import PathTracer, object_path
+from repro.core.rnet import RnetHierarchy
+from repro.core.route_overlay import RouteOverlay
+from repro.core.search import SearchStats, knn_search, range_search
+from repro.core.shortcuts import ShortcutIndex, build_shortcuts
+from repro.graph.network import RoadNetwork
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.partition.hierarchy import Bisector, PartitionNode, build_partition_tree
+from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery, ResultEntry
+from repro.storage.pager import PageManager
+
+DEFAULT_DIRECTORY = "objects"
+
+
+@dataclass(frozen=True)
+class RoutedResult:
+    """One answer object with its materialised route.
+
+    ``path`` is the physical node sequence from the query node to the
+    object's host-edge entry node; ``approach`` is the remaining distance
+    to cover along the host edge.  ``entry.distance`` equals the path's
+    edge-length sum plus ``approach``.
+    """
+
+    entry: ResultEntry
+    path: List[int]
+    approach: float
+
+
+@dataclass
+class BuildReport:
+    """Wall-clock breakdown of an index build (Figure 13/14 metric)."""
+
+    partition_seconds: float = 0.0
+    shortcut_seconds: float = 0.0
+    overlay_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end construction time."""
+        return self.partition_seconds + self.shortcut_seconds + self.overlay_seconds
+
+
+class ROAD:
+    """A built ROAD index over one road network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        hierarchy: RnetHierarchy,
+        shortcuts: ShortcutIndex,
+        overlay: RouteOverlay,
+        pager: PageManager,
+        build_report: BuildReport,
+    ) -> None:
+        self.network = network
+        self.hierarchy = hierarchy
+        self.shortcuts = shortcuts
+        self.overlay = overlay
+        self.pager = pager
+        self.build_report = build_report
+        self._directories: Dict[str, AssociationDirectory] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        *,
+        levels: int = 4,
+        fanout: int = 4,
+        bisector: Optional[Bisector] = None,
+        partition_tree: Optional[PartitionNode] = None,
+        reduce_shortcuts: bool = True,
+        buffer_pages: int = 50,
+        pager: Optional[PageManager] = None,
+    ) -> "ROAD":
+        """Build the framework over a network.
+
+        Parameters mirror Table 1: ``levels`` is the Rnet hierarchy depth
+        ``l`` and ``fanout`` the partition factor ``p``.  A pre-computed
+        ``partition_tree`` (e.g. semantic or object-based) overrides the
+        default geometric+KL partitioning.  ``reduce_shortcuts`` toggles the
+        Lemma-4 storage reduction (ablation hook).
+        """
+        report = BuildReport()
+        t0 = time.perf_counter()
+        if partition_tree is None:
+            partition_tree = build_partition_tree(
+                network, levels=levels, fanout=fanout, bisector=bisector
+            )
+        hierarchy = RnetHierarchy(network, partition_tree)
+        report.partition_seconds = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        shortcuts = build_shortcuts(network, hierarchy, reduce=reduce_shortcuts)
+        report.shortcut_seconds = time.perf_counter() - t1
+
+        t2 = time.perf_counter()
+        if pager is None:
+            pager = PageManager(buffer_pages=buffer_pages, name="road")
+        overlay = RouteOverlay(pager, network, hierarchy, shortcuts)
+        report.overlay_seconds = time.perf_counter() - t2
+        return cls(network, hierarchy, shortcuts, overlay, pager, report)
+
+    # ------------------------------------------------------------------
+    # Object management (content-provider side)
+    # ------------------------------------------------------------------
+    def attach_objects(
+        self,
+        objects: ObjectSet,
+        *,
+        name: str = DEFAULT_DIRECTORY,
+        abstract_factory: AbstractFactory = exact_abstract,
+    ) -> AssociationDirectory:
+        """Map an object set onto the network as a new directory.
+
+        Multiple directories — different providers, types, or formats —
+        may coexist on the same Route Overlay (Section 3.4).
+        """
+        if name in self._directories:
+            raise ValueError(f"directory {name!r} already attached")
+        directory = AssociationDirectory(
+            self.pager,
+            self.network,
+            self.hierarchy,
+            objects,
+            abstract_factory=abstract_factory,
+            name=name,
+        )
+        self._directories[name] = directory
+        return directory
+
+    def detach_objects(self, name: str = DEFAULT_DIRECTORY) -> None:
+        """Remove a directory (its pages are freed lazily by the pager)."""
+        try:
+            del self._directories[name]
+        except KeyError:
+            raise KeyError(f"no directory {name!r}") from None
+
+    def directory(self, name: str = DEFAULT_DIRECTORY) -> AssociationDirectory:
+        """A previously attached directory."""
+        try:
+            return self._directories[name]
+        except KeyError:
+            raise KeyError(f"no directory {name!r}") from None
+
+    @property
+    def directory_names(self) -> List[str]:
+        """Names of attached directories."""
+        return list(self._directories)
+
+    def insert_object(
+        self, obj: SpatialObject, *, directory: str = DEFAULT_DIRECTORY
+    ) -> None:
+        """Insert an object (Section 5.1; Route Overlay untouched)."""
+        self.directory(directory).insert(obj)
+
+    def delete_object(
+        self, object_id: int, *, directory: str = DEFAULT_DIRECTORY
+    ) -> SpatialObject:
+        """Delete an object (Section 5.1)."""
+        return self.directory(directory).delete(object_id)
+
+    def update_object_attrs(
+        self,
+        object_id: int,
+        attrs: Dict[str, str],
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+    ) -> SpatialObject:
+        """Update an object's attributes (Section 5.1)."""
+        return self.directory(directory).update_attrs(object_id, attrs)
+
+    # ------------------------------------------------------------------
+    # Queries (Section 4)
+    # ------------------------------------------------------------------
+    def knn(
+        self,
+        node: int,
+        k: int,
+        predicate: Predicate = ANY,
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+        stats: Optional[SearchStats] = None,
+    ) -> List[ResultEntry]:
+        """k nearest matching objects from ``node`` by network distance."""
+        return knn_search(
+            self.overlay, self.directory(directory), node, k, predicate, stats
+        )
+
+    def range(
+        self,
+        node: int,
+        radius: float,
+        predicate: Predicate = ANY,
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+        stats: Optional[SearchStats] = None,
+    ) -> List[ResultEntry]:
+        """All matching objects within network distance ``radius``."""
+        return range_search(
+            self.overlay, self.directory(directory), node, radius, predicate, stats
+        )
+
+    def aggregate_knn(
+        self,
+        nodes: Iterable[int],
+        k: int,
+        agg: str = "sum",
+        predicate: Predicate = ANY,
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+        stats: Optional[SearchStats] = None,
+    ) -> List[ResultEntry]:
+        """Aggregate kNN: objects minimising agg(distances from ``nodes``).
+
+        An extension LDSQ (the paper's future work; cf. aggregate NN [19]):
+        ``agg`` is ``"sum"``, ``"max"`` or ``"min"``.  The returned
+        ``distance`` fields carry the aggregate values.
+        """
+        from repro.core.aggregate import aggregate_knn as _aggregate
+
+        return _aggregate(
+            self.overlay,
+            self.directory(directory),
+            list(nodes),
+            k,
+            agg,
+            predicate,
+            stats,
+        )
+
+    def knn_routed(
+        self,
+        node: int,
+        k: int,
+        predicate: Predicate = ANY,
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+    ) -> List[RoutedResult]:
+        """kNN with full driving routes to each answer.
+
+        Routes are reconstructed from the traversal's moves, expanding every
+        shortcut hop recursively into physical road segments (Lemma 2's
+        representation; see :mod:`repro.core.paths`).
+        """
+        tracer = PathTracer()
+        entries = knn_search(
+            self.overlay, self.directory(directory), node, k, predicate,
+            tracer=tracer,
+        )
+        return self._materialise(node, entries, tracer)
+
+    def range_routed(
+        self,
+        node: int,
+        radius: float,
+        predicate: Predicate = ANY,
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+    ) -> List[RoutedResult]:
+        """Range query with full driving routes to each answer."""
+        tracer = PathTracer()
+        entries = range_search(
+            self.overlay, self.directory(directory), node, radius, predicate,
+            tracer=tracer,
+        )
+        return self._materialise(node, entries, tracer)
+
+    def _materialise(
+        self, node: int, entries: List[ResultEntry], tracer: PathTracer
+    ) -> List[RoutedResult]:
+        routed = []
+        for entry in entries:
+            path, approach = object_path(
+                tracer, self.hierarchy, self.shortcuts, node, entry.object_id
+            )
+            routed.append(RoutedResult(entry, path, approach))
+        return routed
+
+    def execute(self, query, *, directory: str = DEFAULT_DIRECTORY) -> List[ResultEntry]:
+        """Run a :class:`KNNQuery` or :class:`RangeQuery` object."""
+        if isinstance(query, KNNQuery):
+            return self.knn(query.node, query.k, query.predicate, directory=directory)
+        if isinstance(query, RangeQuery):
+            return self.range(
+                query.node, query.radius, query.predicate, directory=directory
+            )
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    # Network maintenance (Section 5.2)
+    # ------------------------------------------------------------------
+    def update_edge_distance(self, u: int, v: int, distance: float) -> MaintenanceReport:
+        """Change a road segment's distance (filter-and-refresh shortcuts).
+
+        Objects on the segment keep their relative position: every attached
+        directory rescales their offsets by the distance ratio.
+        """
+        old_distance = self.network.edge_distance(u, v)
+        report = _change_edge_distance(
+            self.network, self.hierarchy, self.shortcuts, self.overlay, u, v, distance
+        )
+        factor = distance / old_distance
+        if abs(factor - 1.0) > 1e-12:
+            for directory in self._directories.values():
+                directory.rescale_edge(u, v, factor)
+        return report
+
+    def add_edge(
+        self,
+        u: int,
+        v: int,
+        distance: float,
+        *,
+        coords: Optional[Dict[int, Tuple[float, float]]] = None,
+    ) -> MaintenanceReport:
+        """Open a new road segment (with border promotion when needed)."""
+        report = _add_edge(
+            self.network, self.hierarchy, self.shortcuts, self.overlay,
+            u, v, distance, coords=coords,
+        )
+        return report
+
+    def remove_edge(self, u: int, v: int) -> MaintenanceReport:
+        """Close a road segment (with border demotion when possible).
+
+        Refuses if any attached directory still has objects on the edge —
+        relocate or delete them first.
+        """
+        for name, directory in self._directories.items():
+            if directory.objects.on_edge(u, v):
+                raise MaintenanceError(
+                    f"directory {name!r} has objects on edge ({u}, {v})"
+                )
+        return _remove_edge(
+            self.network, self.hierarchy, self.shortcuts, self.overlay, u, v
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def index_size_bytes(self, *, include_directories: bool = True) -> int:
+        """On-disk footprint: Route Overlay plus attached directories."""
+        size = self.overlay.size_bytes
+        if include_directories:
+            size += sum(d.size_bytes for d in self._directories.values())
+        return size
+
+    def stats(self) -> Dict[str, object]:
+        """Shape and size summary for reports."""
+        summary: Dict[str, object] = dict(self.hierarchy.stats())
+        summary.update(
+            shortcuts_total=self.shortcuts.total(),
+            shortcuts_stored=self.shortcuts.total(stored=True),
+            overlay_pages=self.overlay.page_count,
+            overlay_bytes=self.overlay.size_bytes,
+            directories={
+                name: d.size_bytes for name, d in self._directories.items()
+            },
+            build_seconds=self.build_report.total_seconds,
+        )
+        return summary

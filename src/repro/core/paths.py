@@ -1,0 +1,130 @@
+"""Path materialisation: turning shortcut hops back into road segments.
+
+A shortcut "bears the shortest path SP(b, b')" (Definition 3) represented
+recursively: an upper-level shortcut's via-sequence consists of child
+border nodes, each consecutive pair connected by a child-level shortcut
+(Lemma 2's ``S(n1, n3) = (S(n1, nd), S(nd, n3))``).  "To determine a
+detailed shortest path for this shortcut, S(n1, nd) and S(nd, n3) can be
+explored at nodes n1 and nd" — :func:`expand_shortcut` is that exploration,
+recursing level by level until physical nodes.
+
+:class:`PathTracer` hooks into the search algorithms to record, for every
+settled node, the move (edge or shortcut) that reached it, so an answer
+object's full driving route can be reconstructed after the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.rnet import RnetHierarchy
+from repro.core.shortcuts import Shortcut, ShortcutIndex
+
+
+class PathError(Exception):
+    """Raised when a recorded path cannot be materialised."""
+
+
+@dataclass
+class PathTracer:
+    """Search-side recording of winning moves.
+
+    ``node_move[n]`` is ``(predecessor, shortcut-or-None)`` for the move
+    that settled node ``n`` (None shortcut = a physical edge);
+    ``object_entry[oid]`` is ``(entry node, offset)`` for the association
+    through which the object was settled.
+    """
+
+    node_move: Dict[int, Tuple[int, Optional[Shortcut]]] = field(
+        default_factory=dict
+    )
+    object_entry: Dict[int, Tuple[int, float]] = field(default_factory=dict)
+
+    def record_node(
+        self, node: int, predecessor: int, shortcut: Optional[Shortcut]
+    ) -> None:
+        """Remember the move that settled ``node`` (first settle wins)."""
+        self.node_move.setdefault(node, (predecessor, shortcut))
+
+    def record_object(self, object_id: int, node: int, delta: float) -> None:
+        """Remember which node association settled ``object_id``."""
+        self.object_entry.setdefault(object_id, (node, delta))
+
+
+def expand_shortcut(
+    hierarchy: RnetHierarchy, index: ShortcutIndex, shortcut: Shortcut
+) -> List[int]:
+    """Physical node sequence realised by a shortcut (endpoints inclusive)."""
+    rnet = hierarchy.rnet(shortcut.rnet_id)
+    hops = [shortcut.source, *shortcut.via, shortcut.target]
+    if rnet.is_leaf:
+        return hops  # via-nodes of finest Rnets are physical nodes
+    out = [shortcut.source]
+    for a, b in zip(hops, hops[1:]):
+        # Several sibling Rnets can hold a shortcut between the same border
+        # pair; the border-graph search used the cheapest, so expand that.
+        candidates = [
+            found
+            for child_id in rnet.children
+            if (found := index.lookup(a, b, child_id)) is not None
+        ]
+        if not candidates:
+            raise PathError(
+                f"no child shortcut ({a} -> {b}) under Rnet {rnet.rnet_id}"
+            )
+        child_shortcut = min(candidates, key=lambda s: s.distance)
+        out.extend(expand_shortcut(hierarchy, index, child_shortcut)[1:])
+    return out
+
+
+def node_path(
+    tracer: PathTracer,
+    hierarchy: RnetHierarchy,
+    index: ShortcutIndex,
+    source: int,
+    target: int,
+) -> List[int]:
+    """Physical node sequence from the query node to a settled node."""
+    if target == source:
+        return [source]
+    hops: List[Tuple[int, int, Optional[Shortcut]]] = []
+    current = target
+    seen = {current}
+    while current != source:
+        move = tracer.node_move.get(current)
+        if move is None:
+            raise PathError(f"node {target} was not settled from {source}")
+        predecessor, shortcut = move
+        hops.append((predecessor, current, shortcut))
+        current = predecessor
+        if current in seen:
+            raise PathError("predecessor cycle in trace")
+        seen.add(current)
+    hops.reverse()
+    path = [source]
+    for predecessor, node, shortcut in hops:
+        if shortcut is None:
+            path.append(node)  # one physical edge
+        else:
+            path.extend(expand_shortcut(hierarchy, index, shortcut)[1:])
+    return path
+
+
+def object_path(
+    tracer: PathTracer,
+    hierarchy: RnetHierarchy,
+    index: ShortcutIndex,
+    source: int,
+    object_id: int,
+) -> Tuple[List[int], float]:
+    """(node path to the object's entry node, remaining offset δ).
+
+    The final approach covers ``δ`` along the object's host edge from the
+    path's last node.
+    """
+    entry = tracer.object_entry.get(object_id)
+    if entry is None:
+        raise PathError(f"object {object_id} was not settled in this search")
+    node, delta = entry
+    return node_path(tracer, hierarchy, index, source, node), delta

@@ -1,0 +1,332 @@
+"""ROAD search algorithms: kNNSearch, RangeSearch, ChoosePath (Section 4).
+
+Both queries are Dijkstra-style network expansions from the query node that
+"navigate Rnets in detail only if they contain objects of interest;
+otherwise bypass them" through shortcuts.  A priority queue holds pending
+nodes and objects in non-descending distance order; popping an object with
+the smallest key yields its exact network distance, so the first k popped
+objects are the kNN answer (Figure 9) and every object popped within the
+radius is a range answer.
+
+``ChoosePath`` (Figure 10) walks the popped node's shortcut tree depth
+first: each Rnet entry is checked against the Association Directory — an
+Rnet without objects of interest is bypassed by enqueueing its shortcut
+endpoints; one with objects is descended into child entries, down to
+physical edges at the finest level.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.association_directory import AssociationDirectory
+from repro.core.paths import PathTracer
+from repro.core.route_overlay import RouteOverlay
+from repro.core.shortcuts import Shortcut
+from repro.queries.types import ANY, Predicate, ResultEntry
+
+
+@dataclass
+class SearchStats:
+    """Traversal counters for one query (used by the evaluation and tests)."""
+
+    nodes_popped: int = 0
+    objects_popped: int = 0
+    edges_relaxed: int = 0
+    shortcuts_taken: int = 0
+    rnets_bypassed: int = 0
+    rnets_descended: int = 0
+
+    @property
+    def expansions(self) -> int:
+        """Total queue relaxations performed."""
+        return self.edges_relaxed + self.shortcuts_taken
+
+
+class _AbstractCache:
+    """Per-query memo of SearchObject(AD, R) outcomes.
+
+    A search reaching several border nodes of one Rnet would otherwise
+    repeat the same Association Directory lookup; within a single query the
+    answer cannot change, so the first lookup is remembered (the loaded
+    abstract stays in the buffer anyway — this also saves the CPU of
+    re-descending the B+-tree).
+    """
+
+    __slots__ = ("_directory", "_predicate", "_memo")
+
+    def __init__(self, directory: AssociationDirectory, predicate: Predicate):
+        self._directory = directory
+        self._predicate = predicate
+        self._memo: Dict[int, bool] = {}
+
+    def may_contain(self, rnet_id: int) -> bool:
+        cached = self._memo.get(rnet_id)
+        if cached is None:
+            cached = self._directory.rnet_may_contain(rnet_id, self._predicate)
+            self._memo[rnet_id] = cached
+        return cached
+
+
+class _Frontier:
+    """Priority queue of pending nodes and objects (the ``P`` of Fig 9).
+
+    Each entry optionally carries its *origin* — the (predecessor, move)
+    that produced it — so a :class:`~repro.core.paths.PathTracer` can later
+    materialise full routes to the answers.
+    """
+
+    _NODE = 0
+    _OBJECT = 1
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, int, object]] = []
+        self._seq = itertools.count()
+
+    def push_node(
+        self,
+        node: int,
+        distance: float,
+        origin: Optional[Tuple[int, Optional[Shortcut]]] = None,
+    ) -> None:
+        heapq.heappush(
+            self._heap, (distance, next(self._seq), self._NODE, node, origin)
+        )
+
+    def push_object(
+        self,
+        object_id: int,
+        distance: float,
+        origin: Optional[Tuple[int, float]] = None,
+    ) -> None:
+        heapq.heappush(
+            self._heap,
+            (distance, next(self._seq), self._OBJECT, object_id, origin),
+        )
+
+    def pop(self) -> Tuple[float, bool, int, object]:
+        """(distance, is_object, id, origin) of the nearest pending entry."""
+        distance, _, kind, item, origin = heapq.heappop(self._heap)
+        return distance, kind == self._OBJECT, item, origin
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+def knn_search(
+    overlay: RouteOverlay,
+    directory: AssociationDirectory,
+    query_node: int,
+    k: int,
+    predicate: Predicate = ANY,
+    stats: Optional[SearchStats] = None,
+    tracer: Optional[PathTracer] = None,
+) -> List[ResultEntry]:
+    """Algorithm kNNSearch (Figure 9).
+
+    Returns up to ``k`` matching objects in non-descending network distance
+    (fewer if the network holds fewer matching objects).  Pass a
+    :class:`~repro.core.paths.PathTracer` to record enough provenance to
+    materialise full routes to the answers afterwards.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    stats = stats if stats is not None else SearchStats()
+    frontier = _Frontier()
+    frontier.push_node(query_node, 0.0)
+    visited_nodes: Set[int] = set()
+    visited_objects: Set[int] = set()
+    result: List[ResultEntry] = []
+    abstracts = _AbstractCache(directory, predicate)
+
+    while frontier and len(result) < k:
+        distance, is_object, item, origin = frontier.pop()
+        if is_object:
+            if item in visited_objects:
+                continue
+            visited_objects.add(item)
+            stats.objects_popped += 1
+            if tracer is not None and origin is not None:
+                tracer.record_object(item, origin[0], origin[1])
+            result.append(ResultEntry(item, distance))
+            continue
+        if item in visited_nodes:
+            continue
+        visited_nodes.add(item)
+        stats.nodes_popped += 1
+        if tracer is not None and origin is not None:
+            tracer.record_node(item, origin[0], origin[1])
+        _collect_node_objects(
+            directory, frontier, item, distance, predicate, visited_objects
+        )
+        _choose_path_cached(overlay, abstracts, frontier, item, distance, stats)
+    return result
+
+
+def range_search(
+    overlay: RouteOverlay,
+    directory: AssociationDirectory,
+    query_node: int,
+    radius: float,
+    predicate: Predicate = ANY,
+    stats: Optional[SearchStats] = None,
+    tracer: Optional[PathTracer] = None,
+) -> List[ResultEntry]:
+    """Algorithm RangeSearch (Section 4).
+
+    Identical expansion to kNNSearch, except it terminates once the network
+    within ``radius`` is exhausted and returns every matching object found.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    stats = stats if stats is not None else SearchStats()
+    frontier = _Frontier()
+    frontier.push_node(query_node, 0.0)
+    visited_nodes: Set[int] = set()
+    visited_objects: Set[int] = set()
+    result: List[ResultEntry] = []
+    abstracts = _AbstractCache(directory, predicate)
+
+    while frontier:
+        distance, is_object, item, origin = frontier.pop()
+        if distance > radius:
+            break  # everything else is farther: the bounded space is done
+        if is_object:
+            if item in visited_objects:
+                continue
+            visited_objects.add(item)
+            stats.objects_popped += 1
+            if tracer is not None and origin is not None:
+                tracer.record_object(item, origin[0], origin[1])
+            result.append(ResultEntry(item, distance))
+            continue
+        if item in visited_nodes:
+            continue
+        visited_nodes.add(item)
+        stats.nodes_popped += 1
+        if tracer is not None and origin is not None:
+            tracer.record_node(item, origin[0], origin[1])
+        _collect_node_objects(
+            directory, frontier, item, distance, predicate, visited_objects
+        )
+        _choose_path_cached(overlay, abstracts, frontier, item, distance, stats)
+    return result
+
+
+def iter_nearest_objects(
+    overlay: RouteOverlay,
+    directory: AssociationDirectory,
+    query_node: int,
+    predicate: Predicate = ANY,
+    stats: Optional[SearchStats] = None,
+):
+    """Lazily yield matching objects in non-descending network distance.
+
+    The incremental form of kNNSearch: the expansion advances only as far
+    as the consumer pulls.  Used by aggregate queries
+    (:mod:`repro.core.aggregate`) that interleave several expansions.
+    """
+    stats = stats if stats is not None else SearchStats()
+    frontier = _Frontier()
+    frontier.push_node(query_node, 0.0)
+    visited_nodes: Set[int] = set()
+    visited_objects: Set[int] = set()
+    abstracts = _AbstractCache(directory, predicate)
+
+    while frontier:
+        distance, is_object, item, _ = frontier.pop()
+        if is_object:
+            if item in visited_objects:
+                continue
+            visited_objects.add(item)
+            stats.objects_popped += 1
+            yield distance, item
+            continue
+        if item in visited_nodes:
+            continue
+        visited_nodes.add(item)
+        stats.nodes_popped += 1
+        _collect_node_objects(
+            directory, frontier, item, distance, predicate, visited_objects
+        )
+        _choose_path_cached(overlay, abstracts, frontier, item, distance, stats)
+
+
+def choose_path(
+    overlay: RouteOverlay,
+    directory: AssociationDirectory,
+    frontier: _Frontier,
+    node: int,
+    distance: float,
+    predicate: Predicate,
+    stats: SearchStats,
+) -> None:
+    """Algorithm ChoosePath (Figure 10).
+
+    Decides how the expansion continues from ``node``: bypass object-free
+    Rnets via shortcuts, descend object-bearing ones, and relax physical
+    edges at the finest level.
+    """
+    _choose_path_cached(
+        overlay, _AbstractCache(directory, predicate), frontier, node,
+        distance, stats,
+    )
+
+
+def _choose_path_cached(
+    overlay: RouteOverlay,
+    abstracts: _AbstractCache,
+    frontier: _Frontier,
+    node: int,
+    distance: float,
+    stats: SearchStats,
+) -> None:
+    tree = overlay.shortcut_tree(node)
+    if not tree.roots:
+        # Non-border node: a single leaf of physical edges (Fig 6, n_q).
+        for neighbour, weight in tree.local_edges:
+            frontier.push_node(neighbour, distance + weight, (node, None))
+            stats.edges_relaxed += 1
+        return
+
+    stack = list(tree.roots)
+    while stack:
+        entry = stack.pop()
+        if not abstracts.may_contain(entry.rnet_id):
+            # Bypass: jump straight to the Rnet's other border nodes.
+            stats.rnets_bypassed += 1
+            for shortcut in entry.shortcuts:
+                frontier.push_node(
+                    shortcut.target,
+                    distance + shortcut.distance,
+                    (node, shortcut),
+                )
+                stats.shortcuts_taken += 1
+            continue
+        if entry.is_leaf:
+            # Finest Rnet with objects of interest: traverse its edges.
+            for neighbour, weight in entry.edges:
+                frontier.push_node(neighbour, distance + weight, (node, None))
+                stats.edges_relaxed += 1
+        else:
+            stats.rnets_descended += 1
+            stack.extend(entry.children)
+
+
+def _collect_node_objects(
+    directory: AssociationDirectory,
+    frontier: _Frontier,
+    node: int,
+    distance: float,
+    predicate: Predicate,
+    visited_objects: Set[int],
+) -> None:
+    """SearchObject(AD, node): enqueue matching objects at this node."""
+    for obj, delta in directory.node_objects(node):
+        if obj.object_id in visited_objects:
+            continue
+        if predicate.matches(obj):
+            frontier.push_object(obj.object_id, distance + delta, (node, delta))

@@ -1,0 +1,235 @@
+"""Index persistence: save a built ROAD framework to bytes and reload it.
+
+Partitioning and shortcut computation dominate build time (Figure 19's
+index-time curve); persisting them lets a deployment reopen an index in
+seconds.  The on-disk format reuses the record codecs of
+:mod:`repro.storage.codecs`, so the same layouts that drive page-occupancy
+accounting also round-trip through real bytes.
+
+Format (little-endian, section order fixed)::
+
+    magic "ROADIDX1" | metric | reduce-flag
+    nodes   : count, then (id, x, y) records
+    edges   : count, then (u, v, distance) triples
+    rnets   : count, then (id, level, child-ids, edge-pair list)
+    shortcuts: count, then (source, target, rnet, distance, via list)
+    directories: count, then name + object records (with host edges)
+
+Attached directories are saved with their objects; abstracts are rebuilt on
+load (they are derived data), using the factory given to :func:`load_road`.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Optional, Union
+
+from repro.core.framework import ROAD, BuildReport
+from repro.core.object_abstract import AbstractFactory, exact_abstract
+from repro.core.rnet import RnetHierarchy
+from repro.core.route_overlay import RouteOverlay
+from repro.core.shortcuts import Shortcut, ShortcutIndex
+from repro.graph.network import RoadNetwork
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.partition.hierarchy import PartitionNode
+from repro.storage import codecs
+from repro.storage.pager import PageManager
+
+MAGIC = b"ROADIDX1"
+_U32 = struct.Struct("<I")
+
+PathLike = Union[str, Path]
+
+
+class SerializeError(Exception):
+    """Raised on malformed index files."""
+
+
+# ---------------------------------------------------------------------------
+# Saving
+# ---------------------------------------------------------------------------
+
+def save_road(road: ROAD, path: PathLike) -> int:
+    """Write a built framework to ``path``; returns bytes written."""
+    with open(path, "wb") as handle:
+        return _write(road, handle)
+
+
+def _write(road: ROAD, out: BinaryIO) -> int:
+    written = out.write(MAGIC)
+    written += out.write(codecs.encode_str(road.network.metric))
+    written += out.write(bytes([1 if road.shortcuts.reduce else 0]))
+
+    network = road.network
+    written += out.write(_U32.pack(network.num_nodes))
+    for node in sorted(network.node_ids()):
+        x, y = network.coords(node)
+        written += out.write(codecs.encode_node_record(node, x, y))
+
+    edges = sorted(network.edges())
+    written += out.write(_U32.pack(len(edges)))
+    for u, v, distance in edges:
+        written += out.write(codecs.encode_int(u))
+        written += out.write(codecs.encode_int(v))
+        written += out.write(codecs.encode_float(distance))
+
+    rnets = sorted(road.hierarchy.rnets(), key=lambda r: r.rnet_id)
+    written += out.write(_U32.pack(len(rnets)))
+    for rnet in rnets:
+        written += out.write(codecs.encode_int(rnet.rnet_id))
+        written += out.write(codecs.encode_int(rnet.level))
+        written += out.write(codecs.encode_int_list(sorted(rnet.children)))
+        flat: List[int] = []
+        for u, v in sorted(rnet.edges) if rnet.is_leaf else []:
+            flat.extend((u, v))
+        written += out.write(codecs.encode_int_list(flat))
+
+    shortcuts = [
+        shortcut
+        for rnet in rnets
+        for shortcut in road.shortcuts.of_rnet(rnet.rnet_id)
+    ]
+    written += out.write(_U32.pack(len(shortcuts)))
+    for shortcut in shortcuts:
+        written += out.write(codecs.encode_int(shortcut.source))
+        written += out.write(
+            codecs.encode_shortcut(
+                shortcut.target,
+                shortcut.distance,
+                shortcut.rnet_id,
+                list(shortcut.via),
+            )
+        )
+
+    names = road.directory_names
+    written += out.write(_U32.pack(len(names)))
+    for name in names:
+        directory = road.directory(name)
+        written += out.write(codecs.encode_str(name))
+        written += out.write(_U32.pack(directory.object_count))
+        for obj in directory.objects:
+            written += out.write(
+                codecs.encode_object_record(
+                    obj.object_id, obj.edge[0], obj.delta, obj.attrs
+                )
+            )
+            written += out.write(codecs.encode_int(obj.edge[1]))
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+def load_road(
+    path: PathLike,
+    *,
+    buffer_pages: int = 50,
+    abstract_factory: AbstractFactory = exact_abstract,
+) -> ROAD:
+    """Reload a framework saved by :func:`save_road`.
+
+    The Route Overlay pages and directory abstracts are rebuilt (cheap);
+    the persisted partitioning and shortcut sets are reused as-is.
+    """
+    data = Path(path).read_bytes()
+    if data[: len(MAGIC)] != MAGIC:
+        raise SerializeError(f"{path}: not a ROAD index file")
+    offset = len(MAGIC)
+    metric, offset = codecs.decode_str(data, offset)
+    reduce_flag = bool(data[offset])
+    offset += 1
+
+    network = RoadNetwork(metric=metric)
+    (count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    for _ in range(count):
+        (node, x, y), offset = codecs.decode_node_record(data, offset)
+        network.add_node(node, x, y)
+    (count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    for _ in range(count):
+        u, offset = codecs.decode_int(data, offset)
+        v, offset = codecs.decode_int(data, offset)
+        distance, offset = codecs.decode_float(data, offset)
+        network.add_edge(u, v, distance)
+
+    (count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    records = []
+    for _ in range(count):
+        rnet_id, offset = codecs.decode_int(data, offset)
+        level, offset = codecs.decode_int(data, offset)
+        children, offset = codecs.decode_int_list(data, offset)
+        flat, offset = codecs.decode_int_list(data, offset)
+        edges = frozenset(
+            (flat[i], flat[i + 1]) for i in range(0, len(flat), 2)
+        )
+        records.append((rnet_id, level, children, edges))
+    tree = _rebuild_tree(records)
+    hierarchy = RnetHierarchy(network, tree)
+
+    shortcuts = ShortcutIndex(reduce=reduce_flag)
+    (count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    for _ in range(count):
+        source, offset = codecs.decode_int(data, offset)
+        (target, rnet_id, distance, via), offset = codecs.decode_shortcut(
+            data, offset
+        )
+        shortcuts.put(Shortcut(source, target, rnet_id, distance, tuple(via)))
+
+    pager = PageManager(buffer_pages=buffer_pages, name="road")
+    overlay = RouteOverlay(pager, network, hierarchy, shortcuts)
+    road = ROAD(network, hierarchy, shortcuts, overlay, pager, BuildReport())
+
+    (count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    for _ in range(count):
+        name, offset = codecs.decode_str(data, offset)
+        (obj_count,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        objects = ObjectSet()
+        for _ in range(obj_count):
+            (oid, u, delta, attrs), offset = codecs.decode_object_record(
+                data, offset
+            )
+            v, offset = codecs.decode_int(data, offset)
+            objects.add(SpatialObject(oid, (u, v), delta, attrs))
+        road.attach_objects(
+            objects, name=name, abstract_factory=abstract_factory
+        )
+    return road
+
+
+def _rebuild_tree(records) -> PartitionNode:
+    """Reassemble the PartitionNode tree from flat Rnet records.
+
+    Leaf records carry their edge sets; internal edge sets are the unions
+    of their children (Definition 4), rebuilt bottom-up.
+    """
+    by_id: Dict[int, PartitionNode] = {}
+    children_of: Dict[int, List[int]] = {}
+    child_ids = set()
+    for rnet_id, level, children, edges in records:
+        by_id[rnet_id] = PartitionNode(rnet_id, level, edges)
+        children_of[rnet_id] = children
+        child_ids.update(children)
+    roots = [rid for rid, _, _, _ in records if rid not in child_ids]
+    if len(roots) != 1:
+        raise SerializeError(f"expected one root Rnet, found {len(roots)}")
+
+    def attach(rnet_id: int) -> frozenset:
+        node = by_id[rnet_id]
+        if not children_of[rnet_id]:
+            return node.edges
+        union = set()
+        for child_id in children_of[rnet_id]:
+            node.children.append(by_id[child_id])
+            union |= attach(child_id)
+        node.edges = frozenset(union)
+        return node.edges
+
+    attach(roots[0])
+    return by_id[roots[0]]

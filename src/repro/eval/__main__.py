@@ -1,0 +1,6 @@
+"""``python -m repro.eval`` entry point."""
+
+from repro.eval.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

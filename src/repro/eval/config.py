@@ -1,0 +1,134 @@
+"""Evaluation parameters (Table 1) and scaling profiles.
+
+The paper's Table 1:
+
+    Network            CA (21,048 nodes / 21,693 edges) [default]
+                       NA (175,813 / 179,179), SF (174,956 / 223,001)
+    No. of objects     10, 50, 100*, 500, 1000
+    Partition factor   p = 4
+    No. of levels      l = 2..6 for CA (default 4), 6..10 for NA/SF (def. 8)
+    Query              kNN* and range
+    k                  1, 5*, 10
+    Search range r     0.05, 0.1*, 0.2 of network diameter
+
+Full-size networks are hours of pure-Python work, so the default profile is
+a scaled replica (~1:10); set ``REPRO_SCALE=paper`` to run paper-sized
+networks.  All relative comparisons (who wins, growth shapes) are preserved
+— see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Table 1 object cardinalities.
+OBJECT_COUNTS: Tuple[int, ...] = (10, 50, 100, 500, 1000)
+DEFAULT_OBJECTS = 100
+
+#: Table 1 query parameters.
+K_VALUES: Tuple[int, ...] = (1, 5, 10)
+DEFAULT_K = 5
+RANGE_FRACTIONS: Tuple[float, ...] = (0.05, 0.1, 0.2)
+DEFAULT_RANGE_FRACTION = 0.1
+
+#: Partition factor p (Table 1).
+PARTITION_FANOUT = 4
+
+#: Queries averaged per configuration (paper: 100).
+PAPER_QUERIES_PER_RUN = 100
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Size and hierarchy parameters for one evaluation network.
+
+    ``buffer_pages`` keeps the paper's buffer:data ratio at every scale:
+    the full-size networks use the paper's 50-page LRU cache; the mini
+    replicas shrink the buffer proportionally so queries still exercise
+    real page replacement instead of running fully cached.
+    """
+
+    name: str
+    num_nodes: int
+    edge_ratio: float
+    clusters: int
+    seed: int
+    default_levels: int
+    level_sweep: Tuple[int, ...]
+    buffer_pages: int = 50
+
+
+#: The paper's full-size profiles.
+PAPER_PROFILES: Dict[str, NetworkProfile] = {
+    "CA": NetworkProfile("CA", 21048, 1.031, 0, 7, 4, (2, 3, 4, 5, 6), 50),
+    "NA": NetworkProfile("NA", 175813, 1.019, 12, 11, 8, (6, 7, 8, 9, 10), 50),
+    "SF": NetworkProfile("SF", 174956, 1.275, 0, 13, 8, (6, 7, 8, 9, 10), 50),
+}
+
+#: ~1:10 replicas: trends survive, pure-Python runtimes stay in minutes.
+MINI_PROFILES: Dict[str, NetworkProfile] = {
+    "CA": NetworkProfile("CA", 2100, 1.031, 0, 7, 4, (2, 3, 4, 5, 6), 6),
+    "NA": NetworkProfile("NA", 4000, 1.019, 12, 11, 5, (3, 4, 5, 6, 7), 8),
+    "SF": NetworkProfile("SF", 4000, 1.275, 0, 13, 5, (3, 4, 5, 6, 7), 8),
+}
+
+
+def scale_profile() -> str:
+    """Active scale: ``mini`` (default) or ``paper`` via REPRO_SCALE."""
+    scale = os.environ.get("REPRO_SCALE", "mini").lower()
+    if scale not in ("mini", "paper"):
+        raise ValueError(f"REPRO_SCALE must be 'mini' or 'paper', got {scale!r}")
+    return scale
+
+
+def profiles() -> Dict[str, NetworkProfile]:
+    """Network profiles for the active scale."""
+    return PAPER_PROFILES if scale_profile() == "paper" else MINI_PROFILES
+
+
+def profile(name: str) -> NetworkProfile:
+    """One network's profile for the active scale."""
+    try:
+        return profiles()[name]
+    except KeyError:
+        raise KeyError(f"unknown network {name!r}; choose from CA, NA, SF") from None
+
+
+def queries_per_run() -> int:
+    """Queries averaged per configuration (REPRO_QUERIES overrides)."""
+    override = os.environ.get("REPRO_QUERIES")
+    if override:
+        return max(1, int(override))
+    return PAPER_QUERIES_PER_RUN if scale_profile() == "paper" else 20
+
+
+def table1_rows() -> list:
+    """The rows of Table 1, for the parameter-sheet bench."""
+    rows = []
+    for name, prof in PAPER_PROFILES.items():
+        rows.append(
+            {
+                "parameter": f"Network {name}",
+                "values": f"{prof.num_nodes:,} nodes, "
+                f"{int(prof.num_nodes * prof.edge_ratio):,} edges",
+            }
+        )
+    rows.extend(
+        [
+            {"parameter": "No. of objects |O|", "values": "10, 50, 100*, 500, 1000"},
+            {"parameter": "Partition factor p", "values": "4*"},
+            {
+                "parameter": "No. of levels l",
+                "values": "2-6 for CA (4*), 6-10 for NA and SF (8*)",
+            },
+            {"parameter": "Query", "values": "kNN query* and range query"},
+            {"parameter": "No. of NNs k", "values": "1, 5*, 10"},
+            {
+                "parameter": "Search range r",
+                "values": "0.05, 0.1*, 0.2 of network diameter",
+            },
+        ]
+    )
+    return rows

@@ -1,0 +1,72 @@
+"""Evaluation dataset registry.
+
+Provides the CA / NA / SF replicas at the active scale, memoised per
+process, with their estimated diameters (range radii are fractions of the
+diameter, Table 1).  If the real Li-format files are available, point
+``REPRO_DATA_DIR`` at a directory containing ``{CA,NA,SF}.cnode`` /
+``.cedge`` and they will be used instead of the synthetic replicas.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from repro.eval.config import NetworkProfile, profile
+from repro.graph.generators import road_network
+from repro.graph.io import load_network
+from repro.graph.network import RoadNetwork
+from repro.graph.shortest_path import estimate_diameter
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named evaluation network with its cached diameter."""
+
+    name: str
+    network: RoadNetwork
+    diameter: float
+
+    def radius(self, fraction: float) -> float:
+        """A range-query radius as a fraction of the network diameter."""
+        return self.diameter * fraction
+
+
+@lru_cache(maxsize=8)
+def load_dataset(name: str, num_nodes: Optional[int] = None) -> Dataset:
+    """Load (or synthesise) one evaluation network.
+
+    ``num_nodes`` overrides the profile size (used by heavyweight sweeps
+    that need smaller replicas, documented per bench).
+    """
+    prof = profile(name)
+    real = _real_files(name)
+    if real is not None and num_nodes is None:
+        network = load_network(*real)
+    else:
+        network = road_network(
+            num_nodes if num_nodes is not None else prof.num_nodes,
+            prof.edge_ratio,
+            seed=prof.seed,
+            clusters=prof.clusters,
+        )
+    return Dataset(name, network, estimate_diameter(network))
+
+
+def dataset_levels(name: str) -> int:
+    """The default Rnet hierarchy depth for a network (Table 1)."""
+    return profile(name).default_levels
+
+
+def _real_files(name: str):
+    data_dir = os.environ.get("REPRO_DATA_DIR")
+    if not data_dir:
+        return None
+    node_file = Path(data_dir) / f"{name}.cnode"
+    edge_file = Path(data_dir) / f"{name}.cedge"
+    if node_file.exists() and edge_file.exists():
+        return node_file, edge_file
+    return None

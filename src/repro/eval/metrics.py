@@ -1,0 +1,96 @@
+"""Measurement primitives: wall time + page I/O per operation.
+
+The paper reports processing time per query (cold cache: "In every run, a
+query is initialized with an empty cache") and illustrates per-query page
+I/O (Figure 11).  These helpers standardise that protocol across engines.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.baselines.engine import SearchEngine
+from repro.queries.types import ResultEntry
+
+
+@dataclass(frozen=True)
+class QueryMeasurement:
+    """One query's cost."""
+
+    elapsed_ms: float
+    io_reads: int
+    io_total: int
+    result_size: int
+
+
+@dataclass
+class WorkloadSummary:
+    """Aggregate over a workload (the averages the figures plot)."""
+
+    label: str
+    measurements: List[QueryMeasurement] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.measurements)
+
+    @property
+    def mean_ms(self) -> float:
+        """Average processing time in milliseconds."""
+        if not self.measurements:
+            return 0.0
+        return statistics.fmean(m.elapsed_ms for m in self.measurements)
+
+    @property
+    def median_ms(self) -> float:
+        if not self.measurements:
+            return 0.0
+        return statistics.median(m.elapsed_ms for m in self.measurements)
+
+    @property
+    def mean_io(self) -> float:
+        """Average pages read per query."""
+        if not self.measurements:
+            return 0.0
+        return statistics.fmean(m.io_reads for m in self.measurements)
+
+    @property
+    def mean_result_size(self) -> float:
+        if not self.measurements:
+            return 0.0
+        return statistics.fmean(m.result_size for m in self.measurements)
+
+
+def measure_query(engine: SearchEngine, query) -> QueryMeasurement:
+    """Run one query cold (empty cache) and capture time + I/O."""
+    engine.reset_io()
+    start = time.perf_counter()
+    result: List[ResultEntry] = engine.execute(query)
+    elapsed = time.perf_counter() - start
+    stats = engine.io_snapshot()
+    return QueryMeasurement(
+        elapsed_ms=elapsed * 1000.0,
+        io_reads=stats.reads,
+        io_total=stats.total_io,
+        result_size=len(result),
+    )
+
+
+def run_workload(
+    engine: SearchEngine, queries: Sequence, label: str = ""
+) -> WorkloadSummary:
+    """Measure a whole workload (each query starts cold, per the paper)."""
+    summary = WorkloadSummary(label or engine.name)
+    for query in queries:
+        summary.measurements.append(measure_query(engine, query))
+    return summary
+
+
+def time_call(fn: Callable, *args, **kwargs):
+    """(result, seconds) of one call — used for build/update timings."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,95 @@
+"""Engine construction helpers for the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.baselines import (
+    DistanceIndexEngine,
+    EuclideanEngine,
+    NetworkExpansionEngine,
+    ROADEngine,
+    SearchEngine,
+)
+from repro.eval.datasets import Dataset, dataset_levels
+from repro.graph.network import RoadNetwork
+from repro.objects.model import ObjectSet
+from repro.objects.placement import place_uniform
+from repro.storage.pager import PageManager
+
+#: Engine labels in the order the figures list them.
+ENGINE_ORDER = ("NetExp", "Euclidean", "DistIdx", "ROAD")
+
+
+def make_objects(
+    network: RoadNetwork, count: int, *, seed: int = 0
+) -> ObjectSet:
+    """The evaluation's object workload: uniform over the network."""
+    return place_uniform(network, count, seed=seed)
+
+
+def _buffer_for(network: RoadNetwork, buffer_pages: Optional[int]) -> int:
+    """Buffer size preserving the paper's buffer:data ratio (see config)."""
+    if buffer_pages is not None:
+        return buffer_pages
+    from repro.eval.config import profiles
+
+    for prof in profiles().values():
+        if abs(prof.num_nodes - network.num_nodes) <= prof.num_nodes * 0.2:
+            return prof.buffer_pages
+    return 50
+
+
+def build_engine(
+    name: str,
+    network: RoadNetwork,
+    objects: ObjectSet,
+    *,
+    road_levels: Optional[int] = None,
+    road_fanout: int = 4,
+    buffer_pages: Optional[int] = None,
+) -> SearchEngine:
+    """One engine over a private copy of the network (no cross-talk)."""
+    private = network.copy()
+    pager = PageManager(
+        buffer_pages=_buffer_for(network, buffer_pages), name=name
+    )
+    if name == "NetExp":
+        return NetworkExpansionEngine(private, objects, pager)
+    if name == "Euclidean":
+        return EuclideanEngine(private, objects, pager)
+    if name == "DistIdx":
+        return DistanceIndexEngine(private, objects, pager)
+    if name == "ROAD":
+        return ROADEngine(
+            private,
+            objects,
+            pager,
+            levels=road_levels if road_levels is not None else 4,
+            fanout=road_fanout,
+        )
+    raise KeyError(f"unknown engine {name!r}")
+
+
+def build_engines(
+    dataset: Dataset,
+    objects: ObjectSet,
+    *,
+    engines: Sequence[str] = ENGINE_ORDER,
+    road_levels: Optional[int] = None,
+) -> Dict[str, SearchEngine]:
+    """All requested engines over one dataset + object set."""
+    from repro.eval.config import profile
+
+    levels = road_levels if road_levels is not None else dataset_levels(dataset.name)
+    buffer_pages = profile(dataset.name).buffer_pages
+    return {
+        name: build_engine(
+            name,
+            dataset.network,
+            objects,
+            road_levels=levels,
+            buffer_pages=buffer_pages,
+        )
+        for name in engines
+    }

@@ -1,0 +1,49 @@
+"""Road-network substrate: graph model, shortest paths, generators, I/O."""
+
+from repro.graph.generators import (
+    ca_like,
+    chain_network,
+    grid_network,
+    na_like,
+    road_network,
+    sf_like,
+    travel_time_metric,
+)
+from repro.graph.io import load_network, save_network
+from repro.graph.network import NetworkError, RoadNetwork, edge_key
+from repro.graph.shortest_path import (
+    astar,
+    dijkstra,
+    dijkstra_distances,
+    estimate_diameter,
+    euclidean_heuristic,
+    network_distance,
+    shortest_path,
+    Unreachable,
+)
+from repro.graph.stats import NetworkStats, network_stats
+
+__all__ = [
+    "NetworkError",
+    "NetworkStats",
+    "RoadNetwork",
+    "Unreachable",
+    "astar",
+    "ca_like",
+    "chain_network",
+    "dijkstra",
+    "dijkstra_distances",
+    "edge_key",
+    "estimate_diameter",
+    "euclidean_heuristic",
+    "grid_network",
+    "load_network",
+    "na_like",
+    "network_distance",
+    "network_stats",
+    "road_network",
+    "save_network",
+    "sf_like",
+    "shortest_path",
+    "travel_time_metric",
+]

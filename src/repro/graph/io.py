@@ -1,0 +1,83 @@
+"""Road-network file I/O in the Li dataset format [14].
+
+The evaluation networks (CA, NA, SF) ship as two text files:
+
+* node file — ``NodeID  x  y`` per line,
+* edge file — ``EdgeID  StartNodeID  EndNodeID  distance`` per line.
+
+:func:`load_network` reads that format, so the benchmarks run on the real
+datasets whenever the files are present; :func:`save_network` writes it so
+synthetic networks can be exported and inspected with the same tooling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.graph.network import RoadNetwork
+
+PathLike = Union[str, Path]
+
+
+class NetworkFormatError(Exception):
+    """Raised when a node/edge file line cannot be parsed."""
+
+
+def load_network(
+    node_path: PathLike, edge_path: PathLike, *, metric: str = "distance"
+) -> RoadNetwork:
+    """Load a network from Li-format node and edge files."""
+    network = RoadNetwork(metric=metric)
+    node_path = Path(node_path)
+    edge_path = Path(edge_path)
+
+    with open(node_path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) < 3:
+                raise NetworkFormatError(
+                    f"{node_path}:{lineno}: expected 'id x y', got {line!r}"
+                )
+            try:
+                node_id = int(parts[0])
+                x, y = float(parts[1]), float(parts[2])
+            except ValueError as exc:
+                raise NetworkFormatError(
+                    f"{node_path}:{lineno}: bad node line {line!r}"
+                ) from exc
+            network.add_node(node_id, x, y)
+
+    with open(edge_path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) < 4:
+                raise NetworkFormatError(
+                    f"{edge_path}:{lineno}: expected 'id u v dist', got {line!r}"
+                )
+            try:
+                u, v = int(parts[1]), int(parts[2])
+                distance = float(parts[3])
+            except ValueError as exc:
+                raise NetworkFormatError(
+                    f"{edge_path}:{lineno}: bad edge line {line!r}"
+                ) from exc
+            if network.has_edge(u, v):
+                continue  # real files contain both directions of each road
+            network.add_edge(u, v, distance)
+    return network
+
+
+def save_network(network: RoadNetwork, node_path: PathLike, edge_path: PathLike) -> None:
+    """Write a network as Li-format node and edge files."""
+    with open(node_path, "w") as handle:
+        for node_id in sorted(network.node_ids()):
+            x, y = network.coords(node_id)
+            handle.write(f"{node_id} {x:.6f} {y:.6f}\n")
+    with open(edge_path, "w") as handle:
+        for edge_id, (u, v, distance) in enumerate(sorted(network.edges())):
+            handle.write(f"{edge_id} {u} {v} {distance:.6f}\n")

@@ -1,0 +1,46 @@
+"""Network statistics used to configure and report experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.network import RoadNetwork
+from repro.graph.shortest_path import estimate_diameter
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Summary of a road network's size and shape."""
+
+    num_nodes: int
+    num_edges: int
+    edge_node_ratio: float
+    avg_degree: float
+    max_degree: int
+    diameter: float
+    total_length: float
+    connected: bool
+
+    def describe(self) -> str:
+        """One-line summary matching Table 1's presentation style."""
+        return (
+            f"{self.num_nodes:,} nodes, {self.num_edges:,} edges "
+            f"(ratio {self.edge_node_ratio:.3f}, diameter {self.diameter:.1f})"
+        )
+
+
+def network_stats(network: RoadNetwork, *, diameter_sweeps: int = 2) -> NetworkStats:
+    """Compute the :class:`NetworkStats` of a network."""
+    degrees = [network.degree(n) for n in network.node_ids()]
+    num_nodes = network.num_nodes
+    num_edges = network.num_edges
+    return NetworkStats(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        edge_node_ratio=num_edges / num_nodes if num_nodes else 0.0,
+        avg_degree=sum(degrees) / num_nodes if num_nodes else 0.0,
+        max_degree=max(degrees) if degrees else 0,
+        diameter=estimate_diameter(network, sweeps=diameter_sweeps),
+        total_length=network.total_edge_distance(),
+        connected=network.connected(),
+    )

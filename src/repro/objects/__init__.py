@@ -1,0 +1,17 @@
+"""Spatial objects: model, placement generators, compact summaries."""
+
+from repro.objects.bloom import BloomFilter
+from repro.objects.model import ObjectError, ObjectSet, SpatialObject
+from repro.objects.placement import place_clustered, place_uniform
+from repro.objects.signature import Signature, SignatureScheme
+
+__all__ = [
+    "BloomFilter",
+    "ObjectError",
+    "ObjectSet",
+    "Signature",
+    "SignatureScheme",
+    "SpatialObject",
+    "place_clustered",
+    "place_uniform",
+]

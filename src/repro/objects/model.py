@@ -1,0 +1,141 @@
+"""Spatial objects.
+
+Section 3.1: "objects reside on edges ... We denote a set of objects on edge
+(n, n') by O(n, n') and the distance from an object o ∈ O(n, n') to the
+nodes n and n' by δ(o, n) and δ(o, n')".  A :class:`SpatialObject` therefore
+carries its host edge, its offset from the edge's canonical first endpoint,
+and free-form string attributes (``o.a`` of the attribute predicate ``A``).
+
+:class:`ObjectSet` is the content-provider collection: objects indexed by id
+and by host edge, ready to be mapped onto a network through an Association
+Directory (or consumed directly by the baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.graph.network import EdgeKey, RoadNetwork, edge_key
+
+
+class ObjectError(Exception):
+    """Raised on invalid object definitions or set operations."""
+
+
+@dataclass(frozen=True)
+class SpatialObject:
+    """An object on a road segment.
+
+    ``delta`` measures along the edge from the canonical first endpoint
+    (``edge[0]``, the smaller node id); δ(o, edge[1]) follows from the edge
+    distance at lookup time.
+    """
+
+    object_id: int
+    edge: EdgeKey
+    delta: float
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        u, v = self.edge
+        if u > v:
+            object.__setattr__(self, "edge", (v, u))
+        if self.delta < 0:
+            raise ObjectError(
+                f"object {self.object_id}: negative offset {self.delta}"
+            )
+
+    def offset_from(self, node: int, edge_distance: float) -> float:
+        """δ(o, node) for either endpoint of the host edge."""
+        if node == self.edge[0]:
+            return self.delta
+        if node == self.edge[1]:
+            remainder = edge_distance - self.delta
+            if remainder < -1e-9:
+                raise ObjectError(
+                    f"object {self.object_id}: offset {self.delta} exceeds "
+                    f"edge distance {edge_distance}"
+                )
+            return max(remainder, 0.0)
+        raise ObjectError(f"node {node} is not an endpoint of {self.edge}")
+
+    def attr(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Attribute value or ``default``."""
+        return self.attrs.get(key, default)
+
+
+class ObjectSet:
+    """A collection of spatial objects indexed by id and by host edge."""
+
+    def __init__(self, objects: Iterable[SpatialObject] = ()) -> None:
+        self._by_id: Dict[int, SpatialObject] = {}
+        self._by_edge: Dict[EdgeKey, List[int]] = {}
+        for obj in objects:
+            self.add(obj)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        return iter(self._by_id.values())
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._by_id
+
+    def add(self, obj: SpatialObject) -> None:
+        """Add an object; ids must be unique within the set."""
+        if obj.object_id in self._by_id:
+            raise ObjectError(f"object {obj.object_id} already present")
+        self._by_id[obj.object_id] = obj
+        self._by_edge.setdefault(obj.edge, []).append(obj.object_id)
+
+    def remove(self, object_id: int) -> SpatialObject:
+        """Remove and return an object."""
+        try:
+            obj = self._by_id.pop(object_id)
+        except KeyError:
+            raise ObjectError(f"object {object_id} not present") from None
+        peers = self._by_edge[obj.edge]
+        peers.remove(object_id)
+        if not peers:
+            del self._by_edge[obj.edge]
+        return obj
+
+    def get(self, object_id: int) -> SpatialObject:
+        """Object by id."""
+        try:
+            return self._by_id[object_id]
+        except KeyError:
+            raise ObjectError(f"object {object_id} not present") from None
+
+    def on_edge(self, u: int, v: int) -> List[SpatialObject]:
+        """``O(u, v)`` — objects hosted on edge (u, v)."""
+        return [
+            self._by_id[i] for i in self._by_edge.get(edge_key(u, v), ())
+        ]
+
+    def ids(self) -> List[int]:
+        """All object ids."""
+        return list(self._by_id)
+
+    def edges(self) -> List[EdgeKey]:
+        """Distinct edges hosting at least one object."""
+        return list(self._by_edge)
+
+    def next_id(self) -> int:
+        """Smallest id larger than any in use (for inserting new objects)."""
+        return max(self._by_id, default=-1) + 1
+
+    def validate_against(self, network: RoadNetwork) -> None:
+        """Check every object sits on an existing edge within its length."""
+        for obj in self:
+            u, v = obj.edge
+            if not network.has_edge(u, v):
+                raise ObjectError(
+                    f"object {obj.object_id} on missing edge {obj.edge}"
+                )
+            if obj.delta > network.edge_distance(u, v) + 1e-9:
+                raise ObjectError(
+                    f"object {obj.object_id} offset beyond edge length"
+                )

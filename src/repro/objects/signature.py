@@ -1,0 +1,90 @@
+"""Superimposed-coding signatures [5].
+
+The second compact object-abstract representation Section 3.4 cites:
+each attribute value maps to a fixed-weight bit pattern (a *word
+signature*); an Rnet's abstract is the OR of its objects' signatures.  A
+query signature matches if all its bits are present — no false negatives,
+tunable false positives.  Unlike a Bloom filter over object ids, signatures
+summarise *attribute values*, so an attribute predicate can prune Rnets
+whose objects are all of the wrong type.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable
+
+
+class SignatureScheme:
+    """Shared geometry for signatures: width and bits-per-value."""
+
+    def __init__(self, num_bits: int = 128, bits_per_value: int = 4) -> None:
+        if num_bits < 8:
+            raise ValueError("num_bits must be >= 8")
+        if not 1 <= bits_per_value <= num_bits:
+            raise ValueError("bits_per_value out of range")
+        self.num_bits = num_bits
+        self.bits_per_value = bits_per_value
+
+    def value_signature(self, key: str, value: str) -> int:
+        """Fixed-weight bit pattern for one attribute (key, value) pair."""
+        bits = 0
+        counter = 0
+        token = f"{key}={value}".encode()
+        while bin(bits).count("1") < self.bits_per_value:
+            digest = hashlib.blake2b(
+                token + counter.to_bytes(4, "little"), digest_size=8
+            ).digest()
+            bits |= 1 << (int.from_bytes(digest, "little") % self.num_bits)
+            counter += 1
+        return bits
+
+    def object_signature(self, attrs: Dict[str, str]) -> int:
+        """OR of all attribute-value signatures of one object."""
+        sig = 0
+        for key, value in attrs.items():
+            sig |= self.value_signature(key, value)
+        return sig
+
+
+class Signature:
+    """A mutable OR-accumulated signature bound to a scheme."""
+
+    def __init__(self, scheme: SignatureScheme, bits: int = 0, count: int = 0) -> None:
+        self.scheme = scheme
+        self.bits = bits
+        self.count = count
+
+    def add_object(self, attrs: Dict[str, str]) -> None:
+        """Superimpose one object's attributes."""
+        self.bits |= self.scheme.object_signature(attrs)
+        self.count += 1
+
+    def may_contain(self, attrs: Dict[str, str]) -> bool:
+        """True unless some required attribute bit is missing.
+
+        An empty query (no attribute constraints) matches anything that has
+        at least one object.
+        """
+        if self.count == 0:
+            return False
+        pattern = self.scheme.object_signature(attrs)
+        return self.bits & pattern == pattern
+
+    def union(self, other: "Signature") -> "Signature":
+        """OR-combine two signatures (parent abstract from children)."""
+        if other.scheme.num_bits != self.scheme.num_bits:
+            raise ValueError("cannot union signatures of different widths")
+        return Signature(
+            self.scheme, self.bits | other.bits, self.count + other.count
+        )
+
+    def clear(self) -> None:
+        """Reset to empty."""
+        self.bits = 0
+        self.count = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size of the bitmap."""
+        return self.scheme.num_bits // 8

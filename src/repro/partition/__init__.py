@@ -1,0 +1,37 @@
+"""Network partitioning: geometric + KL bisection, hierarchies, variants."""
+
+from repro.partition.base import (
+    PartitionError,
+    balance_ratio,
+    cut_nodes,
+    incident_nodes,
+    validate_partition,
+)
+from repro.partition.geometric import edge_midpoint, geometric_bisection
+from repro.partition.grid import grid_partition_tree
+from repro.partition.hierarchy import (
+    PartitionNode,
+    build_partition_tree,
+    geometric_bisector,
+    kl_bisector,
+)
+from repro.partition.kl import refine_bisection
+from repro.partition.object_based import build_object_based_tree, object_weights
+
+__all__ = [
+    "PartitionError",
+    "PartitionNode",
+    "balance_ratio",
+    "build_object_based_tree",
+    "build_partition_tree",
+    "cut_nodes",
+    "edge_midpoint",
+    "geometric_bisection",
+    "geometric_bisector",
+    "grid_partition_tree",
+    "incident_nodes",
+    "kl_bisector",
+    "object_weights",
+    "refine_bisection",
+    "validate_partition",
+]

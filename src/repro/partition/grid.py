@@ -1,0 +1,66 @@
+"""Grid (semantic) partitioner.
+
+Section 3.3 notes that "partitioning can be based on network semantics",
+e.g. administrative regions.  A regular spatial grid is the simplest such
+semantic scheme: edges are assigned to cells by midpoint.  It serves as an
+ablation baseline against geometric+KL partitioning — cheap to compute but
+with more border nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.graph.network import EdgeKey, RoadNetwork
+from repro.partition.base import PartitionError
+from repro.partition.geometric import edge_midpoint
+from repro.partition.hierarchy import PartitionNode
+
+
+def grid_partition_tree(
+    network: RoadNetwork, *, levels: int, fanout: int = 4
+) -> PartitionNode:
+    """Partition by recursively splitting each region into a 2x2 grid.
+
+    ``fanout`` must be 4 (a 2x2 grid per level); levels follow the same
+    semantics as :func:`repro.partition.hierarchy.build_partition_tree`.
+    """
+    if fanout != 4:
+        raise PartitionError("grid partitioner only supports fanout=4 (2x2)")
+    if levels < 1:
+        raise PartitionError("levels must be >= 1")
+    ids = itertools.count()
+    all_edges = frozenset((u, v) for u, v, _ in network.edges())
+    root = PartitionNode(next(ids), 0, all_edges)
+    frontier = [root]
+    for level in range(1, levels + 1):
+        next_frontier: List[PartitionNode] = []
+        for node in frontier:
+            cells = _quad_split(network, set(node.edges))
+            if len(cells) < 2:
+                continue  # degenerate region stays a leaf
+            for cell in cells:
+                child = PartitionNode(next(ids), level, frozenset(cell))
+                node.children.append(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return root
+
+
+def _quad_split(network: RoadNetwork, edges: Set[EdgeKey]) -> List[Set[EdgeKey]]:
+    """Split edges into the non-empty quadrants of their bounding box."""
+    if len(edges) < 2:
+        return [edges]
+    midpoints = {edge: edge_midpoint(network, edge) for edge in edges}
+    xs = sorted(m[0] for m in midpoints.values())
+    ys = sorted(m[1] for m in midpoints.values())
+    # Median split keeps quadrants balanced on clustered layouts.
+    cx = xs[len(xs) // 2]
+    cy = ys[len(ys) // 2]
+    quadrants: Dict[Tuple[bool, bool], Set[EdgeKey]] = {}
+    for edge, (x, y) in midpoints.items():
+        quadrants.setdefault((x < cx, y < cy), set()).add(edge)
+    return [cell for cell in quadrants.values() if cell]

@@ -1,0 +1,161 @@
+"""Recursive Rnet partitioning.
+
+Section 3.3: "We set p_i to be power of 2 (i.e., p_i = 2^x ...) and
+recursively apply this binary partitioning until p_i Rnets are formed" —
+each binary step being geometric bisection followed by KL refinement.  The
+result here is a tree of edge sets; :mod:`repro.core.rnet` turns it into the
+Rnet hierarchy with border nodes per Definitions 1 and 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set
+
+from repro.graph.network import EdgeKey, RoadNetwork
+from repro.partition.base import PartitionError, validate_partition
+from repro.partition.geometric import geometric_bisection
+from repro.partition.kl import refine_bisection
+
+#: A bisector takes (network, edges) and returns two non-empty halves.
+Bisector = Callable[[RoadNetwork, Set[EdgeKey]], "tuple[Set[EdgeKey], Set[EdgeKey]]"]
+
+
+@dataclass
+class PartitionNode:
+    """One Rnet-to-be: an edge set and its child partitions."""
+
+    part_id: int
+    level: int
+    edges: FrozenSet[EdgeKey]
+    children: List["PartitionNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for finest Rnets (no further partitioning)."""
+        return not self.children
+
+    def descendants(self) -> List["PartitionNode"]:
+        """This node and every node below it, depth-first."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.descendants())
+        return out
+
+    def leaves(self) -> List["PartitionNode"]:
+        """All finest partitions under this node."""
+        return [node for node in self.descendants() if node.is_leaf]
+
+
+def kl_bisector(
+    *, weights: Optional[Dict[EdgeKey, float]] = None,
+    balance_tol: float = 0.1,
+    max_passes: int = 8,
+) -> Bisector:
+    """The paper's bisector: geometric split + KL border-node refinement."""
+
+    def bisect(network: RoadNetwork, edges: Set[EdgeKey]):
+        part_weights = (
+            None if weights is None else {e: weights[e] for e in edges}
+        )
+        left, right = geometric_bisection(network, edges, weights=part_weights)
+        left, right, _ = refine_bisection(
+            network,
+            left,
+            right,
+            weights=part_weights,
+            balance_tol=balance_tol,
+            max_passes=max_passes,
+        )
+        return left, right
+
+    return bisect
+
+
+def geometric_bisector() -> Bisector:
+    """Geometric split only (no KL) — the ablation baseline partitioner."""
+
+    def bisect(network: RoadNetwork, edges: Set[EdgeKey]):
+        return geometric_bisection(network, edges)
+
+    return bisect
+
+
+def build_partition_tree(
+    network: RoadNetwork,
+    *,
+    levels: int,
+    fanout: int = 4,
+    bisector: Optional[Bisector] = None,
+    min_edges: int = 2,
+) -> PartitionNode:
+    """Partition a network into an ``levels``-deep tree of edge sets.
+
+    Parameters
+    ----------
+    network:
+        The road network to partition (level-0 Rnet).
+    levels:
+        Number of partitioning levels ``l``; level 0 is the whole network.
+    fanout:
+        Children per Rnet ``p`` — must be a power of two (Section 3.3).
+    bisector:
+        Binary splitting strategy; defaults to geometric + KL.
+    min_edges:
+        Parts with fewer edges stop splitting early (a 1-edge Rnet cannot
+        be bisected), producing a ragged but valid hierarchy.
+
+    Returns
+    -------
+    The root :class:`PartitionNode` (level 0, all edges).
+    """
+    if levels < 1:
+        raise PartitionError("levels must be >= 1")
+    if fanout < 2 or fanout & (fanout - 1):
+        raise PartitionError(f"fanout must be a power of two, got {fanout}")
+    if network.num_edges < 1:
+        raise PartitionError("cannot partition an empty network")
+    bisect = bisector if bisector is not None else kl_bisector()
+    ids = itertools.count()
+
+    all_edges = frozenset((u, v) for u, v, _ in network.edges())
+    root = PartitionNode(next(ids), 0, all_edges)
+    frontier = [root]
+    for level in range(1, levels + 1):
+        next_frontier: List[PartitionNode] = []
+        for node in frontier:
+            if len(node.edges) < max(min_edges, 2):
+                continue  # too small to split further; stays a leaf
+            parts = _split_into(network, set(node.edges), fanout, bisect)
+            validate_partition(set(node.edges), parts)
+            for part in parts:
+                child = PartitionNode(next(ids), level, frozenset(part))
+                node.children.append(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return root
+
+
+def _split_into(
+    network: RoadNetwork,
+    edges: Set[EdgeKey],
+    fanout: int,
+    bisect: Bisector,
+) -> List[Set[EdgeKey]]:
+    """Recursive binary splitting of ``edges`` into up to ``fanout`` parts."""
+    parts: List[Set[EdgeKey]] = [edges]
+    while len(parts) < fanout:
+        # Split the largest part next so sizes stay balanced even when some
+        # part becomes too small to bisect.
+        parts.sort(key=len, reverse=True)
+        largest = parts[0]
+        if len(largest) < 2:
+            break
+        left, right = bisect(network, largest)
+        if not left or not right:
+            raise PartitionError("bisector returned an empty half")
+        parts = [left, right] + parts[1:]
+    return parts

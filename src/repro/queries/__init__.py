@@ -1,0 +1,27 @@
+"""LDSQ query types and workload generators."""
+
+from repro.queries.types import (
+    ANY,
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+    ResultEntry,
+    sort_result,
+)
+from repro.queries.workload import (
+    knn_workload,
+    random_query_nodes,
+    range_workload,
+)
+
+__all__ = [
+    "ANY",
+    "KNNQuery",
+    "Predicate",
+    "RangeQuery",
+    "ResultEntry",
+    "knn_workload",
+    "random_query_nodes",
+    "range_workload",
+    "sort_result",
+]

@@ -1,0 +1,99 @@
+"""Location-dependent spatial queries (LDSQs).
+
+Section 3.1: "Each LDSQ is specified with a distance condition D and
+attribute predicate A" — an object qualifies if its network distance from
+the query node satisfies ``D`` and its attributes satisfy ``A`` (e.g.
+``o.type = 'seafood'``).  The two common LDSQs the paper evaluates are kNN
+queries (distance condition: among the k smallest) and range queries
+(distance condition: within radius r).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.objects.model import SpatialObject
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Attribute predicate ``A``: conjunction of attribute equalities.
+
+    ``required`` is stored as a sorted tuple of (key, value) pairs so
+    predicates are hashable and order-independent.  An empty predicate
+    matches every object.
+    """
+
+    required: Tuple[Tuple[str, str], ...] = ()
+
+    @staticmethod
+    def of(**attrs: str) -> "Predicate":
+        """Predicate requiring ``key == value`` for every keyword argument."""
+        return Predicate(tuple(sorted(attrs.items())))
+
+    @staticmethod
+    def from_mapping(attrs: Mapping[str, str]) -> "Predicate":
+        """Predicate from a mapping of required attribute values."""
+        return Predicate(tuple(sorted(attrs.items())))
+
+    @property
+    def is_unconstrained(self) -> bool:
+        """True if every object matches."""
+        return not self.required
+
+    def as_dict(self) -> Dict[str, str]:
+        """Required attributes as a plain dict."""
+        return dict(self.required)
+
+    def matches(self, obj: SpatialObject) -> bool:
+        """True if the object satisfies every required attribute."""
+        return all(obj.attrs.get(key) == value for key, value in self.required)
+
+
+#: The unconstrained predicate (all objects are "of interest").
+ANY = Predicate()
+
+
+@dataclass(frozen=True)
+class KNNQuery:
+    """k-nearest-neighbour LDSQ issued at a network node.
+
+    Example from the paper's introduction — Q2: "find hotels within
+    10-minute walk" is a range query; "find the nearest bus station" is a
+    1-NN query.
+    """
+
+    node: int
+    k: int
+    predicate: Predicate = ANY
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """Range LDSQ: all matching objects within network distance ``radius``."""
+
+    node: int
+    radius: float
+    predicate: Predicate = ANY
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"radius must be >= 0, got {self.radius}")
+
+
+@dataclass(frozen=True)
+class ResultEntry:
+    """One answer object with its exact network distance from the query."""
+
+    object_id: int
+    distance: float
+
+
+def sort_result(entries: List[ResultEntry]) -> List[ResultEntry]:
+    """Order entries by (distance, object id) — the canonical result order."""
+    return sorted(entries, key=lambda e: (e.distance, e.object_id))

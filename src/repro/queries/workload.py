@@ -1,0 +1,55 @@
+"""Query workload generation.
+
+The evaluation issues "100 queries issued at random positions" per
+configuration (Section 6.3) and reports average processing time.  These
+helpers sample query nodes and build kNN / range workloads deterministically
+from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.network import RoadNetwork
+from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery
+
+
+def random_query_nodes(
+    network: RoadNetwork, count: int, *, seed: int = 0
+) -> List[int]:
+    """Sample ``count`` query nodes uniformly (with replacement)."""
+    rng = np.random.RandomState(seed)
+    nodes = sorted(network.node_ids())
+    return [nodes[i] for i in rng.randint(0, len(nodes), size=count)]
+
+
+def knn_workload(
+    network: RoadNetwork,
+    count: int,
+    k: int,
+    *,
+    seed: int = 0,
+    predicate: Predicate = ANY,
+) -> List[KNNQuery]:
+    """``count`` kNN queries at random nodes."""
+    return [
+        KNNQuery(node, k, predicate)
+        for node in random_query_nodes(network, count, seed=seed)
+    ]
+
+
+def range_workload(
+    network: RoadNetwork,
+    count: int,
+    radius: float,
+    *,
+    seed: int = 0,
+    predicate: Predicate = ANY,
+) -> List[RangeQuery]:
+    """``count`` range queries at random nodes with a fixed radius."""
+    return [
+        RangeQuery(node, radius, predicate)
+        for node in random_query_nodes(network, count, seed=seed)
+    ]

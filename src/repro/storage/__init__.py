@@ -1,0 +1,35 @@
+"""Simulated disk storage substrate.
+
+Reproduces the paper's storage set-up (Section 6): 4 KB pages, a 50-page LRU
+buffer, CCAM-clustered network pages [18], and paged B+-tree / R-tree
+indexes, all with logical I/O accounting.
+"""
+
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.ccam import NetworkStore
+from repro.storage.pager import (
+    IOStats,
+    Page,
+    PageManager,
+    PageNotFoundError,
+    PageOverflowError,
+    PagerError,
+    PAGE_SIZE,
+)
+from repro.storage.rtree import Rect, RTree
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "IOStats",
+    "NetworkStore",
+    "Page",
+    "PageManager",
+    "PageNotFoundError",
+    "PageOverflowError",
+    "PagerError",
+    "PAGE_SIZE",
+    "Rect",
+    "RTree",
+]

@@ -1,0 +1,622 @@
+"""Paged B+-tree.
+
+Both ROAD components are "indexed by a B+-tree with unique node IDs as search
+keys" (Section 3.4): the Route Overlay keys nodes, the Association Directory
+keys nodes and Rnets.  The Distance-Index baseline stores per-node signatures
+the same way.  This module implements a classic disk-oriented B+-tree on top
+of :class:`~repro.storage.pager.PageManager`, so every descent and leaf walk
+is charged page I/O exactly like the paper's disk-resident indexes.
+
+Keys are signed 64-bit integers.  Values are arbitrary Python objects whose
+*serialized* size the caller declares at insert time (defaults to 16 bytes);
+leaves split when their byte budget overflows, which makes index sizes track
+the record codecs in :mod:`repro.storage.codecs`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.storage.codecs import INT_SIZE
+from repro.storage.pager import PAGE_HEADER_SIZE, PAGE_SIZE, Page, PageManager
+
+#: Per-leaf overhead: next/prev sibling pointers.
+_LEAF_OVERHEAD = 2 * INT_SIZE
+
+#: Byte budget available to leaf entries.
+LEAF_CAPACITY_BYTES = PAGE_SIZE - PAGE_HEADER_SIZE - _LEAF_OVERHEAD
+
+#: Maximum children of an internal node with 8-byte keys and pointers.
+INTERNAL_MAX_CHILDREN = (PAGE_SIZE - PAGE_HEADER_SIZE) // (2 * INT_SIZE)
+
+#: Default declared size for values whose caller does not provide one.
+DEFAULT_VALUE_SIZE = 2 * INT_SIZE
+
+
+class BPlusTreeError(Exception):
+    """Raised on structural misuse (oversized record, corrupted node)."""
+
+
+class _LeafNode:
+    """Leaf page payload: sorted keys with values and their byte sizes."""
+
+    __slots__ = ("keys", "values", "sizes", "next_leaf", "prev_leaf")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.values: List[Any] = []
+        self.sizes: List[int] = []
+        self.next_leaf: Optional[int] = None
+        self.prev_leaf: Optional[int] = None
+
+    @property
+    def nbytes(self) -> int:
+        return _LEAF_OVERHEAD + len(self.keys) * INT_SIZE + sum(self.sizes)
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+class _InternalNode:
+    """Internal page payload: separator keys and child page ids.
+
+    ``children[i]`` covers keys < ``keys[i]``; ``children[-1]`` covers the
+    rest (left-biased separators: equal keys go right).
+    """
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.children: List[int] = []
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.keys) * INT_SIZE + len(self.children) * INT_SIZE
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+class BPlusTree:
+    """Disk-style B+-tree mapping int keys to Python values.
+
+    Parameters
+    ----------
+    pager:
+        Page manager that owns this tree's pages (shared across indexes in
+        the benchmarks so I/O is accounted globally).
+    name:
+        Page ``kind`` tag, letting several trees share one pager.
+    order:
+        Optional fan-out override (maximum children per internal node and
+        maximum entries per leaf).  Small orders force deep trees in tests;
+        production trees use the page-derived default.
+    """
+
+    def __init__(
+        self,
+        pager: PageManager,
+        name: str = "bptree",
+        order: Optional[int] = None,
+    ) -> None:
+        if order is not None and order < 3:
+            raise ValueError("order must be >= 3")
+        self._pager = pager
+        self.name = name
+        self._max_children = order if order is not None else INTERNAL_MAX_CHILDREN
+        self._max_leaf_entries = order if order is not None else 1 << 60
+        self._count = 0
+        root = _LeafNode()
+        self._root_id = self._new_page(root).page_id
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not _MISSING
+
+    @property
+    def height(self) -> int:
+        """Number of levels from root to leaves (1 for a lone leaf)."""
+        height = 1
+        node = self._load(self._root_id)
+        while not node.is_leaf:
+            height += 1
+            node = self._load(node.children[0])
+        return height
+
+    @property
+    def page_count(self) -> int:
+        """Pages currently allocated to this tree."""
+        return sum(1 for _ in self._pager.iter_pages(self.name))
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint (pages x page size)."""
+        return self.page_count * PAGE_SIZE
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Return the value stored under ``key`` or ``default``."""
+        value = self.search(key)
+        return default if value is _MISSING else value
+
+    def search(self, key: int) -> Any:
+        """Return the value under ``key`` or the ``_MISSING`` sentinel."""
+        page = self._descend_to_leaf(key)
+        leaf: _LeafNode = page.payload
+        idx = _find(leaf.keys, key)
+        if idx is None:
+            return _MISSING
+        return leaf.values[idx]
+
+    def insert(self, key: int, value: Any, size: Optional[int] = None) -> None:
+        """Insert or replace the value under ``key``.
+
+        ``size`` is the declared serialized size in bytes used for page
+        occupancy; oversized records are rejected rather than silently
+        spilled (the codecs never produce entries near 4 KB).
+        """
+        entry_size = DEFAULT_VALUE_SIZE if size is None else size
+        if entry_size + INT_SIZE > LEAF_CAPACITY_BYTES:
+            raise BPlusTreeError(
+                f"record of {entry_size} bytes exceeds leaf capacity"
+            )
+        split = self._insert_into(self._root_id, key, value, entry_size)
+        if split is not None:
+            sep_key, right_id = split
+            new_root = _InternalNode()
+            new_root.keys = [sep_key]
+            new_root.children = [self._root_id, right_id]
+            self._root_id = self._new_page(new_root).page_id
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return True if it was present."""
+        removed = self._delete_from(self._root_id, key)
+        if not removed:
+            return False
+        root_page = self._pager.read(self._root_id)
+        root = root_page.payload
+        if not root.is_leaf and len(root.children) == 1:
+            old_root_id = self._root_id
+            self._root_id = root.children[0]
+            self._pager.free(old_root_id)
+        return True
+
+    def range_scan(self, lo: int, hi: int) -> Iterator[Tuple[int, Any]]:
+        """Yield (key, value) pairs with ``lo <= key <= hi`` in key order."""
+        if lo > hi:
+            return
+        page = self._descend_to_leaf(lo)
+        leaf: _LeafNode = page.payload
+        while True:
+            for i, key in enumerate(leaf.keys):
+                if key > hi:
+                    return
+                if key >= lo:
+                    yield key, leaf.values[i]
+            if leaf.next_leaf is None:
+                return
+            leaf = self._load(leaf.next_leaf)
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Yield every (key, value) pair in key order."""
+        node = self._load(self._root_id)
+        while not node.is_leaf:
+            node = self._load(node.children[0])
+        leaf: _LeafNode = node
+        while True:
+            for key, value in zip(leaf.keys, leaf.values):
+                yield key, value
+            if leaf.next_leaf is None:
+                return
+            leaf = self._load(leaf.next_leaf)
+
+    def keys(self) -> Iterator[int]:
+        """Yield every key in order."""
+        for key, _ in self.items():
+            yield key
+
+    def min_key(self) -> Optional[int]:
+        """Smallest key, or None if empty."""
+        for key, _ in self.items():
+            return key
+        return None
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`BPlusTreeError` if broken.
+
+        Used by tests (including property-based ones) after random workloads.
+        """
+        leaf_depths: List[int] = []
+        count = self._validate_node(self._root_id, None, None, 0, leaf_depths,
+                                    is_root=True)
+        if count != self._count:
+            raise BPlusTreeError(
+                f"entry count mismatch: tracked {self._count}, found {count}"
+            )
+        if len(set(leaf_depths)) > 1:
+            raise BPlusTreeError(f"leaves at unequal depths: {set(leaf_depths)}")
+
+    # ------------------------------------------------------------------
+    # Internal: node management
+    # ------------------------------------------------------------------
+    def _new_page(self, node: Any) -> Page:
+        return self._pager.allocate(self.name, node, node.nbytes)
+
+    def _load(self, page_id: int) -> Any:
+        return self._pager.read(page_id).payload
+
+    def _save(self, page_id: int) -> None:
+        page = self._pager.read(page_id)
+        self._pager.write(page, page.payload.nbytes)
+
+    def _descend_to_leaf(self, key: int) -> Page:
+        page = self._pager.read(self._root_id)
+        while not page.payload.is_leaf:
+            node: _InternalNode = page.payload
+            page = self._pager.read(node.children[_child_index(node.keys, key)])
+        return page
+
+    # ------------------------------------------------------------------
+    # Internal: insertion
+    # ------------------------------------------------------------------
+    def _insert_into(
+        self, page_id: int, key: int, value: Any, entry_size: int
+    ) -> Optional[Tuple[int, int]]:
+        """Insert under ``page_id``; return (separator, new_right_page_id) on split."""
+        node = self._load(page_id)
+        if node.is_leaf:
+            return self._insert_into_leaf(page_id, node, key, value, entry_size)
+
+        child_pos = _child_index(node.keys, key)
+        split = self._insert_into(node.children[child_pos], key, value, entry_size)
+        if split is None:
+            return None
+        sep_key, right_id = split
+        node.keys.insert(child_pos, sep_key)
+        node.children.insert(child_pos + 1, right_id)
+        if len(node.children) <= self._max_children:
+            self._save(page_id)
+            return None
+        return self._split_internal(page_id, node)
+
+    def _insert_into_leaf(
+        self, page_id: int, leaf: _LeafNode, key: int, value: Any, entry_size: int
+    ) -> Optional[Tuple[int, int]]:
+        idx = _find(leaf.keys, key)
+        if idx is not None:
+            leaf.values[idx] = value
+            leaf.sizes[idx] = entry_size
+        else:
+            pos = _insert_position(leaf.keys, key)
+            leaf.keys.insert(pos, key)
+            leaf.values.insert(pos, value)
+            leaf.sizes.insert(pos, entry_size)
+            self._count += 1
+        if (
+            leaf.nbytes <= LEAF_CAPACITY_BYTES
+            and len(leaf.keys) <= self._max_leaf_entries
+        ):
+            self._save(page_id)
+            return None
+        return self._split_leaf(page_id, leaf)
+
+    def _split_leaf(self, page_id: int, leaf: _LeafNode) -> Tuple[int, int]:
+        """Split a leaf at the byte midpoint; return (separator, right page id)."""
+        total = sum(leaf.sizes)
+        acc = 0
+        cut = len(leaf.keys) - 1
+        for i, size in enumerate(leaf.sizes):
+            acc += size
+            if acc * 2 >= total and i + 1 < len(leaf.keys):
+                cut = i + 1
+                break
+        if cut <= 0 or cut >= len(leaf.keys):
+            cut = max(1, len(leaf.keys) // 2)
+
+        right = _LeafNode()
+        right.keys = leaf.keys[cut:]
+        right.values = leaf.values[cut:]
+        right.sizes = leaf.sizes[cut:]
+        del leaf.keys[cut:], leaf.values[cut:], leaf.sizes[cut:]
+
+        right_page = self._new_page(right)
+        right.next_leaf = leaf.next_leaf
+        right.prev_leaf = page_id
+        if leaf.next_leaf is not None:
+            after = self._load(leaf.next_leaf)
+            after.prev_leaf = right_page.page_id
+            self._save(leaf.next_leaf)
+        leaf.next_leaf = right_page.page_id
+        self._save(page_id)
+        self._save(right_page.page_id)
+        return right.keys[0], right_page.page_id
+
+    def _split_internal(self, page_id: int, node: _InternalNode) -> Tuple[int, int]:
+        mid = len(node.children) // 2
+        sep_key = node.keys[mid - 1]
+        right = _InternalNode()
+        right.keys = node.keys[mid:]
+        right.children = node.children[mid:]
+        del node.keys[mid - 1 :]
+        del node.children[mid:]
+        right_page = self._new_page(right)
+        self._save(page_id)
+        return sep_key, right_page.page_id
+
+    # ------------------------------------------------------------------
+    # Internal: deletion
+    # ------------------------------------------------------------------
+    def _delete_from(self, page_id: int, key: int) -> bool:
+        node = self._load(page_id)
+        if node.is_leaf:
+            idx = _find(node.keys, key)
+            if idx is None:
+                return False
+            del node.keys[idx], node.values[idx], node.sizes[idx]
+            self._count -= 1
+            self._save(page_id)
+            return True
+
+        child_pos = _child_index(node.keys, key)
+        removed = self._delete_from(node.children[child_pos], key)
+        if removed:
+            self._rebalance_child(page_id, node, child_pos)
+        return removed
+
+    def _min_leaf_entries(self) -> int:
+        if self._max_leaf_entries < (1 << 60):
+            return max(1, self._max_leaf_entries // 2)
+        return 1  # byte-budget trees shrink by merging when siblings fit
+
+    def _rebalance_child(self, page_id: int, node: _InternalNode, pos: int) -> None:
+        child_id = node.children[pos]
+        child = self._load(child_id)
+        if child.is_leaf:
+            if len(child.keys) >= self._min_leaf_entries() and child.keys:
+                self._save(page_id)
+                return
+            self._rebalance_leaf(page_id, node, pos)
+        else:
+            min_children = max(2, self._max_children // 2)
+            if len(child.children) >= min_children:
+                self._save(page_id)
+                return
+            self._rebalance_internal(page_id, node, pos)
+
+    def _rebalance_leaf(self, page_id: int, parent: _InternalNode, pos: int) -> None:
+        child_id = parent.children[pos]
+        child: _LeafNode = self._load(child_id)
+        left_id = parent.children[pos - 1] if pos > 0 else None
+        right_id = parent.children[pos + 1] if pos + 1 < len(parent.children) else None
+
+        # Try borrowing from the richer sibling first.
+        if left_id is not None:
+            left: _LeafNode = self._load(left_id)
+            if len(left.keys) > self._min_leaf_entries() and len(left.keys) > 1:
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                child.sizes.insert(0, left.sizes.pop())
+                parent.keys[pos - 1] = child.keys[0]
+                self._save(left_id)
+                self._save(child_id)
+                self._save(page_id)
+                return
+        if right_id is not None:
+            right: _LeafNode = self._load(right_id)
+            if len(right.keys) > self._min_leaf_entries() and len(right.keys) > 1:
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                child.sizes.append(right.sizes.pop(0))
+                parent.keys[pos] = right.keys[0]
+                self._save(right_id)
+                self._save(child_id)
+                self._save(page_id)
+                return
+
+        # Merge with a sibling when borrowing is impossible.
+        if left_id is not None:
+            left = self._load(left_id)
+            if left.nbytes + child.nbytes - _LEAF_OVERHEAD <= LEAF_CAPACITY_BYTES and (
+                len(left.keys) + len(child.keys) <= self._max_leaf_entries
+            ):
+                self._merge_leaves(left_id, left, child_id, child)
+                del parent.keys[pos - 1]
+                del parent.children[pos]
+                self._save(page_id)
+                return
+        if right_id is not None:
+            right = self._load(right_id)
+            if child.nbytes + right.nbytes - _LEAF_OVERHEAD <= LEAF_CAPACITY_BYTES and (
+                len(child.keys) + len(right.keys) <= self._max_leaf_entries
+            ):
+                self._merge_leaves(child_id, child, right_id, right)
+                del parent.keys[pos]
+                del parent.children[pos + 1]
+                self._save(page_id)
+                return
+
+        # Empty leaf that could not merge (siblings full): drop it entirely.
+        if not child.keys and len(parent.children) > 1:
+            if child.prev_leaf is not None:
+                before = self._load(child.prev_leaf)
+                before.next_leaf = child.next_leaf
+                self._save(child.prev_leaf)
+            if child.next_leaf is not None:
+                after = self._load(child.next_leaf)
+                after.prev_leaf = child.prev_leaf
+                self._save(child.next_leaf)
+            del parent.children[pos]
+            del parent.keys[pos - 1 if pos > 0 else 0]
+            self._pager.free(child_id)
+        self._save(page_id)
+
+    def _merge_leaves(
+        self, left_id: int, left: _LeafNode, right_id: int, right: _LeafNode
+    ) -> None:
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.sizes.extend(right.sizes)
+        left.next_leaf = right.next_leaf
+        if right.next_leaf is not None:
+            after = self._load(right.next_leaf)
+            after.prev_leaf = left_id
+            self._save(right.next_leaf)
+        self._save(left_id)
+        self._pager.free(right_id)
+
+    def _rebalance_internal(self, page_id: int, parent: _InternalNode, pos: int) -> None:
+        child_id = parent.children[pos]
+        child: _InternalNode = self._load(child_id)
+        min_children = max(2, self._max_children // 2)
+        left_id = parent.children[pos - 1] if pos > 0 else None
+        right_id = parent.children[pos + 1] if pos + 1 < len(parent.children) else None
+
+        if left_id is not None:
+            left: _InternalNode = self._load(left_id)
+            if len(left.children) > min_children:
+                child.keys.insert(0, parent.keys[pos - 1])
+                parent.keys[pos - 1] = left.keys.pop()
+                child.children.insert(0, left.children.pop())
+                self._save(left_id)
+                self._save(child_id)
+                self._save(page_id)
+                return
+        if right_id is not None:
+            right: _InternalNode = self._load(right_id)
+            if len(right.children) > min_children:
+                child.keys.append(parent.keys[pos])
+                parent.keys[pos] = right.keys.pop(0)
+                child.children.append(right.children.pop(0))
+                self._save(right_id)
+                self._save(child_id)
+                self._save(page_id)
+                return
+
+        if left_id is not None:
+            left = self._load(left_id)
+            if len(left.children) + len(child.children) <= self._max_children:
+                left.keys.append(parent.keys[pos - 1])
+                left.keys.extend(child.keys)
+                left.children.extend(child.children)
+                del parent.keys[pos - 1]
+                del parent.children[pos]
+                self._save(left_id)
+                self._pager.free(child_id)
+                self._save(page_id)
+                return
+        if right_id is not None:
+            right = self._load(right_id)
+            if len(child.children) + len(right.children) <= self._max_children:
+                child.keys.append(parent.keys[pos])
+                child.keys.extend(right.keys)
+                child.children.extend(right.children)
+                del parent.keys[pos]
+                del parent.children[pos + 1]
+                self._save(child_id)
+                self._pager.free(right_id)
+                self._save(page_id)
+                return
+        self._save(page_id)
+
+    # ------------------------------------------------------------------
+    # Internal: validation
+    # ------------------------------------------------------------------
+    def _validate_node(
+        self,
+        page_id: int,
+        lo: Optional[int],
+        hi: Optional[int],
+        depth: int,
+        leaf_depths: List[int],
+        is_root: bool = False,
+    ) -> int:
+        node = self._load(page_id)
+        if node.is_leaf:
+            leaf_depths.append(depth)
+            keys = node.keys
+            if keys != sorted(keys):
+                raise BPlusTreeError(f"leaf {page_id} keys unsorted: {keys}")
+            if len(set(keys)) != len(keys):
+                raise BPlusTreeError(f"leaf {page_id} has duplicate keys")
+            for key in keys:
+                if lo is not None and key < lo:
+                    raise BPlusTreeError(f"leaf key {key} below bound {lo}")
+                if hi is not None and key >= hi:
+                    raise BPlusTreeError(f"leaf key {key} above bound {hi}")
+            if node.nbytes > LEAF_CAPACITY_BYTES:
+                raise BPlusTreeError(f"leaf {page_id} overflows byte budget")
+            return len(keys)
+
+        if len(node.children) != len(node.keys) + 1:
+            raise BPlusTreeError(
+                f"internal {page_id}: {len(node.children)} children, "
+                f"{len(node.keys)} keys"
+            )
+        if len(node.children) > self._max_children:
+            raise BPlusTreeError(f"internal {page_id} overflows fan-out")
+        if not is_root and len(node.children) < 2:
+            raise BPlusTreeError(f"internal {page_id} underflows")
+        if node.keys != sorted(node.keys):
+            raise BPlusTreeError(f"internal {page_id} keys unsorted")
+        total = 0
+        bounds = [lo] + list(node.keys) + [hi]
+        for i, child_id in enumerate(node.children):
+            total += self._validate_node(
+                child_id, bounds[i], bounds[i + 1], depth + 1, leaf_depths
+            )
+        return total
+
+
+class _Missing:
+    """Sentinel distinguishing 'absent' from a stored ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def _find(keys: List[int], key: int) -> Optional[int]:
+    """Binary-search ``keys`` for ``key``; return its index or None."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo < len(keys) and keys[lo] == key:
+        return lo
+    return None
+
+
+def _insert_position(keys: List[int], key: int) -> int:
+    """Index at which ``key`` keeps ``keys`` sorted."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _child_index(keys: List[int], key: int) -> int:
+    """Child slot for ``key`` under left-biased separators (equal goes right)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,68 @@
+"""LRU buffer pool.
+
+The evaluation employs "a memory cache of 50 pages with LRU replacement
+scheme to buffer loaded pages" (Section 6).  :class:`BufferPool` implements
+exactly that policy; :class:`~repro.storage.pager.PageManager` drives it and
+does the I/O accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.storage.pager import Page
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of :class:`~repro.storage.pager.Page`s."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def contains(self, page_id: int) -> bool:
+        """True if the page is resident (does not affect recency)."""
+        return page_id in self._frames
+
+    def touch(self, page_id: int) -> None:
+        """Move a resident page to the most-recently-used position."""
+        self._frames.move_to_end(page_id)
+
+    def admit(self, page: "Page") -> Optional["Page"]:
+        """Insert a page, evicting the LRU page if full.
+
+        Returns the evicted page (still dirty if it had unwritten changes) or
+        ``None`` when no eviction was necessary.  Admitting an already
+        resident page only refreshes its recency.
+        """
+        if page.page_id in self._frames:
+            self._frames.move_to_end(page.page_id)
+            return None
+        evicted: Optional["Page"] = None
+        if len(self._frames) >= self.capacity:
+            _, evicted = self._frames.popitem(last=False)
+        self._frames[page.page_id] = page
+        return evicted
+
+    def discard(self, page_id: int) -> None:
+        """Drop a page from the pool without any write-back."""
+        self._frames.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the pool."""
+        self._frames.clear()
+
+    def pages(self) -> Iterator["Page"]:
+        """Iterate resident pages from least to most recently used."""
+        return iter(self._frames.values())
+
+    def resident_ids(self) -> Iterator[int]:
+        """Iterate resident page ids from least to most recently used."""
+        return iter(self._frames.keys())

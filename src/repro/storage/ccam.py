@@ -1,0 +1,257 @@
+"""CCAM-style network storage.
+
+All compared approaches in the paper "adopt CCAM [18] to organize network
+nodes in storage" (Section 6).  CCAM (Connectivity-Clustered Access Method)
+packs the adjacency records of topologically close nodes into the same disk
+page, so a network expansion touches few pages while it stays local.
+
+:class:`NetworkStore` reproduces that behaviour on the simulated pager: nodes
+are laid out in breadth-first order (a standard approximation of CCAM's
+min-cut clustering) and packed into 4 KB pages by their real serialized
+record sizes.  Every adjacency access goes through the buffer pool and is
+charged I/O, which is what makes the per-query "I/O = N pages" numbers of
+the evaluation reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.network import RoadNetwork
+from repro.storage.codecs import NODE_RECORD_SIZE, adjacency_size
+from repro.storage.pager import PAGE_HEADER_SIZE, PAGE_SIZE, PageManager
+
+
+class _NodeBlock:
+    """Page payload: adjacency lists and coordinates of co-located nodes."""
+
+    __slots__ = ("adjacency", "coords", "nbytes")
+
+    def __init__(self) -> None:
+        self.adjacency: Dict[int, List[Tuple[int, float]]] = {}
+        self.coords: Dict[int, Tuple[float, float]] = {}
+        self.nbytes = 0
+
+
+def _record_size(degree: int) -> int:
+    """Serialized size of one node's record: coordinates + adjacency block."""
+    return NODE_RECORD_SIZE + adjacency_size(degree)
+
+
+class NetworkStore:
+    """Disk-resident road network with connectivity-clustered pages.
+
+    Parameters
+    ----------
+    network:
+        The in-memory :class:`~repro.graph.network.RoadNetwork` to lay out.
+    pager:
+        Simulated disk; adjacency reads charge I/O against its buffer pool.
+    name:
+        Page ``kind`` tag (defaults to ``"ccam"``).
+    """
+
+    def __init__(
+        self, network: RoadNetwork, pager: PageManager, name: str = "ccam"
+    ) -> None:
+        self._pager = pager
+        self.name = name
+        self._node_page: Dict[int, int] = {}
+        self._build(network)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _build(self, network: RoadNetwork) -> None:
+        capacity = PAGE_SIZE - PAGE_HEADER_SIZE
+        block = _NodeBlock()
+        page = self._pager.allocate(self.name, block, 0)
+        for node_id in self._bfs_order(network):
+            degree = network.degree(node_id)
+            size = _record_size(degree)
+            if block.nbytes + size > capacity and block.adjacency:
+                self._pager.write(page, block.nbytes)
+                block = _NodeBlock()
+                page = self._pager.allocate(self.name, block, 0)
+            block.adjacency[node_id] = list(network.neighbours(node_id))
+            block.coords[node_id] = network.coords(node_id)
+            block.nbytes += size
+            self._node_page[node_id] = page.page_id
+        self._pager.write(page, block.nbytes)
+        self._pager.flush()
+
+    @staticmethod
+    def _bfs_order(network: RoadNetwork) -> Iterable[int]:
+        """Breadth-first node order: neighbours land on nearby pages."""
+        seen = set()
+        order: List[int] = []
+        for start in network.node_ids():
+            if start in seen:
+                continue
+            queue = deque([start])
+            seen.add(start)
+            while queue:
+                node = queue.popleft()
+                order.append(node)
+                for neighbour, _ in network.neighbours(node):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        queue.append(neighbour)
+        return order
+
+    # ------------------------------------------------------------------
+    # Access (charged I/O)
+    # ------------------------------------------------------------------
+    def neighbours(self, node_id: int) -> List[Tuple[int, float]]:
+        """Adjacency list of ``node_id`` as (neighbour, distance) pairs."""
+        block = self._block(node_id)
+        return block.adjacency[node_id]
+
+    def coords(self, node_id: int) -> Tuple[float, float]:
+        """Coordinates of ``node_id``."""
+        block = self._block(node_id)
+        return block.coords[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        """True if the node is stored (no I/O charged)."""
+        return node_id in self._node_page
+
+    def node_ids(self) -> Iterable[int]:
+        """All stored node ids (no I/O charged; for tests/statistics)."""
+        return self._node_page.keys()
+
+    # ------------------------------------------------------------------
+    # Maintenance (Section 5.2: network changes reach the stored pages)
+    # ------------------------------------------------------------------
+    def update_edge_distance(self, u: int, v: int, distance: float) -> None:
+        """Overwrite the stored distance of edge (u, v) in both directions."""
+        for a, b in ((u, v), (v, u)):
+            block = self._block(a)
+            adj = block.adjacency[a]
+            for i, (neighbour, _) in enumerate(adj):
+                if neighbour == b:
+                    adj[i] = (b, distance)
+                    break
+            else:
+                raise KeyError(f"edge ({a}, {b}) not stored")
+            self._dirty(a)
+
+    def add_edge(self, u: int, v: int, distance: float) -> None:
+        """Store a new edge; both endpoints must already exist.
+
+        A node whose grown record no longer fits its page is relocated to a
+        page with room (CCAM handles record growth the same way).
+        """
+        growth = _record_size(1) - _record_size(0)
+        capacity = PAGE_SIZE - PAGE_HEADER_SIZE
+        for a, b in ((u, v), (v, u)):
+            block = self._block(a)
+            adj = block.adjacency[a]
+            if any(neighbour == b for neighbour, _ in adj):
+                raise KeyError(f"edge ({a}, {b}) already stored")
+            if block.nbytes + growth > capacity:
+                block = self._relocate(a)
+                adj = block.adjacency[a]
+            adj.append((b, distance))
+            block.nbytes += growth
+            self._dirty(a)
+
+    def _relocate(self, node_id: int) -> _NodeBlock:
+        """Move a node's record to a page with spare room; return its block."""
+        old_block = self._block(node_id)
+        adj = old_block.adjacency.pop(node_id)
+        coords = old_block.coords.pop(node_id)
+        size = _record_size(len(adj))
+        old_block.nbytes -= size
+        self._dirty(node_id)
+
+        capacity = PAGE_SIZE - PAGE_HEADER_SIZE
+        target = None
+        for page in self._pager.iter_pages(self.name):
+            if page.payload.nbytes + size + _record_size(1) - _record_size(0) <= capacity:
+                target = page
+                break
+        if target is None:
+            target = self._pager.allocate(self.name, _NodeBlock(), 0)
+        block = target.payload
+        block.adjacency[node_id] = adj
+        block.coords[node_id] = coords
+        block.nbytes += size
+        self._node_page[node_id] = target.page_id
+        self._pager.write(target, block.nbytes)
+        return block
+
+    def add_node(self, node_id: int, x: float, y: float) -> None:
+        """Store a new isolated node on the last page with room."""
+        if node_id in self._node_page:
+            raise KeyError(f"node {node_id} already stored")
+        size = _record_size(0)
+        capacity = PAGE_SIZE - PAGE_HEADER_SIZE
+        target: Optional[int] = None
+        for page in self._pager.iter_pages(self.name):
+            if page.payload.nbytes + size <= capacity:
+                target = page.page_id
+                break
+        if target is None:
+            block = _NodeBlock()
+            page = self._pager.allocate(self.name, block, 0)
+            target = page.page_id
+        page = self._pager.read(target)
+        block = page.payload
+        block.adjacency[node_id] = []
+        block.coords[node_id] = (x, y)
+        block.nbytes += size
+        self._node_page[node_id] = target
+        self._pager.write(page, block.nbytes)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge (u, v) from both adjacency blocks."""
+        for a, b in ((u, v), (v, u)):
+            block = self._block(a)
+            adj = block.adjacency[a]
+            before = len(adj)
+            block.adjacency[a] = [(n, d) for n, d in adj if n != b]
+            if len(block.adjacency[a]) == before:
+                raise KeyError(f"edge ({a}, {b}) not stored")
+            block.nbytes -= _record_size(1) - _record_size(0)
+            self._dirty(a)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Pages allocated to the network layout."""
+        return sum(1 for _ in self._pager.iter_pages(self.name))
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint of the network layout."""
+        return self.page_count * PAGE_SIZE
+
+    def locality(self) -> float:
+        """Fraction of edges whose endpoints share a page (layout quality)."""
+        same = 0
+        total = 0
+        for page in self._pager.iter_pages(self.name):
+            for node, adj in page.payload.adjacency.items():
+                for neighbour, _ in adj:
+                    total += 1
+                    if self._node_page.get(neighbour) == self._node_page[node]:
+                        same += 1
+        return same / total if total else 1.0
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _block(self, node_id: int) -> _NodeBlock:
+        try:
+            page_id = self._node_page[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id} not stored") from None
+        return self._pager.read(page_id).payload
+
+    def _dirty(self, node_id: int) -> None:
+        page = self._pager.read(self._node_page[node_id])
+        self._pager.write(page, page.payload.nbytes)

@@ -1,0 +1,276 @@
+"""Record codecs: serialized sizes and byte round-trips.
+
+Index sizes in the paper (Figures 13 and 14) are on-disk sizes, so the page
+occupancy accounting must be grounded in real serialized record sizes, not
+``sys.getsizeof`` of Python objects.  Each codec here knows how to ``encode``
+a record to bytes, ``decode`` it back, and report its ``size`` cheaply
+(without building the bytes) so that hot paths can stay object-based.
+
+The formats are deliberately simple fixed/length-prefixed ``struct`` layouts:
+
+* integers: 8-byte signed little-endian (``<q``)
+* floats:   8-byte IEEE-754 doubles (``<d``)
+* strings:  2-byte length prefix + UTF-8 bytes
+* composite records: concatenation of their fields, documented per codec
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+_INT = struct.Struct("<q")
+_FLOAT = struct.Struct("<d")
+_SHORT = struct.Struct("<H")
+
+INT_SIZE = _INT.size
+FLOAT_SIZE = _FLOAT.size
+
+
+class CodecError(Exception):
+    """Raised when bytes cannot be decoded as the expected record."""
+
+
+# ---------------------------------------------------------------------------
+# Primitives
+# ---------------------------------------------------------------------------
+
+def encode_int(value: int) -> bytes:
+    """Encode a signed 64-bit integer."""
+    return _INT.pack(value)
+
+
+def decode_int(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a signed 64-bit integer; return (value, next_offset)."""
+    try:
+        (value,) = _INT.unpack_from(data, offset)
+    except struct.error as exc:
+        raise CodecError(f"cannot decode int at offset {offset}") from exc
+    return value, offset + INT_SIZE
+
+
+def encode_float(value: float) -> bytes:
+    """Encode a 64-bit float."""
+    return _FLOAT.pack(value)
+
+
+def decode_float(data: bytes, offset: int = 0) -> Tuple[float, int]:
+    """Decode a 64-bit float; return (value, next_offset)."""
+    try:
+        (value,) = _FLOAT.unpack_from(data, offset)
+    except struct.error as exc:
+        raise CodecError(f"cannot decode float at offset {offset}") from exc
+    return value, offset + FLOAT_SIZE
+
+
+def encode_str(value: str) -> bytes:
+    """Encode a short string (< 64 KiB UTF-8 bytes) with a length prefix."""
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError("string too long for 2-byte length prefix")
+    return _SHORT.pack(len(raw)) + raw
+
+
+def decode_str(data: bytes, offset: int = 0) -> Tuple[str, int]:
+    """Decode a length-prefixed string; return (value, next_offset)."""
+    try:
+        (length,) = _SHORT.unpack_from(data, offset)
+    except struct.error as exc:
+        raise CodecError(f"cannot decode string length at offset {offset}") from exc
+    start = offset + _SHORT.size
+    raw = data[start : start + length]
+    if len(raw) != length:
+        raise CodecError("truncated string payload")
+    return raw.decode("utf-8"), start + length
+
+
+def str_size(value: str) -> int:
+    """Serialized size of a string without encoding it."""
+    return _SHORT.size + len(value.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Composite records
+# ---------------------------------------------------------------------------
+
+def encode_int_list(values: Sequence[int]) -> bytes:
+    """Length-prefixed list of 64-bit integers."""
+    parts = [_SHORT.pack(len(values))]
+    parts.extend(_INT.pack(v) for v in values)
+    return b"".join(parts)
+
+
+def decode_int_list(data: bytes, offset: int = 0) -> Tuple[List[int], int]:
+    """Decode a length-prefixed integer list; return (values, next_offset)."""
+    (count,) = _SHORT.unpack_from(data, offset)
+    offset += _SHORT.size
+    values: List[int] = []
+    for _ in range(count):
+        value, offset = decode_int(data, offset)
+        values.append(value)
+    return values, offset
+
+
+def int_list_size(count: int) -> int:
+    """Serialized size of an integer list of ``count`` elements."""
+    return _SHORT.size + count * INT_SIZE
+
+
+# --- graph records ---------------------------------------------------------
+
+#: node record: node_id, x, y  (adjacency lives in separate edge records)
+NODE_RECORD_SIZE = INT_SIZE + 2 * FLOAT_SIZE
+
+#: edge record inside an adjacency block: neighbour id + distance
+EDGE_RECORD_SIZE = INT_SIZE + FLOAT_SIZE
+
+
+def encode_node_record(node_id: int, x: float, y: float) -> bytes:
+    """Node record: ``id | x | y``."""
+    return _INT.pack(node_id) + _FLOAT.pack(x) + _FLOAT.pack(y)
+
+
+def decode_node_record(data: bytes, offset: int = 0) -> Tuple[Tuple[int, float, float], int]:
+    """Decode a node record; return ((id, x, y), next_offset)."""
+    node_id, offset = decode_int(data, offset)
+    x, offset = decode_float(data, offset)
+    y, offset = decode_float(data, offset)
+    return (node_id, x, y), offset
+
+
+def encode_adjacency(node_id: int, neighbours: Sequence[Tuple[int, float]]) -> bytes:
+    """Adjacency block: ``node_id | count | (neighbour, distance)*``."""
+    parts = [_INT.pack(node_id), _SHORT.pack(len(neighbours))]
+    for neighbour, distance in neighbours:
+        parts.append(_INT.pack(neighbour))
+        parts.append(_FLOAT.pack(distance))
+    return b"".join(parts)
+
+
+def decode_adjacency(data: bytes, offset: int = 0) -> Tuple[Tuple[int, List[Tuple[int, float]]], int]:
+    """Decode an adjacency block; return ((node_id, neighbours), next_offset)."""
+    node_id, offset = decode_int(data, offset)
+    (count,) = _SHORT.unpack_from(data, offset)
+    offset += _SHORT.size
+    neighbours: List[Tuple[int, float]] = []
+    for _ in range(count):
+        neighbour, offset = decode_int(data, offset)
+        distance, offset = decode_float(data, offset)
+        neighbours.append((neighbour, distance))
+    return (node_id, neighbours), offset
+
+
+def adjacency_size(degree: int) -> int:
+    """Serialized size of an adjacency block for a node of given degree."""
+    return INT_SIZE + _SHORT.size + degree * EDGE_RECORD_SIZE
+
+
+# --- shortcut records ------------------------------------------------------
+
+#: shortcut record: target border node, distance, rnet id, via-node count
+def shortcut_size(n_via: int = 0) -> int:
+    """Serialized size of one shortcut entry with ``n_via`` via-nodes."""
+    return 2 * INT_SIZE + FLOAT_SIZE + int_list_size(n_via)
+
+
+def encode_shortcut(target: int, distance: float, rnet_id: int, via: Sequence[int]) -> bytes:
+    """Shortcut record: ``target | rnet | distance | via-list``."""
+    return (
+        _INT.pack(target)
+        + _INT.pack(rnet_id)
+        + _FLOAT.pack(distance)
+        + encode_int_list(via)
+    )
+
+
+def decode_shortcut(data: bytes, offset: int = 0) -> Tuple[Tuple[int, int, float, List[int]], int]:
+    """Decode a shortcut record; return ((target, rnet, dist, via), offset)."""
+    target, offset = decode_int(data, offset)
+    rnet_id, offset = decode_int(data, offset)
+    distance, offset = decode_float(data, offset)
+    via, offset = decode_int_list(data, offset)
+    return (target, rnet_id, distance, via), offset
+
+
+# --- object records --------------------------------------------------------
+
+def object_record_size(attr_bytes: int = 0) -> int:
+    """Size of an object association: object id, node id, offset, attributes."""
+    return 2 * INT_SIZE + FLOAT_SIZE + _SHORT.size + attr_bytes
+
+
+def encode_object_record(object_id: int, node_id: int, offset_dist: float, attrs: Dict[str, str]) -> bytes:
+    """Object association record: ``oid | node | delta | attr-pairs``."""
+    parts = [_INT.pack(object_id), _INT.pack(node_id), _FLOAT.pack(offset_dist)]
+    parts.append(_SHORT.pack(len(attrs)))
+    for key in sorted(attrs):
+        parts.append(encode_str(key))
+        parts.append(encode_str(attrs[key]))
+    return b"".join(parts)
+
+
+def decode_object_record(data: bytes, offset: int = 0) -> Tuple[Tuple[int, int, float, Dict[str, str]], int]:
+    """Decode an object association record."""
+    object_id, offset = decode_int(data, offset)
+    node_id, offset = decode_int(data, offset)
+    delta, offset = decode_float(data, offset)
+    (count,) = _SHORT.unpack_from(data, offset)
+    offset += _SHORT.size
+    attrs: Dict[str, str] = {}
+    for _ in range(count):
+        key, offset = decode_str(data, offset)
+        value, offset = decode_str(data, offset)
+        attrs[key] = value
+    return (object_id, node_id, delta, attrs), offset
+
+
+def attrs_size(attrs: Dict[str, str]) -> int:
+    """Serialized size of an attribute dictionary."""
+    return sum(str_size(k) + str_size(v) for k, v in attrs.items())
+
+
+# --- spatial records -------------------------------------------------------
+
+#: R-tree entry: 4 doubles for the MBR + child/object id
+RTREE_ENTRY_SIZE = 4 * FLOAT_SIZE + INT_SIZE
+
+
+def encode_mbr_entry(xmin: float, ymin: float, xmax: float, ymax: float, ref: int) -> bytes:
+    """R-tree entry: ``xmin | ymin | xmax | ymax | ref``."""
+    return (
+        _FLOAT.pack(xmin)
+        + _FLOAT.pack(ymin)
+        + _FLOAT.pack(xmax)
+        + _FLOAT.pack(ymax)
+        + _INT.pack(ref)
+    )
+
+
+def decode_mbr_entry(data: bytes, offset: int = 0) -> Tuple[Tuple[float, float, float, float, int], int]:
+    """Decode an R-tree entry."""
+    xmin, offset = decode_float(data, offset)
+    ymin, offset = decode_float(data, offset)
+    xmax, offset = decode_float(data, offset)
+    ymax, offset = decode_float(data, offset)
+    ref, offset = decode_int(data, offset)
+    return (xmin, ymin, xmax, ymax, ref), offset
+
+
+# --- distance signatures (DistIdx baseline) --------------------------------
+
+def signature_entry_size() -> int:
+    """Size of one distance-signature entry: object id, distance, next hop."""
+    return 2 * INT_SIZE + FLOAT_SIZE
+
+
+def encode_signature_entry(object_id: int, distance: float, next_hop: int) -> bytes:
+    """Distance-signature entry: ``object | distance | next-hop``."""
+    return _INT.pack(object_id) + _FLOAT.pack(distance) + _INT.pack(next_hop)
+
+
+def decode_signature_entry(data: bytes, offset: int = 0) -> Tuple[Tuple[int, float, int], int]:
+    """Decode a distance-signature entry."""
+    object_id, offset = decode_int(data, offset)
+    distance, offset = decode_float(data, offset)
+    next_hop, offset = decode_int(data, offset)
+    return (object_id, distance, next_hop), offset

@@ -1,0 +1,272 @@
+"""Simulated disk pager.
+
+The paper's evaluation (Section 6) stores every index on disk with a fixed
+page size of 4 KB and a 50-page LRU buffer, and reports logical page I/O.
+This module reproduces that storage substrate: a :class:`PageManager` owns a
+set of fixed-size pages ("the disk") and routes every access through an LRU
+:class:`~repro.storage.buffer.BufferPool`, counting buffer misses as reads
+and dirty evictions as writes.
+
+Pages carry an arbitrary Python payload plus a byte-size estimate supplied by
+the structure that owns the page (B+-tree node, R-tree node, CCAM adjacency
+block, ...).  Byte sizes come from the codecs in
+:mod:`repro.storage.codecs`, so page occupancy and index sizes reflect real
+serialized record sizes even though the hot path keeps deserialized objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from repro.storage.buffer import BufferPool
+
+#: Fixed page size used throughout the evaluation (Section 6: "the page size
+#: is fixed at 4KB").
+PAGE_SIZE = 4096
+
+#: Bytes reserved per page for the page header (id, kind, record count).
+PAGE_HEADER_SIZE = 16
+
+
+class PagerError(Exception):
+    """Base class for pager failures."""
+
+
+class PageNotFoundError(PagerError):
+    """Raised when a page id does not exist on the simulated disk."""
+
+
+class PageOverflowError(PagerError):
+    """Raised when a payload is declared larger than a page can hold."""
+
+
+@dataclass
+class IOStats:
+    """Logical I/O counters, mirroring the paper's "I/O = N pages" metric."""
+
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (queries start from an empty cache, Section 6)."""
+        self.reads = 0
+        self.writes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def total_io(self) -> int:
+        """Pages transferred between buffer and disk."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        """Return a copy of the current counters."""
+        return IOStats(self.reads, self.writes, self.hits, self.misses)
+
+    def diff(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return IOStats(
+            self.reads - earlier.reads,
+            self.writes - earlier.writes,
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+        )
+
+
+@dataclass
+class Page:
+    """One fixed-size disk page.
+
+    ``payload`` is the deserialized content (owned by the index structure);
+    ``nbytes`` is the serialized size of that content, used for occupancy
+    accounting against :data:`PAGE_SIZE`.
+    """
+
+    page_id: int
+    kind: str
+    payload: Any = None
+    nbytes: int = 0
+    dirty: bool = False
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity after the header and current payload."""
+        return PAGE_SIZE - PAGE_HEADER_SIZE - self.nbytes
+
+
+@dataclass
+class _DiskSlot:
+    """Backing-store slot for a page (what survives buffer eviction)."""
+
+    page: Page
+    live: bool = True
+
+
+class PageManager:
+    """Simulated disk with an LRU buffer pool and logical I/O accounting.
+
+    Parameters
+    ----------
+    buffer_pages:
+        Capacity of the buffer pool in pages.  The paper uses 50.
+    name:
+        Label used in ``repr`` and error messages; handy when several managers
+        coexist (one per index in the benchmarks).
+    """
+
+    def __init__(self, buffer_pages: int = 50, name: str = "pager") -> None:
+        if buffer_pages < 1:
+            raise ValueError("buffer_pages must be >= 1")
+        self.name = name
+        self.stats = IOStats()
+        self._disk: Dict[int, _DiskSlot] = {}
+        self._next_page_id = 0
+        self._buffer = BufferPool(buffer_pages)
+
+    # ------------------------------------------------------------------
+    # Allocation / deallocation
+    # ------------------------------------------------------------------
+    def allocate(self, kind: str, payload: Any = None, nbytes: int = 0) -> Page:
+        """Create a new page and make it resident (counts as a write later).
+
+        The new page is dirty: it must reach the disk before it can be
+        evicted, so its first eviction costs one write.
+        """
+        if nbytes > PAGE_SIZE - PAGE_HEADER_SIZE:
+            raise PageOverflowError(
+                f"{self.name}: payload of {nbytes} bytes exceeds page capacity"
+            )
+        page = Page(self._next_page_id, kind, payload, nbytes, dirty=True)
+        self._next_page_id += 1
+        self._disk[page.page_id] = _DiskSlot(page)
+        self._admit(page)
+        return page
+
+    def free(self, page_id: int) -> None:
+        """Release a page; subsequent reads raise :class:`PageNotFoundError`."""
+        slot = self._disk.get(page_id)
+        if slot is None or not slot.live:
+            raise PageNotFoundError(f"{self.name}: page {page_id} not allocated")
+        slot.live = False
+        self._buffer.discard(page_id)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def read(self, page_id: int) -> Page:
+        """Fetch a page, counting a read if it is not buffered."""
+        slot = self._disk.get(page_id)
+        if slot is None or not slot.live:
+            raise PageNotFoundError(f"{self.name}: page {page_id} not allocated")
+        if self._buffer.contains(page_id):
+            self.stats.hits += 1
+            self._buffer.touch(page_id)
+        else:
+            self.stats.misses += 1
+            self.stats.reads += 1
+            self._admit(slot.page)
+        return slot.page
+
+    def write(self, page: Page, nbytes: Optional[int] = None) -> None:
+        """Mark a page dirty after its payload was mutated.
+
+        ``nbytes`` updates the occupancy estimate; the write to disk is
+        deferred until eviction or :meth:`flush` (write-back buffering).
+        """
+        if nbytes is not None:
+            if nbytes > PAGE_SIZE - PAGE_HEADER_SIZE:
+                raise PageOverflowError(
+                    f"{self.name}: payload of {nbytes} bytes exceeds page capacity"
+                )
+            page.nbytes = nbytes
+        page.dirty = True
+        if not self._buffer.contains(page.page_id):
+            # Mutating a non-resident page still requires fetching it first.
+            self.stats.misses += 1
+            self.stats.reads += 1
+            self._admit(page)
+        else:
+            self._buffer.touch(page.page_id)
+
+    def flush(self) -> int:
+        """Write every dirty resident page back to disk; return pages written."""
+        written = 0
+        for page in self._buffer.pages():
+            if page.dirty:
+                page.dirty = False
+                self.stats.writes += 1
+                written += 1
+        return written
+
+    def drop_cache(self) -> None:
+        """Empty the buffer pool (queries start with an empty cache)."""
+        self.flush()
+        self._buffer.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the I/O counters without touching buffer contents."""
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Number of live pages on the simulated disk."""
+        return sum(1 for slot in self._disk.values() if slot.live)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk footprint (live pages x fixed page size)."""
+        return self.page_count * PAGE_SIZE
+
+    @property
+    def used_bytes(self) -> int:
+        """Sum of payload bytes actually occupied across live pages."""
+        return sum(
+            slot.page.nbytes + PAGE_HEADER_SIZE
+            for slot in self._disk.values()
+            if slot.live
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of allocated disk space occupied by payload bytes."""
+        if self.page_count == 0:
+            return 0.0
+        return self.used_bytes / self.size_bytes
+
+    def iter_pages(self, kind: Optional[str] = None) -> Iterator[Page]:
+        """Iterate live pages (optionally only those of one ``kind``).
+
+        Iteration bypasses the buffer and does not count I/O; it exists for
+        statistics and tests, not for query processing.
+        """
+        for slot in self._disk.values():
+            if slot.live and (kind is None or slot.page.kind == kind):
+                yield slot.page
+
+    def page_counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of live pages per kind (route-overlay, ad, rtree, ...)."""
+        counts: Dict[str, int] = {}
+        for page in self.iter_pages():
+            counts[page.kind] = counts.get(page.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageManager(name={self.name!r}, pages={self.page_count}, "
+            f"size={self.size_bytes}B, stats={self.stats})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _admit(self, page: Page) -> None:
+        evicted = self._buffer.admit(page)
+        if evicted is not None and evicted.dirty:
+            evicted.dirty = False
+            self.stats.writes += 1

@@ -1,0 +1,398 @@
+"""Paged R-tree (Guttman, quadratic split).
+
+The Euclidean-bound baseline indexes "objects ... by an R-tree" (Section 6)
+and retrieves candidates in increasing Euclidean distance.  This is a classic
+R-tree over :class:`~repro.storage.pager.PageManager` with:
+
+* insertion via least-enlargement descent and quadratic node splitting,
+* deletion with under-full node condensation and re-insertion,
+* window (rectangle intersection) search, and
+* best-first incremental nearest-neighbour traversal — the access pattern
+  needed for Incremental Euclidean Restriction.
+
+Entries are points or rectangles tagged with an integer reference (object
+id).  Page I/O is charged for every node visited.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.storage.codecs import RTREE_ENTRY_SIZE
+from repro.storage.pager import PAGE_HEADER_SIZE, PAGE_SIZE, PageManager
+
+#: Maximum entries per node derived from real entry sizes.
+DEFAULT_MAX_ENTRIES = (PAGE_SIZE - PAGE_HEADER_SIZE) // RTREE_ENTRY_SIZE
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle; points are zero-area rectangles."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    @staticmethod
+    def point(x: float, y: float) -> "Rect":
+        """Zero-area rectangle at (x, y)."""
+        return Rect(x, y, x, y)
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the rectangles share any point (boundaries count)."""
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if (x, y) lies inside or on the boundary."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to also cover ``other``."""
+        return self.union(other).area - self.area
+
+    def min_dist(self, x: float, y: float) -> float:
+        """Minimum Euclidean distance from (x, y) to this rectangle."""
+        dx = max(self.xmin - x, 0.0, x - self.xmax)
+        dy = max(self.ymin - y, 0.0, y - self.ymax)
+        return (dx * dx + dy * dy) ** 0.5
+
+
+class _RTreeNode:
+    """Node payload: parallel lists of entry rectangles and references.
+
+    For leaves the references are object ids; for internal nodes they are
+    child page ids.
+    """
+
+    __slots__ = ("leaf", "rects", "refs")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.rects: List[Rect] = []
+        self.refs: List[int] = []
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.rects) * RTREE_ENTRY_SIZE
+
+    def mbr(self) -> Rect:
+        box = self.rects[0]
+        for rect in self.rects[1:]:
+            box = box.union(rect)
+        return box
+
+
+class RTree:
+    """Guttman R-tree with quadratic split over a simulated pager."""
+
+    def __init__(
+        self,
+        pager: PageManager,
+        name: str = "rtree",
+        max_entries: Optional[int] = None,
+    ) -> None:
+        self._pager = pager
+        self.name = name
+        self._max = max_entries if max_entries is not None else DEFAULT_MAX_ENTRIES
+        if self._max < 4:
+            raise ValueError("max_entries must be >= 4")
+        self._min = max(2, self._max * 2 // 5)  # Guttman's 40% fill heuristic
+        self._count = 0
+        root = _RTreeNode(leaf=True)
+        self._root_id = self._pager.allocate(self.name, root, root.nbytes).page_id
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def page_count(self) -> int:
+        """Pages currently allocated to this tree."""
+        return sum(1 for _ in self._pager.iter_pages(self.name))
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint (pages x page size)."""
+        return self.page_count * PAGE_SIZE
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves (1 for a lone leaf)."""
+        height = 1
+        node = self._load(self._root_id)
+        while not node.leaf:
+            height += 1
+            node = self._load(node.refs[0])
+        return height
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, rect: Rect, ref: int) -> None:
+        """Insert an entry; duplicate (rect, ref) pairs are allowed."""
+        split = self._insert_at(self._root_id, rect, ref)
+        self._count += 1
+        if split is not None:
+            self._grow_root(split)
+
+    def delete(self, rect: Rect, ref: int) -> bool:
+        """Remove one entry matching (rect, ref); return True if found."""
+        found = self._delete_from(self._root_id, rect, ref)
+        if not found:
+            return False
+        self._count -= 1
+        root = self._load(self._root_id)
+        if not root.leaf and len(root.refs) == 1:
+            old = self._root_id
+            self._root_id = root.refs[0]
+            self._pager.free(old)
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def window(self, query: Rect) -> List[Tuple[Rect, int]]:
+        """All entries whose rectangles intersect ``query``."""
+        out: List[Tuple[Rect, int]] = []
+        stack = [self._root_id]
+        while stack:
+            node = self._load(stack.pop())
+            for rect, ref in zip(node.rects, node.refs):
+                if rect.intersects(query):
+                    if node.leaf:
+                        out.append((rect, ref))
+                    else:
+                        stack.append(ref)
+        return out
+
+    def nearest(self, x: float, y: float, k: int = 1) -> List[Tuple[float, int]]:
+        """The k entries nearest to (x, y) as (distance, ref) pairs."""
+        return list(itertools.islice(self.iter_nearest(x, y), k))
+
+    def iter_nearest(self, x: float, y: float) -> Iterator[Tuple[float, int]]:
+        """Yield entries in increasing Euclidean distance from (x, y).
+
+        Best-first traversal over node MBRs; this is the incremental access
+        pattern used by the Euclidean-bound baseline to fetch the next
+        candidate object lazily.
+        """
+        counter = itertools.count()  # tie-breaker so Rects never compare
+        heap: List[Tuple[float, int, bool, int]] = []
+        heapq.heappush(heap, (0.0, next(counter), False, self._root_id))
+        while heap:
+            dist, _, is_entry, ref = heapq.heappop(heap)
+            if is_entry:
+                yield dist, ref
+                continue
+            node = self._load(ref)
+            for rect, child in zip(node.rects, node.refs):
+                heapq.heappush(
+                    heap,
+                    (rect.min_dist(x, y), next(counter), node.leaf, child),
+                )
+
+    def entries(self) -> List[Tuple[Rect, int]]:
+        """Every stored (rect, ref) entry (test/debug helper)."""
+        out: List[Tuple[Rect, int]] = []
+        stack = [self._root_id]
+        while stack:
+            node = self._load(stack.pop())
+            if node.leaf:
+                out.extend(zip(node.rects, node.refs))
+            else:
+                stack.extend(node.refs)
+        return out
+
+    def validate(self) -> None:
+        """Check MBR containment and fill invariants (tests)."""
+        self._validate_node(self._root_id, is_root=True)
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _load(self, page_id: int) -> _RTreeNode:
+        return self._pager.read(page_id).payload
+
+    def _save(self, page_id: int) -> None:
+        page = self._pager.read(page_id)
+        self._pager.write(page, page.payload.nbytes)
+
+    def _grow_root(self, split: Tuple[Rect, int, Rect, int]) -> None:
+        left_rect, left_id, right_rect, right_id = split
+        root = _RTreeNode(leaf=False)
+        root.rects = [left_rect, right_rect]
+        root.refs = [left_id, right_id]
+        self._root_id = self._pager.allocate(self.name, root, root.nbytes).page_id
+
+    def _insert_at(
+        self, page_id: int, rect: Rect, ref: int
+    ) -> Optional[Tuple[Rect, int, Rect, int]]:
+        node = self._load(page_id)
+        if node.leaf:
+            node.rects.append(rect)
+            node.refs.append(ref)
+            if len(node.refs) <= self._max:
+                self._save(page_id)
+                return None
+            return self._split(page_id, node)
+
+        best = self._choose_subtree(node, rect)
+        split = self._insert_at(node.refs[best], rect, ref)
+        if split is None:
+            node.rects[best] = node.rects[best].union(rect)
+            self._save(page_id)
+            return None
+        left_rect, left_id, right_rect, right_id = split
+        node.rects[best] = left_rect
+        node.refs[best] = left_id
+        node.rects.append(right_rect)
+        node.refs.append(right_id)
+        if len(node.refs) <= self._max:
+            self._save(page_id)
+            return None
+        return self._split(page_id, node)
+
+    def _choose_subtree(self, node: _RTreeNode, rect: Rect) -> int:
+        best, best_growth, best_area = 0, float("inf"), float("inf")
+        for i, child_rect in enumerate(node.rects):
+            growth = child_rect.enlargement(rect)
+            area = child_rect.area
+            if growth < best_growth or (growth == best_growth and area < best_area):
+                best, best_growth, best_area = i, growth, area
+        return best
+
+    def _split(self, page_id: int, node: _RTreeNode) -> Tuple[Rect, int, Rect, int]:
+        """Quadratic split; reuse ``page_id`` for the left group."""
+        rects, refs = node.rects, node.refs
+        seed_a, seed_b = self._pick_seeds(rects)
+        groups: Tuple[List[int], List[int]] = ([seed_a], [seed_b])
+        boxes = [rects[seed_a], rects[seed_b]]
+        remaining = [i for i in range(len(rects)) if i not in (seed_a, seed_b)]
+
+        while remaining:
+            # Force-assign when one group must take everything left to reach
+            # minimum fill.
+            if len(groups[0]) + len(remaining) == self._min:
+                groups[0].extend(remaining)
+                for i in remaining:
+                    boxes[0] = boxes[0].union(rects[i])
+                break
+            if len(groups[1]) + len(remaining) == self._min:
+                groups[1].extend(remaining)
+                for i in remaining:
+                    boxes[1] = boxes[1].union(rects[i])
+                break
+
+            # Pick the entry with the strongest preference.
+            best_i, best_diff, best_into = -1, -1.0, 0
+            for i in remaining:
+                d0 = boxes[0].enlargement(rects[i])
+                d1 = boxes[1].enlargement(rects[i])
+                diff = abs(d0 - d1)
+                if diff > best_diff:
+                    best_i, best_diff = i, diff
+                    best_into = 0 if d0 < d1 else 1
+            remaining.remove(best_i)
+            groups[best_into].append(best_i)
+            boxes[best_into] = boxes[best_into].union(rects[best_i])
+
+        left = _RTreeNode(leaf=node.leaf)
+        right = _RTreeNode(leaf=node.leaf)
+        for i in groups[0]:
+            left.rects.append(rects[i])
+            left.refs.append(refs[i])
+        for i in groups[1]:
+            right.rects.append(rects[i])
+            right.refs.append(refs[i])
+
+        page = self._pager.read(page_id)
+        page.payload = left
+        self._pager.write(page, left.nbytes)
+        right_page = self._pager.allocate(self.name, right, right.nbytes)
+        return left.mbr(), page_id, right.mbr(), right_page.page_id
+
+    def _pick_seeds(self, rects: List[Rect]) -> Tuple[int, int]:
+        worst, seeds = -1.0, (0, 1)
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                waste = rects[i].union(rects[j]).area - rects[i].area - rects[j].area
+                if waste > worst:
+                    worst, seeds = waste, (i, j)
+        return seeds
+
+    def _delete_from(self, page_id: int, rect: Rect, ref: int) -> bool:
+        """Find and remove the entry, condensing under-full leaves."""
+        orphans: List[Tuple[Rect, int]] = []
+        found = self._delete_rec(self._root_id, rect, ref, orphans)
+        for orphan_rect, orphan_ref in orphans:
+            split = self._insert_at(self._root_id, orphan_rect, orphan_ref)
+            if split is not None:
+                self._grow_root(split)
+        return found
+
+    def _delete_rec(
+        self, page_id: int, rect: Rect, ref: int, orphans: List[Tuple[Rect, int]]
+    ) -> bool:
+        node = self._load(page_id)
+        if node.leaf:
+            for i, (entry_rect, entry_ref) in enumerate(zip(node.rects, node.refs)):
+                if entry_ref == ref and entry_rect == rect:
+                    del node.rects[i], node.refs[i]
+                    self._save(page_id)
+                    return True
+            return False
+
+        for i in range(len(node.refs)):
+            if not node.rects[i].intersects(rect):
+                continue
+            if self._delete_rec(node.refs[i], rect, ref, orphans):
+                child = self._load(node.refs[i])
+                if child.leaf and len(child.refs) < self._min and page_id != self._root_id:
+                    orphans.extend(zip(child.rects, child.refs))
+                    self._pager.free(node.refs[i])
+                    del node.rects[i], node.refs[i]
+                elif child.rects:
+                    node.rects[i] = child.mbr()
+                elif not child.rects:
+                    self._pager.free(node.refs[i])
+                    del node.rects[i], node.refs[i]
+                self._save(page_id)
+                return True
+        return False
+
+    def _validate_node(self, page_id: int, is_root: bool = False) -> Rect:
+        node = self._load(page_id)
+        if not is_root and len(node.refs) > self._max:
+            raise ValueError(f"rtree node {page_id} overflows")
+        if node.leaf:
+            return node.mbr() if node.rects else Rect(0, 0, 0, 0)
+        for rect, child_id in zip(node.rects, node.refs):
+            child_mbr = self._validate_node(child_id)
+            union = rect.union(child_mbr)
+            if union != rect:
+                raise ValueError(
+                    f"rtree node {page_id}: child MBR {child_mbr} escapes {rect}"
+                )
+        return node.mbr()

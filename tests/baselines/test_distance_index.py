@@ -1,0 +1,119 @@
+"""Distance Index specifics: signatures, next hops, rebuild costs."""
+
+import math
+
+import pytest
+
+from repro.baselines.distance_index import CHUNK_SIZE, DistanceIndexEngine
+from repro.graph.generators import chain_network, grid_network
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.objects.placement import place_uniform
+
+
+@pytest.fixture
+def engine():
+    net = grid_network(6, 6, seed=4)
+    objects = place_uniform(net, 6, seed=6)
+    return DistanceIndexEngine(net, objects)
+
+
+class TestSignatures:
+    def test_every_node_has_full_signature(self, engine):
+        for node in engine.network.node_ids():
+            signature = engine._read_signature(node)
+            assert len(signature) == len(engine.objects)
+
+    def test_signature_distances_exact(self, engine):
+        from tests.oracle import brute_object_distances
+
+        for node in list(engine.network.node_ids())[:8]:
+            expected = dict(
+                (i, d)
+                for d, i in brute_object_distances(
+                    engine.network, engine.objects, node
+                )
+            )
+            for object_id, distance, _ in engine._read_signature(node):
+                assert distance == pytest.approx(expected[object_id])
+
+    def test_chunking_splits_large_signatures(self):
+        net = chain_network(12)
+        objects = ObjectSet(
+            SpatialObject(i, (j, j + 1), 0.5)
+            for i, j in enumerate([n % 11 for n in range(CHUNK_SIZE + 20)])
+        )
+        engine = DistanceIndexEngine(net, objects)
+        signature = engine._read_signature(0)
+        assert len(signature) == CHUNK_SIZE + 20
+
+    def test_unreachable_objects_marked_infinite(self):
+        from repro.graph.network import RoadNetwork
+
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_node(i, i, 0)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(2, 3, 1.0)
+        objects = ObjectSet([SpatialObject(1, (2, 3), 0.5)])
+        engine = DistanceIndexEngine(net, objects)
+        signature = engine._read_signature(0)
+        assert math.isinf(signature[0][1])
+        assert engine.knn(0, 1) == []
+
+
+class TestNextHops:
+    def test_path_to_object_follows_shortest_path(self, engine):
+        target = engine.objects.ids()[0]
+        obj = engine.objects.get(target)
+        path = engine.path_to_object(0, target)
+        assert path[0] == 0
+        assert path[-1] in obj.edge
+        # consecutive hops are adjacent
+        for a, b in zip(path, path[1:]):
+            assert engine.network.has_edge(a, b)
+        # path length equals signature distance minus the offset
+        signature = dict(
+            (oid, d) for oid, d, _ in engine._read_signature(0)
+        )
+        walked = sum(
+            engine.network.edge_distance(a, b) for a, b in zip(path, path[1:])
+        )
+        end_delta = obj.offset_from(
+            path[-1], engine.network.edge_distance(*obj.edge)
+        )
+        assert walked + end_delta == pytest.approx(signature[target])
+
+    def test_path_to_unreachable_raises(self):
+        from repro.graph.network import RoadNetwork
+
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_node(i, i, 0)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(2, 3, 1.0)
+        engine = DistanceIndexEngine(net, ObjectSet([SpatialObject(1, (2, 3), 0.5)]))
+        with pytest.raises(KeyError):
+            engine.path_to_object(0, 1)
+
+
+class TestRebuilds:
+    def test_insert_updates_all_signatures(self, engine):
+        u, v, d = next(engine.network.edges())
+        new_id = engine.objects.next_id()
+        engine.insert_object(SpatialObject(new_id, (u, v), d / 2))
+        for node in list(engine.network.node_ids())[:5]:
+            ids = [oid for oid, _, _ in engine._read_signature(node)]
+            assert new_id in ids
+
+    def test_delete_shrinks_signatures(self, engine):
+        victim = engine.objects.ids()[0]
+        before = len(engine._read_signature(0))
+        engine.delete_object(victim)
+        after = len(engine._read_signature(0))
+        assert after == before - 1
+
+    def test_index_size_grows_with_objects(self):
+        net = grid_network(6, 6, seed=4)
+        small = DistanceIndexEngine(net.copy(), place_uniform(net, 4, seed=1))
+        large = DistanceIndexEngine(net.copy(), place_uniform(net, 40, seed=1))
+        assert large.index_size_bytes > small.index_size_bytes

@@ -1,0 +1,89 @@
+"""Euclidean engine specifics: metric soundness, IER behaviour."""
+
+import pytest
+
+from repro.baselines.engine import EngineError
+from repro.baselines.euclidean import EuclideanEngine
+from repro.graph.generators import grid_network, travel_time_metric
+from repro.objects.placement import place_uniform
+
+
+class TestMetricSoundness:
+    def test_travel_time_metric_refused(self):
+        base = grid_network(5, 5, seed=1)
+        timed = travel_time_metric(base, seed=2)
+        objects = place_uniform(timed, 5, seed=3)
+        with pytest.raises(EngineError):
+            EuclideanEngine(timed, objects)
+
+    def test_override_allows_unsound_metric(self):
+        base = grid_network(5, 5, seed=1)
+        timed = travel_time_metric(base, seed=2)
+        objects = place_uniform(timed, 5, seed=3)
+        engine = EuclideanEngine(timed, objects, unsafe_metric_override=True)
+        assert engine.knn(0, 1)  # runs, correctness not guaranteed
+
+    def test_distance_metric_accepted(self):
+        net = grid_network(5, 5, seed=1)
+        engine = EuclideanEngine(net, place_uniform(net, 5, seed=3))
+        assert engine.name == "Euclidean"
+
+
+class TestIERBehaviour:
+    @pytest.fixture
+    def engine(self):
+        net = grid_network(8, 8, seed=2)
+        objects = place_uniform(net, 10, seed=5)
+        return EuclideanEngine(net, objects)
+
+    def test_interpolated_positions_on_edge(self, engine):
+        for obj in engine.objects:
+            x, y = engine._interpolate(obj)
+            u, v = obj.edge
+            ux, uy = engine.network.coords(u)
+            vx, vy = engine.network.coords(v)
+            assert min(ux, vx) - 1e-9 <= x <= max(ux, vx) + 1e-9
+            assert min(uy, vy) - 1e-9 <= y <= max(uy, vy) + 1e-9
+
+    def test_knn_verified_distances_are_network_distances(self, engine):
+        from tests.oracle import brute_knn
+
+        got = engine.knn(0, 3)
+        expected = brute_knn(engine.network, engine.objects, 0, 3)
+        for entry, (d, _) in zip(got, expected):
+            assert entry.distance == pytest.approx(d)
+
+    def test_euclidean_lower_bound_holds(self, engine):
+        """Generator networks must satisfy the bound the engine relies on."""
+        import math
+
+        for obj in list(engine.objects)[:5]:
+            x, y = engine._interpolate(obj)
+            for nq in (0, 36, 63):
+                qx, qy = engine.network.coords(nq)
+                euclid = math.hypot(qx - x, qy - y)
+                network_distance = engine._network_distance(nq, obj)
+                assert network_distance is not None
+                assert euclid <= network_distance + 1e-6
+
+    def test_disconnected_candidate_skipped(self):
+        from repro.graph.network import RoadNetwork
+        from repro.objects.model import ObjectSet, SpatialObject
+
+        net = RoadNetwork()
+        for i, (x, y) in enumerate([(0, 0), (1, 0), (10, 0), (11, 0)]):
+            net.add_node(i, x, y)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(2, 3, 1.0)  # separate component
+        objects = ObjectSet(
+            [SpatialObject(1, (0, 1), 0.5), SpatialObject(2, (2, 3), 0.5)]
+        )
+        engine = EuclideanEngine(net, objects)
+        got = engine.knn(0, 5)
+        assert [e.object_id for e in got] == [1]  # object 2 unreachable
+
+    def test_range_circle_vs_box(self, engine):
+        """Window candidates outside the circle must be rejected."""
+        got = engine.range(0, 120.0)
+        for entry in got:
+            assert entry.distance <= 120.0 + 1e-9

@@ -1,0 +1,66 @@
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graph import RoadNetwork, chain_network, grid_network
+
+# Keep property-based tests fast and robust inside CI containers.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_grid() -> RoadNetwork:
+    """5x5 perturbed street grid — enough structure for partition tests."""
+    return grid_network(5, 5, seed=42)
+
+
+@pytest.fixture
+def medium_grid() -> RoadNetwork:
+    """10x10 grid used by integration tests."""
+    return grid_network(10, 10, seed=7)
+
+
+@pytest.fixture
+def chain13() -> RoadNetwork:
+    """13-node chain mirroring the Figure 8 running example."""
+    return chain_network(13)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for tests that sample."""
+    return random.Random(0xC0FFEE)
+
+
+def random_connected_network(
+    rnd: random.Random, num_nodes: int, extra_edges: int
+) -> RoadNetwork:
+    """Random connected network: spanning tree + random extra edges.
+
+    Shared by property-based tests across packages (imported from conftest).
+    """
+    network = RoadNetwork()
+    for node_id in range(num_nodes):
+        network.add_node(node_id, rnd.uniform(0, 100), rnd.uniform(0, 100))
+    nodes = list(range(num_nodes))
+    rnd.shuffle(nodes)
+    for i in range(1, num_nodes):
+        u = nodes[i]
+        v = nodes[rnd.randrange(i)]
+        network.add_edge(u, v, rnd.uniform(0.1, 10.0))
+    for _ in range(extra_edges):
+        u, v = rnd.randrange(num_nodes), rnd.randrange(num_nodes)
+        if u != v and not network.has_edge(u, v):
+            network.add_edge(u, v, rnd.uniform(0.1, 10.0))
+    return network

@@ -1,0 +1,158 @@
+"""Aggregate kNN: equivalence with brute force across aggregates."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import ROAD
+from repro.graph.shortest_path import dijkstra_distances
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.objects.placement import place_uniform
+from repro.queries.types import Predicate
+from tests.conftest import random_connected_network
+
+AGGS = {"sum": sum, "max": max, "min": min}
+
+
+def brute_aggregate(network, objects, query_nodes, k, agg, predicate=None):
+    """Oracle: full Dijkstra from every query node."""
+    combine = AGGS[agg]
+    per_node = [
+        dijkstra_distances(network.neighbours, q) for q in query_nodes
+    ]
+    out = []
+    for obj in objects:
+        if predicate is not None and not predicate.matches(obj):
+            continue
+        u, v = obj.edge
+        edge_distance = network.edge_distance(u, v)
+        values = []
+        for dist in per_node:
+            candidates = [
+                dist[n] + obj.offset_from(n, edge_distance)
+                for n in (u, v)
+                if n in dist
+            ]
+            values.append(min(candidates) if candidates else math.inf)
+        value = combine(values)
+        if math.isfinite(value):
+            out.append((value, obj.object_id))
+    out.sort()
+    return out[:k]
+
+
+@pytest.fixture
+def built(medium_grid):
+    objects = place_uniform(
+        medium_grid, 14, seed=5, attr_choices={"type": ["a", "b"]}
+    )
+    road = ROAD.build(medium_grid, levels=3, fanout=4)
+    road.attach_objects(objects)
+    return medium_grid, objects, road
+
+
+class TestAggregateKnn:
+    @pytest.mark.parametrize("agg", ["sum", "max", "min"])
+    def test_matches_brute_force(self, built, agg):
+        net, objects, road = built
+        query_nodes = [0, 55, 99]
+        got = road.aggregate_knn(query_nodes, 4, agg)
+        expected = brute_aggregate(net, objects, query_nodes, 4, agg)
+        assert [e.object_id for e in got] == [i for _, i in expected]
+        for entry, (value, _) in zip(got, expected):
+            assert entry.distance == pytest.approx(value)
+
+    def test_single_query_node_equals_knn(self, built):
+        net, objects, road = built
+        plain = road.knn(42, 5)
+        for agg in ("sum", "max", "min"):
+            aggregated = road.aggregate_knn([42], 5, agg)
+            assert [e.object_id for e in aggregated] == [
+                e.object_id for e in plain
+            ]
+
+    def test_with_predicate(self, built):
+        net, objects, road = built
+        pred = Predicate.of(type="a")
+        got = road.aggregate_knn([0, 99], 3, "sum", pred)
+        expected = brute_aggregate(net, objects, [0, 99], 3, "sum", pred)
+        assert [e.object_id for e in got] == [i for _, i in expected]
+
+    def test_duplicate_query_nodes(self, built):
+        net, objects, road = built
+        got = road.aggregate_knn([50, 50], 3, "sum")
+        plain = road.knn(50, 3)
+        assert [e.object_id for e in got] == [e.object_id for e in plain]
+        for pair, single in zip(got, plain):
+            assert pair.distance == pytest.approx(2 * single.distance)
+
+    def test_k_exceeds_objects(self, built):
+        net, objects, road = built
+        got = road.aggregate_knn([0, 99], 100, "max")
+        assert len(got) == len(objects)
+
+    def test_results_sorted(self, built):
+        _, _, road = built
+        got = road.aggregate_knn([0, 44, 99], 6, "sum")
+        values = [e.distance for e in got]
+        assert values == sorted(values)
+
+    def test_invalid_inputs(self, built):
+        _, _, road = built
+        with pytest.raises(ValueError):
+            road.aggregate_knn([0], 0, "sum")
+        with pytest.raises(ValueError):
+            road.aggregate_knn([], 1, "sum")
+        with pytest.raises(ValueError):
+            road.aggregate_knn([0], 1, "median")
+
+    def test_unreachable_component_excluded_for_sum(self):
+        from repro.graph.network import RoadNetwork
+
+        net = RoadNetwork()
+        for i, (x, y) in enumerate([(0, 0), (1, 0), (5, 0), (6, 0)]):
+            net.add_node(i, x, y)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(2, 3, 1.0)
+        road = ROAD.build(net, levels=1, fanout=2)
+        road.attach_objects(
+            ObjectSet(
+                [SpatialObject(1, (0, 1), 0.5), SpatialObject(2, (2, 3), 0.5)]
+            )
+        )
+        got = road.aggregate_knn([0, 2], 5, "sum")
+        assert got == []  # neither object reachable from both components
+        got_min = road.aggregate_knn([0, 2], 5, "min")
+        assert sorted(e.object_id for e in got_min) == [1, 2]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    agg=st.sampled_from(["sum", "max", "min"]),
+)
+def test_aggregate_property(seed, agg):
+    """Property: lockstep aggregation equals brute force on random inputs."""
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(12, 40), rnd.randint(0, 20))
+    objects = ObjectSet()
+    edges = sorted((u, v) for u, v, _ in network.edges())
+    for object_id in range(rnd.randint(1, 8)):
+        u, v = edges[rnd.randrange(len(edges))]
+        objects.add(
+            SpatialObject(object_id, (u, v), rnd.uniform(0, network.edge_distance(u, v)))
+        )
+    road = ROAD.build(network, levels=2, fanout=4)
+    road.attach_objects(objects)
+    query_nodes = [
+        rnd.randrange(network.num_nodes) for _ in range(rnd.randint(1, 3))
+    ]
+    k = rnd.randint(1, 4)
+    got = road.aggregate_knn(query_nodes, k, agg)
+    expected = brute_aggregate(network, objects, query_nodes, k, agg)
+    assert [e.object_id for e in got] == [i for _, i in expected]
+    for entry, (value, _) in zip(got, expected):
+        assert entry.distance == pytest.approx(value)

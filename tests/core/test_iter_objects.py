@@ -1,0 +1,69 @@
+"""Incremental object iteration (the substrate of aggregate queries)."""
+
+import itertools
+
+import pytest
+
+from repro.core.framework import ROAD
+from repro.core.search import SearchStats, iter_nearest_objects
+from repro.objects.placement import place_uniform
+from repro.queries.types import Predicate
+from tests.oracle import brute_object_distances
+
+
+@pytest.fixture
+def built(medium_grid):
+    objects = place_uniform(
+        medium_grid, 12, seed=8, attr_choices={"type": ["a", "b"]}
+    )
+    road = ROAD.build(medium_grid, levels=3, fanout=4)
+    road.attach_objects(objects)
+    return medium_grid, objects, road
+
+
+class TestIterNearestObjects:
+    def test_yields_all_objects_in_distance_order(self, built):
+        net, objects, road = built
+        stream = list(
+            iter_nearest_objects(road.overlay, road.directory(), 0)
+        )
+        expected = brute_object_distances(net, objects, 0)
+        assert [oid for _, oid in stream] == [oid for _, oid in expected]
+        for (got_d, _), (exp_d, _) in zip(stream, expected):
+            assert got_d == pytest.approx(exp_d)
+
+    def test_lazy_consumption_matches_knn(self, built):
+        _, _, road = built
+        it = iter_nearest_objects(road.overlay, road.directory(), 37)
+        first_three = list(itertools.islice(it, 3))
+        knn = road.knn(37, 3)
+        assert [oid for _, oid in first_three] == [e.object_id for e in knn]
+
+    def test_partial_pull_expands_partially(self, built):
+        """Pulling one object must not explore the whole network."""
+        _, _, road = built
+        stats = SearchStats()
+        it = iter_nearest_objects(
+            road.overlay, road.directory(), 0, stats=stats
+        )
+        next(it)
+        assert stats.nodes_popped < road.network.num_nodes / 2
+
+    def test_predicate_filtering(self, built):
+        net, objects, road = built
+        pred = Predicate.of(type="a")
+        stream = list(
+            iter_nearest_objects(road.overlay, road.directory(), 10, pred)
+        )
+        expected = brute_object_distances(net, objects, 10, pred)
+        assert [oid for _, oid in stream] == [oid for _, oid in expected]
+
+    def test_exhaustion_on_empty_directory(self, medium_grid):
+        from repro.objects.model import ObjectSet
+
+        road = ROAD.build(medium_grid, levels=2, fanout=4)
+        road.attach_objects(ObjectSet())
+        stream = list(
+            iter_nearest_objects(road.overlay, road.directory(), 0)
+        )
+        assert stream == []

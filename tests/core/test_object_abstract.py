@@ -1,0 +1,160 @@
+"""Object abstracts: no false negatives, update semantics, sizes."""
+
+import pytest
+
+from repro.core.object_abstract import (
+    BloomAbstract,
+    CountingAbstract,
+    ExactAbstract,
+    SignatureAbstract,
+    bloom_abstract,
+    counting_abstract,
+    exact_abstract,
+    signature_abstract,
+)
+from repro.objects.model import SpatialObject
+from repro.queries.types import ANY, Predicate
+
+
+def obj(object_id=1, **attrs):
+    return SpatialObject(object_id, (1, 2), 0.5, attrs)
+
+
+ALL_FACTORIES = [
+    exact_abstract,
+    counting_abstract,
+    bloom_abstract(),
+    signature_abstract(),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+class TestCommonContract:
+    def test_empty_abstract_contains_nothing(self, factory):
+        abstract = factory()
+        assert abstract.count == 0
+        assert not abstract.may_contain(ANY)
+        assert not abstract.may_contain(Predicate.of(type="hotel"))
+
+    def test_added_object_always_findable(self, factory):
+        abstract = factory()
+        abstract.add(obj(type="hotel"))
+        assert abstract.count == 1
+        assert abstract.may_contain(ANY)
+        assert abstract.may_contain(Predicate.of(type="hotel"))
+
+    def test_multiple_objects_counted(self, factory):
+        abstract = factory()
+        abstract.add(obj(1, type="hotel"))
+        abstract.add(obj(2, type="fuel"))
+        assert abstract.count == 2
+        assert abstract.may_contain(Predicate.of(type="hotel"))
+        assert abstract.may_contain(Predicate.of(type="fuel"))
+
+    def test_size_bytes_positive(self, factory):
+        abstract = factory()
+        abstract.add(obj(type="hotel"))
+        assert abstract.size_bytes > 0
+
+
+class TestExactAbstract:
+    def test_wrong_value_pruned(self):
+        abstract = ExactAbstract()
+        abstract.add(obj(type="hotel"))
+        assert not abstract.may_contain(Predicate.of(type="fuel"))
+        assert not abstract.may_contain(Predicate.of(stars="5"))
+
+    def test_remove_reverts_counts(self):
+        abstract = ExactAbstract()
+        o = obj(type="hotel")
+        abstract.add(o)
+        assert abstract.remove(o)
+        assert abstract.count == 0
+        assert not abstract.may_contain(Predicate.of(type="hotel"))
+
+    def test_remove_keeps_remaining_values(self):
+        abstract = ExactAbstract()
+        a, b = obj(1, type="hotel"), obj(2, type="hotel")
+        abstract.add(a)
+        abstract.add(b)
+        abstract.remove(a)
+        assert abstract.may_contain(Predicate.of(type="hotel"))
+
+    def test_remove_from_empty_requests_rebuild(self):
+        assert not ExactAbstract().remove(obj())
+
+    def test_multi_attribute_conjunction_conservative(self):
+        abstract = ExactAbstract()
+        abstract.add(obj(1, type="hotel", city="SF"))
+        abstract.add(obj(2, type="fuel", city="LA"))
+        # No single object is (hotel, LA), but per-value counts cannot rule
+        # it out: must answer "maybe" (no false negatives, possible FP).
+        assert abstract.may_contain(Predicate.of(type="hotel", city="LA"))
+        assert not abstract.may_contain(Predicate.of(type="bank"))
+
+    def test_size_grows_with_distinct_values(self):
+        abstract = ExactAbstract()
+        abstract.add(obj(1, type="hotel"))
+        small = abstract.size_bytes
+        abstract.add(obj(2, type="fuel"))
+        assert abstract.size_bytes > small
+
+
+class TestCountingAbstract:
+    def test_ignores_attributes(self):
+        abstract = CountingAbstract()
+        abstract.add(obj(type="hotel"))
+        assert abstract.may_contain(Predicate.of(type="fuel"))  # conservative
+
+    def test_remove(self):
+        abstract = CountingAbstract()
+        abstract.add(obj())
+        assert abstract.remove(obj())
+        assert abstract.count == 0
+        assert not abstract.remove(obj())
+
+    def test_fixed_size(self):
+        abstract = CountingAbstract()
+        before = abstract.size_bytes
+        for i in range(10):
+            abstract.add(obj(i, type=f"t{i}"))
+        assert abstract.size_bytes == before
+
+
+class TestFixedSizeAbstracts:
+    @pytest.mark.parametrize("cls", [BloomAbstract, SignatureAbstract])
+    def test_remove_requests_rebuild(self, cls):
+        abstract = cls()
+        o = obj(type="hotel")
+        abstract.add(o)
+        assert not abstract.remove(o)
+
+    def test_bloom_prunes_unseen_values(self):
+        abstract = BloomAbstract(num_bits=512)
+        abstract.add(obj(type="hotel"))
+        misses = sum(
+            not abstract.may_contain(Predicate.of(type=f"value-{i}"))
+            for i in range(50)
+        )
+        assert misses > 40
+
+    def test_signature_prunes_unseen_values(self):
+        abstract = SignatureAbstract()
+        abstract.add(obj(type="hotel"))
+        misses = sum(
+            not abstract.may_contain(Predicate.of(type=f"value-{i}"))
+            for i in range(50)
+        )
+        assert misses > 40
+
+    def test_bloom_size_fixed(self):
+        abstract = BloomAbstract(num_bits=256)
+        before = abstract.size_bytes
+        for i in range(20):
+            abstract.add(obj(i, type=f"t{i}"))
+        assert abstract.size_bytes == before
+
+    def test_factories_share_signature_scheme(self):
+        factory = signature_abstract()
+        a, b = factory(), factory()
+        assert a._signature.scheme is b._signature.scheme

@@ -1,0 +1,148 @@
+"""Path materialisation: shortcut expansion and routed queries."""
+
+import pytest
+
+from repro.core.framework import ROAD
+from repro.core.paths import PathError, PathTracer, expand_shortcut
+from repro.core.rnet import RnetHierarchy
+from repro.core.shortcuts import build_shortcuts
+from repro.graph.generators import chain_network, grid_network
+from repro.graph.shortest_path import network_distance, shortest_path
+from repro.objects.placement import place_uniform
+from tests.oracle import brute_knn
+
+
+@pytest.fixture
+def built(medium_grid):
+    from repro.partition.hierarchy import build_partition_tree
+
+    tree = build_partition_tree(medium_grid, levels=3, fanout=4)
+    hierarchy = RnetHierarchy(medium_grid, tree)
+    index = build_shortcuts(medium_grid, hierarchy)
+    return medium_grid, hierarchy, index
+
+
+class TestExpandShortcut:
+    def test_leaf_shortcuts_expand_to_their_hops(self, built):
+        net, hierarchy, index = built
+        leaf = next(l for l in hierarchy.leaves() if index.of_rnet(l.rnet_id))
+        shortcut = index.of_rnet(leaf.rnet_id)[0]
+        path = expand_shortcut(hierarchy, index, shortcut)
+        assert path == [shortcut.source, *shortcut.via, shortcut.target]
+
+    def test_expanded_path_is_physically_connected(self, built):
+        net, hierarchy, index = built
+        for rnet in hierarchy.at_level(1):
+            for shortcut in index.of_rnet(rnet.rnet_id)[:5]:
+                path = expand_shortcut(hierarchy, index, shortcut)
+                assert path[0] == shortcut.source
+                assert path[-1] == shortcut.target
+                for a, b in zip(path, path[1:]):
+                    assert net.has_edge(a, b), f"({a},{b}) missing"
+
+    def test_expanded_length_equals_shortcut_distance(self, built):
+        net, hierarchy, index = built
+        checked = 0
+        for rnet in hierarchy.at_level(1):
+            for shortcut in index.of_rnet(rnet.rnet_id)[:5]:
+                path = expand_shortcut(hierarchy, index, shortcut)
+                total = sum(
+                    net.edge_distance(a, b) for a, b in zip(path, path[1:])
+                )
+                assert total == pytest.approx(shortcut.distance)
+                checked += 1
+        assert checked > 0
+
+    def test_chain_expansion_matches_figure8(self):
+        """On the chain, every shortcut expands to the consecutive walk."""
+        chain = chain_network(13)
+        from repro.partition.hierarchy import build_partition_tree
+
+        tree = build_partition_tree(chain, levels=2, fanout=2)
+        hierarchy = RnetHierarchy(chain, tree)
+        index = build_shortcuts(chain, hierarchy)
+        for rnet in hierarchy.rnets():
+            for shortcut in index.of_rnet(rnet.rnet_id):
+                path = expand_shortcut(hierarchy, index, shortcut)
+                step = 1 if shortcut.target > shortcut.source else -1
+                assert path == list(
+                    range(shortcut.source, shortcut.target + step, step)
+                )
+
+
+class TestRoutedQueries:
+    @pytest.fixture
+    def road(self, medium_grid):
+        road = ROAD.build(medium_grid, levels=3, fanout=4)
+        road.attach_objects(place_uniform(medium_grid, 12, seed=4))
+        return road
+
+    def test_routed_knn_distances_match_plain_knn(self, road):
+        plain = road.knn(0, 5)
+        routed = road.knn_routed(0, 5)
+        assert [r.entry for r in routed] == plain
+
+    def test_routes_are_real_shortest_paths(self, road):
+        net = road.network
+        for result in road.knn_routed(0, 5):
+            path = result.path
+            assert path[0] == 0
+            for a, b in zip(path, path[1:]):
+                assert net.has_edge(a, b)
+            walked = sum(
+                net.edge_distance(a, b) for a, b in zip(path, path[1:])
+            )
+            assert walked + result.approach == pytest.approx(
+                result.entry.distance
+            )
+            # the walked prefix must itself be a shortest path
+            assert walked == pytest.approx(network_distance(net, 0, path[-1]))
+
+    def test_routed_range(self, road):
+        routed = road.range_routed(50, 400.0)
+        assert routed  # something within 400m of the grid centre
+        for result in routed:
+            assert result.entry.distance <= 400.0 + 1e-9
+            assert result.path[0] == 50
+
+    def test_route_from_adjacent_node(self, road):
+        """Query right next to the object: trivial path."""
+        obj = next(iter(road.directory().objects))
+        u = obj.edge[0]
+        routed = road.knn_routed(u, 1)
+        assert routed[0].path[0] == u
+
+    def test_routes_after_maintenance(self, road):
+        net = road.network
+        u, v, d = next(net.edges())
+        road.update_edge_distance(u, v, d * 6)
+        for result in road.knn_routed(99, 3):
+            walked = sum(
+                net.edge_distance(a, b)
+                for a, b in zip(result.path, result.path[1:])
+            )
+            assert walked + result.approach == pytest.approx(
+                result.entry.distance
+            )
+
+
+class TestTracerErrors:
+    def test_unsettled_object_raises(self, built):
+        net, hierarchy, index = built
+        from repro.core.paths import object_path
+
+        with pytest.raises(PathError):
+            object_path(PathTracer(), hierarchy, index, 0, 99)
+
+    def test_unsettled_node_raises(self, built):
+        net, hierarchy, index = built
+        from repro.core.paths import node_path
+
+        with pytest.raises(PathError):
+            node_path(PathTracer(), hierarchy, index, 0, 57)
+
+    def test_source_path_is_trivial(self, built):
+        net, hierarchy, index = built
+        from repro.core.paths import node_path
+
+        assert node_path(PathTracer(), hierarchy, index, 3, 3) == [3]

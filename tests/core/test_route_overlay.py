@@ -1,0 +1,132 @@
+"""Route Overlay storage layout: clustering, overflow, maintenance."""
+
+import pytest
+
+from repro.core.rnet import RnetHierarchy
+from repro.core.route_overlay import RouteOverlay, RouteOverlayError
+from repro.core.shortcuts import build_shortcuts
+from repro.graph.generators import grid_network
+from repro.partition.hierarchy import build_partition_tree
+from repro.storage.pager import PAGE_HEADER_SIZE, PAGE_SIZE, PageManager
+
+
+@pytest.fixture
+def overlay_setting(medium_grid):
+    tree = build_partition_tree(medium_grid, levels=2, fanout=4)
+    hierarchy = RnetHierarchy(medium_grid, tree)
+    shortcuts = build_shortcuts(medium_grid, hierarchy)
+    pager = PageManager(buffer_pages=16)
+    overlay = RouteOverlay(pager, medium_grid, hierarchy, shortcuts)
+    return medium_grid, hierarchy, shortcuts, pager, overlay
+
+
+class TestLayout:
+    def test_every_node_indexed(self, overlay_setting):
+        net, _, _, _, overlay = overlay_setting
+        assert overlay.node_count == net.num_nodes
+        for node in net.node_ids():
+            assert overlay.has_node(node)
+
+    def test_unknown_node_raises(self, overlay_setting):
+        _, _, _, _, overlay = overlay_setting
+        with pytest.raises(RouteOverlayError):
+            overlay.shortcut_tree(99_999)
+
+    def test_trees_match_freshly_built(self, overlay_setting):
+        from repro.core.shortcut_tree import build_shortcut_tree
+
+        net, hierarchy, shortcuts, _, overlay = overlay_setting
+        for node in list(net.node_ids())[:15]:
+            stored = overlay.shortcut_tree(node)
+            fresh = build_shortcut_tree(net, hierarchy, shortcuts, node)
+            assert sorted(stored.all_edges()) == sorted(fresh.all_edges())
+            assert len(stored.roots) == len(fresh.roots)
+
+    def test_clustering_gives_locality(self, overlay_setting):
+        _, _, _, _, overlay = overlay_setting
+        # BFS packing should co-locate a decent share of neighbours.
+        assert overlay.locality() > 0.3
+
+    def test_pages_respect_capacity(self, overlay_setting):
+        _, _, _, pager, overlay = overlay_setting
+        for page in pager.iter_pages(overlay.name):
+            assert page.nbytes <= PAGE_SIZE - PAGE_HEADER_SIZE
+
+    def test_expansion_io_beats_random_access(self, overlay_setting):
+        """Reading a BFS neighbourhood costs fewer pages than node count."""
+        net, _, _, pager, overlay = overlay_setting
+        pager.drop_cache()
+        pager.reset_stats()
+        frontier, seen = [0], {0}
+        for _ in range(30):
+            node = frontier.pop(0)
+            for neighbour, _ in overlay.shortcut_tree(node).all_edges():
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        assert pager.stats.reads < 30
+
+    def test_size_accounts_directory_and_records(self, overlay_setting):
+        _, _, _, _, overlay = overlay_setting
+        assert overlay.size_bytes == overlay.page_count * PAGE_SIZE
+        assert overlay.page_count > 1
+
+
+class TestMaintenance:
+    def test_refresh_keeps_tree_loadable(self, overlay_setting):
+        net, _, _, _, overlay = overlay_setting
+        node = next(iter(net.node_ids()))
+        before = sorted(overlay.shortcut_tree(node).all_edges())
+        overlay.refresh_node(node)
+        after = sorted(overlay.shortcut_tree(node).all_edges())
+        assert before == after
+
+    def test_refresh_after_weight_change(self, overlay_setting):
+        net, _, _, _, overlay = overlay_setting
+        u, v, d = next(net.edges())
+        net.update_edge(u, v, d * 3)
+        overlay.refresh_nodes([u, v])
+        assert dict(overlay.shortcut_tree(u).all_edges())[v] == pytest.approx(d * 3)
+
+    def test_remove_node(self, overlay_setting):
+        net, _, _, _, overlay = overlay_setting
+        node = next(iter(net.node_ids()))
+        overlay.remove_node(node)
+        assert not overlay.has_node(node)
+        assert overlay.node_count == net.num_nodes - 1
+
+    def test_many_refreshes_preserve_page_budget(self, overlay_setting):
+        net, _, _, pager, overlay = overlay_setting
+        for node in list(net.node_ids())[:40]:
+            overlay.refresh_node(node)
+        for page in pager.iter_pages(overlay.name):
+            assert page.nbytes <= PAGE_SIZE - PAGE_HEADER_SIZE
+        for node in list(net.node_ids())[:40]:
+            overlay.shortcut_tree(node)  # still loadable
+
+
+class TestOverflowChains:
+    def test_oversized_tree_spills_to_chain(self):
+        """A node bordering many Rnets with many shortcuts overflows a page."""
+        # A dense star-ish network partitioned deep creates fat trees; easier
+        # to force: tiny page budget via a big tree by deep hierarchy.
+        net = grid_network(14, 14, seed=3)
+        tree = build_partition_tree(net, levels=4, fanout=4)
+        hierarchy = RnetHierarchy(net, tree)
+        shortcuts = build_shortcuts(net, hierarchy, reduce=False)
+        pager = PageManager(buffer_pages=16)
+        overlay = RouteOverlay(pager, net, hierarchy, shortcuts)
+        # Regardless of whether any tree overflowed, every tree must load.
+        for node in net.node_ids():
+            overlay.shortcut_tree(node)
+        # And if a chain exists, reading its node charges the extra pages.
+        fat_nodes = [
+            n
+            for n in net.node_ids()
+            if pager.read(overlay._node_page[n]).payload.overflow
+        ]
+        if fat_nodes:
+            pager.drop_cache()
+            pager.reset_stats()
+            overlay.shortcut_tree(fat_nodes[0])
+            assert pager.stats.reads >= 2

@@ -1,0 +1,140 @@
+"""Index persistence: save/load round-trips."""
+
+import pytest
+
+from repro.core.framework import ROAD
+from repro.core.serialize import SerializeError, load_road, save_road
+from repro.graph.generators import grid_network
+from repro.objects.placement import place_uniform
+from repro.queries.types import Predicate
+from tests.oracle import assert_same_result, brute_knn
+
+
+@pytest.fixture
+def saved(tmp_path, medium_grid):
+    objects = place_uniform(
+        medium_grid, 15, seed=3, attr_choices={"type": ["a", "b"]}
+    )
+    road = ROAD.build(medium_grid, levels=3, fanout=4)
+    road.attach_objects(objects)
+    path = tmp_path / "city.roadidx"
+    written = save_road(road, path)
+    return road, objects, path, written
+
+
+class TestRoundTrip:
+    def test_file_written(self, saved):
+        _, _, path, written = saved
+        assert path.exists()
+        assert written == path.stat().st_size > 100
+
+    def test_network_restored(self, saved):
+        original, _, path, _ = saved
+        loaded = load_road(path)
+        assert loaded.network.num_nodes == original.network.num_nodes
+        assert loaded.network.num_edges == original.network.num_edges
+        assert loaded.network.metric == original.network.metric
+        for u, v, d in original.network.edges():
+            assert loaded.network.edge_distance(u, v) == pytest.approx(d)
+
+    def test_hierarchy_restored_and_valid(self, saved):
+        original, _, path, _ = saved
+        loaded = load_road(path)
+        loaded.hierarchy.validate()
+        assert loaded.hierarchy.num_levels == original.hierarchy.num_levels
+        assert len(list(loaded.hierarchy.rnets())) == len(
+            list(original.hierarchy.rnets())
+        )
+        for rnet in original.hierarchy.rnets():
+            twin = loaded.hierarchy.rnet(rnet.rnet_id)
+            assert twin.edges == rnet.edges
+            assert twin.border == rnet.border
+
+    def test_shortcuts_restored(self, saved):
+        original, _, path, _ = saved
+        loaded = load_road(path)
+        assert loaded.shortcuts.total() == original.shortcuts.total()
+        for rnet in original.hierarchy.rnets():
+            assert loaded.shortcuts.distances_of_rnet(
+                rnet.rnet_id
+            ) == pytest.approx(
+                original.shortcuts.distances_of_rnet(rnet.rnet_id)
+            )
+
+    def test_objects_restored(self, saved):
+        original, objects, path, _ = saved
+        loaded = load_road(path)
+        twin = loaded.directory().objects
+        assert sorted(twin.ids()) == sorted(objects.ids())
+        for obj in objects:
+            copy = twin.get(obj.object_id)
+            assert copy.edge == obj.edge
+            assert copy.delta == pytest.approx(obj.delta)
+            assert copy.attrs == obj.attrs
+
+    def test_queries_identical_after_reload(self, saved):
+        original, objects, path, _ = saved
+        loaded = load_road(path)
+        for nq in (0, 33, 66, 99):
+            assert_same_result(
+                loaded.knn(nq, 5), brute_knn(loaded.network, objects, nq, 5)
+            )
+            plain = [(e.object_id, round(e.distance, 9)) for e in original.knn(nq, 5)]
+            again = [(e.object_id, round(e.distance, 9)) for e in loaded.knn(nq, 5)]
+            assert plain == again
+
+    def test_predicates_work_after_reload(self, saved):
+        _, objects, path, _ = saved
+        loaded = load_road(path)
+        pred = Predicate.of(type="a")
+        got = loaded.knn(10, 3, pred)
+        assert_same_result(got, brute_knn(loaded.network, objects, 10, 3, pred))
+
+    def test_maintenance_works_after_reload(self, saved):
+        _, _, path, _ = saved
+        loaded = load_road(path)
+        u, v, d = next(loaded.network.edges())
+        loaded.update_edge_distance(u, v, d * 4)
+        directory = loaded.directory()
+        assert_same_result(
+            loaded.knn(0, 4),
+            brute_knn(loaded.network, directory.objects, 0, 4),
+        )
+
+
+class TestEdgeCases:
+    def test_no_directories(self, tmp_path, small_grid):
+        road = ROAD.build(small_grid, levels=2, fanout=4)
+        path = tmp_path / "bare.roadidx"
+        save_road(road, path)
+        loaded = load_road(path)
+        assert loaded.directory_names == []
+        loaded.hierarchy.validate()
+
+    def test_multiple_directories(self, tmp_path, small_grid):
+        road = ROAD.build(small_grid, levels=2, fanout=4)
+        road.attach_objects(place_uniform(small_grid, 4, seed=1), name="a")
+        road.attach_objects(place_uniform(small_grid, 6, seed=2), name="b")
+        path = tmp_path / "multi.roadidx"
+        save_road(road, path)
+        loaded = load_road(path)
+        assert sorted(loaded.directory_names) == ["a", "b"]
+        assert loaded.directory("a").object_count == 4
+        assert loaded.directory("b").object_count == 6
+
+    def test_reduce_flag_round_trips(self, tmp_path, small_grid):
+        road = ROAD.build(small_grid, levels=2, reduce_shortcuts=False)
+        path = tmp_path / "full.roadidx"
+        save_road(road, path)
+        assert load_road(path).shortcuts.reduce is False
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.roadidx"
+        path.write_bytes(b"NOTANIDX" + b"\x00" * 64)
+        with pytest.raises(SerializeError):
+            load_road(path)
+
+    def test_custom_buffer_pages(self, saved):
+        _, _, path, _ = saved
+        loaded = load_road(path, buffer_pages=7)
+        assert loaded.pager._buffer.capacity == 7

@@ -1,0 +1,225 @@
+"""Shortcuts: Definition 3 semantics, Lemma 2 composition, Lemma 4 reduction."""
+
+import math
+
+import pytest
+
+from repro.core.rnet import RnetHierarchy
+from repro.core.shortcuts import (
+    Shortcut,
+    ShortcutIndex,
+    build_shortcuts,
+    compute_rnet_shortcuts,
+    reduce_shortcuts,
+)
+from repro.graph.generators import chain_network, grid_network
+from repro.graph.network import edge_key
+from repro.graph.shortest_path import dijkstra_distances
+from repro.partition.hierarchy import build_partition_tree
+
+
+@pytest.fixture
+def built(medium_grid):
+    tree = build_partition_tree(medium_grid, levels=2, fanout=4)
+    hierarchy = RnetHierarchy(medium_grid, tree)
+    index = build_shortcuts(medium_grid, hierarchy)
+    return medium_grid, hierarchy, index
+
+
+def restricted_distance(network, rnet, source, target):
+    """Dijkstra restricted to the Rnet's edges (the oracle for Def 3)."""
+
+    def adjacency(node):
+        for nbr, d in network.neighbours(node):
+            if edge_key(node, nbr) in rnet.edges:
+                yield nbr, d
+
+    dist = dijkstra_distances(adjacency, source, targets={target})
+    return dist.get(target)
+
+
+class TestLeafShortcuts:
+    def test_distances_match_restricted_dijkstra(self, built):
+        net, hier, index = built
+        for leaf in hier.leaves()[:8]:
+            for shortcut in index.of_rnet(leaf.rnet_id):
+                expected = restricted_distance(
+                    net, leaf, shortcut.source, shortcut.target
+                )
+                assert expected is not None
+                assert shortcut.distance == pytest.approx(expected)
+
+    def test_all_reachable_border_pairs_present(self, built):
+        net, hier, index = built
+        for leaf in hier.leaves()[:8]:
+            pairs = {(s.source, s.target) for s in index.of_rnet(leaf.rnet_id)}
+            borders = sorted(leaf.border)
+            for b in borders:
+                for b2 in borders:
+                    if b == b2:
+                        continue
+                    reachable = (
+                        restricted_distance(net, leaf, b, b2) is not None
+                    )
+                    assert ((b, b2) in pairs) == reachable
+
+    def test_endpoints_are_borders(self, built):
+        _, hier, index = built
+        for leaf in hier.leaves():
+            for s in index.of_rnet(leaf.rnet_id):
+                assert s.source in leaf.border
+                assert s.target in leaf.border
+
+    def test_via_nodes_lie_inside_rnet(self, built):
+        _, hier, index = built
+        for leaf in hier.leaves()[:8]:
+            for s in index.of_rnet(leaf.rnet_id):
+                assert set(s.via) <= leaf.nodes
+
+    def test_via_path_distance_consistent(self, built):
+        net, hier, index = built
+        for leaf in hier.leaves()[:5]:
+            for s in index.of_rnet(leaf.rnet_id):
+                hops = [s.source, *s.via, s.target]
+                total = sum(
+                    net.edge_distance(a, b) for a, b in zip(hops, hops[1:])
+                )
+                assert total == pytest.approx(s.distance)
+
+
+class TestUpperLevelShortcuts:
+    def test_level1_matches_restricted_dijkstra(self, built):
+        """Lemma 2: composed shortcuts equal direct in-Rnet shortest paths."""
+        net, hier, index = built
+        for rnet in hier.at_level(1):
+            for s in index.of_rnet(rnet.rnet_id):
+                expected = restricted_distance(net, rnet, s.source, s.target)
+                assert expected is not None
+                assert s.distance == pytest.approx(expected)
+
+    def test_via_are_child_border_nodes(self, built):
+        _, hier, index = built
+        for rnet in hier.at_level(1):
+            child_borders = set()
+            for child_id in rnet.children:
+                child_borders |= hier.rnet(child_id).border
+            for s in index.of_rnet(rnet.rnet_id):
+                assert set(s.via) <= child_borders
+
+    def test_root_has_no_shortcuts(self, built):
+        _, hier, index = built
+        assert index.of_rnet(hier.root.rnet_id) == []
+
+
+class TestChainExample:
+    def test_figure8_chain_shortcuts(self):
+        """The Figure 8 chain: shortcut distances are segment sums."""
+        chain = chain_network(13, spacing=100.0)
+        tree = build_partition_tree(chain, levels=2, fanout=2)
+        hier = RnetHierarchy(chain, tree)
+        index = build_shortcuts(chain, hier)
+        for leaf in hier.leaves():
+            for s in index.of_rnet(leaf.rnet_id):
+                # On a chain, a within-Rnet path is just the node span.
+                assert s.distance == pytest.approx(
+                    abs(s.source - s.target) * 100.0
+                )
+
+
+class TestReduction:
+    def test_reduction_preserves_pairwise_distances(self, built):
+        """Lemma 4: Dijkstra over reduced set equals full-set distances."""
+        _, hier, index = built
+        for rnet in list(hier.rnets())[:20]:
+            if rnet.is_root:
+                continue
+            full = index.of_rnet(rnet.rnet_id)
+            reduced = index.stored_of_rnet(rnet.rnet_id)
+            assert len(reduced) <= len(full)
+            adjacency = {}
+            for s in reduced:
+                adjacency.setdefault(s.source, []).append((s.target, s.distance))
+            for s in full:
+                dist = dijkstra_distances(
+                    lambda n: adjacency.get(n, ()), s.source, targets={s.target}
+                )
+                assert s.target in dist, f"reduction broke reachability: {s}"
+                assert dist[s.target] == pytest.approx(s.distance)
+
+    def test_reduce_drops_two_hop_compositions(self):
+        shortcuts = [
+            Shortcut(1, 2, 0, 1.0),
+            Shortcut(2, 3, 0, 1.0),
+            Shortcut(1, 3, 0, 2.0),  # = S(1,2) + S(2,3)
+        ]
+        kept = reduce_shortcuts(shortcuts)
+        assert {(s.source, s.target) for s in kept} == {(1, 2), (2, 3)}
+
+    def test_reduce_keeps_shorter_directs(self):
+        shortcuts = [
+            Shortcut(1, 2, 0, 1.0),
+            Shortcut(2, 3, 0, 1.0),
+            Shortcut(1, 3, 0, 1.5),  # strictly better than composition
+        ]
+        kept = reduce_shortcuts(shortcuts)
+        assert {(s.source, s.target) for s in kept} == {
+            (1, 2), (2, 3), (1, 3),
+        }
+
+    def test_reduce_empty(self):
+        assert reduce_shortcuts([]) == []
+
+    def test_no_reduction_mode(self, medium_grid):
+        tree = build_partition_tree(medium_grid, levels=2, fanout=4)
+        hier = RnetHierarchy(medium_grid, tree)
+        full_index = build_shortcuts(medium_grid, hier, reduce=False)
+        assert full_index.total(stored=True) == full_index.total()
+
+
+class TestIndexOperations:
+    def test_put_and_lookup(self):
+        index = ShortcutIndex()
+        s = Shortcut(1, 2, 7, 3.5, (9,))
+        index.put(s)
+        assert index.lookup(1, 2, 7) is s
+        assert index.lookup(2, 1, 7) is None
+        assert index.of_rnet(7) == [s]
+        assert index.of_rnet(8) == []
+
+    def test_replace_rnet(self):
+        index = ShortcutIndex()
+        index.put(Shortcut(1, 2, 7, 3.5))
+        index.replace_rnet(7, [Shortcut(3, 4, 7, 1.0)])
+        assert index.lookup(1, 2, 7) is None
+        assert index.lookup(3, 4, 7) is not None
+
+    def test_from_node_filters_source(self):
+        index = ShortcutIndex(reduce=False)
+        index.put(Shortcut(1, 2, 7, 3.5))
+        index.put(Shortcut(2, 1, 7, 3.5))
+        assert [s.target for s in index.from_node(1, 7)] == [2]
+
+    def test_drop_rnet(self):
+        index = ShortcutIndex()
+        index.put(Shortcut(1, 2, 7, 3.5))
+        index.drop_rnet(7)
+        assert index.of_rnet(7) == []
+
+    def test_totals_and_sizes(self, built):
+        _, _, index = built
+        assert index.total() >= index.total(stored=True) > 0
+        assert index.size_bytes(stored=False) >= index.size_bytes(stored=True) > 0
+
+    def test_distances_map(self):
+        index = ShortcutIndex()
+        index.put(Shortcut(1, 2, 7, 3.5))
+        assert index.distances_of_rnet(7) == {(1, 2): 3.5}
+
+    def test_reduced_cache_invalidation(self):
+        index = ShortcutIndex()
+        index.put(Shortcut(1, 2, 0, 1.0))
+        index.put(Shortcut(2, 3, 0, 1.0))
+        index.put(Shortcut(1, 3, 0, 2.0))
+        assert len(index.stored_of_rnet(0)) == 2
+        index.put(Shortcut(1, 3, 0, 1.5))  # now a strict improvement
+        assert len(index.stored_of_rnet(0)) == 3

@@ -1,0 +1,92 @@
+"""Evaluation configuration and dataset registry."""
+
+import pytest
+
+from repro.eval.config import (
+    MINI_PROFILES,
+    PAPER_PROFILES,
+    profile,
+    profiles,
+    queries_per_run,
+    scale_profile,
+    table1_rows,
+)
+from repro.eval.datasets import dataset_levels, load_dataset
+
+
+class TestConfig:
+    def test_default_scale_is_mini(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_profile() == "mini"
+        assert profiles() is MINI_PROFILES
+
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert scale_profile() == "paper"
+        assert profiles() is PAPER_PROFILES
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "giant")
+        with pytest.raises(ValueError):
+            scale_profile()
+
+    def test_paper_profiles_match_table1(self):
+        assert PAPER_PROFILES["CA"].num_nodes == 21048
+        assert PAPER_PROFILES["NA"].num_nodes == 175813
+        assert PAPER_PROFILES["SF"].num_nodes == 174956
+        assert PAPER_PROFILES["CA"].default_levels == 4
+        assert PAPER_PROFILES["NA"].default_levels == 8
+        assert PAPER_PROFILES["CA"].level_sweep == (2, 3, 4, 5, 6)
+
+    def test_profile_lookup(self):
+        assert profile("CA").name == "CA"
+        with pytest.raises(KeyError):
+            profile("XX")
+
+    def test_queries_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERIES", "7")
+        assert queries_per_run() == 7
+        monkeypatch.delenv("REPRO_QUERIES")
+        assert queries_per_run() >= 1
+
+    def test_table1_rows_cover_parameters(self):
+        rows = table1_rows()
+        text = " ".join(str(r) for r in rows)
+        assert "21,048" in text
+        assert "kNN" in text
+        assert "0.05" in text
+
+
+class TestDatasets:
+    def test_load_dataset_shapes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATA_DIR", raising=False)
+        load_dataset.cache_clear()
+        dataset = load_dataset("CA", num_nodes=400)
+        assert dataset.name == "CA"
+        assert dataset.network.num_nodes == 400
+        assert dataset.network.connected()
+        assert dataset.diameter > 0
+
+    def test_radius_fraction(self):
+        dataset = load_dataset("CA", num_nodes=400)
+        assert dataset.radius(0.1) == pytest.approx(dataset.diameter * 0.1)
+
+    def test_dataset_levels_follow_profile(self):
+        assert dataset_levels("CA") == profile("CA").default_levels
+
+    def test_memoisation(self):
+        a = load_dataset("CA", num_nodes=400)
+        b = load_dataset("CA", num_nodes=400)
+        assert a is b
+
+    def test_real_files_used_when_available(self, tmp_path, monkeypatch):
+        from repro.graph.generators import grid_network
+        from repro.graph.io import save_network
+
+        net = grid_network(5, 5, seed=1)
+        save_network(net, tmp_path / "CA.cnode", tmp_path / "CA.cedge")
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        load_dataset.cache_clear()
+        dataset = load_dataset("CA")
+        assert dataset.network.num_nodes == 25  # the real (test) file
+        load_dataset.cache_clear()

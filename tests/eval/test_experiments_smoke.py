@@ -1,0 +1,147 @@
+"""Experiment functions: smoke runs on tiny replicas.
+
+These validate that every figure's experiment executes end to end and
+produces the right table shape; the benchmarks run them at full mini scale.
+"""
+
+import pytest
+
+from repro.eval import experiments
+from repro.eval.ablations import (
+    ablation_abstracts,
+    ablation_lemma4,
+    ablation_metric,
+    ablation_partitioner,
+)
+from repro.eval.datasets import load_dataset
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_datasets():
+    """Shrink every dataset to a few hundred nodes for the smoke runs."""
+    import repro.eval.config as config
+
+    original = config.MINI_PROFILES
+    config.MINI_PROFILES = {
+        name: config.NetworkProfile(
+            prof.name, 300, prof.edge_ratio, 0, prof.seed, 2, (1, 2), 6
+        )
+        for name, prof in original.items()
+    }
+    load_dataset.cache_clear()
+    yield
+    config.MINI_PROFILES = original
+    load_dataset.cache_clear()
+
+
+QUERIES = 3
+
+
+class TestFigureExperiments:
+    def test_table1(self):
+        result = experiments.table1_parameters()
+        assert len(result.rows) >= 8
+
+    def test_fig11(self):
+        result = experiments.fig11_illustration(num_objects=3, k=2)
+        assert result.column("engine") == ["NetExp", "Euclidean", "DistIdx", "ROAD"]
+        assert all(isinstance(v, (int, float)) for v in result.column("time_ms"))
+        assert len(set(result.column("answers"))) == 1  # all agree
+
+    def test_fig13(self):
+        result = experiments.fig13_index_vs_objects(
+            object_counts=(5, 10), engines=("NetExp", "ROAD")
+        )
+        assert len(result.rows) == 4
+        assert all(v > 0 for v in result.column("size_mb"))
+
+    def test_fig14(self):
+        result = experiments.fig14_index_vs_network(
+            networks=("CA",), num_objects=5, engines=("NetExp", "ROAD")
+        )
+        assert len(result.rows) == 2
+
+    def test_fig15(self):
+        result = experiments.fig15_object_update(
+            networks=("CA",), num_objects=5, trials=2,
+            engines=("NetExp", "ROAD"),
+        )
+        assert len(result.rows) == 2
+        assert all(v >= 0 for v in result.column("delete_s"))
+
+    def test_fig16(self):
+        result = experiments.fig16_network_update(
+            networks=("CA",), num_objects=5, trials=2,
+            engines=("NetExp", "ROAD"),
+        )
+        assert len(result.rows) == 2
+
+    def test_fig17a(self):
+        result = experiments.fig17a_knn_vs_k(
+            ks=(1, 2), num_objects=5, engines=("NetExp", "ROAD"),
+            num_queries=QUERIES,
+        )
+        assert len(result.rows) == 4
+
+    def test_fig17b(self):
+        result = experiments.fig17b_knn_vs_objects(
+            object_counts=(3, 6), engines=("NetExp", "ROAD"),
+            num_queries=QUERIES,
+        )
+        assert len(result.rows) == 4
+
+    def test_fig17c(self):
+        result = experiments.fig17c_knn_vs_network(
+            networks=("CA",), num_objects=5, engines=("ROAD",),
+            num_queries=QUERIES,
+        )
+        assert len(result.rows) == 1
+
+    def test_fig18a(self):
+        result = experiments.fig18a_range_vs_radius(
+            fractions=(0.05, 0.1), num_objects=5, engines=("NetExp", "ROAD"),
+            num_queries=QUERIES,
+        )
+        assert len(result.rows) == 4
+
+    def test_fig18b(self):
+        result = experiments.fig18b_range_vs_objects(
+            object_counts=(3, 6), engines=("ROAD",), num_queries=QUERIES
+        )
+        assert len(result.rows) == 2
+
+    def test_fig18c(self):
+        result = experiments.fig18c_range_vs_network(
+            networks=("CA",), num_objects=5, engines=("ROAD",),
+            num_queries=QUERIES,
+        )
+        assert len(result.rows) == 1
+
+    def test_fig19(self):
+        result = experiments.fig19_hierarchy_levels(
+            networks=("CA",), num_objects=5, num_queries=QUERIES
+        )
+        assert len(result.rows) == 2  # the shrunk sweep (1, 2)
+        assert all(v > 0 for v in result.column("build_s"))
+
+
+class TestAblations:
+    def test_lemma4(self):
+        result = ablation_lemma4(num_objects=5, num_queries=QUERIES)
+        assert result.column("reduction") == ["on", "off"]
+
+    def test_abstracts(self):
+        result = ablation_abstracts(num_objects=8, num_queries=QUERIES)
+        assert set(result.column("abstract")) == {
+            "exact", "counting", "bloom", "signature",
+        }
+
+    def test_partitioner(self):
+        result = ablation_partitioner(num_objects=5, num_queries=QUERIES)
+        assert "geometric+KL" in result.column("partitioner")
+
+    def test_metric(self):
+        result = ablation_metric(num_objects=5, num_queries=QUERIES)
+        by_engine = {r["engine"]: r for r in result.rows}
+        assert by_engine["ROAD"]["status"] == "ok"
+        assert "refused" in by_engine["Euclidean"]["status"]

@@ -1,0 +1,91 @@
+"""Measurement protocol and table rendering."""
+
+import pytest
+
+from repro.baselines import NetworkExpansionEngine
+from repro.eval.metrics import (
+    QueryMeasurement,
+    WorkloadSummary,
+    measure_query,
+    run_workload,
+    time_call,
+)
+from repro.eval.reporting import ExperimentResult, dominance
+from repro.graph.generators import grid_network
+from repro.objects.placement import place_uniform
+from repro.queries.types import KNNQuery
+from repro.queries.workload import knn_workload
+
+
+@pytest.fixture
+def engine():
+    net = grid_network(6, 6, seed=2)
+    return NetworkExpansionEngine(net, place_uniform(net, 8, seed=1))
+
+
+class TestMetrics:
+    def test_measure_query_cold_cache(self, engine):
+        m = measure_query(engine, KNNQuery(0, 3))
+        assert m.elapsed_ms > 0
+        assert m.io_reads > 0  # cold cache must hit the disk
+        assert m.result_size == 3
+
+    def test_run_workload_aggregates(self, engine):
+        queries = knn_workload(engine.network, 5, 2, seed=3)
+        summary = run_workload(engine, queries, label="test")
+        assert summary.count == 5
+        assert summary.label == "test"
+        assert summary.mean_ms > 0
+        assert summary.median_ms > 0
+        assert summary.mean_io > 0
+        assert summary.mean_result_size == pytest.approx(2.0)
+
+    def test_empty_summary(self):
+        summary = WorkloadSummary("empty")
+        assert summary.mean_ms == 0.0
+        assert summary.median_ms == 0.0
+        assert summary.mean_io == 0.0
+        assert summary.mean_result_size == 0.0
+
+    def test_time_call(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0
+
+
+class TestReporting:
+    def test_render_contains_rows_and_notes(self):
+        result = ExperimentResult("figX", "demo", ["engine", "time_ms"])
+        result.add_row(engine="ROAD", time_ms=1.234)
+        result.add_row(engine="NetExp", time_ms=15_000.5)
+        result.note("a note")
+        text = result.render()
+        assert "figX" in text and "demo" in text
+        assert "ROAD" in text and "1.23" in text
+        assert "15,000" in text  # large floats get thousands separators
+        assert "note: a note" in text
+
+    def test_column_accessor(self):
+        result = ExperimentResult("figX", "demo", ["a", "b"])
+        result.add_row(a=1, b=2)
+        result.add_row(a=3, b=4)
+        assert result.column("a") == [1, 3]
+        assert result.column("missing") == ["", ""]
+
+    def test_save_round_trip(self, tmp_path):
+        result = ExperimentResult("figY", "demo", ["a"])
+        result.add_row(a="x")
+        path = result.save(tmp_path)
+        assert path.name == "figY.txt"
+        assert "figY" in path.read_text()
+
+    def test_dominance(self):
+        result = ExperimentResult("figZ", "demo", ["engine", "time_ms"])
+        result.add_row(engine="A", time_ms=10.0)
+        result.add_row(engine="B", time_ms=1.0)
+        result.add_row(engine="A", time_ms=20.0)
+        result.add_row(engine="B", time_ms=2.0)
+        assert dominance(result, "time_ms") == "B"
+
+    def test_dominance_empty(self):
+        assert dominance(ExperimentResult("f", "t", ["x"]), "x") == "n/a"

@@ -1,0 +1,58 @@
+"""Engine construction helpers."""
+
+import pytest
+
+from repro.eval.datasets import load_dataset
+from repro.eval.runner import (
+    ENGINE_ORDER,
+    build_engine,
+    build_engines,
+    make_objects,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("CA", num_nodes=300)
+
+
+class TestRunner:
+    def test_engine_order_covers_all_four(self):
+        assert ENGINE_ORDER == ("NetExp", "Euclidean", "DistIdx", "ROAD")
+
+    def test_make_objects(self, dataset):
+        objects = make_objects(dataset.network, 12, seed=1)
+        assert len(objects) == 12
+        objects.validate_against(dataset.network)
+
+    @pytest.mark.parametrize("name", ENGINE_ORDER)
+    def test_build_each_engine(self, dataset, name):
+        objects = make_objects(dataset.network, 6, seed=2)
+        engine = build_engine(
+            name, dataset.network, objects, road_levels=2, buffer_pages=8
+        )
+        assert engine.name == name
+        assert engine.index_size_bytes > 0
+        assert len(engine.knn(0, 2)) == 2
+
+    def test_unknown_engine_rejected(self, dataset):
+        objects = make_objects(dataset.network, 3, seed=2)
+        with pytest.raises(KeyError):
+            build_engine("Oracle", dataset.network, objects)
+
+    def test_engines_get_private_network_copies(self, dataset):
+        objects = make_objects(dataset.network, 4, seed=3)
+        engine = build_engine(
+            "NetExp", dataset.network, objects, buffer_pages=8
+        )
+        u, v, d = next(engine.network.edges())
+        engine.update_edge_distance(u, v, d * 2)
+        assert dataset.network.edge_distance(u, v) == pytest.approx(d)
+
+    def test_build_engines_subset(self, dataset):
+        objects = make_objects(dataset.network, 4, seed=4)
+        engines = build_engines(
+            dataset, objects, engines=("NetExp", "ROAD"), road_levels=2
+        )
+        assert sorted(engines) == ["NetExp", "ROAD"]
+        assert engines["ROAD"].road.hierarchy.num_levels == 2

@@ -1,0 +1,69 @@
+"""Network file I/O: round-trips and format errors."""
+
+import pytest
+
+from repro.graph.generators import grid_network
+from repro.graph.io import NetworkFormatError, load_network, save_network
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        original = grid_network(5, 5, seed=9)
+        node_file = tmp_path / "test.cnode"
+        edge_file = tmp_path / "test.cedge"
+        save_network(original, node_file, edge_file)
+        loaded = load_network(node_file, edge_file)
+        assert loaded.num_nodes == original.num_nodes
+        assert loaded.num_edges == original.num_edges
+        for u, v, d in original.edges():
+            assert loaded.edge_distance(u, v) == pytest.approx(d, abs=1e-5)
+        for n in original.node_ids():
+            ox, oy = original.coords(n)
+            lx, ly = loaded.coords(n)
+            assert (lx, ly) == pytest.approx((ox, oy), abs=1e-5)
+
+    def test_metric_label_passed_through(self, tmp_path):
+        original = grid_network(3, 3, seed=1)
+        save_network(original, tmp_path / "n", tmp_path / "e")
+        loaded = load_network(tmp_path / "n", tmp_path / "e", metric="toll")
+        assert loaded.metric == "toll"
+
+
+class TestFormat:
+    def test_blank_lines_ignored(self, tmp_path):
+        (tmp_path / "n").write_text("0 0.0 0.0\n\n1 1.0 0.0\n")
+        (tmp_path / "e").write_text("\n0 0 1 1.0\n")
+        net = load_network(tmp_path / "n", tmp_path / "e")
+        assert net.num_nodes == 2
+        assert net.num_edges == 1
+
+    def test_duplicate_direction_edges_collapsed(self, tmp_path):
+        """Real Li files list both directions; loader keeps one."""
+        (tmp_path / "n").write_text("0 0.0 0.0\n1 1.0 0.0\n")
+        (tmp_path / "e").write_text("0 0 1 1.0\n1 1 0 1.0\n")
+        net = load_network(tmp_path / "n", tmp_path / "e")
+        assert net.num_edges == 1
+
+    def test_short_node_line_raises(self, tmp_path):
+        (tmp_path / "n").write_text("0 0.0\n")
+        (tmp_path / "e").write_text("")
+        with pytest.raises(NetworkFormatError):
+            load_network(tmp_path / "n", tmp_path / "e")
+
+    def test_bad_node_number_raises(self, tmp_path):
+        (tmp_path / "n").write_text("zero 0.0 0.0\n")
+        (tmp_path / "e").write_text("")
+        with pytest.raises(NetworkFormatError):
+            load_network(tmp_path / "n", tmp_path / "e")
+
+    def test_short_edge_line_raises(self, tmp_path):
+        (tmp_path / "n").write_text("0 0.0 0.0\n1 1.0 0.0\n")
+        (tmp_path / "e").write_text("0 0 1\n")
+        with pytest.raises(NetworkFormatError):
+            load_network(tmp_path / "n", tmp_path / "e")
+
+    def test_bad_edge_number_raises(self, tmp_path):
+        (tmp_path / "n").write_text("0 0.0 0.0\n1 1.0 0.0\n")
+        (tmp_path / "e").write_text("0 0 1 fast\n")
+        with pytest.raises(NetworkFormatError):
+            load_network(tmp_path / "n", tmp_path / "e")

@@ -1,0 +1,163 @@
+"""Shortest paths: Dijkstra and A* against networkx oracles."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.network import RoadNetwork
+from repro.graph.shortest_path import (
+    Unreachable,
+    astar,
+    dijkstra,
+    dijkstra_distances,
+    estimate_diameter,
+    euclidean_heuristic,
+    network_distance,
+    reconstruct_path,
+    shortest_path,
+)
+from tests.conftest import random_connected_network
+
+
+def to_networkx(network: RoadNetwork) -> nx.Graph:
+    g = nx.Graph()
+    for u, v, d in network.edges():
+        g.add_edge(u, v, weight=d)
+    for n in network.node_ids():
+        g.add_node(n)
+    return g
+
+
+@pytest.fixture
+def diamond() -> RoadNetwork:
+    """Two routes from 1 to 4: 1-2-4 (cost 3) and 1-3-4 (cost 4)."""
+    net = RoadNetwork()
+    for i, (x, y) in enumerate([(0, 0), (1, 1), (1, -1), (2, 0)], start=1):
+        net.add_node(i, x, y)
+    net.add_edge(1, 2, 1.0)
+    net.add_edge(2, 4, 2.0)
+    net.add_edge(1, 3, 1.5)
+    net.add_edge(3, 4, 2.5)
+    return net
+
+
+class TestDijkstra:
+    def test_distances_on_diamond(self, diamond):
+        dist = dijkstra_distances(diamond.neighbours, 1)
+        assert dist == pytest.approx({1: 0.0, 2: 1.0, 3: 1.5, 4: 3.0})
+
+    def test_predecessors_reconstruct_path(self, diamond):
+        dist, pred = dijkstra(diamond.neighbours, 1)
+        assert reconstruct_path(pred, 1, 4) == [1, 2, 4]
+
+    def test_early_exit_on_targets(self, diamond):
+        dist, _ = dijkstra(diamond.neighbours, 1, targets={2})
+        assert 2 in dist
+        # Early exit stops settling once targets are done; node 4 (farther
+        # than 2) must not be settled.
+        assert 4 not in dist
+
+    def test_cutoff_excludes_far_nodes(self, diamond):
+        dist = dijkstra_distances(diamond.neighbours, 1, cutoff=1.6)
+        assert set(dist) == {1, 2, 3}
+
+    def test_cutoff_zero_keeps_source_only(self, diamond):
+        assert set(dijkstra_distances(diamond.neighbours, 1, cutoff=0.0)) == {1}
+
+    def test_unreachable_node_absent(self, diamond):
+        diamond.add_node(99)
+        dist = dijkstra_distances(diamond.neighbours, 1)
+        assert 99 not in dist
+
+    def test_shortest_path_distance_and_sequence(self, diamond):
+        distance, path = shortest_path(diamond, 1, 4)
+        assert distance == pytest.approx(3.0)
+        assert path == [1, 2, 4]
+
+    def test_shortest_path_unreachable_raises(self, diamond):
+        diamond.add_node(99)
+        with pytest.raises(Unreachable):
+            shortest_path(diamond, 1, 99)
+
+    def test_network_distance(self, diamond):
+        assert network_distance(diamond, 1, 4) == pytest.approx(3.0)
+
+    def test_matches_networkx_on_random_networks(self, rng):
+        for trial in range(5):
+            net = random_connected_network(rng, 60, 40)
+            source = rng.randrange(60)
+            ours = dijkstra_distances(net.neighbours, source)
+            theirs = nx.single_source_dijkstra_path_length(
+                to_networkx(net), source
+            )
+            assert set(ours) == set(theirs)
+            for node, d in theirs.items():
+                assert ours[node] == pytest.approx(d)
+
+
+class TestAStar:
+    def test_astar_equals_dijkstra_with_euclidean_heuristic(self, rng):
+        for trial in range(5):
+            net = random_connected_network(rng, 50, 30)
+            # make weights dominate Euclidean so the heuristic is admissible
+            for u, v, _ in list(net.edges()):
+                net.update_edge(u, v, net.euclidean(u, v) + rng.uniform(0.1, 5.0))
+            s, t = rng.randrange(50), rng.randrange(50)
+            expected = dijkstra_distances(net.neighbours, s, targets={t})[t]
+            got, path = astar(
+                net.neighbours, s, t, euclidean_heuristic(net, t)
+            )
+            assert got == pytest.approx(expected)
+            assert path[0] == s and path[-1] == t
+
+    def test_astar_zero_heuristic_is_dijkstra(self, diamond):
+        got, path = astar(diamond.neighbours, 1, 4, lambda n: 0.0)
+        assert got == pytest.approx(3.0)
+        assert path == [1, 2, 4]
+
+    def test_astar_unreachable_raises(self, diamond):
+        diamond.add_node(99)
+        with pytest.raises(Unreachable):
+            astar(diamond.neighbours, 1, 99, lambda n: 0.0)
+
+    def test_astar_path_edges_exist(self, diamond):
+        _, path = astar(diamond.neighbours, 1, 4, euclidean_heuristic(diamond, 4))
+        for a, b in zip(path, path[1:]):
+            assert diamond.has_edge(a, b)
+
+
+class TestDiameter:
+    def test_chain_diameter_exact(self, chain13):
+        assert estimate_diameter(chain13) == pytest.approx(12 * 100.0)
+
+    def test_estimate_lower_bounds_true_diameter(self, rng):
+        net = random_connected_network(rng, 40, 20)
+        estimate = estimate_diameter(net, sweeps=3)
+        g = to_networkx(net)
+        true_diameter = max(
+            max(lengths.values())
+            for _, lengths in nx.all_pairs_dijkstra_path_length(g)
+        )
+        assert estimate <= true_diameter + 1e-9
+        assert estimate >= 0.5 * true_diameter  # double sweep is a good bound
+
+    def test_empty_network(self):
+        assert estimate_diameter(RoadNetwork()) == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_dijkstra_property_vs_networkx(seed):
+    """Property: distances equal networkx on random connected networks."""
+    rnd = random.Random(seed)
+    net = random_connected_network(rnd, 30, 15)
+    source = rnd.randrange(30)
+    ours = dijkstra_distances(net.neighbours, source)
+    theirs = nx.single_source_dijkstra_path_length(to_networkx(net), source)
+    assert set(ours) == set(theirs)
+    for node, d in theirs.items():
+        assert math.isclose(ours[node], d, rel_tol=1e-9, abs_tol=1e-9)

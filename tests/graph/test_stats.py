@@ -1,0 +1,33 @@
+"""Network statistics summary."""
+
+import pytest
+
+from repro.graph.generators import chain_network, grid_network
+from repro.graph.stats import network_stats
+
+
+class TestNetworkStats:
+    def test_grid_stats(self):
+        net = grid_network(4, 4, seed=0)
+        stats = network_stats(net)
+        assert stats.num_nodes == 16
+        assert stats.num_edges == 24
+        assert stats.edge_node_ratio == pytest.approx(1.5)
+        assert stats.avg_degree == pytest.approx(3.0)
+        assert stats.max_degree == 4
+        assert stats.connected
+
+    def test_chain_diameter(self):
+        stats = network_stats(chain_network(10, spacing=5.0))
+        assert stats.diameter == pytest.approx(45.0)
+        assert stats.total_length == pytest.approx(45.0)
+
+    def test_disconnected_flag(self):
+        net = grid_network(3, 3, seed=0)
+        net.add_node(100)
+        assert not network_stats(net).connected
+
+    def test_describe_mentions_counts(self):
+        text = network_stats(grid_network(3, 3, seed=0)).describe()
+        assert "9 nodes" in text
+        assert "12 edges" in text

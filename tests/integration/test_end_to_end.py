@@ -1,0 +1,144 @@
+"""End-to-end scenarios across the whole stack on realistic networks."""
+
+import pytest
+
+from repro import ROAD, Predicate, SpatialObject
+from repro.baselines import NetworkExpansionEngine
+from repro.graph import ca_like, sf_like, travel_time_metric
+from repro.objects import ObjectSet, place_clustered, place_uniform
+from repro.queries import KNNQuery, RangeQuery, knn_workload
+from tests.oracle import assert_same_result, brute_knn, brute_range
+
+
+@pytest.fixture(scope="module")
+def city():
+    """A 1k-node urban network with typed POIs — shared across scenarios."""
+    network = sf_like(num_nodes=1000, seed=17)
+    objects = place_uniform(
+        network, 60, seed=5,
+        attr_choices={"type": ["hotel", "fuel", "food"]},
+    )
+    road = ROAD.build(network, levels=3, fanout=4)
+    road.attach_objects(objects)
+    return network, objects, road
+
+
+class TestQueryScenarios:
+    def test_knn_matches_oracle_across_the_city(self, city):
+        network, objects, road = city
+        for nq in range(0, 1000, 97):
+            assert_same_result(road.knn(nq, 5), brute_knn(network, objects, nq, 5))
+
+    def test_typed_queries(self, city):
+        network, objects, road = city
+        for type_name in ("hotel", "fuel", "food"):
+            pred = Predicate.of(type=type_name)
+            got = road.knn(500, 3, pred)
+            assert_same_result(got, brute_knn(network, objects, 500, 3, pred))
+            for entry in got:
+                assert objects.get(entry.object_id).attrs["type"] == type_name
+
+    def test_range_query_consistency(self, city):
+        network, objects, road = city
+        radius = 2000.0
+        got = road.range(250, radius)
+        assert_same_result(got, brute_range(network, objects, 250, radius))
+
+    def test_workload_batch(self, city):
+        network, objects, road = city
+        for query in knn_workload(network, 15, 4, seed=9):
+            result = road.execute(query)
+            assert len(result) == 4
+            distances = [e.distance for e in result]
+            assert distances == sorted(distances)
+
+    def test_agreement_with_netexp_engine(self, city):
+        network, objects, road = city
+        netexp = NetworkExpansionEngine(network.copy(), objects)
+        for nq in (10, 333, 777):
+            ours = [(e.object_id, round(e.distance, 6)) for e in road.knn(nq, 6)]
+            theirs = [
+                (e.object_id, round(e.distance, 6)) for e in netexp.knn(nq, 6)
+            ]
+            assert ours == theirs
+
+
+class TestLifecycleScenario:
+    def test_full_day_of_operations(self):
+        """Build, query, congest, close, reopen, relocate — stay exact."""
+        network = ca_like(num_nodes=600, seed=23)
+        road = ROAD.build(network, levels=3, fanout=4)
+        directory = road.attach_objects(
+            place_clustered(network, 25, clusters=3, seed=11)
+        )
+        import random
+
+        rnd = random.Random(99)
+        edges = sorted((u, v) for u, v, _ in network.edges())
+
+        for step in range(12):
+            action = step % 4
+            if action == 0:  # congestion
+                u, v = edges[rnd.randrange(len(edges))]
+                road.update_edge_distance(
+                    u, v, network.edge_distance(u, v) * rnd.uniform(1.2, 3.0)
+                )
+            elif action == 1:  # object churn
+                victim = directory.objects.ids()[0]
+                removed = road.delete_object(victim)
+                u, v = edges[rnd.randrange(len(edges))]
+                road.insert_object(
+                    SpatialObject(victim, (u, v), 0.0, dict(removed.attrs))
+                )
+            elif action == 2:  # new road
+                while True:
+                    a = rnd.randrange(network.num_nodes)
+                    b = rnd.randrange(network.num_nodes)
+                    if a != b and not network.has_edge(a, b):
+                        break
+                road.add_edge(a, b, rnd.uniform(100.0, 500.0))
+            else:  # re-rating
+                target = directory.objects.ids()[-1]
+                road.update_object_attrs(target, {"type": "updated"})
+
+            nq = rnd.randrange(network.num_nodes)
+            assert_same_result(
+                road.knn(nq, 4), brute_knn(network, directory.objects, nq, 4)
+            )
+        road.hierarchy.validate()
+
+    def test_travel_time_city(self):
+        """The conference scenario: exact minutes-based queries."""
+        streets = sf_like(num_nodes=500, seed=31)
+        minutes = travel_time_metric(streets, seed=7, speed_range=(60.0, 90.0))
+        road = ROAD.build(minutes, levels=2, fanout=4)
+        objects = place_uniform(
+            minutes, 30, seed=2, attr_choices={"type": ["hotel", "bus"]}
+        )
+        road.attach_objects(objects)
+        pred = Predicate.of(type="hotel")
+        got = road.range(100, 10.0, pred)
+        assert_same_result(got, brute_range(minutes, objects, 100, 10.0, pred))
+
+
+class TestColdCacheBehaviour:
+    def test_cold_queries_are_deterministic(self, city):
+        network, objects, road = city
+        road.pager.drop_cache()
+        first = road.knn(42, 5)
+        road.pager.drop_cache()
+        second = road.knn(42, 5)
+        assert [(e.object_id, e.distance) for e in first] == [
+            (e.object_id, e.distance) for e in second
+        ]
+
+    def test_warm_cache_reduces_io(self, city):
+        _, _, road = city
+        road.pager.drop_cache()
+        road.pager.reset_stats()
+        road.knn(42, 5)
+        cold_reads = road.pager.stats.reads
+        road.pager.reset_stats()
+        road.knn(42, 5)
+        warm_reads = road.pager.stats.reads
+        assert warm_reads < cold_reads

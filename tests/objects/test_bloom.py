@@ -1,0 +1,81 @@
+"""Bloom filter: no false negatives, unions, sizing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.objects.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_added_items_always_found(self):
+        bloom = BloomFilter(num_bits=256)
+        for i in range(50):
+            bloom.add(i)
+        assert all(i in bloom for i in range(50))
+        assert len(bloom) == 50
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter()
+        assert 1 not in bloom
+        assert len(bloom) == 0
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(num_bits=1024, expected_items=50)
+        for i in range(50):
+            bloom.add(i)
+        false_hits = sum(1 for i in range(1000, 3000) if i in bloom)
+        assert false_hits / 2000 < 0.1
+
+    def test_union_preserves_membership(self):
+        a = BloomFilter(num_bits=128)
+        b = BloomFilter(num_bits=128)
+        a.add("x")
+        b.add("y")
+        merged = a.union(b)
+        assert "x" in merged and "y" in merged
+        assert len(merged) == 2
+
+    def test_union_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=128).union(BloomFilter(num_bits=256))
+
+    def test_clear(self):
+        bloom = BloomFilter()
+        bloom.add(1)
+        bloom.clear()
+        assert 1 not in bloom
+        assert bloom.fill_ratio == 0.0
+
+    def test_sizing_hint_sets_hash_count(self):
+        assert 1 <= BloomFilter(num_bits=256, expected_items=32).num_hashes <= 8
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=4)
+
+    def test_size_bytes(self):
+        assert BloomFilter(num_bits=256).size_bytes == 32
+
+    def test_fp_rate_estimate_monotone(self):
+        bloom = BloomFilter(num_bits=64, num_hashes=3)
+        assert bloom.false_positive_rate() == 0.0
+        bloom.add(1)
+        low = bloom.false_positive_rate()
+        for i in range(2, 30):
+            bloom.add(i)
+        assert bloom.false_positive_rate() > low
+
+    def test_deterministic_across_instances(self):
+        a = BloomFilter(num_bits=128)
+        b = BloomFilter(num_bits=128)
+        a.add("object-7")
+        b.add("object-7")
+        assert a._bits == b._bits
+
+    @given(st.lists(st.integers(), max_size=100))
+    def test_no_false_negatives_property(self, items):
+        bloom = BloomFilter(num_bits=512)
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)

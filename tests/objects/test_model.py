@@ -1,0 +1,109 @@
+"""SpatialObject and ObjectSet semantics."""
+
+import pytest
+
+from repro.graph.generators import grid_network
+from repro.objects.model import ObjectError, ObjectSet, SpatialObject
+
+
+class TestSpatialObject:
+    def test_edge_is_canonicalised(self):
+        obj = SpatialObject(1, (5, 2), 0.5)
+        assert obj.edge == (2, 5)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ObjectError):
+            SpatialObject(1, (1, 2), -0.1)
+
+    def test_offset_from_both_endpoints(self):
+        obj = SpatialObject(1, (1, 2), 3.0)
+        assert obj.offset_from(1, 10.0) == pytest.approx(3.0)
+        assert obj.offset_from(2, 10.0) == pytest.approx(7.0)
+
+    def test_offset_from_non_endpoint_raises(self):
+        obj = SpatialObject(1, (1, 2), 3.0)
+        with pytest.raises(ObjectError):
+            obj.offset_from(9, 10.0)
+
+    def test_offset_beyond_edge_raises(self):
+        obj = SpatialObject(1, (1, 2), 30.0)
+        with pytest.raises(ObjectError):
+            obj.offset_from(2, 10.0)
+
+    def test_offset_clamps_float_noise(self):
+        obj = SpatialObject(1, (1, 2), 10.0 + 1e-12)
+        assert obj.offset_from(2, 10.0) == 0.0
+
+    def test_attr_access(self):
+        obj = SpatialObject(1, (1, 2), 0.0, {"type": "hotel"})
+        assert obj.attr("type") == "hotel"
+        assert obj.attr("stars") is None
+        assert obj.attr("stars", "3") == "3"
+
+
+class TestObjectSet:
+    def test_add_and_lookup(self):
+        objects = ObjectSet()
+        obj = SpatialObject(7, (1, 2), 0.5)
+        objects.add(obj)
+        assert len(objects) == 1
+        assert 7 in objects
+        assert objects.get(7) is obj
+
+    def test_duplicate_id_rejected(self):
+        objects = ObjectSet([SpatialObject(1, (1, 2), 0.0)])
+        with pytest.raises(ObjectError):
+            objects.add(SpatialObject(1, (3, 4), 0.0))
+
+    def test_on_edge_either_direction(self):
+        objects = ObjectSet([SpatialObject(1, (2, 1), 0.5)])
+        assert [o.object_id for o in objects.on_edge(1, 2)] == [1]
+        assert [o.object_id for o in objects.on_edge(2, 1)] == [1]
+        assert objects.on_edge(3, 4) == []
+
+    def test_multiple_objects_per_edge(self):
+        objects = ObjectSet(
+            [SpatialObject(1, (1, 2), 0.2), SpatialObject(2, (1, 2), 0.8)]
+        )
+        assert sorted(o.object_id for o in objects.on_edge(1, 2)) == [1, 2]
+
+    def test_remove(self):
+        objects = ObjectSet([SpatialObject(1, (1, 2), 0.0)])
+        removed = objects.remove(1)
+        assert removed.object_id == 1
+        assert len(objects) == 0
+        assert objects.on_edge(1, 2) == []
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(ObjectError):
+            ObjectSet().remove(9)
+
+    def test_get_absent_raises(self):
+        with pytest.raises(ObjectError):
+            ObjectSet().get(9)
+
+    def test_ids_and_edges(self):
+        objects = ObjectSet(
+            [SpatialObject(1, (1, 2), 0.0), SpatialObject(5, (3, 4), 0.0)]
+        )
+        assert sorted(objects.ids()) == [1, 5]
+        assert sorted(objects.edges()) == [(1, 2), (3, 4)]
+
+    def test_next_id(self):
+        assert ObjectSet().next_id() == 0
+        objects = ObjectSet([SpatialObject(41, (1, 2), 0.0)])
+        assert objects.next_id() == 42
+
+    def test_validate_against_network(self):
+        net = grid_network(3, 3, seed=0)
+        u, v, d = next(net.edges())
+        good = ObjectSet([SpatialObject(1, (u, v), d / 2)])
+        good.validate_against(net)
+
+        missing_edge = ObjectSet([SpatialObject(1, (0, 8), 0.0)])
+        with pytest.raises(ObjectError):
+            missing_edge.validate_against(net)
+
+        too_far = ObjectSet([SpatialObject(1, (u, v), d * 2)])
+        with pytest.raises(ObjectError):
+            too_far.validate_against(net)

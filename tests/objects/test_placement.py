@@ -1,0 +1,76 @@
+"""Placement generators: counts, validity, distributions, determinism."""
+
+import pytest
+
+from repro.graph.generators import grid_network
+from repro.objects.placement import place_clustered, place_uniform
+
+
+@pytest.fixture
+def net():
+    return grid_network(8, 8, seed=2)
+
+
+class TestUniform:
+    def test_count_and_validity(self, net):
+        objects = place_uniform(net, 50, seed=1)
+        assert len(objects) == 50
+        objects.validate_against(net)
+
+    def test_deterministic(self, net):
+        a = place_uniform(net, 20, seed=3)
+        b = place_uniform(net, 20, seed=3)
+        assert [(o.edge, o.delta) for o in a] == [(o.edge, o.delta) for o in b]
+
+    def test_seeds_differ(self, net):
+        a = place_uniform(net, 20, seed=3)
+        b = place_uniform(net, 20, seed=4)
+        assert [(o.edge, o.delta) for o in a] != [(o.edge, o.delta) for o in b]
+
+    def test_attr_choices(self, net):
+        objects = place_uniform(
+            net, 30, seed=5, attr_choices={"type": ["a", "b"]}
+        )
+        values = {o.attr("type") for o in objects}
+        assert values <= {"a", "b"}
+        assert len(values) == 2  # 30 draws essentially surely hit both
+
+    def test_spread_over_many_edges(self, net):
+        objects = place_uniform(net, 100, seed=6)
+        assert len(objects.edges()) > 30
+
+    def test_empty_network_rejected(self):
+        from repro.graph.network import RoadNetwork
+
+        empty = RoadNetwork()
+        empty.add_node(0)
+        with pytest.raises(ValueError):
+            place_uniform(empty, 1)
+
+
+class TestClustered:
+    def test_count_and_validity(self, net):
+        objects = place_clustered(net, 40, clusters=3, seed=1)
+        assert len(objects) == 40
+        objects.validate_against(net)
+
+    def test_concentration(self, net):
+        """Clustered placement touches far fewer edges than uniform."""
+        clustered = place_clustered(net, 100, clusters=2, seed=7, spread=2)
+        uniform = place_uniform(net, 100, seed=7)
+        assert len(clustered.edges()) < len(uniform.edges())
+
+    def test_cluster_count_validation(self, net):
+        with pytest.raises(ValueError):
+            place_clustered(net, 10, clusters=0)
+
+    def test_deterministic(self, net):
+        a = place_clustered(net, 15, clusters=3, seed=9)
+        b = place_clustered(net, 15, clusters=3, seed=9)
+        assert [(o.edge, o.delta) for o in a] == [(o.edge, o.delta) for o in b]
+
+    def test_attrs_assigned(self, net):
+        objects = place_clustered(
+            net, 10, clusters=2, seed=1, attr_choices={"type": ["x"]}
+        )
+        assert all(o.attr("type") == "x" for o in objects)

@@ -1,0 +1,105 @@
+"""Attribute signatures: matching semantics, unions, no false negatives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.objects.signature import Signature, SignatureScheme
+
+
+@pytest.fixture
+def scheme():
+    return SignatureScheme(num_bits=128, bits_per_value=4)
+
+
+class TestScheme:
+    def test_value_signature_weight(self, scheme):
+        sig = scheme.value_signature("type", "hotel")
+        assert bin(sig).count("1") == 4
+
+    def test_value_signature_deterministic(self, scheme):
+        assert scheme.value_signature("type", "hotel") == scheme.value_signature(
+            "type", "hotel"
+        )
+
+    def test_key_and_value_both_matter(self, scheme):
+        assert scheme.value_signature("type", "a") != scheme.value_signature(
+            "kind", "a"
+        )
+        assert scheme.value_signature("type", "a") != scheme.value_signature(
+            "type", "b"
+        )
+
+    def test_object_signature_superimposes(self, scheme):
+        combined = scheme.object_signature({"type": "hotel", "stars": "4"})
+        assert combined & scheme.value_signature("type", "hotel")
+        assert combined & scheme.value_signature("stars", "4")
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureScheme(num_bits=4)
+        with pytest.raises(ValueError):
+            SignatureScheme(num_bits=64, bits_per_value=0)
+
+
+class TestSignature:
+    def test_empty_signature_matches_nothing(self, scheme):
+        assert not Signature(scheme).may_contain({})
+
+    def test_added_attrs_always_match(self, scheme):
+        sig = Signature(scheme)
+        sig.add_object({"type": "hotel"})
+        assert sig.may_contain({"type": "hotel"})
+        assert sig.may_contain({})  # unconstrained query matches non-empty
+
+    def test_wrong_value_usually_rejected(self, scheme):
+        sig = Signature(scheme)
+        sig.add_object({"type": "hotel"})
+        misses = sum(
+            not sig.may_contain({"type": f"value-{i}"}) for i in range(50)
+        )
+        assert misses > 40  # a few false positives are expected, most miss
+
+    def test_union(self, scheme):
+        a = Signature(scheme)
+        a.add_object({"type": "hotel"})
+        b = Signature(scheme)
+        b.add_object({"type": "fuel"})
+        merged = a.union(b)
+        assert merged.may_contain({"type": "hotel"})
+        assert merged.may_contain({"type": "fuel"})
+        assert merged.count == 2
+
+    def test_union_width_mismatch_rejected(self, scheme):
+        other = Signature(SignatureScheme(num_bits=64))
+        with pytest.raises(ValueError):
+            Signature(scheme).union(other)
+
+    def test_clear(self, scheme):
+        sig = Signature(scheme)
+        sig.add_object({"type": "hotel"})
+        sig.clear()
+        assert not sig.may_contain({"type": "hotel"})
+
+    def test_size_bytes(self, scheme):
+        assert Signature(scheme).size_bytes == 16
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["type", "brand", "city"]),
+                st.text(min_size=1, max_size=6),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_no_false_negatives_property(self, attr_dicts):
+        scheme = SignatureScheme(num_bits=256, bits_per_value=3)
+        sig = Signature(scheme)
+        for attrs in attr_dicts:
+            sig.add_object(attrs)
+        for attrs in attr_dicts:
+            assert sig.may_contain(attrs)

@@ -1,0 +1,123 @@
+"""Brute-force oracles shared across test suites.
+
+Every engine (ROAD and the baselines) must agree with plain Dijkstra from
+the query node — the paper's correctness ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.graph.network import RoadNetwork
+from repro.graph.shortest_path import dijkstra_distances
+from repro.objects.model import ObjectSet
+from repro.queries.types import ANY, Predicate
+
+
+def brute_object_distances(
+    network: RoadNetwork,
+    objects: ObjectSet,
+    query_node: int,
+    predicate: Predicate = ANY,
+) -> List[Tuple[float, int]]:
+    """(distance, object_id) for every reachable matching object, sorted."""
+    dist = dijkstra_distances(network.neighbours, query_node)
+    out: List[Tuple[float, int]] = []
+    for obj in objects:
+        if not predicate.matches(obj):
+            continue
+        u, v = obj.edge
+        edge_distance = network.edge_distance(u, v)
+        candidates = [
+            dist[n] + obj.offset_from(n, edge_distance)
+            for n in (u, v)
+            if n in dist
+        ]
+        if candidates:
+            out.append((min(candidates), obj.object_id))
+    out.sort()
+    return out
+
+
+def brute_knn(
+    network: RoadNetwork,
+    objects: ObjectSet,
+    query_node: int,
+    k: int,
+    predicate: Predicate = ANY,
+) -> List[Tuple[float, int]]:
+    """The k nearest matching objects by exact network distance."""
+    return brute_object_distances(network, objects, query_node, predicate)[:k]
+
+
+def brute_range(
+    network: RoadNetwork,
+    objects: ObjectSet,
+    query_node: int,
+    radius: float,
+    predicate: Predicate = ANY,
+) -> List[Tuple[float, int]]:
+    """All matching objects within ``radius``, sorted by distance."""
+    return [
+        (d, i)
+        for d, i in brute_object_distances(network, objects, query_node, predicate)
+        if d <= radius + 1e-9
+    ]
+
+
+def assert_same_result(got, expected, *, tol: float = 1e-6) -> None:
+    """Compare engine output against an oracle, tolerating distance ties.
+
+    ``got`` is a list of ResultEntry; ``expected`` is (distance, id) pairs.
+    Distances must match pairwise; ids must match except within tied
+    groups, where any permutation of the tied ids is accepted.
+    """
+    assert len(got) == len(expected), (
+        f"result size {len(got)} != expected {len(expected)}: "
+        f"{[(e.object_id, e.distance) for e in got]} vs {expected}"
+    )
+    for entry, (exp_dist, _) in zip(got, expected):
+        assert abs(entry.distance - exp_dist) <= tol, (
+            f"distance mismatch: {entry} vs expected {exp_dist}"
+        )
+    # Group by (approximately) equal distance and compare id sets per group.
+    def groups(pairs):
+        grouped, current, current_d = [], [], None
+        for d, i in pairs:
+            if current and abs(d - current_d) > tol:
+                grouped.append(sorted(current))
+                current = []
+            current.append(i)
+            current_d = d
+        if current:
+            grouped.append(sorted(current))
+        return grouped
+
+    got_pairs = [(e.distance, e.object_id) for e in got]
+    exp_groups = groups(expected)
+    got_groups = groups(got_pairs)
+    # Tie groups at the tail may be cut differently by k; compare the union.
+    assert sorted(i for g in got_groups for i in g) == sorted(
+        i for g in exp_groups for i in g
+    ) or _tie_tolerant_equal(got_pairs, expected, tol), (
+        f"id mismatch: {got_pairs} vs {expected}"
+    )
+
+
+def _tie_tolerant_equal(got_pairs, expected, tol: float) -> bool:
+    """Accept differing ids only where distances tie at the boundary."""
+    exp_by_id = {i: d for d, i in expected}
+    exp_dists = sorted(d for d, _ in expected)
+    got_dists = sorted(d for d, _ in got_pairs)
+    if len(got_dists) != len(exp_dists):
+        return False
+    if any(abs(a - b) > tol for a, b in zip(got_dists, exp_dists)):
+        return False
+    # Every got id must either be expected, or have a distance equal to some
+    # expected distance (a legitimate tie swap).
+    for d, i in got_pairs:
+        if i in exp_by_id:
+            continue
+        if not any(abs(d - e) <= tol for e in exp_dists):
+            return False
+    return True

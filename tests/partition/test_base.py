@@ -1,0 +1,68 @@
+"""Partition primitives: incident/cut nodes, Definition 4 validation."""
+
+import pytest
+
+from repro.partition.base import (
+    PartitionError,
+    balance_ratio,
+    cut_nodes,
+    incident_nodes,
+    validate_partition,
+)
+
+
+class TestIncidentAndCut:
+    def test_incident_nodes(self):
+        assert incident_nodes([(1, 2), (2, 3)]) == {1, 2, 3}
+
+    def test_incident_nodes_empty(self):
+        assert incident_nodes([]) == set()
+
+    def test_cut_nodes_shared_endpoint(self):
+        # node 2 touches edges in both parts
+        assert cut_nodes([{(1, 2)}, {(2, 3)}]) == {2}
+
+    def test_cut_nodes_disjoint_parts(self):
+        assert cut_nodes([{(1, 2)}, {(3, 4)}]) == set()
+
+    def test_cut_nodes_three_parts(self):
+        parts = [{(1, 2)}, {(2, 3)}, {(3, 4), (4, 1)}]
+        assert cut_nodes(parts) == {1, 2, 3}
+
+
+class TestValidation:
+    def test_valid_partition_passes(self):
+        parent = {(1, 2), (2, 3), (3, 4)}
+        validate_partition(parent, [{(1, 2)}, {(2, 3), (3, 4)}])
+
+    def test_single_part_rejected(self):
+        with pytest.raises(PartitionError):
+            validate_partition({(1, 2)}, [{(1, 2)}])
+
+    def test_empty_part_rejected(self):
+        with pytest.raises(PartitionError):
+            validate_partition({(1, 2)}, [{(1, 2)}, set()])
+
+    def test_overlapping_parts_rejected(self):
+        parent = {(1, 2), (2, 3)}
+        with pytest.raises(PartitionError):
+            validate_partition(parent, [{(1, 2), (2, 3)}, {(2, 3)}])
+
+    def test_incomplete_cover_rejected(self):
+        parent = {(1, 2), (2, 3), (3, 4)}
+        with pytest.raises(PartitionError):
+            validate_partition(parent, [{(1, 2)}, {(2, 3)}])
+
+    def test_extra_edges_rejected(self):
+        parent = {(1, 2)}
+        with pytest.raises(PartitionError):
+            validate_partition(parent, [{(1, 2)}, {(5, 6)}])
+
+
+class TestBalance:
+    def test_perfectly_balanced(self):
+        assert balance_ratio([{(1, 2)}, {(3, 4)}]) == pytest.approx(1.0)
+
+    def test_imbalanced(self):
+        ratio = balance_ratio([{(1, 2), (3, 4), (5, 6)}, {(7, 8)}])
+        assert ratio == pytest.approx(1.5)

@@ -1,0 +1,80 @@
+"""Geometric bisection: balance, determinism, degenerate inputs."""
+
+import pytest
+
+from repro.graph.generators import chain_network, grid_network
+from repro.partition.base import PartitionError, validate_partition
+from repro.partition.geometric import edge_midpoint, geometric_bisection
+
+
+def all_edges(network):
+    return {(u, v) for u, v, _ in network.edges()}
+
+
+class TestGeometricBisection:
+    def test_halves_cover_and_balance(self, small_grid):
+        edges = all_edges(small_grid)
+        left, right = geometric_bisection(small_grid, edges)
+        validate_partition(edges, [left, right])
+        assert abs(len(left) - len(right)) <= 1
+
+    def test_chain_split_is_spatial(self):
+        chain = chain_network(11)
+        edges = all_edges(chain)
+        left, right = geometric_bisection(chain, edges)
+        # The chain runs along x; the split must separate low from high ids.
+        left_max = max(max(e) for e in left)
+        right_min = min(min(e) for e in right)
+        if left_max > right_min:  # sides may be swapped
+            left, right = right, left
+            left_max = max(max(e) for e in left)
+            right_min = min(min(e) for e in right)
+        assert left_max <= right_min + 1
+
+    def test_deterministic(self, small_grid):
+        edges = all_edges(small_grid)
+        assert geometric_bisection(small_grid, edges) == geometric_bisection(
+            small_grid, edges
+        )
+
+    def test_two_edges(self):
+        chain = chain_network(3)
+        left, right = geometric_bisection(chain, all_edges(chain))
+        assert len(left) == 1 and len(right) == 1
+
+    def test_single_edge_rejected(self):
+        chain = chain_network(2)
+        with pytest.raises(PartitionError):
+            geometric_bisection(chain, all_edges(chain))
+
+    def test_weighted_split_balances_weight(self, small_grid):
+        edges = all_edges(small_grid)
+        ordered = sorted(edges)
+        # Put all the weight on one edge: it should sit alone-ish in a half.
+        weights = {e: 1.0 for e in edges}
+        heavy = ordered[0]
+        weights[heavy] = float(len(edges))
+        left, right = geometric_bisection(small_grid, edges, weights=weights)
+        heavy_side = left if heavy in left else right
+        other = right if heavy in left else left
+        heavy_weight = sum(weights[e] for e in heavy_side)
+        other_weight = sum(weights[e] for e in other)
+        assert heavy_weight >= other_weight
+
+    def test_midpoint(self):
+        chain = chain_network(3, spacing=10.0)
+        x, y = edge_midpoint(chain, (0, 1))
+        assert (x, y) == pytest.approx((5.0, 0.0))
+
+    def test_degenerate_coordinates_still_split(self):
+        """All nodes at one point: the tie-broken sort still cuts."""
+        from repro.graph.network import RoadNetwork
+
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_node(i, 1.0, 1.0)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(2, 3, 1.0)
+        left, right = geometric_bisection(net, all_edges(net))
+        assert left and right

@@ -1,0 +1,88 @@
+"""KL refinement: cut improvement, balance, invariants."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import grid_network
+from repro.partition.base import (
+    PartitionError,
+    cut_nodes,
+    validate_partition,
+)
+from repro.partition.geometric import geometric_bisection
+from repro.partition.kl import refine_bisection
+
+
+def all_edges(network):
+    return {(u, v) for u, v, _ in network.edges()}
+
+
+class TestRefineBisection:
+    def test_reported_cut_matches_recount(self, medium_grid):
+        edges = all_edges(medium_grid)
+        left, right = geometric_bisection(medium_grid, edges)
+        rl, rr, cut = refine_bisection(medium_grid, left, right)
+        assert cut == len(cut_nodes([rl, rr]))
+
+    def test_refinement_never_worsens_cut(self, medium_grid):
+        edges = all_edges(medium_grid)
+        left, right = geometric_bisection(medium_grid, edges)
+        before = len(cut_nodes([left, right]))
+        _, _, after = refine_bisection(medium_grid, left, right)
+        assert after <= before
+
+    def test_improves_bad_random_split(self, medium_grid):
+        """A random (non-spatial) split has a big cut; KL must shrink it."""
+        edges = sorted(all_edges(medium_grid))
+        rnd = random.Random(1)
+        rnd.shuffle(edges)
+        half = len(edges) // 2
+        left, right = set(edges[:half]), set(edges[half:])
+        before = len(cut_nodes([left, right]))
+        _, _, after = refine_bisection(medium_grid, left, right, max_passes=20)
+        assert after < before
+
+    def test_result_is_valid_partition(self, medium_grid):
+        edges = all_edges(medium_grid)
+        left, right = geometric_bisection(medium_grid, edges)
+        rl, rr, _ = refine_bisection(medium_grid, left, right)
+        validate_partition(edges, [rl, rr])
+
+    def test_balance_respected(self, medium_grid):
+        edges = all_edges(medium_grid)
+        left, right = geometric_bisection(medium_grid, edges)
+        rl, rr, _ = refine_bisection(
+            medium_grid, left, right, balance_tol=0.1, max_passes=20
+        )
+        ideal = len(edges) / 2
+        assert len(rl) <= ideal * 1.1 + 1
+        assert len(rr) <= ideal * 1.1 + 1
+
+    def test_empty_half_rejected(self, medium_grid):
+        with pytest.raises(PartitionError):
+            refine_bisection(medium_grid, set(), all_edges(medium_grid))
+
+    def test_halves_never_emptied(self):
+        """Tiny input: KL may move edges but both halves must survive."""
+        net = grid_network(2, 3, seed=0)
+        edges = sorted(all_edges(net))
+        left, right = {edges[0]}, set(edges[1:])
+        rl, rr, _ = refine_bisection(net, left, right, balance_tol=10.0)
+        assert rl and rr
+
+    def test_weighted_balance(self, medium_grid):
+        edges = all_edges(medium_grid)
+        weights = {e: 1.0 for e in edges}
+        left, right = geometric_bisection(medium_grid, edges)
+        rl, rr, _ = refine_bisection(
+            medium_grid, left, right, weights=weights, balance_tol=0.1
+        )
+        validate_partition(edges, [rl, rr])
+
+    def test_zero_passes_is_identity(self, medium_grid):
+        edges = all_edges(medium_grid)
+        left, right = geometric_bisection(medium_grid, edges)
+        rl, rr, cut = refine_bisection(medium_grid, left, right, max_passes=0)
+        assert (rl, rr) == (left, right)
+        assert cut == len(cut_nodes([left, right]))

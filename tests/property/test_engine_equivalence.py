@@ -1,0 +1,75 @@
+"""Property: all four engines agree on random networks and workloads."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DistanceIndexEngine,
+    EuclideanEngine,
+    NetworkExpansionEngine,
+    ROADEngine,
+)
+from repro.objects.model import ObjectSet, SpatialObject
+from tests.conftest import random_connected_network
+from tests.oracle import assert_same_result, brute_knn, brute_range
+
+
+def euclidean_sound_network(rnd, num_nodes, extra_edges):
+    """Random connected network whose weights dominate Euclidean length."""
+    network = random_connected_network(rnd, num_nodes, extra_edges)
+    for u, v, _ in list(network.edges()):
+        network.update_edge(u, v, network.euclidean(u, v) + rnd.uniform(0.1, 3.0))
+    return network
+
+
+def random_objects(rnd, network, count):
+    objects = ObjectSet()
+    edges = sorted((u, v) for u, v, _ in network.edges())
+    for object_id in range(count):
+        u, v = edges[rnd.randrange(len(edges))]
+        objects.add(
+            SpatialObject(
+                object_id, (u, v), rnd.uniform(0, network.edge_distance(u, v))
+            )
+        )
+    return objects
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_four_engines_agree_on_knn(seed):
+    rnd = random.Random(seed)
+    network = euclidean_sound_network(rnd, rnd.randint(12, 30), rnd.randint(0, 15))
+    objects = random_objects(rnd, network, rnd.randint(1, 8))
+    engines = [
+        NetworkExpansionEngine(network.copy(), objects),
+        EuclideanEngine(network.copy(), objects),
+        DistanceIndexEngine(network.copy(), objects),
+        ROADEngine(network.copy(), objects, levels=2),
+    ]
+    for _ in range(3):
+        nq = rnd.randrange(network.num_nodes)
+        k = rnd.randint(1, 4)
+        expected = brute_knn(network, objects, nq, k)
+        for engine in engines:
+            assert_same_result(engine.knn(nq, k), expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), radius=st.floats(0.0, 30.0))
+def test_four_engines_agree_on_range(seed, radius):
+    rnd = random.Random(seed)
+    network = euclidean_sound_network(rnd, rnd.randint(12, 25), rnd.randint(0, 12))
+    objects = random_objects(rnd, network, rnd.randint(1, 6))
+    engines = [
+        NetworkExpansionEngine(network.copy(), objects),
+        EuclideanEngine(network.copy(), objects),
+        DistanceIndexEngine(network.copy(), objects),
+        ROADEngine(network.copy(), objects, levels=2),
+    ]
+    nq = rnd.randrange(network.num_nodes)
+    expected = brute_range(network, objects, nq, radius)
+    for engine in engines:
+        assert_same_result(engine.range(nq, radius), expected)

@@ -1,0 +1,176 @@
+"""Property-based end-to-end checks: ROAD == brute-force Dijkstra.
+
+These are the paper's implicit correctness claims, driven by hypothesis:
+random connected networks, random object placements, random queries, random
+hierarchy shapes, and random maintenance interleavings must all agree with
+plain network expansion from the query node.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import ROAD
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.queries.types import Predicate
+from tests.conftest import random_connected_network
+from tests.oracle import assert_same_result, brute_knn, brute_range
+
+
+def random_objects(rnd, network, count, with_attrs=False):
+    objects = ObjectSet()
+    edges = sorted((u, v) for u, v, _ in network.edges())
+    for object_id in range(count):
+        u, v = edges[rnd.randrange(len(edges))]
+        delta = rnd.uniform(0.0, network.edge_distance(u, v))
+        attrs = {"type": rnd.choice(["a", "b"])} if with_attrs else {}
+        objects.add(SpatialObject(object_id, (u, v), delta, attrs))
+    return objects
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    levels=st.integers(1, 4),
+    fanout=st.sampled_from([2, 4]),
+    k=st.integers(1, 6),
+)
+def test_knn_equivalence(seed, levels, fanout, k):
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(12, 60), rnd.randint(0, 30))
+    objects = random_objects(rnd, network, rnd.randint(1, 12))
+    road = ROAD.build(network, levels=levels, fanout=fanout)
+    road.attach_objects(objects)
+    for _ in range(4):
+        nq = rnd.randrange(network.num_nodes)
+        assert_same_result(road.knn(nq, k), brute_knn(network, objects, nq, k))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), radius=st.floats(0.0, 40.0))
+def test_range_equivalence(seed, radius):
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(12, 50), rnd.randint(0, 25))
+    objects = random_objects(rnd, network, rnd.randint(1, 10))
+    road = ROAD.build(network, levels=rnd.randint(1, 3), fanout=4)
+    road.attach_objects(objects)
+    for _ in range(3):
+        nq = rnd.randrange(network.num_nodes)
+        assert_same_result(
+            road.range(nq, radius), brute_range(network, objects, nq, radius)
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_predicate_equivalence(seed):
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(15, 40), rnd.randint(0, 20))
+    objects = random_objects(rnd, network, rnd.randint(2, 10), with_attrs=True)
+    road = ROAD.build(network, levels=2, fanout=4)
+    road.attach_objects(objects)
+    pred = Predicate.of(type="a")
+    for _ in range(3):
+        nq = rnd.randrange(network.num_nodes)
+        assert_same_result(
+            road.knn(nq, 3, pred), brute_knn(network, objects, nq, 3, pred)
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_equivalence_after_weight_changes(seed):
+    """Maintenance invariant: queries stay exact after edge re-weighting."""
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(15, 40), rnd.randint(2, 20))
+    objects = random_objects(rnd, network, rnd.randint(1, 8))
+    road = ROAD.build(network, levels=rnd.randint(1, 3), fanout=4)
+    directory = road.attach_objects(objects)
+    edges = list(network.edges())
+    for _ in range(4):
+        u, v, _ = edges[rnd.randrange(len(edges))]
+        road.update_edge_distance(
+            u, v, network.edge_distance(u, v) * rnd.choice([0.2, 0.6, 1.8, 5.0])
+        )
+        nq = rnd.randrange(network.num_nodes)
+        # Oracle uses the directory's objects: offsets rescale with the edge.
+        assert_same_result(
+            road.knn(nq, 3), brute_knn(network, directory.objects, nq, 3)
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_equivalence_after_object_churn(seed):
+    """Insert/delete/update objects and re-verify against the oracle."""
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(15, 35), rnd.randint(0, 15))
+    objects = random_objects(rnd, network, 5)
+    road = ROAD.build(network, levels=2, fanout=4)
+    directory = road.attach_objects(objects)
+    edges = sorted((u, v) for u, v, _ in network.edges())
+    live = set(objects.ids())
+    next_id = max(live) + 1
+    for _ in range(6):
+        action = rnd.choice(["insert", "delete", "update"])
+        if action == "insert" or not live:
+            u, v = edges[rnd.randrange(len(edges))]
+            obj = SpatialObject(
+                next_id, (u, v), rnd.uniform(0, network.edge_distance(u, v))
+            )
+            directory.insert(obj)
+            live.add(next_id)
+            next_id += 1
+        elif action == "delete":
+            victim = rnd.choice(sorted(live))
+            directory.delete(victim)
+            live.remove(victim)
+        else:
+            target = rnd.choice(sorted(live))
+            directory.update_attrs(target, {"type": rnd.choice(["a", "b"])})
+        nq = rnd.randrange(network.num_nodes)
+        assert_same_result(
+            road.knn(nq, 3), brute_knn(network, directory.objects, nq, 3)
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_equivalence_after_structure_changes(seed):
+    """Add/remove edges (with promotions) and re-verify."""
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(15, 30), rnd.randint(2, 10))
+    objects = random_objects(rnd, network, 4)
+    road = ROAD.build(network, levels=2, fanout=4)
+    road.attach_objects(objects)
+    added = []
+    for _ in range(4):
+        if rnd.random() < 0.6 or not added:
+            u = rnd.randrange(network.num_nodes)
+            v = rnd.randrange(network.num_nodes)
+            if u == v or network.has_edge(u, v):
+                continue
+            road.add_edge(u, v, rnd.uniform(0.5, 10.0))
+            added.append((u, v))
+        else:
+            u, v = added.pop()
+            road.remove_edge(u, v)
+        road.hierarchy.validate()
+        nq = rnd.randrange(network.num_nodes)
+        assert_same_result(road.knn(nq, 3), brute_knn(network, objects, nq, 3))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), reduce=st.booleans())
+def test_reduction_toggle_equivalence(seed, reduce):
+    """Lemma-4 reduction must not change any query answer."""
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(15, 40), rnd.randint(0, 20))
+    objects = random_objects(rnd, network, 6)
+    road = ROAD.build(network, levels=3, fanout=4, reduce_shortcuts=reduce)
+    road.attach_objects(objects)
+    for _ in range(3):
+        nq = rnd.randrange(network.num_nodes)
+        assert_same_result(road.knn(nq, 4), brute_knn(network, objects, nq, 4))

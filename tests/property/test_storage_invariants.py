@@ -1,0 +1,140 @@
+"""Stateful property tests over the storage substrate."""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.storage.pager import PAGE_HEADER_SIZE, PAGE_SIZE, PageManager
+from repro.storage.rtree import Rect, RTree
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    """R-tree vs a plain list model under random inserts/deletes/queries."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = RTree(PageManager(buffer_pages=32), max_entries=4)
+        self.model = []  # list of (x, y, ref)
+        self.next_ref = 0
+
+    coords = st.tuples(
+        st.floats(min_value=0, max_value=64, allow_nan=False),
+        st.floats(min_value=0, max_value=64, allow_nan=False),
+    )
+
+    @rule(point=coords)
+    def insert(self, point):
+        x, y = point
+        self.tree.insert(Rect.point(x, y), self.next_ref)
+        self.model.append((x, y, self.next_ref))
+        self.next_ref += 1
+
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        if not self.model:
+            return
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        x, y, ref = self.model.pop(index)
+        assert self.tree.delete(Rect.point(x, y), ref)
+
+    @rule(point=coords)
+    def delete_absent(self, point):
+        x, y = point
+        if not any(mx == x and my == y for mx, my, _ in self.model):
+            assert not self.tree.delete(Rect.point(x, y), 10**9)
+
+    @rule(window=st.tuples(coords, coords))
+    def window_query_matches_model(self, window):
+        (x1, y1), (x2, y2) = window
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        got = sorted(ref for _, ref in self.tree.window(rect))
+        expected = sorted(
+            ref for x, y, ref in self.model if rect.contains_point(x, y)
+        )
+        assert got == expected
+
+    @rule(point=coords)
+    def nearest_matches_model(self, point):
+        qx, qy = point
+        got = self.tree.nearest(qx, qy, k=3)
+        brute = sorted(
+            (math.hypot(x - qx, y - qy), ref) for x, y, ref in self.model
+        )[:3]
+        assert len(got) == len(brute)
+        for (got_d, _), (exp_d, _) in zip(got, brute):
+            assert abs(got_d - exp_d) < 1e-9
+
+    @invariant()
+    def size_consistent(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_valid(self):
+        self.tree.validate()
+
+
+RTreeMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestRTreeStateful = RTreeMachine.TestCase
+
+
+class PagerMachine(RuleBasedStateMachine):
+    """Pager bookkeeping stays consistent under arbitrary operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.pager = PageManager(buffer_pages=3)
+        self.live = {}
+
+    @rule(nbytes=st.integers(0, PAGE_SIZE - PAGE_HEADER_SIZE))
+    def allocate(self, nbytes):
+        page = self.pager.allocate("t", payload=None, nbytes=nbytes)
+        self.live[page.page_id] = nbytes
+
+    @rule(data=st.data())
+    def read_live(self, data):
+        if not self.live:
+            return
+        page_id = data.draw(st.sampled_from(sorted(self.live)))
+        page = self.pager.read(page_id)
+        assert page.page_id == page_id
+        assert page.nbytes == self.live[page_id]
+
+    @rule(data=st.data())
+    def free_live(self, data):
+        if not self.live:
+            return
+        page_id = data.draw(st.sampled_from(sorted(self.live)))
+        self.pager.free(page_id)
+        del self.live[page_id]
+
+    @rule()
+    def drop_cache(self):
+        self.pager.drop_cache()
+
+    @invariant()
+    def accounting_consistent(self):
+        assert self.pager.page_count == len(self.live)
+        assert self.pager.size_bytes == len(self.live) * PAGE_SIZE
+        expected_used = sum(self.live.values()) + len(self.live) * PAGE_HEADER_SIZE
+        assert self.pager.used_bytes == expected_used
+
+    @invariant()
+    def io_counters_sane(self):
+        stats = self.pager.stats
+        assert stats.reads == stats.misses
+        assert stats.reads >= 0 and stats.writes >= 0
+
+
+PagerMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=40, deadline=None
+)
+TestPagerStateful = PagerMachine.TestCase

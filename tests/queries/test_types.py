@@ -1,0 +1,73 @@
+"""Query types: predicates, validation, result ordering."""
+
+import pytest
+
+from repro.objects.model import SpatialObject
+from repro.queries.types import (
+    ANY,
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+    ResultEntry,
+    sort_result,
+)
+
+
+def obj(**attrs):
+    return SpatialObject(1, (1, 2), 0.0, attrs)
+
+
+class TestPredicate:
+    def test_unconstrained_matches_everything(self):
+        assert ANY.is_unconstrained
+        assert ANY.matches(obj())
+        assert ANY.matches(obj(type="hotel"))
+
+    def test_single_attribute(self):
+        pred = Predicate.of(type="hotel")
+        assert pred.matches(obj(type="hotel"))
+        assert not pred.matches(obj(type="fuel"))
+        assert not pred.matches(obj())
+
+    def test_conjunction(self):
+        pred = Predicate.of(type="hotel", stars="4")
+        assert pred.matches(obj(type="hotel", stars="4"))
+        assert not pred.matches(obj(type="hotel", stars="5"))
+
+    def test_order_independence_and_hash(self):
+        a = Predicate.of(type="hotel", city="SF")
+        b = Predicate.from_mapping({"city": "SF", "type": "hotel"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_as_dict(self):
+        assert Predicate.of(type="x").as_dict() == {"type": "x"}
+
+    def test_extra_attributes_allowed(self):
+        pred = Predicate.of(type="hotel")
+        assert pred.matches(obj(type="hotel", extra="yes"))
+
+
+class TestQueryValidation:
+    def test_knn_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            KNNQuery(0, 0)
+        assert KNNQuery(0, 1).k == 1
+
+    def test_range_requires_non_negative_radius(self):
+        with pytest.raises(ValueError):
+            RangeQuery(0, -0.1)
+        assert RangeQuery(0, 0.0).radius == 0.0
+
+    def test_queries_are_hashable(self):
+        assert len({KNNQuery(0, 1), KNNQuery(0, 1), RangeQuery(0, 5.0)}) == 2
+
+
+class TestResults:
+    def test_sort_result_by_distance_then_id(self):
+        entries = [
+            ResultEntry(3, 5.0),
+            ResultEntry(1, 5.0),
+            ResultEntry(2, 1.0),
+        ]
+        assert [e.object_id for e in sort_result(entries)] == [2, 1, 3]

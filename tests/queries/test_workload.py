@@ -1,0 +1,37 @@
+"""Workload generators: determinism, shapes."""
+
+from repro.graph.generators import grid_network
+from repro.queries.types import Predicate
+from repro.queries.workload import (
+    knn_workload,
+    random_query_nodes,
+    range_workload,
+)
+
+
+class TestWorkloads:
+    def test_query_nodes_valid_and_deterministic(self):
+        net = grid_network(5, 5, seed=0)
+        nodes = random_query_nodes(net, 20, seed=3)
+        assert len(nodes) == 20
+        assert all(net.has_node(n) for n in nodes)
+        assert nodes == random_query_nodes(net, 20, seed=3)
+        assert nodes != random_query_nodes(net, 20, seed=4)
+
+    def test_knn_workload(self):
+        net = grid_network(5, 5, seed=0)
+        queries = knn_workload(net, 10, k=5, seed=1)
+        assert len(queries) == 10
+        assert all(q.k == 5 for q in queries)
+
+    def test_knn_workload_with_predicate(self):
+        net = grid_network(5, 5, seed=0)
+        pred = Predicate.of(type="hotel")
+        queries = knn_workload(net, 5, k=2, seed=1, predicate=pred)
+        assert all(q.predicate == pred for q in queries)
+
+    def test_range_workload(self):
+        net = grid_network(5, 5, seed=0)
+        queries = range_workload(net, 10, radius=123.0, seed=2)
+        assert len(queries) == 10
+        assert all(q.radius == 123.0 for q in queries)

@@ -1,0 +1,227 @@
+"""B+-tree: behaviour vs a sorted-dict model, structure, I/O."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.bptree import BPlusTree, BPlusTreeError, LEAF_CAPACITY_BYTES
+from repro.storage.pager import PageManager
+
+
+@pytest.fixture
+def tree() -> BPlusTree:
+    return BPlusTree(PageManager(buffer_pages=16), order=6)
+
+
+class TestBasics:
+    def test_empty_tree(self, tree):
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert tree.get(1, "dflt") == "dflt"
+        assert 1 not in tree
+        assert tree.min_key() is None
+        assert list(tree.items()) == []
+
+    def test_single_insert_and_get(self, tree):
+        tree.insert(5, "five")
+        assert tree.get(5) == "five"
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_insert_replaces_existing(self, tree):
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.get(5) == "b"
+        assert len(tree) == 1
+
+    def test_stored_none_differs_from_absent(self, tree):
+        tree.insert(1, None)
+        assert 1 in tree
+        assert tree.get(1, "dflt") is None
+
+    def test_delete_present(self, tree):
+        tree.insert(1, "x")
+        assert tree.delete(1)
+        assert 1 not in tree
+        assert len(tree) == 0
+
+    def test_delete_absent_returns_false(self, tree):
+        assert not tree.delete(1)
+
+    def test_negative_keys(self, tree):
+        tree.insert(-10, "neg")
+        tree.insert(10, "pos")
+        assert tree.get(-10) == "neg"
+        assert [k for k, _ in tree.items()] == [-10, 10]
+
+    def test_oversized_record_rejected(self, tree):
+        with pytest.raises(BPlusTreeError):
+            tree.insert(1, "big", size=LEAF_CAPACITY_BYTES + 1)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(PageManager(), order=2)
+
+
+class TestBulkBehaviour:
+    def test_many_inserts_sorted_iteration(self, tree):
+        keys = list(range(200))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k * 10)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        assert len(tree) == 200
+        tree.validate()
+
+    def test_tree_grows_in_height(self, tree):
+        assert tree.height == 1
+        for k in range(100):
+            tree.insert(k, k)
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_range_scan_inclusive(self, tree):
+        for k in range(0, 100, 2):
+            tree.insert(k, str(k))
+        got = [k for k, _ in tree.range_scan(10, 20)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_range_scan_empty_window(self, tree):
+        tree.insert(5, "x")
+        assert list(tree.range_scan(6, 10)) == []
+        assert list(tree.range_scan(10, 6)) == []
+
+    def test_range_scan_spans_leaves(self, tree):
+        for k in range(300):
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range_scan(50, 250)]
+        assert got == list(range(50, 251))
+
+    def test_delete_everything_in_random_order(self, tree):
+        keys = list(range(150))
+        rnd = random.Random(2)
+        for k in keys:
+            tree.insert(k, k)
+        rnd.shuffle(keys)
+        for k in keys:
+            assert tree.delete(k)
+            tree.validate()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_interleaved_inserts_and_deletes_match_dict(self, tree):
+        rnd = random.Random(3)
+        model = {}
+        for _ in range(800):
+            key = rnd.randrange(120)
+            if rnd.random() < 0.6:
+                tree.insert(key, key * 3)
+                model[key] = key * 3
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert dict(tree.items()) == model
+        tree.validate()
+
+    def test_variable_sized_values_split_by_bytes(self):
+        tree = BPlusTree(PageManager(buffer_pages=64))  # page-derived order
+        for k in range(100):
+            tree.insert(k, "v" * 100, size=1000)
+        tree.validate()
+        assert tree.page_count > 2  # forced splits despite only 100 entries
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    def test_page_count_shrinks_after_mass_delete(self, tree):
+        for k in range(500):
+            tree.insert(k, k)
+        grown = tree.page_count
+        for k in range(500):
+            tree.delete(k)
+        tree.validate()
+        assert tree.page_count < grown
+
+
+class TestIOCharging:
+    def test_search_charges_io_on_cold_cache(self):
+        pager = PageManager(buffer_pages=4)
+        tree = BPlusTree(pager, order=6)
+        for k in range(500):
+            tree.insert(k, k)
+        pager.drop_cache()
+        pager.reset_stats()
+        tree.get(250)
+        assert pager.stats.reads >= tree.height - 1
+
+    def test_search_hits_buffer_when_warm(self):
+        pager = PageManager(buffer_pages=64)
+        tree = BPlusTree(pager, order=6)
+        for k in range(100):
+            tree.insert(k, k)
+        tree.get(50)
+        pager.reset_stats()
+        tree.get(50)
+        assert pager.stats.reads == 0
+        assert pager.stats.hits > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=120,
+    )
+)
+def test_bptree_matches_dict_model(ops):
+    """Property: any op sequence behaves exactly like a dict over int keys."""
+    tree = BPlusTree(PageManager(buffer_pages=8), order=4)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key + 1000)
+            model[key] = key + 1000
+        elif op == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.get(key) == model.get(key)
+    assert dict(tree.items()) == model
+    assert len(tree) == len(model)
+    tree.validate()
+
+
+class BPTreeMachine(RuleBasedStateMachine):
+    """Stateful check: the tree stays valid under arbitrary interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(PageManager(buffer_pages=8), order=4)
+        self.model = {}
+
+    @rule(key=st.integers(min_value=-50, max_value=50))
+    def insert(self, key):
+        self.tree.insert(key, key)
+        self.model[key] = key
+
+    @rule(key=st.integers(min_value=-50, max_value=50))
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(lo=st.integers(-50, 50), hi=st.integers(-50, 50))
+    def scan(self, lo, hi):
+        got = [k for k, _ in self.tree.range_scan(lo, hi)]
+        expected = sorted(k for k in self.model if lo <= k <= hi)
+        assert got == expected
+
+    @invariant()
+    def tree_is_valid(self):
+        self.tree.validate()
+
+
+TestBPTreeStateful = BPTreeMachine.TestCase

@@ -1,0 +1,90 @@
+"""Buffer pool: LRU ordering, eviction, capacity."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Page
+
+
+def make_page(page_id: int) -> Page:
+    return Page(page_id, "t")
+
+
+class TestBufferPool:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_admit_until_full_evicts_nothing(self):
+        pool = BufferPool(3)
+        assert all(pool.admit(make_page(i)) is None for i in range(3))
+        assert len(pool) == 3
+
+    def test_admit_beyond_capacity_evicts_lru(self):
+        pool = BufferPool(2)
+        pool.admit(make_page(0))
+        pool.admit(make_page(1))
+        evicted = pool.admit(make_page(2))
+        assert evicted.page_id == 0
+
+    def test_touch_refreshes_recency(self):
+        pool = BufferPool(2)
+        pool.admit(make_page(0))
+        pool.admit(make_page(1))
+        pool.touch(0)
+        evicted = pool.admit(make_page(2))
+        assert evicted.page_id == 1
+
+    def test_readmit_resident_page_refreshes_recency(self):
+        pool = BufferPool(2)
+        a, b = make_page(0), make_page(1)
+        pool.admit(a)
+        pool.admit(b)
+        assert pool.admit(a) is None  # refresh, no eviction
+        evicted = pool.admit(make_page(2))
+        assert evicted.page_id == 1
+
+    def test_discard_removes_without_eviction(self):
+        pool = BufferPool(2)
+        pool.admit(make_page(0))
+        pool.discard(0)
+        assert not pool.contains(0)
+        pool.discard(99)  # absent id is a no-op
+
+    def test_clear_empties_pool(self):
+        pool = BufferPool(2)
+        pool.admit(make_page(0))
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_pages_iterates_lru_to_mru(self):
+        pool = BufferPool(3)
+        for i in range(3):
+            pool.admit(make_page(i))
+        pool.touch(0)
+        assert [p.page_id for p in pool.pages()] == [1, 2, 0]
+        assert list(pool.resident_ids()) == [1, 2, 0]
+
+    def test_eviction_sequence_matches_lru_model(self):
+        """Randomized access pattern tracks a reference LRU implementation."""
+        import random
+
+        rnd = random.Random(5)
+        pool = BufferPool(4)
+        model: list[int] = []
+        pages = {i: make_page(i) for i in range(10)}
+        for _ in range(300):
+            pid = rnd.randrange(10)
+            if pool.contains(pid):
+                pool.touch(pid)
+                model.remove(pid)
+                model.append(pid)
+            else:
+                evicted = pool.admit(pages[pid])
+                if len(model) == 4:
+                    expected = model.pop(0)
+                    assert evicted.page_id == expected
+                else:
+                    assert evicted is None
+                model.append(pid)
+            assert list(pool.resident_ids()) == model

@@ -1,0 +1,137 @@
+"""CCAM network store: layout quality, charged access, maintenance."""
+
+import pytest
+
+from repro.graph import grid_network
+from repro.storage.ccam import NetworkStore
+from repro.storage.pager import PageManager
+
+
+@pytest.fixture
+def stored_grid():
+    network = grid_network(10, 10, seed=3)
+    pager = PageManager(buffer_pages=4)
+    store = NetworkStore(network, pager)
+    return network, pager, store
+
+
+class TestLayout:
+    def test_every_node_stored(self, stored_grid):
+        network, _, store = stored_grid
+        assert sorted(store.node_ids()) == sorted(network.node_ids())
+        assert all(store.has_node(n) for n in network.node_ids())
+
+    def test_adjacency_matches_network(self, stored_grid):
+        network, _, store = stored_grid
+        for node in network.node_ids():
+            assert sorted(store.neighbours(node)) == sorted(network.neighbours(node))
+
+    def test_coords_match_network(self, stored_grid):
+        network, _, store = stored_grid
+        for node in list(network.node_ids())[:10]:
+            assert store.coords(node) == network.coords(node)
+
+    def test_bfs_layout_has_good_locality(self, stored_grid):
+        _, _, store = stored_grid
+        # BFS packing should co-locate most grid neighbours.
+        assert store.locality() > 0.5
+
+    def test_pages_respect_capacity(self, stored_grid):
+        _, pager, store = stored_grid
+        from repro.storage.pager import PAGE_HEADER_SIZE, PAGE_SIZE
+
+        for page in pager.iter_pages(store.name):
+            assert page.payload.nbytes <= PAGE_SIZE - PAGE_HEADER_SIZE
+
+    def test_unknown_node_raises(self, stored_grid):
+        _, _, store = stored_grid
+        with pytest.raises(KeyError):
+            store.neighbours(10_000)
+
+
+class TestChargedAccess:
+    def test_cold_access_charges_read(self, stored_grid):
+        _, pager, store = stored_grid
+        pager.drop_cache()
+        pager.reset_stats()
+        store.neighbours(0)
+        assert pager.stats.reads == 1
+
+    def test_local_traversal_reuses_page(self, stored_grid):
+        network, pager, store = stored_grid
+        pager.drop_cache()
+        pager.reset_stats()
+        frontier = [0]
+        seen = {0}
+        for _ in range(10):  # local expansion around node 0
+            node = frontier.pop(0)
+            for neighbour, _ in store.neighbours(node):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        # Far fewer page reads than nodes touched thanks to clustering.
+        assert pager.stats.reads < len(seen)
+
+
+class TestMaintenance:
+    def test_update_edge_distance(self, stored_grid):
+        network, _, store = stored_grid
+        u, v, _ = next(network.edges())
+        store.update_edge_distance(u, v, 123.0)
+        assert dict(store.neighbours(u))[v] == 123.0
+        assert dict(store.neighbours(v))[u] == 123.0
+
+    def test_update_missing_edge_raises(self, stored_grid):
+        _, _, store = stored_grid
+        with pytest.raises(KeyError):
+            store.update_edge_distance(0, 99, 1.0)
+
+    def test_remove_edge(self, stored_grid):
+        network, _, store = stored_grid
+        u, v, _ = next(network.edges())
+        store.remove_edge(u, v)
+        assert v not in dict(store.neighbours(u))
+        assert u not in dict(store.neighbours(v))
+
+    def test_remove_missing_edge_raises(self, stored_grid):
+        _, _, store = stored_grid
+        with pytest.raises(KeyError):
+            store.remove_edge(0, 99)
+
+    def test_add_edge(self, stored_grid):
+        network, _, store = stored_grid
+        # grid nodes 0 and 99 are definitely not adjacent
+        store.add_edge(0, 99, 7.0)
+        assert dict(store.neighbours(0))[99] == 7.0
+        assert dict(store.neighbours(99))[0] == 7.0
+
+    def test_add_duplicate_edge_raises(self, stored_grid):
+        network, _, store = stored_grid
+        u, v, d = next(network.edges())
+        with pytest.raises(KeyError):
+            store.add_edge(u, v, d)
+
+    def test_add_node(self, stored_grid):
+        _, _, store = stored_grid
+        store.add_node(500, 1.0, 2.0)
+        assert store.has_node(500)
+        assert store.neighbours(500) == []
+        assert store.coords(500) == (1.0, 2.0)
+        store.add_edge(500, 0, 3.0)
+        assert dict(store.neighbours(500))[0] == 3.0
+
+    def test_add_existing_node_raises(self, stored_grid):
+        _, _, store = stored_grid
+        with pytest.raises(KeyError):
+            store.add_node(0, 0.0, 0.0)
+
+    def test_dijkstra_over_store_matches_network(self, stored_grid):
+        """The charged adjacency function returns the same shortest paths."""
+        from repro.graph.shortest_path import dijkstra_distances
+
+        network, _, store = stored_grid
+        via_store = dijkstra_distances(store.neighbours, 0)
+        via_memory = dijkstra_distances(network.neighbours, 0)
+        assert via_store.keys() == via_memory.keys()
+        for node in via_memory:
+            assert via_store[node] == pytest.approx(via_memory[node])

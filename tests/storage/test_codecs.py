@@ -1,0 +1,132 @@
+"""Codecs: byte round-trips and size accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import codecs
+
+
+class TestPrimitives:
+    def test_int_round_trip(self):
+        data = codecs.encode_int(-1234567890123)
+        value, offset = codecs.decode_int(data)
+        assert value == -1234567890123
+        assert offset == codecs.INT_SIZE
+
+    def test_float_round_trip(self):
+        data = codecs.encode_float(3.14159)
+        value, _ = codecs.decode_float(data)
+        assert value == pytest.approx(3.14159)
+
+    def test_str_round_trip_unicode(self):
+        data = codecs.encode_str("café ☕")
+        value, _ = codecs.decode_str(data)
+        assert value == "café ☕"
+
+    def test_str_size_matches_encoding(self):
+        assert codecs.str_size("café ☕") == len(codecs.encode_str("café ☕"))
+
+    def test_str_too_long_raises(self):
+        with pytest.raises(codecs.CodecError):
+            codecs.encode_str("x" * 70000)
+
+    def test_truncated_int_raises(self):
+        with pytest.raises(codecs.CodecError):
+            codecs.decode_int(b"\x01\x02")
+
+    def test_truncated_str_raises(self):
+        data = codecs.encode_str("hello")[:-2]
+        with pytest.raises(codecs.CodecError):
+            codecs.decode_str(data)
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_int_round_trip_property(self, value):
+        decoded, _ = codecs.decode_int(codecs.encode_int(value))
+        assert decoded == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=50))
+    def test_int_list_round_trip(self, values):
+        data = codecs.encode_int_list(values)
+        decoded, offset = codecs.decode_int_list(data)
+        assert decoded == values
+        assert offset == len(data) == codecs.int_list_size(len(values))
+
+
+class TestGraphRecords:
+    def test_node_record_round_trip(self):
+        data = codecs.encode_node_record(42, 1.5, -2.5)
+        (node_id, x, y), offset = codecs.decode_node_record(data)
+        assert (node_id, x, y) == (42, 1.5, -2.5)
+        assert offset == codecs.NODE_RECORD_SIZE == len(data)
+
+    def test_adjacency_round_trip(self):
+        neighbours = [(1, 10.0), (2, 20.5), (7, 0.25)]
+        data = codecs.encode_adjacency(5, neighbours)
+        (node_id, decoded), offset = codecs.decode_adjacency(data)
+        assert node_id == 5
+        assert decoded == neighbours
+        assert offset == len(data) == codecs.adjacency_size(3)
+
+    def test_adjacency_size_grows_linearly(self):
+        assert (
+            codecs.adjacency_size(4) - codecs.adjacency_size(3)
+            == codecs.EDGE_RECORD_SIZE
+        )
+
+
+class TestShortcutRecords:
+    def test_shortcut_round_trip(self):
+        data = codecs.encode_shortcut(9, 123.5, 3, [4, 5, 6])
+        (target, rnet, dist, via), offset = codecs.decode_shortcut(data)
+        assert (target, rnet, dist, via) == (9, 3, 123.5, [4, 5, 6])
+        assert offset == len(data) == codecs.shortcut_size(3)
+
+    def test_shortcut_without_vias(self):
+        data = codecs.encode_shortcut(9, 1.0, 0, [])
+        (_, _, _, via), _ = codecs.decode_shortcut(data)
+        assert via == []
+        assert len(data) == codecs.shortcut_size(0)
+
+
+class TestObjectRecords:
+    def test_object_record_round_trip(self):
+        attrs = {"type": "seafood", "name": "Pier 39"}
+        data = codecs.encode_object_record(7, 11, 3.5, attrs)
+        (oid, node, delta, decoded), offset = codecs.decode_object_record(data)
+        assert (oid, node, delta) == (7, 11, 3.5)
+        assert decoded == attrs
+        assert offset == len(data)
+        assert len(data) == codecs.object_record_size(codecs.attrs_size(attrs))
+
+    def test_object_record_empty_attrs(self):
+        data = codecs.encode_object_record(1, 2, 0.0, {})
+        (_, _, _, attrs), _ = codecs.decode_object_record(data)
+        assert attrs == {}
+        assert len(data) == codecs.object_record_size(0)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.text(max_size=12),
+            max_size=5,
+        )
+    )
+    def test_object_record_attrs_property(self, attrs):
+        data = codecs.encode_object_record(3, 4, 1.25, attrs)
+        (_, _, _, decoded), _ = codecs.decode_object_record(data)
+        assert decoded == attrs
+
+
+class TestSpatialRecords:
+    def test_mbr_entry_round_trip(self):
+        data = codecs.encode_mbr_entry(0.0, 1.0, 2.0, 3.0, 99)
+        (xmin, ymin, xmax, ymax, ref), offset = codecs.decode_mbr_entry(data)
+        assert (xmin, ymin, xmax, ymax, ref) == (0.0, 1.0, 2.0, 3.0, 99)
+        assert offset == len(data) == codecs.RTREE_ENTRY_SIZE
+
+    def test_signature_entry_round_trip(self):
+        data = codecs.encode_signature_entry(12, 45.5, 3)
+        (oid, dist, hop), offset = codecs.decode_signature_entry(data)
+        assert (oid, dist, hop) == (12, 45.5, 3)
+        assert offset == len(data) == codecs.signature_entry_size()

@@ -1,0 +1,167 @@
+"""Pager: allocation, I/O accounting, buffer interaction, occupancy."""
+
+import pytest
+
+from repro.storage.pager import (
+    PAGE_HEADER_SIZE,
+    PAGE_SIZE,
+    PageManager,
+    PageNotFoundError,
+    PageOverflowError,
+)
+
+
+@pytest.fixture
+def pager() -> PageManager:
+    return PageManager(buffer_pages=4, name="test")
+
+
+class TestAllocation:
+    def test_allocate_assigns_monotonic_ids(self, pager):
+        pages = [pager.allocate("a") for _ in range(5)]
+        assert [p.page_id for p in pages] == [0, 1, 2, 3, 4]
+
+    def test_allocate_sets_kind_and_payload(self, pager):
+        page = pager.allocate("idx", payload={"x": 1}, nbytes=32)
+        assert page.kind == "idx"
+        assert page.payload == {"x": 1}
+        assert page.nbytes == 32
+
+    def test_new_page_is_dirty(self, pager):
+        assert pager.allocate("a").dirty
+
+    def test_allocate_rejects_oversized_payload(self, pager):
+        with pytest.raises(PageOverflowError):
+            pager.allocate("a", nbytes=PAGE_SIZE)
+
+    def test_free_removes_page(self, pager):
+        page = pager.allocate("a")
+        pager.free(page.page_id)
+        with pytest.raises(PageNotFoundError):
+            pager.read(page.page_id)
+
+    def test_double_free_raises(self, pager):
+        page = pager.allocate("a")
+        pager.free(page.page_id)
+        with pytest.raises(PageNotFoundError):
+            pager.free(page.page_id)
+
+    def test_page_count_tracks_live_pages(self, pager):
+        pages = [pager.allocate("a") for _ in range(3)]
+        pager.free(pages[1].page_id)
+        assert pager.page_count == 2
+
+    def test_buffer_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PageManager(buffer_pages=0)
+
+
+class TestIOAccounting:
+    def test_read_resident_page_is_hit(self, pager):
+        page = pager.allocate("a")
+        pager.reset_stats()
+        pager.read(page.page_id)
+        assert pager.stats.hits == 1
+        assert pager.stats.reads == 0
+
+    def test_read_after_eviction_counts_read(self, pager):
+        first = pager.allocate("a")
+        for _ in range(5):  # push `first` out of the 4-frame buffer
+            pager.allocate("a")
+        pager.reset_stats()
+        pager.read(first.page_id)
+        assert pager.stats.reads == 1
+        assert pager.stats.misses == 1
+
+    def test_dirty_eviction_counts_write(self, pager):
+        pager.allocate("a")  # dirty page that will be evicted
+        pager.reset_stats()
+        for _ in range(4):
+            pager.allocate("a")
+        assert pager.stats.writes == 1
+
+    def test_clean_eviction_costs_nothing(self, pager):
+        page = pager.allocate("a")
+        pager.flush()
+        pager.reset_stats()
+        for _ in range(4):
+            pager.allocate("a")
+        assert pager.stats.writes == 0
+        assert not page.dirty
+
+    def test_flush_writes_only_dirty_pages(self, pager):
+        pager.allocate("a")
+        pager.allocate("a")
+        assert pager.flush() == 2
+        assert pager.flush() == 0
+
+    def test_write_marks_dirty_and_updates_size(self, pager):
+        page = pager.allocate("a", nbytes=8)
+        pager.flush()
+        pager.write(page, nbytes=100)
+        assert page.dirty
+        assert page.nbytes == 100
+
+    def test_write_to_evicted_page_counts_read(self, pager):
+        page = pager.allocate("a")
+        for _ in range(5):
+            pager.allocate("a")
+        pager.flush()
+        pager.reset_stats()
+        pager.write(page)
+        assert pager.stats.reads == 1
+
+    def test_drop_cache_forces_cold_reads(self, pager):
+        page = pager.allocate("a")
+        pager.drop_cache()
+        pager.reset_stats()
+        pager.read(page.page_id)
+        assert pager.stats.reads == 1
+
+    def test_stats_snapshot_diff(self, pager):
+        page = pager.allocate("a")
+        before = pager.stats.snapshot()
+        pager.drop_cache()
+        pager.read(page.page_id)
+        delta = pager.stats.diff(before)
+        assert delta.reads == 1
+        assert delta.total_io >= 1
+
+    def test_reset_stats_zeroes_counters(self, pager):
+        pager.allocate("a")
+        pager.drop_cache()
+        pager.reset_stats()
+        s = pager.stats
+        assert (s.reads, s.writes, s.hits, s.misses) == (0, 0, 0, 0)
+
+
+class TestOccupancy:
+    def test_size_bytes_is_pages_times_page_size(self, pager):
+        for _ in range(3):
+            pager.allocate("a", nbytes=10)
+        assert pager.size_bytes == 3 * PAGE_SIZE
+
+    def test_used_bytes_includes_headers(self, pager):
+        pager.allocate("a", nbytes=100)
+        assert pager.used_bytes == 100 + PAGE_HEADER_SIZE
+
+    def test_utilization_bounds(self, pager):
+        assert pager.utilization == 0.0
+        pager.allocate("a", nbytes=PAGE_SIZE - PAGE_HEADER_SIZE)
+        assert 0.9 < pager.utilization <= 1.0
+
+    def test_page_counts_by_kind(self, pager):
+        pager.allocate("x")
+        pager.allocate("y")
+        pager.allocate("y")
+        assert pager.page_counts_by_kind() == {"x": 1, "y": 2}
+
+    def test_iter_pages_filters_by_kind(self, pager):
+        pager.allocate("x")
+        pager.allocate("y")
+        assert all(p.kind == "x" for p in pager.iter_pages("x"))
+        assert sum(1 for _ in pager.iter_pages()) == 2
+
+    def test_free_bytes_property(self, pager):
+        page = pager.allocate("a", nbytes=96)
+        assert page.free_bytes == PAGE_SIZE - PAGE_HEADER_SIZE - 96

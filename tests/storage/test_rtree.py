@@ -1,0 +1,181 @@
+"""R-tree: geometry, window queries vs brute force, incremental NN."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.pager import PageManager
+from repro.storage.rtree import Rect, RTree
+
+
+@pytest.fixture
+def rtree() -> RTree:
+    return RTree(PageManager(buffer_pages=32), max_entries=6)
+
+
+def random_points(n: int, seed: int = 0):
+    rnd = random.Random(seed)
+    return [(rnd.uniform(0, 100), rnd.uniform(0, 100)) for _ in range(n)]
+
+
+class TestRect:
+    def test_point_is_zero_area(self):
+        assert Rect.point(3, 4).area == 0.0
+
+    def test_union_covers_both(self):
+        a, b = Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)
+        assert a.union(b) == Rect(0, 0, 3, 3)
+
+    def test_intersects_on_boundary(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+    def test_disjoint_rects_do_not_intersect(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.1, 0, 2, 1))
+
+    def test_contains_point_boundary(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.contains_point(0, 0)
+        assert rect.contains_point(1, 1)
+        assert not rect.contains_point(2.01, 1)
+
+    def test_enlargement_zero_when_covered(self):
+        assert Rect(0, 0, 10, 10).enlargement(Rect(1, 1, 2, 2)) == 0.0
+
+    def test_min_dist_inside_is_zero(self):
+        assert Rect(0, 0, 2, 2).min_dist(1, 1) == 0.0
+
+    def test_min_dist_to_corner(self):
+        assert Rect(0, 0, 1, 1).min_dist(4, 5) == pytest.approx(5.0)
+
+
+class TestInsertSearch:
+    def test_empty_tree_queries(self, rtree):
+        assert rtree.window(Rect(0, 0, 100, 100)) == []
+        assert rtree.nearest(0, 0, k=1) == []
+        assert len(rtree) == 0
+
+    def test_insert_and_window(self, rtree):
+        rtree.insert(Rect.point(5, 5), 1)
+        rtree.insert(Rect.point(50, 50), 2)
+        hits = rtree.window(Rect(0, 0, 10, 10))
+        assert [ref for _, ref in hits] == [1]
+
+    def test_window_matches_brute_force(self, rtree):
+        points = random_points(300, seed=4)
+        for i, (x, y) in enumerate(points):
+            rtree.insert(Rect.point(x, y), i)
+        rtree.validate()
+        query = Rect(20, 20, 60, 70)
+        got = sorted(ref for _, ref in rtree.window(query))
+        expected = sorted(
+            i for i, (x, y) in enumerate(points) if query.contains_point(x, y)
+        )
+        assert got == expected
+
+    def test_nearest_matches_brute_force(self, rtree):
+        points = random_points(250, seed=5)
+        for i, (x, y) in enumerate(points):
+            rtree.insert(Rect.point(x, y), i)
+        got = rtree.nearest(42.0, 17.0, k=10)
+        brute = sorted(
+            (math.hypot(x - 42.0, y - 17.0), i) for i, (x, y) in enumerate(points)
+        )[:10]
+        assert [ref for _, ref in got] == [i for _, i in brute]
+        for (d_got, _), (d_exp, _) in zip(got, brute):
+            assert d_got == pytest.approx(d_exp)
+
+    def test_iter_nearest_is_sorted_and_complete(self, rtree):
+        points = random_points(80, seed=6)
+        for i, (x, y) in enumerate(points):
+            rtree.insert(Rect.point(x, y), i)
+        stream = list(rtree.iter_nearest(0, 0))
+        assert len(stream) == 80
+        distances = [d for d, _ in stream]
+        assert distances == sorted(distances)
+
+    def test_rectangle_entries_window(self, rtree):
+        rtree.insert(Rect(0, 0, 10, 10), 1)
+        rtree.insert(Rect(20, 20, 30, 30), 2)
+        hits = rtree.window(Rect(5, 5, 25, 25))
+        assert sorted(ref for _, ref in hits) == [1, 2]
+
+    def test_duplicate_refs_allowed(self, rtree):
+        rtree.insert(Rect.point(1, 1), 7)
+        rtree.insert(Rect.point(2, 2), 7)
+        assert len(rtree) == 2
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            RTree(PageManager(), max_entries=3)
+
+    def test_height_grows(self, rtree):
+        for i, (x, y) in enumerate(random_points(100, seed=7)):
+            rtree.insert(Rect.point(x, y), i)
+        assert rtree.height >= 2
+        assert rtree.page_count > 1
+
+
+class TestDelete:
+    def test_delete_present_entry(self, rtree):
+        rtree.insert(Rect.point(1, 1), 1)
+        assert rtree.delete(Rect.point(1, 1), 1)
+        assert len(rtree) == 0
+        assert rtree.window(Rect(0, 0, 10, 10)) == []
+
+    def test_delete_absent_entry(self, rtree):
+        rtree.insert(Rect.point(1, 1), 1)
+        assert not rtree.delete(Rect.point(2, 2), 1)
+        assert not rtree.delete(Rect.point(1, 1), 2)
+        assert len(rtree) == 1
+
+    def test_delete_keeps_remaining_searchable(self, rtree):
+        points = random_points(120, seed=8)
+        for i, (x, y) in enumerate(points):
+            rtree.insert(Rect.point(x, y), i)
+        for i in range(0, 120, 2):
+            x, y = points[i]
+            assert rtree.delete(Rect.point(x, y), i)
+        rtree.validate()
+        survivors = sorted(ref for _, ref in rtree.window(Rect(0, 0, 100, 100)))
+        assert survivors == list(range(1, 120, 2))
+
+    def test_delete_all_then_reinsert(self, rtree):
+        points = random_points(60, seed=9)
+        for i, (x, y) in enumerate(points):
+            rtree.insert(Rect.point(x, y), i)
+        for i, (x, y) in enumerate(points):
+            assert rtree.delete(Rect.point(x, y), i)
+        assert len(rtree) == 0
+        rtree.insert(Rect.point(1, 1), 99)
+        assert [ref for _, ref in rtree.nearest(1, 1)] == [99]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+)
+def test_rtree_nn_property(points, query):
+    """Property: best-first NN ordering equals brute-force ordering."""
+    rtree = RTree(PageManager(buffer_pages=32), max_entries=4)
+    for i, (x, y) in enumerate(points):
+        rtree.insert(Rect.point(x, y), i)
+    qx, qy = query
+    stream = [d for d, _ in rtree.iter_nearest(qx, qy)]
+    brute = sorted(math.hypot(x - qx, y - qy) for x, y in points)
+    assert len(stream) == len(brute)
+    for got, expected in zip(stream, brute):
+        assert got == pytest.approx(expected)
