@@ -1,0 +1,201 @@
+"""Frozen fast path vs charged disk path on the Table-1 default network.
+
+The charged path reproduces the paper's I/O figures; the compiled
+:class:`~repro.core.frozen.FrozenRoad` is the serving hot path.  This bench
+runs identical kNN / range workloads through both over the *same* built
+index and reports per-query medians, asserting the fast path's contract:
+
+* byte-identical answers,
+* zero pager traffic during frozen queries,
+* at least a 5x median speedup per query.
+
+Run standalone (``python benchmarks/bench_frozen_vs_charged.py``) or via
+pytest with the usual harness fixtures.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH/pytest-pythonpath)
+except ModuleNotFoundError:  # standalone run from a clean checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.config import DEFAULT_K, DEFAULT_OBJECTS, DEFAULT_RANGE_FRACTION
+from repro.eval.datasets import dataset_levels, load_dataset
+from repro.eval.reporting import ExperimentResult
+from repro.eval.runner import build_engine, make_objects
+from repro.queries.workload import knn_workload, mixed_workload, range_workload
+
+#: The acceptance bar for the compiled path.
+MIN_SPEEDUP = 5.0
+
+
+def _median_ms(run_query, queries) -> float:
+    return statistics.median(
+        _timed_ms(run_query, query) for query in queries
+    )
+
+
+def _timed_ms(run_query, query) -> float:
+    start = time.perf_counter()
+    run_query(query)
+    return (time.perf_counter() - start) * 1000.0
+
+
+def run_comparison(
+    *,
+    network: str = "CA",
+    num_objects: int = DEFAULT_OBJECTS,
+    k: int = DEFAULT_K,
+    fraction: float = DEFAULT_RANGE_FRACTION,
+    num_queries: int = 20,
+    seed: int = 0,
+):
+    """Build one ROAD on the default network and race the two paths.
+
+    Returns ``(result, speedups, io_diff)``: the rendered table data, the
+    per-workload median speedups, and the pager-stats delta accumulated
+    across every frozen query (must be all-zero).
+    """
+    dataset = load_dataset(network)
+    objects = make_objects(dataset.network, num_objects, seed=seed)
+    engine = build_engine(
+        "ROAD", dataset.network, objects,
+        road_levels=dataset_levels(network), road_mode_override="charged",
+    )
+    road = engine.road
+    freeze_start = time.perf_counter()
+    frozen = road.freeze()
+    freeze_seconds = time.perf_counter() - freeze_start
+
+    radius = dataset.radius(fraction)
+    workloads = {
+        "knn": knn_workload(dataset.network, num_queries, k, seed=seed),
+        "range": range_workload(dataset.network, num_queries, radius, seed=seed),
+        "mixed": mixed_workload(
+            dataset.network, num_queries, k=k, radius=radius, seed=seed
+        ),
+    }
+
+    result = ExperimentResult(
+        "frozen_vs_charged",
+        f"FrozenRoad vs charged path on {network} "
+        f"(|O|={num_objects}, k={k}, r={fraction} diameter)",
+        ["workload", "charged_ms", "frozen_ms", "speedup", "answers_equal"],
+    )
+    # Phase 1 — frozen: answers + timings under one pager-stats snapshot
+    # (charged runs reset the counters, so they must not interleave).
+    before = road.pager.stats.snapshot()
+    frozen_answers = {
+        label: [frozen.execute(q) for q in queries]
+        for label, queries in workloads.items()
+    }
+    frozen_times = {
+        label: _median_ms(frozen.execute, queries)
+        for label, queries in workloads.items()
+    }
+    io_diff = road.pager.stats.diff(before)
+
+    # Phase 2 — charged: the paper's protocol, every query starts cold
+    # (cache reset outside the timed section, as in eval.metrics).
+    def charged_query(query):
+        engine.reset_io()
+        return _timed_ms(road.execute, query)
+
+    speedups = {}
+    for label, queries in workloads.items():
+        charged_ms = statistics.median(charged_query(q) for q in queries)
+        engine.reset_io()
+        charged_answers = [road.execute(q) for q in queries]
+        frozen_ms = frozen_times[label]
+        speedup = charged_ms / frozen_ms if frozen_ms > 0 else float("inf")
+        speedups[label] = speedup
+        result.add_row(
+            workload=label,
+            charged_ms=charged_ms,
+            frozen_ms=frozen_ms,
+            speedup=speedup,
+            answers_equal=str(frozen_answers[label] == charged_answers),
+        )
+    result.note(
+        f"freeze: {freeze_seconds * 1000:.1f} ms for "
+        f"{frozen.num_nodes:,} nodes ({frozen.nbytes / 1024:.0f} KiB of "
+        f"compiled arrays)"
+    )
+    result.note(
+        f"pager traffic during frozen queries: reads={io_diff.reads} "
+        f"writes={io_diff.writes} hits={io_diff.hits} misses={io_diff.misses}"
+    )
+
+    # Batch entry points: whole workload in one call, shared predicate caches.
+    batch = workloads["mixed"]
+    start = time.perf_counter()
+    frozen_batch = frozen.execute_many(batch)
+    frozen_batch_ms = (time.perf_counter() - start) * 1000.0
+    engine.reset_io()
+    start = time.perf_counter()
+    charged_batch = road.execute_many(batch)
+    charged_batch_ms = (time.perf_counter() - start) * 1000.0
+    result.note(
+        f"execute_many({len(batch)} queries): charged {charged_batch_ms:.1f} ms, "
+        f"frozen {frozen_batch_ms:.1f} ms, identical={frozen_batch == charged_batch}"
+    )
+    return result, speedups, io_diff
+
+
+def test_frozen_vs_charged_report(results_dir):
+    """The acceptance gate: zero I/O, identical answers, >=5x median."""
+    from conftest import publish
+
+    result, speedups, io_diff = run_comparison()
+    assert io_diff.reads == 0 and io_diff.writes == 0, (
+        f"frozen queries must not touch the pager: {io_diff}"
+    )
+    assert io_diff.hits == 0 and io_diff.misses == 0, (
+        f"frozen queries must not touch the buffer either: {io_diff}"
+    )
+    for row in result.rows:
+        assert row["answers_equal"] == "True", f"answers diverged: {row}"
+    for label, speedup in speedups.items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"{label}: {speedup:.1f}x median speedup is below the "
+            f"{MIN_SPEEDUP:.0f}x bar"
+        )
+    publish(result, results_dir)
+
+
+def test_bench_frozen_knn_query(benchmark):
+    """Microbenchmark: one frozen 5NN query on CA (vs bench_fig17_knn)."""
+    dataset = load_dataset("CA")
+    objects = make_objects(dataset.network, DEFAULT_OBJECTS, seed=0)
+    engine = build_engine(
+        "ROAD", dataset.network, objects,
+        road_levels=dataset_levels("CA"), road_mode_override="frozen",
+    )
+    nodes = sorted(dataset.network.node_ids())
+    node = nodes[len(nodes) // 2]
+    result = benchmark(lambda: engine.knn(node, DEFAULT_K))
+    assert len(result) == DEFAULT_K
+
+
+def main() -> int:
+    result, speedups, io_diff = run_comparison()
+    print(result.render())
+    worst = min(speedups.values())
+    zero_io = (
+        io_diff.reads == io_diff.writes == io_diff.hits == io_diff.misses == 0
+    )
+    print(
+        f"\nworst median speedup: {worst:.1f}x "
+        f"(bar: {MIN_SPEEDUP:.0f}x), zero pager traffic: {zero_io}"
+    )
+    return 0 if worst >= MIN_SPEEDUP and zero_io else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

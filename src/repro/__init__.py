@@ -17,6 +17,7 @@ Public API tour:
 """
 
 from repro.core.framework import ROAD, BuildReport, RoutedResult
+from repro.core.frozen import FrozenRoad, FrozenRoadError, freeze_road
 from repro.core.serialize import load_road, save_road
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject
@@ -27,6 +28,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ANY",
     "BuildReport",
+    "FrozenRoad",
+    "FrozenRoadError",
     "KNNQuery",
     "ObjectSet",
     "Predicate",
@@ -37,6 +40,7 @@ __all__ = [
     "RoutedResult",
     "SpatialObject",
     "__version__",
+    "freeze_road",
     "load_road",
     "save_road",
 ]

@@ -3,20 +3,33 @@
 Wraps :class:`repro.core.framework.ROAD` as a :class:`SearchEngine` so the
 evaluation harness can run all four approaches through one code path with
 shared I/O accounting.
+
+Two serving modes are supported:
+
+* ``"charged"`` (default) — every query pays the simulated disk stack,
+  reproducing the paper's I/O profile;
+* ``"frozen"`` — queries run against a compiled
+  :class:`~repro.core.frozen.FrozenRoad` snapshot (zero pager traffic).
+  Maintenance operations invalidate the snapshot, which is lazily
+  re-frozen on the next query.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from repro.baselines.engine import SearchEngine
+from repro.baselines.engine import EngineError, SearchEngine
 from repro.core.framework import ROAD
+from repro.core.frozen import FrozenRoad
 from repro.core.object_abstract import AbstractFactory, exact_abstract
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject
 from repro.partition.hierarchy import Bisector
 from repro.queries.types import ANY, Predicate, ResultEntry
 from repro.storage.pager import PageManager
+
+#: Valid serving modes for :class:`ROADEngine`.
+ROAD_MODES = ("charged", "frozen")
 
 
 class ROADEngine(SearchEngine):
@@ -36,8 +49,14 @@ class ROADEngine(SearchEngine):
         partition_tree=None,
         reduce_shortcuts: bool = True,
         abstract_factory: AbstractFactory = exact_abstract,
+        mode: str = "charged",
     ) -> None:
+        if mode not in ROAD_MODES:
+            raise EngineError(
+                f"mode must be one of {ROAD_MODES}, got {mode!r}"
+            )
         super().__init__(network, pager)
+        self.mode = mode
         self.road = self._timed(
             ROAD.build,
             network,
@@ -51,23 +70,62 @@ class ROADEngine(SearchEngine):
         self._timed(
             self.road.attach_objects, objects, abstract_factory=abstract_factory
         )
+        self._frozen: Optional[FrozenRoad] = None
+        if mode == "frozen":
+            self._timed(self._refreeze)
 
+    # ------------------------------------------------------------------
+    # Frozen snapshot lifecycle
+    # ------------------------------------------------------------------
+    def _refreeze(self) -> FrozenRoad:
+        self._frozen = self.road.freeze()
+        return self._frozen
+
+    def _serving(self):
+        """The object queries run against in the configured mode."""
+        if self.mode == "frozen":
+            return self._frozen if self._frozen is not None else self._refreeze()
+        return self.road
+
+    def invalidate_frozen(self) -> None:
+        """Drop the snapshot after an update; re-frozen on next query."""
+        self._frozen = None
+
+    @property
+    def frozen(self) -> Optional[FrozenRoad]:
+        """The current snapshot (None in charged mode or after updates)."""
+        return self._frozen
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def knn(self, node: int, k: int, predicate: Predicate = ANY) -> List[ResultEntry]:
-        return self.road.knn(node, k, predicate)
+        return self._serving().knn(node, k, predicate)
 
     def range(
         self, node: int, radius: float, predicate: Predicate = ANY
     ) -> List[ResultEntry]:
-        return self.road.range(node, radius, predicate)
+        return self._serving().range(node, radius, predicate)
 
+    def execute_many(self, queries: Sequence) -> List[List[ResultEntry]]:
+        """Batch entry point: one call per workload, shared predicate caches."""
+        return self._serving().execute_many(queries)
+
+    # ------------------------------------------------------------------
+    # Maintenance (invalidates any frozen snapshot)
+    # ------------------------------------------------------------------
     def insert_object(self, obj: SpatialObject) -> None:
         self.road.insert_object(obj)
+        self.invalidate_frozen()
 
     def delete_object(self, object_id: int) -> SpatialObject:
-        return self.road.delete_object(object_id)
+        removed = self.road.delete_object(object_id)
+        self.invalidate_frozen()
+        return removed
 
     def update_edge_distance(self, u: int, v: int, distance: float) -> None:
         self.road.update_edge_distance(u, v, distance)
+        self.invalidate_frozen()
 
     @property
     def index_size_bytes(self) -> int:

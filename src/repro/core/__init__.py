@@ -3,6 +3,7 @@
 from repro.core.aggregate import AGGREGATES, aggregate_knn
 from repro.core.association_directory import AssociationDirectory, DirectoryError
 from repro.core.framework import ROAD, BuildReport, DEFAULT_DIRECTORY, RoutedResult
+from repro.core.frozen import FrozenRoad, FrozenRoadError, freeze_road
 from repro.core.paths import PathError, PathTracer, expand_shortcut, node_path, object_path
 from repro.core.serialize import SerializeError, load_road, save_road
 from repro.core.maintenance import (
@@ -26,6 +27,7 @@ from repro.core.object_abstract import (
 from repro.core.rnet import HierarchyError, Rnet, RnetHierarchy
 from repro.core.route_overlay import RouteOverlay, RouteOverlayError
 from repro.core.search import (
+    AbstractCache,
     SearchStats,
     choose_path,
     iter_nearest_objects,
@@ -47,6 +49,7 @@ from repro.core.shortcuts import (
 
 __all__ = [
     "AGGREGATES",
+    "AbstractCache",
     "AssociationDirectory",
     "BloomAbstract",
     "BuildReport",
@@ -54,6 +57,8 @@ __all__ = [
     "DEFAULT_DIRECTORY",
     "DirectoryError",
     "ExactAbstract",
+    "FrozenRoad",
+    "FrozenRoadError",
     "HierarchyError",
     "MaintenanceError",
     "MaintenanceReport",
@@ -83,6 +88,7 @@ __all__ = [
     "compute_rnet_shortcuts",
     "counting_abstract",
     "exact_abstract",
+    "freeze_road",
     "expand_shortcut",
     "iter_nearest_objects",
     "knn_search",

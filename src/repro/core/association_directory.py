@@ -183,6 +183,37 @@ class AssociationDirectory:
         return len(replacements)
 
     # ------------------------------------------------------------------
+    # Bulk export / teardown
+    # ------------------------------------------------------------------
+    def export_entries(
+        self,
+    ) -> Tuple[
+        Dict[int, List[Tuple[SpatialObject, float]]], Dict[int, ObjectAbstract]
+    ]:
+        """One charged leaf walk exporting the whole directory.
+
+        Returns ``(node_entries, abstracts)``: per-node (object, δ) lists in
+        stored order and per-Rnet object abstracts.  Used by
+        :meth:`repro.core.framework.ROAD.freeze` to snapshot the directory.
+        """
+        node_entries: Dict[int, List[Tuple[SpatialObject, float]]] = {}
+        abstracts: Dict[int, ObjectAbstract] = {}
+        for key, value in self._tree.items():
+            if key % 2 == 0:
+                node_entries[key // 2] = list(value)
+            else:
+                abstracts[key // 2] = value
+        return node_entries, abstracts
+
+    def free_pages(self) -> int:
+        """Release every page of the directory's B+-tree.
+
+        Called by :meth:`repro.core.framework.ROAD.detach_objects`; the
+        directory must not be used afterwards.  Returns pages freed.
+        """
+        return self._tree.destroy()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

@@ -29,11 +29,12 @@ from repro.core.maintenance import (
     change_edge_distance as _change_edge_distance,
     remove_edge as _remove_edge,
 )
+from repro.core.frozen import FrozenRoad
 from repro.core.object_abstract import AbstractFactory, exact_abstract
 from repro.core.paths import PathTracer, object_path
 from repro.core.rnet import RnetHierarchy
 from repro.core.route_overlay import RouteOverlay
-from repro.core.search import SearchStats, knn_search, range_search
+from repro.core.search import AbstractCache, SearchStats, knn_search, range_search
 from repro.core.shortcuts import ShortcutIndex, build_shortcuts
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject
@@ -166,11 +167,17 @@ class ROAD:
         return directory
 
     def detach_objects(self, name: str = DEFAULT_DIRECTORY) -> None:
-        """Remove a directory (its pages are freed lazily by the pager)."""
+        """Remove a directory and free its pages.
+
+        The pager has no lazy reclamation, so the directory's B+-tree pages
+        are released eagerly here; ``pager.page_count`` returns to its
+        pre-attach value.  The directory object must not be used afterwards.
+        """
         try:
-            del self._directories[name]
+            directory = self._directories.pop(name)
         except KeyError:
             raise KeyError(f"no directory {name!r}") from None
+        directory.free_pages()
 
     def directory(self, name: str = DEFAULT_DIRECTORY) -> AssociationDirectory:
         """A previously attached directory."""
@@ -323,6 +330,58 @@ class ROAD:
             )
         raise TypeError(f"unsupported query type {type(query).__name__}")
 
+    def execute_many(
+        self,
+        queries: Iterable,
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+        stats: Optional[SearchStats] = None,
+    ) -> List[List[ResultEntry]]:
+        """Run a whole workload in one call on the charged path.
+
+        Queries sharing a predicate share one
+        :class:`~repro.core.search.AbstractCache`, so each Rnet's pruning
+        decision is paid once per batch rather than once per query — the
+        charged-path counterpart of :meth:`FrozenRoad.execute_many`.  The
+        directory must not change while the batch runs.
+        """
+        assoc = self.directory(directory)
+        caches: Dict[Predicate, AbstractCache] = {}
+        results: List[List[ResultEntry]] = []
+        for query in queries:
+            if not isinstance(query, (KNNQuery, RangeQuery)):
+                raise TypeError(
+                    f"unsupported query type {type(query).__name__}"
+                )
+            cache = caches.get(query.predicate)
+            if cache is None:
+                cache = AbstractCache(assoc, query.predicate)
+                caches[query.predicate] = cache
+            if isinstance(query, KNNQuery):
+                results.append(
+                    knn_search(
+                        self.overlay, assoc, query.node, query.k,
+                        query.predicate, stats, abstracts=cache,
+                    )
+                )
+            else:
+                results.append(
+                    range_search(
+                        self.overlay, assoc, query.node, query.radius,
+                        query.predicate, stats, abstracts=cache,
+                    )
+                )
+        return results
+
+    def freeze(self, *, directory: str = DEFAULT_DIRECTORY) -> FrozenRoad:
+        """Compile the index + one directory into a :class:`FrozenRoad`.
+
+        The frozen snapshot serves :meth:`knn`/:meth:`range` byte-identical
+        to the charged path with zero pager traffic.  It does not track
+        later maintenance — re-freeze after updates.
+        """
+        return FrozenRoad.from_road(self, directory=directory)
+
     # ------------------------------------------------------------------
     # Network maintenance (Section 5.2)
     # ------------------------------------------------------------------
@@ -336,6 +395,17 @@ class ROAD:
         report = _change_edge_distance(
             self.network, self.hierarchy, self.shortcuts, self.overlay, u, v, distance
         )
+        if old_distance == 0:
+            # Degenerate zero-length segment (defensive: loaders reject them
+            # today, but stored data may predate that check).  No ratio
+            # exists, so re-place every hosted object at offset 0 — the only
+            # offset a zero-length edge admits.  The relocation re-derives
+            # both endpoint deltas from the *new* distance; a plain rescale
+            # would leave the far endpoint's stale delta(o, v) = 0 in place.
+            for directory in self._directories.values():
+                for obj in directory.objects.on_edge(u, v):
+                    directory.relocate(obj.object_id, obj.edge, 0.0)
+            return report
         factor = distance / old_distance
         if abs(factor - 1.0) > 1e-12:
             for directory in self._directories.values():

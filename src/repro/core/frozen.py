@@ -1,0 +1,571 @@
+"""Compiled in-memory fast path: the :class:`FrozenRoad`.
+
+The charged path (:mod:`repro.core.search` over
+:class:`~repro.core.route_overlay.RouteOverlay`) pays a simulated disk
+stack on every pop — a B+-tree descent plus record-page reads per
+``shortcut_tree`` load — which is the right cost model for reproducing the
+paper's I/O figures but the wrong hot path for serving throughput.
+``freeze()`` compiles the Route Overlay and one Association Directory into
+CSR-style parallel arrays so that kNNSearch / RangeSearch run with **zero
+pager traffic** and no per-pop object allocation:
+
+* every node's shortcut tree is flattened into a preorder entry array in
+  the exact order the charged stack walk visits it (roots and children
+  reversed, matching ``stack.pop()``), with a ``next`` pointer per entry
+  that skips its subtree — so the "bypass Rnet R via shortcuts" decision
+  becomes a single jump;
+* shortcut targets/weights, leaf-level physical edges, non-border local
+  edges and per-node object associations live in flat parallel arrays
+  addressed by spans (CSR);
+* each Rnet's object abstract is snapshotted (deep-copied) at freeze time;
+  a query predicate is compiled once into a per-Rnet "may contain" bitmask
+  and a per-object-slot match mask, both memoised per predicate and shared
+  across every query on this snapshot (the batch layer's predicate cache).
+
+Because the compiled traversal replays the charged expansion push-for-push
+(same push order, same shared sequence counter, same tie-breaking), a
+``FrozenRoad`` returns *byte-identical* results to the charged path on the
+same snapshot — the equivalence suite asserts exactly that.
+
+A ``FrozenRoad`` is a point-in-time snapshot: object churn or network
+maintenance on the live :class:`~repro.core.framework.ROAD` does not flow
+through; re-freeze after updates (incremental freeze is a roadmap item).
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.search import SearchStats
+from repro.objects.model import SpatialObject
+from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery, ResultEntry
+
+#: Heap items carry one signed code instead of a (kind, id) pair: nodes are
+#: their dense index (>= 0), objects are ``~object_id`` (< 0).  The heap
+#: orders by (distance, seq) exactly like ``search._Frontier`` — seq is
+#: unique, so the code is never compared.
+_INF = float("inf")
+
+#: Distinct predicates whose compiled masks are retained per snapshot.  A
+#: long-lived server seeing high-cardinality predicates (per-user filters)
+#: would otherwise grow the mask caches without bound; eviction is FIFO —
+#: a re-seen predicate just recompiles in O(rnets + objects).
+MAX_CACHED_PREDICATES = 128
+
+
+class FrozenRoadError(Exception):
+    """Raised on queries against nodes missing from the frozen snapshot."""
+
+
+class FrozenRoad:
+    """A read-only, fully in-memory compilation of one ROAD + directory.
+
+    Construct via :meth:`FrozenRoad.from_road` or
+    :meth:`repro.core.framework.ROAD.freeze`.  Queries mirror the facade:
+    :meth:`knn`, :meth:`range`, :meth:`iter_nearest_objects`,
+    :meth:`execute`, and the batch entry point :meth:`execute_many`.
+    """
+
+    def __init__(
+        self,
+        trees: Dict[int, "ShortcutTree"],
+        node_entries: Dict[int, List[Tuple[SpatialObject, float]]],
+        abstracts: Dict[int, "ObjectAbstract"],
+        *,
+        directory_name: str = "objects",
+    ) -> None:
+        self.directory_name = directory_name
+        # --- node id space -------------------------------------------------
+        self.node_ids: List[int] = sorted(trees)
+        self._index: Dict[int, int] = {
+            node: i for i, node in enumerate(self.node_ids)
+        }
+        n = len(self.node_ids)
+        # --- Rnet id space + abstract snapshot -----------------------------
+        self._rnet_index: Dict[int, int] = {}
+        self._abstracts: List[Optional[object]] = []
+        # --- compiled shortcut-tree entries (CSR) --------------------------
+        # build with plain lists, then freeze into typed arrays
+        e_start: List[int] = [0] * (n + 1)
+        e_rnet: List[int] = []
+        e_next: List[int] = []
+        sc_span: List[int] = [0]
+        sc_target: List[int] = []
+        sc_weight: List[float] = []
+        ed_span: List[int] = [0]
+        ed_target: List[int] = []
+        ed_weight: List[float] = []
+        local_start: List[int] = [0] * (n + 1)
+        local_target: List[int] = []
+        local_weight: List[float] = []
+
+        index = self._index
+
+        def rnet_slot(rnet_id: int) -> int:
+            slot = self._rnet_index.get(rnet_id)
+            if slot is None:
+                slot = len(self._abstracts)
+                self._rnet_index[rnet_id] = slot
+                snapshot = abstracts.get(rnet_id)
+                self._abstracts.append(
+                    copy.deepcopy(snapshot) if snapshot is not None else None
+                )
+            return slot
+
+        def emit(entry) -> None:
+            i = len(e_rnet)
+            e_rnet.append(rnet_slot(entry.rnet_id))
+            e_next.append(0)
+            for shortcut in entry.shortcuts:
+                sc_target.append(index[shortcut.target])
+                sc_weight.append(shortcut.distance)
+            for neighbour, weight in entry.edges:
+                ed_target.append(index[neighbour])
+                ed_weight.append(weight)
+            sc_span.append(len(sc_target))
+            ed_span.append(len(ed_target))
+            # The charged walk pops a stack, so children run in reverse.
+            for child in reversed(entry.children):
+                emit(child)
+            e_next[i] = len(e_rnet)
+
+        for idx, node in enumerate(self.node_ids):
+            e_start[idx] = len(e_rnet)
+            tree = trees[node]
+            if tree.roots:
+                for root in reversed(tree.roots):
+                    emit(root)
+            else:
+                for neighbour, weight in tree.local_edges:
+                    local_target.append(index[neighbour])
+                    local_weight.append(weight)
+            local_start[idx + 1] = len(local_target)
+        e_start[n] = len(e_rnet)
+        # every entry's spans end where the next entry's begin (emission
+        # order == entry index order), so one starts-array with a sentinel
+        # addresses both
+        assert len(sc_span) == len(e_rnet) + 1
+        assert len(ed_span) == len(e_rnet) + 1
+
+        # Tuples, not array('q'): CSR layout with pre-boxed elements, so
+        # hot-loop indexing returns existing objects instead of boxing a
+        # fresh int/float per access (a numpy/memoryview port would pick
+        # compactness instead).
+        self._entry_start = tuple(e_start)
+        self._entry_rnet = tuple(e_rnet)
+        self._entry_next = tuple(e_next)
+        self._sc_start = tuple(sc_span)
+        self._sc_target = tuple(sc_target)
+        self._sc_weight = tuple(sc_weight)
+        self._ed_start = tuple(ed_span)
+        self._ed_target = tuple(ed_target)
+        self._ed_weight = tuple(ed_weight)
+        self._local_start = tuple(local_start)
+        self._local_target = tuple(local_target)
+        self._local_weight = tuple(local_weight)
+
+        # --- object associations (per-node spans, stored order) ------------
+        obj_start: List[int] = [0] * (n + 1)
+        obj_id: List[int] = []
+        obj_delta: List[float] = []
+        obj_ref: List[SpatialObject] = []
+        for idx, node in enumerate(self.node_ids):
+            for obj, delta in node_entries.get(node, ()):
+                obj_id.append(obj.object_id)
+                obj_delta.append(delta)
+                obj_ref.append(obj)
+            obj_start[idx + 1] = len(obj_id)
+        self._obj_start = tuple(obj_start)
+        self._obj_id = tuple(obj_id)
+        self._obj_delta = tuple(obj_delta)
+        self._obj_ref = obj_ref
+
+        # --- shared per-predicate caches -----------------------------------
+        self._rnet_masks: Dict[Predicate, List[bool]] = {}
+        self._obj_masks: Dict[Predicate, Optional[bytearray]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_road(cls, road, *, directory: str = "objects") -> "FrozenRoad":
+        """Compile a built :class:`~repro.core.framework.ROAD`.
+
+        Reads the Route Overlay's stored trees (uncharged bulk export) and
+        the named Association Directory's node entries and Rnet abstracts
+        (one charged leaf walk — freezing is a build-time operation).
+        """
+        assoc = road.directory(directory)
+        node_entries, abstracts = assoc.export_entries()
+        trees = dict(road.overlay.iter_trees())
+        return cls(trees, node_entries, abstracts, directory_name=directory)
+
+    # ------------------------------------------------------------------
+    # Predicate compilation (the shared cache of the batch layer)
+    # ------------------------------------------------------------------
+    def _rnet_mask(self, predicate: Predicate) -> List[bool]:
+        """Per-Rnet "may contain an object of interest" bitmask."""
+        mask = self._rnet_masks.get(predicate)
+        if mask is None:
+            mask = [
+                abstract is not None and abstract.may_contain(predicate)
+                for abstract in self._abstracts
+            ]
+            _cache_put(self._rnet_masks, predicate, mask)
+        return mask
+
+    def _object_mask(self, predicate: Predicate) -> Optional[bytearray]:
+        """Per-object-slot predicate match mask (None = unconstrained)."""
+        if predicate.is_unconstrained:
+            return None
+        mask = self._obj_masks.get(predicate)
+        if mask is None:
+            mask = bytearray(len(self._obj_ref))
+            for j, obj in enumerate(self._obj_ref):
+                mask[j] = predicate.matches(obj)
+            _cache_put(self._obj_masks, predicate, mask)
+        return mask
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def knn(
+        self,
+        node: int,
+        k: int,
+        predicate: Predicate = ANY,
+        stats: Optional[SearchStats] = None,
+    ) -> List[ResultEntry]:
+        """kNNSearch (Figure 9) against the compiled arrays."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return self._search(node, predicate, k=k, radius=None, stats=stats)
+
+    def range(
+        self,
+        node: int,
+        radius: float,
+        predicate: Predicate = ANY,
+        stats: Optional[SearchStats] = None,
+    ) -> List[ResultEntry]:
+        """RangeSearch (Section 4) against the compiled arrays."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        return self._search(node, predicate, k=None, radius=radius, stats=stats)
+
+    def execute(self, query) -> List[ResultEntry]:
+        """Run a :class:`KNNQuery` or :class:`RangeQuery` object."""
+        if isinstance(query, KNNQuery):
+            return self.knn(query.node, query.k, query.predicate)
+        if isinstance(query, RangeQuery):
+            return self.range(query.node, query.radius, query.predicate)
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    def execute_many(self, queries: Sequence) -> List[List[ResultEntry]]:
+        """Run a whole workload in one call.
+
+        All queries share this snapshot's per-predicate Rnet masks and
+        object match masks, so a workload with few distinct predicates
+        compiles each predicate once — the entry point a batch server (and
+        the eval runner) uses.
+        """
+        return [self.execute(query) for query in queries]
+
+    def iter_nearest_objects(
+        self,
+        node: int,
+        predicate: Predicate = ANY,
+        stats: Optional[SearchStats] = None,
+    ) -> Iterator[Tuple[float, int]]:
+        """Lazily yield (distance, object_id) in non-descending distance."""
+        try:
+            source = self._index[node]
+        except KeyError:
+            raise FrozenRoadError(f"node {node} not in frozen index") from None
+        may = self._rnet_mask(predicate)
+        omask = self._object_mask(predicate)
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+        seq = 1
+        visited = bytearray(len(self.node_ids))
+        seen_objects: set = set()
+        counters = [0, 0, 0, 0, 0, 0]
+        flushed = [0, 0, 0, 0, 0, 0]
+
+        def flush() -> None:
+            # Stats update incrementally, like the charged iterator: a
+            # consumer that stops pulling (aggregate lockstep, early break)
+            # still sees the work done so far.
+            if stats is not None:
+                self._flush_stats(
+                    stats, [c - f for c, f in zip(counters, flushed)]
+                )
+                flushed[:] = counters
+
+        try:
+            while heap:
+                distance, _, code = heapq.heappop(heap)
+                if code < 0:  # an object: ~object_id
+                    oid = ~code
+                    if oid in seen_objects:
+                        continue
+                    seen_objects.add(oid)
+                    counters[1] += 1
+                    flush()
+                    yield distance, oid
+                    continue
+                if visited[code]:
+                    continue
+                visited[code] = 1
+                counters[0] += 1
+                seq = self._expand(
+                    heap, seq, code, distance, may, omask, seen_objects, counters
+                )
+        finally:
+            flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Nodes in the compiled index."""
+        return len(self.node_ids)
+
+    @property
+    def num_objects(self) -> int:
+        """Object association slots (objects appear once per endpoint)."""
+        return len(self._obj_ref)
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized-size estimate of the compiled arrays (8 B/element,
+        excluding the object references)."""
+        arrays = (
+            self._entry_start, self._entry_rnet, self._entry_next,
+            self._sc_start, self._sc_target, self._sc_weight,
+            self._ed_start, self._ed_target, self._ed_weight,
+            self._local_start, self._local_target, self._local_weight,
+            self._obj_start, self._obj_id, self._obj_delta,
+        )
+        return sum(8 * len(a) for a in arrays)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrozenRoad(nodes={self.num_nodes}, "
+            f"entries={len(self._entry_rnet)}, objects={self.num_objects}, "
+            f"bytes={self.nbytes})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internal: the compiled expansion
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        node: int,
+        predicate: Predicate,
+        *,
+        k: Optional[int],
+        radius: Optional[float],
+        stats: Optional[SearchStats],
+    ) -> List[ResultEntry]:
+        try:
+            source = self._index[node]
+        except KeyError:
+            raise FrozenRoadError(f"node {node} not in frozen index") from None
+        may = self._rnet_mask(predicate)
+        omask = self._object_mask(predicate)
+        # Bind every array to a local once per query: the loop below is the
+        # hot path, and attribute loads per pop would dominate it.
+        pop = heapq.heappop
+        push = heapq.heappush
+        obj_start = self._obj_start
+        obj_id = self._obj_id
+        obj_delta = self._obj_delta
+        entry_start = self._entry_start
+        entry_rnet = self._entry_rnet
+        entry_next = self._entry_next
+        sc_start = self._sc_start
+        sc_target = self._sc_target
+        sc_weight = self._sc_weight
+        ed_start = self._ed_start
+        ed_target = self._ed_target
+        ed_weight = self._ed_weight
+        local_start = self._local_start
+        local_target = self._local_target
+        local_weight = self._local_weight
+
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+        seq = 1
+        visited = bytearray(len(self.node_ids))
+        seen_objects: set = set()
+        result: List[ResultEntry] = []
+        append = result.append
+        limit = k if k is not None else -1
+        bound = radius if radius is not None else _INF
+        # scalar counters, flushed into SearchStats at the end:
+        # nodes/objects popped, edges relaxed, shortcuts taken,
+        # rnets bypassed/descended
+        c_np = c_op = c_er = c_st = c_rb = c_rd = 0
+        while heap:
+            distance, _, code = pop(heap)
+            if distance > bound:
+                break  # everything else is farther: the bounded space is done
+            if code < 0:  # an object: ~object_id
+                oid = ~code
+                if oid in seen_objects:
+                    continue
+                seen_objects.add(oid)
+                c_op += 1
+                append(ResultEntry(oid, distance))
+                if c_op == limit:
+                    break
+                continue
+            if visited[code]:
+                continue
+            visited[code] = 1
+            c_np += 1
+            # SearchObject(AD, node): matching objects in stored order, as
+            # the charged `_collect_node_objects` does.
+            for j in range(obj_start[code], obj_start[code + 1]):
+                oid = obj_id[j]
+                if oid in seen_objects:
+                    continue
+                if omask is None or omask[j]:
+                    push(heap, (distance + obj_delta[j], seq, ~oid))
+                    seq += 1
+            # ChoosePath (Fig 10), flattened: preorder walk + subtree skip.
+            i = entry_start[code]
+            end = entry_start[code + 1]
+            if i == end:
+                # Non-border node: one leaf of physical edges (Fig 6, n_q).
+                # A push to an already-settled node would only be discarded
+                # on pop, so it is skipped (counters still record the
+                # relaxation, keeping SearchStats identical to the charged
+                # path; surviving entries keep their relative seq order, so
+                # results are unchanged too).
+                for j in range(local_start[code], local_start[code + 1]):
+                    c_er += 1
+                    target = local_target[j]
+                    if not visited[target]:
+                        push(heap, (distance + local_weight[j], seq, target))
+                        seq += 1
+                continue
+            while i < end:
+                if may[entry_rnet[i]]:
+                    nxt = entry_next[i]
+                    if nxt == i + 1:
+                        # Finest Rnet with objects of interest: its edges.
+                        for j in range(ed_start[i], ed_start[i + 1]):
+                            c_er += 1
+                            target = ed_target[j]
+                            if not visited[target]:
+                                push(heap, (distance + ed_weight[j], seq, target))
+                                seq += 1
+                    else:
+                        c_rd += 1
+                    i += 1
+                else:
+                    # Bypass: jump straight to the Rnet's other borders.
+                    c_rb += 1
+                    for j in range(sc_start[i], sc_start[i + 1]):
+                        c_st += 1
+                        target = sc_target[j]
+                        if not visited[target]:
+                            push(heap, (distance + sc_weight[j], seq, target))
+                            seq += 1
+                    i = entry_next[i]
+        if stats is not None:
+            self._flush_stats(stats, (c_np, c_op, c_er, c_st, c_rb, c_rd))
+        return result
+
+    def _expand(
+        self,
+        heap: List[Tuple[float, int, int]],
+        seq: int,
+        item: int,
+        distance: float,
+        may: List[bool],
+        omask: Optional[bytearray],
+        seen_objects: set,
+        counters: List[int],
+    ) -> int:
+        """SearchObject + ChoosePath for one popped node; returns next seq.
+
+        The incremental iterator's expansion step — identical decisions to
+        the inlined loop in :meth:`_search`.
+        """
+        push = heapq.heappush
+        obj_start = self._obj_start
+        obj_id = self._obj_id
+        obj_delta = self._obj_delta
+        for j in range(obj_start[item], obj_start[item + 1]):
+            oid = obj_id[j]
+            if oid in seen_objects:
+                continue
+            if omask is None or omask[j]:
+                push(heap, (distance + obj_delta[j], seq, ~oid))
+                seq += 1
+        i = self._entry_start[item]
+        end = self._entry_start[item + 1]
+        if i == end:
+            # Non-border node: a single leaf of physical edges (Fig 6, n_q).
+            local_start = self._local_start
+            local_target = self._local_target
+            local_weight = self._local_weight
+            for j in range(local_start[item], local_start[item + 1]):
+                push(heap, (distance + local_weight[j], seq, local_target[j]))
+                seq += 1
+                counters[2] += 1
+            return seq
+        entry_rnet = self._entry_rnet
+        entry_next = self._entry_next
+        sc_start = self._sc_start
+        sc_target = self._sc_target
+        sc_weight = self._sc_weight
+        ed_start = self._ed_start
+        ed_target = self._ed_target
+        ed_weight = self._ed_weight
+        while i < end:
+            if may[entry_rnet[i]]:
+                nxt = entry_next[i]
+                if nxt == i + 1:
+                    # Finest Rnet with objects of interest: traverse edges.
+                    for j in range(ed_start[i], ed_start[i + 1]):
+                        push(heap, (distance + ed_weight[j], seq, ed_target[j]))
+                        seq += 1
+                        counters[2] += 1
+                else:
+                    counters[5] += 1
+                i += 1
+            else:
+                # Bypass: jump straight to the Rnet's other border nodes.
+                counters[4] += 1
+                for j in range(sc_start[i], sc_start[i + 1]):
+                    push(heap, (distance + sc_weight[j], seq, sc_target[j]))
+                    seq += 1
+                    counters[3] += 1
+                i = entry_next[i]
+        return seq
+
+    @staticmethod
+    def _flush_stats(stats: SearchStats, counters: Sequence[int]) -> None:
+        stats.nodes_popped += counters[0]
+        stats.objects_popped += counters[1]
+        stats.edges_relaxed += counters[2]
+        stats.shortcuts_taken += counters[3]
+        stats.rnets_bypassed += counters[4]
+        stats.rnets_descended += counters[5]
+
+
+def _cache_put(cache: Dict, key, value) -> None:
+    """Insert into a bounded mask cache, evicting oldest entries (FIFO)."""
+    while len(cache) >= MAX_CACHED_PREDICATES:
+        del cache[next(iter(cache))]
+    cache[key] = value
+
+
+def freeze_road(road, *, directory: str = "objects") -> FrozenRoad:
+    """Module-level convenience mirroring :meth:`ROAD.freeze`."""
+    return FrozenRoad.from_road(road, directory=directory)

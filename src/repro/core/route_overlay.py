@@ -161,6 +161,22 @@ class RouteOverlay:
         return node in self._directory
 
     # ------------------------------------------------------------------
+    # Bulk export (uncharged)
+    # ------------------------------------------------------------------
+    def iter_trees(self) -> Iterable[Tuple[int, ShortcutTree]]:
+        """Yield every (node, shortcut tree) without charging I/O.
+
+        A build-time bulk export for compile consumers such as
+        :mod:`repro.core.frozen` — like :meth:`PageManager.iter_pages` it
+        bypasses the buffer and must not be used in query processing.
+        """
+        for page in self._pager.iter_pages(self.name):
+            block: Optional[_TreeBlock] = page.payload
+            if block is None:
+                continue  # overflow continuation pages carry no trees
+            yield from block.trees.items()
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def refresh_node(self, node: int) -> None:
@@ -185,15 +201,19 @@ class RouteOverlay:
                     block.nbytes += tree.nbytes + INT_SIZE
                     self._pager.write(page, block.nbytes)
                     return
-                self._pager.write(page, block.nbytes)
+                if block.trees:
+                    self._pager.write(page, block.nbytes)
+                else:
+                    self._pager.free(old_page_id)  # emptied record page
             elif old_tree is not None:
-                # Oversized record pages are simply replaced.
+                # Oversized record: free the continuation pages *and* the
+                # emptied main page instead of leaving it allocated forever.
                 for extra in block.overflow:
                     self._pager.free(extra)
                 block.overflow.clear()
                 block.trees.clear()
                 block.nbytes = 0
-                self._pager.write(page, 0)
+                self._pager.free(old_page_id)
         self._place_elsewhere(node, tree)
 
     def _place_elsewhere(self, node: int, tree: ShortcutTree) -> None:
@@ -236,7 +256,12 @@ class RouteOverlay:
             self.refresh_node(node)
 
     def remove_node(self, node: int) -> None:
-        """Drop a node's entry (network node deletion)."""
+        """Drop a node's entry (network node deletion).
+
+        Overflow pages of a bulky record are freed — and so is the main
+        record page once it holds no tree, so ``page_count``/``size_bytes``
+        shrink instead of accumulating empty pages.
+        """
         page_id = self._node_page.pop(node, None)
         if page_id is not None:
             page = self._pager.read(page_id)
@@ -250,7 +275,10 @@ class RouteOverlay:
                     block.nbytes = 0
                 else:
                     block.nbytes -= tree.nbytes + INT_SIZE
+            if block.trees:
                 self._pager.write(page, block.nbytes)
+            else:
+                self._pager.free(page_id)  # emptied record page
         self._directory.delete(node)
 
     # ------------------------------------------------------------------

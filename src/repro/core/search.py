@@ -46,14 +46,17 @@ class SearchStats:
         return self.edges_relaxed + self.shortcuts_taken
 
 
-class _AbstractCache:
-    """Per-query memo of SearchObject(AD, R) outcomes.
+class AbstractCache:
+    """Memo of SearchObject(AD, R) outcomes for one (directory, predicate).
 
     A search reaching several border nodes of one Rnet would otherwise
     repeat the same Association Directory lookup; within a single query the
     answer cannot change, so the first lookup is remembered (the loaded
     abstract stays in the buffer anyway — this also saves the CPU of
-    re-descending the B+-tree).
+    re-descending the B+-tree).  A batch caller
+    (:meth:`repro.core.framework.ROAD.execute_many`) may share one cache
+    across every query with the same predicate, as long as the directory
+    does not change between queries.
     """
 
     __slots__ = ("_directory", "_predicate", "_memo")
@@ -69,6 +72,10 @@ class _AbstractCache:
             cached = self._directory.rnet_may_contain(rnet_id, self._predicate)
             self._memo[rnet_id] = cached
         return cached
+
+
+#: Backwards-compatible private alias (pre-batch-API name).
+_AbstractCache = AbstractCache
 
 
 class _Frontier:
@@ -124,13 +131,15 @@ def knn_search(
     predicate: Predicate = ANY,
     stats: Optional[SearchStats] = None,
     tracer: Optional[PathTracer] = None,
+    abstracts: Optional[AbstractCache] = None,
 ) -> List[ResultEntry]:
     """Algorithm kNNSearch (Figure 9).
 
     Returns up to ``k`` matching objects in non-descending network distance
     (fewer if the network holds fewer matching objects).  Pass a
     :class:`~repro.core.paths.PathTracer` to record enough provenance to
-    materialise full routes to the answers afterwards.
+    materialise full routes to the answers afterwards, and/or a shared
+    :class:`AbstractCache` to reuse Rnet-pruning decisions across a batch.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -140,7 +149,8 @@ def knn_search(
     visited_nodes: Set[int] = set()
     visited_objects: Set[int] = set()
     result: List[ResultEntry] = []
-    abstracts = _AbstractCache(directory, predicate)
+    if abstracts is None:
+        abstracts = AbstractCache(directory, predicate)
 
     while frontier and len(result) < k:
         distance, is_object, item, origin = frontier.pop()
@@ -174,6 +184,7 @@ def range_search(
     predicate: Predicate = ANY,
     stats: Optional[SearchStats] = None,
     tracer: Optional[PathTracer] = None,
+    abstracts: Optional[AbstractCache] = None,
 ) -> List[ResultEntry]:
     """Algorithm RangeSearch (Section 4).
 
@@ -188,7 +199,8 @@ def range_search(
     visited_nodes: Set[int] = set()
     visited_objects: Set[int] = set()
     result: List[ResultEntry] = []
-    abstracts = _AbstractCache(directory, predicate)
+    if abstracts is None:
+        abstracts = AbstractCache(directory, predicate)
 
     while frontier:
         distance, is_object, item, origin = frontier.pop()
@@ -234,7 +246,7 @@ def iter_nearest_objects(
     frontier.push_node(query_node, 0.0)
     visited_nodes: Set[int] = set()
     visited_objects: Set[int] = set()
-    abstracts = _AbstractCache(directory, predicate)
+    abstracts = AbstractCache(directory, predicate)
 
     while frontier:
         distance, is_object, item, _ = frontier.pop()
@@ -271,14 +283,14 @@ def choose_path(
     edges at the finest level.
     """
     _choose_path_cached(
-        overlay, _AbstractCache(directory, predicate), frontier, node,
+        overlay, AbstractCache(directory, predicate), frontier, node,
         distance, stats,
     )
 
 
 def _choose_path_cached(
     overlay: RouteOverlay,
-    abstracts: _AbstractCache,
+    abstracts: AbstractCache,
     frontier: _Frontier,
     node: int,
     distance: float,

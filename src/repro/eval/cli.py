@@ -3,6 +3,7 @@
 Regenerate any of the paper's tables/figures without pytest::
 
     python -m repro.eval fig17a
+    python -m repro.eval fig17a --engine frozen
     python -m repro.eval fig19 --queries 10
     python -m repro.eval all --out results/
     python -m repro.eval list
@@ -15,6 +16,7 @@ import os
 import sys
 from typing import Callable, Dict
 
+from repro.baselines import ROAD_MODES
 from repro.eval import ablations, experiments
 from repro.eval.reporting import ExperimentResult
 
@@ -66,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("mini", "paper"),
         help="dataset scale (sets REPRO_SCALE)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ROAD_MODES,
+        help="ROAD serving mode: charged disk path (paper I/O model) or "
+        "frozen in-memory fast path (sets REPRO_ENGINE)",
+    )
     return parser
 
 
@@ -75,6 +83,8 @@ def main(argv=None) -> int:
         os.environ["REPRO_QUERIES"] = str(args.queries)
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = args.scale
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
 
     if args.experiment == "list":
         for name in REGISTRY:

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.baselines import (
     DistanceIndexEngine,
     EuclideanEngine,
     NetworkExpansionEngine,
+    ROAD_MODES,
     ROADEngine,
     SearchEngine,
 )
@@ -19,6 +21,17 @@ from repro.storage.pager import PageManager
 
 #: Engine labels in the order the figures list them.
 ENGINE_ORDER = ("NetExp", "Euclidean", "DistIdx", "ROAD")
+
+
+def road_mode() -> str:
+    """The ROAD serving mode: ``charged`` (paper I/O model, default) or
+    ``frozen`` (compiled in-memory fast path); REPRO_ENGINE overrides."""
+    mode = os.environ.get("REPRO_ENGINE", "charged").lower()
+    if mode not in ROAD_MODES:
+        raise ValueError(
+            f"REPRO_ENGINE must be one of {ROAD_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 def make_objects(
@@ -48,8 +61,14 @@ def build_engine(
     road_levels: Optional[int] = None,
     road_fanout: int = 4,
     buffer_pages: Optional[int] = None,
+    road_mode_override: Optional[str] = None,
 ) -> SearchEngine:
-    """One engine over a private copy of the network (no cross-talk)."""
+    """One engine over a private copy of the network (no cross-talk).
+
+    ``road_mode_override`` forces the ROAD serving mode for this engine;
+    by default :func:`road_mode` (the ``--engine`` switch / REPRO_ENGINE)
+    decides between the charged disk path and the frozen fast path.
+    """
     private = network.copy()
     pager = PageManager(
         buffer_pages=_buffer_for(network, buffer_pages), name=name
@@ -67,6 +86,7 @@ def build_engine(
             pager,
             levels=road_levels if road_levels is not None else 4,
             fanout=road_fanout,
+            mode=road_mode_override if road_mode_override else road_mode(),
         )
     raise KeyError(f"unknown engine {name!r}")
 

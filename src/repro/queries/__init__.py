@@ -10,6 +10,7 @@ from repro.queries.types import (
 )
 from repro.queries.workload import (
     knn_workload,
+    mixed_workload,
     random_query_nodes,
     range_workload,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "RangeQuery",
     "ResultEntry",
     "knn_workload",
+    "mixed_workload",
     "random_query_nodes",
     "range_workload",
     "sort_result",

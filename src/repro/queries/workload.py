@@ -53,3 +53,35 @@ def range_workload(
         RangeQuery(node, radius, predicate)
         for node in random_query_nodes(network, count, seed=seed)
     ]
+
+
+def mixed_workload(
+    network: RoadNetwork,
+    count: int,
+    *,
+    k: int = 5,
+    radius: float = 0.0,
+    seed: int = 0,
+    predicates: Sequence[Predicate] = (ANY,),
+    knn_fraction: float = 0.5,
+) -> List[object]:
+    """A server-shaped batch: kNN and range queries interleaved.
+
+    Draws ``count`` queries at random nodes, each kNN with probability
+    ``knn_fraction`` (range otherwise) with a predicate cycled from
+    ``predicates`` — the input shape :meth:`ROAD.execute_many` and
+    :meth:`FrozenRoad.execute_many` are built for, where few distinct
+    predicates amortise the shared predicate caches across many queries.
+    """
+    if not predicates:
+        raise ValueError("need at least one predicate")
+    rng = np.random.RandomState(seed)
+    nodes = random_query_nodes(network, count, seed=seed)
+    queries: List[object] = []
+    for i, node in enumerate(nodes):
+        predicate = predicates[i % len(predicates)]
+        if rng.random_sample() < knn_fraction:
+            queries.append(KNNQuery(node, k, predicate))
+        else:
+            queries.append(RangeQuery(node, radius, predicate))
+    return queries

@@ -228,6 +228,20 @@ class BPlusTree:
             return key
         return None
 
+    def destroy(self) -> int:
+        """Free every page of this tree; return the number freed.
+
+        The tree is unusable afterwards (any access raises
+        :class:`~repro.storage.pager.PageNotFoundError`).  Owners call this
+        when an index is dropped so its pages return to the pager instead
+        of leaking — kinds are unique per tree, so the sweep is exact.
+        """
+        page_ids = [page.page_id for page in self._pager.iter_pages(self.name)]
+        for page_id in page_ids:
+            self._pager.free(page_id)
+        self._count = 0
+        return len(page_ids)
+
     def validate(self) -> None:
         """Check structural invariants; raise :class:`BPlusTreeError` if broken.
 

@@ -4,7 +4,7 @@ import math
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.framework import ROAD
@@ -13,6 +13,7 @@ from repro.objects.model import ObjectSet, SpatialObject
 from repro.objects.placement import place_uniform
 from repro.queries.types import Predicate
 from tests.conftest import random_connected_network
+from tests.oracle import assert_same_result
 
 AGGS = {"sum": sum, "max": max, "min": min}
 
@@ -134,6 +135,7 @@ class TestAggregateKnn:
     seed=st.integers(0, 10_000),
     agg=st.sampled_from(["sum", "max", "min"]),
 )
+@example(seed=203, agg="sum")  # three objects tie exactly at the k-boundary
 def test_aggregate_property(seed, agg):
     """Property: lockstep aggregation equals brute force on random inputs."""
     rnd = random.Random(seed)
@@ -153,6 +155,6 @@ def test_aggregate_property(seed, agg):
     k = rnd.randint(1, 4)
     got = road.aggregate_knn(query_nodes, k, agg)
     expected = brute_aggregate(network, objects, query_nodes, k, agg)
-    assert [e.object_id for e in got] == [i for _, i in expected]
-    for entry, (value, _) in zip(got, expected):
-        assert entry.distance == pytest.approx(value)
+    # Tie-tolerant: equal aggregate values may cut differently at the
+    # k-boundary (the termination test stops at the first k certainties).
+    assert_same_result(got, expected)

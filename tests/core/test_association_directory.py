@@ -210,3 +210,38 @@ class TestMultipleDirectories:
         assert fuel.node_objects(u)[0][0].attrs["type"] == "fuel"
         hotels.delete(1)
         assert fuel.node_objects(u)  # unaffected
+
+
+class TestBulkExport:
+    def test_export_entries_roundtrip(self, setting):
+        net, _, _ = setting
+        objects = ObjectSet()
+        for i in range(6):
+            u, v = some_edge(net, i * 3)
+            objects.add(
+                SpatialObject(i, (u, v), net.edge_distance(u, v) / 3, {"t": "x"})
+            )
+        ad = make_directory(setting, objects)
+        node_entries, abstracts = ad.export_entries()
+        # Node entries match the charged per-node lookups, stored order kept.
+        for node, entries in node_entries.items():
+            assert entries == ad.node_objects(node)
+        exported = {obj.object_id for e in node_entries.values() for obj, _ in e}
+        assert exported == set(objects.ids())
+        # Abstracts cover exactly the Rnets holding objects.
+        for rnet_id, abstract in abstracts.items():
+            assert ad.rnet_abstract(rnet_id) is abstract
+            assert abstract.count > 0
+
+    def test_free_pages_releases_storage(self, setting):
+        net, _, pager = setting
+        before = pager.page_count
+        objects = ObjectSet()
+        for i in range(10):
+            u, v = some_edge(net, i)
+            objects.add(SpatialObject(i, (u, v), 0.0))
+        ad = make_directory(setting, objects)
+        assert pager.page_count > before
+        freed = ad.free_pages()
+        assert freed > 0
+        assert pager.page_count == before

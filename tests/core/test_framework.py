@@ -6,9 +6,11 @@ from repro.core.framework import ROAD
 from repro.core.object_abstract import counting_abstract
 from repro.core.route_overlay import RouteOverlayError
 from repro.graph.generators import grid_network
+from repro.objects.model import ObjectSet, SpatialObject
 from repro.objects.placement import place_clustered, place_uniform
 from repro.partition.grid import grid_partition_tree
 from repro.storage.pager import PageManager
+from tests.oracle import assert_same_result, brute_knn
 
 
 class TestBuild:
@@ -61,6 +63,24 @@ class TestDirectories:
             road.directory()
         with pytest.raises(KeyError):
             road.detach_objects()
+
+    def test_detach_frees_directory_pages(self, medium_grid):
+        """Regression: detaching must return every directory page."""
+        road = ROAD.build(medium_grid, levels=2)
+        before = road.pager.page_count
+        road.attach_objects(place_uniform(medium_grid, 40, seed=1))
+        assert road.pager.page_count > before
+        road.detach_objects()
+        assert road.pager.page_count == before
+
+    def test_detach_and_reattach_same_name(self, medium_grid):
+        road = ROAD.build(medium_grid, levels=2)
+        empty = road.pager.page_count
+        for seed in (1, 2, 3):
+            road.attach_objects(place_uniform(medium_grid, 6, seed=seed))
+            assert len(road.knn(0, 3)) == 3
+            road.detach_objects()
+            assert road.pager.page_count == empty  # no growth across cycles
 
     def test_multiple_directories_independent_queries(self, medium_grid):
         road = ROAD.build(medium_grid, levels=2)
@@ -130,3 +150,34 @@ class TestStats:
         road.attach_objects(place_uniform(medium_grid, 10, seed=1))
         assert road.index_size_bytes() > base
         assert road.index_size_bytes(include_directories=False) <= base
+
+
+class TestDegenerateEdges:
+    def test_update_zero_length_edge_distance(self):
+        """Regression: distance/old_distance must not divide by zero."""
+        net = grid_network(4, 4, seed=1)
+        u, v, _ = sorted(net.edges())[0]
+        # Degenerate zero-length segment, as a permissive loader may produce.
+        net._adj[u][v] = net._adj[v][u] = 0.0
+        road = ROAD.build(net, levels=2)
+        directory = road.attach_objects(
+            ObjectSet([SpatialObject(0, (u, v), 0.0)])
+        )
+        road.update_edge_distance(u, v, 5.0)  # used to raise ZeroDivisionError
+        assert net.edge_distance(u, v) == 5.0
+        assert directory.get_object(0).delta == 0.0  # pinned at offset 0
+        # The far endpoint's delta must be re-derived from the new length
+        # (a stale delta(o, v) = 0 would report the object 5.0 too close).
+        (_, delta_v), = directory.node_objects(v)
+        assert delta_v == pytest.approx(5.0)
+        assert_same_result(
+            road.knn(u, 1), brute_knn(net, directory.objects, u, 1)
+        )
+        assert_same_result(
+            road.knn(v, 1), brute_knn(net, directory.objects, v, 1)
+        )
+        # A later, ordinary rescale still works on the repaired edge.
+        road.update_edge_distance(u, v, 10.0)
+        assert_same_result(
+            road.knn(v, 1), brute_knn(net, directory.objects, v, 1)
+        )

@@ -1,0 +1,212 @@
+"""FrozenRoad: compiled fast path equivalence, isolation, batch API."""
+
+import pytest
+
+from repro.baselines.engine import EngineError
+from repro.baselines.road_adapter import ROADEngine
+from repro.core.framework import ROAD
+from repro.core.frozen import FrozenRoad, FrozenRoadError, freeze_road
+from repro.core.search import SearchStats, iter_nearest_objects
+from repro.objects.model import SpatialObject
+from repro.objects.placement import place_uniform
+from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery
+from repro.queries.workload import mixed_workload
+
+
+@pytest.fixture
+def built(medium_grid):
+    objects = place_uniform(
+        medium_grid, 20, seed=11, attr_choices={"type": ["a", "b", "c"]}
+    )
+    road = ROAD.build(medium_grid, levels=3, fanout=4)
+    road.attach_objects(objects)
+    return medium_grid, objects, road
+
+
+@pytest.fixture
+def frozen(built):
+    _, _, road = built
+    return road.freeze()
+
+
+class TestEquivalence:
+    def test_knn_byte_identical(self, built, frozen):
+        net, _, road = built
+        for node in list(net.node_ids())[::7]:
+            for k in (1, 3, 10):
+                assert frozen.knn(node, k) == road.knn(node, k)
+
+    def test_range_byte_identical(self, built, frozen):
+        net, _, road = built
+        for node in list(net.node_ids())[::9]:
+            for radius in (0.0, 2.5, 8.0):
+                assert frozen.range(node, radius) == road.range(node, radius)
+
+    def test_predicate_byte_identical(self, built, frozen):
+        net, _, road = built
+        pred = Predicate.of(type="a")
+        for node in list(net.node_ids())[::11]:
+            assert frozen.knn(node, 4, pred) == road.knn(node, 4, pred)
+            assert frozen.range(node, 6.0, pred) == road.range(node, 6.0, pred)
+
+    def test_search_stats_identical(self, built, frozen):
+        _, _, road = built
+        s_frozen, s_charged = SearchStats(), SearchStats()
+        frozen.knn(0, 5, stats=s_frozen)
+        road.knn(0, 5, stats=s_charged)
+        assert s_frozen == s_charged
+
+    def test_iter_nearest_objects_identical(self, built, frozen):
+        _, _, road = built
+        lazy = list(frozen.iter_nearest_objects(42))
+        charged = list(
+            iter_nearest_objects(road.overlay, road.directory(), 42)
+        )
+        assert lazy == charged
+
+
+class TestZeroPagerTraffic:
+    def test_queries_never_touch_pager(self, built, frozen):
+        _, _, road = built
+        before = road.pager.stats.snapshot()
+        frozen.knn(0, 5)
+        frozen.range(5, 7.0, Predicate.of(type="b"))
+        list(frozen.iter_nearest_objects(3))
+        diff = road.pager.stats.diff(before)
+        assert (diff.reads, diff.writes, diff.hits, diff.misses) == (0, 0, 0, 0)
+
+
+class TestBatch:
+    def test_execute_many_matches_individual(self, built, frozen):
+        net, _, road = built
+        queries = mixed_workload(
+            net, 30, k=3, radius=6.0, seed=2,
+            predicates=[ANY, Predicate.of(type="a")],
+        )
+        batch = frozen.execute_many(queries)
+        assert batch == [frozen.execute(q) for q in queries]
+        assert batch == road.execute_many(queries)
+
+    def test_charged_execute_many_matches_execute(self, built):
+        net, _, road = built
+        queries = mixed_workload(net, 12, k=2, radius=4.0, seed=5)
+        assert road.execute_many(queries) == [road.execute(q) for q in queries]
+
+    def test_execute_many_rejects_unknown_query(self, built, frozen):
+        _, _, road = built
+        with pytest.raises(TypeError):
+            frozen.execute_many([object()])
+        with pytest.raises(TypeError):
+            road.execute_many([object()])
+
+    def test_predicate_masks_are_shared(self, frozen):
+        pred = Predicate.of(type="a")
+        frozen.knn(0, 2, pred)
+        mask = frozen._rnet_masks[pred]
+        frozen.range(9, 5.0, pred)
+        assert frozen._rnet_masks[pred] is mask  # compiled once per predicate
+
+
+class TestSnapshotSemantics:
+    def test_snapshot_isolated_from_object_churn(self, built, frozen):
+        net, _, road = built
+        node = 0
+        before = frozen.knn(node, 3)
+        new_id = road.directory().objects.next_id()
+        road.insert_object(SpatialObject(new_id, (0, 1), 0.0))
+        assert frozen.knn(node, 3) == before  # snapshot unaffected
+        refrozen = road.freeze()
+        assert refrozen.knn(node, 3) == road.knn(node, 3)
+
+    def test_unknown_node_raises(self, frozen):
+        with pytest.raises(FrozenRoadError):
+            frozen.knn(10_000, 1)
+        with pytest.raises(FrozenRoadError):
+            frozen.range(10_000, 1.0)
+
+    def test_invalid_parameters_raise(self, frozen):
+        with pytest.raises(ValueError):
+            frozen.knn(0, 0)
+        with pytest.raises(ValueError):
+            frozen.range(0, -1.0)
+
+    def test_freeze_unknown_directory_raises(self, medium_grid):
+        road = ROAD.build(medium_grid, levels=2)
+        with pytest.raises(KeyError):
+            road.freeze(directory="missing")
+
+    def test_freeze_road_helper(self, built):
+        _, _, road = built
+        assert freeze_road(road).knn(0, 2) == road.knn(0, 2)
+
+    def test_execute_dispatch(self, frozen):
+        assert frozen.execute(KNNQuery(0, 2)) == frozen.knn(0, 2)
+        assert frozen.execute(RangeQuery(0, 3.0)) == frozen.range(0, 3.0)
+        with pytest.raises(TypeError):
+            frozen.execute("not a query")
+
+    def test_introspection(self, built, frozen):
+        net, _, _ = built
+        assert frozen.num_nodes == net.num_nodes
+        assert frozen.num_objects == 2 * 20  # one slot per host-edge endpoint
+        assert frozen.nbytes > 0
+        assert "FrozenRoad" in repr(frozen)
+
+
+class TestFrozenEngineMode:
+    def test_frozen_mode_matches_charged(self, medium_grid):
+        objects = place_uniform(medium_grid, 12, seed=4)
+        charged = ROADEngine(medium_grid.copy(), objects, levels=2)
+        frozen = ROADEngine(medium_grid.copy(), objects, levels=2, mode="frozen")
+        for node in (0, 17, 54):
+            assert frozen.knn(node, 3) == charged.knn(node, 3)
+            assert frozen.range(node, 5.0) == charged.range(node, 5.0)
+
+    def test_maintenance_invalidates_snapshot(self, medium_grid):
+        objects = place_uniform(medium_grid, 12, seed=4)
+        engine = ROADEngine(medium_grid.copy(), objects, levels=2, mode="frozen")
+        assert engine.frozen is not None
+        u, v, d = next(iter(engine.network.edges()))
+        engine.update_edge_distance(u, v, d * 3)
+        assert engine.frozen is None  # stale snapshot dropped
+        result = engine.knn(0, 2)  # lazily re-frozen
+        assert engine.frozen is not None
+        assert result == engine.road.knn(0, 2)
+
+    def test_invalid_mode_rejected(self, medium_grid):
+        with pytest.raises(EngineError):
+            ROADEngine(
+                medium_grid.copy(),
+                place_uniform(medium_grid, 3, seed=1),
+                levels=2,
+                mode="warp",
+            )
+
+
+class TestIncrementalStats:
+    def test_partial_iterator_reports_stats(self, built, frozen):
+        """Stats update at each yield, like the charged iterator."""
+        _, _, road = built
+        s_frozen, s_charged = SearchStats(), SearchStats()
+        lazy = frozen.iter_nearest_objects(0, stats=s_frozen)
+        charged = iter_nearest_objects(
+            road.overlay, road.directory(), 0, stats=s_charged
+        )
+        assert next(lazy) == next(charged)
+        lazy.close()
+        assert s_frozen.objects_popped == s_charged.objects_popped == 1
+        assert s_frozen == s_charged
+
+
+class TestMaskCacheBound:
+    def test_mask_caches_are_bounded(self, frozen):
+        from repro.core.frozen import MAX_CACHED_PREDICATES
+
+        for i in range(MAX_CACHED_PREDICATES + 40):
+            frozen.knn(0, 1, Predicate.of(type=f"p{i}"))
+        assert len(frozen._rnet_masks) <= MAX_CACHED_PREDICATES
+        assert len(frozen._obj_masks) <= MAX_CACHED_PREDICATES
+        # An evicted predicate still answers correctly (recompiled).
+        assert frozen.knn(0, 2, Predicate.of(type="a")) == frozen.knn(
+            0, 2, Predicate.of(type="a")
+        )

@@ -130,3 +130,81 @@ class TestOverflowChains:
             pager.reset_stats()
             overlay.shortcut_tree(fat_nodes[0])
             assert pager.stats.reads >= 2
+
+
+class TestPageReclamation:
+    def test_remove_all_nodes_frees_record_pages(self, overlay_setting):
+        """Regression: emptied record pages must be freed, not leaked."""
+        net, _, _, pager, overlay = overlay_setting
+        for node in sorted(net.node_ids()):
+            overlay.remove_node(node)
+        assert overlay.node_count == 0
+        # Every record page is gone; only the (empty) directory remains.
+        assert sum(1 for _ in pager.iter_pages(overlay.name)) == 0
+
+    def test_removing_a_pages_residents_frees_it(self, overlay_setting):
+        net, _, _, pager, overlay = overlay_setting
+        # Remove every node co-located on one record page: it must be freed.
+        page_id = overlay._node_page[0]
+        residents = [n for n, p in overlay._node_page.items() if p == page_id]
+        before = pager.page_count
+        for node in residents:
+            overlay.remove_node(node)
+        assert pager.page_count < before
+        assert all(p.page_id != page_id for p in pager.iter_pages(overlay.name))
+
+    @staticmethod
+    def _star_overlay():
+        """A 320-spoke star: the hub's record overflows one page for sure."""
+        import random
+
+        from repro.graph.network import RoadNetwork
+
+        rnd = random.Random(1)
+        net = RoadNetwork()
+        for i in range(320):
+            net.add_node(i, rnd.uniform(0, 100), rnd.uniform(0, 100))
+        for i in range(1, 320):
+            net.add_edge(0, i, rnd.uniform(1.0, 5.0))
+        tree = build_partition_tree(net, levels=2, fanout=4)
+        hierarchy = RnetHierarchy(net, tree)
+        shortcuts = build_shortcuts(net, hierarchy)
+        pager = PageManager(buffer_pages=16)
+        overlay = RouteOverlay(pager, net, hierarchy, shortcuts)
+        fat_nodes = [
+            n
+            for n in net.node_ids()
+            if pager.read(overlay._node_page[n]).payload.overflow
+        ]
+        assert fat_nodes, "star hub must overflow a record page"
+        return pager, overlay, fat_nodes[0]
+
+    def test_remove_oversized_node_frees_chain_and_page(self):
+        """An oversized record frees its overflow chain *and* main page."""
+        pager, overlay, node = self._star_overlay()
+        chain = 1 + len(pager.read(overlay._node_page[node]).payload.overflow)
+        before = pager.page_count
+        overlay.remove_node(node)
+        assert pager.page_count <= before - chain
+
+    def test_refresh_oversized_node_reclaims_pages(self):
+        """Refreshing a bulky record must not leave its old pages behind."""
+        pager, overlay, node = self._star_overlay()
+        baseline = pager.page_count
+        for _ in range(5):
+            overlay.refresh_node(node)
+        # Stable: same-sized rebuilds reuse/free pages instead of growing.
+        assert pager.page_count <= baseline + 1
+        overlay.shortcut_tree(node)  # still loadable
+
+
+class TestBulkExport:
+    def test_iter_trees_complete_and_uncharged(self, overlay_setting):
+        net, _, _, pager, overlay = overlay_setting
+        pager.drop_cache()
+        pager.reset_stats()
+        trees = dict(overlay.iter_trees())
+        assert pager.stats.reads == 0  # bulk export bypasses the buffer
+        assert sorted(trees) == sorted(net.node_ids())
+        for node, tree in trees.items():
+            assert tree.node_id == node

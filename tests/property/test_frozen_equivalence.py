@@ -1,0 +1,119 @@
+"""Property-based checks: FrozenRoad == charged path == brute force.
+
+The compiled fast path must return *byte-identical* results to the charged
+search on the same snapshot (including tie order), match the brute-force
+Dijkstra oracle, and never touch the pager while answering.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import ROAD
+from repro.core.object_abstract import counting_abstract, exact_abstract
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.queries.types import Predicate
+from tests.conftest import random_connected_network
+from tests.oracle import assert_same_result, brute_knn, brute_range
+
+
+def random_objects(rnd, network, count, with_attrs=True):
+    objects = ObjectSet()
+    edges = sorted((u, v) for u, v, _ in network.edges())
+    for object_id in range(count):
+        u, v = edges[rnd.randrange(len(edges))]
+        delta = rnd.uniform(0.0, network.edge_distance(u, v))
+        attrs = {"type": rnd.choice(["a", "b"])} if with_attrs else {}
+        objects.add(SpatialObject(object_id, (u, v), delta, attrs))
+    return objects
+
+
+def _assert_no_pager_traffic(road, run):
+    before = road.pager.stats.snapshot()
+    out = run()
+    diff = road.pager.stats.diff(before)
+    assert (diff.reads, diff.writes, diff.hits, diff.misses) == (0, 0, 0, 0), (
+        f"frozen query touched the pager: {diff}"
+    )
+    return out
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    levels=st.integers(1, 4),
+    fanout=st.sampled_from([2, 4]),
+    k=st.integers(1, 6),
+)
+def test_frozen_knn_equivalence(seed, levels, fanout, k):
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(12, 60), rnd.randint(0, 30))
+    objects = random_objects(rnd, network, rnd.randint(1, 12))
+    road = ROAD.build(network, levels=levels, fanout=fanout)
+    road.attach_objects(objects)
+    frozen = road.freeze()
+    for _ in range(4):
+        nq = rnd.randrange(network.num_nodes)
+        got = _assert_no_pager_traffic(road, lambda: frozen.knn(nq, k))
+        assert got == road.knn(nq, k)  # byte-identical to the charged path
+        assert_same_result(got, brute_knn(network, objects, nq, k))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), radius=st.floats(0.0, 40.0))
+def test_frozen_range_equivalence(seed, radius):
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(12, 50), rnd.randint(0, 25))
+    objects = random_objects(rnd, network, rnd.randint(1, 10))
+    road = ROAD.build(network, levels=rnd.randint(1, 3), fanout=4)
+    road.attach_objects(objects)
+    frozen = road.freeze()
+    for _ in range(3):
+        nq = rnd.randrange(network.num_nodes)
+        got = _assert_no_pager_traffic(road, lambda: frozen.range(nq, radius))
+        assert got == road.range(nq, radius)
+        assert_same_result(got, brute_range(network, objects, nq, radius))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), counting=st.booleans())
+def test_frozen_predicate_equivalence(seed, counting):
+    """Predicate pruning through the snapshot masks, both abstract kinds."""
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(15, 40), rnd.randint(0, 20))
+    objects = random_objects(rnd, network, rnd.randint(2, 10))
+    road = ROAD.build(network, levels=2, fanout=4)
+    road.attach_objects(
+        objects,
+        abstract_factory=counting_abstract if counting else exact_abstract,
+    )
+    frozen = road.freeze()
+    pred = Predicate.of(type="a")
+    for _ in range(3):
+        nq = rnd.randrange(network.num_nodes)
+        got = _assert_no_pager_traffic(road, lambda: frozen.knn(nq, 3, pred))
+        assert got == road.knn(nq, 3, pred)
+        assert_same_result(got, brute_knn(network, objects, nq, 3, pred))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_refreeze_after_maintenance_equivalence(seed):
+    """A fresh freeze after updates must track the live index exactly."""
+    rnd = random.Random(seed)
+    network = random_connected_network(rnd, rnd.randint(15, 40), rnd.randint(2, 20))
+    objects = random_objects(rnd, network, rnd.randint(1, 8), with_attrs=False)
+    road = ROAD.build(network, levels=rnd.randint(1, 3), fanout=4)
+    directory = road.attach_objects(objects)
+    edges = list(network.edges())
+    for _ in range(3):
+        u, v, _ = edges[rnd.randrange(len(edges))]
+        road.update_edge_distance(
+            u, v, network.edge_distance(u, v) * rnd.choice([0.3, 1.7, 4.0])
+        )
+        frozen = road.freeze()
+        nq = rnd.randrange(network.num_nodes)
+        got = _assert_no_pager_traffic(road, lambda: frozen.knn(nq, 3))
+        assert got == road.knn(nq, 3)
+        assert_same_result(got, brute_knn(network, directory.objects, nq, 3))

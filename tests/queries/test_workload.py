@@ -35,3 +35,33 @@ class TestWorkloads:
         queries = range_workload(net, 10, radius=123.0, seed=2)
         assert len(queries) == 10
         assert all(q.radius == 123.0 for q in queries)
+
+
+class TestMixedWorkload:
+    def test_mixed_workload_shape_and_determinism(self):
+        from repro.queries.types import KNNQuery, RangeQuery
+        from repro.queries.workload import mixed_workload
+
+        net = grid_network(6, 6, seed=1)
+        preds = [Predicate.of(type="a"), Predicate.of(type="b")]
+        batch = mixed_workload(
+            net, 40, k=3, radius=5.0, seed=7, predicates=preds
+        )
+        again = mixed_workload(
+            net, 40, k=3, radius=5.0, seed=7, predicates=preds
+        )
+        assert batch == again  # deterministic from the seed
+        kinds = {type(q) for q in batch}
+        assert kinds == {KNNQuery, RangeQuery}  # both LDSQs present
+        assert {q.predicate for q in batch} == set(preds)
+        for q in batch:
+            assert net.has_node(q.node)
+
+    def test_mixed_workload_requires_predicates(self):
+        import pytest
+
+        from repro.queries.workload import mixed_workload
+
+        net = grid_network(4, 4, seed=1)
+        with pytest.raises(ValueError):
+            mixed_workload(net, 5, predicates=[])

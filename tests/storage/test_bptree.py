@@ -225,3 +225,28 @@ class BPTreeMachine(RuleBasedStateMachine):
 
 
 TestBPTreeStateful = BPTreeMachine.TestCase
+
+
+class TestDestroy:
+    def test_destroy_frees_every_page(self):
+        pager = PageManager(buffer_pages=16)
+        baseline = pager.page_count
+        tree = BPlusTree(pager, name="doomed", order=4)
+        for key in range(200):
+            tree.insert(key, key * 2)
+        assert pager.page_count > baseline
+        freed = tree.destroy()
+        assert freed > 0
+        assert pager.page_count == baseline
+        assert len(tree) == 0
+
+    def test_destroy_leaves_sibling_trees_alone(self):
+        pager = PageManager(buffer_pages=16)
+        doomed = BPlusTree(pager, name="doomed", order=4)
+        survivor = BPlusTree(pager, name="survivor", order=4)
+        for key in range(50):
+            doomed.insert(key, key)
+            survivor.insert(key, key)
+        doomed.destroy()
+        assert survivor.get(25) == 25
+        survivor.validate()
