@@ -1,0 +1,245 @@
+"""Frozen-snapshot maintenance: delta-patch vs full re-freeze.
+
+The frozen analog of Figures 15/16.  The paper's headline maintenance
+claim is locality — update cost scales with the perturbation, not the
+network — and the compiled serving path must keep that property:
+:meth:`FrozenRoad.apply` rewrites only the CSR spans named by each
+update's :class:`MaintenanceReport`, where the pre-patch lifecycle paid a
+full O(network) ``freeze()`` per update burst.
+
+This bench applies bursts of edge-weight updates (and object churn) on
+the Table-1 default network and races the two reconciliation paths over
+identical update sequences:
+
+* **patch** — ``frozen.apply(report)`` per update, snapshot kept live;
+* **refreeze** — one full ``road.freeze()`` after the burst (the lazy
+  re-freeze the invalidate lifecycle pays on the next query).
+
+After every burst the patched snapshot is probed against the fresh
+freeze — results *and* SearchStats must be identical (equivalence
+violations are counted and must be zero).  Acceptance: >= 10x median
+speedup for single-edge-update bursts.
+
+Run standalone (``python benchmarks/bench_frozen_maintenance.py``) or via
+pytest with the usual harness fixtures.  ``REPRO_BENCH_SMOKE=1`` shrinks
+the network and trial counts for CI smoke runs (report-only, no bar).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import statistics
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH/pytest-pythonpath)
+except ModuleNotFoundError:  # standalone run from a clean checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.framework import ROAD
+from repro.eval.config import DEFAULT_OBJECTS
+from repro.eval.datasets import dataset_levels, load_dataset
+from repro.eval.metrics import snapshot_divergences
+from repro.eval.reporting import ExperimentResult
+from repro.eval.runner import make_objects
+from repro.objects.model import SpatialObject
+
+#: The acceptance bar for single-edge-update bursts.
+MIN_PATCH_SPEEDUP = 10.0
+
+#: Updates per burst (the x-axis of the Figure-16-shaped sweep).
+UPDATE_COUNTS = (1, 2, 5, 10)
+
+
+def run_maintenance_comparison(
+    *,
+    network: str = "CA",
+    num_objects: int = DEFAULT_OBJECTS,
+    num_nodes=None,
+    update_counts=UPDATE_COUNTS,
+    trials: int = 15,
+    churn_trials: int = 10,
+    probes: int = 3,
+    seed: int = 0,
+):
+    """Race delta-patch vs full re-freeze over identical update sequences.
+
+    Returns ``(result, speedups, outcomes, violations)``: the rendered
+    table data, the per-workload median speedups, the patch/fallback
+    outcome counts, and the total equivalence violations (must be zero).
+    """
+    dataset = load_dataset(network, num_nodes)
+    net = dataset.network.copy()  # datasets are memoised; never mutate them
+    objects = make_objects(net, num_objects, seed=seed)
+    road = ROAD.build(net, levels=dataset_levels(network), fanout=4)
+    directory = road.attach_objects(objects)
+    frozen = road.freeze()
+
+    rnd = random.Random(seed)
+    edges = sorted((u, v) for u, v, _ in net.edges())
+    result = ExperimentResult(
+        "frozen_maintenance",
+        f"FrozenRoad delta-patch vs full re-freeze on {network} "
+        f"({net.num_nodes:,} nodes, |O|={num_objects})",
+        [
+            "workload", "patch_ms", "refreeze_ms", "speedup",
+            "patched", "fallbacks", "violations",
+        ],
+    )
+    speedups = {}
+    outcomes: Counter = Counter()
+    total_violations = 0
+
+    def run_burst_workload(label, make_reports, rounds):
+        nonlocal total_violations
+        patch_times, refreeze_times = [], []
+        burst_outcomes: Counter = Counter()
+        violations = 0
+        for _ in range(rounds):
+            reports = make_reports()
+            start = time.perf_counter()
+            for report in reports:
+                burst_outcomes[frozen.apply(report)] += 1
+            patch_times.append((time.perf_counter() - start) * 1000.0)
+            start = time.perf_counter()
+            fresh = road.freeze()
+            refreeze_times.append((time.perf_counter() - start) * 1000.0)
+            violations += len(
+                snapshot_divergences(rnd, frozen, fresh, probes=probes)
+            )
+        patch_ms = statistics.median(patch_times)
+        refreeze_ms = statistics.median(refreeze_times)
+        speedup = refreeze_ms / patch_ms if patch_ms > 0 else float("inf")
+        speedups[label] = speedup
+        outcomes.update(burst_outcomes)
+        total_violations += violations
+        result.add_row(
+            workload=label,
+            patch_ms=patch_ms,
+            refreeze_ms=refreeze_ms,
+            speedup=speedup,
+            patched=burst_outcomes["patched"],
+            fallbacks=burst_outcomes["recompiled"],
+            violations=violations,
+        )
+
+    # Figure-16-shaped sweep: edge-weight bursts of growing size.
+    for count in update_counts:
+        def weight_burst(count=count):
+            reports = []
+            for _ in range(count):
+                u, v = edges[rnd.randrange(len(edges))]
+                factor = rnd.choice([0.5, 2.0])
+                reports.append(
+                    road.update_edge_distance(
+                        u, v, net.edge_distance(u, v) * factor
+                    )
+                )
+            return reports
+
+        run_burst_workload(f"edges={count}", weight_burst, trials)
+
+    # Figure-15-shaped workload: object churn (one insert + one delete).
+    def churn_burst():
+        u, v = edges[rnd.randrange(len(edges))]
+        insert = road.insert_object(
+            SpatialObject(
+                directory.objects.next_id(), (u, v),
+                rnd.uniform(0, net.edge_distance(u, v)),
+                {"type": rnd.choice(["a", "b"])},
+            )
+        )
+        victim = directory.objects.ids()[
+            rnd.randrange(len(directory.objects.ids()))
+        ]
+        return [insert, road.delete_object(victim)]
+
+    run_burst_workload("objects=2", churn_burst, churn_trials)
+
+    result.note(
+        f"patch outcomes across all bursts: {outcomes['patched']} patched, "
+        f"{outcomes['recompiled']} recompile fallbacks"
+    )
+    result.note(
+        "patch times are per burst (one apply per update); refreeze is the "
+        "single full freeze() the invalidate lifecycle pays after a burst"
+    )
+    result.note(
+        f"params: network={network} num_nodes={net.num_nodes} "
+        f"objects={num_objects} trials={trials} probes={probes} seed={seed}"
+    )
+    return result, speedups, outcomes, total_violations
+
+
+def test_frozen_maintenance_report(results_dir):
+    """The acceptance gate: zero violations, >=10x on single-edge bursts."""
+    from conftest import publish
+
+    result, speedups, outcomes, violations = run_maintenance_comparison()
+    assert violations == 0, f"patched snapshot diverged {violations} times"
+    assert outcomes["patched"] > 0, "no update was ever delta-patched"
+    assert speedups["edges=1"] >= MIN_PATCH_SPEEDUP, (
+        f"single-edge updates: {speedups['edges=1']:.1f}x median speedup is "
+        f"below the {MIN_PATCH_SPEEDUP:.0f}x bar"
+    )
+    publish(result, results_dir)
+
+
+def test_bench_single_patch(benchmark):
+    """Microbenchmark: one delta-patched edge update on CA."""
+    dataset = load_dataset("CA")
+    net = dataset.network.copy()
+    objects = make_objects(net, DEFAULT_OBJECTS, seed=0)
+    road = ROAD.build(net, levels=dataset_levels("CA"), fanout=4)
+    road.attach_objects(objects)
+    frozen = road.freeze()
+    edges = sorted((u, v) for u, v, _ in net.edges())
+    state = {"i": 0}
+
+    def update_and_patch():
+        u, v = edges[state["i"] % len(edges)]
+        state["i"] += 1
+        factor = 2.0 if state["i"] % 2 else 0.5
+        report = road.update_edge_distance(
+            u, v, net.edge_distance(u, v) * factor
+        )
+        frozen.apply(report)
+
+    benchmark.pedantic(update_and_patch, rounds=10, iterations=1)
+
+
+def main() -> int:
+    from conftest import publish_main
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    if smoke:
+        result, speedups, outcomes, violations = run_maintenance_comparison(
+            num_nodes=300, update_counts=(1, 2, 5), trials=5, churn_trials=4
+        )
+    else:
+        result, speedups, outcomes, violations = run_maintenance_comparison()
+    publish_main(
+        result, smoke=smoke,
+        smoke_note="smoke mode: 300-node replica, 5/4 trials — "
+                   "not comparable to full CA runs",
+    )
+    print(
+        f"single-edge speedup: {speedups['edges=1']:.1f}x "
+        f"(bar: {MIN_PATCH_SPEEDUP:.0f}x), violations: {violations}, "
+        f"patched/fallbacks: {outcomes['patched']}/{outcomes['recompiled']}"
+    )
+    if smoke:
+        return 0 if violations == 0 else 1  # report-only: no speedup bar
+    return (
+        0
+        if violations == 0 and speedups["edges=1"] >= MIN_PATCH_SPEEDUP
+        else 1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,12 +21,20 @@ from repro.core.frozen import FrozenRoad, FrozenRoadError, freeze_road
 from repro.core.serialize import load_road, save_road
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject
-from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery, ResultEntry
+from repro.queries.types import (
+    ANY,
+    AggregateKNNQuery,
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+    ResultEntry,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ANY",
+    "AggregateKNNQuery",
     "BuildReport",
     "FrozenRoad",
     "FrozenRoadError",

@@ -4,7 +4,11 @@ from repro.baselines.distance_index import DistanceIndexEngine
 from repro.baselines.engine import EngineError, SearchEngine
 from repro.baselines.euclidean import EuclideanEngine
 from repro.baselines.network_expansion import NetworkExpansionEngine
-from repro.baselines.road_adapter import ROAD_MODES, ROADEngine
+from repro.baselines.road_adapter import (
+    ROAD_MAINTENANCE_MODES,
+    ROAD_MODES,
+    ROADEngine,
+)
 
 #: Build order used across the evaluation figures.
 ALL_ENGINES = (
@@ -16,6 +20,7 @@ ALL_ENGINES = (
 
 __all__ = [
     "ALL_ENGINES",
+    "ROAD_MAINTENANCE_MODES",
     "ROAD_MODES",
     "DistanceIndexEngine",
     "EngineError",

@@ -10,17 +10,30 @@ Two serving modes are supported:
   reproducing the paper's I/O profile;
 * ``"frozen"`` — queries run against a compiled
   :class:`~repro.core.frozen.FrozenRoad` snapshot (zero pager traffic).
-  Maintenance operations invalidate the snapshot, which is lazily
-  re-frozen on the next query.
+
+In frozen mode, maintenance follows one of two lifecycles selected by
+``maintenance_mode``:
+
+* ``"patch"`` (default) — each update's
+  :class:`~repro.core.maintenance.MaintenanceReport` is delta-applied to
+  the live snapshot (:meth:`FrozenRoad.apply`): only the dirty CSR spans
+  are rewritten, falling back to a full recompile on structural changes.
+  Update cost scales with the perturbation, not the network.
+* ``"refreeze"`` — the pre-patch behaviour: updates invalidate the
+  snapshot, which is lazily re-frozen in full on the next query.
+
+``stats()`` surfaces the last report plus cumulative maintenance counters
+(patches applied, fallbacks, invalidations, freezes).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.engine import EngineError, SearchEngine
 from repro.core.framework import ROAD
 from repro.core.frozen import FrozenRoad
+from repro.core.maintenance import MaintenanceReport
 from repro.core.object_abstract import AbstractFactory, exact_abstract
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject
@@ -30,6 +43,9 @@ from repro.storage.pager import PageManager
 
 #: Valid serving modes for :class:`ROADEngine`.
 ROAD_MODES = ("charged", "frozen")
+
+#: Valid frozen-snapshot maintenance lifecycles.
+ROAD_MAINTENANCE_MODES = ("patch", "refreeze")
 
 
 class ROADEngine(SearchEngine):
@@ -50,13 +66,20 @@ class ROADEngine(SearchEngine):
         reduce_shortcuts: bool = True,
         abstract_factory: AbstractFactory = exact_abstract,
         mode: str = "charged",
+        maintenance_mode: str = "patch",
     ) -> None:
         if mode not in ROAD_MODES:
             raise EngineError(
                 f"mode must be one of {ROAD_MODES}, got {mode!r}"
             )
+        if maintenance_mode not in ROAD_MAINTENANCE_MODES:
+            raise EngineError(
+                f"maintenance_mode must be one of {ROAD_MAINTENANCE_MODES}, "
+                f"got {maintenance_mode!r}"
+            )
         super().__init__(network, pager)
         self.mode = mode
+        self.maintenance_mode = maintenance_mode
         self.road = self._timed(
             ROAD.build,
             network,
@@ -71,6 +94,14 @@ class ROADEngine(SearchEngine):
             self.road.attach_objects, objects, abstract_factory=abstract_factory
         )
         self._frozen: Optional[FrozenRoad] = None
+        self._last_report: Optional[MaintenanceReport] = None
+        self._maintenance_counters: Dict[str, int] = {
+            "updates": 0,           # maintenance calls seen by the engine
+            "patches_applied": 0,   # snapshot delta-patches that stuck
+            "patch_fallbacks": 0,   # patches that degraded to a recompile
+            "invalidations": 0,     # snapshots dropped (refreeze lifecycle)
+            "freezes": 0,           # full compiles (initial, lazy, fallback)
+        }
         if mode == "frozen":
             self._timed(self._refreeze)
 
@@ -79,6 +110,7 @@ class ROADEngine(SearchEngine):
     # ------------------------------------------------------------------
     def _refreeze(self) -> FrozenRoad:
         self._frozen = self.road.freeze()
+        self._maintenance_counters["freezes"] += 1
         return self._frozen
 
     def _serving(self):
@@ -89,12 +121,42 @@ class ROADEngine(SearchEngine):
 
     def invalidate_frozen(self) -> None:
         """Drop the snapshot after an update; re-frozen on next query."""
+        if self._frozen is not None:
+            self._maintenance_counters["invalidations"] += 1
         self._frozen = None
+
+    def _maintain(self, report: MaintenanceReport) -> MaintenanceReport:
+        """Reconcile the snapshot with one live update, per lifecycle."""
+        self._last_report = report
+        self._maintenance_counters["updates"] += 1
+        if self.mode != "frozen" or self._frozen is None:
+            return report
+        if self.maintenance_mode == "refreeze":
+            self.invalidate_frozen()
+            return report
+        outcome = self._frozen.apply(report, self.road)
+        if outcome == "patched":
+            self._maintenance_counters["patches_applied"] += 1
+        else:
+            self._maintenance_counters["patch_fallbacks"] += 1
+            self._maintenance_counters["freezes"] += 1
+        return report
 
     @property
     def frozen(self) -> Optional[FrozenRoad]:
-        """The current snapshot (None in charged mode or after updates)."""
+        """The current snapshot.
+
+        None in charged mode and, under the ``refreeze`` lifecycle, after
+        an update (until the next query lazily re-freezes).  Under the
+        default ``patch`` lifecycle the same snapshot object stays live
+        across updates — it is delta-patched, never dropped.
+        """
         return self._frozen
+
+    @property
+    def last_report(self) -> Optional[MaintenanceReport]:
+        """The report of the most recent maintenance operation."""
+        return self._last_report
 
     # ------------------------------------------------------------------
     # Queries
@@ -107,25 +169,69 @@ class ROADEngine(SearchEngine):
     ) -> List[ResultEntry]:
         return self._serving().range(node, radius, predicate)
 
+    def aggregate_knn(
+        self,
+        nodes: Sequence[int],
+        k: int,
+        agg: str = "sum",
+        predicate: Predicate = ANY,
+    ) -> List[ResultEntry]:
+        """Aggregate kNN in the configured serving mode."""
+        return self._serving().aggregate_knn(nodes, k, agg, predicate)
+
+    def execute(self, query) -> List[ResultEntry]:
+        """Dispatch a query object (kNN / range / aggregate kNN)."""
+        return self._serving().execute(query)
+
     def execute_many(self, queries: Sequence) -> List[List[ResultEntry]]:
         """Batch entry point: one call per workload, shared predicate caches."""
         return self._serving().execute_many(queries)
 
     # ------------------------------------------------------------------
-    # Maintenance (invalidates any frozen snapshot)
+    # Maintenance (patched into or invalidating any frozen snapshot)
     # ------------------------------------------------------------------
     def insert_object(self, obj: SpatialObject) -> None:
-        self.road.insert_object(obj)
-        self.invalidate_frozen()
+        self._maintain(self.road.insert_object(obj))
 
     def delete_object(self, object_id: int) -> SpatialObject:
-        removed = self.road.delete_object(object_id)
-        self.invalidate_frozen()
-        return removed
+        report = self._maintain(self.road.delete_object(object_id))
+        return report.obj
 
-    def update_edge_distance(self, u: int, v: int, distance: float) -> None:
-        self.road.update_edge_distance(u, v, distance)
-        self.invalidate_frozen()
+    def update_edge_distance(
+        self, u: int, v: int, distance: float
+    ) -> MaintenanceReport:
+        return self._maintain(self.road.update_edge_distance(u, v, distance))
+
+    def update_object_attrs(
+        self, object_id: int, attrs
+    ) -> MaintenanceReport:
+        return self._maintain(self.road.update_object_attrs(object_id, attrs))
+
+    def add_edge(
+        self, u: int, v: int, distance: float, *, coords=None
+    ) -> MaintenanceReport:
+        """Open a road segment, reconciling any frozen snapshot."""
+        return self._maintain(
+            self.road.add_edge(u, v, distance, coords=coords)
+        )
+
+    def remove_edge(self, u: int, v: int) -> MaintenanceReport:
+        """Close a road segment, reconciling any frozen snapshot."""
+        return self._maintain(self.road.remove_edge(u, v))
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Index shape plus the serving/maintenance lifecycle state."""
+        summary = self.road.stats()
+        summary.update(
+            mode=self.mode,
+            maintenance_mode=self.maintenance_mode,
+            maintenance=dict(self._maintenance_counters),
+            last_report=self._last_report,
+        )
+        return summary
 
     @property
     def index_size_bytes(self) -> int:

@@ -1,6 +1,6 @@
 """ROAD core: Rnet hierarchy, shortcuts, Route Overlay, Association Directory."""
 
-from repro.core.aggregate import AGGREGATES, aggregate_knn
+from repro.core.aggregate import AGGREGATES, aggregate_knn, aggregate_knn_generic
 from repro.core.association_directory import AssociationDirectory, DirectoryError
 from repro.core.framework import ROAD, BuildReport, DEFAULT_DIRECTORY, RoutedResult
 from repro.core.frozen import FrozenRoad, FrozenRoadError, freeze_road

@@ -68,13 +68,41 @@ def aggregate_knn(
     agg: str = "sum",
     predicate: Predicate = ANY,
     stats: Optional[SearchStats] = None,
+    abstracts=None,
 ) -> List[ResultEntry]:
     """The k objects minimising ``agg`` of distances from ``query_nodes``.
 
     Objects unreachable from some query node have that distance = ∞ and are
     excluded for ``sum``/``max`` (included for ``min`` when reachable from
     anyone).  Returns :class:`ResultEntry` rows whose ``distance`` is the
-    aggregate value, sorted ascending.
+    aggregate value, sorted ascending.  A shared
+    :class:`~repro.core.search.AbstractCache` (``abstracts``) lets batch
+    callers reuse Rnet-pruning lookups across expansions and queries.
+    """
+    return aggregate_knn_generic(
+        lambda node: iter_nearest_objects(
+            overlay, directory, node, predicate, stats, abstracts
+        ),
+        query_nodes,
+        k,
+        agg,
+    )
+
+
+def aggregate_knn_generic(
+    expand: Callable[[int], Iterator[Tuple[float, int]]],
+    query_nodes: Sequence[int],
+    k: int,
+    agg: str = "sum",
+) -> List[ResultEntry]:
+    """The lockstep-expansion core, agnostic of the serving path.
+
+    ``expand(node)`` must lazily yield ``(distance, object_id)`` in
+    non-descending distance — the charged
+    :func:`~repro.core.search.iter_nearest_objects` or the compiled
+    :meth:`~repro.core.frozen.FrozenRoad.iter_nearest_objects`.  Both
+    yield identical sequences, so both serving paths return identical
+    aggregate answers.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -85,12 +113,7 @@ def aggregate_knn(
     combine = AGGREGATES[agg]
     m = len(query_nodes)
 
-    expansions = [
-        _Expansion(
-            iter_nearest_objects(overlay, directory, node, predicate, stats)
-        )
-        for node in query_nodes
-    ]
+    expansions = [_Expansion(expand(node)) for node in query_nodes]
     partials: Dict[int, Dict[int, float]] = {}
     finalised: Dict[int, float] = {}
 

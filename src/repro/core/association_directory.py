@@ -185,6 +185,22 @@ class AssociationDirectory:
     # ------------------------------------------------------------------
     # Bulk export / teardown
     # ------------------------------------------------------------------
+    def peek_node_objects(self, node: int) -> List[Tuple[SpatialObject, float]]:
+        """A node's (object, δ) entries, uncharged.
+
+        The single-key counterpart of :meth:`export_entries`: bypasses the
+        buffer and counts no I/O, for maintenance-time snapshot patching
+        (:meth:`repro.core.frozen.FrozenRoad.apply_object_delta`).  Queries
+        must use :meth:`node_objects` and pay the descent.
+        """
+        entries = self._tree.peek(_node_key(node))
+        return list(entries) if entries else []
+
+    def peek_rnet_abstract(self, rnet_id: int) -> Optional[ObjectAbstract]:
+        """An Rnet's abstract (or None), uncharged — see
+        :meth:`peek_node_objects`."""
+        return self._tree.peek(_rnet_key(rnet_id))
+
     def export_entries(
         self,
     ) -> Tuple[

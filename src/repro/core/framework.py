@@ -36,10 +36,17 @@ from repro.core.rnet import RnetHierarchy
 from repro.core.route_overlay import RouteOverlay
 from repro.core.search import AbstractCache, SearchStats, knn_search, range_search
 from repro.core.shortcuts import ShortcutIndex, build_shortcuts
-from repro.graph.network import RoadNetwork
+from repro.graph.network import RoadNetwork, edge_key
 from repro.objects.model import ObjectSet, SpatialObject
 from repro.partition.hierarchy import Bisector, PartitionNode, build_partition_tree
-from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery, ResultEntry
+from repro.queries.types import (
+    ANY,
+    AggregateKNNQuery,
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+    ResultEntry,
+)
 from repro.storage.pager import PageManager
 
 DEFAULT_DIRECTORY = "objects"
@@ -193,15 +200,37 @@ class ROAD:
 
     def insert_object(
         self, obj: SpatialObject, *, directory: str = DEFAULT_DIRECTORY
-    ) -> None:
-        """Insert an object (Section 5.1; Route Overlay untouched)."""
+    ) -> MaintenanceReport:
+        """Insert an object (Section 5.1; Route Overlay untouched).
+
+        Returns a report identifying the touched node entries and the Rnet
+        chain whose abstracts changed — enough for
+        :meth:`repro.core.frozen.FrozenRoad.apply` to patch a snapshot.
+        """
         self.directory(directory).insert(obj)
+        return self._object_report("insert_object", obj)
 
     def delete_object(
         self, object_id: int, *, directory: str = DEFAULT_DIRECTORY
-    ) -> SpatialObject:
-        """Delete an object (Section 5.1)."""
-        return self.directory(directory).delete(object_id)
+    ) -> MaintenanceReport:
+        """Delete an object (Section 5.1).
+
+        Returns a report whose ``obj`` field carries the removed object.
+        """
+        removed = self.directory(directory).delete(object_id)
+        return self._object_report("delete_object", removed)
+
+    def _object_report(self, kind: str, obj: SpatialObject) -> MaintenanceReport:
+        u, v = obj.edge
+        leaf = self.hierarchy.leaf_of_edge(u, v)
+        chain = {rnet.rnet_id for rnet in self.hierarchy.ancestors(leaf.rnet_id)}
+        return MaintenanceReport(
+            kind=kind,
+            edge=edge_key(u, v),
+            dirty_nodes={u, v},
+            dirty_rnets=chain,
+            obj=obj,
+        )
 
     def update_object_attrs(
         self,
@@ -209,9 +238,15 @@ class ROAD:
         attrs: Dict[str, str],
         *,
         directory: str = DEFAULT_DIRECTORY,
-    ) -> SpatialObject:
-        """Update an object's attributes (Section 5.1)."""
-        return self.directory(directory).update_attrs(object_id, attrs)
+    ) -> MaintenanceReport:
+        """Update an object's attributes (Section 5.1).
+
+        Returns a report (kind ``update_object``, ``obj`` = the updated
+        object) so a patched snapshot can refresh the object's entries and
+        the Rnet chain's abstracts/masks.
+        """
+        updated = self.directory(directory).update_attrs(object_id, attrs)
+        return self._object_report("update_object", updated)
 
     # ------------------------------------------------------------------
     # Queries (Section 4)
@@ -253,12 +288,14 @@ class ROAD:
         *,
         directory: str = DEFAULT_DIRECTORY,
         stats: Optional[SearchStats] = None,
+        abstracts: Optional[AbstractCache] = None,
     ) -> List[ResultEntry]:
         """Aggregate kNN: objects minimising agg(distances from ``nodes``).
 
         An extension LDSQ (the paper's future work; cf. aggregate NN [19]):
         ``agg`` is ``"sum"``, ``"max"`` or ``"min"``.  The returned
-        ``distance`` fields carry the aggregate values.
+        ``distance`` fields carry the aggregate values.  ``abstracts``
+        shares one Rnet-pruning cache across expansions (batch callers).
         """
         from repro.core.aggregate import aggregate_knn as _aggregate
 
@@ -270,6 +307,7 @@ class ROAD:
             agg,
             predicate,
             stats,
+            abstracts,
         )
 
     def knn_routed(
@@ -321,12 +359,18 @@ class ROAD:
         return routed
 
     def execute(self, query, *, directory: str = DEFAULT_DIRECTORY) -> List[ResultEntry]:
-        """Run a :class:`KNNQuery` or :class:`RangeQuery` object."""
+        """Run a :class:`KNNQuery`, :class:`RangeQuery` or
+        :class:`AggregateKNNQuery` object."""
         if isinstance(query, KNNQuery):
             return self.knn(query.node, query.k, query.predicate, directory=directory)
         if isinstance(query, RangeQuery):
             return self.range(
                 query.node, query.radius, query.predicate, directory=directory
+            )
+        if isinstance(query, AggregateKNNQuery):
+            return self.aggregate_knn(
+                query.nodes, query.k, query.agg, query.predicate,
+                directory=directory,
             )
         raise TypeError(f"unsupported query type {type(query).__name__}")
 
@@ -349,7 +393,7 @@ class ROAD:
         caches: Dict[Predicate, AbstractCache] = {}
         results: List[List[ResultEntry]] = []
         for query in queries:
-            if not isinstance(query, (KNNQuery, RangeQuery)):
+            if not isinstance(query, (AggregateKNNQuery, KNNQuery, RangeQuery)):
                 raise TypeError(
                     f"unsupported query type {type(query).__name__}"
                 )
@@ -357,6 +401,14 @@ class ROAD:
             if cache is None:
                 cache = AbstractCache(assoc, query.predicate)
                 caches[query.predicate] = cache
+            if isinstance(query, AggregateKNNQuery):
+                results.append(
+                    self.aggregate_knn(
+                        query.nodes, query.k, query.agg, query.predicate,
+                        directory=directory, stats=stats, abstracts=cache,
+                    )
+                )
+                continue
             if isinstance(query, KNNQuery):
                 results.append(
                     knn_search(
@@ -378,7 +430,9 @@ class ROAD:
 
         The frozen snapshot serves :meth:`knn`/:meth:`range` byte-identical
         to the charged path with zero pager traffic.  It does not track
-        later maintenance — re-freeze after updates.
+        later maintenance automatically — feed each update's
+        :class:`MaintenanceReport` to :meth:`FrozenRoad.apply` to
+        delta-patch the snapshot, or re-freeze.
         """
         return FrozenRoad.from_road(self, directory=directory)
 

@@ -27,20 +27,38 @@ Because the compiled traversal replays the charged expansion push-for-push
 ``FrozenRoad`` returns *byte-identical* results to the charged path on the
 same snapshot — the equivalence suite asserts exactly that.
 
-A ``FrozenRoad`` is a point-in-time snapshot: object churn or network
-maintenance on the live :class:`~repro.core.framework.ROAD` does not flow
-through; re-freeze after updates (incremental freeze is a roadmap item).
+A ``FrozenRoad`` starts as a point-in-time snapshot, but it does not have
+to be thrown away on maintenance: :meth:`FrozenRoad.apply` consumes the
+:class:`~repro.core.maintenance.MaintenanceReport` of a live update and
+**delta-patches** the compiled arrays — rewriting only the CSR spans of
+the dirty Route Overlay entries (shortcut targets/weights, edge weights)
+and the object spans / abstract slots touched by object churn.  When the
+report shows a structural change (border promotion/demotion, edge
+addition/removal) or a span whose new contents cannot fit in place, the
+patcher falls back to a full in-place recompile — so an ``apply`` always
+leaves the snapshot byte-identical to a fresh ``freeze()``, at a cost
+that scales with the perturbation in the common case.
 """
 
 from __future__ import annotations
 
 import copy
 import heapq
+import weakref
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.aggregate import aggregate_knn_generic
 from repro.core.search import SearchStats
+from repro.core.shortcut_tree import ShortcutTree, ShortcutTreeEntry
 from repro.objects.model import SpatialObject
-from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery, ResultEntry
+from repro.queries.types import (
+    ANY,
+    AggregateKNNQuery,
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+    ResultEntry,
+)
 
 #: Heap items carry one signed code instead of a (kind, id) pair: nodes are
 #: their dense index (>= 0), objects are ``~object_id`` (< 0).  The heap
@@ -59,13 +77,44 @@ class FrozenRoadError(Exception):
     """Raised on queries against nodes missing from the frozen snapshot."""
 
 
+def _flatten_tree_entries(
+    roots: List[ShortcutTreeEntry],
+) -> Tuple[List[ShortcutTreeEntry], List[int]]:
+    """Flatten a shortcut tree the way the charged stack walk visits it.
+
+    Returns ``(entries, nexts)``: the entries in preorder with roots and
+    children reversed (matching ``stack.pop()``), and per entry the
+    *relative* index just past its subtree (the subtree-skip pointer).
+    This is the single source of the compiled layout contract — both the
+    full compile and the delta-patch planner consume it, so they can never
+    drift apart.
+    """
+    entries: List[ShortcutTreeEntry] = []
+    nexts: List[int] = []
+
+    def emit(entry: ShortcutTreeEntry) -> None:
+        i = len(entries)
+        entries.append(entry)
+        nexts.append(0)
+        # The charged walk pops a stack, so children run in reverse.
+        for child in reversed(entry.children):
+            emit(child)
+        nexts[i] = len(entries)
+
+    for root in reversed(roots):
+        emit(root)
+    return entries, nexts
+
+
 class FrozenRoad:
     """A read-only, fully in-memory compilation of one ROAD + directory.
 
     Construct via :meth:`FrozenRoad.from_road` or
     :meth:`repro.core.framework.ROAD.freeze`.  Queries mirror the facade:
-    :meth:`knn`, :meth:`range`, :meth:`iter_nearest_objects`,
-    :meth:`execute`, and the batch entry point :meth:`execute_many`.
+    :meth:`knn`, :meth:`range`, :meth:`aggregate_knn`,
+    :meth:`iter_nearest_objects`, :meth:`execute`, and the batch entry
+    point :meth:`execute_many`.  After live maintenance, :meth:`apply`
+    delta-patches the snapshot from the update's MaintenanceReport.
     """
 
     def __init__(
@@ -77,6 +126,21 @@ class FrozenRoad:
         directory_name: str = "objects",
     ) -> None:
         self.directory_name = directory_name
+        #: Weak reference to the live ROAD this snapshot was compiled from
+        #: (set by :meth:`from_road`); :meth:`apply` patches against it.
+        #: Weak so a snapshot never pins the O(network) charged structures
+        #: — a server that drops the ROAD reclaims them, and a later
+        #: no-road ``apply`` raises :class:`FrozenRoadError` instead.
+        self._source: Optional[weakref.ReferenceType] = None
+        self._compile(trees, node_entries, abstracts)
+
+    def _compile(
+        self,
+        trees: Dict[int, "ShortcutTree"],
+        node_entries: Dict[int, List[Tuple[SpatialObject, float]]],
+        abstracts: Dict[int, "ObjectAbstract"],
+    ) -> None:
+        """(Re)build every compiled array from a fresh export."""
         # --- node id space -------------------------------------------------
         self.node_ids: List[int] = sorted(trees)
         self._index: Dict[int, int] = {
@@ -114,29 +178,23 @@ class FrozenRoad:
                 )
             return slot
 
-        def emit(entry) -> None:
-            i = len(e_rnet)
-            e_rnet.append(rnet_slot(entry.rnet_id))
-            e_next.append(0)
-            for shortcut in entry.shortcuts:
-                sc_target.append(index[shortcut.target])
-                sc_weight.append(shortcut.distance)
-            for neighbour, weight in entry.edges:
-                ed_target.append(index[neighbour])
-                ed_weight.append(weight)
-            sc_span.append(len(sc_target))
-            ed_span.append(len(ed_target))
-            # The charged walk pops a stack, so children run in reverse.
-            for child in reversed(entry.children):
-                emit(child)
-            e_next[i] = len(e_rnet)
-
         for idx, node in enumerate(self.node_ids):
-            e_start[idx] = len(e_rnet)
+            base = len(e_rnet)
+            e_start[idx] = base
             tree = trees[node]
             if tree.roots:
-                for root in reversed(tree.roots):
-                    emit(root)
+                flat, nexts = _flatten_tree_entries(tree.roots)
+                for entry, nxt in zip(flat, nexts):
+                    e_rnet.append(rnet_slot(entry.rnet_id))
+                    e_next.append(base + nxt)
+                    for shortcut in entry.shortcuts:
+                        sc_target.append(index[shortcut.target])
+                        sc_weight.append(shortcut.distance)
+                    for neighbour, weight in entry.edges:
+                        ed_target.append(index[neighbour])
+                        ed_weight.append(weight)
+                    sc_span.append(len(sc_target))
+                    ed_span.append(len(ed_target))
             else:
                 for neighbour, weight in tree.local_edges:
                     local_target.append(index[neighbour])
@@ -149,22 +207,24 @@ class FrozenRoad:
         assert len(sc_span) == len(e_rnet) + 1
         assert len(ed_span) == len(e_rnet) + 1
 
-        # Tuples, not array('q'): CSR layout with pre-boxed elements, so
-        # hot-loop indexing returns existing objects instead of boxing a
+        # Plain lists, not array('q'): CSR layout with pre-boxed elements,
+        # so hot-loop indexing returns existing objects instead of boxing a
         # fresh int/float per access (a numpy/memoryview port would pick
-        # compactness instead).
-        self._entry_start = tuple(e_start)
-        self._entry_rnet = tuple(e_rnet)
-        self._entry_next = tuple(e_next)
-        self._sc_start = tuple(sc_span)
-        self._sc_target = tuple(sc_target)
-        self._sc_weight = tuple(sc_weight)
-        self._ed_start = tuple(ed_span)
-        self._ed_target = tuple(ed_target)
-        self._ed_weight = tuple(ed_weight)
-        self._local_start = tuple(local_start)
-        self._local_target = tuple(local_target)
-        self._local_weight = tuple(local_weight)
+        # compactness instead).  Lists rather than tuples so that
+        # :meth:`apply` can rewrite dirty spans in place; list indexing is
+        # just as fast in the query loop.
+        self._entry_start = e_start
+        self._entry_rnet = e_rnet
+        self._entry_next = e_next
+        self._sc_start = sc_span
+        self._sc_target = sc_target
+        self._sc_weight = sc_weight
+        self._ed_start = ed_span
+        self._ed_target = ed_target
+        self._ed_weight = ed_weight
+        self._local_start = local_start
+        self._local_target = local_target
+        self._local_weight = local_weight
 
         # --- object associations (per-node spans, stored order) ------------
         obj_start: List[int] = [0] * (n + 1)
@@ -177,9 +237,9 @@ class FrozenRoad:
                 obj_delta.append(delta)
                 obj_ref.append(obj)
             obj_start[idx + 1] = len(obj_id)
-        self._obj_start = tuple(obj_start)
-        self._obj_id = tuple(obj_id)
-        self._obj_delta = tuple(obj_delta)
+        self._obj_start = obj_start
+        self._obj_id = obj_id
+        self._obj_delta = obj_delta
         self._obj_ref = obj_ref
 
         # --- shared per-predicate caches -----------------------------------
@@ -200,7 +260,224 @@ class FrozenRoad:
         assoc = road.directory(directory)
         node_entries, abstracts = assoc.export_entries()
         trees = dict(road.overlay.iter_trees())
-        return cls(trees, node_entries, abstracts, directory_name=directory)
+        frozen = cls(trees, node_entries, abstracts, directory_name=directory)
+        frozen._source = weakref.ref(road)
+        return frozen
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance: delta-patch from MaintenanceReports
+    # ------------------------------------------------------------------
+    def apply(self, report, road=None) -> str:
+        """Patch the snapshot after one live update; returns the outcome.
+
+        ``report`` is the :class:`~repro.core.maintenance.MaintenanceReport`
+        of a maintenance call on the live ``road`` (defaults to the ROAD
+        this snapshot was frozen from).  Dirty Route Overlay entries have
+        their shortcut/edge spans rewritten in place; object churn goes
+        through :meth:`apply_object_delta`.  When the report is structural
+        (border promotions/demotions, edge addition/removal) or a new span
+        cannot fit in place, the whole snapshot is recompiled — still in
+        place, so existing references keep serving.
+
+        Returns ``"patched"`` or ``"recompiled"``; either way the snapshot
+        is byte-identical to a fresh ``road.freeze()`` afterwards.
+
+        Concurrency caveat: patching mutates the arrays a running
+        traversal indexes, so finish (or drop) any in-flight
+        :meth:`iter_nearest_objects` iterator before calling ``apply`` —
+        a paused iterator resumed across a patch may mix pre- and
+        post-update state or raise.  Completed queries and future queries
+        are unaffected; a serving loop applies updates between batches.
+        """
+        road = self._require_source(road)
+        if report.kind in ("insert_object", "delete_object", "update_object"):
+            return self.apply_object_delta(report, road)
+        if report.structural:
+            self._recompile(road)
+            return "recompiled"
+        patches = []
+        for node in sorted(report.dirty_nodes):
+            idx = self._index.get(node)
+            if idx is None:
+                self._recompile(road)
+                return "recompiled"
+            # Read back (uncharged) the tree refresh_nodes just stored —
+            # the overlay already rebuilt it during the live update.
+            tree = road.overlay.stored_tree(node)
+            patch = self._plan_tree_patch(idx, tree)
+            if patch is None:  # span growth/shrink or reshaped tree
+                self._recompile(road)
+                return "recompiled"
+            patches.append(patch)
+        for patch in patches:
+            self._write_tree_patch(patch)
+        if report.edge is not None:
+            # Objects hosted on the edge were rescaled by the framework;
+            # refresh their (object, δ) spans at both endpoints.
+            self._rebuild_node_objects(
+                road, [n for n in report.edge if n in self._index]
+            )
+        return "patched"
+
+    def apply_object_delta(self, report, road=None) -> str:
+        """Patch the snapshot after one object insertion or deletion.
+
+        Rewrites the object spans of the host edge's endpoints and the
+        abstract slots (plus compiled per-predicate masks) of the touched
+        Rnet chain; the shortcut-tree arrays are untouched, mirroring the
+        Section 5.1 property that object churn never reaches the Route
+        Overlay.
+        """
+        road = self._require_source(road)
+        obj = report.obj
+        if obj is None:
+            raise FrozenRoadError(
+                f"{report.kind} report carries no object to patch from"
+            )
+        if any(node not in self._index for node in obj.edge):
+            self._recompile(road)
+            return "recompiled"
+        self._rebuild_node_objects(road, list(obj.edge))
+        self._refresh_abstracts(road, report.dirty_rnets)
+        return "patched"
+
+    def _require_source(self, road):
+        if road is None:
+            road = self._source() if self._source is not None else None
+        if road is None:
+            raise FrozenRoadError(
+                "no live source ROAD: freeze via ROAD.freeze()/from_road "
+                "(and keep the road alive) or pass it to apply()"
+            )
+        # An explicitly passed road becomes the source for future applies,
+        # whatever the outcome — source tracking must not depend on
+        # whether this particular update patched or recompiled.
+        self._source = weakref.ref(road)
+        return road
+
+    def _recompile(self, road) -> None:
+        """Full fallback: rebuild every array from a fresh export, in place."""
+        assoc = road.directory(self.directory_name)
+        node_entries, abstracts = assoc.export_entries()
+        trees = dict(road.overlay.iter_trees())
+        self._compile(trees, node_entries, abstracts)
+        self._source = weakref.ref(road)
+
+    def _plan_tree_patch(self, idx: int, tree: ShortcutTree):
+        """Flatten one node's fresh tree and check it fits its old spans.
+
+        Returns a write-plan ``(idx, sc_values, ed_values, local_values)``
+        when the fresh tree has the same shape as the compiled one — same
+        entry count, Rnet sequence, subtree-skip pointers, and span sizes —
+        so only targets and weights need rewriting.  Returns None when the
+        shape changed (the caller falls back to a recompile).  Uses the
+        same :func:`_flatten_tree_entries` as :meth:`_compile`, so planner
+        and compiler read one layout contract.
+        """
+        index = self._index
+        e0, e1 = self._entry_start[idx], self._entry_start[idx + 1]
+        local_values: List[Tuple[int, float]] = []
+        flat: List[ShortcutTreeEntry] = []
+        nexts: List[int] = []
+        if tree.roots:
+            flat, nexts = _flatten_tree_entries(tree.roots)
+        else:
+            try:
+                local_values = [(index[n], w) for n, w in tree.local_edges]
+            except KeyError:  # neighbour outside the compiled node space
+                return None
+
+        # --- shape check against the compiled spans ------------------------
+        if len(flat) != e1 - e0:
+            return None
+        l0, l1 = self._local_start[idx], self._local_start[idx + 1]
+        if len(local_values) != l1 - l0:
+            return None
+        sc_values: List[List[Tuple[int, float]]] = []
+        ed_values: List[List[Tuple[int, float]]] = []
+        for i, (entry, nxt) in enumerate(zip(flat, nexts)):
+            slot = self._rnet_index.get(entry.rnet_id)
+            if slot is None or self._entry_rnet[e0 + i] != slot:
+                return None
+            if self._entry_next[e0 + i] != e0 + nxt:
+                return None
+            try:
+                sc = [(index[s.target], s.distance) for s in entry.shortcuts]
+                ed = [(index[n], w) for n, w in entry.edges]
+            except KeyError:  # target outside the compiled node space
+                return None
+            if len(sc) != self._sc_start[e0 + i + 1] - self._sc_start[e0 + i]:
+                return None
+            if len(ed) != self._ed_start[e0 + i + 1] - self._ed_start[e0 + i]:
+                return None
+            sc_values.append(sc)
+            ed_values.append(ed)
+        return idx, sc_values, ed_values, local_values
+
+    def _write_tree_patch(self, patch) -> None:
+        """Rewrite the targets/weights of one node's spans in place."""
+        idx, sc_values, ed_values, local_values = patch
+        e0 = self._entry_start[idx]
+        sc_target, sc_weight = self._sc_target, self._sc_weight
+        ed_target, ed_weight = self._ed_target, self._ed_weight
+        for i, values in enumerate(sc_values):
+            base = self._sc_start[e0 + i]
+            for j, (target, weight) in enumerate(values):
+                sc_target[base + j] = target
+                sc_weight[base + j] = weight
+        for i, values in enumerate(ed_values):
+            base = self._ed_start[e0 + i]
+            for j, (target, weight) in enumerate(values):
+                ed_target[base + j] = target
+                ed_weight[base + j] = weight
+        base = self._local_start[idx]
+        for j, (target, weight) in enumerate(local_values):
+            self._local_target[base + j] = target
+            self._local_weight[base + j] = weight
+
+    def _rebuild_node_objects(self, road, nodes: Sequence[int]) -> None:
+        """Replace the object spans of ``nodes`` from the live directory.
+
+        Handles growth, shrink and reordering by splicing the object
+        arrays (and every cached per-predicate object mask) and shifting
+        the following span starts.  A size-changing splice costs
+        O(object slots + node count) — a single C-level memmove plus one
+        integer-add pass over the span starts, tiny constants next to a
+        full recompile's tree rebuild — while the shortcut-tree arrays
+        (the O(network·levels) bulk of the snapshot) are never touched.
+        """
+        assoc = road.directory(self.directory_name)
+        obj_start = self._obj_start
+        for node in sorted(set(nodes)):
+            idx = self._index[node]
+            a, b = obj_start[idx], obj_start[idx + 1]
+            entries = assoc.peek_node_objects(node)
+            self._obj_id[a:b] = [o.object_id for o, _ in entries]
+            self._obj_delta[a:b] = [delta for _, delta in entries]
+            self._obj_ref[a:b] = [o for o, _ in entries]
+            for predicate, mask in self._obj_masks.items():
+                mask[a:b] = bytes(
+                    1 if predicate.matches(o) else 0 for o, _ in entries
+                )
+            shift = len(entries) - (b - a)
+            if shift:
+                for i in range(idx + 1, len(obj_start)):
+                    obj_start[i] += shift
+
+    def _refresh_abstracts(self, road, rnet_ids) -> None:
+        """Re-snapshot the abstracts of ``rnet_ids`` + their mask slots."""
+        assoc = road.directory(self.directory_name)
+        for rnet_id in sorted(rnet_ids):
+            slot = self._rnet_index.get(rnet_id)
+            if slot is None:  # never referenced by any compiled entry
+                continue
+            abstract = assoc.peek_rnet_abstract(rnet_id)
+            snapshot = copy.deepcopy(abstract) if abstract is not None else None
+            self._abstracts[slot] = snapshot
+            for predicate, mask in self._rnet_masks.items():
+                mask[slot] = (
+                    snapshot is not None and snapshot.may_contain(predicate)
+                )
 
     # ------------------------------------------------------------------
     # Predicate compilation (the shared cache of the batch layer)
@@ -255,12 +532,38 @@ class FrozenRoad:
             raise ValueError(f"radius must be >= 0, got {radius}")
         return self._search(node, predicate, k=None, radius=radius, stats=stats)
 
+    def aggregate_knn(
+        self,
+        nodes: Sequence[int],
+        k: int,
+        agg: str = "sum",
+        predicate: Predicate = ANY,
+        stats: Optional[SearchStats] = None,
+    ) -> List[ResultEntry]:
+        """Aggregate kNN on the compiled arrays (zero pager traffic).
+
+        Same lockstep-expansion algorithm as the charged
+        :func:`repro.core.aggregate.aggregate_knn`, fed by this snapshot's
+        :meth:`iter_nearest_objects`; identical answers by construction.
+        """
+        return aggregate_knn_generic(
+            lambda node: self.iter_nearest_objects(node, predicate, stats),
+            list(nodes),
+            k,
+            agg,
+        )
+
     def execute(self, query) -> List[ResultEntry]:
-        """Run a :class:`KNNQuery` or :class:`RangeQuery` object."""
+        """Run a :class:`KNNQuery`, :class:`RangeQuery` or
+        :class:`AggregateKNNQuery` object."""
         if isinstance(query, KNNQuery):
             return self.knn(query.node, query.k, query.predicate)
         if isinstance(query, RangeQuery):
             return self.range(query.node, query.radius, query.predicate)
+        if isinstance(query, AggregateKNNQuery):
+            return self.aggregate_knn(
+                query.nodes, query.k, query.agg, query.predicate
+            )
         raise TypeError(f"unsupported query type {type(query).__name__}")
 
     def execute_many(self, queries: Sequence) -> List[List[ResultEntry]]:

@@ -31,6 +31,7 @@ from repro.core.shortcuts import (
     compute_rnet_shortcuts,
     _leaf_adjacency,
 )
+from repro.objects.model import SpatialObject
 
 _REL_TOL = 1e-9
 
@@ -41,8 +42,21 @@ class MaintenanceError(Exception):
 
 @dataclass
 class MaintenanceReport:
-    """What one update did — the quantities Figures 15/16 measure."""
+    """What one update did — the quantities Figures 15/16 measure.
 
+    Besides the counters, a report carries the *identities* of everything
+    the update touched: the Route Overlay entries rebuilt
+    (``dirty_nodes``), the Rnets whose shortcut sets changed
+    (``dirty_rnets``), and — for object churn — the object and the Rnet
+    chain whose abstracts changed.  Those identities are what lets a
+    compiled snapshot (:meth:`repro.core.frozen.FrozenRoad.apply`) patch
+    only the affected CSR spans instead of recompiling the whole network.
+    """
+
+    #: What happened: ``edge_distance`` / ``add_edge`` / ``remove_edge``
+    #: for network maintenance, ``insert_object`` / ``delete_object`` /
+    #: ``update_object`` for directory maintenance (Section 5.1).
+    kind: str = "edge_distance"
     filtered_rnets: int = 0      # Rnets whose shortcuts were filter-checked
     refreshed_rnets: int = 0     # Rnets whose shortcut sets were recomputed
     changed_rnets: int = 0       # Rnets whose shortcut distances changed
@@ -50,6 +64,28 @@ class MaintenanceReport:
     levels_touched: int = 0      # hierarchy levels the update propagated to
     promoted_borders: List[int] = field(default_factory=list)
     demoted_borders: List[int] = field(default_factory=list)
+    #: The edge the update concerns (canonical key), when it has one.
+    edge: Optional[EdgeKey] = None
+    #: Identities of the Route Overlay entries rebuilt by this update.
+    dirty_nodes: Set[int] = field(default_factory=set)
+    #: Identities of the Rnets whose shortcut sets (network updates) or
+    #: object abstracts (object updates) changed.
+    dirty_rnets: Set[int] = field(default_factory=set)
+    #: The object inserted/removed, for object-churn reports.
+    obj: Optional[SpatialObject] = None
+
+    @property
+    def structural(self) -> bool:
+        """True when the update changed border sets or network structure.
+
+        Structural updates invalidate the shape of compiled shortcut-tree
+        spans, so a snapshot patcher must fall back to a full recompile.
+        """
+        return (
+            self.kind in ("add_edge", "remove_edge")
+            or bool(self.promoted_borders)
+            or bool(self.demoted_borders)
+        )
 
 
 def change_edge_distance(
@@ -64,13 +100,14 @@ def change_edge_distance(
     """Apply an edge-distance change with filtering-and-refreshing."""
     if new_distance <= 0:
         raise MaintenanceError("edge distance must stay positive")
-    report = MaintenanceReport()
+    report = MaintenanceReport(kind="edge_distance", edge=edge_key(u, v))
     old_distance = network.update_edge(u, v, new_distance)
     leaf = hierarchy.leaf_of_edge(u, v)
     if math.isclose(old_distance, new_distance, rel_tol=_REL_TOL):
         # The physical edge record still changed representation-wise.
         overlay.refresh_nodes([u, v])
         report.refreshed_tree_nodes = 2
+        report.dirty_nodes = {u, v}
         return report
 
     dirty_nodes: Set[int] = {u, v}
@@ -97,6 +134,7 @@ def change_edge_distance(
             report.refreshed_rnets += 1
         if changed:
             report.changed_rnets += 1
+            report.dirty_rnets.add(rnet.rnet_id)
             dirty_nodes |= rnet.border
         child_changed = changed
         if not changed:
@@ -104,6 +142,7 @@ def change_edge_distance(
 
     overlay.refresh_nodes(dirty_nodes)
     report.refreshed_tree_nodes = len(dirty_nodes)
+    report.dirty_nodes = dirty_nodes
     return report
 
 
@@ -125,7 +164,7 @@ def add_edge(
     endpoint from a different Rnet is promoted to border node and receives
     fresh shortcuts.
     """
-    report = MaintenanceReport()
+    report = MaintenanceReport(kind="add_edge", edge=edge_key(u, v))
     for node in (u, v):
         if not network.has_node(node):
             if coords is None or node not in coords:
@@ -152,6 +191,7 @@ def add_edge(
                 dirty |= rnet.border
     overlay.refresh_nodes(dirty)
     report.refreshed_tree_nodes = len(dirty)
+    report.dirty_nodes = dirty
     return report
 
 
@@ -168,7 +208,7 @@ def remove_edge(
     Border nodes whose external edges disappear are demoted (Fig 12(b):
     ``n_g`` after deleting ``(n_f, n_g)``).
     """
-    report = MaintenanceReport()
+    report = MaintenanceReport(kind="remove_edge", edge=edge_key(u, v))
     border_before = _border_snapshot(hierarchy, {u, v})
     network.remove_edge(u, v)
     hierarchy.remove_edge(u, v)
@@ -182,6 +222,7 @@ def remove_edge(
             dirty.add(node)
     overlay.refresh_nodes(n for n in dirty if network.has_node(n))
     report.refreshed_tree_nodes = len(dirty)
+    report.dirty_nodes = {n for n in dirty if network.has_node(n)}
     return report
 
 
@@ -291,6 +332,7 @@ def _refresh_around_nodes(
         levels.add(rnet.level)
         if changed:
             report.changed_rnets += 1
+            report.dirty_rnets.add(rnet.rnet_id)
             dirty |= rnet.border
     report.levels_touched += len(levels)
     return dirty

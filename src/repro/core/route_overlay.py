@@ -176,6 +176,22 @@ class RouteOverlay:
                 continue  # overflow continuation pages carry no trees
             yield from block.trees.items()
 
+    def stored_tree(self, node: int) -> ShortcutTree:
+        """One node's stored shortcut tree, uncharged.
+
+        The single-node counterpart of :meth:`iter_trees`: bypasses the
+        directory descent and the buffer, for maintenance-time compile
+        consumers (:meth:`repro.core.frozen.FrozenRoad.apply`) that read
+        back the trees :meth:`refresh_nodes` just stored.  Must not be
+        used in query processing — queries go through
+        :meth:`shortcut_tree` and pay the simulated I/O.
+        """
+        page_id = self._node_page.get(node)
+        if page_id is None:
+            raise RouteOverlayError(f"node {node} not in Route Overlay")
+        block: _TreeBlock = self._pager.peek(page_id).payload
+        return block.trees[node]
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------

@@ -234,19 +234,23 @@ def iter_nearest_objects(
     query_node: int,
     predicate: Predicate = ANY,
     stats: Optional[SearchStats] = None,
+    abstracts: Optional[AbstractCache] = None,
 ):
     """Lazily yield matching objects in non-descending network distance.
 
     The incremental form of kNNSearch: the expansion advances only as far
     as the consumer pulls.  Used by aggregate queries
-    (:mod:`repro.core.aggregate`) that interleave several expansions.
+    (:mod:`repro.core.aggregate`) that interleave several expansions — a
+    shared :class:`AbstractCache` lets them reuse Rnet-pruning decisions
+    across expansions (and, via batch callers, across queries).
     """
     stats = stats if stats is not None else SearchStats()
     frontier = _Frontier()
     frontier.push_node(query_node, 0.0)
     visited_nodes: Set[int] = set()
     visited_objects: Set[int] = set()
-    abstracts = AbstractCache(directory, predicate)
+    if abstracts is None:
+        abstracts = AbstractCache(directory, predicate)
 
     while frontier:
         distance, is_object, item, _ = frontier.pop()

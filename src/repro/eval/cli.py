@@ -16,7 +16,7 @@ import os
 import sys
 from typing import Callable, Dict
 
-from repro.baselines import ROAD_MODES
+from repro.baselines import ROAD_MAINTENANCE_MODES, ROAD_MODES
 from repro.eval import ablations, experiments
 from repro.eval.reporting import ExperimentResult
 
@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="ROAD serving mode: charged disk path (paper I/O model) or "
         "frozen in-memory fast path (sets REPRO_ENGINE)",
     )
+    parser.add_argument(
+        "--maintenance",
+        choices=ROAD_MAINTENANCE_MODES,
+        help="frozen-snapshot maintenance lifecycle: delta-patch from "
+        "MaintenanceReports or full re-freeze (sets REPRO_MAINTENANCE)",
+    )
     return parser
 
 
@@ -85,6 +91,8 @@ def main(argv=None) -> int:
         os.environ["REPRO_SCALE"] = args.scale
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine
+    if args.maintenance is not None:
+        os.environ["REPRO_MAINTENANCE"] = args.maintenance
 
     if args.experiment == "list":
         for name in REGISTRY:

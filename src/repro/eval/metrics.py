@@ -94,3 +94,60 @@ def time_call(fn: Callable, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def snapshot_divergences(
+    rnd,
+    patched,
+    fresh,
+    *,
+    probes: int = 3,
+    k: int = 5,
+    max_radius: float = 30.0,
+) -> List[str]:
+    """Probe two FrozenRoad snapshots for byte-identity; return divergences.
+
+    The single definition of the incremental-freeze equivalence contract —
+    a patched snapshot must match a fresh ``freeze()`` on results *and*
+    SearchStats, including predicate-filtered queries (the patched mask /
+    abstract state) and aggregate queries (the patched incremental
+    iterator).  The patch property suite asserts the returned list is
+    empty; the maintenance bench counts its length as violations, so the
+    two can never enforce different contracts.
+    """
+    from repro.core.search import SearchStats
+    from repro.queries.types import Predicate
+
+    # A predicate matching at least one snapshotted object, if any carries
+    # attributes — exercises the patched _rnet/_obj masks and abstracts.
+    predicate = None
+    for obj in getattr(patched, "_obj_ref", []):
+        if obj.attrs:
+            key, value = sorted(obj.attrs.items())[0]
+            predicate = Predicate.of(**{key: value})
+            break
+
+    divergences: List[str] = []
+    for _ in range(probes):
+        node = patched.node_ids[rnd.randrange(patched.num_nodes)]
+        s_patched, s_fresh = SearchStats(), SearchStats()
+        got = patched.knn(node, k, stats=s_patched)
+        want = fresh.knn(node, k, stats=s_fresh)
+        if got != want:
+            divergences.append(f"knn({node}, {k}): {got} != {want}")
+        if s_patched != s_fresh:
+            divergences.append(
+                f"knn({node}, {k}) stats: {s_patched} != {s_fresh}"
+            )
+        radius = rnd.uniform(0.0, max_radius)
+        if patched.range(node, radius) != fresh.range(node, radius):
+            divergences.append(f"range({node}, {radius:.3f}) diverged")
+        if predicate is not None:
+            if patched.knn(node, k, predicate) != fresh.knn(node, k, predicate):
+                divergences.append(f"knn({node}, {k}, {predicate}) diverged")
+        other = patched.node_ids[rnd.randrange(patched.num_nodes)]
+        if patched.aggregate_knn([node, other], k) != fresh.aggregate_knn(
+            [node, other], k
+        ):
+            divergences.append(f"aggregate_knn([{node}, {other}]) diverged")
+    return divergences

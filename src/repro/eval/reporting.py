@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -59,6 +61,32 @@ class ExperimentResult:
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{self.experiment_id}.txt"
         path.write_text(self.render() + "\n")
+        return path
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (the ``BENCH_*.json`` artifact payload)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def save_json(self, directory: Union[str, Path]) -> Path:
+        """Write ``BENCH_<id>.json`` under ``directory``; return the path.
+
+        CI uploads these as artifacts so the perf trajectory of every
+        tracked benchmark accumulates run over run.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = self.to_dict()
+        payload["generated_at"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+        path = directory / f"BENCH_{self.experiment_id}.json"
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
         return path
 
 

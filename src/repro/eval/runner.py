@@ -9,6 +9,7 @@ from repro.baselines import (
     DistanceIndexEngine,
     EuclideanEngine,
     NetworkExpansionEngine,
+    ROAD_MAINTENANCE_MODES,
     ROAD_MODES,
     ROADEngine,
     SearchEngine,
@@ -30,6 +31,19 @@ def road_mode() -> str:
     if mode not in ROAD_MODES:
         raise ValueError(
             f"REPRO_ENGINE must be one of {ROAD_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def road_maintenance() -> str:
+    """The frozen-snapshot maintenance lifecycle: ``patch`` (delta-apply
+    MaintenanceReports, default) or ``refreeze`` (invalidate + lazy full
+    re-freeze); REPRO_MAINTENANCE overrides."""
+    mode = os.environ.get("REPRO_MAINTENANCE", "patch").lower()
+    if mode not in ROAD_MAINTENANCE_MODES:
+        raise ValueError(
+            f"REPRO_MAINTENANCE must be one of {ROAD_MAINTENANCE_MODES}, "
+            f"got {mode!r}"
         )
     return mode
 
@@ -87,6 +101,7 @@ def build_engine(
             levels=road_levels if road_levels is not None else 4,
             fanout=road_fanout,
             mode=road_mode_override if road_mode_override else road_mode(),
+            maintenance_mode=road_maintenance(),
         )
     raise KeyError(f"unknown engine {name!r}")
 

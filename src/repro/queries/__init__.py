@@ -1,7 +1,9 @@
 """LDSQ query types and workload generators."""
 
 from repro.queries.types import (
+    AGGREGATE_FUNCTIONS,
     ANY,
+    AggregateKNNQuery,
     KNNQuery,
     Predicate,
     RangeQuery,
@@ -16,7 +18,9 @@ from repro.queries.workload import (
 )
 
 __all__ = [
+    "AGGREGATE_FUNCTIONS",
     "ANY",
+    "AggregateKNNQuery",
     "KNNQuery",
     "Predicate",
     "RangeQuery",

@@ -86,6 +86,38 @@ class RangeQuery:
             raise ValueError(f"radius must be >= 0, got {self.radius}")
 
 
+#: Aggregate functions an :class:`AggregateKNNQuery` may request (the
+#: callables live in :data:`repro.core.aggregate.AGGREGATES`).
+AGGREGATE_FUNCTIONS: Tuple[str, ...] = ("sum", "max", "min")
+
+
+@dataclass(frozen=True)
+class AggregateKNNQuery:
+    """Aggregate kNN LDSQ issued at several network nodes at once.
+
+    The k objects minimising ``agg`` (``"sum"``, ``"max"`` or ``"min"``)
+    of their network distances from ``nodes`` — a group of friends picking
+    a restaurant, a fleet picking a depot.  Result ``distance`` fields
+    carry the aggregate values.
+    """
+
+    nodes: Tuple[int, ...]
+    k: int
+    agg: str = "sum"
+    predicate: Predicate = ANY
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not self.nodes:
+            raise ValueError("need at least one query node")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.agg not in AGGREGATE_FUNCTIONS:
+            raise ValueError(
+                f"agg must be one of {AGGREGATE_FUNCTIONS}, got {self.agg!r}"
+            )
+
+
 @dataclass(frozen=True)
 class ResultEntry:
     """One answer object with its exact network distance from the query."""

@@ -155,6 +155,24 @@ class BPlusTree:
             return _MISSING
         return leaf.values[idx]
 
+    def peek(self, key: int, default: Any = None) -> Any:
+        """Uncharged lookup: bypasses the buffer and counts no I/O.
+
+        The single-key counterpart of :meth:`items`'s bulk-export
+        semantics, built on :meth:`PageManager.peek` — for maintenance-time
+        compile/patch consumers, never for query processing (queries go
+        through :meth:`get` and pay the descent).
+        """
+        page = self._pager.peek(self._root_id)
+        while not page.payload.is_leaf:
+            node: _InternalNode = page.payload
+            page = self._pager.peek(
+                node.children[_child_index(node.keys, key)]
+            )
+        leaf: _LeafNode = page.payload
+        idx = _find(leaf.keys, key)
+        return default if idx is None else leaf.values[idx]
+
     def insert(self, key: int, value: Any, size: Optional[int] = None) -> None:
         """Insert or replace the value under ``key``.
 

@@ -249,6 +249,19 @@ class PageManager:
             if slot.live and (kind is None or slot.page.kind == kind):
                 yield slot.page
 
+    def peek(self, page_id: int) -> Page:
+        """One page, uncharged: bypasses the buffer and counts no I/O.
+
+        The single-page counterpart of :meth:`iter_pages`, for
+        maintenance-time bulk consumers (snapshot compilation/patching)
+        that must not disturb the buffer or the counters.  Never use it in
+        query processing.
+        """
+        slot = self._disk.get(page_id)
+        if slot is None or not slot.live:
+            raise PageNotFoundError(f"{self.name}: no page {page_id}")
+        return slot.page
+
     def page_counts_by_kind(self) -> Dict[str, int]:
         """Histogram of live pages per kind (route-overlay, ad, rtree, ...)."""
         counts: Dict[str, int] = {}

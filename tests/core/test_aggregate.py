@@ -18,6 +18,14 @@ from tests.oracle import assert_same_result
 AGGS = {"sum": sum, "max": max, "min": min}
 
 
+def test_aggregate_registries_agree():
+    """queries.types can't import core, so pin the two registries here."""
+    from repro.core.aggregate import AGGREGATES
+    from repro.queries.types import AGGREGATE_FUNCTIONS
+
+    assert tuple(AGGREGATES) == AGGREGATE_FUNCTIONS
+
+
 def brute_aggregate(network, objects, query_nodes, k, agg, predicate=None):
     """Oracle: full Dijkstra from every query node."""
     combine = AGGS[agg]
@@ -154,6 +162,9 @@ def test_aggregate_property(seed, agg):
     ]
     k = rnd.randint(1, 4)
     got = road.aggregate_knn(query_nodes, k, agg)
+    # The compiled path replays the charged expansions push-for-push, so
+    # aggregate answers are byte-identical (not merely tie-equivalent).
+    assert road.freeze().aggregate_knn(query_nodes, k, agg) == got
     expected = brute_aggregate(network, objects, query_nodes, k, agg)
     # Tie-tolerant: equal aggregate values may cut differently at the
     # k-boundary (the termination test stops at the first k certainties).

@@ -9,7 +9,13 @@ from repro.core.frozen import FrozenRoad, FrozenRoadError, freeze_road
 from repro.core.search import SearchStats, iter_nearest_objects
 from repro.objects.model import SpatialObject
 from repro.objects.placement import place_uniform
-from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery
+from repro.queries.types import (
+    ANY,
+    AggregateKNNQuery,
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+)
 from repro.queries.workload import mixed_workload
 
 
@@ -162,9 +168,12 @@ class TestFrozenEngineMode:
             assert frozen.knn(node, 3) == charged.knn(node, 3)
             assert frozen.range(node, 5.0) == charged.range(node, 5.0)
 
-    def test_maintenance_invalidates_snapshot(self, medium_grid):
+    def test_refreeze_mode_invalidates_snapshot(self, medium_grid):
         objects = place_uniform(medium_grid, 12, seed=4)
-        engine = ROADEngine(medium_grid.copy(), objects, levels=2, mode="frozen")
+        engine = ROADEngine(
+            medium_grid.copy(), objects, levels=2, mode="frozen",
+            maintenance_mode="refreeze",
+        )
         assert engine.frozen is not None
         u, v, d = next(iter(engine.network.edges()))
         engine.update_edge_distance(u, v, d * 3)
@@ -172,6 +181,36 @@ class TestFrozenEngineMode:
         result = engine.knn(0, 2)  # lazily re-frozen
         assert engine.frozen is not None
         assert result == engine.road.knn(0, 2)
+        assert engine.stats()["maintenance"]["invalidations"] == 1
+
+    def test_patch_mode_keeps_snapshot_current(self, medium_grid):
+        objects = place_uniform(medium_grid, 12, seed=4)
+        engine = ROADEngine(medium_grid.copy(), objects, levels=2, mode="frozen")
+        snapshot = engine.frozen
+        assert snapshot is not None
+        u, v, d = next(iter(engine.network.edges()))
+        engine.update_edge_distance(u, v, d * 3)
+        assert engine.frozen is snapshot  # patched in place, never dropped
+        assert engine.knn(0, 3) == engine.road.knn(0, 3)
+        counters = engine.stats()["maintenance"]
+        assert counters["updates"] == 1
+        assert counters["patches_applied"] + counters["patch_fallbacks"] == 1
+
+    def test_stats_surface_last_report(self, medium_grid):
+        objects = place_uniform(medium_grid, 12, seed=4)
+        engine = ROADEngine(medium_grid.copy(), objects, levels=2, mode="frozen")
+        assert engine.stats()["last_report"] is None
+        new_id = engine.objects.next_id()
+        u, v, _ = next(iter(engine.network.edges()))
+        engine.insert_object(SpatialObject(new_id, (u, v), 0.0))
+        report = engine.stats()["last_report"]
+        assert report is not None and report.kind == "insert_object"
+        assert report.obj.object_id == new_id
+        assert engine.last_report is report
+        removed = engine.delete_object(new_id)
+        assert removed.object_id == new_id
+        assert engine.stats()["last_report"].kind == "delete_object"
+        assert engine.stats()["maintenance"]["updates"] == 2
 
     def test_invalid_mode_rejected(self, medium_grid):
         with pytest.raises(EngineError):
@@ -180,6 +219,13 @@ class TestFrozenEngineMode:
                 place_uniform(medium_grid, 3, seed=1),
                 levels=2,
                 mode="warp",
+            )
+        with pytest.raises(EngineError):
+            ROADEngine(
+                medium_grid.copy(),
+                place_uniform(medium_grid, 3, seed=1),
+                levels=2,
+                maintenance_mode="hope",
             )
 
 
@@ -210,3 +256,157 @@ class TestMaskCacheBound:
         assert frozen.knn(0, 2, Predicate.of(type="a")) == frozen.knn(
             0, 2, Predicate.of(type="a")
         )
+
+
+class TestApplyPatch:
+    def test_edge_weight_patch_matches_fresh_freeze(self, built, frozen):
+        net, _, road = built
+        u, v, d = next(iter(net.edges()))
+        report = road.update_edge_distance(u, v, d * 2.5)
+        frozen.apply(report)
+        fresh = road.freeze()
+        for node in (0, 17, 54, 99):
+            s_patched, s_fresh = SearchStats(), SearchStats()
+            assert frozen.knn(node, 4, stats=s_patched) == fresh.knn(
+                node, 4, stats=s_fresh
+            )
+            assert s_patched == s_fresh
+            assert frozen.range(node, 6.0) == fresh.range(node, 6.0)
+
+    def test_patched_snapshot_stays_pager_free(self, built, frozen):
+        _, _, road = built
+        u, v, d = next(iter(road.network.edges()))
+        report = road.update_edge_distance(u, v, d * 1.7)
+        # The delta-patch itself is uncharged (stored_tree/peek reads):
+        # snapshot bookkeeping must not pollute the maintenance I/O profile.
+        before = road.pager.stats.snapshot()
+        outcome = frozen.apply(report)
+        if outcome == "patched":
+            diff = road.pager.stats.diff(before)
+            assert (diff.reads, diff.writes, diff.hits, diff.misses) == (0, 0, 0, 0)
+        before = road.pager.stats.snapshot()
+        frozen.knn(0, 5)
+        frozen.range(9, 4.0, Predicate.of(type="a"))
+        diff = road.pager.stats.diff(before)
+        assert (diff.reads, diff.writes, diff.hits, diff.misses) == (0, 0, 0, 0)
+
+    def test_object_patch_is_pager_free(self, built, frozen):
+        _, _, road = built
+        u, v, d = next(iter(road.network.edges()))
+        report = road.insert_object(
+            SpatialObject(road.directory().objects.next_id(), (u, v), d / 2)
+        )
+        before = road.pager.stats.snapshot()
+        assert frozen.apply(report) == "patched"
+        diff = road.pager.stats.diff(before)
+        assert (diff.reads, diff.writes, diff.hits, diff.misses) == (0, 0, 0, 0)
+
+    def test_object_delta_patch(self, built, frozen):
+        net, _, road = built
+        u, v, d = next(iter(net.edges()))
+        new_id = road.directory().objects.next_id()
+        report = road.insert_object(
+            SpatialObject(new_id, (u, v), d / 3, {"type": "a"})
+        )
+        assert frozen.apply(report) == "patched"
+        assert frozen.knn(u, 1) == road.knn(u, 1)
+        report = road.delete_object(new_id)
+        assert frozen.apply(report) == "patched"
+        fresh = road.freeze()
+        for node in (u, v, 42):
+            assert frozen.knn(node, 5) == fresh.knn(node, 5)
+
+    def test_update_attrs_patch(self, built, frozen):
+        net, _, road = built
+        target = road.directory().objects.ids()[0]
+        report = road.update_object_attrs(target, {"type": "fuel"})
+        assert report.kind == "update_object"
+        assert frozen.apply(report) == "patched"
+        pred = Predicate.of(type="fuel")
+        fresh = road.freeze()
+        for node in (0, 42, 99):
+            assert frozen.knn(node, 3, pred) == fresh.knn(node, 3, pred)
+            assert frozen.knn(node, 3, pred) == road.knn(node, 3, pred)
+
+    def test_engine_structural_updates_reconcile_snapshot(self, medium_grid):
+        objects = place_uniform(medium_grid, 12, seed=4)
+        engine = ROADEngine(medium_grid.copy(), objects, levels=2, mode="frozen")
+        a, b = 0, engine.network.num_nodes - 1
+        report = engine.add_edge(a, b, 2.0)
+        assert report.structural
+        assert engine.knn(a, 3) == engine.road.knn(a, 3)
+        if not engine.objects.on_edge(a, b):
+            engine.remove_edge(a, b)
+            assert engine.knn(a, 3) == engine.road.knn(a, 3)
+        counters = engine.stats()["maintenance"]
+        assert counters["updates"] >= 1
+
+    def test_structural_update_falls_back_to_recompile(self, built, frozen):
+        net, _, road = built
+        a, b = 0, net.num_nodes - 1
+        assert not net.has_edge(a, b)
+        report = road.add_edge(a, b, 3.0)
+        assert report.structural
+        assert frozen.apply(report) == "recompiled"
+        fresh = road.freeze()
+        for node in (a, b, 42):
+            assert frozen.knn(node, 4) == fresh.knn(node, 4)
+
+    def test_apply_without_source_raises(self, built):
+        _, _, road = built
+        node_entries, abstracts = road.directory().export_entries()
+        orphan = FrozenRoad(
+            dict(road.overlay.iter_trees()), node_entries, abstracts
+        )
+        u, v, d = next(iter(road.network.edges()))
+        report = road.update_edge_distance(u, v, d * 2)
+        with pytest.raises(FrozenRoadError):
+            orphan.apply(report)
+        orphan.apply(report, road)  # explicit road works
+        assert orphan.knn(0, 3) == road.freeze().knn(0, 3)
+
+    def test_report_identities_populated(self, built):
+        net, _, road = built
+        u, v, d = next(iter(net.edges()))
+        report = road.update_edge_distance(u, v, d * 4.0)
+        assert report.kind == "edge_distance"
+        assert {u, v} <= report.dirty_nodes
+        assert report.edge == (min(u, v), max(u, v))
+        assert report.refreshed_tree_nodes == len(report.dirty_nodes)
+
+
+class TestFrozenAggregate:
+    def test_aggregate_matches_charged(self, built, frozen):
+        _, _, road = built
+        for agg in ("sum", "max", "min"):
+            assert frozen.aggregate_knn([0, 55, 99], 4, agg) == road.aggregate_knn(
+                [0, 55, 99], 4, agg
+            )
+
+    def test_aggregate_with_predicate(self, built, frozen):
+        _, _, road = built
+        pred = Predicate.of(type="a")
+        assert frozen.aggregate_knn([3, 77], 3, "sum", pred) == road.aggregate_knn(
+            [3, 77], 3, "sum", pred
+        )
+
+    def test_aggregate_query_dispatch(self, built, frozen):
+        _, _, road = built
+        query = AggregateKNNQuery((0, 99), 3, "max")
+        assert frozen.execute(query) == road.execute(query)
+        assert frozen.execute_many([query]) == road.execute_many([query])
+
+    def test_aggregate_zero_pager_traffic(self, built, frozen):
+        _, _, road = built
+        before = road.pager.stats.snapshot()
+        frozen.aggregate_knn([0, 55], 3, "sum")
+        diff = road.pager.stats.diff(before)
+        assert (diff.reads, diff.writes, diff.hits, diff.misses) == (0, 0, 0, 0)
+
+    def test_aggregate_through_engine_modes(self, medium_grid):
+        objects = place_uniform(medium_grid, 12, seed=4)
+        charged = ROADEngine(medium_grid.copy(), objects, levels=2)
+        frozen = ROADEngine(medium_grid.copy(), objects, levels=2, mode="frozen")
+        query = AggregateKNNQuery((0, 42, 99), 3, "sum")
+        assert charged.execute(query) == frozen.execute(query)
+        assert charged.aggregate_knn([0, 9], 2) == frozen.aggregate_knn([0, 9], 2)

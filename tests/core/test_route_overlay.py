@@ -208,3 +208,16 @@ class TestBulkExport:
         assert sorted(trees) == sorted(net.node_ids())
         for node, tree in trees.items():
             assert tree.node_id == node
+
+    def test_stored_tree_single_node_uncharged(self, overlay_setting):
+        net, _, _, pager, overlay = overlay_setting
+        node = next(iter(net.node_ids()))
+        charged = overlay.shortcut_tree(node)
+        pager.drop_cache()
+        pager.reset_stats()
+        assert overlay.stored_tree(node) is charged  # same stored object
+        assert pager.stats.reads == 0  # bypasses directory and buffer
+        from repro.core.route_overlay import RouteOverlayError
+        import pytest
+        with pytest.raises(RouteOverlayError):
+            overlay.stored_tree(10_000)

@@ -85,7 +85,7 @@ class TestLifecycleScenario:
                 )
             elif action == 1:  # object churn
                 victim = directory.objects.ids()[0]
-                removed = road.delete_object(victim)
+                removed = road.delete_object(victim).obj
                 u, v = edges[rnd.randrange(len(edges))]
                 road.insert_object(
                     SpatialObject(victim, (u, v), 0.0, dict(removed.attrs))

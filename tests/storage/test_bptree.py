@@ -250,3 +250,19 @@ class TestDestroy:
         doomed.destroy()
         assert survivor.get(25) == 25
         survivor.validate()
+
+
+class TestPeek:
+    def test_peek_matches_get_and_is_uncharged(self):
+        pager = PageManager(buffer_pages=16)
+        tree = BPlusTree(pager, name="peek-test")
+        for key in range(200):
+            tree.insert(key, key * 10)
+        pager.flush()
+        pager.drop_cache()
+        pager.reset_stats()
+        assert tree.peek(42) == 420
+        assert tree.peek(9_999) is None
+        assert tree.peek(9_999, default="missing") == "missing"
+        assert pager.stats.reads == 0 and pager.stats.misses == 0
+        assert tree.peek(42) == tree.get(42)

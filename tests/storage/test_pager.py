@@ -165,3 +165,24 @@ class TestOccupancy:
     def test_free_bytes_property(self, pager):
         page = pager.allocate("a", nbytes=96)
         assert page.free_bytes == PAGE_SIZE - PAGE_HEADER_SIZE - 96
+
+
+class TestPeek:
+    def test_peek_is_uncharged(self, pager):
+        page = pager.allocate("data", payload={"x": 1}, nbytes=10)
+        pager.flush()
+        pager.drop_cache()
+        pager.reset_stats()
+        assert pager.peek(page.page_id).payload == {"x": 1}
+        assert pager.stats.reads == 0 and pager.stats.misses == 0
+
+    def test_peek_missing_or_freed_raises(self, pager):
+        import pytest
+        from repro.storage.pager import PageNotFoundError
+
+        with pytest.raises(PageNotFoundError):
+            pager.peek(9_999)
+        page = pager.allocate("data", nbytes=1)
+        pager.free(page.page_id)
+        with pytest.raises(PageNotFoundError):
+            pager.peek(page.page_id)
