@@ -28,7 +28,7 @@ except ModuleNotFoundError:  # standalone run from a clean checkout
 
 from repro.eval.config import DEFAULT_K, DEFAULT_OBJECTS, DEFAULT_RANGE_FRACTION
 from repro.eval.datasets import dataset_levels, load_dataset
-from repro.eval.reporting import ExperimentResult
+from repro.eval.reporting import ExperimentResult, memory_note
 from repro.eval.runner import build_engine, make_objects
 from repro.queries.workload import knn_workload, mixed_workload, range_workload
 
@@ -127,8 +127,7 @@ def run_comparison(
         )
     result.note(
         f"freeze: {freeze_seconds * 1000:.1f} ms for "
-        f"{frozen.num_nodes:,} nodes ({frozen.nbytes / 1024:.0f} KiB of "
-        f"compiled arrays)"
+        f"{frozen.num_nodes:,} nodes; " + memory_note(frozen.memory_stats())
     )
     result.note(
         f"pager traffic during frozen queries: reads={io_diff.reads} "

@@ -15,7 +15,7 @@ Run with::
 
 from repro import ROAD, Predicate
 from repro.graph import sf_like, travel_time_metric
-from repro.objects import ObjectSet, place_uniform
+from repro.objects import place_uniform
 
 
 def main() -> None:

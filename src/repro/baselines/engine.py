@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject

@@ -14,7 +14,6 @@ the engine refuses such networks (Section 2: "not always applicable").
 
 from __future__ import annotations
 
-import heapq
 import math
 from typing import Dict, List, Optional, Tuple
 

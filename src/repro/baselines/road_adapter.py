@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.baselines.engine import EngineError, SearchEngine
 from repro.core.framework import ROAD
 from repro.core.frozen import FrozenRoad
+from repro.core.frozen_backends import get_backend
 from repro.core.maintenance import MaintenanceReport
 from repro.core.object_abstract import AbstractFactory, exact_abstract
 from repro.graph.network import RoadNetwork
@@ -67,6 +68,7 @@ class ROADEngine(SearchEngine):
         abstract_factory: AbstractFactory = exact_abstract,
         mode: str = "charged",
         maintenance_mode: str = "patch",
+        backend: Optional[str] = None,
     ) -> None:
         if mode not in ROAD_MODES:
             raise EngineError(
@@ -77,9 +79,14 @@ class ROADEngine(SearchEngine):
                 f"maintenance_mode must be one of {ROAD_MAINTENANCE_MODES}, "
                 f"got {maintenance_mode!r}"
             )
+        if backend is not None:
+            # Validate eagerly (unknown name / missing numpy fail at
+            # engine construction, not at the first freeze).
+            get_backend(backend)
         super().__init__(network, pager)
         self.mode = mode
         self.maintenance_mode = maintenance_mode
+        self.backend = backend
         self.road = self._timed(
             ROAD.build,
             network,
@@ -109,7 +116,7 @@ class ROADEngine(SearchEngine):
     # Frozen snapshot lifecycle
     # ------------------------------------------------------------------
     def _refreeze(self) -> FrozenRoad:
-        self._frozen = self.road.freeze()
+        self._frozen = self.road.freeze(backend=self.backend)
         self._maintenance_counters["freezes"] += 1
         return self._frozen
 
@@ -231,6 +238,9 @@ class ROADEngine(SearchEngine):
             maintenance=dict(self._maintenance_counters),
             last_report=self._last_report,
         )
+        if self._frozen is not None:
+            summary["frozen_backend"] = self._frozen.backend
+            summary["frozen_memory"] = self._frozen.memory_stats()
         return summary
 
     @property

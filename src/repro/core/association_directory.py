@@ -19,9 +19,9 @@ coexist on the same network: construct one per object set with distinct
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.graph.network import RoadNetwork, edge_key
+from repro.graph.network import RoadNetwork
 from repro.core.object_abstract import AbstractFactory, ObjectAbstract, exact_abstract
 from repro.core.rnet import Rnet, RnetHierarchy
 from repro.objects.model import ObjectSet, SpatialObject

@@ -425,7 +425,9 @@ class ROAD:
                 )
         return results
 
-    def freeze(self, *, directory: str = DEFAULT_DIRECTORY) -> FrozenRoad:
+    def freeze(
+        self, *, directory: str = DEFAULT_DIRECTORY, backend=None
+    ) -> FrozenRoad:
         """Compile the index + one directory into a :class:`FrozenRoad`.
 
         The frozen snapshot serves :meth:`knn`/:meth:`range` byte-identical
@@ -433,8 +435,14 @@ class ROAD:
         later maintenance automatically — feed each update's
         :class:`MaintenanceReport` to :meth:`FrozenRoad.apply` to
         delta-patch the snapshot, or re-freeze.
+
+        ``backend`` selects the compiled array representation —
+        ``"list"`` (pre-boxed, fastest), ``"compact"`` (stdlib typed
+        buffers, ~4x less memory) or ``"numpy"`` (compact layout +
+        vectorised relaxation; optional dependency); None defers to
+        ``REPRO_BACKEND``/the default.
         """
-        return FrozenRoad.from_road(self, directory=directory)
+        return FrozenRoad.from_road(self, directory=directory, backend=backend)
 
     # ------------------------------------------------------------------
     # Network maintenance (Section 5.2)

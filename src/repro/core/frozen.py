@@ -38,16 +38,26 @@ addition/removal) or a span whose new contents cannot fit in place, the
 patcher falls back to a full in-place recompile — so an ``apply`` always
 leaves the snapshot byte-identical to a fresh ``freeze()``, at a cost
 that scales with the perturbation in the common case.
+
+The physical representation of the compiled arrays is pluggable (see
+:mod:`repro.core.frozen_backends`): ``backend="list"`` keeps pre-boxed
+Python lists (fastest pure-Python queries), ``"compact"`` stores the same
+layout in stdlib typed buffers at ~4x less resident memory, and
+``"numpy"`` adds zero-copy vectorised span relaxation on top of the
+compact buffers.  All three serve byte-identical answers and support the
+patch lifecycle; pick per freeze, per engine, or via ``REPRO_BACKEND``.
 """
 
 from __future__ import annotations
 
 import copy
 import heapq
+import sys
 import weakref
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.aggregate import aggregate_knn_generic
+from repro.core.frozen_backends import resolve_backend
 from repro.core.search import SearchStats
 from repro.core.shortcut_tree import ShortcutTree, ShortcutTreeEntry
 from repro.objects.model import SpatialObject
@@ -71,6 +81,11 @@ _INF = float("inf")
 #: would otherwise grow the mask caches without bound; eviction is FIFO —
 #: a re-seen predicate just recompiles in O(rnets + objects).
 MAX_CACHED_PREDICATES = 128
+
+#: Smallest span the numpy backend relaxes through vectorised slice
+#: arithmetic; shorter spans (the typical road-network degree) take the
+#: scalar path — numpy slicing overhead only amortises past this width.
+VEC_MIN_SPAN = 8
 
 
 class FrozenRoadError(Exception):
@@ -124,8 +139,14 @@ class FrozenRoad:
         abstracts: Dict[int, "ObjectAbstract"],
         *,
         directory_name: str = "objects",
+        backend=None,
     ) -> None:
         self.directory_name = directory_name
+        #: The array backend this snapshot compiles into — a name from
+        #: :data:`repro.core.frozen_backends.BACKENDS`, an instance, or
+        #: None for the REPRO_BACKEND/default selection.  Recompiles keep
+        #: the same backend for the snapshot's whole lifetime.
+        self._backend = resolve_backend(backend)
         #: Weak reference to the live ROAD this snapshot was compiled from
         #: (set by :meth:`from_road`); :meth:`apply` patches against it.
         #: Weak so a snapshot never pins the O(network) charged structures
@@ -207,24 +228,25 @@ class FrozenRoad:
         assert len(sc_span) == len(e_rnet) + 1
         assert len(ed_span) == len(e_rnet) + 1
 
-        # Plain lists, not array('q'): CSR layout with pre-boxed elements,
-        # so hot-loop indexing returns existing objects instead of boxing a
-        # fresh int/float per access (a numpy/memoryview port would pick
-        # compactness instead).  Lists rather than tuples so that
-        # :meth:`apply` can rewrite dirty spans in place; list indexing is
-        # just as fast in the query loop.
-        self._entry_start = e_start
-        self._entry_rnet = e_rnet
-        self._entry_next = e_next
-        self._sc_start = sc_span
-        self._sc_target = sc_target
-        self._sc_weight = sc_weight
-        self._ed_start = ed_span
-        self._ed_target = ed_target
-        self._ed_weight = ed_weight
-        self._local_start = local_start
-        self._local_target = local_target
-        self._local_weight = local_weight
+        # The arrays are staged as plain lists, then materialised through
+        # the selected backend: "list" keeps the pre-boxed lists (hot-loop
+        # indexing returns existing objects), "compact"/"numpy" pack the
+        # same layout into stdlib typed buffers.  All backends keep the
+        # arrays mutable so :meth:`apply` can rewrite dirty spans in place
+        # with slice assignments.
+        B = self._backend
+        self._entry_start = B.int_array(e_start)
+        self._entry_rnet = B.int_array(e_rnet)
+        self._entry_next = B.int_array(e_next)
+        self._sc_start = B.int_array(sc_span)
+        self._sc_target = B.int_array(sc_target)
+        self._sc_weight = B.float_array(sc_weight)
+        self._ed_start = B.int_array(ed_span)
+        self._ed_target = B.int_array(ed_target)
+        self._ed_weight = B.float_array(ed_weight)
+        self._local_start = B.int_array(local_start)
+        self._local_target = B.int_array(local_target)
+        self._local_weight = B.float_array(local_weight)
 
         # --- object associations (per-node spans, stored order) ------------
         obj_start: List[int] = [0] * (n + 1)
@@ -237,32 +259,53 @@ class FrozenRoad:
                 obj_delta.append(delta)
                 obj_ref.append(obj)
             obj_start[idx + 1] = len(obj_id)
-        self._obj_start = obj_start
-        self._obj_id = obj_id
-        self._obj_delta = obj_delta
+        self._obj_start = B.int_array(obj_start)
+        self._obj_id = B.int_array(obj_id)
+        self._obj_delta = B.float_array(obj_delta)
+        #: Object references stay a Python list in every backend — the
+        #: query path needs the objects themselves for predicate compiles.
         self._obj_ref = obj_ref
 
         # --- shared per-predicate caches -----------------------------------
-        self._rnet_masks: Dict[Predicate, List[bool]] = {}
-        self._obj_masks: Dict[Predicate, Optional[bytearray]] = {}
+        self._rnet_masks: Dict[Predicate, Sequence[bool]] = {}
+        self._obj_masks: Dict[Predicate, bytearray] = {}
+        # Cached array views for the query loops (memoryviews over the
+        # compact buffers; the lists themselves for the list backend) and
+        # zero-copy numpy views (numpy backend only).  Both are built
+        # lazily per snapshot and dropped before any patch — a live
+        # buffer export would block the resizing object splices.
+        self._views = None
+        self._np_views = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_road(cls, road, *, directory: str = "objects") -> "FrozenRoad":
+    def from_road(
+        cls, road, *, directory: str = "objects", backend=None
+    ) -> "FrozenRoad":
         """Compile a built :class:`~repro.core.framework.ROAD`.
 
         Reads the Route Overlay's stored trees (uncharged bulk export) and
         the named Association Directory's node entries and Rnet abstracts
         (one charged leaf walk — freezing is a build-time operation).
+        ``backend`` selects the compiled array representation (see
+        :mod:`repro.core.frozen_backends`).
         """
         assoc = road.directory(directory)
         node_entries, abstracts = assoc.export_entries()
         trees = dict(road.overlay.iter_trees())
-        frozen = cls(trees, node_entries, abstracts, directory_name=directory)
+        frozen = cls(
+            trees, node_entries, abstracts,
+            directory_name=directory, backend=backend,
+        )
         frozen._source = weakref.ref(road)
         return frozen
+
+    @property
+    def backend(self) -> str:
+        """Name of the array backend this snapshot is compiled into."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # Incremental maintenance: delta-patch from MaintenanceReports
@@ -290,6 +333,7 @@ class FrozenRoad:
         are unaffected; a serving loop applies updates between batches.
         """
         road = self._require_source(road)
+        self._drop_views()
         if report.kind in ("insert_object", "delete_object", "update_object"):
             return self.apply_object_delta(report, road)
         if report.structural:
@@ -329,6 +373,7 @@ class FrozenRoad:
         Overlay.
         """
         road = self._require_source(road)
+        self._drop_views()
         obj = report.obj
         if obj is None:
             raise FrozenRoadError(
@@ -415,25 +460,40 @@ class FrozenRoad:
         return idx, sc_values, ed_values, local_values
 
     def _write_tree_patch(self, patch) -> None:
-        """Rewrite the targets/weights of one node's spans in place."""
+        """Rewrite the targets/weights of one node's spans in place.
+
+        Span rewrites are slice assignments, which every backend honours
+        on its native array type (lists, stdlib typed arrays, and the
+        numpy-over-stdlib layout alike) — the planner already guaranteed
+        each new span has exactly the compiled size.
+        """
         idx, sc_values, ed_values, local_values = patch
+        B = self._backend
         e0 = self._entry_start[idx]
-        sc_target, sc_weight = self._sc_target, self._sc_weight
-        ed_target, ed_weight = self._ed_target, self._ed_weight
+        sc_start, sc_target, sc_weight = (
+            self._sc_start, self._sc_target, self._sc_weight
+        )
+        ed_start, ed_target, ed_weight = (
+            self._ed_start, self._ed_target, self._ed_weight
+        )
         for i, values in enumerate(sc_values):
-            base = self._sc_start[e0 + i]
-            for j, (target, weight) in enumerate(values):
-                sc_target[base + j] = target
-                sc_weight[base + j] = weight
+            if values:
+                a, b = sc_start[e0 + i], sc_start[e0 + i + 1]
+                sc_target[a:b] = B.int_values([t for t, _ in values])
+                sc_weight[a:b] = B.float_values([w for _, w in values])
         for i, values in enumerate(ed_values):
-            base = self._ed_start[e0 + i]
-            for j, (target, weight) in enumerate(values):
-                ed_target[base + j] = target
-                ed_weight[base + j] = weight
-        base = self._local_start[idx]
-        for j, (target, weight) in enumerate(local_values):
-            self._local_target[base + j] = target
-            self._local_weight[base + j] = weight
+            if values:
+                a, b = ed_start[e0 + i], ed_start[e0 + i + 1]
+                ed_target[a:b] = B.int_values([t for t, _ in values])
+                ed_weight[a:b] = B.float_values([w for _, w in values])
+        if local_values:
+            a, b = self._local_start[idx], self._local_start[idx + 1]
+            self._local_target[a:b] = B.int_values(
+                [t for t, _ in local_values]
+            )
+            self._local_weight[a:b] = B.float_values(
+                [w for _, w in local_values]
+            )
 
     def _rebuild_node_objects(self, road, nodes: Sequence[int]) -> None:
         """Replace the object spans of ``nodes`` from the live directory.
@@ -447,13 +507,18 @@ class FrozenRoad:
         (the O(network·levels) bulk of the snapshot) are never touched.
         """
         assoc = road.directory(self.directory_name)
+        B = self._backend
         obj_start = self._obj_start
         for node in sorted(set(nodes)):
             idx = self._index[node]
             a, b = obj_start[idx], obj_start[idx + 1]
             entries = assoc.peek_node_objects(node)
-            self._obj_id[a:b] = [o.object_id for o, _ in entries]
-            self._obj_delta[a:b] = [delta for _, delta in entries]
+            self._obj_id[a:b] = B.int_values(
+                [o.object_id for o, _ in entries]
+            )
+            self._obj_delta[a:b] = B.float_values(
+                [delta for _, delta in entries]
+            )
             self._obj_ref[a:b] = [o for o, _ in entries]
             for predicate, mask in self._obj_masks.items():
                 mask[a:b] = bytes(
@@ -480,16 +545,86 @@ class FrozenRoad:
                 )
 
     # ------------------------------------------------------------------
+    # Numpy view lifecycle (numpy backend only)
+    # ------------------------------------------------------------------
+    def _drop_views(self) -> None:
+        """Release all cached array views before mutating the arrays.
+
+        Memoryviews and ``np.frombuffer`` views export the stdlib
+        buffers; a live export would make the size-changing object
+        splices in :meth:`_rebuild_node_objects` raise ``BufferError``.
+        Dropping the caches releases the exports (views rebuild lazily on
+        the next query).
+        """
+        self._views = None
+        self._np_views = None
+
+    def _array_views(self):
+        """The views the query loops index, built once per snapshot.
+
+        List backend: the arrays themselves.  Compact/numpy: memoryviews
+        over the typed buffers — measurably cheaper to index than the
+        arrays, and constructing them once here keeps them out of the
+        per-query (and per-pop, for the incremental iterator) hot paths.
+        Order matches the unpacking in :meth:`_search` / :meth:`_expand`.
+        """
+        views = self._views
+        if views is None:
+            vw = self._backend.view
+            views = (
+                vw(self._obj_start),
+                vw(self._obj_id),
+                vw(self._obj_delta),
+                vw(self._entry_start),
+                vw(self._entry_rnet),
+                vw(self._entry_next),
+                vw(self._sc_start),
+                vw(self._sc_target),
+                vw(self._sc_weight),
+                vw(self._ed_start),
+                vw(self._ed_target),
+                vw(self._ed_weight),
+                vw(self._local_start),
+                vw(self._local_target),
+                vw(self._local_weight),
+            )
+            self._views = views
+        return views
+
+    def _numpy_views(self):
+        """Zero-copy views over the target/weight buffers, built lazily."""
+        views = self._np_views
+        if views is None:
+            B = self._backend
+            views = (
+                B.frombuffer(self._obj_id, kind="i"),
+                B.frombuffer(self._obj_delta, kind="f"),
+                B.frombuffer(self._sc_target, kind="i"),
+                B.frombuffer(self._sc_weight, kind="f"),
+                B.frombuffer(self._ed_target, kind="i"),
+                B.frombuffer(self._ed_weight, kind="f"),
+                B.frombuffer(self._local_target, kind="i"),
+                B.frombuffer(self._local_weight, kind="f"),
+            )
+            self._np_views = views
+        return views
+
+    # ------------------------------------------------------------------
     # Predicate compilation (the shared cache of the batch layer)
     # ------------------------------------------------------------------
-    def _rnet_mask(self, predicate: Predicate) -> List[bool]:
-        """Per-Rnet "may contain an object of interest" bitmask."""
+    def _rnet_mask(self, predicate: Predicate) -> Sequence[bool]:
+        """Per-Rnet "may contain an object of interest" bitmask.
+
+        List backend: a list of bools; compact/numpy: a bytearray — the
+        query loop only needs truthy indexing, and the patch paths only
+        need item assignment, which both honour.
+        """
         mask = self._rnet_masks.get(predicate)
         if mask is None:
-            mask = [
+            mask = self._backend.bool_mask(
                 abstract is not None and abstract.may_contain(predicate)
                 for abstract in self._abstracts
-            ]
+            )
             _cache_put(self._rnet_masks, predicate, mask)
         return mask
 
@@ -641,24 +776,71 @@ class FrozenRoad:
         """Object association slots (objects appear once per endpoint)."""
         return len(self._obj_ref)
 
+    def _arrays(self) -> Dict[str, Sequence]:
+        """The compiled CSR arrays by name (introspection/accounting)."""
+        return {
+            "entry_start": self._entry_start,
+            "entry_rnet": self._entry_rnet,
+            "entry_next": self._entry_next,
+            "sc_start": self._sc_start,
+            "sc_target": self._sc_target,
+            "sc_weight": self._sc_weight,
+            "ed_start": self._ed_start,
+            "ed_target": self._ed_target,
+            "ed_weight": self._ed_weight,
+            "local_start": self._local_start,
+            "local_target": self._local_target,
+            "local_weight": self._local_weight,
+            "obj_start": self._obj_start,
+            "obj_id": self._obj_id,
+            "obj_delta": self._obj_delta,
+        }
+
     @property
     def nbytes(self) -> int:
-        """Serialized-size estimate of the compiled arrays (8 B/element,
-        excluding the object references)."""
-        arrays = (
-            self._entry_start, self._entry_rnet, self._entry_next,
-            self._sc_start, self._sc_target, self._sc_weight,
-            self._ed_start, self._ed_target, self._ed_weight,
-            self._local_start, self._local_target, self._local_weight,
-            self._obj_start, self._obj_id, self._obj_delta,
-        )
-        return sum(8 * len(a) for a in arrays)
+        """Payload-size estimate of the compiled arrays (8 B/element,
+        excluding the object references).  Backend-independent; see
+        :meth:`memory_stats` for the resident footprint per backend."""
+        return sum(8 * len(a) for a in self._arrays().values())
+
+    def memory_stats(self) -> Dict[str, object]:
+        """Resident footprint of the compiled arrays under this backend.
+
+        ``total_bytes`` is what the arrays actually hold on the heap —
+        container plus boxed elements for the list backend, the inline
+        typed buffers for compact/numpy — next to ``payload_bytes``, the
+        backend-independent 8 B/element ideal (== :attr:`nbytes`).  The
+        per-predicate mask caches are reported separately; the
+        ``object_refs`` list (shared ``SpatialObject`` instances, one
+        pointer per association slot) is counted as pointers only.
+        """
+        per_array = {
+            name: self._backend.resident_bytes(arr)
+            for name, arr in self._arrays().items()
+        }
+        mask_bytes = sum(
+            self._backend.resident_bytes(mask)
+            for mask in self._rnet_masks.values()
+        ) + sum(sys.getsizeof(mask) for mask in self._obj_masks.values())
+        return {
+            "backend": self.backend,
+            "arrays": per_array,
+            "total_bytes": sum(per_array.values()),
+            "payload_bytes": self.nbytes,
+            "elements": sum(len(a) for a in self._arrays().values()),
+            "object_refs": len(self._obj_ref),
+            "object_ref_bytes": sys.getsizeof(self._obj_ref),
+            "mask_cache_bytes": mask_bytes,
+            "mask_cache_entries": (
+                len(self._rnet_masks) + len(self._obj_masks)
+            ),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FrozenRoad(nodes={self.num_nodes}, "
             f"entries={len(self._entry_rnet)}, objects={self.num_objects}, "
-            f"bytes={self.nbytes})"
+            f"backend={self.backend}, bytes={self.nbytes})"
         )
 
     # ------------------------------------------------------------------
@@ -679,25 +861,24 @@ class FrozenRoad:
             raise FrozenRoadError(f"node {node} not in frozen index") from None
         may = self._rnet_mask(predicate)
         omask = self._object_mask(predicate)
-        # Bind every array to a local once per query: the loop below is the
-        # hot path, and attribute loads per pop would dominate it.
+        if self._backend.vectorised:
+            return self._search_vec(
+                source, may, omask, k=k, radius=radius, stats=stats
+            )
+        # Bind every array view to a local once per query: the loop below
+        # is the hot path, and attribute loads per pop would dominate it.
+        # The backend picks the view the loop indexes — the list itself
+        # for "list", a cached memoryview over the typed buffer for
+        # "compact" (cheaper per access than the array).
         pop = heapq.heappop
         push = heapq.heappush
-        obj_start = self._obj_start
-        obj_id = self._obj_id
-        obj_delta = self._obj_delta
-        entry_start = self._entry_start
-        entry_rnet = self._entry_rnet
-        entry_next = self._entry_next
-        sc_start = self._sc_start
-        sc_target = self._sc_target
-        sc_weight = self._sc_weight
-        ed_start = self._ed_start
-        ed_target = self._ed_target
-        ed_weight = self._ed_weight
-        local_start = self._local_start
-        local_target = self._local_target
-        local_weight = self._local_weight
+        (
+            obj_start, obj_id, obj_delta,
+            entry_start, entry_rnet, entry_next,
+            sc_start, sc_target, sc_weight,
+            ed_start, ed_target, ed_weight,
+            local_start, local_target, local_weight,
+        ) = self._array_views()
 
         heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
         seq = 1
@@ -783,6 +964,162 @@ class FrozenRoad:
             self._flush_stats(stats, (c_np, c_op, c_er, c_st, c_rb, c_rd))
         return result
 
+    def _search_vec(
+        self,
+        source: int,
+        may: Sequence[bool],
+        omask: Optional[bytearray],
+        *,
+        k: Optional[int],
+        radius: Optional[float],
+        stats: Optional[SearchStats],
+    ) -> List[ResultEntry]:
+        """The numpy backend's expansion: vectorised span relaxation.
+
+        Identical decisions (and byte-identical results/stats) to the
+        scalar loop in :meth:`_search`: spans at least
+        :data:`VEC_MIN_SPAN` wide are relaxed with one vectorised
+        ``distance + weights[a:b]`` add and a bulk ``.tolist()`` back to
+        Python floats — IEEE-identical to the scalar additions — before
+        the per-candidate visited filter and heap push; narrower spans
+        (the typical road-network degree) take the scalar memoryview
+        path, where numpy slicing overhead would dominate.
+        """
+        (
+            obj_id_v, obj_delta_v, sc_target_v, sc_weight_v,
+            ed_target_v, ed_weight_v, local_target_v, local_weight_v,
+        ) = self._numpy_views()
+        pop = heapq.heappop
+        push = heapq.heappush
+        (
+            obj_start, obj_id, obj_delta,
+            entry_start, entry_rnet, entry_next,
+            sc_start, sc_target, sc_weight,
+            ed_start, ed_target, ed_weight,
+            local_start, local_target, local_weight,
+        ) = self._array_views()
+
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+        seq = 1
+        visited = bytearray(len(self.node_ids))
+        seen_objects: set = set()
+        result: List[ResultEntry] = []
+        append = result.append
+        limit = k if k is not None else -1
+        bound = radius if radius is not None else _INF
+        c_np = c_op = c_er = c_st = c_rb = c_rd = 0
+        while heap:
+            distance, _, code = pop(heap)
+            if distance > bound:
+                break
+            if code < 0:  # an object: ~object_id
+                oid = ~code
+                if oid in seen_objects:
+                    continue
+                seen_objects.add(oid)
+                c_op += 1
+                append(ResultEntry(oid, distance))
+                if c_op == limit:
+                    break
+                continue
+            if visited[code]:
+                continue
+            visited[code] = 1
+            c_np += 1
+            a, b = obj_start[code], obj_start[code + 1]
+            if b - a >= VEC_MIN_SPAN:
+                oids = obj_id_v[a:b].tolist()
+                odists = (distance + obj_delta_v[a:b]).tolist()
+                for j in range(b - a):
+                    oid = oids[j]
+                    if oid in seen_objects:
+                        continue
+                    if omask is None or omask[a + j]:
+                        push(heap, (odists[j], seq, ~oid))
+                        seq += 1
+            else:
+                for j in range(a, b):
+                    oid = obj_id[j]
+                    if oid in seen_objects:
+                        continue
+                    if omask is None or omask[j]:
+                        push(heap, (distance + obj_delta[j], seq, ~oid))
+                        seq += 1
+            i = entry_start[code]
+            end = entry_start[code + 1]
+            if i == end:
+                a, b = local_start[code], local_start[code + 1]
+                if b - a >= VEC_MIN_SPAN:
+                    targets = local_target_v[a:b].tolist()
+                    dists = (distance + local_weight_v[a:b]).tolist()
+                    for j in range(b - a):
+                        c_er += 1
+                        target = targets[j]
+                        if not visited[target]:
+                            push(heap, (dists[j], seq, target))
+                            seq += 1
+                else:
+                    for j in range(a, b):
+                        c_er += 1
+                        target = local_target[j]
+                        if not visited[target]:
+                            push(heap, (distance + local_weight[j], seq, target))
+                            seq += 1
+                continue
+            while i < end:
+                if may[entry_rnet[i]]:
+                    nxt = entry_next[i]
+                    if nxt == i + 1:
+                        a, b = ed_start[i], ed_start[i + 1]
+                        if b - a >= VEC_MIN_SPAN:
+                            targets = ed_target_v[a:b].tolist()
+                            dists = (distance + ed_weight_v[a:b]).tolist()
+                            for j in range(b - a):
+                                c_er += 1
+                                target = targets[j]
+                                if not visited[target]:
+                                    push(heap, (dists[j], seq, target))
+                                    seq += 1
+                        else:
+                            for j in range(a, b):
+                                c_er += 1
+                                target = ed_target[j]
+                                if not visited[target]:
+                                    push(
+                                        heap,
+                                        (distance + ed_weight[j], seq, target),
+                                    )
+                                    seq += 1
+                    else:
+                        c_rd += 1
+                    i += 1
+                else:
+                    c_rb += 1
+                    a, b = sc_start[i], sc_start[i + 1]
+                    if b - a >= VEC_MIN_SPAN:
+                        targets = sc_target_v[a:b].tolist()
+                        dists = (distance + sc_weight_v[a:b]).tolist()
+                        for j in range(b - a):
+                            c_st += 1
+                            target = targets[j]
+                            if not visited[target]:
+                                push(heap, (dists[j], seq, target))
+                                seq += 1
+                    else:
+                        for j in range(a, b):
+                            c_st += 1
+                            target = sc_target[j]
+                            if not visited[target]:
+                                push(
+                                    heap,
+                                    (distance + sc_weight[j], seq, target),
+                                )
+                                seq += 1
+                    i = entry_next[i]
+        if stats is not None:
+            self._flush_stats(stats, (c_np, c_op, c_er, c_st, c_rb, c_rd))
+        return result
+
     def _expand(
         self,
         heap: List[Tuple[float, int, int]],
@@ -797,12 +1134,19 @@ class FrozenRoad:
         """SearchObject + ChoosePath for one popped node; returns next seq.
 
         The incremental iterator's expansion step — identical decisions to
-        the inlined loop in :meth:`_search`.
+        the inlined loop in :meth:`_search`.  Runs the scalar path on
+        every backend (the aggregate lockstep pulls one node at a time, so
+        there is no batch to vectorise); the array views come from the
+        per-snapshot cache, so a pop costs no view construction.
         """
         push = heapq.heappush
-        obj_start = self._obj_start
-        obj_id = self._obj_id
-        obj_delta = self._obj_delta
+        (
+            obj_start, obj_id, obj_delta,
+            entry_start, entry_rnet, entry_next,
+            sc_start, sc_target, sc_weight,
+            ed_start, ed_target, ed_weight,
+            local_start, local_target, local_weight,
+        ) = self._array_views()
         for j in range(obj_start[item], obj_start[item + 1]):
             oid = obj_id[j]
             if oid in seen_objects:
@@ -810,26 +1154,15 @@ class FrozenRoad:
             if omask is None or omask[j]:
                 push(heap, (distance + obj_delta[j], seq, ~oid))
                 seq += 1
-        i = self._entry_start[item]
-        end = self._entry_start[item + 1]
+        i = entry_start[item]
+        end = entry_start[item + 1]
         if i == end:
             # Non-border node: a single leaf of physical edges (Fig 6, n_q).
-            local_start = self._local_start
-            local_target = self._local_target
-            local_weight = self._local_weight
             for j in range(local_start[item], local_start[item + 1]):
                 push(heap, (distance + local_weight[j], seq, local_target[j]))
                 seq += 1
                 counters[2] += 1
             return seq
-        entry_rnet = self._entry_rnet
-        entry_next = self._entry_next
-        sc_start = self._sc_start
-        sc_target = self._sc_target
-        sc_weight = self._sc_weight
-        ed_start = self._ed_start
-        ed_target = self._ed_target
-        ed_weight = self._ed_weight
         while i < end:
             if may[entry_rnet[i]]:
                 nxt = entry_next[i]
@@ -869,6 +1202,8 @@ def _cache_put(cache: Dict, key, value) -> None:
     cache[key] = value
 
 
-def freeze_road(road, *, directory: str = "objects") -> FrozenRoad:
+def freeze_road(
+    road, *, directory: str = "objects", backend=None
+) -> FrozenRoad:
     """Module-level convenience mirroring :meth:`ROAD.freeze`."""
-    return FrozenRoad.from_road(road, directory=directory)
+    return FrozenRoad.from_road(road, directory=directory, backend=backend)

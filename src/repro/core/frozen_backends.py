@@ -1,0 +1,226 @@
+"""Pluggable array backends for the :class:`~repro.core.frozen.FrozenRoad`.
+
+The compiled CSR arrays (entry offsets, shortcut/edge targets and weights,
+object ids and deltas) have one logical layout but three physical
+representations, selected per snapshot:
+
+* ``"list"`` (default) — plain Python lists of pre-boxed ints/floats.
+  Hot-loop indexing returns existing objects without boxing a fresh
+  int/float per access, so this is the fastest pure-Python query path,
+  at ~4x the memory the data needs (8 B pointer + boxed payload per slot).
+* ``"compact"`` — stdlib ``array('q')`` / ``array('d')`` buffers plus
+  ``bytearray`` predicate masks, read through memoryviews in the query
+  loops.  8 B per slot, no boxed elements: ≥4x smaller resident arrays
+  than ``"list"`` with near-identical query latency.
+* ``"numpy"`` — the ``compact`` layout (the same stdlib buffers stay the
+  source of truth for in-place span patching) with zero-copy
+  ``np.frombuffer`` views that vectorise the span-relaxation inner loop.
+  Optional: requires the ``numpy`` extra.
+
+Every backend serves byte-identical answers — the equivalence probes
+(:func:`repro.eval.metrics.snapshot_divergences`) hold across all three —
+and supports the incremental-freeze patch lifecycle: span rewrites are
+slice assignments (``arr[a:b] = values``), which lists, stdlib arrays and
+the numpy-over-stdlib layout all honour.
+
+Select a backend per call (``road.freeze(backend="compact")``), per engine
+(``ROADEngine(..., backend=...)``), or globally via ``REPRO_BACKEND`` /
+the eval CLI's ``--backend``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from array import array
+from typing import Iterable, List, Sequence, Tuple, Union
+
+#: Valid FrozenRoad array backends, in documentation order.
+BACKENDS = ("list", "compact", "numpy")
+
+#: Environment variable overriding the default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+class ListBackend:
+    """Plain Python lists of pre-boxed elements (the fast default)."""
+
+    name = "list"
+    #: Whether :meth:`FrozenRoad._search` should take the vectorised path.
+    vectorised = False
+
+    def int_array(self, values: Iterable[int]) -> List[int]:
+        """Materialise an integer CSR array from staged values."""
+        return list(values)
+
+    def float_array(self, values: Iterable[float]) -> List[float]:
+        """Materialise a float CSR array from staged values."""
+        return list(values)
+
+    def int_values(self, values: Sequence[int]) -> Sequence[int]:
+        """Values in the form ``int_array[a:b] = ...`` accepts."""
+        return values
+
+    def float_values(self, values: Sequence[float]) -> Sequence[float]:
+        """Values in the form ``float_array[a:b] = ...`` accepts."""
+        return values
+
+    def bool_mask(self, flags: Iterable[bool]) -> List[bool]:
+        """A per-Rnet predicate mask (indexed by compiled slot)."""
+        return list(flags)
+
+    def view(self, arr):
+        """The object query loops should index (identity for lists)."""
+        return arr
+
+    def resident_bytes(self, arr) -> int:
+        """Resident heap bytes of one array, boxes included.
+
+        Counts the container plus one box per slot.  Interned small ints
+        and ints shared via the compiled index dict make this an upper
+        bound on steady-state heap growth, but it is the honest per-slot
+        cost model: every slot pins a pointer and keeps a box alive.
+        """
+        return sys.getsizeof(arr) + sum(sys.getsizeof(x) for x in arr)
+
+
+class CompactBackend(ListBackend):
+    """Stdlib typed buffers: ``array('q')``/``array('d')`` + bytearrays."""
+
+    name = "compact"
+    vectorised = False
+
+    def int_array(self, values: Iterable[int]) -> array:
+        return array("q", values)
+
+    def float_array(self, values: Iterable[float]) -> array:
+        return array("d", values)
+
+    def int_values(self, values: Sequence[int]) -> array:
+        # array slice assignment only accepts a same-typecode array.
+        return array("q", values)
+
+    def float_values(self, values: Sequence[float]) -> array:
+        return array("d", values)
+
+    def bool_mask(self, flags: Iterable[bool]) -> bytearray:
+        return bytearray(1 if flag else 0 for flag in flags)
+
+    def view(self, arr):
+        """A memoryview for the query hot loop.
+
+        Indexing a memoryview of a typed array is measurably cheaper than
+        indexing the array itself.  Note the view exports the array's
+        buffer: FrozenRoad caches views per snapshot and MUST release
+        them (``_drop_views``) before any patch — a live export makes a
+        resizing splice raise ``BufferError``.
+        """
+        return memoryview(arr)
+
+    def resident_bytes(self, arr) -> int:
+        """Resident bytes: the buffer is inline, so getsizeof is exact."""
+        return sys.getsizeof(arr)
+
+
+class NumpyBackend(CompactBackend):
+    """The compact layout served through zero-copy numpy views.
+
+    Storage stays in the stdlib typed arrays (so the patch lifecycle's
+    slice assignments and size-changing object splices carry over
+    unchanged); queries build ``np.frombuffer`` views over the same
+    buffers and vectorise span relaxation.  Views are cached per snapshot
+    and dropped before any patch — a live buffer export would block the
+    resizing splices ``apply`` relies on.
+    """
+
+    name = "numpy"
+    vectorised = True
+
+    def __init__(self) -> None:
+        import numpy  # may raise: surfaced by get_backend with guidance
+
+        self.np = numpy
+
+    def frombuffer(self, arr: array, *, kind: str):
+        """A zero-copy view over one stdlib buffer (``kind``: "i"/"f")."""
+        dtype = self.np.int64 if kind == "i" else self.np.float64
+        if len(arr) == 0:
+            return self.np.empty(0, dtype=dtype)
+        return self.np.frombuffer(arr, dtype=dtype)
+
+
+def get_backend(name: str) -> Union[ListBackend, CompactBackend, NumpyBackend]:
+    """Resolve a backend name to a backend instance.
+
+    Raises ``ValueError`` for unknown names and ``ImportError`` (with
+    install guidance) when ``"numpy"`` is requested but numpy is absent.
+    Case-insensitive, like every other backend config surface.
+    """
+    name = validate_backend_name(name)
+    if name == "list":
+        return ListBackend()
+    if name == "compact":
+        return CompactBackend()
+    if name == "numpy":
+        try:
+            return NumpyBackend()
+        except ImportError as exc:
+            raise ImportError(
+                "FrozenRoad backend 'numpy' requires the optional numpy "
+                "dependency: install it with pip install 'road-repro[numpy]' "
+                "(or pip install numpy), or use backend='compact' for the "
+                "stdlib-only typed-array layout"
+            ) from exc
+    raise AssertionError(f"unhandled validated backend {name!r}")
+
+
+def validate_backend_name(name: str, *, source: str = "backend") -> str:
+    """Normalise and check a backend name; ``source`` labels the error.
+
+    The single validation used by :func:`default_backend` and every
+    config surface that accepts a backend string (eval runner/CLI), so
+    adding a backend or rewording the error happens in one place.
+    """
+    name = name.lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"{source} must be one of {BACKENDS}, got {name!r}"
+        )
+    return name
+
+
+def default_backend() -> str:
+    """The session-wide backend: ``REPRO_BACKEND`` or ``"list"``."""
+    return validate_backend_name(
+        os.environ.get(BACKEND_ENV, "list"), source=BACKEND_ENV
+    )
+
+
+def resolve_backend(backend=None):
+    """Normalise a ``backend=`` argument to a backend instance.
+
+    ``None`` defers to :func:`default_backend`; strings are looked up via
+    :func:`get_backend`; backend instances pass through (snapshot patch
+    paths re-use the instance they were compiled with).
+    """
+    if backend is None:
+        backend = default_backend()
+    if isinstance(backend, str):
+        return get_backend(backend)
+    return backend
+
+
+def installed_backends() -> Tuple[str, ...]:
+    """The backends constructible in this environment, in BACKENDS order.
+
+    ``"list"`` and ``"compact"`` are stdlib-only and always present;
+    ``"numpy"`` appears when the optional dependency imports.
+    """
+    available = ["list", "compact"]
+    try:
+        get_backend("numpy")
+    except ImportError:
+        pass
+    else:
+        available.append("numpy")
+    return tuple(available)

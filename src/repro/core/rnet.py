@@ -14,7 +14,7 @@ under network changes (Section 5.2.2: border promotion/demotion).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.graph.network import EdgeKey, RoadNetwork, edge_key
 from repro.partition.hierarchy import PartitionNode

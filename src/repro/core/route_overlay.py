@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.graph.network import RoadNetwork, edge_key
+from repro.graph.network import RoadNetwork
 from repro.core.rnet import RnetHierarchy
 from repro.core.shortcut_tree import ShortcutTree, build_shortcut_tree
 from repro.core.shortcuts import ShortcutIndex

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import BinaryIO, Dict, List, Optional, Union
+from typing import BinaryIO, Dict, List, Union
 
 from repro.core.framework import ROAD, BuildReport
 from repro.core.object_abstract import AbstractFactory, exact_abstract

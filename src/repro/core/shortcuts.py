@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.graph.network import EdgeKey, RoadNetwork, edge_key
+from repro.graph.network import RoadNetwork, edge_key
 from repro.graph.shortest_path import dijkstra
 from repro.core.rnet import Rnet, RnetHierarchy
 

@@ -16,9 +16,8 @@ like the figure experiments do.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
-import numpy as np
 
 from repro.baselines import EngineError, NetworkExpansionEngine, ROADEngine
 from repro.core.object_abstract import (

@@ -17,6 +17,7 @@ import sys
 from typing import Callable, Dict
 
 from repro.baselines import ROAD_MAINTENANCE_MODES, ROAD_MODES
+from repro.core.frozen_backends import BACKEND_ENV, BACKENDS
 from repro.eval import ablations, experiments
 from repro.eval.reporting import ExperimentResult
 
@@ -80,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="frozen-snapshot maintenance lifecycle: delta-patch from "
         "MaintenanceReports or full re-freeze (sets REPRO_MAINTENANCE)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        help="FrozenRoad array backend: pre-boxed lists (fastest), "
+        "compact stdlib typed buffers (~4x less memory), or numpy "
+        "vectorised views (optional extra) (sets REPRO_BACKEND)",
+    )
     return parser
 
 
@@ -93,6 +101,8 @@ def main(argv=None) -> int:
         os.environ["REPRO_ENGINE"] = args.engine
     if args.maintenance is not None:
         os.environ["REPRO_MAINTENANCE"] = args.maintenance
+    if args.backend is not None:
+        os.environ[BACKEND_ENV] = args.backend
 
     if args.experiment == "list":
         for name in REGISTRY:

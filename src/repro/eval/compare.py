@@ -1,0 +1,286 @@
+"""Bench-regression gate: diff ``BENCH_*.json`` artifacts against baselines.
+
+Every tracked benchmark writes a machine-readable ``BENCH_<id>.json``
+(:meth:`repro.eval.reporting.ExperimentResult.save_json`).  CI runs the
+smoke benches, then holds the perf trajectory to a ratchet::
+
+    python -m repro.eval.compare
+
+compares each ``BENCH_*_smoke.json`` under ``--current-dir`` against the
+checked-in baseline of the same name under ``--baseline-dir``, matching
+rows by their label column and collecting, per latency column (any column
+ending in ``_ms``), the per-row ``current / baseline`` ratios.  The gate
+fails when a column's **median** ratio exceeds ``1 + --threshold`` (default
+25%).  A trajectory table is printed and, when ``$GITHUB_STEP_SUMMARY`` is
+set (or ``--summary`` given), appended to the CI job summary as markdown.
+
+Benchmarks without a baseline yet pass with a ``new`` status — commit the
+current artifact under ``--baseline-dir`` to start ratcheting them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+#: Where the checked-in trajectory baselines live, relative to the repo.
+DEFAULT_BASELINE_DIR = "benchmarks/results/baselines"
+#: Where the benches write their artifacts.
+DEFAULT_CURRENT_DIR = "benchmarks/results"
+#: Which artifacts the gate tracks (smoke runs: sized for CI).
+DEFAULT_PATTERN = "BENCH_*_smoke.json"
+#: Allowed median-latency growth before the gate fails.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class ColumnVerdict:
+    """One benchmark column's trajectory next to its baseline."""
+
+    bench: str
+    column: str
+    baseline_ms: float  # median over matched rows
+    current_ms: float
+    ratio: Optional[float]  # median of per-row ratios; None = incomparable
+    status: str  # "ok" | "REGRESSION" | "new" | "incomparable"
+
+    @property
+    def failed(self) -> bool:
+        # "incomparable" fails closed: a baseline exists but nothing
+        # could be ratioed against it (empty rows, renamed labels, a
+        # dropped column) — the ratchet has silently detached from that
+        # bench, which must surface as red, not as a green no-op.
+        return self.status in ("REGRESSION", "incomparable")
+
+
+def _load_rows(path: Path):
+    payload = json.loads(path.read_text())
+    columns = payload.get("columns", [])
+    rows = payload.get("rows", [])
+    if not columns or not rows:
+        return None, [], []
+    label_col = columns[0]
+    latency_cols = [c for c in columns if c.endswith("_ms")]
+    return label_col, latency_cols, rows
+
+
+def _median(values: List[float]) -> float:
+    return statistics.median(values) if values else 0.0
+
+
+def compare_file(current: Path, baseline: Path) -> List[ColumnVerdict]:
+    """Verdicts for every latency column of one benchmark artifact."""
+    bench = current.stem.replace("BENCH_", "")
+    if not baseline.exists():
+        label_col, latency_cols, rows = _load_rows(current)
+        return [
+            ColumnVerdict(
+                bench, col,
+                baseline_ms=0.0,
+                current_ms=_median(
+                    [r[col] for r in rows if isinstance(r.get(col), (int, float))]
+                ),
+                ratio=None,
+                status="new",
+            )
+            for col in latency_cols
+        ]
+    label_col, latency_cols, cur_rows = _load_rows(current)
+    base_label, base_latency, base_rows = _load_rows(baseline)
+    if label_col is None or base_label is None:
+        return [ColumnVerdict(bench, "-", 0.0, 0.0, None, "incomparable")]
+    base_by_label = {str(r.get(base_label)): r for r in base_rows}
+    verdicts = []
+    for col in latency_cols:
+        ratios: List[float] = []
+        cur_values: List[float] = []
+        base_values: List[float] = []
+        for row in cur_rows:
+            base_row = base_by_label.get(str(row.get(label_col)))
+            if base_row is None:
+                continue
+            cur = row.get(col)
+            base = base_row.get(col)
+            if not isinstance(cur, (int, float)) or not isinstance(
+                base, (int, float)
+            ):
+                continue
+            cur_values.append(float(cur))
+            base_values.append(float(base))
+            if base > 0:
+                ratios.append(float(cur) / float(base))
+        if not ratios:
+            verdicts.append(
+                ColumnVerdict(
+                    bench, col, _median(base_values), _median(cur_values),
+                    None, "incomparable",
+                )
+            )
+            continue
+        ratio = _median(ratios)
+        verdicts.append(
+            ColumnVerdict(
+                bench, col, _median(base_values), _median(cur_values),
+                ratio, "ok",
+            )
+        )
+    return verdicts
+
+
+def _apply_threshold(
+    verdicts: List[ColumnVerdict], threshold: float
+) -> List[ColumnVerdict]:
+    out = []
+    for v in verdicts:
+        if v.status == "ok" and v.ratio is not None and (
+            v.ratio > 1.0 + threshold
+        ):
+            out.append(
+                ColumnVerdict(
+                    v.bench, v.column, v.baseline_ms, v.current_ms,
+                    v.ratio, "REGRESSION",
+                )
+            )
+        else:
+            out.append(v)
+    return out
+
+
+def render_text(verdicts: List[ColumnVerdict], threshold: float) -> str:
+    """The trajectory table, monospace (stdout form)."""
+    header = ("bench", "column", "baseline_ms", "current_ms", "ratio", "status")
+    lines = [_table_row(header)]
+    lines.append(_table_row(tuple("-" * len(h) for h in header)))
+    for v in verdicts:
+        lines.append(_table_row(_cells(v)))
+    lines.append(
+        f"gate: fail when a column's median latency ratio exceeds "
+        f"{1.0 + threshold:.2f}x its committed baseline"
+    )
+    return "\n".join(lines)
+
+
+def render_markdown(verdicts: List[ColumnVerdict], threshold: float) -> str:
+    """The trajectory table as GitHub job-summary markdown."""
+    lines = [
+        "### Bench-regression trajectory",
+        "",
+        "| bench | column | baseline ms | current ms | ratio | status |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for v in verdicts:
+        cells = _cells(v)
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    lines.append(
+        f"Gate: fail when a column's median latency ratio exceeds "
+        f"**{1.0 + threshold:.2f}x** its committed baseline."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _cells(v: ColumnVerdict):
+    return (
+        v.bench,
+        v.column,
+        f"{v.baseline_ms:.3f}" if v.status != "new" else "-",
+        f"{v.current_ms:.3f}",
+        f"{v.ratio:.2f}x" if v.ratio is not None else "-",
+        v.status,
+    )
+
+
+_WIDTHS = (28, 14, 12, 11, 7, 10)
+
+
+def _table_row(cells) -> str:
+    return "  ".join(
+        str(c).ljust(w) for c, w in zip(cells, _WIDTHS)
+    ).rstrip()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.compare",
+        description="Diff BENCH_*.json artifacts against committed "
+        "baselines and fail on median-latency regressions.",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=DEFAULT_BASELINE_DIR, metavar="DIR",
+        help=f"checked-in baseline artifacts (default: {DEFAULT_BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--current-dir", default=DEFAULT_CURRENT_DIR, metavar="DIR",
+        help=f"freshly generated artifacts (default: {DEFAULT_CURRENT_DIR})",
+    )
+    parser.add_argument(
+        "--pattern", default=DEFAULT_PATTERN, metavar="GLOB",
+        help=f"artifacts to track (default: {DEFAULT_PATTERN})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD, metavar="FRAC",
+        help="allowed median-latency growth, e.g. 0.25 = +25%% "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--summary", metavar="FILE",
+        help="append the markdown trajectory table to FILE "
+        "(default: $GITHUB_STEP_SUMMARY when set)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    current_dir = Path(args.current_dir)
+    baseline_dir = Path(args.baseline_dir)
+    current_files = sorted(current_dir.glob(args.pattern))
+    if not current_files:
+        print(
+            f"no {args.pattern} artifacts under {current_dir} — "
+            f"run the smoke benches first",
+            file=sys.stderr,
+        )
+        return 2
+    verdicts: List[ColumnVerdict] = []
+    for current in current_files:
+        verdicts.extend(compare_file(current, baseline_dir / current.name))
+    verdicts = _apply_threshold(verdicts, args.threshold)
+    print(render_text(verdicts, args.threshold))
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(render_markdown(verdicts, args.threshold))
+    failures = [v for v in verdicts if v.failed]
+    if failures:
+        print(
+            f"{len(failures)} bench-regression failure(s) "
+            f"(threshold +{args.threshold:.0%}):",
+            file=sys.stderr,
+        )
+        for v in failures:
+            if v.ratio is None:
+                print(
+                    f"  {v.bench}.{v.column}: incomparable with its "
+                    f"baseline (no matching rows/values) — regenerate the "
+                    f"baseline if the bench's shape changed on purpose",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"  {v.bench}.{v.column}: {v.ratio:.2f}x baseline "
+                    f"({v.baseline_ms:.3f} -> {v.current_ms:.3f} ms)",
+                    file=sys.stderr,
+                )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

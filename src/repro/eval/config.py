@@ -20,7 +20,7 @@ networks.  All relative comparisons (who wins, growth shapes) are preserved
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 #: Table 1 object cardinalities.

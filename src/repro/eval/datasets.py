@@ -15,7 +15,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Optional
 
-from repro.eval.config import NetworkProfile, profile
+from repro.eval.config import profile
 from repro.graph.generators import road_network
 from repro.graph.io import load_network
 from repro.graph.network import RoadNetwork

@@ -14,11 +14,10 @@ the full-size setting.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines import SearchEngine
 from repro.eval.config import (
     DEFAULT_K,
     DEFAULT_OBJECTS,
@@ -29,12 +28,12 @@ from repro.eval.config import (
     queries_per_run,
     table1_rows,
 )
-from repro.eval.datasets import Dataset, dataset_levels, load_dataset
+from repro.eval.datasets import dataset_levels, load_dataset
 from repro.eval.metrics import measure_query, run_workload, time_call
 from repro.eval.reporting import ExperimentResult
 from repro.eval.runner import ENGINE_ORDER, build_engine, build_engines, make_objects
 from repro.objects.model import SpatialObject
-from repro.queries.types import KNNQuery, RangeQuery
+from repro.queries.types import KNNQuery
 from repro.queries.workload import knn_workload, range_workload
 
 MB = 1024 * 1024

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.baselines import (
     DistanceIndexEngine,
@@ -14,6 +14,7 @@ from repro.baselines import (
     ROADEngine,
     SearchEngine,
 )
+from repro.core.frozen_backends import BACKEND_ENV, validate_backend_name
 from repro.eval.datasets import Dataset, dataset_levels
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet
@@ -33,6 +34,17 @@ def road_mode() -> str:
             f"REPRO_ENGINE must be one of {ROAD_MODES}, got {mode!r}"
         )
     return mode
+
+
+def road_backend() -> Optional[str]:
+    """The FrozenRoad array backend: ``list`` (pre-boxed, default),
+    ``compact`` (stdlib typed buffers) or ``numpy`` (vectorised);
+    REPRO_BACKEND / the ``--backend`` switch overrides.  Returns None
+    when unset so engines defer to the library default."""
+    name = os.environ.get(BACKEND_ENV)
+    if name is None:
+        return None
+    return validate_backend_name(name, source=BACKEND_ENV)
 
 
 def road_maintenance() -> str:
@@ -76,12 +88,15 @@ def build_engine(
     road_fanout: int = 4,
     buffer_pages: Optional[int] = None,
     road_mode_override: Optional[str] = None,
+    road_backend_override: Optional[str] = None,
 ) -> SearchEngine:
     """One engine over a private copy of the network (no cross-talk).
 
     ``road_mode_override`` forces the ROAD serving mode for this engine;
     by default :func:`road_mode` (the ``--engine`` switch / REPRO_ENGINE)
     decides between the charged disk path and the frozen fast path.
+    ``road_backend_override`` likewise forces the frozen array backend
+    over :func:`road_backend` (``--backend`` / REPRO_BACKEND).
     """
     private = network.copy()
     pager = PageManager(
@@ -102,6 +117,11 @@ def build_engine(
             fanout=road_fanout,
             mode=road_mode_override if road_mode_override else road_mode(),
             maintenance_mode=road_maintenance(),
+            backend=(
+                road_backend_override
+                if road_backend_override
+                else road_backend()
+            ),
         )
     raise KeyError(f"unknown engine {name!r}")
 

@@ -21,11 +21,25 @@ Every generator is deterministic under its ``seed``.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    import numpy as np
 
 from repro.graph.network import RoadNetwork
+
+
+def _numpy():
+    """Import numpy on first use.
+
+    Keeps ``import repro.graph`` (and everything layered on it — the core
+    framework, FrozenRoad, the eval compare gate) stdlib-only; only the
+    synthetic generators themselves need numpy, and environments without
+    it (the no-numpy CI leg) still import and use the rest of the library.
+    """
+    from repro._optional import require_numpy
+
+    return require_numpy("the synthetic network generators")
 
 
 class GeneratorError(Exception):
@@ -108,6 +122,7 @@ def road_network(
         raise GeneratorError("need at least 3 nodes for a triangulated network")
     if edge_ratio < 1.0 - 1.0 / num_nodes:
         raise GeneratorError("edge_ratio below spanning-tree density")
+    np = _numpy()
     rng = np.random.RandomState(seed)
 
     if clusters > 0:
@@ -247,7 +262,7 @@ def grid_network(
     """
     if rows < 2 or cols < 2:
         raise GeneratorError("grid needs at least 2x2 nodes")
-    rng = np.random.RandomState(seed)
+    rng = _numpy().random.RandomState(seed)
     network = RoadNetwork(metric=metric)
 
     def node_id(r: int, c: int) -> int:
@@ -302,7 +317,7 @@ def travel_time_metric(
     approaches are "not always applicable" (Sections 1–2) while ROAD's
     shortcuts simply carry the new metric.
     """
-    rng = np.random.RandomState(seed)
+    rng = _numpy().random.RandomState(seed)
     lo, hi = speed_range
     if lo <= 0 or hi < lo:
         raise GeneratorError("invalid speed range")

@@ -12,7 +12,7 @@ baseline; the ROAD framework itself never relies on them).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 EdgeKey = Tuple[int, int]
 

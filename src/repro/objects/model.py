@@ -14,7 +14,7 @@ Directory (or consumed directly by the baselines).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.graph.network import EdgeKey, RoadNetwork, edge_key
 

@@ -10,12 +10,21 @@ for predicate-carrying LDSQs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    import numpy as np
 
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject
+
+
+def _rng(seed: int) -> "np.random.RandomState":
+    """Lazy numpy import: placement needs it, the rest of the package
+    (and numpy-free deployments of the core library) does not."""
+    from repro._optional import require_numpy
+
+    return require_numpy("object placement").random.RandomState(seed)
 
 
 def place_uniform(
@@ -31,7 +40,7 @@ def place_uniform(
     ``attr_choices`` maps attribute name to the values sampled uniformly
     (e.g. ``{"type": ["restaurant", "hotel", "fuel"]}``).
     """
-    rng = np.random.RandomState(seed)
+    rng = _rng(seed)
     edges = sorted((u, v) for u, v, _ in network.edges())
     if not edges:
         raise ValueError("network has no edges to place objects on")
@@ -62,7 +71,7 @@ def place_clustered(
     """
     if clusters < 1:
         raise ValueError("need at least one cluster")
-    rng = np.random.RandomState(seed)
+    rng = _rng(seed)
     nodes = sorted(network.node_ids())
     hubs = [nodes[i] for i in rng.choice(len(nodes), size=clusters, replace=False)]
     pools: List[List[Tuple[int, int]]] = []

@@ -12,7 +12,7 @@ whose objects are all of the wrong type.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable
+from typing import Dict
 
 
 class SignatureScheme:

@@ -8,9 +8,9 @@ incident/border node sets and validate the three conditions of Definition 4.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, Sequence, Set
 
-from repro.graph.network import EdgeKey, RoadNetwork
+from repro.graph.network import EdgeKey
 
 
 class PartitionError(Exception):

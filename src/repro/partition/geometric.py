@@ -10,7 +10,7 @@ refinement converge quickly.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.graph.network import EdgeKey, RoadNetwork
 from repro.partition.base import PartitionError

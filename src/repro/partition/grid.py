@@ -10,7 +10,7 @@ with more border nodes.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.graph.network import EdgeKey, RoadNetwork
 from repro.partition.base import PartitionError

@@ -11,7 +11,7 @@ and therefore the bypass opportunities during search.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro.graph.network import EdgeKey, RoadNetwork, edge_key
 from repro.partition.hierarchy import (

@@ -10,7 +10,7 @@ queries (distance condition: among the k smallest) and range queries
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from repro.objects.model import SpatialObject

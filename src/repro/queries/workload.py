@@ -8,19 +8,28 @@ from a seed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    import numpy as np
 
 from repro.graph.network import RoadNetwork
 from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery
+
+
+def _rng(seed: int) -> "np.random.RandomState":
+    """Lazy numpy import: workload sampling needs it, query types and the
+    numpy-free deployments of the core library do not."""
+    from repro._optional import require_numpy
+
+    return require_numpy("workload sampling").random.RandomState(seed)
 
 
 def random_query_nodes(
     network: RoadNetwork, count: int, *, seed: int = 0
 ) -> List[int]:
     """Sample ``count`` query nodes uniformly (with replacement)."""
-    rng = np.random.RandomState(seed)
+    rng = _rng(seed)
     nodes = sorted(network.node_ids())
     return [nodes[i] for i in rng.randint(0, len(nodes), size=count)]
 
@@ -75,7 +84,7 @@ def mixed_workload(
     """
     if not predicates:
         raise ValueError("need at least one predicate")
-    rng = np.random.RandomState(seed)
+    rng = _rng(seed)
     nodes = random_query_nodes(network, count, seed=seed)
     queries: List[object] = []
     for i, node in enumerate(nodes):

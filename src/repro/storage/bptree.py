@@ -15,7 +15,7 @@ the record codecs in :mod:`repro.storage.codecs`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.storage.codecs import INT_SIZE
 from repro.storage.pager import PAGE_HEADER_SIZE, PAGE_SIZE, Page, PageManager

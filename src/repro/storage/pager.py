@@ -16,7 +16,7 @@ serialized record sizes even though the hot path keeps deserialized objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional
 
 from repro.storage.buffer import BufferPool

@@ -1,4 +1,11 @@
-"""FrozenRoad: compiled fast path equivalence, isolation, batch API."""
+"""FrozenRoad: compiled fast path equivalence, isolation, batch API.
+
+The ``frozen`` fixture is parametrised over every installed array backend
+(list / compact / numpy), so the whole equivalence + patch contract runs
+per backend.
+"""
+
+import sys
 
 import pytest
 
@@ -6,6 +13,7 @@ from repro.baselines.engine import EngineError
 from repro.baselines.road_adapter import ROADEngine
 from repro.core.framework import ROAD
 from repro.core.frozen import FrozenRoad, FrozenRoadError, freeze_road
+from repro.core.frozen_backends import installed_backends
 from repro.core.search import SearchStats, iter_nearest_objects
 from repro.objects.model import SpatialObject
 from repro.objects.placement import place_uniform
@@ -29,10 +37,16 @@ def built(medium_grid):
     return medium_grid, objects, road
 
 
-@pytest.fixture
-def frozen(built):
+@pytest.fixture(params=installed_backends())
+def frozen(built, request):
+    """One frozen snapshot per installed array backend.
+
+    Every test taking this fixture asserts the compiled fast path — and
+    the apply() patch lifecycle — per backend, so "list", "compact" and
+    (when installed) "numpy" all hold the same equivalence contract.
+    """
     _, _, road = built
-    return road.freeze()
+    return road.freeze(backend=request.param)
 
 
 class TestEquivalence:
@@ -373,6 +387,94 @@ class TestApplyPatch:
         assert {u, v} <= report.dirty_nodes
         assert report.edge == (min(u, v), max(u, v))
         assert report.refreshed_tree_nodes == len(report.dirty_nodes)
+
+
+class TestBackends:
+    def test_memory_stats_sanity(self, built, frozen):
+        stats = frozen.memory_stats()
+        assert stats["backend"] == frozen.backend
+        assert stats["total_bytes"] > 0
+        assert stats["payload_bytes"] == frozen.nbytes
+        assert stats["elements"] == sum(
+            len(a) for a in frozen._arrays().values()
+        )
+        assert set(stats["arrays"]) == set(frozen._arrays())
+        assert stats["object_refs"] == frozen.num_objects
+        # typed buffers hold ~the payload; boxed lists pay several times it
+        if frozen.backend == "list":
+            assert stats["total_bytes"] > 2 * stats["payload_bytes"]
+        else:
+            assert stats["total_bytes"] < 2 * stats["payload_bytes"]
+
+    def test_mask_cache_accounted(self, frozen):
+        before = frozen.memory_stats()["mask_cache_bytes"]
+        frozen.knn(0, 2, Predicate.of(type="a"))
+        stats = frozen.memory_stats()
+        assert stats["mask_cache_entries"] == 2  # rnet + object masks
+        assert stats["mask_cache_bytes"] > before
+
+    def test_compact_resident_smaller_than_list(self, built):
+        _, _, road = built
+        by_backend = {
+            name: road.freeze(backend=name).memory_stats()["total_bytes"]
+            for name in installed_backends()
+        }
+        assert by_backend["compact"] < by_backend["list"] / 2
+        if "numpy" in by_backend:  # same stdlib buffers underneath
+            assert by_backend["numpy"] == by_backend["compact"]
+
+    def test_unknown_backend_rejected(self, built):
+        _, _, road = built
+        with pytest.raises(ValueError):
+            road.freeze(backend="arrow")
+        with pytest.raises(ValueError):
+            ROADEngine(
+                road.network.copy(),
+                place_uniform(road.network, 3, seed=1),
+                levels=2,
+                backend="arrow",
+            )
+
+    def test_numpy_backend_requires_numpy(self, built, monkeypatch):
+        """Without numpy, backend="numpy" raises a clear ImportError."""
+        monkeypatch.setitem(sys.modules, "numpy", None)  # hide if installed
+        _, _, road = built
+        with pytest.raises(ImportError, match="road-repro\\[numpy\\]"):
+            road.freeze(backend="numpy")
+
+    def test_env_default_backend(self, built, monkeypatch):
+        _, _, road = built
+        monkeypatch.setenv("REPRO_BACKEND", "compact")
+        assert road.freeze().backend == "compact"
+        monkeypatch.setenv("REPRO_BACKEND", "warp")
+        with pytest.raises(ValueError):
+            road.freeze()
+
+    def test_engine_backend_plumbing(self, medium_grid):
+        objects = place_uniform(medium_grid, 12, seed=4)
+        engine = ROADEngine(
+            medium_grid.copy(), objects, levels=2, mode="frozen",
+            backend="compact",
+        )
+        assert engine.frozen.backend == "compact"
+        stats = engine.stats()
+        assert stats["frozen_backend"] == "compact"
+        assert stats["frozen_memory"]["backend"] == "compact"
+        # the patch lifecycle re-freezes with the engine's backend too
+        u, v, d = next(iter(engine.network.edges()))
+        engine.update_edge_distance(u, v, d * 2)
+        assert engine.frozen.backend == "compact"
+
+    def test_backend_survives_recompile(self, built, frozen):
+        net, _, road = built
+        a, b = 0, net.num_nodes - 1
+        if net.has_edge(a, b):
+            pytest.skip("grid already has the corner edge")
+        backend = frozen.backend
+        report = road.add_edge(a, b, 3.0)
+        assert frozen.apply(report) == "recompiled"
+        assert frozen.backend == backend
+        assert frozen.knn(0, 3) == road.freeze(backend=backend).knn(0, 3)
 
 
 class TestFrozenAggregate:

@@ -1,0 +1,172 @@
+"""Array-backend contract tests that run without numpy installed.
+
+The no-numpy CI leg executes exactly this module: it must import and pass
+in an environment with only the stdlib, proving that the core library —
+network model, ROAD build, FrozenRoad with the ``list`` and ``compact``
+backends, and the patch lifecycle — has no hard numpy dependency, and
+that ``backend="numpy"`` degrades to a clear ImportError rather than a
+crash.  (With numpy installed, the same parity assertions additionally
+cover the numpy backend via :func:`installed_backends`.)
+
+Fixtures here avoid the numpy-seeded generators on purpose: networks come
+from :func:`tests.conftest.random_connected_network` (stdlib ``random``)
+and objects are placed by hand.
+"""
+
+import random
+import sys
+
+import pytest
+
+from repro.core.framework import ROAD
+from repro.core.frozen_backends import (
+    BACKENDS,
+    default_backend,
+    get_backend,
+    installed_backends,
+    resolve_backend,
+)
+from repro.core.search import SearchStats
+from repro.objects.model import ObjectSet, SpatialObject
+from repro.queries.types import Predicate
+from tests.conftest import random_connected_network
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.fixture
+def built():
+    rnd = random.Random(7)
+    network = random_connected_network(rnd, 40, 12)
+    objects = ObjectSet()
+    edges = sorted((u, v) for u, v, _ in network.edges())
+    for object_id in range(10):
+        u, v = edges[rnd.randrange(len(edges))]
+        delta = rnd.uniform(0.0, network.edge_distance(u, v))
+        attrs = {"type": rnd.choice(["a", "b"])}
+        objects.add(SpatialObject(object_id, (u, v), delta, attrs))
+    road = ROAD.build(network, levels=2, fanout=4)
+    road.attach_objects(objects)
+    return network, road
+
+
+class TestRegistry:
+    def test_stdlib_backends_always_available(self):
+        available = installed_backends()
+        assert available[:2] == ("list", "compact")
+        assert set(available) <= set(BACKENDS)
+
+    def test_numpy_listed_iff_importable(self):
+        assert ("numpy" in installed_backends()) == _numpy_available()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="arrow"):
+            get_backend("arrow")
+
+    def test_missing_numpy_raises_clear_import_error(self, monkeypatch):
+        # Hide numpy if present; a plain no-numpy env takes the same path.
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        with pytest.raises(ImportError) as exc_info:
+            get_backend("numpy")
+        message = str(exc_info.value)
+        assert "road-repro[numpy]" in message
+        assert "compact" in message  # points at the stdlib fallback
+
+    def test_default_backend_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert default_backend() == "list"
+        monkeypatch.setenv("REPRO_BACKEND", "compact")
+        assert default_backend() == "compact"
+        assert resolve_backend(None).name == "compact"
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ValueError):
+            default_backend()
+
+    def test_resolve_backend_passthrough(self):
+        instance = get_backend("compact")
+        assert resolve_backend(instance) is instance
+        assert resolve_backend("list").name == "list"
+
+    def test_backend_names_case_insensitive(self):
+        # every config surface (env, CLI, freeze kwarg) accepts any case
+        assert get_backend("Compact").name == "compact"
+        assert resolve_backend("LIST").name == "list"
+
+
+class TestStdlibParity:
+    def test_backends_serve_byte_identical(self, built):
+        network, road = built
+        reference = road.freeze(backend="list")
+        pred = Predicate.of(type="a")
+        for name in installed_backends():
+            frozen = road.freeze(backend=name)
+            assert frozen.backend == name
+            for node in range(0, network.num_nodes, 5):
+                s_ref, s_got = SearchStats(), SearchStats()
+                want = reference.knn(node, 4, stats=s_ref)
+                got = frozen.knn(node, 4, stats=s_got)
+                assert got == want, name
+                assert s_got == s_ref, name
+                assert frozen.range(node, 8.0, pred) == reference.range(
+                    node, 8.0, pred
+                ), name
+                assert frozen.aggregate_knn(
+                    [node, (node + 7) % network.num_nodes], 3
+                ) == reference.aggregate_knn(
+                    [node, (node + 7) % network.num_nodes], 3
+                ), name
+
+    def test_matches_charged_path(self, built):
+        network, road = built
+        for name in installed_backends():
+            frozen = road.freeze(backend=name)
+            for node in range(0, network.num_nodes, 7):
+                assert frozen.knn(node, 3) == road.knn(node, 3), name
+
+    def test_patch_lifecycle_per_backend(self, built):
+        network, road = built
+        snapshots = {
+            name: road.freeze(backend=name) for name in installed_backends()
+        }
+        edges = sorted((u, v) for u, v, _ in network.edges())
+        rnd = random.Random(3)
+        # weight churn (slice-assigned span rewrites) ...
+        for _ in range(3):
+            u, v = edges[rnd.randrange(len(edges))]
+            report = road.update_edge_distance(
+                u, v, network.edge_distance(u, v) * rnd.choice([0.5, 2.0])
+            )
+            for frozen in snapshots.values():
+                frozen.apply(report)
+        # ... and object churn (size-changing splices)
+        u, v = edges[0]
+        new_id = road.directory().objects.next_id()
+        report = road.insert_object(
+            SpatialObject(new_id, (u, v), 0.0, {"type": "a"})
+        )
+        for frozen in snapshots.values():
+            frozen.apply(report)
+        report = road.delete_object(new_id)
+        for frozen in snapshots.values():
+            frozen.apply(report)
+        fresh = road.freeze(backend="list")
+        for name, frozen in snapshots.items():
+            for node in range(0, network.num_nodes, 6):
+                assert frozen.knn(node, 4) == fresh.knn(node, 4), name
+
+    def test_memory_stats_compact_vs_list(self, built):
+        _, road = built
+        stats = {
+            name: road.freeze(backend=name).memory_stats()
+            for name in ("list", "compact")
+        }
+        assert stats["list"]["payload_bytes"] == stats["compact"]["payload_bytes"]
+        assert stats["compact"]["total_bytes"] < stats["list"]["total_bytes"] / 2
+        # typed buffers sit within ~2x of the 8 B/element payload ideal
+        assert stats["compact"]["total_bytes"] < 2 * stats["compact"]["payload_bytes"]

@@ -1,6 +1,5 @@
 """Direct checks of the paper's lemmas (Section 3.3)."""
 
-import math
 
 import pytest
 
@@ -8,10 +7,8 @@ from repro.core.association_directory import AssociationDirectory
 from repro.core.rnet import RnetHierarchy
 from repro.core.shortcuts import build_shortcuts
 from repro.graph.network import edge_key
-from repro.objects.model import ObjectSet
 from repro.objects.placement import place_uniform
 from repro.partition.hierarchy import build_partition_tree
-from repro.queries.types import ANY
 from repro.storage.pager import PageManager
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.framework import ROAD
 from repro.core.maintenance import MaintenanceError
-from repro.graph.generators import grid_network
 from repro.objects.placement import place_uniform
 from tests.oracle import assert_same_result, brute_knn
 

@@ -6,10 +6,9 @@ from repro.core.framework import ROAD
 from repro.core.paths import PathError, PathTracer, expand_shortcut
 from repro.core.rnet import RnetHierarchy
 from repro.core.shortcuts import build_shortcuts
-from repro.graph.generators import chain_network, grid_network
-from repro.graph.shortest_path import network_distance, shortest_path
+from repro.graph.generators import chain_network
+from repro.graph.shortest_path import network_distance
 from repro.objects.placement import place_uniform
-from tests.oracle import brute_knn
 
 
 @pytest.fixture

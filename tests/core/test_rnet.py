@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.rnet import HierarchyError, RnetHierarchy
-from repro.graph.generators import chain_network, grid_network
+from repro.graph.generators import chain_network
 from repro.graph.network import edge_key
 from repro.partition.hierarchy import build_partition_tree
 

@@ -4,10 +4,10 @@ import pytest
 
 from repro.core.framework import ROAD
 from repro.core.search import SearchStats
-from repro.graph.generators import chain_network, grid_network
+from repro.graph.generators import chain_network
 from repro.objects.model import ObjectSet, SpatialObject
 from repro.objects.placement import place_uniform
-from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery
+from repro.queries.types import KNNQuery, Predicate, RangeQuery
 from tests.oracle import assert_same_result, brute_knn, brute_range
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.framework import ROAD
 from repro.core.serialize import SerializeError, load_road, save_road
-from repro.graph.generators import grid_network
 from repro.objects.placement import place_uniform
 from repro.queries.types import Predicate
 from tests.oracle import assert_same_result, brute_knn

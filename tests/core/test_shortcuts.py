@@ -1,6 +1,5 @@
 """Shortcuts: Definition 3 semantics, Lemma 2 composition, Lemma 4 reduction."""
 
-import math
 
 import pytest
 
@@ -9,10 +8,9 @@ from repro.core.shortcuts import (
     Shortcut,
     ShortcutIndex,
     build_shortcuts,
-    compute_rnet_shortcuts,
     reduce_shortcuts,
 )
-from repro.graph.generators import chain_network, grid_network
+from repro.graph.generators import chain_network
 from repro.graph.network import edge_key
 from repro.graph.shortest_path import dijkstra_distances
 from repro.partition.hierarchy import build_partition_tree

@@ -1,0 +1,175 @@
+"""The bench-regression gate: python -m repro.eval.compare."""
+
+import json
+
+import pytest
+
+from repro.eval.compare import (
+    ColumnVerdict,
+    compare_file,
+    main,
+    render_markdown,
+    render_text,
+)
+
+
+def _write(path, *, rows, columns=("workload", "charged_ms", "frozen_ms")):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment_id": path.stem.replace("BENCH_", ""),
+        "title": "test artifact",
+        "columns": list(columns),
+        "rows": rows,
+        "notes": [],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _dirs(tmp_path):
+    return tmp_path / "current", tmp_path / "baselines"
+
+
+def _args(current, baseline, *extra):
+    return [
+        "--current-dir", str(current), "--baseline-dir", str(baseline),
+        *extra,
+    ]
+
+
+ROWS = [
+    {"workload": "knn", "charged_ms": 1.0, "frozen_ms": 0.10},
+    {"workload": "range", "charged_ms": 2.0, "frozen_ms": 0.20},
+    {"workload": "mixed", "charged_ms": 3.0, "frozen_ms": 0.30},
+]
+
+
+class TestGate:
+    def test_identical_artifacts_pass(self, tmp_path, capsys):
+        current, baseline = _dirs(tmp_path)
+        _write(current / "BENCH_x_smoke.json", rows=ROWS)
+        _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        assert main(_args(current, baseline)) == 0
+        out = capsys.readouterr().out
+        assert "1.00x" in out and "ok" in out
+
+    def test_median_regression_fails(self, tmp_path, capsys):
+        current, baseline = _dirs(tmp_path)
+        slow = [dict(r, frozen_ms=r["frozen_ms"] * 1.5) for r in ROWS]
+        _write(current / "BENCH_x_smoke.json", rows=slow)
+        _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        assert main(_args(current, baseline)) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "frozen_ms" in captured.err
+
+    def test_single_row_outlier_tolerated_by_median(self, tmp_path):
+        current, baseline = _dirs(tmp_path)
+        rows = [dict(r) for r in ROWS]
+        rows[0]["frozen_ms"] *= 10  # one noisy workload, median unmoved
+        _write(current / "BENCH_x_smoke.json", rows=rows)
+        _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        assert main(_args(current, baseline)) == 0
+
+    def test_threshold_flag(self, tmp_path):
+        current, baseline = _dirs(tmp_path)
+        slow = [dict(r, frozen_ms=r["frozen_ms"] * 1.4) for r in ROWS]
+        _write(current / "BENCH_x_smoke.json", rows=slow)
+        _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        assert main(_args(current, baseline, "--threshold", "0.5")) == 0
+        assert main(_args(current, baseline, "--threshold", "0.2")) == 1
+
+    def test_improvement_passes(self, tmp_path):
+        current, baseline = _dirs(tmp_path)
+        fast = [dict(r, frozen_ms=r["frozen_ms"] * 0.5) for r in ROWS]
+        _write(current / "BENCH_x_smoke.json", rows=fast)
+        _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        assert main(_args(current, baseline)) == 0
+
+    def test_missing_baseline_is_new_not_failure(self, tmp_path, capsys):
+        current, baseline = _dirs(tmp_path)
+        _write(current / "BENCH_x_smoke.json", rows=ROWS)
+        baseline.mkdir()
+        assert main(_args(current, baseline)) == 0
+        assert "new" in capsys.readouterr().out
+
+    def test_no_artifacts_is_an_error(self, tmp_path, capsys):
+        current, baseline = _dirs(tmp_path)
+        current.mkdir()
+        assert main(_args(current, baseline)) == 2
+        assert "run the smoke benches" in capsys.readouterr().err
+
+    def test_summary_markdown_written(self, tmp_path):
+        current, baseline = _dirs(tmp_path)
+        _write(current / "BENCH_x_smoke.json", rows=ROWS)
+        _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        summary = tmp_path / "summary.md"
+        assert main(_args(current, baseline, "--summary", str(summary))) == 0
+        text = summary.read_text()
+        assert "### Bench-regression trajectory" in text
+        assert "| x_smoke | charged_ms |" in text
+
+    def test_github_step_summary_env(self, tmp_path, monkeypatch):
+        current, baseline = _dirs(tmp_path)
+        _write(current / "BENCH_x_smoke.json", rows=ROWS)
+        _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        summary = tmp_path / "gh_summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert main(_args(current, baseline)) == 0
+        assert "trajectory" in summary.read_text()
+
+
+class TestMatching:
+    def test_rows_matched_by_label_not_position(self, tmp_path):
+        current, baseline = _dirs(tmp_path)
+        cur = _write(current / "BENCH_x_smoke.json", rows=list(reversed(ROWS)))
+        base = _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        verdicts = compare_file(cur, base)
+        assert all(v.ratio == pytest.approx(1.0) for v in verdicts)
+        assert all(v.status == "ok" for v in verdicts)
+
+    def test_only_ms_columns_tracked(self, tmp_path):
+        current, baseline = _dirs(tmp_path)
+        columns = ("workload", "charged_ms", "speedup")
+        rows = [{"workload": "knn", "charged_ms": 1.0, "speedup": 9.0}]
+        cur = _write(current / "BENCH_x_smoke.json", rows=rows, columns=columns)
+        base = _write(
+            baseline / "BENCH_x_smoke.json", rows=rows, columns=columns
+        )
+        verdicts = compare_file(cur, base)
+        assert [v.column for v in verdicts] == ["charged_ms"]
+
+    def test_disjoint_labels_fail_closed(self, tmp_path, capsys):
+        current, baseline = _dirs(tmp_path)
+        cur = _write(
+            current / "BENCH_x_smoke.json",
+            rows=[{"workload": "other", "charged_ms": 1.0, "frozen_ms": 1.0}],
+        )
+        base = _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        verdicts = compare_file(cur, base)
+        assert {v.status for v in verdicts} == {"incomparable"}
+        # a baseline the ratchet can no longer grip must surface as red
+        assert all(v.failed for v in verdicts)
+        assert main(_args(current, baseline)) == 1
+        assert "incomparable" in capsys.readouterr().err
+
+    def test_empty_rows_fail_closed(self, tmp_path):
+        current, baseline = _dirs(tmp_path)
+        _write(current / "BENCH_x_smoke.json", rows=[])
+        _write(baseline / "BENCH_x_smoke.json", rows=ROWS)
+        assert main(_args(current, baseline)) == 1
+
+
+class TestRendering:
+    def test_renderers_cover_all_statuses(self):
+        verdicts = [
+            ColumnVerdict("b", "a_ms", 1.0, 1.1, 1.1, "ok"),
+            ColumnVerdict("b", "b_ms", 1.0, 2.0, 2.0, "REGRESSION"),
+            ColumnVerdict("b", "c_ms", 0.0, 1.0, None, "new"),
+        ]
+        text = render_text(verdicts, 0.25)
+        markdown = render_markdown(verdicts, 0.25)
+        for rendered in (text, markdown):
+            assert "REGRESSION" in rendered
+            assert "new" in rendered
+            assert "1.25x" in rendered

@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines import NetworkExpansionEngine
 from repro.eval.metrics import (
-    QueryMeasurement,
     WorkloadSummary,
     measure_query,
     run_workload,

@@ -5,8 +5,8 @@ import pytest
 from repro import ROAD, Predicate, SpatialObject
 from repro.baselines import NetworkExpansionEngine
 from repro.graph import ca_like, sf_like, travel_time_metric
-from repro.objects import ObjectSet, place_clustered, place_uniform
-from repro.queries import KNNQuery, RangeQuery, knn_workload
+from repro.objects import place_clustered, place_uniform
+from repro.queries import knn_workload
 from tests.oracle import assert_same_result, brute_knn, brute_range
 
 

@@ -6,7 +6,7 @@ the query node — the paper's correctness ground truth.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.graph.network import RoadNetwork
 from repro.graph.shortest_path import dijkstra_distances

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graph.generators import chain_network, grid_network
+from repro.graph.generators import chain_network
 from repro.partition.base import PartitionError, validate_partition
 from repro.partition.geometric import edge_midpoint, geometric_bisection
 

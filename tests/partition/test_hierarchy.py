@@ -8,7 +8,6 @@ from repro.partition.grid import grid_partition_tree
 from repro.partition.hierarchy import (
     build_partition_tree,
     geometric_bisector,
-    kl_bisector,
 )
 from repro.partition.object_based import build_object_based_tree, object_weights
 

@@ -5,15 +5,22 @@ updates, object churn and structural changes, a snapshot kept current with
 :meth:`FrozenRoad.apply` must be byte-identical — results, tie order, and
 SearchStats — to a snapshot frozen from scratch, whether each update was
 delta-patched or fell back to a full recompile.
+
+The churn tests run once per installed array backend: the snapshot under
+maintenance is compiled into that backend while the fresh comparator stays
+on the default, so the probes also pin cross-backend byte-identity of the
+slice-patching paths.
 """
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.road_adapter import ROADEngine
 from repro.core.framework import ROAD
+from repro.core.frozen_backends import installed_backends
 from repro.eval.metrics import snapshot_divergences
 from repro.objects.model import SpatialObject
 from repro.queries.types import Predicate
@@ -33,16 +40,17 @@ def _assert_snapshots_identical(rnd, patched, fresh, probes=3, k=4):
     assert not divergences, divergences
 
 
+@pytest.mark.parametrize("backend", installed_backends())
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(0, 10_000))
-def test_weight_updates_patch_equivalence(seed):
+def test_weight_updates_patch_equivalence(backend, seed):
     """Edge-weight churn: the patcher's bread and butter."""
     rnd = random.Random(seed)
     network = random_connected_network(rnd, rnd.randint(15, 45), rnd.randint(2, 20))
     objects = random_objects(rnd, network, rnd.randint(1, 10))
     road = ROAD.build(network, levels=rnd.randint(1, 3), fanout=4)
     road.attach_objects(objects)
-    frozen = road.freeze()
+    frozen = road.freeze(backend=backend)
     edges = sorted((u, v) for u, v, _ in network.edges())
     for _ in range(5):
         u, v = edges[rnd.randrange(len(edges))]
@@ -54,16 +62,17 @@ def test_weight_updates_patch_equivalence(seed):
         _assert_snapshots_identical(rnd, frozen, road.freeze())
 
 
+@pytest.mark.parametrize("backend", installed_backends())
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(0, 10_000))
-def test_mixed_interleaving_patch_equivalence(seed):
+def test_mixed_interleaving_patch_equivalence(backend, seed):
     """Random interleavings of weight updates, object churn and queries."""
     rnd = random.Random(seed)
     network = random_connected_network(rnd, rnd.randint(15, 40), rnd.randint(2, 15))
     objects = random_objects(rnd, network, rnd.randint(2, 8))
     road = ROAD.build(network, levels=rnd.randint(1, 3), fanout=4)
     directory = road.attach_objects(objects)
-    frozen = road.freeze()
+    frozen = road.freeze(backend=backend)
     edges = sorted((u, v) for u, v, _ in network.edges())
     pred = Predicate.of(type="a")
     for step in range(6):

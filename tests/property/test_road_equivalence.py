@@ -8,7 +8,6 @@ plain network expansion from the query node.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
