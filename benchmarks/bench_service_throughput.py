@@ -1,0 +1,242 @@
+"""RoadService front-end: async admission batching vs naive per-query submit.
+
+A serving node sees many concurrent users whose queries overlap heavily
+(popular places get asked for again and again).  This bench races three
+front-end policies over the same frozen engine and a hot workload
+(``NUM_QUERIES`` in-flight queries drawn from ``DISTINCT_QUERIES``
+distinct ones):
+
+* ``naive`` — admission batching off (``max_batch=1``, no coalescing):
+  every ``submit`` flushes alone, the pre-service behaviour of looping
+  ``execute`` per request;
+* ``batched`` — per-predicate admission batching + coalescing: in-flight
+  queries join one bucket, duplicates execute once, each bucket runs as
+  a single ``execute_many``;
+* ``sharded`` — the batched policy over ``REPLICA_COUNT`` read-only
+  frozen replicas served from worker threads.
+
+Acceptance gates: every path (and every installed array backend) must
+return results byte-identical to the sync ``run_many`` reference, and —
+in full runs — the batched path must beat naive per-query submission by
+at least :data:`MIN_SPEEDUP` in queries/sec.
+
+Run standalone (``python benchmarks/bench_service_throughput.py``) or via
+pytest with the usual harness fixtures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH/pytest-pythonpath)
+except ModuleNotFoundError:  # standalone run from a clean checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.frozen_backends import installed_backends
+from repro.eval.config import DEFAULT_K, DEFAULT_OBJECTS, DEFAULT_RANGE_FRACTION
+from repro.eval.datasets import dataset_levels, load_dataset
+from repro.eval.reporting import ExperimentResult
+from repro.eval.runner import build_engine, make_objects
+from repro.queries.workload import mixed_workload
+from repro.serving import RoadService, ServiceConfig
+
+#: Queries/sec the batched path must gain over naive submission (full runs).
+MIN_SPEEDUP = 2.0
+
+#: In-flight queries per timed round and the distinct pool they draw from
+#: (the overlap is what admission coalescing exploits).
+NUM_QUERIES = 240
+DISTINCT_QUERIES = 30
+
+#: Read-only frozen replicas in the sharded configuration.
+REPLICA_COUNT = 2
+
+#: Timed rounds per path; the median absorbs scheduler noise.
+ROUNDS = 5
+
+
+def _hot_workload(network, count, distinct, *, k, radius, seed):
+    """``count`` in-flight queries cycling over ``distinct`` distinct ones."""
+    pool = mixed_workload(network, distinct, k=k, radius=radius, seed=seed)
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+def _submit_all(service, queries):
+    async def go():
+        return await asyncio.gather(*(service.submit(q) for q in queries))
+
+    return asyncio.run(go())
+
+
+def _timed_rounds(service, queries):
+    timings, answers = [], None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        answers = _submit_all(service, queries)
+        timings.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(timings), answers
+
+
+def run_throughput_comparison(
+    *,
+    network: str = "CA",
+    num_objects: int = DEFAULT_OBJECTS,
+    k: int = DEFAULT_K,
+    fraction: float = DEFAULT_RANGE_FRACTION,
+    num_queries: int = NUM_QUERIES,
+    distinct: int = DISTINCT_QUERIES,
+    num_nodes=None,
+    seed: int = 0,
+):
+    """Race the three front-end policies over one frozen engine.
+
+    Returns ``(result, summary)``: the rendered table data and
+    ``{path: {qps, speedup, identical}}``.  ``num_nodes`` overrides the
+    profile size (CI smoke runs use a tiny replica).
+    """
+    dataset = load_dataset(network, num_nodes)
+    objects = make_objects(dataset.network, num_objects, seed=seed)
+    engine = build_engine(
+        "ROAD", dataset.network, objects,
+        road_levels=dataset_levels(network), road_mode_override="frozen",
+    )
+    radius = dataset.radius(fraction)
+    queries = _hot_workload(
+        dataset.network, num_queries, distinct, k=k, radius=radius, seed=seed
+    )
+
+    batching_on = dict(max_batch=num_queries, max_delay_ms=50.0)
+    services = {
+        "naive": RoadService(
+            engine,
+            config=ServiceConfig(
+                mode="frozen", max_batch=1, coalesce=False
+            ),
+        ),
+        "batched": RoadService(
+            engine, config=ServiceConfig(mode="frozen", **batching_on)
+        ),
+        "sharded": RoadService(
+            engine,
+            config=ServiceConfig(
+                mode="frozen", replicas=REPLICA_COUNT, **batching_on
+            ),
+        ),
+    }
+    reference = services["batched"].run_many(queries)
+
+    result = ExperimentResult(
+        "service_throughput",
+        f"RoadService front-end policies on {network} "
+        f"(|O|={num_objects}, {num_queries} in-flight queries, "
+        f"{distinct} distinct, k={k})",
+        ["path", "wall_ms", "qps", "speedup", "identical"],
+    )
+    summary = {}
+    naive_ms = None
+    for name, service in services.items():
+        wall_ms, answers = _timed_rounds(service, queries)
+        if name == "naive":
+            naive_ms = wall_ms
+        identical = answers == reference
+        qps = num_queries / (wall_ms / 1000.0) if wall_ms else float("inf")
+        speedup = naive_ms / wall_ms if wall_ms else float("inf")
+        summary[name] = {
+            "qps": qps, "speedup": speedup, "identical": identical,
+        }
+        result.add_row(
+            path=name,
+            wall_ms=wall_ms,
+            qps=f"{qps:,.0f}",
+            speedup=f"{speedup:.2f}x",
+            identical=str(identical),
+        )
+        service.close()
+
+    # Byte-identity of the async front-end across every installed array
+    # backend (the sync reference comes from the engine's own snapshot).
+    backend_identity = {}
+    for backend in installed_backends():
+        snapshot = engine.road.freeze(backend=backend)
+        service = RoadService(
+            snapshot, config=ServiceConfig(mode="frozen", **batching_on)
+        )
+        backend_identity[backend] = _submit_all(service, queries) == reference
+        service.close()
+    summary["backends_identical"] = backend_identity
+
+    result.note(
+        f"workload: {num_queries} concurrent submits over {distinct} "
+        f"distinct queries; batched coalesces duplicates and runs one "
+        f"execute_many per predicate bucket; sharded adds "
+        f"{REPLICA_COUNT} frozen replicas on worker threads"
+    )
+    result.note(
+        f"gates (full runs): batched >= {MIN_SPEEDUP:.0f}x naive "
+        f"queries/sec; all paths and backends "
+        f"({', '.join(backend_identity)}) byte-identical to sync run_many"
+    )
+    result.note(
+        f"params: network={network} num_nodes={dataset.network.num_nodes} "
+        f"objects={num_objects} k={k} rounds={ROUNDS} seed={seed}"
+    )
+    return result, summary
+
+
+def _assert_gates(summary, *, smoke: bool) -> None:
+    """The acceptance bars shared by the pytest gate and main()."""
+    for path in ("naive", "batched", "sharded"):
+        assert summary[path]["identical"], (
+            f"{path}: async answers diverged from sync run_many"
+        )
+    for backend, identical in summary["backends_identical"].items():
+        assert identical, f"{backend}: backend answers diverged"
+    if not smoke:  # tiny-network timings are scheduler noise
+        speedup = summary["batched"]["speedup"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"admission batching only {speedup:.2f}x naive submission "
+            f"(bar: {MIN_SPEEDUP:.1f}x)"
+        )
+
+
+def test_service_throughput(results_dir):
+    """The acceptance gate: >=2x naive throughput, byte-identical paths."""
+    from conftest import publish
+
+    result, summary = run_throughput_comparison()
+    _assert_gates(summary, smoke=False)
+    publish(result, results_dir)
+
+
+def main() -> int:
+    from conftest import publish_main
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    if smoke:
+        result, summary = run_throughput_comparison(
+            num_nodes=300, num_queries=80, distinct=16
+        )
+    else:
+        result, summary = run_throughput_comparison()
+    publish_main(
+        result, smoke=smoke,
+        smoke_note="smoke mode: 300-node replica, 80 in-flight queries — "
+                   "not comparable to full CA runs",
+    )
+    _assert_gates(summary, smoke=smoke)
+    print(
+        f"\nadmission batching: {summary['batched']['speedup']:.2f}x naive "
+        f"({summary['batched']['qps']:,.0f} vs "
+        f"{summary['naive']['qps']:,.0f} queries/sec)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,16 +1,20 @@
 #!/usr/bin/env python
-"""Serving-shaped usage: freeze the index and answer query batches.
+"""Serving-shaped usage: one RoadService front door, three serving paths.
 
 The charged ROAD index models the paper's disk-resident storage; a server
-handling heavy traffic compiles it once into a :class:`FrozenRoad` and
-answers batches of mixed queries with zero simulated I/O.  Run with::
+handling heavy traffic wraps it in a :class:`repro.serving.RoadService`:
+a typed :class:`ServiceConfig` selects the frozen in-memory fast path,
+the async front-end admission-batches concurrent queries (coalescing
+duplicates), and read-only snapshot replicas serve from worker threads —
+all byte-identical to the charged path.  Run with::
 
     python examples/frozen_batch_serving.py
 """
 
+import asyncio
 import time
 
-from repro import ROAD, Predicate, SpatialObject
+from repro import KNNQuery, Predicate, RoadService, ServiceConfig, SpatialObject
 from repro.graph import grid_network
 from repro.objects.placement import place_uniform
 from repro.queries import mixed_workload
@@ -23,73 +27,67 @@ def main() -> None:
         network, 60, seed=9,
         attr_choices={"type": ["cafe", "pharmacy", "fuel"]},
     )
-    road = ROAD.build(network, levels=3, fanout=4)
-    road.attach_objects(objects)
-    print(f"index: {network.num_nodes} nodes, {len(objects)} objects")
 
-    # 2. Freeze: compile Route Overlay + Association Directory into flat
-    #    in-memory arrays.  One-off cost, reported here for scale.
+    # 2. One config instead of REPRO_* env sprawl: frozen serving mode,
+    #    patch maintenance, two read-only replicas for the worker pool.
+    config = ServiceConfig(mode="frozen", levels=3, replicas=2, max_batch=256)
     start = time.perf_counter()
-    frozen = road.freeze()
-    freeze_ms = (time.perf_counter() - start) * 1000.0
-    print(f"freeze: {freeze_ms:.1f} ms -> {frozen.nbytes / 1024:.0f} KiB "
-          f"of compiled arrays")
+    service = RoadService.build(network, objects, config=config)
+    build_ms = (time.perf_counter() - start) * 1000.0
+    print(f"service up in {build_ms:.0f} ms: {network.num_nodes} nodes, "
+          f"{len(objects)} objects, {len(service.replicas)} frozen replicas")
 
-    # 3. A server-shaped batch: interleaved kNN and range queries over a
-    #    couple of predicates.  execute_many shares the per-predicate
-    #    pruning masks across the whole batch.
+    # 3. A server-shaped moment: 200 in-flight queries from many users,
+    #    heavily overlapping (popular predicates repeat).  The sync path
+    #    batches them in one call; the async path admission-batches the
+    #    same queries per predicate and coalesces duplicates.
     queries = mixed_workload(
         network, 200, k=3, radius=600.0, seed=17,
         predicates=[Predicate.of(type="cafe"), Predicate.of(type="pharmacy")],
     )
 
     start = time.perf_counter()
-    frozen_answers = frozen.execute_many(queries)
-    frozen_ms = (time.perf_counter() - start) * 1000.0
+    sync_answers = service.run_many(queries)
+    sync_ms = (time.perf_counter() - start) * 1000.0
+
+    async def serve_concurrently():
+        return await asyncio.gather(*(service.submit(q) for q in queries))
 
     start = time.perf_counter()
-    charged_answers = road.execute_many(queries)
-    charged_ms = (time.perf_counter() - start) * 1000.0
+    async_answers = asyncio.run(serve_concurrently())
+    async_ms = (time.perf_counter() - start) * 1000.0
 
-    assert frozen_answers == charged_answers  # byte-identical, by design
-    answered = sum(1 for a in frozen_answers if a)
-    print(f"batch of {len(queries)} queries: frozen {frozen_ms:.1f} ms vs "
-          f"charged {charged_ms:.1f} ms "
-          f"({charged_ms / frozen_ms:.1f}x), identical answers, "
-          f"{answered} queries non-empty")
+    assert async_answers == sync_answers  # byte-identical, by design
+    counters = service.stats()["service"]
+    print(f"{len(queries)} concurrent queries: sync batch {sync_ms:.1f} ms, "
+          f"async admission-batched {async_ms:.1f} ms on "
+          f"{len(service.replicas)} replicas "
+          f"({counters['coalesced']} duplicates coalesced, "
+          f"{counters['batches']} execute_many calls)")
 
-    # 4. Serving under churn: the snapshot lifecycle.  Every maintenance
-    #    call returns a MaintenanceReport naming exactly what it touched;
-    #    FrozenRoad.apply() delta-patches only those CSR spans, so the
-    #    server keeps answering from the *same* snapshot without ever
-    #    paying a full O(network) re-freeze for a local change.
+    # 4. Serving under churn: maintenance goes through the service, which
+    #    patch-broadcasts each MaintenanceReport to every replica — the
+    #    shards never drift, and nobody pays a full re-freeze.
     start = time.perf_counter()
-    report = road.update_edge_distance(1, 2, network.edge_distance(1, 2) * 2.5)
-    outcome = frozen.apply(report)  # congestion: weights rewritten in place
-    new_id = objects.next_id()
-    report = road.insert_object(
-        SpatialObject(new_id, (5, 6), 20.0, {"type": "fuel"})
+    service.update_edge_distance(1, 2, network.edge_distance(1, 2) * 2.5)
+    service.insert_object(
+        SpatialObject(objects.next_id(), (5, 6), 20.0, {"type": "fuel"})
     )
-    frozen.apply(report)            # new listing: object spans spliced
     patch_ms = (time.perf_counter() - start) * 1000.0
-    print(f"2 updates patched into the snapshot in {patch_ms:.2f} ms "
-          f"(first outcome: {outcome}; full re-freeze was {freeze_ms:.1f} ms)")
+    print(f"2 updates patched into engine + {len(service.replicas)} replicas "
+          f"in {patch_ms:.2f} ms")
 
-    nearest = frozen.knn(0, 1, Predicate.of(type="fuel"))
+    nearest = service.run(KNNQuery(0, 1, Predicate.of(type="fuel")))
     if nearest:
-        obj = road.directory().get_object(nearest[0].object_id)
         print(f"after congestion + patch: nearest fuel from node 0 is "
-              f"object {obj.object_id} at {nearest[0].distance:.0f} m")
-    assert frozen.knn(0, 3) == road.knn(0, 3)  # still byte-identical
+              f"object {nearest[0].object_id} at {nearest[0].distance:.0f} m")
 
-    # 5. Structural changes (new roads, closures) change border sets; the
-    #    patcher detects that from the report and falls back to a full
-    #    recompile by itself — apply() always leaves the snapshot exact.
-    report = road.add_edge(0, network.num_nodes - 1, 950.0)
-    print(f"opening a road across town: apply() -> {frozen.apply(report)}")
-    assert frozen.knn(network.num_nodes - 1, 2) == road.knn(
-        network.num_nodes - 1, 2
-    )
+    # 5. Still byte-identical across paths after maintenance.
+    post_sync = service.run_many(queries)
+    post_async = asyncio.run(serve_concurrently())
+    assert post_async == post_sync
+    print("post-maintenance answers identical across sync and async paths")
+    service.close()
 
 
 if __name__ == "__main__":

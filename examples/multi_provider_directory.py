@@ -9,12 +9,22 @@ be placed into the same Association Directory or in a separate [one] ...
 multiple Association Directories that carry different types of objects can
 be accessed simultaneously."
 
-Run with::
+Queries go through one :class:`repro.serving.RoadService` front door:
+``directory=`` selects the provider on every engine uniformly, and a
+directory nobody attached raises a typed ``UnknownDirectoryError``
+instead of being silently ignored.  Run with::
 
     python examples/multi_provider_directory.py
 """
 
-from repro import ROAD, Predicate
+from repro import (
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+    ROAD,
+    RoadService,
+    UnknownDirectoryError,
+)
 from repro.core.object_abstract import bloom_abstract
 from repro.graph import na_like
 from repro.objects import place_clustered, place_uniform
@@ -24,6 +34,7 @@ def main() -> None:
     # The map provider's asset: network + Route Overlay, built once.
     atlas = na_like(num_nodes=2000, seed=21)
     road = ROAD.build(atlas, levels=4, fanout=4)
+    service = RoadService(road)
     print(f"map service: {atlas.num_nodes} nodes indexed, "
           f"{road.overlay.page_count} overlay pages")
 
@@ -51,24 +62,23 @@ def main() -> None:
 
     traveller = 1200
 
-    # Each provider's data is queried independently over the same overlay.
+    # Each provider's data is queried independently over the same overlay
+    # — same query objects, same service, different ``directory=``.
     print("\nnearest 4-star-or-better hotels:")
     for stars in ("4", "5"):
-        for entry in road.knn(
-            traveller, 2, Predicate.of(stars=stars), directory="hotels"
-        ):
+        query = KNNQuery(traveller, 2, Predicate.of(stars=stars))
+        for entry in service.run(query, directory="hotels"):
             print(f"  {stars}* hotel {entry.object_id}: {entry.distance:.0f} m")
 
     print("\nCCS chargers within 15 km:")
-    found = road.range(
-        traveller, 15_000.0, Predicate.of(plug="ccs"), directory="chargers"
-    )
+    query = RangeQuery(traveller, 15_000.0, Predicate.of(plug="ccs"))
+    found = service.run(query, directory="chargers")
     for entry in found[:5]:
         print(f"  charger {entry.object_id}: {entry.distance:.0f} m")
     print(f"  ({len(found)} total)")
 
     print("\nclosest assistance vehicle:")
-    entry = road.knn(traveller, 1, directory="assistance")[0]
+    entry = service.run(KNNQuery(traveller, 1), directory="assistance")[0]
     print(f"  vehicle {entry.object_id}: {entry.distance:.0f} m")
 
     # Providers update independently: the fleet moves, hotels re-price,
@@ -83,11 +93,16 @@ def main() -> None:
     print("\nfleet relocated + hotel re-rated; overlay untouched "
           f"({road.overlay.page_count} pages, unchanged)")
 
-    # One provider leaving does not disturb the others.
+    # One provider leaving does not disturb the others — and asking for
+    # it afterwards fails loudly, on every serving path.
     road.detach_objects("assistance")
     print(f"assistance provider detached; remaining: "
           f"{', '.join(sorted(road.directory_names))}")
-    assert road.knn(traveller, 1, directory="hotels")
+    try:
+        service.run(KNNQuery(traveller, 1), directory="assistance")
+    except UnknownDirectoryError as exc:
+        print(f"querying the departed provider: {exc}")
+    assert service.run(KNNQuery(traveller, 1), directory="hotels")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,10 @@ Public API tour:
 * :mod:`repro.objects` — spatial objects and placement.
 * :mod:`repro.queries` — LDSQ types (kNN / range, attribute predicates).
 * :mod:`repro.baselines` — NetExp, Euclidean and Distance-Index engines.
+* :mod:`repro.serving` — the unified serving API: the query-dispatch
+  protocol every engine implements and the :class:`RoadService` facade
+  (typed :class:`ServiceConfig`, async admission-batched front-end,
+  sharded frozen replicas).
 * :mod:`repro.eval` — the experiment harness reproducing the paper's
   figures.
 """
@@ -29,8 +33,15 @@ from repro.queries.types import (
     RangeQuery,
     ResultEntry,
 )
+from repro.serving import (
+    QueryExecutor,
+    RoadService,
+    ServiceConfig,
+    UnknownDirectoryError,
+    UnsupportedQueryError,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ANY",
@@ -41,12 +52,17 @@ __all__ = [
     "KNNQuery",
     "ObjectSet",
     "Predicate",
+    "QueryExecutor",
     "ROAD",
     "RangeQuery",
     "ResultEntry",
     "RoadNetwork",
+    "RoadService",
     "RoutedResult",
+    "ServiceConfig",
     "SpatialObject",
+    "UnknownDirectoryError",
+    "UnsupportedQueryError",
     "__version__",
     "freeze_road",
     "load_road",

@@ -10,12 +10,17 @@ uniformly: build, query, update, and account I/O through one pager.
 from __future__ import annotations
 
 import time
-from abc import ABC, abstractmethod
+from abc import abstractmethod
 from typing import List, Optional
 
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject
 from repro.queries.types import ANY, KNNQuery, Predicate, RangeQuery, ResultEntry
+from repro.serving.dispatch import (
+    BatchContext,
+    QueryExecutor,
+    register_handler,
+)
 from repro.storage.pager import IOStats, PageManager
 
 
@@ -23,8 +28,18 @@ class EngineError(Exception):
     """Raised when an engine cannot serve a request (e.g. metric misuse)."""
 
 
-class SearchEngine(ABC):
-    """One LDSQ evaluation approach over a network + object set."""
+class SearchEngine(QueryExecutor):
+    """One LDSQ evaluation approach over a network + object set.
+
+    As a :class:`~repro.serving.QueryExecutor` (dispatch key
+    ``"baseline"``), every subclass gets ``execute`` / ``execute_many``
+    — and with them the batch server front-end — for free from the two
+    abstract query methods below; only engines with extra query kinds
+    (e.g. :class:`~repro.baselines.road_adapter.ROADEngine` and
+    aggregate kNN) register additional handlers under their own key.
+    """
+
+    dispatch_engine = "baseline"
 
     #: Short label used in result tables ("ROAD", "NetExp", ...).
     name: str = "engine"
@@ -47,13 +62,9 @@ class SearchEngine(ABC):
     ) -> List[ResultEntry]:
         """All matching objects within network distance ``radius``."""
 
-    def execute(self, query) -> List[ResultEntry]:
-        """Dispatch a query object."""
-        if isinstance(query, KNNQuery):
-            return self.knn(query.node, query.k, query.predicate)
-        if isinstance(query, RangeQuery):
-            return self.range(query.node, query.radius, query.predicate)
-        raise TypeError(f"unsupported query type {type(query).__name__}")
+    # ``execute`` / ``execute_many`` are inherited from QueryExecutor and
+    # served by the ``engine="baseline"`` handlers at the bottom of this
+    # module.
 
     # ------------------------------------------------------------------
     # Maintenance (Figures 15 and 16)
@@ -104,3 +115,20 @@ class SearchEngine(ABC):
             f"{type(self).__name__}(nodes={self.network.num_nodes}, "
             f"objects={len(self.objects)})"
         )
+
+
+# ----------------------------------------------------------------------
+# Generic baseline query handlers (the "baseline" dispatch key).
+#
+# Aggregate kNN is deliberately absent: the Section-2 baselines have no
+# multi-source expansion, so an AggregateKNNQuery on them raises a typed
+# UnsupportedQueryError naming the engine.
+# ----------------------------------------------------------------------
+@register_handler(KNNQuery, engine="baseline")
+def _baseline_knn(engine: SearchEngine, query: KNNQuery, ctx: BatchContext):
+    return engine.knn(query.node, query.k, query.predicate)
+
+
+@register_handler(RangeQuery, engine="baseline")
+def _baseline_range(engine: SearchEngine, query: RangeQuery, ctx: BatchContext):
+    return engine.range(query.node, query.radius, query.predicate)

@@ -39,7 +39,15 @@ from repro.core.object_abstract import AbstractFactory, exact_abstract
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet, SpatialObject
 from repro.partition.hierarchy import Bisector
-from repro.queries.types import ANY, Predicate, ResultEntry
+from repro.queries.types import (
+    ANY,
+    AggregateKNNQuery,
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+    ResultEntry,
+)
+from repro.serving.dispatch import BatchContext, register_handler
 from repro.storage.pager import PageManager
 
 #: Valid serving modes for :class:`ROADEngine`.
@@ -53,6 +61,10 @@ class ROADEngine(SearchEngine):
     """The paper's system as a pluggable engine (Table 1 defaults: p=4)."""
 
     name = "ROAD"
+    #: Registry key: the ``"road"`` handlers forward to whichever serving
+    #: object (charged ROAD / frozen snapshot) the configured mode picks,
+    #: falling back to the generic ``"baseline"`` handlers via the MRO.
+    dispatch_engine = "road"
 
     def __init__(
         self,
@@ -186,13 +198,32 @@ class ROADEngine(SearchEngine):
         """Aggregate kNN in the configured serving mode."""
         return self._serving().aggregate_knn(nodes, k, agg, predicate)
 
-    def execute(self, query) -> List[ResultEntry]:
-        """Dispatch a query object (kNN / range / aggregate kNN)."""
-        return self._serving().execute(query)
+    @property
+    def directory_names(self) -> List[str]:
+        """Directories the configured serving object answers for."""
+        return self._serving().directory_names
 
-    def execute_many(self, queries: Sequence) -> List[List[ResultEntry]]:
-        """Batch entry point: one call per workload, shared predicate caches."""
-        return self._serving().execute_many(queries)
+    @property
+    def default_directory(self) -> str:
+        """The configured serving object's own default."""
+        return self._serving().default_directory
+
+    def execute_many(
+        self,
+        queries: Sequence,
+        *,
+        directory: Optional[str] = None,
+        stats=None,
+    ) -> List[List[ResultEntry]]:
+        """Batch entry point: forwarded wholesale to the serving object.
+
+        Forwarding the whole batch (rather than looping the inherited
+        per-query dispatch) lets the charged path share its per-predicate
+        AbstractCaches across the batch exactly as before.
+        """
+        return self._serving().execute_many(
+            queries, directory=directory, stats=stats
+        )
 
     # ------------------------------------------------------------------
     # Maintenance (patched into or invalidating any frozen snapshot)
@@ -250,3 +281,19 @@ class ROADEngine(SearchEngine):
     @property
     def objects(self) -> ObjectSet:
         return self.road.directory().objects
+
+
+# ----------------------------------------------------------------------
+# ROADEngine query handlers (the "road" dispatch key): forward one query
+# to the configured serving object, which re-validates the directory and
+# runs its own registered handler.
+# ----------------------------------------------------------------------
+def _road_forward(engine: ROADEngine, query, ctx: BatchContext):
+    return engine._serving().execute(
+        query, directory=ctx.directory, stats=ctx.stats
+    )
+
+
+for _query_type in (KNNQuery, RangeQuery, AggregateKNNQuery):
+    register_handler(_query_type, engine="road")(_road_forward)
+del _query_type

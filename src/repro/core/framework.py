@@ -18,7 +18,7 @@ Typical use::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.association_directory import AssociationDirectory
@@ -47,9 +47,14 @@ from repro.queries.types import (
     RangeQuery,
     ResultEntry,
 )
+from repro.serving.dispatch import (
+    DEFAULT_DIRECTORY,
+    BatchContext,
+    QueryExecutor,
+    UnknownDirectoryError,
+    register_handler,
+)
 from repro.storage.pager import PageManager
-
-DEFAULT_DIRECTORY = "objects"
 
 
 @dataclass(frozen=True)
@@ -81,8 +86,16 @@ class BuildReport:
         return self.partition_seconds + self.shortcut_seconds + self.overlay_seconds
 
 
-class ROAD:
-    """A built ROAD index over one road network."""
+class ROAD(QueryExecutor):
+    """A built ROAD index over one road network.
+
+    Queries run the paper's charged disk path; as a
+    :class:`~repro.serving.QueryExecutor` (dispatch key ``"charged"``)
+    the facade shares ``execute`` / ``execute_many`` signatures with
+    every other engine.
+    """
+
+    dispatch_engine = "charged"
 
     def __init__(
         self,
@@ -183,7 +196,7 @@ class ROAD:
         try:
             directory = self._directories.pop(name)
         except KeyError:
-            raise KeyError(f"no directory {name!r}") from None
+            raise UnknownDirectoryError(self, name, self._directories) from None
         directory.free_pages()
 
     def directory(self, name: str = DEFAULT_DIRECTORY) -> AssociationDirectory:
@@ -191,7 +204,7 @@ class ROAD:
         try:
             return self._directories[name]
         except KeyError:
-            raise KeyError(f"no directory {name!r}") from None
+            raise UnknownDirectoryError(self, name, self._directories) from None
 
     @property
     def directory_names(self) -> List[str]:
@@ -358,72 +371,11 @@ class ROAD:
             routed.append(RoutedResult(entry, path, approach))
         return routed
 
-    def execute(self, query, *, directory: str = DEFAULT_DIRECTORY) -> List[ResultEntry]:
-        """Run a :class:`KNNQuery`, :class:`RangeQuery` or
-        :class:`AggregateKNNQuery` object."""
-        if isinstance(query, KNNQuery):
-            return self.knn(query.node, query.k, query.predicate, directory=directory)
-        if isinstance(query, RangeQuery):
-            return self.range(
-                query.node, query.radius, query.predicate, directory=directory
-            )
-        if isinstance(query, AggregateKNNQuery):
-            return self.aggregate_knn(
-                query.nodes, query.k, query.agg, query.predicate,
-                directory=directory,
-            )
-        raise TypeError(f"unsupported query type {type(query).__name__}")
-
-    def execute_many(
-        self,
-        queries: Iterable,
-        *,
-        directory: str = DEFAULT_DIRECTORY,
-        stats: Optional[SearchStats] = None,
-    ) -> List[List[ResultEntry]]:
-        """Run a whole workload in one call on the charged path.
-
-        Queries sharing a predicate share one
-        :class:`~repro.core.search.AbstractCache`, so each Rnet's pruning
-        decision is paid once per batch rather than once per query — the
-        charged-path counterpart of :meth:`FrozenRoad.execute_many`.  The
-        directory must not change while the batch runs.
-        """
-        assoc = self.directory(directory)
-        caches: Dict[Predicate, AbstractCache] = {}
-        results: List[List[ResultEntry]] = []
-        for query in queries:
-            if not isinstance(query, (AggregateKNNQuery, KNNQuery, RangeQuery)):
-                raise TypeError(
-                    f"unsupported query type {type(query).__name__}"
-                )
-            cache = caches.get(query.predicate)
-            if cache is None:
-                cache = AbstractCache(assoc, query.predicate)
-                caches[query.predicate] = cache
-            if isinstance(query, AggregateKNNQuery):
-                results.append(
-                    self.aggregate_knn(
-                        query.nodes, query.k, query.agg, query.predicate,
-                        directory=directory, stats=stats, abstracts=cache,
-                    )
-                )
-                continue
-            if isinstance(query, KNNQuery):
-                results.append(
-                    knn_search(
-                        self.overlay, assoc, query.node, query.k,
-                        query.predicate, stats, abstracts=cache,
-                    )
-                )
-            else:
-                results.append(
-                    range_search(
-                        self.overlay, assoc, query.node, query.radius,
-                        query.predicate, stats, abstracts=cache,
-                    )
-                )
-        return results
+    # ``execute`` / ``execute_many`` are inherited from QueryExecutor and
+    # served by the ``engine="charged"`` handlers at the bottom of this
+    # module; queries in one batch share per-predicate AbstractCaches
+    # through the BatchContext, so each Rnet's pruning decision is paid
+    # once per batch rather than once per query.
 
     def freeze(
         self, *, directory: str = DEFAULT_DIRECTORY, backend=None
@@ -528,3 +480,53 @@ class ROAD:
             build_seconds=self.build_report.total_seconds,
         )
         return summary
+
+
+# ----------------------------------------------------------------------
+# Charged-path query handlers (the "charged" dispatch key).
+# ----------------------------------------------------------------------
+def _charged_cache(road: ROAD, predicate: Predicate, ctx: BatchContext):
+    """One AbstractCache per (batch, predicate): Rnet pruning paid once."""
+    assoc = road.directory(ctx.directory)
+    return ctx.cache(
+        ("abstracts", predicate), lambda: AbstractCache(assoc, predicate)
+    )
+
+
+@register_handler(KNNQuery, engine="charged")
+def _charged_knn(road: ROAD, query: KNNQuery, ctx: BatchContext):
+    return knn_search(
+        road.overlay,
+        road.directory(ctx.directory),
+        query.node,
+        query.k,
+        query.predicate,
+        ctx.stats,
+        abstracts=_charged_cache(road, query.predicate, ctx),
+    )
+
+
+@register_handler(RangeQuery, engine="charged")
+def _charged_range(road: ROAD, query: RangeQuery, ctx: BatchContext):
+    return range_search(
+        road.overlay,
+        road.directory(ctx.directory),
+        query.node,
+        query.radius,
+        query.predicate,
+        ctx.stats,
+        abstracts=_charged_cache(road, query.predicate, ctx),
+    )
+
+
+@register_handler(AggregateKNNQuery, engine="charged")
+def _charged_aggregate(road: ROAD, query: AggregateKNNQuery, ctx: BatchContext):
+    return road.aggregate_knn(
+        query.nodes,
+        query.k,
+        query.agg,
+        query.predicate,
+        directory=ctx.directory,
+        stats=ctx.stats,
+        abstracts=_charged_cache(road, query.predicate, ctx),
+    )

@@ -53,6 +53,7 @@ from __future__ import annotations
 import copy
 import heapq
 import sys
+import warnings
 import weakref
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -68,6 +69,11 @@ from repro.queries.types import (
     Predicate,
     RangeQuery,
     ResultEntry,
+)
+from repro.serving.dispatch import (
+    BatchContext,
+    QueryExecutor,
+    register_handler,
 )
 
 #: Heap items carry one signed code instead of a (kind, id) pair: nodes are
@@ -121,7 +127,7 @@ def _flatten_tree_entries(
     return entries, nexts
 
 
-class FrozenRoad:
+class FrozenRoad(QueryExecutor):
     """A read-only, fully in-memory compilation of one ROAD + directory.
 
     Construct via :meth:`FrozenRoad.from_road` or
@@ -131,6 +137,8 @@ class FrozenRoad:
     point :meth:`execute_many`.  After live maintenance, :meth:`apply`
     delta-patches the snapshot from the update's MaintenanceReport.
     """
+
+    dispatch_engine = "frozen"
 
     def __init__(
         self,
@@ -688,28 +696,21 @@ class FrozenRoad:
             agg,
         )
 
-    def execute(self, query) -> List[ResultEntry]:
-        """Run a :class:`KNNQuery`, :class:`RangeQuery` or
-        :class:`AggregateKNNQuery` object."""
-        if isinstance(query, KNNQuery):
-            return self.knn(query.node, query.k, query.predicate)
-        if isinstance(query, RangeQuery):
-            return self.range(query.node, query.radius, query.predicate)
-        if isinstance(query, AggregateKNNQuery):
-            return self.aggregate_knn(
-                query.nodes, query.k, query.agg, query.predicate
-            )
-        raise TypeError(f"unsupported query type {type(query).__name__}")
+    # ``execute`` / ``execute_many`` are inherited from QueryExecutor and
+    # served by the ``engine="frozen"`` handlers at the bottom of this
+    # module.  Predicate state (Rnet masks, object match masks) is
+    # memoised on the snapshot itself, so a workload with few distinct
+    # predicates compiles each predicate once regardless of batching.
 
-    def execute_many(self, queries: Sequence) -> List[List[ResultEntry]]:
-        """Run a whole workload in one call.
+    @property
+    def directory_names(self) -> List[str]:
+        """The one directory this snapshot compiled (see :meth:`from_road`)."""
+        return [self.directory_name]
 
-        All queries share this snapshot's per-predicate Rnet masks and
-        object match masks, so a workload with few distinct predicates
-        compiles each predicate once — the entry point a batch server (and
-        the eval runner) uses.
-        """
-        return [self.execute(query) for query in queries]
+    @property
+    def default_directory(self) -> str:
+        """A snapshot serves exactly its compiled directory by default."""
+        return self.directory_name
 
     def iter_nearest_objects(
         self,
@@ -1205,5 +1206,41 @@ def _cache_put(cache: Dict, key, value) -> None:
 def freeze_road(
     road, *, directory: str = "objects", backend=None
 ) -> FrozenRoad:
-    """Module-level convenience mirroring :meth:`ROAD.freeze`."""
+    """Deprecated alias for :meth:`ROAD.freeze` / :meth:`FrozenRoad.from_road`.
+
+    .. deprecated:: 1.1
+       Use ``road.freeze(...)`` directly, or serve through
+       :class:`repro.serving.RoadService` with
+       ``ServiceConfig(mode="frozen")``.
+    """
+    warnings.warn(
+        "road-repro deprecated: freeze_road() — use ROAD.freeze() or "
+        "repro.serving.RoadService (ServiceConfig(mode='frozen'))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return FrozenRoad.from_road(road, directory=directory, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# Frozen-path query handlers (the "frozen" dispatch key).
+# ----------------------------------------------------------------------
+@register_handler(KNNQuery, engine="frozen")
+def _frozen_knn(snapshot: FrozenRoad, query: KNNQuery, ctx: BatchContext):
+    return snapshot.knn(query.node, query.k, query.predicate, stats=ctx.stats)
+
+
+@register_handler(RangeQuery, engine="frozen")
+def _frozen_range(snapshot: FrozenRoad, query: RangeQuery, ctx: BatchContext):
+    return snapshot.range(
+        query.node, query.radius, query.predicate, stats=ctx.stats
+    )
+
+
+@register_handler(AggregateKNNQuery, engine="frozen")
+def _frozen_aggregate(
+    snapshot: FrozenRoad, query: AggregateKNNQuery, ctx: BatchContext
+):
+    return snapshot.aggregate_knn(
+        query.nodes, query.k, query.agg, query.predicate, stats=ctx.stats
+    )

@@ -26,6 +26,7 @@ from repro.eval.runner import (
     ENGINE_ORDER,
     build_engine,
     build_engines,
+    build_service,
     make_objects,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "WorkloadSummary",
     "build_engine",
     "build_engines",
+    "build_service",
     "dataset_levels",
     "dominance",
     "load_dataset",

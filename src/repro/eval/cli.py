@@ -7,6 +7,12 @@ Regenerate any of the paper's tables/figures without pytest::
     python -m repro.eval fig19 --queries 10
     python -m repro.eval all --out results/
     python -m repro.eval list
+
+Serving switches (``--engine`` / ``--maintenance`` / ``--backend``) set
+the corresponding ``REPRO_*`` environment overrides, which the engine
+builders read through
+:meth:`repro.serving.ServiceConfig.from_env` — the typed config is the
+primary API; the environment is the CLI's override channel into it.
 """
 
 from __future__ import annotations
@@ -73,20 +79,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=ROAD_MODES,
         help="ROAD serving mode: charged disk path (paper I/O model) or "
-        "frozen in-memory fast path (sets REPRO_ENGINE)",
+        "frozen in-memory fast path (sets REPRO_ENGINE, a "
+        "ServiceConfig.from_env override — library callers pass "
+        "ServiceConfig(mode=...) instead)",
     )
     parser.add_argument(
         "--maintenance",
         choices=ROAD_MAINTENANCE_MODES,
         help="frozen-snapshot maintenance lifecycle: delta-patch from "
-        "MaintenanceReports or full re-freeze (sets REPRO_MAINTENANCE)",
+        "MaintenanceReports or full re-freeze (sets REPRO_MAINTENANCE, "
+        "a ServiceConfig.from_env override)",
     )
     parser.add_argument(
         "--backend",
         choices=BACKENDS,
         help="FrozenRoad array backend: pre-boxed lists (fastest), "
         "compact stdlib typed buffers (~4x less memory), or numpy "
-        "vectorised views (optional extra) (sets REPRO_BACKEND)",
+        "vectorised views (optional extra) (sets REPRO_BACKEND, a "
+        "ServiceConfig.from_env override)",
     )
     return parser
 

@@ -1,24 +1,25 @@
-"""Engine construction helpers for the evaluation."""
+"""Engine construction helpers for the evaluation.
+
+Engines are built through the serving stack: one
+:class:`~repro.serving.ServiceConfig` (seeded from the ``REPRO_*``
+environment overrides) selects the ROAD serving mode, maintenance
+lifecycle and array backend, and :meth:`RoadService.build` constructs
+the engine behind a service facade.  ``build_engine`` unwraps the bare
+engine for the figure harness; ``build_service`` hands back the whole
+facade (async front-end included) for serving-shaped callers.
+"""
 
 from __future__ import annotations
 
-import os
+import warnings
 from typing import Dict, Optional, Sequence
 
-from repro.baselines import (
-    DistanceIndexEngine,
-    EuclideanEngine,
-    NetworkExpansionEngine,
-    ROAD_MAINTENANCE_MODES,
-    ROAD_MODES,
-    ROADEngine,
-    SearchEngine,
-)
-from repro.core.frozen_backends import BACKEND_ENV, validate_backend_name
+from repro.baselines import SearchEngine
 from repro.eval.datasets import Dataset, dataset_levels
 from repro.graph.network import RoadNetwork
 from repro.objects.model import ObjectSet
 from repro.objects.placement import place_uniform
+from repro.serving import RoadService, ServiceConfig
 from repro.storage.pager import PageManager
 
 #: Engine labels in the order the figures list them.
@@ -26,38 +27,36 @@ ENGINE_ORDER = ("NetExp", "Euclidean", "DistIdx", "ROAD")
 
 
 def road_mode() -> str:
-    """The ROAD serving mode: ``charged`` (paper I/O model, default) or
-    ``frozen`` (compiled in-memory fast path); REPRO_ENGINE overrides."""
-    mode = os.environ.get("REPRO_ENGINE", "charged").lower()
-    if mode not in ROAD_MODES:
-        raise ValueError(
-            f"REPRO_ENGINE must be one of {ROAD_MODES}, got {mode!r}"
-        )
-    return mode
+    """Deprecated: read ``ServiceConfig.from_env().mode`` instead."""
+    warnings.warn(
+        "road-repro deprecated: road_mode() — use "
+        "repro.serving.ServiceConfig.from_env().mode",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ServiceConfig.from_env().mode
 
 
 def road_backend() -> Optional[str]:
-    """The FrozenRoad array backend: ``list`` (pre-boxed, default),
-    ``compact`` (stdlib typed buffers) or ``numpy`` (vectorised);
-    REPRO_BACKEND / the ``--backend`` switch overrides.  Returns None
-    when unset so engines defer to the library default."""
-    name = os.environ.get(BACKEND_ENV)
-    if name is None:
-        return None
-    return validate_backend_name(name, source=BACKEND_ENV)
+    """Deprecated: read ``ServiceConfig.from_env().backend`` instead."""
+    warnings.warn(
+        "road-repro deprecated: road_backend() — use "
+        "repro.serving.ServiceConfig.from_env().backend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ServiceConfig.from_env().backend
 
 
 def road_maintenance() -> str:
-    """The frozen-snapshot maintenance lifecycle: ``patch`` (delta-apply
-    MaintenanceReports, default) or ``refreeze`` (invalidate + lazy full
-    re-freeze); REPRO_MAINTENANCE overrides."""
-    mode = os.environ.get("REPRO_MAINTENANCE", "patch").lower()
-    if mode not in ROAD_MAINTENANCE_MODES:
-        raise ValueError(
-            f"REPRO_MAINTENANCE must be one of {ROAD_MAINTENANCE_MODES}, "
-            f"got {mode!r}"
-        )
-    return mode
+    """Deprecated: read ``ServiceConfig.from_env().maintenance`` instead."""
+    warnings.warn(
+        "road-repro deprecated: road_maintenance() — use "
+        "repro.serving.ServiceConfig.from_env().maintenance",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ServiceConfig.from_env().maintenance
 
 
 def make_objects(
@@ -79,6 +78,52 @@ def _buffer_for(network: RoadNetwork, buffer_pages: Optional[int]) -> int:
     return 50
 
 
+def build_service(
+    name: str,
+    network: RoadNetwork,
+    objects: ObjectSet,
+    *,
+    road_levels: Optional[int] = None,
+    road_fanout: int = 4,
+    buffer_pages: Optional[int] = None,
+    road_mode_override: Optional[str] = None,
+    road_backend_override: Optional[str] = None,
+) -> RoadService:
+    """A :class:`RoadService` over one engine and a private network copy.
+
+    The config comes from :meth:`ServiceConfig.from_env` — the
+    ``--engine`` / ``--maintenance`` / ``--backend`` CLI switches and
+    ``REPRO_*`` variables act as overrides — with the explicit
+    ``road_*_override`` arguments beating both.
+    """
+    from repro.serving.service import ENGINE_NAMES
+
+    if name not in ENGINE_NAMES:
+        raise KeyError(f"unknown engine {name!r}")
+    # The figure harness drives engines directly and never touches the
+    # async front-end, so replica sharding is forced off here: a stray
+    # REPRO_REPLICAS would otherwise crash baseline builds (replicas need
+    # a ROAD) and silently freeze unused snapshots for ROAD ones.
+    # Serving callers wanting shards pass ServiceConfig(replicas=N) to
+    # RoadService.build themselves.
+    overrides: Dict[str, object] = {"engine": name, "replicas": 0}
+    if name == "ROAD":
+        overrides.update(
+            levels=road_levels if road_levels is not None else 4,
+            fanout=road_fanout,
+        )
+    if road_mode_override:
+        overrides["mode"] = road_mode_override
+    if road_backend_override:
+        overrides["backend"] = road_backend_override
+    config = ServiceConfig.from_env(**overrides)
+    private = network.copy()
+    pager = PageManager(
+        buffer_pages=_buffer_for(network, buffer_pages), name=name
+    )
+    return RoadService.build(private, objects, config=config, pager=pager)
+
+
 def build_engine(
     name: str,
     network: RoadNetwork,
@@ -90,40 +135,22 @@ def build_engine(
     road_mode_override: Optional[str] = None,
     road_backend_override: Optional[str] = None,
 ) -> SearchEngine:
-    """One engine over a private copy of the network (no cross-talk).
+    """One bare engine over a private copy of the network (no cross-talk).
 
-    ``road_mode_override`` forces the ROAD serving mode for this engine;
-    by default :func:`road_mode` (the ``--engine`` switch / REPRO_ENGINE)
-    decides between the charged disk path and the frozen fast path.
-    ``road_backend_override`` likewise forces the frozen array backend
-    over :func:`road_backend` (``--backend`` / REPRO_BACKEND).
+    The figure harness drives engines directly (cold-cache I/O
+    accounting); serving-shaped callers should take
+    :func:`build_service`'s facade instead.
     """
-    private = network.copy()
-    pager = PageManager(
-        buffer_pages=_buffer_for(network, buffer_pages), name=name
-    )
-    if name == "NetExp":
-        return NetworkExpansionEngine(private, objects, pager)
-    if name == "Euclidean":
-        return EuclideanEngine(private, objects, pager)
-    if name == "DistIdx":
-        return DistanceIndexEngine(private, objects, pager)
-    if name == "ROAD":
-        return ROADEngine(
-            private,
-            objects,
-            pager,
-            levels=road_levels if road_levels is not None else 4,
-            fanout=road_fanout,
-            mode=road_mode_override if road_mode_override else road_mode(),
-            maintenance_mode=road_maintenance(),
-            backend=(
-                road_backend_override
-                if road_backend_override
-                else road_backend()
-            ),
-        )
-    raise KeyError(f"unknown engine {name!r}")
+    return build_service(
+        name,
+        network,
+        objects,
+        road_levels=road_levels,
+        road_fanout=road_fanout,
+        buffer_pages=buffer_pages,
+        road_mode_override=road_mode_override,
+        road_backend_override=road_backend_override,
+    ).executor
 
 
 def build_engines(

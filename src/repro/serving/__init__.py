@@ -1,0 +1,59 @@
+"""repro.serving — the unified serving API.
+
+Two layers:
+
+* :mod:`repro.serving.dispatch` — the query-dispatch protocol: the
+  :class:`QueryExecutor` ABC all engines implement, the
+  ``@register_handler`` registry replacing the per-engine ``isinstance``
+  ladders, and the typed :class:`UnsupportedQueryError` /
+  :class:`UnknownDirectoryError` errors.
+* :mod:`repro.serving.service` — the :class:`RoadService` facade: typed
+  :class:`ServiceConfig` (the ``REPRO_*`` env vars become overrides),
+  sync ``run``/``run_many``, an asyncio front-end (``await
+  service.submit(query)``) with per-predicate admission batching, and
+  sharded read-only :class:`~repro.core.frozen.FrozenRoad` replicas with
+  patch-broadcast reconciliation.
+
+The service layer is imported lazily (PEP 562): the core engine modules
+import the dispatch protocol from here, while the service imports those
+same engines — laziness breaks the cycle without a shim module.
+"""
+
+from repro.serving.dispatch import (
+    DEFAULT_DIRECTORY,
+    BatchContext,
+    QueryExecutor,
+    UnknownDirectoryError,
+    UnsupportedQueryError,
+    lookup_handler,
+    register_handler,
+    supported_queries,
+)
+
+__all__ = [
+    "DEFAULT_DIRECTORY",
+    "BatchContext",
+    "QueryExecutor",
+    "RoadService",
+    "ServiceConfig",
+    "ServiceError",
+    "UnknownDirectoryError",
+    "UnsupportedQueryError",
+    "lookup_handler",
+    "register_handler",
+    "supported_queries",
+]
+
+_SERVICE_EXPORTS = ("RoadService", "ServiceConfig", "ServiceError")
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro.serving import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,552 @@
+"""The :class:`RoadService` facade: one public way to run queries.
+
+The dispatch protocol (:mod:`repro.serving.dispatch`) makes every engine
+answer ``execute`` / ``execute_many`` identically; this module puts one
+front door in front of them:
+
+* :class:`ServiceConfig` — a typed configuration owning engine selection
+  (engine family, charged/frozen mode, maintenance lifecycle, array
+  backend, serving directory) plus the admission-batching knobs.  The
+  historical ``REPRO_*`` environment variables are *overrides* read by
+  :meth:`ServiceConfig.from_env`, not the primary API.
+* :class:`RoadService` — sync ``run``/``run_many`` over the configured
+  executor, and an **asyncio front-end**: ``await service.submit(query)``
+  parks the query in a per-(directory, predicate) admission bucket; a
+  flush (on ``max_batch`` occupancy or after ``max_delay_ms``) coalesces
+  duplicate in-flight queries and executes each bucket through one
+  ``execute_many`` call, so concurrent callers share predicate caches —
+  and, when ``replicas > 0``, a pool of read-only
+  :class:`~repro.core.frozen.FrozenRoad` replicas served from worker
+  threads.  Maintenance goes through the service too: every update's
+  :class:`~repro.core.maintenance.MaintenanceReport` is patch-broadcast
+  to all replicas, so the shards never drift from the primary.
+
+Typical use::
+
+    config = ServiceConfig(mode="frozen", backend="compact", replicas=2)
+    service = RoadService.build(network, objects, config=config)
+    nearest = service.run(KNNQuery(node, k=5))          # sync
+    answers = await asyncio.gather(                     # async, batched
+        *(service.submit(q) for q in queries)
+    )
+
+All three paths — sync, async-batched, sharded-replica — return
+byte-identical results; the serving test suite asserts it with the
+:func:`repro.eval.metrics.snapshot_divergences` probes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.road_adapter import ROAD_MAINTENANCE_MODES, ROAD_MODES
+from repro.core.maintenance import MaintenanceReport
+from repro.queries.types import ResultEntry
+from repro.serving.dispatch import QueryExecutor, UnsupportedQueryError
+
+#: Engine families :meth:`RoadService.build` can construct.
+ENGINE_NAMES = ("ROAD", "NetExp", "Euclidean", "DistIdx")
+
+#: ROAD serving modes — the one source of truth lives on the engine.
+MODES = ROAD_MODES
+
+#: Frozen-snapshot maintenance lifecycles (same source of truth).
+MAINTENANCE_MODES = ROAD_MAINTENANCE_MODES
+
+#: Environment overrides honoured by :meth:`ServiceConfig.from_env`.
+MODE_ENV = "REPRO_ENGINE"
+MAINTENANCE_ENV = "REPRO_MAINTENANCE"
+REPLICAS_ENV = "REPRO_REPLICAS"
+
+
+class ServiceError(RuntimeError):
+    """A service-level misconfiguration (e.g. replicas without a ROAD)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Typed serving configuration: what was previously ``REPRO_*`` sprawl.
+
+    ``engine`` picks the engine family; ``mode``/``maintenance``/
+    ``backend`` configure the ROAD serving path exactly like the
+    eponymous :class:`~repro.baselines.road_adapter.ROADEngine` knobs.
+    The remaining fields drive the async front-end: ``max_batch`` caps
+    how many queries one admission flush may hold, ``max_delay_ms`` how
+    long an under-full bucket waits for company, ``coalesce`` whether
+    identical in-flight queries share one execution, and ``replicas``
+    how many read-only frozen shards serve from the worker pool
+    (0 = serve on the primary executor).
+    """
+
+    engine: str = "ROAD"
+    mode: str = "charged"
+    maintenance: str = "patch"
+    backend: Optional[str] = None
+    #: None targets the executor's own default directory (for a snapshot
+    #: of a named provider, the directory it compiled).
+    directory: Optional[str] = None
+    levels: int = 4
+    fanout: int = 4
+    max_batch: int = 64
+    max_delay_ms: float = 2.0
+    coalesce: bool = True
+    replicas: int = 0
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_NAMES}, got {self.engine!r}"
+            )
+        if self.mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if self.maintenance not in MAINTENANCE_MODES:
+            raise ValueError(
+                f"maintenance must be one of {MAINTENANCE_MODES}, "
+                f"got {self.maintenance!r}"
+            )
+        if self.backend is not None:
+            from repro.core.frozen_backends import validate_backend_name
+
+            validate_backend_name(self.backend, source="ServiceConfig.backend")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ms < 0:
+            raise ValueError(
+                f"max_delay_ms must be >= 0, got {self.max_delay_ms}"
+            )
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas}")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServiceConfig":
+        """A config from the ``REPRO_*`` environment overrides.
+
+        Explicit keyword arguments beat the environment; the environment
+        beats the defaults.  This is the one place the serving stack
+        reads those variables — everything else takes a config object.
+        """
+        from repro.core.frozen_backends import BACKEND_ENV
+
+        env: Dict[str, object] = {}
+        if MODE_ENV in os.environ:
+            env["mode"] = os.environ[MODE_ENV].lower()
+        if MAINTENANCE_ENV in os.environ:
+            env["maintenance"] = os.environ[MAINTENANCE_ENV].lower()
+        if BACKEND_ENV in os.environ:
+            env["backend"] = os.environ[BACKEND_ENV].lower()
+        if REPLICAS_ENV in os.environ:
+            env["replicas"] = int(os.environ[REPLICAS_ENV])
+        env.update(overrides)
+        return cls(**env)
+
+
+class RoadService:
+    """The serving facade over one :class:`~repro.serving.QueryExecutor`.
+
+    Construct over an existing executor (a built
+    :class:`~repro.core.framework.ROAD`, a
+    :class:`~repro.core.frozen.FrozenRoad`, a
+    :class:`~repro.baselines.road_adapter.ROADEngine` or any baseline),
+    or let :meth:`build` construct the engine the config asks for.
+
+    The async front-end is single-loop: call :meth:`submit` from one
+    running event loop (the flush machinery uses that loop's clock and
+    thread); the replica worker pool is where cross-thread execution
+    happens.
+    """
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        *,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        if not isinstance(executor, QueryExecutor):
+            raise TypeError(
+                f"executor must be a QueryExecutor, got {type(executor).__name__}"
+            )
+        self.config = config if config is not None else ServiceConfig()
+        self._executor = executor
+        # -- async admission state (touched only from the loop thread) --
+        self._pending: Dict[Tuple[str, object], List[Tuple[object, object]]] = {}
+        self._pending_count = 0
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # -- sharded replicas -------------------------------------------
+        self._replicas: List[QueryExecutor] = []
+        self._replica_locks: List[threading.Lock] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._round_robin = 0
+        self._counters = {
+            "submitted": 0,       # queries accepted by submit()
+            "flushes": 0,         # admission flushes
+            "batches": 0,         # execute_many calls issued by flushes
+            "executed": 0,        # queries actually executed
+            "coalesced": 0,       # queries answered by an in-flight twin
+        }
+        if self.config.replicas:
+            self._init_replicas()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network,
+        objects,
+        *,
+        config: Optional[ServiceConfig] = None,
+        pager=None,
+        **engine_kwargs,
+    ) -> "RoadService":
+        """Build the engine the config selects and wrap it.
+
+        ``config=None`` reads the environment overrides
+        (:meth:`ServiceConfig.from_env`).  Extra keyword arguments are
+        forwarded to the engine constructor (``bisector``,
+        ``abstract_factory``, ...).
+        """
+        from repro.baselines import (
+            DistanceIndexEngine,
+            EuclideanEngine,
+            NetworkExpansionEngine,
+            ROADEngine,
+        )
+
+        if config is None:
+            config = ServiceConfig.from_env()
+        if config.engine == "ROAD":
+            executor = ROADEngine(
+                network,
+                objects,
+                pager,
+                levels=config.levels,
+                fanout=config.fanout,
+                mode=config.mode,
+                maintenance_mode=config.maintenance,
+                backend=config.backend,
+                **engine_kwargs,
+            )
+        else:
+            engine_cls = {
+                "NetExp": NetworkExpansionEngine,
+                "Euclidean": EuclideanEngine,
+                "DistIdx": DistanceIndexEngine,
+            }[config.engine]
+            executor = engine_cls(network, objects, pager, **engine_kwargs)
+        return cls(executor, config=config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> QueryExecutor:
+        """The primary executor queries run on (replicas aside)."""
+        return self._executor
+
+    @property
+    def replicas(self) -> Tuple[QueryExecutor, ...]:
+        """The read-only frozen shards (empty when ``replicas == 0``)."""
+        return tuple(self._replicas)
+
+    def stats(self) -> Dict[str, object]:
+        """Serving counters plus the executor's own stats when it has any."""
+        summary: Dict[str, object] = {
+            "service": dict(self._counters),
+            "replicas": len(self._replicas),
+            "config": self.config,
+        }
+        engine_stats = getattr(self._executor, "stats", None)
+        if callable(engine_stats):
+            summary["engine"] = engine_stats()
+        return summary
+
+    # ------------------------------------------------------------------
+    # Sync path
+    # ------------------------------------------------------------------
+    def run(
+        self, query, *, directory: Optional[str] = None, stats=None
+    ) -> List[ResultEntry]:
+        """Run one query synchronously on the primary executor."""
+        return self._executor.execute(
+            query, directory=self._directory(directory), stats=stats
+        )
+
+    def run_many(
+        self, queries: Sequence, *, directory: Optional[str] = None, stats=None
+    ) -> List[List[ResultEntry]]:
+        """Run a workload synchronously on the primary executor."""
+        return self._executor.execute_many(
+            queries, directory=self._directory(directory), stats=stats
+        )
+
+    def _directory(self, directory: Optional[str]) -> Optional[str]:
+        # None cascades: explicit argument > config > executor default
+        # (resolved by the executor's check_directory).
+        return self.config.directory if directory is None else directory
+
+    # ------------------------------------------------------------------
+    # Async admission-batched path
+    # ------------------------------------------------------------------
+    async def submit(
+        self, query, *, directory: Optional[str] = None
+    ) -> List[ResultEntry]:
+        """Admit one query; await its results.
+
+        The query joins the in-flight bucket for its (directory,
+        predicate); the bucket is flushed into one ``execute_many`` when
+        ``max_batch`` queries are pending or ``max_delay_ms`` elapses,
+        whichever comes first.  With ``coalesce`` on, an identical
+        in-flight query is executed once and fanned out.
+        """
+        serving = self._replicas[0] if self._replicas else self._executor
+        # Fail fast — a bad query or directory must reject *this* call,
+        # not poison the whole flush it would have joined.
+        if not serving.supports(query):
+            raise UnsupportedQueryError(serving, query)
+        directory = serving.check_directory(self._directory(directory))
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            # A previous event loop died with admission state in flight
+            # (abandoned asyncio.run, KeyboardInterrupt): its timer
+            # handle would suppress rescheduling forever and its futures
+            # can no longer be completed.  Adopt the new loop cleanly.
+            self._adopt_loop(loop)
+        future: asyncio.Future = loop.create_future()
+        key = (directory, getattr(query, "predicate", None))
+        self._pending.setdefault(key, []).append((query, future))
+        self._pending_count += 1
+        self._counters["submitted"] += 1
+        if self._pending_count >= self.config.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(
+                self.config.max_delay_ms / 1000.0, self._flush
+            )
+        return await future
+
+    def _adopt_loop(self, loop) -> None:
+        """Reset admission state bound to a previous (dead) event loop."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        stale, self._pending = self._pending, {}
+        self._pending_count = 0
+        for entries in stale.values():
+            self._reject(
+                entries,
+                ServiceError("event loop changed with queries in flight"),
+            )
+        self._loop = loop
+
+    def _flush(self) -> None:
+        """Drain every admission bucket into ``execute_many`` calls."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        pending, self._pending = self._pending, {}
+        self._pending_count = 0
+        if not pending:
+            return
+        self._counters["flushes"] += 1
+        for (directory, _predicate), entries in pending.items():
+            self._dispatch_batch(directory, entries)
+
+    def _dispatch_batch(self, directory: str, entries: List[Tuple]) -> None:
+        """Execute one bucket — coalesced, on a replica when sharded."""
+        if self.config.coalesce:
+            slot: Dict[object, int] = {}
+            unique: List[object] = []
+            for query, _future in entries:
+                if query not in slot:
+                    slot[query] = len(unique)
+                    unique.append(query)
+            self._counters["coalesced"] += len(entries) - len(unique)
+        else:
+            slot = None
+            unique = [query for query, _future in entries]
+        self._counters["batches"] += 1
+        self._counters["executed"] += len(unique)
+        if self._pool is None:
+            try:
+                results = self._executor.execute_many(
+                    unique, directory=directory
+                )
+            except Exception as exc:  # noqa: BLE001 — fan the error out
+                self._reject(entries, exc)
+                return
+            self._deliver(entries, slot, results)
+            return
+        index = self._round_robin % len(self._replicas)
+        self._round_robin += 1
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(
+            self._pool, self._run_on_replica, index, unique, directory
+        )
+        task.add_done_callback(
+            lambda done: self._resolve(entries, slot, done)
+        )
+
+    def _run_on_replica(
+        self, index: int, queries: List, directory: str
+    ) -> List[List[ResultEntry]]:
+        """Worker-thread body: one batch on one locked replica."""
+        with self._replica_locks[index]:
+            return self._replicas[index].execute_many(
+                queries, directory=directory
+            )
+
+    def _resolve(self, entries, slot, done) -> None:
+        """Loop-thread callback completing a replica batch's futures."""
+        exc = done.exception()
+        if exc is not None:
+            self._reject(entries, exc)
+        else:
+            self._deliver(entries, slot, done.result())
+
+    @staticmethod
+    def _deliver(entries, slot, results) -> None:
+        for position, (query, future) in enumerate(entries):
+            if future.done():
+                continue
+            if slot is None:
+                future.set_result(results[position])
+            else:
+                # Coalesced duplicates must not alias one result list —
+                # the sync path hands every caller its own list, and a
+                # caller sorting/truncating its answer must not corrupt
+                # its in-flight twins'.
+                future.set_result(list(results[slot[query]]))
+
+    @staticmethod
+    def _reject(entries, exc: BaseException) -> None:
+        for _query, future in entries:
+            if future.done():
+                continue
+            try:
+                future.set_exception(exc)
+            except RuntimeError:
+                # The future belongs to a loop that has already closed
+                # (stale admission state); nobody can await it anymore.
+                pass
+
+    # ------------------------------------------------------------------
+    # Sharded replicas + maintenance broadcast
+    # ------------------------------------------------------------------
+    def _road(self):
+        """The charged ROAD behind the executor, if there is one."""
+        road = getattr(self._executor, "road", None)
+        if road is not None:
+            return road
+        from repro.core.framework import ROAD
+
+        return self._executor if isinstance(self._executor, ROAD) else None
+
+    def _init_replicas(self) -> None:
+        road = self._road()
+        if road is None:
+            raise ServiceError(
+                "replicas need a ROAD-backed executor "
+                f"(got {type(self._executor).__name__}); freezing shards "
+                "requires the charged structures"
+            )
+        directory = self._executor.check_directory(self.config.directory)
+        self._replicas = [
+            road.freeze(directory=directory, backend=self.config.backend)
+            for _ in range(self.config.replicas)
+        ]
+        self._replica_locks = [threading.Lock() for _ in self._replicas]
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.replicas, thread_name_prefix="road-svc"
+        )
+
+    def apply_report(self, report: MaintenanceReport) -> None:
+        """Patch-broadcast one maintenance report to every replica.
+
+        The primary executor reconciles itself (ROADEngine's lifecycle);
+        this keeps the read-only shards in lockstep.  Each replica is
+        locked against its in-flight batches while patched.
+        """
+        road = self._road()
+        for replica, lock in zip(self._replicas, self._replica_locks):
+            with lock:
+                replica.apply(report, road)
+
+    def _maintained(self, result):
+        """Broadcast after a maintenance call; pass its result through."""
+        report = (
+            result
+            if isinstance(result, MaintenanceReport)
+            else getattr(self._executor, "last_report", None)
+        )
+        if report is not None and self._replicas:
+            self.apply_report(report)
+        return result
+
+    def insert_object(self, obj, **kwargs):
+        """Insert an object through the executor; reconcile all replicas."""
+        return self._maintained(self._executor.insert_object(obj, **kwargs))
+
+    def delete_object(self, object_id: int, **kwargs):
+        """Delete an object through the executor; reconcile all replicas."""
+        return self._maintained(
+            self._executor.delete_object(object_id, **kwargs)
+        )
+
+    def update_object_attrs(self, object_id: int, attrs, **kwargs):
+        """Update object attributes; reconcile all replicas."""
+        return self._maintained(
+            self._executor.update_object_attrs(object_id, attrs, **kwargs)
+        )
+
+    def update_edge_distance(self, u: int, v: int, distance: float):
+        """Change an edge distance; reconcile all replicas."""
+        return self._maintained(
+            self._executor.update_edge_distance(u, v, distance)
+        )
+
+    def add_edge(self, u: int, v: int, distance: float, **kwargs):
+        """Open a road segment; reconcile all replicas."""
+        return self._maintained(
+            self._executor.add_edge(u, v, distance, **kwargs)
+        )
+
+    def remove_edge(self, u: int, v: int):
+        """Close a road segment; reconcile all replicas."""
+        return self._maintained(self._executor.remove_edge(u, v))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush nothing, reject pending work, stop the worker pool."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        pending, self._pending = self._pending, {}
+        self._pending_count = 0
+        for entries in pending.values():
+            self._reject(entries, ServiceError("service closed"))
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "RoadService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoadService(executor={type(self._executor).__name__}, "
+            f"replicas={len(self._replicas)}, config={self.config})"
+        )

@@ -155,9 +155,11 @@ class TestSnapshotSemantics:
         with pytest.raises(KeyError):
             road.freeze(directory="missing")
 
-    def test_freeze_road_helper(self, built):
+    def test_freeze_road_helper_is_deprecated_shim(self, built):
         _, _, road = built
-        assert freeze_road(road).knn(0, 2) == road.knn(0, 2)
+        with pytest.warns(DeprecationWarning, match="road-repro deprecated"):
+            snapshot = freeze_road(road)
+        assert snapshot.knn(0, 2) == road.knn(0, 2)
 
     def test_execute_dispatch(self, frozen):
         assert frozen.execute(KNNQuery(0, 2)) == frozen.knn(0, 2)

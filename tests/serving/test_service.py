@@ -1,0 +1,371 @@
+"""RoadService: config, sync/async/sharded byte-identity, maintenance.
+
+The acceptance contract: the service serves **byte-identical** results
+across the sync path, the async admission-batched path, and the
+sharded-replica path — including after maintenance patch-broadcasts —
+verified both by direct result comparison and with the
+:func:`repro.eval.metrics.snapshot_divergences` probes between replicas
+and a fresh freeze.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.framework import ROAD
+from repro.eval.metrics import snapshot_divergences
+from repro.graph.generators import grid_network
+from repro.objects.model import SpatialObject
+from repro.objects.placement import place_uniform
+from repro.queries.types import KNNQuery, Predicate, RangeQuery
+from repro.queries.workload import mixed_workload
+from repro.serving import (
+    RoadService,
+    ServiceConfig,
+    ServiceError,
+    UnknownDirectoryError,
+    UnsupportedQueryError,
+)
+
+
+@pytest.fixture
+def network():
+    return grid_network(9, 9, seed=3)
+
+
+@pytest.fixture
+def objects(network):
+    return place_uniform(
+        network, 24, seed=8, attr_choices={"type": ["cafe", "fuel"]}
+    )
+
+
+@pytest.fixture
+def workload(network):
+    return mixed_workload(
+        network, 40, k=3, radius=300.0, seed=21,
+        predicates=[Predicate.of(type="cafe"), Predicate.of(type="fuel")],
+    )
+
+
+def gather_submits(service, queries, **kwargs):
+    async def go():
+        return await asyncio.gather(
+            *(service.submit(q, **kwargs) for q in queries)
+        )
+
+    return asyncio.run(go())
+
+
+class TestServiceConfig:
+    def test_defaults(self):
+        config = ServiceConfig()
+        assert (config.engine, config.mode) == ("ROAD", "charged")
+        assert config.maintenance == "patch"
+        assert config.replicas == 0 and config.coalesce
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("engine", "Oracle"),
+            ("mode", "warm"),
+            ("maintenance", "rebuild"),
+            ("backend", "sparse"),
+            ("max_batch", 0),
+            ("max_delay_ms", -1.0),
+            ("replicas", -2),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ServiceConfig(**{field: value})
+
+    def test_from_env_reads_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "frozen")
+        monkeypatch.setenv("REPRO_MAINTENANCE", "refreeze")
+        monkeypatch.setenv("REPRO_REPLICAS", "3")
+        config = ServiceConfig.from_env()
+        assert config.mode == "frozen"
+        assert config.maintenance == "refreeze"
+        assert config.replicas == 3
+
+    def test_explicit_kwargs_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "frozen")
+        assert ServiceConfig.from_env(mode="charged").mode == "charged"
+
+    def test_env_validation_still_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "lukewarm")
+        with pytest.raises(ValueError):
+            ServiceConfig.from_env()
+
+
+class TestBuild:
+    def test_build_selects_engine_family(self, network, objects):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(engine="NetExp"),
+        )
+        assert type(service.executor).__name__ == "NetworkExpansionEngine"
+
+    def test_build_road_frozen(self, network, objects):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="frozen", levels=3),
+        )
+        assert service.executor.mode == "frozen"
+        assert service.executor.frozen is not None
+
+    def test_wrap_existing_road(self, network, objects):
+        road = ROAD.build(network.copy(), levels=3)
+        road.attach_objects(objects)
+        service = RoadService(road)
+        assert service.run(KNNQuery(0, 2)) == road.knn(0, 2)
+
+    def test_non_executor_rejected(self):
+        with pytest.raises(TypeError):
+            RoadService(object())
+
+    def test_replicas_need_a_road(self, network, objects):
+        with pytest.raises(ServiceError):
+            RoadService.build(
+                network.copy(), objects,
+                config=ServiceConfig(engine="NetExp", replicas=2),
+            )
+
+
+class TestByteIdentity:
+    """Sync == async-batched == sharded-replica, on every installed backend."""
+
+    def test_async_matches_sync(self, network, objects, workload):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="frozen", levels=3, max_batch=256),
+        )
+        assert gather_submits(service, workload) == service.run_many(workload)
+        service.close()
+
+    def test_sharded_matches_sync(self, network, objects, workload):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(
+                mode="frozen", levels=3, replicas=2, max_batch=8
+            ),
+        )
+        try:
+            assert len(service.replicas) == 2
+            assert gather_submits(service, workload) == service.run_many(workload)
+        finally:
+            service.close()
+
+    def test_coalescing_preserves_answers(self, network, objects):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="frozen", levels=3, max_batch=512),
+        )
+        query = KNNQuery(4, 3)
+        answers = gather_submits(service, [query] * 12)
+        expected = service.run(query)
+        assert all(answer == expected for answer in answers)
+        counters = service.stats()["service"]
+        assert counters["coalesced"] == 11
+        assert counters["executed"] == 1
+        service.close()
+
+    def test_coalesced_answers_are_independent_lists(self, network, objects):
+        """Regression: a caller mutating its answer must not corrupt its
+        coalesced in-flight twins' (the sync path hands out distinct
+        lists, so aliasing would break sync/async parity)."""
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="frozen", levels=3, max_batch=512),
+        )
+        query = KNNQuery(4, 3)
+        first, second = gather_submits(service, [query] * 2)
+        assert first is not second
+        expected = list(second)
+        first.reverse()
+        first.pop()
+        assert second == expected
+        service.close()
+
+    def test_charged_async_matches_sync(self, network, objects, workload):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="charged", levels=3, max_batch=256),
+        )
+        assert gather_submits(service, workload) == service.run_many(workload)
+        service.close()
+
+
+class TestShardedMaintenance:
+    def test_patch_broadcast_keeps_replicas_identical(
+        self, network, objects, workload
+    ):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="frozen", levels=3, replicas=2),
+        )
+        try:
+            engine = service.executor
+            u, v, distance = next(engine.network.edges())
+            service.update_edge_distance(u, v, distance * 2.5)
+            service.insert_object(
+                SpatialObject(objects.next_id(), (u, v), 0.0, {"type": "cafe"})
+            )
+            # Replicas were patch-broadcast, not re-frozen: zero
+            # divergences against a fresh freeze of the updated road.
+            fresh = engine.road.freeze()
+            for replica in service.replicas:
+                divergences = snapshot_divergences(
+                    random.Random(17), replica, fresh, probes=3
+                )
+                assert divergences == []
+            assert gather_submits(service, workload) == service.run_many(workload)
+        finally:
+            service.close()
+
+
+class TestAdmissionControl:
+    def test_unsupported_query_rejected_before_admission(
+        self, network, objects
+    ):
+        service = RoadService.build(
+            network.copy(), objects, config=ServiceConfig(levels=3)
+        )
+
+        async def go():
+            with pytest.raises(UnsupportedQueryError):
+                await service.submit("not a query")
+            # The poisoned submit must not leave residue behind.
+            return await service.submit(KNNQuery(0, 2))
+
+        assert asyncio.run(go()) == service.run(KNNQuery(0, 2))
+        service.close()
+
+    def test_unknown_directory_rejected_before_admission(
+        self, network, objects
+    ):
+        service = RoadService.build(
+            network.copy(), objects, config=ServiceConfig(levels=3)
+        )
+
+        async def go():
+            with pytest.raises(UnknownDirectoryError):
+                await service.submit(KNNQuery(0, 2), directory="nope")
+
+        asyncio.run(go())
+        service.close()
+
+    def test_survives_an_abandoned_event_loop(self, network, objects):
+        """Regression: a loop dying with a flush timer pending must not
+        wedge the service — the next loop's submits adopt fresh state."""
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(
+                mode="frozen", levels=3, max_batch=64, max_delay_ms=50.0
+            ),
+        )
+        query = KNNQuery(0, 2)
+
+        async def abandon():
+            task = asyncio.ensure_future(service.submit(query))
+            await asyncio.sleep(0)  # let it enqueue + schedule the timer
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(abandon())
+
+        async def fresh_loop():
+            return await asyncio.wait_for(service.submit(query), timeout=5.0)
+
+        assert asyncio.run(fresh_loop()) == service.run(query)
+        service.close()
+
+    def test_wrapping_named_directory_snapshot(self, network, objects):
+        """A service over a snapshot of a named provider serves it by
+        default (config.directory=None cascades to the executor)."""
+        road = ROAD.build(network.copy(), levels=3)
+        road.attach_objects(objects, name="hotels")
+        snapshot = road.freeze(directory="hotels")
+        service = RoadService(snapshot)
+        query = KNNQuery(0, 2)
+        assert service.run(query) == snapshot.knn(0, 2)
+
+        async def go():
+            return await service.submit(query)
+
+        assert asyncio.run(go()) == snapshot.knn(0, 2)
+        service.close()
+
+    def test_max_batch_flushes_without_waiting(self, network, objects):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(
+                mode="frozen", levels=3, max_batch=4,
+                max_delay_ms=10_000.0,  # only the occupancy flush can fire
+            ),
+        )
+        queries = [KNNQuery(n, 2) for n in (0, 10, 20, 30)]
+
+        async def go():
+            return await asyncio.wait_for(
+                asyncio.gather(*(service.submit(q) for q in queries)),
+                timeout=5.0,
+            )
+
+        assert asyncio.run(go()) == service.run_many(queries)
+        service.close()
+
+    def test_per_predicate_buckets(self, network, objects):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="frozen", levels=3, max_batch=64),
+        )
+        queries = [
+            KNNQuery(0, 2, Predicate.of(type="cafe")),
+            KNNQuery(0, 2, Predicate.of(type="fuel")),
+            RangeQuery(5, 200.0, Predicate.of(type="cafe")),
+        ]
+        assert gather_submits(service, queries) == service.run_many(queries)
+        # Two distinct predicates -> two buckets -> two batches.
+        assert service.stats()["service"]["batches"] == 2
+        service.close()
+
+
+class TestEvalHarnessIsolation:
+    def test_repro_replicas_does_not_break_engine_builds(
+        self, monkeypatch, network, objects
+    ):
+        """Regression: REPRO_REPLICAS must not leak into the figure
+        harness — baseline engines cannot shard, and bare ROAD engines
+        must not freeze snapshots the harness never serves from."""
+        from repro.eval.runner import build_engine, build_service
+
+        monkeypatch.setenv("REPRO_REPLICAS", "2")
+        engine = build_engine(
+            "NetExp", network, objects, buffer_pages=8
+        )
+        assert engine.knn(0, 1)
+        service = build_service(
+            "ROAD", network, objects, road_levels=3, buffer_pages=8
+        )
+        assert service.replicas == ()
+        service.close()
+
+
+class TestDeprecationShims:
+    def test_runner_mode_helpers_warn_and_delegate(self, monkeypatch):
+        from repro.eval import runner
+
+        monkeypatch.setenv("REPRO_ENGINE", "frozen")
+        monkeypatch.setenv("REPRO_MAINTENANCE", "refreeze")
+        with pytest.warns(DeprecationWarning, match="road-repro deprecated"):
+            assert runner.road_mode() == "frozen"
+        with pytest.warns(DeprecationWarning, match="road-repro deprecated"):
+            assert runner.road_maintenance() == "refreeze"
+        with pytest.warns(DeprecationWarning, match="road-repro deprecated"):
+            assert runner.road_backend() is None
