@@ -93,6 +93,29 @@ def main() -> None:
     print("\nfleet relocated + hotel re-rated; overlay untouched "
           f"({road.overlay.page_count} pages, unchanged)")
 
+    # Serving tier: compile ALL providers into ONE frozen snapshot.  The
+    # Route Overlay entry arrays — the memory that scales with the map —
+    # are built once and shared; each provider adds only its object spans
+    # and abstract slots.  Compare against per-provider snapshots:
+    snapshot = road.freeze(backend="compact")
+    combined = snapshot.memory_stats()
+    singles = sum(
+        road.freeze(directory=name, backend="compact").memory_stats()[
+            "total_bytes"
+        ]
+        for name in road.directory_names
+    )
+    print(f"\none frozen snapshot for {len(snapshot.directory_names)} "
+          f"providers: {combined['total_bytes'] / 1024:.0f} KiB resident "
+          f"vs {singles / 1024:.0f} KiB as separate snapshots "
+          f"({singles / combined['total_bytes']:.1f}x saved)")
+    for name, breakdown in combined["directories"].items():
+        print(f"  {name}: {breakdown['object_array_bytes']} B object "
+              f"arrays, {breakdown['object_refs']} slots")
+    entry = snapshot.knn(traveller, 1, directory="chargers")[0]
+    print(f"  (snapshot serves every provider: nearest charger "
+          f"{entry.object_id} at {entry.distance:.0f} m)")
+
     # One provider leaving does not disturb the others — and asking for
     # it afterwards fails loudly, on every serving path.
     road.detach_objects("assistance")

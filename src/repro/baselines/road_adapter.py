@@ -28,7 +28,7 @@ In frozen mode, maintenance follows one of two lifecycles selected by
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.baselines.engine import EngineError, SearchEngine
 from repro.core.framework import ROAD
@@ -47,7 +47,11 @@ from repro.queries.types import (
     RangeQuery,
     ResultEntry,
 )
-from repro.serving.dispatch import BatchContext, register_handler
+from repro.serving.dispatch import (
+    DEFAULT_DIRECTORY,
+    BatchContext,
+    register_handler,
+)
 from repro.storage.pager import PageManager
 
 #: Valid serving modes for :class:`ROADEngine`.
@@ -81,6 +85,8 @@ class ROADEngine(SearchEngine):
         mode: str = "charged",
         maintenance_mode: str = "patch",
         backend: Optional[str] = None,
+        providers: Optional[Mapping[str, ObjectSet]] = None,
+        directories: Optional[Sequence[str]] = None,
     ) -> None:
         if mode not in ROAD_MODES:
             raise EngineError(
@@ -99,6 +105,10 @@ class ROADEngine(SearchEngine):
         self.mode = mode
         self.maintenance_mode = maintenance_mode
         self.backend = backend
+        #: The abstract factory every directory of this engine uses —
+        #: late-attached providers default to it, so pruning behaviour
+        #: never depends on *when* a provider was attached.
+        self._abstract_factory = abstract_factory
         self.road = self._timed(
             ROAD.build,
             network,
@@ -112,6 +122,50 @@ class ROADEngine(SearchEngine):
         self._timed(
             self.road.attach_objects, objects, abstract_factory=abstract_factory
         )
+        # Additional content providers, attached as named directories on
+        # the same Route Overlay (``objects`` stays the default).
+        for name, provider_objects in (providers or {}).items():
+            self._timed(
+                self.road.attach_objects,
+                provider_objects,
+                name=name,
+                abstract_factory=abstract_factory,
+            )
+        #: Which attached directories frozen snapshots compile — None
+        #: means *all* of them (the multi-directory snapshot), so a
+        #: refreeze can never silently drop a provider the service routes
+        #: to.  Names are validated against the attached set eagerly, and
+        #: a pinned set must keep the default directory: the engine's
+        #: directory-less queries must answer identically in charged and
+        #: frozen mode, so the snapshot's default may never drift to
+        #: "first pinned name".  (Named-provider-only serving wants a
+        #: bare ``road.freeze(directory=...)`` snapshot, not the engine.)
+        if directories is not None:
+            # Normalise once up front: a one-shot iterable must not be
+            # exhausted by the first validation pass.
+            directories = tuple(directories)
+            attached = self.road.directory_names
+            unknown = [d for d in directories if d not in attached]
+            if unknown:
+                raise EngineError(
+                    f"directories {unknown!r} not attached "
+                    f"(attached: {attached!r})"
+                )
+            if len(set(directories)) != len(directories):
+                raise EngineError(
+                    f"directories lists a name twice: {directories!r}"
+                )
+            if DEFAULT_DIRECTORY not in directories:
+                raise EngineError(
+                    f"directories must include the default directory "
+                    f"{DEFAULT_DIRECTORY!r} so charged and frozen modes "
+                    f"serve the same provider for directory-less queries; "
+                    f"freeze a snapshot directly for named-provider-only "
+                    f"serving"
+                )
+            self.directories: Optional[Tuple[str, ...]] = directories
+        else:
+            self.directories = None
         self._frozen: Optional[FrozenRoad] = None
         self._last_report: Optional[MaintenanceReport] = None
         self._maintenance_counters: Dict[str, int] = {
@@ -128,7 +182,13 @@ class ROADEngine(SearchEngine):
     # Frozen snapshot lifecycle
     # ------------------------------------------------------------------
     def _refreeze(self) -> FrozenRoad:
-        self._frozen = self.road.freeze(backend=self.backend)
+        # Compile the configured directory set (None = every attached
+        # provider) into one snapshot sharing the entry arrays, so a
+        # lazily re-frozen snapshot serves the same directories the
+        # previous one did.
+        self._frozen = self.road.freeze(
+            directories=self.directories, backend=self.backend
+        )
         self._maintenance_counters["freezes"] += 1
         return self._frozen
 
@@ -178,6 +238,62 @@ class ROADEngine(SearchEngine):
         return self._last_report
 
     # ------------------------------------------------------------------
+    # Directory management (multi-provider serving)
+    # ------------------------------------------------------------------
+    def attach_objects(
+        self,
+        objects: ObjectSet,
+        *,
+        name: str,
+        abstract_factory: Optional[AbstractFactory] = None,
+    ):
+        """Attach another provider's object set as a named directory.
+
+        ``abstract_factory`` defaults to the factory the engine was
+        constructed with, so late-attached providers prune exactly like
+        construction-time ones.  In frozen mode a live snapshot compiled
+        with the default ``directories=None`` policy is invalidated so
+        the next query re-freezes with the new directory included; a
+        pinned explicit ``directories`` list is left alone (the new
+        provider is served once the caller adds it and refreezes).
+        """
+        if abstract_factory is None:
+            abstract_factory = self._abstract_factory
+        directory = self.road.attach_objects(
+            objects, name=name, abstract_factory=abstract_factory
+        )
+        if self.mode == "frozen" and self.directories is None:
+            self.invalidate_frozen()
+        return directory
+
+    def detach_objects(self, name: str) -> None:
+        """Detach a directory; frozen snapshots stop serving it.
+
+        The default directory cannot be detached through the engine:
+        the charged path would start raising on directory-less queries
+        while a re-frozen snapshot would silently fall back to another
+        provider — the modes must never answer the same query
+        differently.
+        """
+        if name == DEFAULT_DIRECTORY:
+            raise EngineError(
+                f"the default directory {DEFAULT_DIRECTORY!r} cannot be "
+                f"detached from the engine (charged and frozen modes "
+                f"would diverge on directory-less queries)"
+            )
+        compiled = self.directories
+        self.road.detach_objects(name)
+        if self.directories is not None:
+            self.directories = tuple(
+                d for d in self.directories if d != name
+            )
+        # A pinned set that never compiled the detached name leaves the
+        # snapshot's contents untouched — keep it instead of paying a
+        # full refreeze on the next query.
+        if self.mode == "frozen" and (compiled is None or name in compiled):
+            self.invalidate_frozen()
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def knn(self, node: int, k: int, predicate: Predicate = ANY) -> List[ResultEntry]:
@@ -200,8 +316,18 @@ class ROADEngine(SearchEngine):
 
     @property
     def directory_names(self) -> List[str]:
-        """Directories the configured serving object answers for."""
-        return self._serving().directory_names
+        """Directories this engine serves, pinned set applied.
+
+        The pinned ``directories`` knob restricts the servable set in
+        *both* modes — the charged road physically holds every attached
+        directory, but answering for an unpinned one in charged mode
+        while frozen mode 404s on it would make the modes diverge on the
+        same named query.
+        """
+        names = self._serving().directory_names
+        if self.directories is not None:
+            names = [n for n in names if n in self.directories]
+        return names
 
     @property
     def default_directory(self) -> str:
@@ -219,20 +345,30 @@ class ROADEngine(SearchEngine):
 
         Forwarding the whole batch (rather than looping the inherited
         per-query dispatch) lets the charged path share its per-predicate
-        AbstractCaches across the batch exactly as before.
+        AbstractCaches across the batch exactly as before.  The directory
+        resolves through *this* engine first, so the pinned
+        ``directories`` restriction holds on the batch path exactly as on
+        ``execute`` — the charged road itself would happily serve any
+        attached directory.
         """
         return self._serving().execute_many(
-            queries, directory=directory, stats=stats
+            queries, directory=self.check_directory(directory), stats=stats
         )
 
     # ------------------------------------------------------------------
     # Maintenance (patched into or invalidating any frozen snapshot)
     # ------------------------------------------------------------------
-    def insert_object(self, obj: SpatialObject) -> None:
-        self._maintain(self.road.insert_object(obj))
+    def insert_object(
+        self, obj: SpatialObject, *, directory: str = DEFAULT_DIRECTORY
+    ) -> None:
+        self._maintain(self.road.insert_object(obj, directory=directory))
 
-    def delete_object(self, object_id: int) -> SpatialObject:
-        report = self._maintain(self.road.delete_object(object_id))
+    def delete_object(
+        self, object_id: int, *, directory: str = DEFAULT_DIRECTORY
+    ) -> SpatialObject:
+        report = self._maintain(
+            self.road.delete_object(object_id, directory=directory)
+        )
         return report.obj
 
     def update_edge_distance(
@@ -241,9 +377,11 @@ class ROADEngine(SearchEngine):
         return self._maintain(self.road.update_edge_distance(u, v, distance))
 
     def update_object_attrs(
-        self, object_id: int, attrs
+        self, object_id: int, attrs, *, directory: str = DEFAULT_DIRECTORY
     ) -> MaintenanceReport:
-        return self._maintain(self.road.update_object_attrs(object_id, attrs))
+        return self._maintain(
+            self.road.update_object_attrs(object_id, attrs, directory=directory)
+        )
 
     def add_edge(
         self, u: int, v: int, distance: float, *, coords=None
@@ -272,6 +410,7 @@ class ROADEngine(SearchEngine):
         if self._frozen is not None:
             summary["frozen_backend"] = self._frozen.backend
             summary["frozen_memory"] = self._frozen.memory_stats()
+            summary["frozen_directories"] = self._frozen.directory_names
         return summary
 
     @property

@@ -216,12 +216,13 @@ class ROAD(QueryExecutor):
     ) -> MaintenanceReport:
         """Insert an object (Section 5.1; Route Overlay untouched).
 
-        Returns a report identifying the touched node entries and the Rnet
-        chain whose abstracts changed — enough for
-        :meth:`repro.core.frozen.FrozenRoad.apply` to patch a snapshot.
+        Returns a report identifying the touched node entries, the Rnet
+        chain whose abstracts changed, and the directory churned — enough
+        for :meth:`repro.core.frozen.FrozenRoad.apply` to patch a
+        snapshot, including one compiled over several directories.
         """
         self.directory(directory).insert(obj)
-        return self._object_report("insert_object", obj)
+        return self._object_report("insert_object", obj, directory)
 
     def delete_object(
         self, object_id: int, *, directory: str = DEFAULT_DIRECTORY
@@ -231,9 +232,11 @@ class ROAD(QueryExecutor):
         Returns a report whose ``obj`` field carries the removed object.
         """
         removed = self.directory(directory).delete(object_id)
-        return self._object_report("delete_object", removed)
+        return self._object_report("delete_object", removed, directory)
 
-    def _object_report(self, kind: str, obj: SpatialObject) -> MaintenanceReport:
+    def _object_report(
+        self, kind: str, obj: SpatialObject, directory: str
+    ) -> MaintenanceReport:
         u, v = obj.edge
         leaf = self.hierarchy.leaf_of_edge(u, v)
         chain = {rnet.rnet_id for rnet in self.hierarchy.ancestors(leaf.rnet_id)}
@@ -243,6 +246,7 @@ class ROAD(QueryExecutor):
             dirty_nodes={u, v},
             dirty_rnets=chain,
             obj=obj,
+            directory=directory,
         )
 
     def update_object_attrs(
@@ -259,7 +263,7 @@ class ROAD(QueryExecutor):
         the Rnet chain's abstracts/masks.
         """
         updated = self.directory(directory).update_attrs(object_id, attrs)
-        return self._object_report("update_object", updated)
+        return self._object_report("update_object", updated, directory)
 
     # ------------------------------------------------------------------
     # Queries (Section 4)
@@ -378,15 +382,30 @@ class ROAD(QueryExecutor):
     # once per batch rather than once per query.
 
     def freeze(
-        self, *, directory: str = DEFAULT_DIRECTORY, backend=None
+        self,
+        *,
+        directory: Optional[str] = None,
+        directories: Optional[Iterable[str]] = None,
+        default: Optional[str] = None,
+        backend=None,
     ) -> FrozenRoad:
-        """Compile the index + one directory into a :class:`FrozenRoad`.
+        """Compile the index + directories into one :class:`FrozenRoad`.
+
+        By default **every** attached Association Directory is compiled
+        into the snapshot — the Route Overlay entry arrays are built once
+        and shared, each directory adding only its object spans, abstract
+        slots and predicate masks.  ``directories`` restricts the
+        compiled set; ``directory`` is the single-directory shorthand;
+        ``default`` names the directory ``execute(query)`` serves when no
+        ``directory=`` is given (default: ``"objects"`` when compiled,
+        else the first compiled name).
 
         The frozen snapshot serves :meth:`knn`/:meth:`range` byte-identical
         to the charged path with zero pager traffic.  It does not track
         later maintenance automatically — feed each update's
         :class:`MaintenanceReport` to :meth:`FrozenRoad.apply` to
-        delta-patch the snapshot, or re-freeze.
+        delta-patch the snapshot (all compiled directories at once), or
+        re-freeze.
 
         ``backend`` selects the compiled array representation —
         ``"list"`` (pre-boxed, fastest), ``"compact"`` (stdlib typed
@@ -394,7 +413,13 @@ class ROAD(QueryExecutor):
         vectorised relaxation; optional dependency); None defers to
         ``REPRO_BACKEND``/the default.
         """
-        return FrozenRoad.from_road(self, directory=directory, backend=backend)
+        return FrozenRoad.from_road(
+            self,
+            directory=directory,
+            directories=directories,
+            default=default,
+            backend=backend,
+        )
 
     # ------------------------------------------------------------------
     # Network maintenance (Section 5.2)

@@ -5,9 +5,9 @@ The charged path (:mod:`repro.core.search` over
 stack on every pop — a B+-tree descent plus record-page reads per
 ``shortcut_tree`` load — which is the right cost model for reproducing the
 paper's I/O figures but the wrong hot path for serving throughput.
-``freeze()`` compiles the Route Overlay and one Association Directory into
-CSR-style parallel arrays so that kNNSearch / RangeSearch run with **zero
-pager traffic** and no per-pop object allocation:
+``freeze()`` compiles the Route Overlay and any number of Association
+Directories into CSR-style parallel arrays so that kNNSearch / RangeSearch
+run with **zero pager traffic** and no per-pop object allocation:
 
 * every node's shortcut tree is flattened into a preorder entry array in
   the exact order the charged stack walk visits it (roots and children
@@ -21,6 +21,16 @@ pager traffic** and no per-pop object allocation:
   a query predicate is compiled once into a per-Rnet "may contain" bitmask
   and a per-object-slot match mask, both memoised per predicate and shared
   across every query on this snapshot (the batch layer's predicate cache).
+
+A serving node attaching several content providers compiles **all of
+them into one snapshot**: ``freeze(directories=["a", "b", ...])``
+(default: every attached directory) builds the shortcut/edge entry
+arrays — the part of the snapshot that scales with the network — exactly
+once, while each directory contributes only its object spans, abstract
+slots and cached predicate masks.  ``execute(query, directory=...)``
+routes to the right span set, and one :meth:`FrozenRoad.apply` call
+keeps *every* compiled directory current from a single
+:class:`~repro.core.maintenance.MaintenanceReport`.
 
 Because the compiled traversal replays the charged expansion push-for-push
 (same push order, same shared sequence counter, same tie-breaking), a
@@ -71,8 +81,10 @@ from repro.queries.types import (
     ResultEntry,
 )
 from repro.serving.dispatch import (
+    DEFAULT_DIRECTORY,
     BatchContext,
     QueryExecutor,
+    UnknownDirectoryError,
     register_handler,
 )
 
@@ -127,15 +139,57 @@ def _flatten_tree_entries(
     return entries, nexts
 
 
+class _DirectoryState:
+    """One compiled Association Directory inside a snapshot.
+
+    The shortcut/edge entry arrays live on the snapshot and are shared by
+    every directory; a directory contributes only its object spans
+    (CSR over the snapshot's node order), its per-Rnet-slot abstract
+    snapshots, and its per-predicate mask caches — the parts that differ
+    between providers serving the same network.
+    """
+
+    __slots__ = (
+        "name",
+        "obj_start",
+        "obj_id",
+        "obj_delta",
+        "obj_ref",
+        "abstracts",
+        "rnet_masks",
+        "obj_masks",
+        "views",
+        "np_views",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.obj_start: Sequence[int] = ()
+        self.obj_id: Sequence[int] = ()
+        self.obj_delta: Sequence[float] = ()
+        self.obj_ref: List[SpatialObject] = []
+        #: Deep-copied abstract per compiled Rnet slot (None = no objects).
+        self.abstracts: List[Optional[object]] = []
+        self.rnet_masks: Dict[Predicate, Sequence[bool]] = {}
+        self.obj_masks: Dict[Predicate, bytearray] = {}
+        #: Cached (obj_start, obj_id, obj_delta) query views; dropped with
+        #: the snapshot's shared views before any patch.
+        self.views = None
+        self.np_views = None
+
+
 class FrozenRoad(QueryExecutor):
-    """A read-only, fully in-memory compilation of one ROAD + directory.
+    """A read-only, in-memory compilation of one ROAD + its directories.
 
     Construct via :meth:`FrozenRoad.from_road` or
     :meth:`repro.core.framework.ROAD.freeze`.  Queries mirror the facade:
     :meth:`knn`, :meth:`range`, :meth:`aggregate_knn`,
     :meth:`iter_nearest_objects`, :meth:`execute`, and the batch entry
-    point :meth:`execute_many`.  After live maintenance, :meth:`apply`
-    delta-patches the snapshot from the update's MaintenanceReport.
+    point :meth:`execute_many`; every query takes ``directory=`` to pick
+    one of the compiled directories (None = :attr:`default_directory`).
+    After live maintenance, :meth:`apply` delta-patches the snapshot —
+    all compiled directories at once — from the update's
+    MaintenanceReport.
     """
 
     dispatch_engine = "frozen"
@@ -143,13 +197,42 @@ class FrozenRoad(QueryExecutor):
     def __init__(
         self,
         trees: Dict[int, "ShortcutTree"],
-        node_entries: Dict[int, List[Tuple[SpatialObject, float]]],
-        abstracts: Dict[int, "ObjectAbstract"],
+        node_entries: Optional[Dict[int, List[Tuple[SpatialObject, float]]]] = None,
+        abstracts: Optional[Dict[int, "ObjectAbstract"]] = None,
         *,
-        directory_name: str = "objects",
+        directory_name: str = DEFAULT_DIRECTORY,
+        directories: Optional[Dict[str, Tuple[Dict, Dict]]] = None,
+        default_directory: Optional[str] = None,
         backend=None,
     ) -> None:
-        self.directory_name = directory_name
+        """Compile ``trees`` plus one or more exported directories.
+
+        ``directories`` maps directory name to an ``export_entries()``
+        pair ``(node_entries, abstracts)``; insertion order becomes the
+        compiled order.  The legacy single-directory form —
+        positional ``node_entries``/``abstracts`` under ``directory_name``
+        — is kept for callers that assemble exports by hand.
+        """
+        if directories is None:
+            if node_entries is None or abstracts is None:
+                raise ValueError(
+                    "pass directories={name: (node_entries, abstracts)} "
+                    "or the legacy (node_entries, abstracts) pair"
+                )
+            directories = {directory_name: (node_entries, abstracts)}
+        if not directories:
+            raise ValueError("directories must compile at least one directory")
+        if default_directory is None:
+            default_directory = (
+                DEFAULT_DIRECTORY
+                if DEFAULT_DIRECTORY in directories
+                else next(iter(directories))
+            )
+        if default_directory not in directories:
+            raise UnknownDirectoryError(
+                self, default_directory, directories
+            )
+        self._default_directory = default_directory
         #: The array backend this snapshot compiles into — a name from
         #: :data:`repro.core.frozen_backends.BACKENDS`, an instance, or
         #: None for the REPRO_BACKEND/default selection.  Recompiles keep
@@ -161,13 +244,12 @@ class FrozenRoad(QueryExecutor):
         #: — a server that drops the ROAD reclaims them, and a later
         #: no-road ``apply`` raises :class:`FrozenRoadError` instead.
         self._source: Optional[weakref.ReferenceType] = None
-        self._compile(trees, node_entries, abstracts)
+        self._compile(trees, directories)
 
     def _compile(
         self,
         trees: Dict[int, "ShortcutTree"],
-        node_entries: Dict[int, List[Tuple[SpatialObject, float]]],
-        abstracts: Dict[int, "ObjectAbstract"],
+        directories: Dict[str, Tuple[Dict, Dict]],
     ) -> None:
         """(Re)build every compiled array from a fresh export."""
         # --- node id space -------------------------------------------------
@@ -176,9 +258,8 @@ class FrozenRoad(QueryExecutor):
             node: i for i, node in enumerate(self.node_ids)
         }
         n = len(self.node_ids)
-        # --- Rnet id space + abstract snapshot -----------------------------
+        # --- Rnet id space (slots shared by every directory) ---------------
         self._rnet_index: Dict[int, int] = {}
-        self._abstracts: List[Optional[object]] = []
         # --- compiled shortcut-tree entries (CSR) --------------------------
         # build with plain lists, then freeze into typed arrays
         e_start: List[int] = [0] * (n + 1)
@@ -199,12 +280,8 @@ class FrozenRoad(QueryExecutor):
         def rnet_slot(rnet_id: int) -> int:
             slot = self._rnet_index.get(rnet_id)
             if slot is None:
-                slot = len(self._abstracts)
+                slot = len(self._rnet_index)
                 self._rnet_index[rnet_id] = slot
-                snapshot = abstracts.get(rnet_id)
-                self._abstracts.append(
-                    copy.deepcopy(snapshot) if snapshot is not None else None
-                )
             return slot
 
         for idx, node in enumerate(self.node_ids):
@@ -256,27 +333,40 @@ class FrozenRoad(QueryExecutor):
         self._local_target = B.int_array(local_target)
         self._local_weight = B.float_array(local_weight)
 
-        # --- object associations (per-node spans, stored order) ------------
-        obj_start: List[int] = [0] * (n + 1)
-        obj_id: List[int] = []
-        obj_delta: List[float] = []
-        obj_ref: List[SpatialObject] = []
-        for idx, node in enumerate(self.node_ids):
-            for obj, delta in node_entries.get(node, ()):
-                obj_id.append(obj.object_id)
-                obj_delta.append(delta)
-                obj_ref.append(obj)
-            obj_start[idx + 1] = len(obj_id)
-        self._obj_start = B.int_array(obj_start)
-        self._obj_id = B.int_array(obj_id)
-        self._obj_delta = B.float_array(obj_delta)
-        #: Object references stay a Python list in every backend — the
-        #: query path needs the objects themselves for predicate compiles.
-        self._obj_ref = obj_ref
+        # Rnet ids in slot order, for the per-directory abstract snapshots.
+        slot_rnets = sorted(self._rnet_index, key=self._rnet_index.get)
 
-        # --- shared per-predicate caches -----------------------------------
-        self._rnet_masks: Dict[Predicate, Sequence[bool]] = {}
-        self._obj_masks: Dict[Predicate, bytearray] = {}
+        # --- per-directory state: object spans + abstracts + masks ---------
+        # Every directory shares the entry/shortcut/edge arrays compiled
+        # above (the O(network·levels) bulk of the snapshot) and adds only
+        # its own object CSR, abstract slots and predicate-mask caches.
+        self._dirs: Dict[str, _DirectoryState] = {}
+        for name, (node_entries, abstracts) in directories.items():
+            state = _DirectoryState(name)
+            obj_start: List[int] = [0] * (n + 1)
+            obj_id: List[int] = []
+            obj_delta: List[float] = []
+            obj_ref: List[SpatialObject] = []
+            for idx, node in enumerate(self.node_ids):
+                for obj, delta in node_entries.get(node, ()):
+                    obj_id.append(obj.object_id)
+                    obj_delta.append(delta)
+                    obj_ref.append(obj)
+                obj_start[idx + 1] = len(obj_id)
+            state.obj_start = B.int_array(obj_start)
+            state.obj_id = B.int_array(obj_id)
+            state.obj_delta = B.float_array(obj_delta)
+            #: Object references stay a Python list in every backend — the
+            #: query path needs the objects themselves for mask compiles.
+            state.obj_ref = obj_ref
+            state.abstracts = [
+                copy.deepcopy(abstracts[rnet_id])
+                if abstracts.get(rnet_id) is not None
+                else None
+                for rnet_id in slot_rnets
+            ]
+            self._dirs[name] = state
+
         # Cached array views for the query loops (memoryviews over the
         # compact buffers; the lists themselves for the list backend) and
         # zero-copy numpy views (numpy backend only).  Both are built
@@ -290,22 +380,53 @@ class FrozenRoad(QueryExecutor):
     # ------------------------------------------------------------------
     @classmethod
     def from_road(
-        cls, road, *, directory: str = "objects", backend=None
+        cls,
+        road,
+        *,
+        directory: Optional[str] = None,
+        directories: Optional[Sequence[str]] = None,
+        default: Optional[str] = None,
+        backend=None,
     ) -> "FrozenRoad":
         """Compile a built :class:`~repro.core.framework.ROAD`.
 
-        Reads the Route Overlay's stored trees (uncharged bulk export) and
-        the named Association Directory's node entries and Rnet abstracts
-        (one charged leaf walk — freezing is a build-time operation).
+        Reads the Route Overlay's stored trees (uncharged bulk export)
+        once, plus each selected Association Directory's node entries and
+        Rnet abstracts (one charged leaf walk per directory — freezing is
+        a build-time operation).  ``directories`` selects which attached
+        directories to compile (default: **all** of them, sharing the
+        entry arrays); ``directory`` is the single-directory shorthand.
+        ``default`` picks the directory ``directory=None`` queries route
+        to (default: ``"objects"`` when compiled, else the first name).
         ``backend`` selects the compiled array representation (see
         :mod:`repro.core.frozen_backends`).
         """
-        assoc = road.directory(directory)
-        node_entries, abstracts = assoc.export_entries()
+        if directory is not None and directories is not None:
+            raise ValueError("pass directory= or directories=, not both")
+        if directory is not None:
+            names: List[str] = [directory]
+        elif directories is not None:
+            names = list(directories)
+            if not names:
+                raise ValueError(
+                    "directories must name at least one attached directory"
+                )
+        else:
+            names = list(road.directory_names)
+            if not names:
+                raise UnknownDirectoryError(road, DEFAULT_DIRECTORY, names)
+        exports: Dict[str, Tuple[Dict, Dict]] = {}
+        for name in names:
+            if name in exports:
+                raise ValueError(f"directory {name!r} listed twice")
+            # road.directory raises UnknownDirectoryError on unknown names.
+            exports[name] = road.directory(name).export_entries()
         trees = dict(road.overlay.iter_trees())
         frozen = cls(
-            trees, node_entries, abstracts,
-            directory_name=directory, backend=backend,
+            trees,
+            directories=exports,
+            default_directory=default,
+            backend=backend,
         )
         frozen._source = weakref.ref(road)
         return frozen
@@ -324,8 +445,11 @@ class FrozenRoad(QueryExecutor):
         ``report`` is the :class:`~repro.core.maintenance.MaintenanceReport`
         of a maintenance call on the live ``road`` (defaults to the ROAD
         this snapshot was frozen from).  Dirty Route Overlay entries have
-        their shortcut/edge spans rewritten in place; object churn goes
-        through :meth:`apply_object_delta`.  When the report is structural
+        their shortcut/edge spans rewritten in place — once, however many
+        directories are compiled; the object spans of **every** compiled
+        directory affected by the update are refreshed from the live
+        directories.  Object churn goes through
+        :meth:`apply_object_delta`.  When the report is structural
         (border promotions/demotions, edge addition/removal) or a new span
         cannot fit in place, the whole snapshot is recompiled — still in
         place, so existing references keep serving.
@@ -340,10 +464,14 @@ class FrozenRoad(QueryExecutor):
         post-update state or raise.  Completed queries and future queries
         are unaffected; a serving loop applies updates between batches.
         """
+        if report.kind in ("insert_object", "delete_object", "update_object"):
+            # Object deltas manage the source requirement and view caches
+            # themselves: churn in a directory this snapshot never
+            # compiled is a no-op that needs neither a live road nor a
+            # view rebuild.
+            return self.apply_object_delta(report, road)
         road = self._require_source(road)
         self._drop_views()
-        if report.kind in ("insert_object", "delete_object", "update_object"):
-            return self.apply_object_delta(report, road)
         if report.structural:
             self._recompile(road)
             return "recompiled"
@@ -361,14 +489,22 @@ class FrozenRoad(QueryExecutor):
                 self._recompile(road)
                 return "recompiled"
             patches.append(patch)
+        if report.edge is not None:
+            # All-or-nothing: every compiled directory must still be
+            # attached before any span is rewritten — a raise after the
+            # tree patches landed would leave the snapshot half-patched
+            # (new shortcut weights, stale object deltas) yet serving.
+            for name in self._dirs:
+                road.directory(name)
         for patch in patches:
             self._write_tree_patch(patch)
         if report.edge is not None:
-            # Objects hosted on the edge were rescaled by the framework;
-            # refresh their (object, δ) spans at both endpoints.
-            self._rebuild_node_objects(
-                road, [n for n in report.edge if n in self._index]
-            )
+            # Objects hosted on the edge were rescaled by the framework —
+            # in every attached directory; refresh their (object, δ)
+            # spans at both endpoints, per compiled directory.
+            endpoints = [n for n in report.edge if n in self._index]
+            for state in self._dirs.values():
+                self._rebuild_node_objects(road, endpoints, state)
         return "patched"
 
     def apply_object_delta(self, report, road=None) -> str:
@@ -378,20 +514,44 @@ class FrozenRoad(QueryExecutor):
         abstract slots (plus compiled per-predicate masks) of the touched
         Rnet chain; the shortcut-tree arrays are untouched, mirroring the
         Section 5.1 property that object churn never reaches the Route
-        Overlay.
+        Overlay.  The report's ``directory`` names the churned provider —
+        only its compiled state is rewritten; churn in a directory this
+        snapshot never compiled is a no-op.  A legacy report without a
+        directory refreshes every compiled directory from live state.
         """
-        road = self._require_source(road)
-        self._drop_views()
         obj = report.obj
         if obj is None:
             raise FrozenRoadError(
                 f"{report.kind} report carries no object to patch from"
             )
+        directory = getattr(report, "directory", None)
+        if directory is None:
+            states = list(self._dirs.values())
+        else:
+            state = self._dirs.get(directory)
+            if state is None:
+                # Churn in a directory outside this snapshot: the compiled
+                # spans already match a fresh freeze of the compiled set —
+                # a true no-op, so neither a live source ROAD (a dropped
+                # road is a supported serving state) nor the cached query
+                # views are touched.  An explicitly passed road still
+                # becomes the source for future applies.
+                if road is not None:
+                    self._source = weakref.ref(road)
+                return "patched"
+            states = [state]
+        road = self._require_source(road)
+        for state in states:
+            # All-or-nothing, as in :meth:`apply`: resolve every live
+            # directory before the first span is touched.
+            road.directory(state.name)
+        self._drop_views()
         if any(node not in self._index for node in obj.edge):
             self._recompile(road)
             return "recompiled"
-        self._rebuild_node_objects(road, list(obj.edge))
-        self._refresh_abstracts(road, report.dirty_rnets)
+        for state in states:
+            self._rebuild_node_objects(road, list(obj.edge), state)
+            self._refresh_abstracts(road, report.dirty_rnets, state)
         return "patched"
 
     def _require_source(self, road):
@@ -409,11 +569,17 @@ class FrozenRoad(QueryExecutor):
         return road
 
     def _recompile(self, road) -> None:
-        """Full fallback: rebuild every array from a fresh export, in place."""
-        assoc = road.directory(self.directory_name)
-        node_entries, abstracts = assoc.export_entries()
+        """Full fallback: rebuild every array from a fresh export, in place.
+
+        Re-exports exactly the directories this snapshot compiled (all of
+        them must still be attached to ``road``), keeping the compiled
+        order, the default directory, and the backend.
+        """
+        exports = {
+            name: road.directory(name).export_entries() for name in self._dirs
+        }
         trees = dict(road.overlay.iter_trees())
-        self._compile(trees, node_entries, abstracts)
+        self._compile(trees, exports)
         self._source = weakref.ref(road)
 
     def _plan_tree_patch(self, idx: int, tree: ShortcutTree):
@@ -503,32 +669,35 @@ class FrozenRoad(QueryExecutor):
                 [w for _, w in local_values]
             )
 
-    def _rebuild_node_objects(self, road, nodes: Sequence[int]) -> None:
-        """Replace the object spans of ``nodes`` from the live directory.
+    def _rebuild_node_objects(
+        self, road, nodes: Sequence[int], state: _DirectoryState
+    ) -> None:
+        """Replace one directory's object spans of ``nodes`` from live state.
 
-        Handles growth, shrink and reordering by splicing the object
-        arrays (and every cached per-predicate object mask) and shifting
-        the following span starts.  A size-changing splice costs
+        Handles growth, shrink and reordering by splicing the directory's
+        object arrays (and every cached per-predicate object mask) and
+        shifting the following span starts.  A size-changing splice costs
         O(object slots + node count) — a single C-level memmove plus one
         integer-add pass over the span starts, tiny constants next to a
         full recompile's tree rebuild — while the shortcut-tree arrays
-        (the O(network·levels) bulk of the snapshot) are never touched.
+        (the O(network·levels) bulk of the snapshot, shared by every
+        directory) are never touched.
         """
-        assoc = road.directory(self.directory_name)
+        assoc = road.directory(state.name)
         B = self._backend
-        obj_start = self._obj_start
+        obj_start = state.obj_start
         for node in sorted(set(nodes)):
             idx = self._index[node]
             a, b = obj_start[idx], obj_start[idx + 1]
             entries = assoc.peek_node_objects(node)
-            self._obj_id[a:b] = B.int_values(
+            state.obj_id[a:b] = B.int_values(
                 [o.object_id for o, _ in entries]
             )
-            self._obj_delta[a:b] = B.float_values(
+            state.obj_delta[a:b] = B.float_values(
                 [delta for _, delta in entries]
             )
-            self._obj_ref[a:b] = [o for o, _ in entries]
-            for predicate, mask in self._obj_masks.items():
+            state.obj_ref[a:b] = [o for o, _ in entries]
+            for predicate, mask in state.obj_masks.items():
                 mask[a:b] = bytes(
                     1 if predicate.matches(o) else 0 for o, _ in entries
                 )
@@ -537,17 +706,19 @@ class FrozenRoad(QueryExecutor):
                 for i in range(idx + 1, len(obj_start)):
                     obj_start[i] += shift
 
-    def _refresh_abstracts(self, road, rnet_ids) -> None:
-        """Re-snapshot the abstracts of ``rnet_ids`` + their mask slots."""
-        assoc = road.directory(self.directory_name)
+    def _refresh_abstracts(
+        self, road, rnet_ids, state: _DirectoryState
+    ) -> None:
+        """Re-snapshot one directory's ``rnet_ids`` abstracts + mask slots."""
+        assoc = road.directory(state.name)
         for rnet_id in sorted(rnet_ids):
             slot = self._rnet_index.get(rnet_id)
             if slot is None:  # never referenced by any compiled entry
                 continue
             abstract = assoc.peek_rnet_abstract(rnet_id)
             snapshot = copy.deepcopy(abstract) if abstract is not None else None
-            self._abstracts[slot] = snapshot
-            for predicate, mask in self._rnet_masks.items():
+            state.abstracts[slot] = snapshot
+            for predicate, mask in state.rnet_masks.items():
                 mask[slot] = (
                     snapshot is not None and snapshot.may_contain(predicate)
                 )
@@ -566,23 +737,24 @@ class FrozenRoad(QueryExecutor):
         """
         self._views = None
         self._np_views = None
+        for state in self._dirs.values():
+            state.views = None
+            state.np_views = None
 
     def _array_views(self):
-        """The views the query loops index, built once per snapshot.
+        """The shared-array views the query loops index, built per snapshot.
 
         List backend: the arrays themselves.  Compact/numpy: memoryviews
         over the typed buffers — measurably cheaper to index than the
         arrays, and constructing them once here keeps them out of the
         per-query (and per-pop, for the incremental iterator) hot paths.
-        Order matches the unpacking in :meth:`_search` / :meth:`_expand`.
+        Order matches the unpacking in :meth:`_search` / :meth:`_expand`;
+        the per-directory object views come from :meth:`_object_views`.
         """
         views = self._views
         if views is None:
             vw = self._backend.view
             views = (
-                vw(self._obj_start),
-                vw(self._obj_id),
-                vw(self._obj_delta),
                 vw(self._entry_start),
                 vw(self._entry_rnet),
                 vw(self._entry_next),
@@ -599,14 +771,25 @@ class FrozenRoad(QueryExecutor):
             self._views = views
         return views
 
+    def _object_views(self, state: _DirectoryState):
+        """One directory's (obj_start, obj_id, obj_delta) query views."""
+        views = state.views
+        if views is None:
+            vw = self._backend.view
+            views = (
+                vw(state.obj_start),
+                vw(state.obj_id),
+                vw(state.obj_delta),
+            )
+            state.views = views
+        return views
+
     def _numpy_views(self):
-        """Zero-copy views over the target/weight buffers, built lazily."""
+        """Zero-copy views over the shared weight buffers, built lazily."""
         views = self._np_views
         if views is None:
             B = self._backend
             views = (
-                B.frombuffer(self._obj_id, kind="i"),
-                B.frombuffer(self._obj_delta, kind="f"),
                 B.frombuffer(self._sc_target, kind="i"),
                 B.frombuffer(self._sc_weight, kind="f"),
                 B.frombuffer(self._ed_target, kind="i"),
@@ -617,35 +800,94 @@ class FrozenRoad(QueryExecutor):
             self._np_views = views
         return views
 
+    def _object_numpy_views(self, state: _DirectoryState):
+        """One directory's zero-copy (obj_id, obj_delta) numpy views."""
+        views = state.np_views
+        if views is None:
+            B = self._backend
+            views = (
+                B.frombuffer(state.obj_id, kind="i"),
+                B.frombuffer(state.obj_delta, kind="f"),
+            )
+            state.np_views = views
+        return views
+
+    # ------------------------------------------------------------------
+    # Directory resolution
+    # ------------------------------------------------------------------
+    def _state(self, directory: Optional[str] = None) -> _DirectoryState:
+        """The compiled state a query's ``directory=`` routes to.
+
+        ``None`` means :attr:`default_directory` — the *configured*
+        default, never "the first compiled".  Unknown names raise the
+        serving layer's :class:`UnknownDirectoryError`.
+        """
+        if directory is None:
+            directory = self._default_directory
+        state = self._dirs.get(directory)
+        if state is None:
+            raise UnknownDirectoryError(self, directory, self._dirs)
+        return state
+
+    # Single-directory back-compat aliases: the default directory's state.
+    @property
+    def directory_name(self) -> str:
+        """Deprecated spelling of :attr:`default_directory`."""
+        return self._default_directory
+
+    @property
+    def _rnet_masks(self) -> Dict[Predicate, Sequence[bool]]:
+        return self._state().rnet_masks
+
+    @property
+    def _obj_masks(self) -> Dict[Predicate, bytearray]:
+        return self._state().obj_masks
+
+    @property
+    def _obj_ref(self) -> List[SpatialObject]:
+        return self._state().obj_ref
+
+    def object_refs(
+        self, directory: Optional[str] = None
+    ) -> List[SpatialObject]:
+        """The snapshotted object references of one compiled directory."""
+        return list(self._state(directory).obj_ref)
+
     # ------------------------------------------------------------------
     # Predicate compilation (the shared cache of the batch layer)
     # ------------------------------------------------------------------
-    def _rnet_mask(self, predicate: Predicate) -> Sequence[bool]:
+    def _rnet_mask(
+        self, state: _DirectoryState, predicate: Predicate
+    ) -> Sequence[bool]:
         """Per-Rnet "may contain an object of interest" bitmask.
 
         List backend: a list of bools; compact/numpy: a bytearray — the
         query loop only needs truthy indexing, and the patch paths only
-        need item assignment, which both honour.
+        need item assignment, which both honour.  Cached per (directory,
+        predicate): two directories never share a mask, however equal
+        their predicates.
         """
-        mask = self._rnet_masks.get(predicate)
+        mask = state.rnet_masks.get(predicate)
         if mask is None:
             mask = self._backend.bool_mask(
                 abstract is not None and abstract.may_contain(predicate)
-                for abstract in self._abstracts
+                for abstract in state.abstracts
             )
-            _cache_put(self._rnet_masks, predicate, mask)
+            _cache_put(state.rnet_masks, predicate, mask)
         return mask
 
-    def _object_mask(self, predicate: Predicate) -> Optional[bytearray]:
+    def _object_mask(
+        self, state: _DirectoryState, predicate: Predicate
+    ) -> Optional[bytearray]:
         """Per-object-slot predicate match mask (None = unconstrained)."""
         if predicate.is_unconstrained:
             return None
-        mask = self._obj_masks.get(predicate)
+        mask = state.obj_masks.get(predicate)
         if mask is None:
-            mask = bytearray(len(self._obj_ref))
-            for j, obj in enumerate(self._obj_ref):
+            mask = bytearray(len(state.obj_ref))
+            for j, obj in enumerate(state.obj_ref):
                 mask[j] = predicate.matches(obj)
-            _cache_put(self._obj_masks, predicate, mask)
+            _cache_put(state.obj_masks, predicate, mask)
         return mask
 
     # ------------------------------------------------------------------
@@ -657,11 +899,16 @@ class FrozenRoad(QueryExecutor):
         k: int,
         predicate: Predicate = ANY,
         stats: Optional[SearchStats] = None,
+        *,
+        directory: Optional[str] = None,
     ) -> List[ResultEntry]:
         """kNNSearch (Figure 9) against the compiled arrays."""
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        return self._search(node, predicate, k=k, radius=None, stats=stats)
+        return self._search(
+            node, predicate, k=k, radius=None, stats=stats,
+            directory=directory,
+        )
 
     def range(
         self,
@@ -669,11 +916,16 @@ class FrozenRoad(QueryExecutor):
         radius: float,
         predicate: Predicate = ANY,
         stats: Optional[SearchStats] = None,
+        *,
+        directory: Optional[str] = None,
     ) -> List[ResultEntry]:
         """RangeSearch (Section 4) against the compiled arrays."""
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
-        return self._search(node, predicate, k=None, radius=radius, stats=stats)
+        return self._search(
+            node, predicate, k=None, radius=radius, stats=stats,
+            directory=directory,
+        )
 
     def aggregate_knn(
         self,
@@ -682,6 +934,8 @@ class FrozenRoad(QueryExecutor):
         agg: str = "sum",
         predicate: Predicate = ANY,
         stats: Optional[SearchStats] = None,
+        *,
+        directory: Optional[str] = None,
     ) -> List[ResultEntry]:
         """Aggregate kNN on the compiled arrays (zero pager traffic).
 
@@ -690,7 +944,9 @@ class FrozenRoad(QueryExecutor):
         :meth:`iter_nearest_objects`; identical answers by construction.
         """
         return aggregate_knn_generic(
-            lambda node: self.iter_nearest_objects(node, predicate, stats),
+            lambda node: self.iter_nearest_objects(
+                node, predicate, stats, directory=directory
+            ),
             list(nodes),
             k,
             agg,
@@ -704,27 +960,39 @@ class FrozenRoad(QueryExecutor):
 
     @property
     def directory_names(self) -> List[str]:
-        """The one directory this snapshot compiled (see :meth:`from_road`)."""
-        return [self.directory_name]
+        """The directories this snapshot compiled, in compiled order.
+
+        Authoritative for the serving layer: ``check_directory`` /
+        ``execute(directory=...)`` accept exactly these names.
+        """
+        return list(self._dirs)
 
     @property
     def default_directory(self) -> str:
-        """A snapshot serves exactly its compiled directory by default."""
-        return self.directory_name
+        """The directory ``directory=None`` queries route to.
+
+        The *configured* default (``freeze(default=...)``; falling back
+        to ``"objects"`` when compiled, else the first compiled name) —
+        not simply whichever directory happened to compile first.
+        """
+        return self._default_directory
 
     def iter_nearest_objects(
         self,
         node: int,
         predicate: Predicate = ANY,
         stats: Optional[SearchStats] = None,
+        *,
+        directory: Optional[str] = None,
     ) -> Iterator[Tuple[float, int]]:
         """Lazily yield (distance, object_id) in non-descending distance."""
+        state = self._state(directory)
         try:
             source = self._index[node]
         except KeyError:
             raise FrozenRoadError(f"node {node} not in frozen index") from None
-        may = self._rnet_mask(predicate)
-        omask = self._object_mask(predicate)
+        may = self._rnet_mask(state, predicate)
+        omask = self._object_mask(state, predicate)
         heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
         seq = 1
         visited = bytearray(len(self.node_ids))
@@ -759,7 +1027,8 @@ class FrozenRoad(QueryExecutor):
                 visited[code] = 1
                 counters[0] += 1
                 seq = self._expand(
-                    heap, seq, code, distance, may, omask, seen_objects, counters
+                    heap, seq, code, distance, may, omask, seen_objects,
+                    counters, state,
                 )
         finally:
             flush()
@@ -774,12 +1043,18 @@ class FrozenRoad(QueryExecutor):
 
     @property
     def num_objects(self) -> int:
-        """Object association slots (objects appear once per endpoint)."""
-        return len(self._obj_ref)
+        """Object association slots over every compiled directory
+        (objects appear once per host-edge endpoint)."""
+        return sum(len(state.obj_ref) for state in self._dirs.values())
 
     def _arrays(self) -> Dict[str, Sequence]:
-        """The compiled CSR arrays by name (introspection/accounting)."""
-        return {
+        """The compiled CSR arrays by name (introspection/accounting).
+
+        Shared arrays keep their plain names; a multi-directory snapshot
+        prefixes each directory's object arrays with its name (a
+        single-directory snapshot keeps the historical flat keys).
+        """
+        arrays: Dict[str, Sequence] = {
             "entry_start": self._entry_start,
             "entry_rnet": self._entry_rnet,
             "entry_next": self._entry_next,
@@ -792,10 +1067,22 @@ class FrozenRoad(QueryExecutor):
             "local_start": self._local_start,
             "local_target": self._local_target,
             "local_weight": self._local_weight,
-            "obj_start": self._obj_start,
-            "obj_id": self._obj_id,
-            "obj_delta": self._obj_delta,
         }
+        for name, state in self._dirs.items():
+            prefix = self._dir_prefix(name)
+            arrays[f"{prefix}obj_start"] = state.obj_start
+            arrays[f"{prefix}obj_id"] = state.obj_id
+            arrays[f"{prefix}obj_delta"] = state.obj_delta
+        return arrays
+
+    def _dir_prefix(self, name: str) -> str:
+        """Key prefix of one directory's object arrays in :meth:`_arrays`.
+
+        The single place the naming convention lives — a single-directory
+        snapshot keeps the historical flat keys, a multi-directory one
+        prefixes each directory's arrays with its name.
+        """
+        return "" if len(self._dirs) == 1 else f"{name}:"
 
     @property
     def nbytes(self) -> int:
@@ -814,33 +1101,58 @@ class FrozenRoad(QueryExecutor):
         per-predicate mask caches are reported separately; the
         ``object_refs`` list (shared ``SpatialObject`` instances, one
         pointer per association slot) is counted as pointers only.
+        ``directories`` breaks the footprint down per compiled directory
+        (its object arrays, reference pointers and mask caches) — the
+        remainder of ``total_bytes`` is the entry arrays every directory
+        shares.
         """
         per_array = {
             name: self._backend.resident_bytes(arr)
             for name, arr in self._arrays().items()
         }
-        mask_bytes = sum(
-            self._backend.resident_bytes(mask)
-            for mask in self._rnet_masks.values()
-        ) + sum(sys.getsizeof(mask) for mask in self._obj_masks.values())
+        mask_bytes = 0
+        mask_entries = 0
+        per_directory: Dict[str, Dict[str, int]] = {}
+        for name, state in self._dirs.items():
+            prefix = self._dir_prefix(name)
+            dir_mask_bytes = sum(
+                self._backend.resident_bytes(mask)
+                for mask in state.rnet_masks.values()
+            ) + sum(sys.getsizeof(mask) for mask in state.obj_masks.values())
+            mask_bytes += dir_mask_bytes
+            mask_entries += len(state.rnet_masks) + len(state.obj_masks)
+            per_directory[name] = {
+                "object_array_bytes": sum(
+                    per_array[f"{prefix}{key}"]
+                    for key in ("obj_start", "obj_id", "obj_delta")
+                ),
+                "object_refs": len(state.obj_ref),
+                "object_ref_bytes": sys.getsizeof(state.obj_ref),
+                "mask_cache_bytes": dir_mask_bytes,
+                "mask_cache_entries": (
+                    len(state.rnet_masks) + len(state.obj_masks)
+                ),
+            }
         return {
             "backend": self.backend,
             "arrays": per_array,
             "total_bytes": sum(per_array.values()),
             "payload_bytes": self.nbytes,
             "elements": sum(len(a) for a in self._arrays().values()),
-            "object_refs": len(self._obj_ref),
-            "object_ref_bytes": sys.getsizeof(self._obj_ref),
-            "mask_cache_bytes": mask_bytes,
-            "mask_cache_entries": (
-                len(self._rnet_masks) + len(self._obj_masks)
+            "object_refs": self.num_objects,
+            "object_ref_bytes": sum(
+                sys.getsizeof(state.obj_ref) for state in self._dirs.values()
             ),
+            "mask_cache_bytes": mask_bytes,
+            "mask_cache_entries": mask_entries,
+            "directories": per_directory,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FrozenRoad(nodes={self.num_nodes}, "
             f"entries={len(self._entry_rnet)}, objects={self.num_objects}, "
+            f"directories={list(self._dirs)}, "
             f"backend={self.backend}, bytes={self.nbytes})"
         )
 
@@ -855,16 +1167,18 @@ class FrozenRoad(QueryExecutor):
         k: Optional[int],
         radius: Optional[float],
         stats: Optional[SearchStats],
+        directory: Optional[str] = None,
     ) -> List[ResultEntry]:
+        state = self._state(directory)
         try:
             source = self._index[node]
         except KeyError:
             raise FrozenRoadError(f"node {node} not in frozen index") from None
-        may = self._rnet_mask(predicate)
-        omask = self._object_mask(predicate)
+        may = self._rnet_mask(state, predicate)
+        omask = self._object_mask(state, predicate)
         if self._backend.vectorised:
             return self._search_vec(
-                source, may, omask, k=k, radius=radius, stats=stats
+                source, may, omask, state, k=k, radius=radius, stats=stats
             )
         # Bind every array view to a local once per query: the loop below
         # is the hot path, and attribute loads per pop would dominate it.
@@ -873,8 +1187,8 @@ class FrozenRoad(QueryExecutor):
         # "compact" (cheaper per access than the array).
         pop = heapq.heappop
         push = heapq.heappush
+        obj_start, obj_id, obj_delta = self._object_views(state)
         (
-            obj_start, obj_id, obj_delta,
             entry_start, entry_rnet, entry_next,
             sc_start, sc_target, sc_weight,
             ed_start, ed_target, ed_weight,
@@ -970,6 +1284,7 @@ class FrozenRoad(QueryExecutor):
         source: int,
         may: Sequence[bool],
         omask: Optional[bytearray],
+        state: _DirectoryState,
         *,
         k: Optional[int],
         radius: Optional[float],
@@ -986,14 +1301,15 @@ class FrozenRoad(QueryExecutor):
         (the typical road-network degree) take the scalar memoryview
         path, where numpy slicing overhead would dominate.
         """
+        obj_id_v, obj_delta_v = self._object_numpy_views(state)
         (
-            obj_id_v, obj_delta_v, sc_target_v, sc_weight_v,
+            sc_target_v, sc_weight_v,
             ed_target_v, ed_weight_v, local_target_v, local_weight_v,
         ) = self._numpy_views()
         pop = heapq.heappop
         push = heapq.heappush
+        obj_start, obj_id, obj_delta = self._object_views(state)
         (
-            obj_start, obj_id, obj_delta,
             entry_start, entry_rnet, entry_next,
             sc_start, sc_target, sc_weight,
             ed_start, ed_target, ed_weight,
@@ -1131,6 +1447,7 @@ class FrozenRoad(QueryExecutor):
         omask: Optional[bytearray],
         seen_objects: set,
         counters: List[int],
+        state: _DirectoryState,
     ) -> int:
         """SearchObject + ChoosePath for one popped node; returns next seq.
 
@@ -1141,8 +1458,8 @@ class FrozenRoad(QueryExecutor):
         per-snapshot cache, so a pop costs no view construction.
         """
         push = heapq.heappush
+        obj_start, obj_id, obj_delta = self._object_views(state)
         (
-            obj_start, obj_id, obj_delta,
             entry_start, entry_rnet, entry_next,
             sc_start, sc_target, sc_weight,
             ed_start, ed_target, ed_weight,
@@ -1227,13 +1544,17 @@ def freeze_road(
 # ----------------------------------------------------------------------
 @register_handler(KNNQuery, engine="frozen")
 def _frozen_knn(snapshot: FrozenRoad, query: KNNQuery, ctx: BatchContext):
-    return snapshot.knn(query.node, query.k, query.predicate, stats=ctx.stats)
+    return snapshot.knn(
+        query.node, query.k, query.predicate, stats=ctx.stats,
+        directory=ctx.directory,
+    )
 
 
 @register_handler(RangeQuery, engine="frozen")
 def _frozen_range(snapshot: FrozenRoad, query: RangeQuery, ctx: BatchContext):
     return snapshot.range(
-        query.node, query.radius, query.predicate, stats=ctx.stats
+        query.node, query.radius, query.predicate, stats=ctx.stats,
+        directory=ctx.directory,
     )
 
 
@@ -1242,5 +1563,6 @@ def _frozen_aggregate(
     snapshot: FrozenRoad, query: AggregateKNNQuery, ctx: BatchContext
 ):
     return snapshot.aggregate_knn(
-        query.nodes, query.k, query.agg, query.predicate, stats=ctx.stats
+        query.nodes, query.k, query.agg, query.predicate, stats=ctx.stats,
+        directory=ctx.directory,
     )

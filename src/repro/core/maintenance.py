@@ -73,6 +73,11 @@ class MaintenanceReport:
     dirty_rnets: Set[int] = field(default_factory=set)
     #: The object inserted/removed, for object-churn reports.
     obj: Optional[SpatialObject] = None
+    #: The Association Directory the object churn happened in (None for
+    #: network maintenance, which touches every attached directory alike).
+    #: Lets a multi-directory snapshot patch only the churned provider's
+    #: object spans and abstract slots.
+    directory: Optional[str] = None
 
     @property
     def structural(self) -> bool:

@@ -98,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorised views (optional extra) (sets REPRO_BACKEND, a "
         "ServiceConfig.from_env override)",
     )
+    parser.add_argument(
+        "--directories",
+        metavar="NAMES",
+        help="comma-separated Association Directories frozen snapshots "
+        "compile into one multi-directory FrozenRoad (default: all "
+        "attached) (sets REPRO_DIRECTORIES, a ServiceConfig.from_env "
+        "override)",
+    )
     return parser
 
 
@@ -113,6 +121,8 @@ def main(argv=None) -> int:
         os.environ["REPRO_MAINTENANCE"] = args.maintenance
     if args.backend is not None:
         os.environ[BACKEND_ENV] = args.backend
+    if args.directories is not None:
+        os.environ["REPRO_DIRECTORIES"] = args.directories
 
     if args.experiment == "list":
         for name in REGISTRY:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.baselines.engine import SearchEngine
 from repro.queries.types import ResultEntry
@@ -104,6 +104,7 @@ def snapshot_divergences(
     probes: int = 3,
     k: int = 5,
     max_radius: float = 30.0,
+    directory: Optional[str] = None,
 ) -> List[str]:
     """Probe two FrozenRoad snapshots for byte-identity; return divergences.
 
@@ -114,14 +115,28 @@ def snapshot_divergences(
     iterator).  The patch property suite asserts the returned list is
     empty; the maintenance bench counts its length as violations, so the
     two can never enforce different contracts.
+
+    ``directory`` routes the probes on ``patched`` to one directory of a
+    multi-directory snapshot (``fresh`` answers from its own default), so
+    a combined snapshot can be held byte-identical to the per-directory
+    single freezes it replaces.  ``None`` probes ``patched``'s default.
     """
     from repro.core.search import SearchStats
     from repro.queries.types import Predicate
 
+    # Only pass directory= through when asked: the probes then also run
+    # unchanged against snapshots predating the multi-directory layout.
+    kw = {} if directory is None else {"directory": directory}
+
     # A predicate matching at least one snapshotted object, if any carries
     # attributes — exercises the patched _rnet/_obj masks and abstracts.
     predicate = None
-    for obj in getattr(patched, "_obj_ref", []):
+    refs = (
+        patched.object_refs(directory)
+        if hasattr(patched, "object_refs")
+        else getattr(patched, "_obj_ref", [])
+    )
+    for obj in refs:
         if obj.attrs:
             key, value = sorted(obj.attrs.items())[0]
             predicate = Predicate.of(**{key: value})
@@ -131,7 +146,7 @@ def snapshot_divergences(
     for _ in range(probes):
         node = patched.node_ids[rnd.randrange(patched.num_nodes)]
         s_patched, s_fresh = SearchStats(), SearchStats()
-        got = patched.knn(node, k, stats=s_patched)
+        got = patched.knn(node, k, stats=s_patched, **kw)
         want = fresh.knn(node, k, stats=s_fresh)
         if got != want:
             divergences.append(f"knn({node}, {k}): {got} != {want}")
@@ -140,13 +155,15 @@ def snapshot_divergences(
                 f"knn({node}, {k}) stats: {s_patched} != {s_fresh}"
             )
         radius = rnd.uniform(0.0, max_radius)
-        if patched.range(node, radius) != fresh.range(node, radius):
+        if patched.range(node, radius, **kw) != fresh.range(node, radius):
             divergences.append(f"range({node}, {radius:.3f}) diverged")
         if predicate is not None:
-            if patched.knn(node, k, predicate) != fresh.knn(node, k, predicate):
+            if patched.knn(node, k, predicate, **kw) != fresh.knn(
+                node, k, predicate
+            ):
                 divergences.append(f"knn({node}, {k}, {predicate}) diverged")
         other = patched.node_ids[rnd.randrange(patched.num_nodes)]
-        if patched.aggregate_knn([node, other], k) != fresh.aggregate_knn(
+        if patched.aggregate_knn([node, other], k, **kw) != fresh.aggregate_knn(
             [node, other], k
         ):
             divergences.append(f"aggregate_knn([{node}, {other}]) diverged")

@@ -88,13 +88,14 @@ def build_service(
     buffer_pages: Optional[int] = None,
     road_mode_override: Optional[str] = None,
     road_backend_override: Optional[str] = None,
+    road_directories_override: Optional[Sequence[str]] = None,
 ) -> RoadService:
     """A :class:`RoadService` over one engine and a private network copy.
 
     The config comes from :meth:`ServiceConfig.from_env` — the
-    ``--engine`` / ``--maintenance`` / ``--backend`` CLI switches and
-    ``REPRO_*`` variables act as overrides — with the explicit
-    ``road_*_override`` arguments beating both.
+    ``--engine`` / ``--maintenance`` / ``--backend`` / ``--directories``
+    CLI switches and ``REPRO_*`` variables act as overrides — with the
+    explicit ``road_*_override`` arguments beating both.
     """
     from repro.serving.service import ENGINE_NAMES
 
@@ -116,6 +117,8 @@ def build_service(
         overrides["mode"] = road_mode_override
     if road_backend_override:
         overrides["backend"] = road_backend_override
+    if road_directories_override:
+        overrides["directories"] = tuple(road_directories_override)
     config = ServiceConfig.from_env(**overrides)
     private = network.copy()
     pager = PageManager(
@@ -134,6 +137,7 @@ def build_engine(
     buffer_pages: Optional[int] = None,
     road_mode_override: Optional[str] = None,
     road_backend_override: Optional[str] = None,
+    road_directories_override: Optional[Sequence[str]] = None,
 ) -> SearchEngine:
     """One bare engine over a private copy of the network (no cross-talk).
 
@@ -150,6 +154,7 @@ def build_engine(
         buffer_pages=buffer_pages,
         road_mode_override=road_mode_override,
         road_backend_override=road_backend_override,
+        road_directories_override=road_directories_override,
     ).executor
 
 

@@ -230,8 +230,10 @@ class QueryExecutor(ABC):
     def default_directory(self) -> str:
         """The directory queries target when ``directory`` is omitted.
 
-        Engines serving exactly one directory (a frozen snapshot of a
-        named provider) override this so queries need not name it.
+        Engines serving named providers override this — a frozen
+        snapshot (single- or multi-directory) reports its *configured*
+        default, never merely the first directory it compiled — so
+        queries need not name it.
         """
         return DEFAULT_DIRECTORY
 

@@ -47,7 +47,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.baselines.road_adapter import ROAD_MAINTENANCE_MODES, ROAD_MODES
 from repro.core.maintenance import MaintenanceReport
 from repro.queries.types import ResultEntry
-from repro.serving.dispatch import QueryExecutor, UnsupportedQueryError
+from repro.serving.dispatch import (
+    QueryExecutor,
+    UnknownDirectoryError,
+    UnsupportedQueryError,
+)
 
 #: Engine families :meth:`RoadService.build` can construct.
 ENGINE_NAMES = ("ROAD", "NetExp", "Euclidean", "DistIdx")
@@ -62,6 +66,7 @@ MAINTENANCE_MODES = ROAD_MAINTENANCE_MODES
 MODE_ENV = "REPRO_ENGINE"
 MAINTENANCE_ENV = "REPRO_MAINTENANCE"
 REPLICAS_ENV = "REPRO_REPLICAS"
+DIRECTORIES_ENV = "REPRO_DIRECTORIES"
 
 
 class ServiceError(RuntimeError):
@@ -90,6 +95,10 @@ class ServiceConfig:
     #: None targets the executor's own default directory (for a snapshot
     #: of a named provider, the directory it compiled).
     directory: Optional[str] = None
+    #: Which attached directories frozen snapshots (the ROAD engine's and
+    #: the replica shards') compile — None compiles **all** attached
+    #: providers into one snapshot sharing the entry arrays.
+    directories: Optional[Tuple[str, ...]] = None
     levels: int = 4
     fanout: int = 4
     max_batch: int = 64
@@ -115,6 +124,28 @@ class ServiceConfig:
             from repro.core.frozen_backends import validate_backend_name
 
             validate_backend_name(self.backend, source="ServiceConfig.backend")
+        if self.directories is not None:
+            if isinstance(self.directories, str):
+                raise ValueError(
+                    f"directories must be a sequence of names, not the "
+                    f"single string {self.directories!r} (it would split "
+                    f"into per-character names); wrap it in a tuple"
+                )
+            names = tuple(self.directories)
+            if not names or not all(
+                isinstance(name, str) and name for name in names
+            ):
+                raise ValueError(
+                    "directories must be a non-empty sequence of directory "
+                    f"names, got {self.directories!r}"
+                )
+            if len(set(names)) != len(names):
+                raise ValueError(
+                    f"directories lists a name twice: {names!r}"
+                )
+            # Normalise any iterable to the hashable tuple form (the
+            # dataclass is frozen, hence the object.__setattr__).
+            object.__setattr__(self, "directories", names)
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_delay_ms < 0:
@@ -143,6 +174,20 @@ class ServiceConfig:
             env["backend"] = os.environ[BACKEND_ENV].lower()
         if REPLICAS_ENV in os.environ:
             env["replicas"] = int(os.environ[REPLICAS_ENV])
+        if DIRECTORIES_ENV in os.environ:
+            names = tuple(
+                name.strip()
+                for name in os.environ[DIRECTORIES_ENV].split(",")
+                if name.strip()
+            )
+            if not names:
+                # A malformed restriction must not degrade to "compile
+                # everything" — that is the opposite of what was asked.
+                raise ValueError(
+                    f"{DIRECTORIES_ENV} must name at least one directory, "
+                    f"got {os.environ[DIRECTORIES_ENV]!r}"
+                )
+            env["directories"] = names
         env.update(overrides)
         return cls(**env)
 
@@ -233,6 +278,7 @@ class RoadService:
                 mode=config.mode,
                 maintenance_mode=config.maintenance,
                 backend=config.backend,
+                directories=config.directories,
                 **engine_kwargs,
             )
         else:
@@ -290,8 +336,27 @@ class RoadService:
 
     def _directory(self, directory: Optional[str]) -> Optional[str]:
         # None cascades: explicit argument > config > executor default
-        # (resolved by the executor's check_directory).
-        return self.config.directory if directory is None else directory
+        # (resolved by the executor's check_directory).  A pinned
+        # ServiceConfig.directories restricts the whole service surface:
+        # ROADEngine filters its own names, but a bare executor would
+        # otherwise serve an unpinned directory on the sync path while
+        # the replica shards 404 on it — sync and async must agree.
+        if directory is None:
+            directory = self.config.directory
+        if self.config.directories is not None:
+            # The implicit executor default must not slip past the pinned
+            # set either — directory-less queries and explicitly named
+            # ones face the same restriction.  Resolution goes through
+            # _serving_directory, never the serving object (which could
+            # lazily compile a snapshot just to answer a name lookup).
+            resolved = (
+                directory if directory is not None else self._serving_directory()
+            )
+            if resolved not in self.config.directories:
+                raise UnknownDirectoryError(
+                    self._executor, resolved, self.config.directories
+                )
+        return directory
 
     # ------------------------------------------------------------------
     # Async admission-batched path
@@ -458,15 +523,183 @@ class RoadService:
                 f"(got {type(self._executor).__name__}); freezing shards "
                 "requires the charged structures"
             )
-        directory = self._executor.check_directory(self.config.directory)
+        directories = self._shard_directories()
+        default = self._shard_default(directories)
+        # Each shard is one multi-directory snapshot: the configured
+        # directory set (None = every attached provider) shares the entry
+        # arrays, and the service's serving directory becomes the shard's
+        # default so directory=None submits route identically on the
+        # primary and on every replica.
         self._replicas = [
-            road.freeze(directory=directory, backend=self.config.backend)
+            road.freeze(
+                directories=directories,
+                default=default,
+                backend=self.config.backend,
+            )
             for _ in range(self.config.replicas)
         ]
         self._replica_locks = [threading.Lock() for _ in self._replicas]
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.replicas, thread_name_prefix="road-svc"
         )
+
+    def _shard_directories(self) -> Optional[Tuple[str, ...]]:
+        """The directory set replica shards compile.
+
+        An executor carrying its own ``directories`` knob (ROADEngine,
+        which keeps it current across attach/detach) is authoritative —
+        freezing from the config's snapshot-in-time copy would diverge
+        from the primary after membership changes.  Bare executors fall
+        back to the configured set, filtered to the directories the
+        executor still serves (a pinned name whose provider was detached
+        must not crash every later shard rebuild).  None compiles every
+        attached provider.
+        """
+        sentinel = object()
+        directories = getattr(self._executor, "directories", sentinel)
+        if directories is sentinel:
+            directories = self.config.directories
+            if directories is not None:
+                serving = self._executor.directory_names
+                directories = tuple(
+                    name for name in directories if name in serving
+                )
+                if not directories:
+                    raise ServiceError(
+                        f"none of the configured directories "
+                        f"{self.config.directories!r} are still attached "
+                        f"(serving: {serving!r})"
+                    )
+        return directories
+
+    def _shard_default(self, directories: Optional[Tuple[str, ...]]) -> str:
+        """The default directory replica shards freeze with.
+
+        ``directories`` is the caller's already-resolved
+        :meth:`_shard_directories` value (resolving it can touch the
+        primary snapshot, so it is computed once per rebuild).  The
+        default is resolved without touching the serving object
+        (:meth:`_serving_directory`), then validated against the pinned
+        set up front — otherwise the mismatch would surface as a deep
+        ``UnknownDirectoryError`` naming a directory the operator never
+        configured.
+        """
+        default = self._serving_directory()
+        if directories is not None:
+            compiled = directories
+        else:
+            road = self._road()
+            compiled = tuple(
+                road.directory_names
+                if road is not None
+                else self._executor.directory_names
+            )
+        if default not in compiled:
+            raise ServiceError(
+                f"the serving directory resolves to {default!r}, which the "
+                f"shard directories {compiled!r} do not "
+                f"compile; add it to ServiceConfig.directories or set "
+                f"ServiceConfig.directory to a compiled name"
+            )
+        return default
+
+    def _rebuild_replicas(self) -> None:
+        """Re-freeze every shard after directory membership changed.
+
+        Patch-broadcast keeps shard *contents* current, but cannot add or
+        remove a compiled directory — only a fresh freeze can.  Each new
+        snapshot is built outside the shard's lock (a freeze costs
+        seconds on a big network) and swapped in under it, so in-flight
+        batches finish on the old snapshot and new batches only wait for
+        the swap.
+        """
+        if not self._replicas:
+            return
+        road = self._road()
+        directories = self._shard_directories()
+        default = self._shard_default(directories)
+        for index, lock in enumerate(self._replica_locks):
+            replacement = road.freeze(
+                directories=directories,
+                default=default,
+                backend=self.config.backend,
+            )
+            with lock:
+                self._replicas[index] = replacement
+
+    def attach_objects(self, objects, *, name: str, **kwargs):
+        """Attach a provider through the executor; re-freeze all shards.
+
+        The executor decides its own snapshot lifecycle
+        (:meth:`ROADEngine.attach_objects` invalidates a live snapshot);
+        the service re-freezes the replica shards, which the maintenance
+        patch-broadcast cannot grow a directory into.  The rebuild only
+        runs when the effective shard set actually changed — it never
+        does under a live pinned knob, but a bare executor's set is
+        pinned ∩ attached and grows when a pinned name gets attached.
+        """
+        attach = self._directory_manager("attach_objects")
+        if not self._replicas:
+            return attach(objects, name=name, **kwargs)
+        before = self._shard_directories()
+        directory = attach(objects, name=name, **kwargs)
+        if before is None or self._shard_directories() != before:
+            self._rebuild_replicas()
+        return directory
+
+    def detach_objects(self, name: str) -> None:
+        """Detach a provider through the executor; re-freeze all shards.
+
+        Detaching the *serving* directory is rejected up front — with
+        shards it would strand them serving the detached provider after
+        a mid-operation failure, and without shards it would break every
+        subsequent ``run``/``submit``; either way the config still names
+        it, so fail fast with the fix spelled out.
+        """
+        detach = self._directory_manager("detach_objects")
+        if self._serving_directory() == name:
+            raise ServiceError(
+                f"cannot detach {name!r}: it is this service's serving "
+                f"directory; point ServiceConfig.directory elsewhere first"
+            )
+        compiled = self._shard_directories()
+        detach(name)
+        if compiled is None or name in compiled:
+            self._rebuild_replicas()
+
+    def _serving_directory(self) -> str:
+        """``config.directory`` resolved without touching the serving object.
+
+        Asking the executor (``check_directory``/``default_directory`` on
+        a frozen-mode ROADEngine) can lazily compile a full snapshot just
+        to answer a name lookup; the charged road answers for free.  Used
+        by the shard default and the detach guard — validation of the
+        resolved name happens where it is consumed (``freeze(default=)``
+        / the pinned-set check).
+        """
+        if self.config.directory is not None:
+            return self.config.directory
+        road = self._road()
+        if road is not None:
+            return road.default_directory
+        return self._executor.default_directory
+
+    def _directory_manager(self, method: str):
+        """The executor's attach/detach entry point, or a typed error.
+
+        Mirrors the replica-path pattern: directory management needs an
+        executor that owns directories (ROAD or ROADEngine); baselines
+        and bare snapshots get a :class:`ServiceError`, not an
+        ``AttributeError``.
+        """
+        manager = getattr(self._executor, method, None)
+        if manager is None:
+            raise ServiceError(
+                f"{type(self._executor).__name__} does not manage "
+                f"Association Directories ({method} requires a ROAD-backed "
+                f"executor)"
+            )
+        return manager
 
     def apply_report(self, report: MaintenanceReport) -> None:
         """Patch-broadcast one maintenance report to every replica.

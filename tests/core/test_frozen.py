@@ -479,6 +479,158 @@ class TestBackends:
         assert frozen.knn(0, 3) == road.freeze(backend=backend).knn(0, 3)
 
 
+class TestMultiDirectory:
+    @pytest.fixture
+    def multi(self, medium_grid):
+        hotels = place_uniform(
+            medium_grid, 9, seed=23, attr_choices={"type": ["h1", "h2"]}
+        )
+        objects = place_uniform(
+            medium_grid, 20, seed=11, attr_choices={"type": ["a", "b", "c"]}
+        )
+        road = ROAD.build(medium_grid, levels=3, fanout=4)
+        road.attach_objects(objects)
+        road.attach_objects(hotels, name="hotels")
+        return road, objects, hotels
+
+    def test_default_freeze_compiles_all_attached(self, multi):
+        road, _, _ = multi
+        frozen = road.freeze()
+        assert frozen.directory_names == ["objects", "hotels"]
+        assert frozen.default_directory == "objects"
+
+    def test_per_directory_queries_match_charged(self, multi):
+        road, _, _ = multi
+        frozen = road.freeze()
+        for node in (0, 17, 54):
+            for name in ("objects", "hotels"):
+                assert frozen.knn(node, 3, directory=name) == road.knn(
+                    node, 3, directory=name
+                )
+                assert frozen.range(node, 6.0, directory=name) == road.range(
+                    node, 6.0, directory=name
+                )
+                assert frozen.aggregate_knn(
+                    [node, 42], 2, directory=name
+                ) == road.aggregate_knn([node, 42], 2, directory=name)
+
+    def test_entry_arrays_shared_not_duplicated(self, multi):
+        road, _, _ = multi
+        combined = road.freeze()
+        singles = [
+            road.freeze(directory=name) for name in ("objects", "hotels")
+        ]
+        # The entry/shortcut/edge arrays are compiled once: the combined
+        # snapshot's payload is far below the sum of the singles'.
+        assert combined.nbytes < sum(s.nbytes for s in singles) * 0.75
+
+    def test_apply_patches_every_directory(self, multi):
+        road, _, hotels_set = multi
+        frozen = road.freeze()
+        u, v, d = next(iter(road.network.edges()))
+        # Object churn in the named provider.
+        report = road.insert_object(
+            SpatialObject(hotels_set.next_id(), (u, v), d / 2, {"type": "h1"}),
+            directory="hotels",
+        )
+        assert report.directory == "hotels"
+        assert frozen.apply(report) == "patched"
+        # Edge rescale touches both providers' spans.
+        report = road.update_edge_distance(u, v, d * 1.5)
+        assert frozen.apply(report) in ("patched", "recompiled")
+        for name in ("objects", "hotels"):
+            fresh = road.freeze(directory=name)
+            for node in (u, v, 42):
+                assert frozen.knn(node, 4, directory=name) == fresh.knn(node, 4)
+
+    def test_masks_are_per_directory(self, multi):
+        road, _, _ = multi
+        frozen = road.freeze()
+        pred = Predicate.of(type="h1")
+        hotels = frozen.knn(0, 3, pred, directory="hotels")
+        objects = frozen.knn(0, 3, pred, directory="objects")
+        assert hotels  # the hotels provider has h1 objects...
+        assert objects == []  # ...the default provider does not
+        assert frozen._state("hotels").rnet_masks[pred] is not (
+            frozen._state("objects").rnet_masks[pred]
+        )
+
+    def test_memory_stats_per_directory_breakdown(self, multi):
+        road, _, _ = multi
+        frozen = road.freeze()
+        stats = frozen.memory_stats()
+        assert set(stats["directories"]) == {"objects", "hotels"}
+        assert all(
+            d["object_array_bytes"] > 0 for d in stats["directories"].values()
+        )
+        assert stats["directories"]["objects"]["object_refs"] == 2 * 20
+        assert stats["directories"]["hotels"]["object_refs"] == 2 * 9
+        assert stats["object_refs"] == 2 * (20 + 9)
+        # prefixed per-directory object arrays appear in the accounting
+        assert "objects:obj_id" in stats["arrays"]
+        assert "hotels:obj_id" in stats["arrays"]
+
+    def test_unknown_directory_raises_on_query(self, multi):
+        from repro.serving.dispatch import UnknownDirectoryError
+
+        road, _, _ = multi
+        frozen = road.freeze()
+        with pytest.raises(UnknownDirectoryError):
+            frozen.knn(0, 2, directory="parking")
+        with pytest.raises(UnknownDirectoryError):
+            list(frozen.iter_nearest_objects(0, directory="parking"))
+
+    def test_uncompiled_directory_churn_is_free_noop(self, multi):
+        """Churn in a directory the snapshot never compiled patches
+        nothing — and must not invalidate the cached query views."""
+        road, _, hotels_set = multi
+        frozen = road.freeze(directory="objects")  # hotels NOT compiled
+        frozen.knn(0, 2)  # builds the cached views
+        views = frozen._views
+        assert views is not None
+        u, v, d = next(iter(road.network.edges()))
+        report = road.insert_object(
+            SpatialObject(hotels_set.next_id(), (u, v), d / 2),
+            directory="hotels",
+        )
+        assert frozen.apply(report) == "patched"
+        assert frozen._views is views  # the no-op kept the caches
+        assert frozen.knn(0, 2) == road.freeze(directory="objects").knn(0, 2)
+
+    def test_uncompiled_churn_noop_without_source_road(self, medium_grid):
+        """A no-op churn report needs no live source ROAD: a pure-serving
+        snapshot whose road was dropped keeps serving through it."""
+        import gc
+
+        hotels = place_uniform(medium_grid, 6, seed=3)
+        objects = place_uniform(medium_grid, 8, seed=4)
+        road = ROAD.build(medium_grid, levels=2)
+        road.attach_objects(objects)
+        road.attach_objects(hotels, name="hotels")
+        frozen = road.freeze(directory="objects")  # hotels NOT compiled
+        u, v, d = next(iter(road.network.edges()))
+        report = road.insert_object(
+            SpatialObject(hotels.next_id(), (u, v), d / 2),
+            directory="hotels",
+        )
+        answers = frozen.knn(0, 2)
+        del road
+        gc.collect()
+        assert frozen.apply(report) == "patched"
+        assert frozen.knn(0, 2) == answers
+
+    def test_recompile_keeps_directory_set_and_default(self, multi):
+        road, _, _ = multi
+        frozen = road.freeze(directories=["hotels", "objects"], default="hotels")
+        a, b = 0, road.network.num_nodes - 1
+        if road.network.has_edge(a, b):
+            pytest.skip("grid already has the corner edge")
+        report = road.add_edge(a, b, 3.0)
+        assert frozen.apply(report) == "recompiled"
+        assert frozen.directory_names == ["hotels", "objects"]
+        assert frozen.default_directory == "hotels"
+
+
 class TestFrozenAggregate:
     def test_aggregate_matches_charged(self, built, frozen):
         _, _, road = built

@@ -1,0 +1,188 @@
+"""Property-based checks: one multi-directory FrozenRoad == N fresh freezes.
+
+The multi-directory contract: a snapshot compiling several Association
+Directories over shared entry arrays, kept current with
+:meth:`FrozenRoad.apply` through arbitrary interleavings of object churn
+(insert / delete / update, spread across the directories) and network
+maintenance (edge-weight changes, edge addition/removal), must stay
+byte-identical — per directory — to a dedicated single-directory
+``freeze()`` of that directory, after every batch of reports.
+
+``snapshot_divergences`` (the same probe the memory bench counts
+violations with) defines byte-identity: results, tie order, SearchStats,
+predicate-filtered and aggregate queries.  The churn soak runs once per
+installed array backend.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import ROAD
+from repro.core.frozen_backends import installed_backends
+from repro.eval.metrics import snapshot_divergences
+from repro.objects.model import SpatialObject
+from tests.conftest import random_connected_network
+from tests.oracle import assert_same_result, brute_knn
+from tests.property.test_frozen_equivalence import random_objects
+
+DIRECTORIES = ("objects", "hotels", "fuel")
+
+_OUTCOMES = ("patched", "recompiled")
+
+
+def _build_multi_road(rnd):
+    network = random_connected_network(
+        rnd, rnd.randint(15, 40), rnd.randint(2, 15)
+    )
+    road = ROAD.build(network, levels=rnd.randint(1, 3), fanout=4)
+    directories = {}
+    for name in DIRECTORIES:
+        objects = random_objects(rnd, network, rnd.randint(1, 6))
+        directories[name] = road.attach_objects(objects, name=name)
+    return network, road, directories
+
+
+def _assert_matches_single_freezes(rnd, road, frozen, probes=2, k=4):
+    """Zero divergences between the combined snapshot and each directory's
+    dedicated fresh freeze — the acceptance criterion, verbatim."""
+    for name in DIRECTORIES:
+        fresh = road.freeze(directory=name)
+        divergences = snapshot_divergences(
+            rnd, frozen, fresh, probes=probes, k=k, max_radius=20.0,
+            directory=name,
+        )
+        assert divergences == [], (name, divergences)
+
+
+@pytest.mark.parametrize("backend", installed_backends())
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_multi_directory_churn_soak(backend, seed):
+    """Randomised insert/delete/update/add_edge/remove_edge interleavings
+    across three directories; the combined snapshot never diverges."""
+    rnd = random.Random(seed)
+    network, road, directories = _build_multi_road(rnd)
+    frozen = road.freeze(backend=backend)
+    assert frozen.directory_names == list(DIRECTORIES)
+    edges = sorted((u, v) for u, v, _ in network.edges())
+    added = []
+    for _ in range(4):  # batches of reports
+        for _ in range(rnd.randint(1, 3)):  # one batch
+            name = rnd.choice(DIRECTORIES)
+            directory = directories[name]
+            action = rnd.randrange(6)
+            if action == 0:  # new listing in one provider
+                u, v = edges[rnd.randrange(len(edges))]
+                report = road.insert_object(
+                    SpatialObject(
+                        directory.objects.next_id(), (u, v),
+                        rnd.uniform(0, network.edge_distance(u, v)),
+                        {"type": rnd.choice(["a", "b"])},
+                    ),
+                    directory=name,
+                )
+            elif action == 1:  # delisting (keep one object around)
+                ids = directory.objects.ids()
+                if len(ids) <= 1:
+                    continue
+                report = road.delete_object(
+                    ids[rnd.randrange(len(ids))], directory=name
+                )
+            elif action == 2:  # attribute update
+                ids = directory.objects.ids()
+                report = road.update_object_attrs(
+                    ids[rnd.randrange(len(ids))],
+                    {"type": rnd.choice(["a", "b", "c"])},
+                    directory=name,
+                )
+            elif action == 3:  # congestion / clearing
+                u, v = edges[rnd.randrange(len(edges))]
+                report = road.update_edge_distance(
+                    u, v,
+                    network.edge_distance(u, v) * rnd.choice([0.4, 2.2]),
+                )
+            elif action == 4:  # new road segment
+                for _attempt in range(20):
+                    a = rnd.randrange(network.num_nodes)
+                    b = rnd.randrange(network.num_nodes)
+                    if a != b and not network.has_edge(a, b):
+                        break
+                else:
+                    continue
+                report = road.add_edge(a, b, rnd.uniform(0.5, 8.0))
+                added.append((a, b))
+            else:  # closing a previously added segment
+                if not added:
+                    continue
+                u, v = added.pop()
+                if any(
+                    d.objects.on_edge(u, v) for d in directories.values()
+                ):
+                    continue
+                report = road.remove_edge(u, v)
+            assert frozen.apply(report) in _OUTCOMES
+        # After every batch: the combined snapshot matches a fresh
+        # single-directory freeze of every directory, byte-identically.
+        _assert_matches_single_freezes(rnd, road, frozen)
+
+
+@pytest.mark.parametrize("backend", installed_backends())
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_multi_directory_matches_charged_and_oracle(backend, seed):
+    """Each directory of a combined snapshot answers like the charged path
+    on that directory — and like the brute-force oracle."""
+    rnd = random.Random(seed)
+    network, road, directories = _build_multi_road(rnd)
+    frozen = road.freeze(backend=backend)
+    for _ in range(3):
+        nq = rnd.randrange(network.num_nodes)
+        for name in DIRECTORIES:
+            got = frozen.knn(nq, 3, directory=name)
+            assert got == road.knn(nq, 3, directory=name)
+            assert_same_result(
+                got, brute_knn(network, directories[name].objects, nq, 3)
+            )
+
+
+@pytest.mark.parametrize("backend", installed_backends())
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_object_churn_in_one_directory_isolated(backend, seed):
+    """Churn in one provider must never bleed into another's spans: the
+    untouched directories stay byte-identical without re-export."""
+    rnd = random.Random(seed)
+    network, road, directories = _build_multi_road(rnd)
+    frozen = road.freeze(backend=backend)
+    edges = sorted((u, v) for u, v, _ in network.edges())
+    before = {
+        name: [frozen.knn(n, 3, directory=name) for n in range(0, network.num_nodes, 5)]
+        for name in DIRECTORIES
+    }
+    # Insert into exactly one directory and patch.
+    target = rnd.choice(DIRECTORIES)
+    u, v = edges[rnd.randrange(len(edges))]
+    report = road.insert_object(
+        SpatialObject(
+            directories[target].objects.next_id(), (u, v),
+            rnd.uniform(0, network.edge_distance(u, v)), {"type": "a"},
+        ),
+        directory=target,
+    )
+    assert report.directory == target
+    assert frozen.apply(report) == "patched"
+    for name in DIRECTORIES:
+        after = [
+            frozen.knn(n, 3, directory=name)
+            for n in range(0, network.num_nodes, 5)
+        ]
+        if name == target:
+            assert after == [
+                road.knn(n, 3, directory=name)
+                for n in range(0, network.num_nodes, 5)
+            ]
+        else:  # untouched providers: answers unchanged
+            assert after == before[name]

@@ -85,10 +85,44 @@ class TestServiceConfig:
         monkeypatch.setenv("REPRO_ENGINE", "frozen")
         monkeypatch.setenv("REPRO_MAINTENANCE", "refreeze")
         monkeypatch.setenv("REPRO_REPLICAS", "3")
+        monkeypatch.setenv("REPRO_DIRECTORIES", "objects, hotels")
         config = ServiceConfig.from_env()
         assert config.mode == "frozen"
         assert config.maintenance == "refreeze"
         assert config.replicas == 3
+        assert config.directories == ("objects", "hotels")
+
+    def test_directories_normalised_and_validated(self):
+        config = ServiceConfig(directories=["hotels", "objects"])
+        assert config.directories == ("hotels", "objects")
+        with pytest.raises(ValueError):
+            ServiceConfig(directories=())
+        with pytest.raises(ValueError):
+            ServiceConfig(directories=("", "hotels"))
+        with pytest.raises(ValueError, match="per-character"):
+            ServiceConfig(directories="hotels")
+
+    def test_sharded_build_never_compiles_a_primary_snapshot(
+        self, network, objects
+    ):
+        """Regression: resolving the shard default must not lazily
+        freeze the primary — only the replica freezes may run at build
+        (and membership changes must not re-freeze the primary either)."""
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="frozen", levels=3, replicas=2),
+        )
+        try:
+            engine = service.executor
+            # mode="frozen" freezes the primary once at engine build; the
+            # replica setup must not add lazy freezes on top.
+            assert engine.stats()["maintenance"]["freezes"] == 1
+            hotels = place_uniform(network, 6, seed=41)
+            service.attach_objects(hotels, name="hotels")
+            service.run(KNNQuery(0, 1))  # one lazy refreeze (new directory)
+            assert engine.stats()["maintenance"]["freezes"] == 2
+        finally:
+            service.close()
 
     def test_explicit_kwargs_beat_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "frozen")
@@ -222,6 +256,44 @@ class TestShardedMaintenance:
                 )
                 assert divergences == []
             assert gather_submits(service, workload) == service.run_many(workload)
+        finally:
+            service.close()
+
+    def test_patch_broadcast_covers_every_directory(self, network, objects):
+        """Sharded replicas compile every attached provider; one report
+        reconciles all directories on all shards."""
+        hotels = place_uniform(
+            network, 10, seed=31, attr_choices={"type": ["cafe"]}
+        )
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(mode="frozen", levels=3, replicas=2),
+            providers={"hotels": hotels},
+        )
+        try:
+            engine = service.executor
+            assert all(
+                replica.directory_names == ["objects", "hotels"]
+                for replica in service.replicas
+            )
+            u, v, distance = next(engine.network.edges())
+            service.update_edge_distance(u, v, distance * 1.8)
+            service.insert_object(
+                SpatialObject(hotels.next_id(), (u, v), 0.0, {"type": "cafe"}),
+                directory="hotels",
+            )
+            for name in ("objects", "hotels"):
+                fresh = engine.road.freeze(directory=name)
+                for replica in service.replicas:
+                    divergences = snapshot_divergences(
+                        random.Random(5), replica, fresh, probes=3,
+                        directory=name,
+                    )
+                    assert divergences == []
+            queries = [KNNQuery(0, 3), KNNQuery(9, 2)]
+            assert gather_submits(
+                service, queries, directory="hotels"
+            ) == service.run_many(queries, directory="hotels")
         finally:
             service.close()
 
