@@ -12,7 +12,7 @@ def test_table1_report(results_dir, benchmark):
     """Render the parameter sheet and the active dataset statistics."""
     result = benchmark.pedantic(table1_parameters, rounds=1, iterations=1)
     result.note(f"active scale profile: {scale_profile()}")
-    for name, prof in profiles().items():
+    for name, _prof in profiles().items():
         dataset = load_dataset(name)
         stats = network_stats(dataset.network)
         result.note(f"{name} replica: {stats.describe()}")

@@ -1,0 +1,125 @@
+"""CLI entry point: ``python -m repro.analysis [ROOT ...]``.
+
+Exit status 0 when every selected rule passes on every root, 1 when any
+finding is reported, 2 on usage errors (unknown rule, missing root).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import (
+    AnalysisError,
+    Finding,
+    all_rules,
+    analyze_path,
+    get_rule,
+)
+
+
+def _default_root() -> Path:
+    """The installed ``repro`` package — the tree CI gates on."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Check the repo's structural invariants (RA rules).",
+    )
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        type=Path,
+        help="directories or files to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable, e.g. --rule RA001)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's rationale and fix guidance, then exit",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_rules",
+        help="list the registered rules, then exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON array instead of text",
+    )
+    return parser
+
+
+def _emit(findings: List[Finding], as_json: bool) -> None:
+    if as_json:
+        payload = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.list_rules:
+            for rule_cls in all_rules():
+                print(f"{rule_cls.id}  {rule_cls.title}")
+            return 0
+        if args.explain:
+            rule_cls = get_rule(args.explain)
+            print(f"{rule_cls.id} — {rule_cls.title}")
+            print()
+            print(rule_cls.explain())
+            return 0
+
+        roots = args.roots or [_default_root()]
+        findings: List[Finding] = []
+        for root in roots:
+            findings.extend(analyze_path(root, args.rule))
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    _emit(findings, args.as_json)
+    if findings:
+        if not args.as_json:
+            print(
+                f"\n{len(findings)} finding(s); "
+                f"run with --explain RULE for rationale and fixes",
+                file=sys.stderr,
+            )
+        return 1
+    if not args.as_json:
+        checked = ", ".join(str(r) for r in roots)
+        print(f"repro.analysis: clean ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,360 @@
+"""Source-tree model for the invariant lint rules.
+
+The rules in :mod:`repro.analysis.rules` reason about *this repository's*
+invariants — which functions a patch path may reach, which attribute
+writes need a lock, where numpy may be imported — so they need more than
+per-file pattern matching: a parsed view of the whole tree plus an
+(approximate) call graph.  This module provides both:
+
+* :class:`Project` — every ``*.py`` file under a root directory, parsed
+  once, with dotted module names derived from the package layout.
+* :class:`FunctionInfo` — one function or method (nested functions
+  included), addressable by qualname ``module:Class.method``.
+* :meth:`Project.reachable` — a name-resolution call-graph closure.
+
+The call graph is deliberately *approximate*: Python has no static
+types here, so an attribute call ``x.foo()`` is resolved to **every**
+method named ``foo`` defined anywhere in the scanned tree.  That
+over-approximation is the right default for a purity rule (RA001):
+claiming a patch path is uncharged requires following every call it
+*might* make.  Ubiquitous container-protocol names (``get``, ``items``,
+``append``, ...) are exempted via :data:`GENERIC_METHOD_NAMES` — they
+would otherwise connect everything to everything; rules that care about
+a generic-named charged entry point (e.g. ``BPlusTree.items``) guard it
+by *forbidding the call site name* instead (see RA001's forbidden set).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+#: Container/protocol method names too common to resolve by name alone —
+#: following them would connect the call graph through every dict/list
+#: in the tree.  Rules needing one of these guarded treat the *call site
+#: name* as forbidden instead of relying on graph closure.
+GENERIC_METHOD_NAMES = frozenset(
+    {
+        "get",
+        "add",
+        "append",
+        "extend",
+        "remove",
+        "pop",
+        "clear",
+        "items",
+        "keys",
+        "values",
+        "update",
+        "copy",
+        "sort",
+        "reverse",
+        "index",
+        "count",
+        "join",
+        "split",
+        "strip",
+        "format",
+        "close",
+        "setdefault",
+        "popitem",
+        "encode",
+        "decode",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    ``kind`` is ``"name"`` for a bare call (``helper(...)``), ``"self"``
+    for ``self.method(...)``, and ``"attr"`` for any other attribute
+    call (``road.directory(...)``).
+    """
+
+    kind: str
+    name: str
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, or nested function in the scanned tree."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: Optional[str]
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    #: Enclosing function's qualname, for nested defs.
+    parent: Optional[str] = None
+    calls: List[CallSite] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collect every function/method (and its call sites) in one module."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.functions: List[FunctionInfo] = []
+        self._class_stack: List[str] = []
+        self._func_stack: List[FunctionInfo] = []
+
+    # -- structure ------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        class_name = self._class_stack[-1] if self._class_stack else None
+        if self._func_stack:
+            parent = self._func_stack[-1]
+            qualname = f"{parent.qualname}.{node.name}"
+            parent_qual: Optional[str] = parent.qualname
+            # A nested def belongs to its enclosing function, not to the
+            # class the outer method happens to live in.
+            class_name = None
+        else:
+            parent_qual = None
+            prefix = f"{class_name}." if class_name else ""
+            qualname = f"{self.module}:{prefix}{node.name}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.module,
+            name=node.name,
+            class_name=class_name,
+            node=node,
+            parent=parent_qual,
+        )
+        self.functions.append(info)
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- call sites -----------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._func_stack:
+            site = _call_site(node)
+            if site is not None:
+                self._func_stack[-1].calls.append(site)
+        self.generic_visit(node)
+
+
+def _call_site(node: ast.Call) -> Optional[CallSite]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return CallSite("name", func.id, node.lineno)
+    if isinstance(func, ast.Attribute):
+        kind = (
+            "self"
+            if isinstance(func.value, ast.Name) and func.value.id == "self"
+            else "attr"
+        )
+        return CallSite(kind, func.attr, node.lineno)
+    return None
+
+
+class Project:
+    """Every parsed module under one root, plus function/call indexes."""
+
+    def __init__(self, root: Path, modules: Dict[str, ModuleInfo]) -> None:
+        self.root = root
+        self.modules = modules
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: method name -> every method of that name, any class, any module.
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: (module, class, name) -> the method.
+        self.class_methods: Dict[Tuple[str, str, str], FunctionInfo] = {}
+        #: (module, name) -> module-level function.
+        self.module_functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        #: name -> module-level functions of that name, any module.
+        self.functions_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: (parent qualname, name) -> nested function.
+        self.nested: Dict[Tuple[str, str], FunctionInfo] = {}
+        for module in modules.values():
+            collector = _FunctionCollector(module.name)
+            collector.visit(module.tree)
+            for fn in collector.functions:
+                self.functions[fn.qualname] = fn
+                if fn.parent is not None:
+                    self.nested[(fn.parent, fn.name)] = fn
+                elif fn.class_name is not None:
+                    self.methods_by_name.setdefault(fn.name, []).append(fn)
+                    self.class_methods[
+                        (fn.module, fn.class_name, fn.name)
+                    ] = fn
+                else:
+                    self.module_functions[(fn.module, fn.name)] = fn
+                    self.functions_by_name.setdefault(fn.name, []).append(fn)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        """Parse every ``*.py`` under ``root``.
+
+        When ``root`` is a package directory (holds ``__init__.py``) the
+        package name seeds the dotted module names, so scanning
+        ``src/repro`` yields modules named ``repro.core.frozen`` etc.;
+        a loose directory of files (rule fixtures) yields bare names.
+        """
+        root = root.resolve()
+        if root.is_file():
+            modules = {root.stem: cls._parse(root.stem, root)}
+            return cls(root.parent, modules)
+        prefix = root.name if (root / "__init__.py").exists() else ""
+        modules: Dict[str, ModuleInfo] = {}
+        for path in sorted(root.rglob("*.py")):
+            if any(part.startswith(".") for part in path.parts):
+                continue
+            rel = path.relative_to(root)
+            parts = list(rel.parts[:-1])
+            stem = rel.stem
+            if stem != "__init__":
+                parts.append(stem)
+            name = ".".join(([prefix] if prefix else []) + parts)
+            if not name:
+                name = root.name
+            modules[name] = cls._parse(name, path)
+        return cls(root, modules)
+
+    @staticmethod
+    def _parse(name: str, path: Path) -> ModuleInfo:
+        source = path.read_text(encoding="utf-8")
+        return ModuleInfo(name, path, ast.parse(source, filename=str(path)))
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        return iter(self.modules.values())
+
+    def relative_path(self, module: ModuleInfo) -> str:
+        """Module path relative to the scan root (for findings)."""
+        try:
+            return str(module.path.relative_to(self.root))
+        except ValueError:  # pragma: no cover - absolute fallback
+            return str(module.path)
+
+    def module_of(self, fn: FunctionInfo) -> ModuleInfo:
+        return self.modules[fn.module]
+
+    def find_methods(
+        self, class_name: str, method_names: Iterable[str]
+    ) -> List[FunctionInfo]:
+        """Methods of every class named ``class_name``, filtered by name."""
+        wanted = set(method_names)
+        return [
+            fn
+            for fns in self.methods_by_name.values()
+            for fn in fns
+            if fn.class_name == class_name and fn.name in wanted
+        ]
+
+    # ------------------------------------------------------------------
+    # Approximate call-graph closure
+    # ------------------------------------------------------------------
+    def resolve_call(
+        self,
+        fn: FunctionInfo,
+        site: CallSite,
+        skip_names: Iterable[str] = (),
+    ) -> List[FunctionInfo]:
+        """Every project function a call site might invoke (by name)."""
+        if site.kind == "name":
+            # Nested defs of this function (and its ancestors) win, then
+            # module-level functions of the same module, then any
+            # module-level function of that name anywhere in the tree
+            # (the common `from x import helper` pattern).
+            scope: Optional[FunctionInfo] = fn
+            while scope is not None:
+                nested = self.nested.get((scope.qualname, site.name))
+                if nested is not None:
+                    return [nested]
+                scope = (
+                    self.functions.get(scope.parent)
+                    if scope.parent
+                    else None
+                )
+            local = self.module_functions.get((fn.module, site.name))
+            if local is not None:
+                return [local]
+            return list(self.functions_by_name.get(site.name, ()))
+        if site.kind == "self" and fn.class_name is not None:
+            own = self.class_methods.get(
+                (fn.module, fn.class_name, site.name)
+            )
+            if own is not None:
+                return [own]
+        # self-call into an inherited method, or a plain attribute call:
+        # resolve by method name across the tree, except the generic
+        # container-protocol names (see module docstring) and any
+        # rule-supplied ambiguous names.
+        if site.name in GENERIC_METHOD_NAMES or site.name in skip_names:
+            return []
+        return list(self.methods_by_name.get(site.name, ()))
+
+    def reachable(
+        self,
+        roots: Iterable[FunctionInfo],
+        skip_names: Iterable[str] = (),
+    ) -> Dict[str, Optional[str]]:
+        """Call-graph closure from ``roots``.
+
+        Returns ``{qualname: caller qualname}`` (roots map to ``None``),
+        so a rule can render the reaching path of a finding.
+        ``skip_names`` lists attribute-call names a rule knows to be
+        ambiguous (several same-named methods where the resolvable ones
+        are benign) — those edges are not followed.
+        """
+        skip = frozenset(skip_names)
+        came_from: Dict[str, Optional[str]] = {}
+        queue: List[FunctionInfo] = []
+        for root in roots:
+            if root.qualname not in came_from:
+                came_from[root.qualname] = None
+                queue.append(root)
+        while queue:
+            fn = queue.pop()
+            for site in fn.calls:
+                for callee in self.resolve_call(fn, site, skip):
+                    if callee.qualname not in came_from:
+                        came_from[callee.qualname] = fn.qualname
+                        queue.append(callee)
+        return came_from
+
+    def trace(
+        self, came_from: Dict[str, Optional[str]], qualname: str
+    ) -> List[str]:
+        """The root → ... → ``qualname`` chain recorded by :meth:`reachable`."""
+        chain = [qualname]
+        seen = {qualname}
+        current: Optional[str] = came_from.get(qualname)
+        while current is not None and current not in seen:
+            chain.append(current)
+            seen.add(current)
+            current = came_from.get(current)
+        return list(reversed(chain))

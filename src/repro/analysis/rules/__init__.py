@@ -1,0 +1,22 @@
+"""The repo-specific invariant rules.
+
+Import order is report order.  Each module defines one ``Rule`` subclass
+decorated with ``@register_rule``; see :mod:`repro.analysis.engine` for
+the steps to add a new one.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imports self-register)
+    ra001_patch_purity,
+    ra002_lock_discipline,
+    ra003_dispatch,
+    ra004_view_lifecycle,
+    ra005_optional_imports,
+)
+
+__all__ = [
+    "ra001_patch_purity",
+    "ra002_lock_discipline",
+    "ra003_dispatch",
+    "ra004_view_lifecycle",
+    "ra005_optional_imports",
+]

@@ -1,0 +1,146 @@
+"""RA003 — dispatch completeness: registry over isinstance ladders."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis.engine import Finding, Rule, register_rule
+from repro.analysis.project import Project
+
+
+def _query_type_name(node: ast.expr) -> Optional[str]:
+    """The ``*Query`` class named by an isinstance second argument."""
+    if isinstance(node, ast.Name) and node.id.endswith("Query"):
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr.endswith("Query"):
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            name = _query_type_name(elt)
+            if name is not None:
+                return name
+    return None
+
+
+@register_rule
+class DispatchCompletenessRule(Rule):
+    """Every query type reaches every engine through the registry.
+
+    Why: PR 4 replaced per-engine ``isinstance(query, ...)`` ladders
+    with the ``@register_handler(QueryType, engine=...)`` registry in
+    ``repro.serving.dispatch``.  A ladder reintroduced in one executor
+    silently diverges from the others the next time a query type is
+    added: the registry raises ``UnsupportedQueryError`` loudly, a
+    ladder just falls through.  The registry is also what makes the
+    completeness *checkable* — the rule can enumerate it.
+
+    How it checks: two halves.
+
+    * **Static** (always): any ``isinstance(x, SomethingQuery)`` test in
+      the scanned tree is flagged — executors must consult
+      ``lookup_handler`` / ``supported_queries`` instead.
+    * **Registry** (only when the real ``repro`` package is the scan
+      target): imports the executors and asserts the charged (``ROAD``)
+      and frozen (``FrozenRoad``) engines serve *identical* query-type
+      sets, the ``ROADEngine`` facade serves everything charged does,
+      and every executor serves at least ``KNNQuery`` + ``RangeQuery``.
+
+    How to fix a finding: for a ladder, register one handler per query
+    type with ``@register_handler``; for a coverage gap, add the missing
+    handler next to that engine's others (see the bottom of
+    ``core/frozen.py`` for the pattern).
+    """
+
+    id = "RA003"
+    title = "query dispatch must stay registry-complete (no isinstance ladders)"
+
+    def check(self, project: Project) -> List[Finding]:
+        findings = self._check_ladders(project)
+        if "repro.serving.dispatch" in project.modules:
+            findings.extend(self._check_registry(project))
+        return findings
+
+    # -- static half ----------------------------------------------------
+    def _check_ladders(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.iter_modules():
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2
+                ):
+                    continue
+                name = _query_type_name(node.args[1])
+                if name is not None:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            project.relative_path(module),
+                            node.lineno,
+                            f"isinstance ladder on query type {name}; "
+                            f"dispatch through @register_handler / "
+                            f"lookup_handler instead",
+                        )
+                    )
+        findings.sort(key=lambda f: (f.path, f.line))
+        return findings
+
+    # -- registry half --------------------------------------------------
+    def _check_registry(self, project: Project) -> List[Finding]:
+        try:
+            from repro.baselines.engine import SearchEngine
+            from repro.baselines.road_adapter import ROADEngine
+            from repro.core.framework import ROAD
+            from repro.core.frozen import FrozenRoad
+            from repro.queries.types import KNNQuery, RangeQuery
+            from repro.serving.dispatch import supported_queries
+        except ImportError:  # pragma: no cover - partial install
+            return []
+
+        module = project.modules["repro.serving.dispatch"]
+        path = project.relative_path(module)
+
+        def finding(message: str) -> Finding:
+            return Finding(self.id, path, 1, message)
+
+        findings: List[Finding] = []
+        names = lambda types: sorted(t.__name__ for t in types)  # noqa: E731
+
+        charged = set(supported_queries(ROAD))
+        frozen = set(supported_queries(FrozenRoad))
+        if charged != frozen:
+            findings.append(
+                finding(
+                    f"charged and frozen engines serve different query sets "
+                    f"(charged={names(charged)}, frozen={names(frozen)})"
+                )
+            )
+        road = set(supported_queries(ROADEngine))
+        missing = charged - road
+        if missing:
+            findings.append(
+                finding(
+                    f"ROADEngine is missing handlers for {names(missing)} "
+                    f"served by the charged engine"
+                )
+            )
+        executors: List[Tuple[str, type]] = [
+            ("ROAD", ROAD),
+            ("FrozenRoad", FrozenRoad),
+            ("ROADEngine", ROADEngine),
+            ("SearchEngine", SearchEngine),
+        ]
+        for label, executor in executors:
+            served = set(supported_queries(executor))
+            core_missing = {KNNQuery, RangeQuery} - served
+            if core_missing:
+                findings.append(
+                    finding(
+                        f"{label} has no handler for {names(core_missing)} "
+                        f"(every engine must serve kNN and range)"
+                    )
+                )
+        return findings

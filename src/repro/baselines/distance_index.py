@@ -137,7 +137,7 @@ class DistanceIndexEngine(SearchEngine):
     def _read_signature(self, node: int) -> List[Tuple[int, float, int]]:
         """Load all signature chunks of one node (the bulky I/O)."""
         entries: List[Tuple[int, float, int]] = []
-        for key, chunk in self._signatures.range_scan(
+        for _key, chunk in self._signatures.range_scan(
             node * _KEY_STRIDE, node * _KEY_STRIDE + _KEY_STRIDE - 1
         ):
             entries.extend(chunk)

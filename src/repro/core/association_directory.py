@@ -221,6 +221,27 @@ class AssociationDirectory:
                 abstracts[key // 2] = value
         return node_entries, abstracts
 
+    def peek_entries(
+        self,
+    ) -> Tuple[
+        Dict[int, List[Tuple[SpatialObject, float]]], Dict[int, ObjectAbstract]
+    ]:
+        """Uncharged :meth:`export_entries` — same payload, no I/O.
+
+        The bulk member of the ``peek_*`` family: snapshot recompiles
+        (:meth:`repro.core.frozen.FrozenRoad._recompile`) re-export the
+        directory mid-maintenance, and charging that walk would leak
+        maintenance overhead into the query-time I/O figures.
+        """
+        node_entries: Dict[int, List[Tuple[SpatialObject, float]]] = {}
+        abstracts: Dict[int, ObjectAbstract] = {}
+        for key, value in self._tree.peek_items():
+            if key % 2 == 0:
+                node_entries[key // 2] = list(value)
+            else:
+                abstracts[key // 2] = value
+        return node_entries, abstracts
+
     def free_pages(self) -> int:
         """Release every page of the directory's B+-tree.
 

@@ -460,11 +460,10 @@ class ROAD(QueryExecutor):
         coords: Optional[Dict[int, Tuple[float, float]]] = None,
     ) -> MaintenanceReport:
         """Open a new road segment (with border promotion when needed)."""
-        report = _add_edge(
+        return _add_edge(
             self.network, self.hierarchy, self.shortcuts, self.overlay,
             u, v, distance, coords=coords,
         )
-        return report
 
     def remove_edge(self, u: int, v: int) -> MaintenanceReport:
         """Close a road segment (with border demotion when possible).

@@ -65,10 +65,27 @@ import heapq
 import sys
 import warnings
 import weakref
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.aggregate import aggregate_knn_generic
-from repro.core.frozen_backends import resolve_backend
+from repro.core.frozen_backends import (
+    BoolMask,
+    FloatVector,
+    IntVector,
+    ListBackend,
+    resolve_backend,
+)
 from repro.core.search import SearchStats
 from repro.core.shortcut_tree import ShortcutTree, ShortcutTreeEntry
 from repro.objects.model import SpatialObject
@@ -87,6 +104,24 @@ from repro.serving.dispatch import (
     UnknownDirectoryError,
     register_handler,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.framework import ROAD
+    from repro.core.maintenance import MaintenanceReport
+    from repro.core.object_abstract import ObjectAbstract
+
+#: One directory's ``export_entries()``/``peek_entries()`` payload.
+_DirectoryExport = Tuple[
+    Dict[int, List[Tuple[SpatialObject, float]]], Dict[int, "ObjectAbstract"]
+]
+#: ``_plan_tree_patch``'s write plan: (node index, per-entry shortcut
+#: (target, weight) lists, per-entry edge lists, local-edge list).
+_TreePatch = Tuple[
+    int,
+    List[List[Tuple[int, float]]],
+    List[List[Tuple[int, float]]],
+    List[Tuple[int, float]],
+]
 
 #: Heap items carry one signed code instead of a (kind, id) pair: nodes are
 #: their dense index (>= 0), objects are ``~object_id`` (< 0).  The heap
@@ -164,18 +199,18 @@ class _DirectoryState:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.obj_start: Sequence[int] = ()
-        self.obj_id: Sequence[int] = ()
-        self.obj_delta: Sequence[float] = ()
+        self.obj_start: IntVector = []
+        self.obj_id: IntVector = []
+        self.obj_delta: FloatVector = []
         self.obj_ref: List[SpatialObject] = []
         #: Deep-copied abstract per compiled Rnet slot (None = no objects).
-        self.abstracts: List[Optional[object]] = []
-        self.rnet_masks: Dict[Predicate, Sequence[bool]] = {}
+        self.abstracts: List[Optional["ObjectAbstract"]] = []
+        self.rnet_masks: Dict[Predicate, BoolMask] = {}
         self.obj_masks: Dict[Predicate, bytearray] = {}
         #: Cached (obj_start, obj_id, obj_delta) query views; dropped with
         #: the snapshot's shared views before any patch.
-        self.views = None
-        self.np_views = None
+        self.views: Optional[Tuple[Any, Any, Any]] = None
+        self.np_views: Optional[Tuple[Any, Any]] = None
 
 
 class FrozenRoad(QueryExecutor):
@@ -201,9 +236,9 @@ class FrozenRoad(QueryExecutor):
         abstracts: Optional[Dict[int, "ObjectAbstract"]] = None,
         *,
         directory_name: str = DEFAULT_DIRECTORY,
-        directories: Optional[Dict[str, Tuple[Dict, Dict]]] = None,
+        directories: Optional[Dict[str, _DirectoryExport]] = None,
         default_directory: Optional[str] = None,
-        backend=None,
+        backend: Optional[Union[str, ListBackend]] = None,
     ) -> None:
         """Compile ``trees`` plus one or more exported directories.
 
@@ -243,13 +278,13 @@ class FrozenRoad(QueryExecutor):
         #: Weak so a snapshot never pins the O(network) charged structures
         #: — a server that drops the ROAD reclaims them, and a later
         #: no-road ``apply`` raises :class:`FrozenRoadError` instead.
-        self._source: Optional[weakref.ReferenceType] = None
+        self._source: Optional["weakref.ReferenceType[ROAD]"] = None
         self._compile(trees, directories)
 
     def _compile(
         self,
         trees: Dict[int, "ShortcutTree"],
-        directories: Dict[str, Tuple[Dict, Dict]],
+        directories: Dict[str, _DirectoryExport],
     ) -> None:
         """(Re)build every compiled array from a fresh export."""
         # --- node id space -------------------------------------------------
@@ -372,8 +407,8 @@ class FrozenRoad(QueryExecutor):
         # zero-copy numpy views (numpy backend only).  Both are built
         # lazily per snapshot and dropped before any patch — a live
         # buffer export would block the resizing object splices.
-        self._views = None
-        self._np_views = None
+        self._views: Optional[Tuple[Any, ...]] = None
+        self._np_views: Optional[Tuple[Any, ...]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -381,12 +416,12 @@ class FrozenRoad(QueryExecutor):
     @classmethod
     def from_road(
         cls,
-        road,
+        road: "ROAD",
         *,
         directory: Optional[str] = None,
         directories: Optional[Sequence[str]] = None,
         default: Optional[str] = None,
-        backend=None,
+        backend: Optional[Union[str, ListBackend]] = None,
     ) -> "FrozenRoad":
         """Compile a built :class:`~repro.core.framework.ROAD`.
 
@@ -415,7 +450,7 @@ class FrozenRoad(QueryExecutor):
             names = list(road.directory_names)
             if not names:
                 raise UnknownDirectoryError(road, DEFAULT_DIRECTORY, names)
-        exports: Dict[str, Tuple[Dict, Dict]] = {}
+        exports: Dict[str, _DirectoryExport] = {}
         for name in names:
             if name in exports:
                 raise ValueError(f"directory {name!r} listed twice")
@@ -439,7 +474,9 @@ class FrozenRoad(QueryExecutor):
     # ------------------------------------------------------------------
     # Incremental maintenance: delta-patch from MaintenanceReports
     # ------------------------------------------------------------------
-    def apply(self, report, road=None) -> str:
+    def apply(
+        self, report: "MaintenanceReport", road: Optional["ROAD"] = None
+    ) -> str:
         """Patch the snapshot after one live update; returns the outcome.
 
         ``report`` is the :class:`~repro.core.maintenance.MaintenanceReport`
@@ -475,7 +512,7 @@ class FrozenRoad(QueryExecutor):
         if report.structural:
             self._recompile(road)
             return "recompiled"
-        patches = []
+        patches: List[_TreePatch] = []
         for node in sorted(report.dirty_nodes):
             idx = self._index.get(node)
             if idx is None:
@@ -507,7 +544,9 @@ class FrozenRoad(QueryExecutor):
                 self._rebuild_node_objects(road, endpoints, state)
         return "patched"
 
-    def apply_object_delta(self, report, road=None) -> str:
+    def apply_object_delta(
+        self, report: "MaintenanceReport", road: Optional["ROAD"] = None
+    ) -> str:
         """Patch the snapshot after one object insertion or deletion.
 
         Rewrites the object spans of the host edge's endpoints and the
@@ -554,7 +593,7 @@ class FrozenRoad(QueryExecutor):
             self._refresh_abstracts(road, report.dirty_rnets, state)
         return "patched"
 
-    def _require_source(self, road):
+    def _require_source(self, road: Optional["ROAD"]) -> "ROAD":
         if road is None:
             road = self._source() if self._source is not None else None
         if road is None:
@@ -568,21 +607,26 @@ class FrozenRoad(QueryExecutor):
         self._source = weakref.ref(road)
         return road
 
-    def _recompile(self, road) -> None:
+    def _recompile(self, road: "ROAD") -> None:
         """Full fallback: rebuild every array from a fresh export, in place.
 
         Re-exports exactly the directories this snapshot compiled (all of
         them must still be attached to ``road``), keeping the compiled
         order, the default directory, and the backend.
         """
+        # Uncharged export (peek_entries): the recompile runs inside a
+        # maintenance apply, which must not disturb the LRU buffer or
+        # the I/O counters (RA001).
         exports = {
-            name: road.directory(name).export_entries() for name in self._dirs
+            name: road.directory(name).peek_entries() for name in self._dirs
         }
         trees = dict(road.overlay.iter_trees())
         self._compile(trees, exports)
         self._source = weakref.ref(road)
 
-    def _plan_tree_patch(self, idx: int, tree: ShortcutTree):
+    def _plan_tree_patch(
+        self, idx: int, tree: ShortcutTree
+    ) -> Optional[_TreePatch]:
         """Flatten one node's fresh tree and check it fits its old spans.
 
         Returns a write-plan ``(idx, sc_values, ed_values, local_values)``
@@ -633,7 +677,7 @@ class FrozenRoad(QueryExecutor):
             ed_values.append(ed)
         return idx, sc_values, ed_values, local_values
 
-    def _write_tree_patch(self, patch) -> None:
+    def _write_tree_patch(self, patch: _TreePatch) -> None:
         """Rewrite the targets/weights of one node's spans in place.
 
         Span rewrites are slice assignments, which every backend honours
@@ -670,7 +714,7 @@ class FrozenRoad(QueryExecutor):
             )
 
     def _rebuild_node_objects(
-        self, road, nodes: Sequence[int], state: _DirectoryState
+        self, road: "ROAD", nodes: Sequence[int], state: _DirectoryState
     ) -> None:
         """Replace one directory's object spans of ``nodes`` from live state.
 
@@ -707,7 +751,7 @@ class FrozenRoad(QueryExecutor):
                     obj_start[i] += shift
 
     def _refresh_abstracts(
-        self, road, rnet_ids, state: _DirectoryState
+        self, road: "ROAD", rnet_ids: Iterable[int], state: _DirectoryState
     ) -> None:
         """Re-snapshot one directory's ``rnet_ids`` abstracts + mask slots."""
         assoc = road.directory(state.name)
@@ -741,7 +785,7 @@ class FrozenRoad(QueryExecutor):
             state.views = None
             state.np_views = None
 
-    def _array_views(self):
+    def _array_views(self) -> Tuple[Any, ...]:
         """The shared-array views the query loops index, built per snapshot.
 
         List backend: the arrays themselves.  Compact/numpy: memoryviews
@@ -771,7 +815,7 @@ class FrozenRoad(QueryExecutor):
             self._views = views
         return views
 
-    def _object_views(self, state: _DirectoryState):
+    def _object_views(self, state: _DirectoryState) -> Tuple[Any, Any, Any]:
         """One directory's (obj_start, obj_id, obj_delta) query views."""
         views = state.views
         if views is None:
@@ -784,7 +828,7 @@ class FrozenRoad(QueryExecutor):
             state.views = views
         return views
 
-    def _numpy_views(self):
+    def _numpy_views(self) -> Tuple[Any, ...]:
         """Zero-copy views over the shared weight buffers, built lazily."""
         views = self._np_views
         if views is None:
@@ -800,7 +844,7 @@ class FrozenRoad(QueryExecutor):
             self._np_views = views
         return views
 
-    def _object_numpy_views(self, state: _DirectoryState):
+    def _object_numpy_views(self, state: _DirectoryState) -> Tuple[Any, Any]:
         """One directory's zero-copy (obj_id, obj_delta) numpy views."""
         views = state.np_views
         if views is None:
@@ -1513,7 +1557,7 @@ class FrozenRoad(QueryExecutor):
         stats.rnets_descended += counters[5]
 
 
-def _cache_put(cache: Dict, key, value) -> None:
+def _cache_put(cache: Dict[Any, Any], key: Any, value: Any) -> None:
     """Insert into a bounded mask cache, evicting oldest entries (FIFO)."""
     while len(cache) >= MAX_CACHED_PREDICATES:
         del cache[next(iter(cache))]
@@ -1521,7 +1565,10 @@ def _cache_put(cache: Dict, key, value) -> None:
 
 
 def freeze_road(
-    road, *, directory: str = "objects", backend=None
+    road: "ROAD",
+    *,
+    directory: str = "objects",
+    backend: Optional[Union[str, ListBackend]] = None,
 ) -> FrozenRoad:
     """Deprecated alias for :meth:`ROAD.freeze` / :meth:`FrozenRoad.from_road`.
 
@@ -1543,7 +1590,9 @@ def freeze_road(
 # Frozen-path query handlers (the "frozen" dispatch key).
 # ----------------------------------------------------------------------
 @register_handler(KNNQuery, engine="frozen")
-def _frozen_knn(snapshot: FrozenRoad, query: KNNQuery, ctx: BatchContext):
+def _frozen_knn(
+    snapshot: FrozenRoad, query: KNNQuery, ctx: BatchContext
+) -> List[ResultEntry]:
     return snapshot.knn(
         query.node, query.k, query.predicate, stats=ctx.stats,
         directory=ctx.directory,
@@ -1551,7 +1600,9 @@ def _frozen_knn(snapshot: FrozenRoad, query: KNNQuery, ctx: BatchContext):
 
 
 @register_handler(RangeQuery, engine="frozen")
-def _frozen_range(snapshot: FrozenRoad, query: RangeQuery, ctx: BatchContext):
+def _frozen_range(
+    snapshot: FrozenRoad, query: RangeQuery, ctx: BatchContext
+) -> List[ResultEntry]:
     return snapshot.range(
         query.node, query.radius, query.predicate, stats=ctx.stats,
         directory=ctx.directory,
@@ -1561,7 +1612,7 @@ def _frozen_range(snapshot: FrozenRoad, query: RangeQuery, ctx: BatchContext):
 @register_handler(AggregateKNNQuery, engine="frozen")
 def _frozen_aggregate(
     snapshot: FrozenRoad, query: AggregateKNNQuery, ctx: BatchContext
-):
+) -> List[ResultEntry]:
     return snapshot.aggregate_knn(
         query.nodes, query.k, query.agg, query.predicate, stats=ctx.stats,
         directory=ctx.directory,

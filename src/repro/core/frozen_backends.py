@@ -33,7 +33,14 @@ from __future__ import annotations
 import os
 import sys
 from array import array
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
+
+#: One compiled integer CSR array, whichever backend materialised it.
+IntVector = Union[List[int], "array[int]"]
+#: One compiled float CSR array.
+FloatVector = Union[List[float], "array[float]"]
+#: One per-slot predicate mask.
+BoolMask = Union[List[bool], bytearray]
 
 #: Valid FrozenRoad array backends, in documentation order.
 BACKENDS = ("list", "compact", "numpy")
@@ -49,11 +56,11 @@ class ListBackend:
     #: Whether :meth:`FrozenRoad._search` should take the vectorised path.
     vectorised = False
 
-    def int_array(self, values: Iterable[int]) -> List[int]:
+    def int_array(self, values: Iterable[int]) -> IntVector:
         """Materialise an integer CSR array from staged values."""
         return list(values)
 
-    def float_array(self, values: Iterable[float]) -> List[float]:
+    def float_array(self, values: Iterable[float]) -> FloatVector:
         """Materialise a float CSR array from staged values."""
         return list(values)
 
@@ -65,15 +72,15 @@ class ListBackend:
         """Values in the form ``float_array[a:b] = ...`` accepts."""
         return values
 
-    def bool_mask(self, flags: Iterable[bool]) -> List[bool]:
+    def bool_mask(self, flags: Iterable[bool]) -> BoolMask:
         """A per-Rnet predicate mask (indexed by compiled slot)."""
         return list(flags)
 
-    def view(self, arr):
+    def view(self, arr: Any) -> Any:
         """The object query loops should index (identity for lists)."""
         return arr
 
-    def resident_bytes(self, arr) -> int:
+    def resident_bytes(self, arr: Sequence[object]) -> int:
         """Resident heap bytes of one array, boxes included.
 
         Counts the container plus one box per slot.  Interned small ints
@@ -90,23 +97,23 @@ class CompactBackend(ListBackend):
     name = "compact"
     vectorised = False
 
-    def int_array(self, values: Iterable[int]) -> array:
+    def int_array(self, values: Iterable[int]) -> IntVector:
         return array("q", values)
 
-    def float_array(self, values: Iterable[float]) -> array:
+    def float_array(self, values: Iterable[float]) -> FloatVector:
         return array("d", values)
 
-    def int_values(self, values: Sequence[int]) -> array:
+    def int_values(self, values: Sequence[int]) -> "array[int]":
         # array slice assignment only accepts a same-typecode array.
         return array("q", values)
 
-    def float_values(self, values: Sequence[float]) -> array:
+    def float_values(self, values: Sequence[float]) -> "array[float]":
         return array("d", values)
 
-    def bool_mask(self, flags: Iterable[bool]) -> bytearray:
+    def bool_mask(self, flags: Iterable[bool]) -> BoolMask:
         return bytearray(1 if flag else 0 for flag in flags)
 
-    def view(self, arr):
+    def view(self, arr: Any) -> Any:
         """A memoryview for the query hot loop.
 
         Indexing a memoryview of a typed array is measurably cheaper than
@@ -117,7 +124,7 @@ class CompactBackend(ListBackend):
         """
         return memoryview(arr)
 
-    def resident_bytes(self, arr) -> int:
+    def resident_bytes(self, arr: Sequence[object]) -> int:
         """Resident bytes: the buffer is inline, so getsizeof is exact."""
         return sys.getsizeof(arr)
 
@@ -136,12 +143,16 @@ class NumpyBackend(CompactBackend):
     name = "numpy"
     vectorised = True
 
+    #: The imported numpy module; typed Any so the strict core does not
+    #: depend on numpy stubs being installed.
+    np: Any
+
     def __init__(self) -> None:
         import numpy  # may raise: surfaced by get_backend with guidance
 
         self.np = numpy
 
-    def frombuffer(self, arr: array, *, kind: str):
+    def frombuffer(self, arr: "array[Any]", *, kind: str) -> Any:
         """A zero-copy view over one stdlib buffer (``kind``: "i"/"f")."""
         dtype = self.np.int64 if kind == "i" else self.np.float64
         if len(arr) == 0:
@@ -149,7 +160,7 @@ class NumpyBackend(CompactBackend):
         return self.np.frombuffer(arr, dtype=dtype)
 
 
-def get_backend(name: str) -> Union[ListBackend, CompactBackend, NumpyBackend]:
+def get_backend(name: str) -> ListBackend:
     """Resolve a backend name to a backend instance.
 
     Raises ``ValueError`` for unknown names and ``ImportError`` (with
@@ -196,7 +207,9 @@ def default_backend() -> str:
     )
 
 
-def resolve_backend(backend=None):
+def resolve_backend(
+    backend: Optional[Union[str, ListBackend]] = None,
+) -> ListBackend:
     """Normalise a ``backend=`` argument to a backend instance.
 
     ``None`` defers to :func:`default_backend`; strings are looked up via

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.network import EdgeKey, RoadNetwork, edge_key
 from repro.graph.shortest_path import dijkstra_distances
@@ -257,7 +257,7 @@ def _filter_leaf_shortcuts(
     base = _leaf_adjacency(network, rnet)
     override = old_distance if increase else new_distance
 
-    def adjacency(node: int):
+    def adjacency(node: int) -> Iterator[Tuple[int, float]]:
         for neighbour, distance in base(node):
             if edge_key(node, neighbour) == edge_key(u, v):
                 yield neighbour, override

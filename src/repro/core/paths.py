@@ -103,7 +103,7 @@ def node_path(
         seen.add(current)
     hops.reverse()
     path = [source]
-    for predecessor, node, shortcut in hops:
+    for _predecessor, node, shortcut in hops:
         if shortcut is None:
             path.append(node)  # one physical edge
         else:

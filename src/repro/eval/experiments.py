@@ -14,9 +14,10 @@ the full-size setting.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    import numpy as np
 
 from repro.eval.config import (
     DEFAULT_K,
@@ -35,6 +36,12 @@ from repro.eval.runner import ENGINE_ORDER, build_engine, build_engines, make_ob
 from repro.objects.model import SpatialObject
 from repro.queries.types import KNNQuery
 from repro.queries.workload import knn_workload, range_workload
+
+
+def _rng(seed: int) -> "np.random.RandomState":
+    from repro._optional import require_numpy
+
+    return require_numpy("the paper experiments").random.RandomState(seed)
 
 MB = 1024 * 1024
 
@@ -57,7 +64,7 @@ def fig11_illustration(
     dataset = load_dataset(network)
     objects = make_objects(dataset.network, num_objects, seed=seed)
     engines = build_engines(dataset, objects)
-    rng = np.random.RandomState(seed)
+    rng = _rng(seed)
     nodes = sorted(dataset.network.node_ids())
     query = KNNQuery(nodes[rng.randint(len(nodes))], k)
 
@@ -170,7 +177,7 @@ def fig15_object_update(
         objects = make_objects(dataset.network, num_objects, seed=seed)
         built = build_engines(dataset, objects, engines=engines)
         edges = sorted((u, v) for u, v, _ in dataset.network.edges())
-        rng = np.random.RandomState(seed)
+        rng = _rng(seed)
         for name in engines:
             engine = built[name]
             delete_times: List[float] = []
@@ -224,7 +231,7 @@ def fig16_network_update(
         dataset = load_dataset(network)
         objects = make_objects(dataset.network, num_objects, seed=seed)
         built = build_engines(dataset, objects, engines=engines)
-        rng = np.random.RandomState(seed)
+        rng = _rng(seed)
         for name in engines:
             engine = built[name]
             edges = sorted((u, v) for u, v, _ in engine.network.edges())

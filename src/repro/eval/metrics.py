@@ -157,11 +157,10 @@ def snapshot_divergences(
         radius = rnd.uniform(0.0, max_radius)
         if patched.range(node, radius, **kw) != fresh.range(node, radius):
             divergences.append(f"range({node}, {radius:.3f}) diverged")
-        if predicate is not None:
-            if patched.knn(node, k, predicate, **kw) != fresh.knn(
-                node, k, predicate
-            ):
-                divergences.append(f"knn({node}, {k}, {predicate}) diverged")
+        if predicate is not None and patched.knn(
+            node, k, predicate, **kw
+        ) != fresh.knn(node, k, predicate):
+            divergences.append(f"knn({node}, {k}, {predicate}) diverged")
         other = patched.node_ids[rnd.randrange(patched.num_nodes)]
         if patched.aggregate_knn([node, other], k, **kw) != fresh.aggregate_knn(
             [node, other], k

@@ -141,4 +141,4 @@ def dominance(result: ExperimentResult, metric: str, by: str = "engine") -> str:
     if not totals:
         return "n/a"
     means = {label: sum(vs) / len(vs) for label, vs in totals.items()}
-    return min(means, key=means.get)  # type: ignore[arg-type]
+    return min(means, key=means.__getitem__)

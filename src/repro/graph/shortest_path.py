@@ -184,7 +184,9 @@ def euclidean_heuristic(network: RoadNetwork, target: int) -> Callable[[int], fl
 def eccentricity(network: RoadNetwork, source: int) -> Tuple[int, float]:
     """Farthest settled node and its distance from ``source``."""
     dist = dijkstra_distances(network.neighbours, source)
-    node = max(dist, key=dist.get)  # type: ignore[arg-type]
+    # __getitem__ (not .get): every key is present, and the bound method
+    # types as int -> float with no Optional to upset max()'s key.
+    node = max(dist, key=dist.__getitem__)
     return node, dist[node]
 
 

@@ -136,7 +136,9 @@ class BatchContext:
             return value
 
 
-def register_handler(query_type: Type, *, engine: str):
+def register_handler(
+    query_type: Type, *, engine: str
+) -> Callable[[Handler], Handler]:
     """Class decorator-factory registering a handler for one query type.
 
     ``engine`` is the executor's :attr:`QueryExecutor.dispatch_engine`

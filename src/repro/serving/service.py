@@ -42,7 +42,16 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.baselines.road_adapter import ROAD_MAINTENANCE_MODES, ROAD_MODES
 from repro.core.maintenance import MaintenanceReport
@@ -52,6 +61,17 @@ from repro.serving.dispatch import (
     UnknownDirectoryError,
     UnsupportedQueryError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.framework import ROAD
+    from repro.core.search import SearchStats
+    from repro.graph.network import RoadNetwork
+    from repro.objects.model import ObjectSet
+    from repro.storage.pager import PageManager
+
+#: One admitted (query, completion future) pair; the future completes
+#: with that query's result list.
+_Entry = Tuple[object, "asyncio.Future[List[ResultEntry]]"]
 
 #: Engine families :meth:`RoadService.build` can construct.
 ENGINE_NAMES = ("ROAD", "NetExp", "Euclidean", "DistIdx")
@@ -156,7 +176,7 @@ class ServiceConfig:
             raise ValueError(f"replicas must be >= 0, got {self.replicas}")
 
     @classmethod
-    def from_env(cls, **overrides) -> "ServiceConfig":
+    def from_env(cls, **overrides: Any) -> "ServiceConfig":
         """A config from the ``REPRO_*`` environment overrides.
 
         Explicit keyword arguments beat the environment; the environment
@@ -165,7 +185,7 @@ class ServiceConfig:
         """
         from repro.core.frozen_backends import BACKEND_ENV
 
-        env: Dict[str, object] = {}
+        env: Dict[str, Any] = {}
         if MODE_ENV in os.environ:
             env["mode"] = os.environ[MODE_ENV].lower()
         if MAINTENANCE_ENV in os.environ:
@@ -220,7 +240,7 @@ class RoadService:
         self.config = config if config is not None else ServiceConfig()
         self._executor = executor
         # -- async admission state (touched only from the loop thread) --
-        self._pending: Dict[Tuple[str, object], List[Tuple[object, object]]] = {}
+        self._pending: Dict[Tuple[str, object], List[_Entry]] = {}
         self._pending_count = 0
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -245,12 +265,12 @@ class RoadService:
     @classmethod
     def build(
         cls,
-        network,
-        objects,
+        network: "RoadNetwork",
+        objects: "ObjectSet",
         *,
         config: Optional[ServiceConfig] = None,
-        pager=None,
-        **engine_kwargs,
+        pager: Optional["PageManager"] = None,
+        **engine_kwargs: Any,
     ) -> "RoadService":
         """Build the engine the config selects and wrap it.
 
@@ -319,7 +339,11 @@ class RoadService:
     # Sync path
     # ------------------------------------------------------------------
     def run(
-        self, query, *, directory: Optional[str] = None, stats=None
+        self,
+        query: object,
+        *,
+        directory: Optional[str] = None,
+        stats: Optional["SearchStats"] = None,
     ) -> List[ResultEntry]:
         """Run one query synchronously on the primary executor."""
         return self._executor.execute(
@@ -327,7 +351,11 @@ class RoadService:
         )
 
     def run_many(
-        self, queries: Sequence, *, directory: Optional[str] = None, stats=None
+        self,
+        queries: Sequence[object],
+        *,
+        directory: Optional[str] = None,
+        stats: Optional["SearchStats"] = None,
     ) -> List[List[ResultEntry]]:
         """Run a workload synchronously on the primary executor."""
         return self._executor.execute_many(
@@ -362,7 +390,7 @@ class RoadService:
     # Async admission-batched path
     # ------------------------------------------------------------------
     async def submit(
-        self, query, *, directory: Optional[str] = None
+        self, query: object, *, directory: Optional[str] = None
     ) -> List[ResultEntry]:
         """Admit one query; await its results.
 
@@ -385,7 +413,7 @@ class RoadService:
             # handle would suppress rescheduling forever and its futures
             # can no longer be completed.  Adopt the new loop cleanly.
             self._adopt_loop(loop)
-        future: asyncio.Future = loop.create_future()
+        future: "asyncio.Future[List[ResultEntry]]" = loop.create_future()
         key = (directory, getattr(query, "predicate", None))
         self._pending.setdefault(key, []).append((query, future))
         self._pending_count += 1
@@ -398,7 +426,7 @@ class RoadService:
             )
         return await future
 
-    def _adopt_loop(self, loop) -> None:
+    def _adopt_loop(self, loop: asyncio.AbstractEventLoop) -> None:
         """Reset admission state bound to a previous (dead) event loop."""
         if self._flush_handle is not None:
             self._flush_handle.cancel()
@@ -425,10 +453,11 @@ class RoadService:
         for (directory, _predicate), entries in pending.items():
             self._dispatch_batch(directory, entries)
 
-    def _dispatch_batch(self, directory: str, entries: List[Tuple]) -> None:
+    def _dispatch_batch(self, directory: str, entries: List[_Entry]) -> None:
         """Execute one bucket — coalesced, on a replica when sharded."""
+        slot: Optional[Dict[object, int]]
         if self.config.coalesce:
-            slot: Dict[object, int] = {}
+            slot = {}
             unique: List[object] = []
             for query, _future in entries:
                 if query not in slot:
@@ -461,7 +490,7 @@ class RoadService:
         )
 
     def _run_on_replica(
-        self, index: int, queries: List, directory: str
+        self, index: int, queries: List[object], directory: str
     ) -> List[List[ResultEntry]]:
         """Worker-thread body: one batch on one locked replica."""
         with self._replica_locks[index]:
@@ -469,7 +498,12 @@ class RoadService:
                 queries, directory=directory
             )
 
-    def _resolve(self, entries, slot, done) -> None:
+    def _resolve(
+        self,
+        entries: List[_Entry],
+        slot: Optional[Dict[object, int]],
+        done: "asyncio.Future[List[List[ResultEntry]]]",
+    ) -> None:
         """Loop-thread callback completing a replica batch's futures."""
         exc = done.exception()
         if exc is not None:
@@ -478,7 +512,11 @@ class RoadService:
             self._deliver(entries, slot, done.result())
 
     @staticmethod
-    def _deliver(entries, slot, results) -> None:
+    def _deliver(
+        entries: List[_Entry],
+        slot: Optional[Dict[object, int]],
+        results: List[List[ResultEntry]],
+    ) -> None:
         for position, (query, future) in enumerate(entries):
             if future.done():
                 continue
@@ -492,7 +530,7 @@ class RoadService:
                 future.set_result(list(results[slot[query]]))
 
     @staticmethod
-    def _reject(entries, exc: BaseException) -> None:
+    def _reject(entries: List[_Entry], exc: BaseException) -> None:
         for _query, future in entries:
             if future.done():
                 continue
@@ -506,7 +544,7 @@ class RoadService:
     # ------------------------------------------------------------------
     # Sharded replicas + maintenance broadcast
     # ------------------------------------------------------------------
-    def _road(self):
+    def _road(self) -> Optional["ROAD"]:
         """The charged ROAD behind the executor, if there is one."""
         road = getattr(self._executor, "road", None)
         if road is not None:
@@ -627,7 +665,9 @@ class RoadService:
             with lock:
                 self._replicas[index] = replacement
 
-    def attach_objects(self, objects, *, name: str, **kwargs):
+    def attach_objects(
+        self, objects: "ObjectSet", *, name: str, **kwargs: Any
+    ) -> str:
         """Attach a provider through the executor; re-freeze all shards.
 
         The executor decides its own snapshot lifecycle
@@ -684,7 +724,7 @@ class RoadService:
             return road.default_directory
         return self._executor.default_directory
 
-    def _directory_manager(self, method: str):
+    def _directory_manager(self, method: str) -> Callable[..., Any]:
         """The executor's attach/detach entry point, or a typed error.
 
         Mirrors the replica-path pattern: directory management needs an
@@ -713,7 +753,7 @@ class RoadService:
             with lock:
                 replica.apply(report, road)
 
-    def _maintained(self, result):
+    def _maintained(self, result: Any) -> Any:
         """Broadcast after a maintenance call; pass its result through."""
         report = (
             result
@@ -724,35 +764,37 @@ class RoadService:
             self.apply_report(report)
         return result
 
-    def insert_object(self, obj, **kwargs):
+    def insert_object(self, obj: Any, **kwargs: Any) -> Any:
         """Insert an object through the executor; reconcile all replicas."""
         return self._maintained(self._executor.insert_object(obj, **kwargs))
 
-    def delete_object(self, object_id: int, **kwargs):
+    def delete_object(self, object_id: int, **kwargs: Any) -> Any:
         """Delete an object through the executor; reconcile all replicas."""
         return self._maintained(
             self._executor.delete_object(object_id, **kwargs)
         )
 
-    def update_object_attrs(self, object_id: int, attrs, **kwargs):
+    def update_object_attrs(
+        self, object_id: int, attrs: Dict[str, Any], **kwargs: Any
+    ) -> Any:
         """Update object attributes; reconcile all replicas."""
         return self._maintained(
             self._executor.update_object_attrs(object_id, attrs, **kwargs)
         )
 
-    def update_edge_distance(self, u: int, v: int, distance: float):
+    def update_edge_distance(self, u: int, v: int, distance: float) -> Any:
         """Change an edge distance; reconcile all replicas."""
         return self._maintained(
             self._executor.update_edge_distance(u, v, distance)
         )
 
-    def add_edge(self, u: int, v: int, distance: float, **kwargs):
+    def add_edge(self, u: int, v: int, distance: float, **kwargs: Any) -> Any:
         """Open a road segment; reconcile all replicas."""
         return self._maintained(
             self._executor.add_edge(u, v, distance, **kwargs)
         )
 
-    def remove_edge(self, u: int, v: int):
+    def remove_edge(self, u: int, v: int) -> Any:
         """Close a road segment; reconcile all replicas."""
         return self._maintained(self._executor.remove_edge(u, v))
 
@@ -775,7 +817,9 @@ class RoadService:
     async def __aenter__(self) -> "RoadService":
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(
+        self, exc_type: object, exc: object, tb: object
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -235,6 +235,25 @@ class BPlusTree:
                 return
             leaf = self._load(leaf.next_leaf)
 
+    def peek_items(self) -> Iterator[Tuple[int, Any]]:
+        """Uncharged :meth:`items`: same leaf walk, no buffer, no I/O.
+
+        The bulk counterpart of :meth:`peek` — for maintenance-time
+        compile/patch consumers (snapshot recompiles must not disturb
+        the LRU buffer or the I/O counters).  Queries use :meth:`items`
+        and pay the walk.
+        """
+        node = self._pager.peek(self._root_id).payload
+        while not node.is_leaf:
+            node = self._pager.peek(node.children[0]).payload
+        leaf: _LeafNode = node
+        while True:
+            for key, value in zip(leaf.keys, leaf.values):
+                yield key, value
+            if leaf.next_leaf is None:
+                return
+            leaf = self._pager.peek(leaf.next_leaf).payload
+
     def keys(self) -> Iterator[int]:
         """Yield every key in order."""
         for key, _ in self.items():

@@ -1,0 +1,24 @@
+"""RA001 seeded violation: a patch path that calls a charged accessor.
+
+``apply`` reaches ``_recompile`` (self-call), whose bulk export goes
+through the charged ``export_entries`` instead of ``peek_entries`` —
+exactly the drift the rule exists to catch.  ``_drop_views`` is called
+first so this fixture trips RA001 and only RA001.
+"""
+
+
+class FrozenRoad:
+    def __init__(self):
+        self._views = None
+
+    def apply(self, report, road=None):
+        self._drop_views()
+        self._recompile(road)
+        return "recompiled"
+
+    def _drop_views(self):
+        self._views = None
+
+    def _recompile(self, road):
+        # BAD: charged bulk export on the uncharged patch path.
+        return road.directory("objects").export_entries()

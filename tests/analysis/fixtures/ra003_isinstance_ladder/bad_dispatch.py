@@ -1,0 +1,22 @@
+"""RA003 seeded violation: a per-engine ``isinstance`` dispatch ladder.
+
+The shape PR 4 removed — each branch silently falls through when a new
+query type is added instead of raising ``UnsupportedQueryError``.
+"""
+
+
+class KNNQuery:
+    pass
+
+
+class RangeQuery:
+    pass
+
+
+def execute(engine, query):
+    # BAD: dispatch must go through @register_handler / lookup_handler.
+    if isinstance(query, KNNQuery):
+        return engine.knn(query.node, query.k)
+    if isinstance(query, (RangeQuery, tuple)):
+        return engine.range(query.node, query.radius)
+    raise TypeError(query)

@@ -1,0 +1,28 @@
+"""RA004 seeded violations: buffer views outliving a resizing patch.
+
+Two breaches: ``apply`` runs a resizing step without dropping the cached
+views first (a live export makes the splice raise ``BufferError``), and
+an ad-hoc ``memoryview`` is built outside the registered view factories,
+invisible to ``_drop_views``.
+"""
+
+
+class FrozenRoad:
+    def __init__(self):
+        self._views = None
+
+    def apply(self, report, road=None):
+        # BAD: resizing recompile with cached views still alive.
+        self._recompile(road)
+        return "recompiled"
+
+    def _drop_views(self):
+        self._views = None
+
+    def _recompile(self, road):
+        pass
+
+
+def peek_first_slot(arr):
+    # BAD: ad-hoc zero-copy view outside the registered factories.
+    return memoryview(arr)[0]

@@ -1,0 +1,11 @@
+"""RA005 seeded violation: a top-level numpy import outside the gate.
+
+This module is never imported (only parsed); the eager import would
+break every numpy-less install that transitively imports it.
+"""
+
+import numpy as np  # BAD: must go through repro._optional.require_numpy
+
+
+def accelerate(values):
+    return np.asarray(values).sum()

@@ -1,0 +1,147 @@
+"""Per-rule checks: each seeded-violation fixture trips its rule (and
+only its rule), and the matching clean shape passes.
+
+The fixtures under ``tests/analysis/fixtures/`` are the executable
+specification of what every rule catches; the CLI suite re-runs them
+through ``python -m repro.analysis`` to pin the exit codes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture directory -> (rule expected to fire, findings it must seed).
+SEEDED = {
+    "ra001_charged_patch": ("RA001", 1),
+    "ra002_unlocked_write": ("RA002", 3),
+    "ra003_isinstance_ladder": ("RA003", 2),
+    "ra004_missing_drop": ("RA004", 2),
+    "ra005_eager_numpy": ("RA005", 1),
+}
+
+
+@pytest.mark.parametrize("fixture", sorted(SEEDED))
+def test_fixture_trips_exactly_its_rule(fixture):
+    rule_id, count = SEEDED[fixture]
+    findings = analyze_path(FIXTURES / fixture)
+    assert len(findings) == count, [f.format() for f in findings]
+    assert {f.rule for f in findings} == {rule_id}
+
+
+@pytest.mark.parametrize("fixture", sorted(SEEDED))
+def test_fixture_is_quiet_under_every_other_rule(fixture):
+    rule_id, _ = SEEDED[fixture]
+    others = sorted(set(r for r, _ in SEEDED.values()) - {rule_id})
+    assert analyze_path(FIXTURES / fixture, rule_ids=others) == []
+
+
+def test_findings_carry_fixture_relative_paths_and_lines():
+    findings = analyze_path(FIXTURES / "ra002_unlocked_write")
+    assert [f.path for f in findings] == ["bad_service.py"] * 3
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    for finding in findings:
+        assert finding.format().startswith(f"bad_service.py:{finding.line}: RA002 ")
+
+
+# ---------------------------------------------------------------------------
+# Clean counterparts: the locked/gated/registered shapes must not fire.
+# ---------------------------------------------------------------------------
+
+def _check(tmp_path, source, rule_id):
+    (tmp_path / "module.py").write_text(source)
+    return analyze_path(tmp_path, rule_ids=[rule_id])
+
+
+def test_ra001_peek_family_is_pure(tmp_path):
+    assert _check(
+        tmp_path,
+        "class FrozenRoad:\n"
+        "    def apply(self, report, road=None):\n"
+        "        self._recompile(road)\n"
+        "    def _recompile(self, road):\n"
+        "        return road.directory('objects').peek_entries()\n",
+        "RA001",
+    ) == []
+
+
+def test_ra002_locked_writes_pass(tmp_path):
+    assert _check(
+        tmp_path,
+        "class Service:\n"
+        "    def __init__(self):\n"
+        "        self._replicas = [None]\n"
+        "        self._replica_locks = [object()]\n"
+        "    def swap(self, index, snapshot):\n"
+        "        with self._replica_locks[index]:\n"
+        "            self._replicas[index] = snapshot\n",
+        "RA002",
+    ) == []
+
+
+def test_ra002_ignores_classes_without_replica_locks(tmp_path):
+    assert _check(
+        tmp_path,
+        "class Plain:\n"
+        "    def __init__(self):\n"
+        "        self._replicas = [None]\n"
+        "    def swap(self, index, snapshot):\n"
+        "        self._replicas[index] = snapshot\n",
+        "RA002",
+    ) == []
+
+
+def test_ra003_non_query_isinstance_passes(tmp_path):
+    assert _check(
+        tmp_path,
+        "def coerce(value):\n"
+        "    if isinstance(value, str):\n"
+        "        return value\n"
+        "    return str(value)\n",
+        "RA003",
+    ) == []
+
+
+def test_ra004_drop_before_resize_passes(tmp_path):
+    assert _check(
+        tmp_path,
+        "class FrozenRoad:\n"
+        "    def apply(self, report):\n"
+        "        self._drop_views()\n"
+        "        self._recompile(report)\n"
+        "    def _drop_views(self):\n"
+        "        self._views = None\n"
+        "    def _recompile(self, report):\n"
+        "        pass\n",
+        "RA004",
+    ) == []
+
+
+def test_ra005_type_checking_guard_passes(tmp_path):
+    assert _check(
+        tmp_path,
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    import numpy as np\n",
+        "RA005",
+    ) == []
+
+
+def test_ra005_gate_module_is_allowed(tmp_path):
+    (tmp_path / "_optional.py").write_text("import numpy\n")
+    assert analyze_path(tmp_path, rule_ids=["RA005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# The real tree: every invariant the rules encode actually holds.
+# ---------------------------------------------------------------------------
+
+def test_real_package_is_clean():
+    import repro
+
+    root = Path(repro.__file__).parent
+    findings = analyze_path(root)
+    assert findings == [], [f.format() for f in findings]

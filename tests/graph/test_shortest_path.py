@@ -87,7 +87,7 @@ class TestDijkstra:
         assert network_distance(diamond, 1, 4) == pytest.approx(3.0)
 
     def test_matches_networkx_on_random_networks(self, rng):
-        for trial in range(5):
+        for _trial in range(5):
             net = random_connected_network(rng, 60, 40)
             source = rng.randrange(60)
             ours = dijkstra_distances(net.neighbours, source)
@@ -101,7 +101,7 @@ class TestDijkstra:
 
 class TestAStar:
     def test_astar_equals_dijkstra_with_euclidean_heuristic(self, rng):
-        for trial in range(5):
+        for _trial in range(5):
             net = random_connected_network(rng, 50, 30)
             # make weights dominate Euclidean so the heuristic is admissible
             for u, v, _ in list(net.edges()):

@@ -75,7 +75,7 @@ def test_mixed_interleaving_patch_equivalence(backend, seed):
     frozen = road.freeze(backend=backend)
     edges = sorted((u, v) for u, v, _ in network.edges())
     pred = Predicate.of(type="a")
-    for step in range(6):
+    for _step in range(6):
         action = rnd.randrange(3)
         if action == 0:  # congestion / clearing
             u, v = edges[rnd.randrange(len(edges))]

@@ -1,0 +1,59 @@
+"""Property-based check: persistence is invisible to the frozen contract.
+
+freeze → ``save_road`` → ``load_road`` → freeze again must yield a
+snapshot with ``snapshot_divergences == []`` against the original — per
+installed array backend and per attached directory.  The probe is the
+same byte-identity contract the patch/equivalence suites enforce
+(results, tie order, SearchStats, predicate-filtered and aggregate
+queries), so a persistence bug cannot hide behind a weaker comparison.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frozen_backends import installed_backends
+from repro.core.serialize import load_road, save_road
+from repro.eval.metrics import snapshot_divergences
+from tests.property.test_multi_directory_equivalence import (
+    DIRECTORIES,
+    _build_multi_road,
+)
+
+
+@pytest.mark.parametrize("backend", installed_backends())
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_round_trip_diverges_nowhere(backend, seed, tmp_path_factory):
+    rnd = random.Random(seed)
+    _network, road, _directories = _build_multi_road(rnd)
+    path = tmp_path_factory.mktemp("idx") / f"round-{backend}-{seed}.roadidx"
+
+    written = save_road(road, path)
+    assert written == path.stat().st_size > 0
+    loaded = load_road(path)
+
+    original = road.freeze(backend=backend)
+    reloaded = loaded.freeze(backend=backend)
+    assert reloaded.directory_names == original.directory_names
+
+    probe = random.Random(seed + 1)
+    for name in DIRECTORIES:
+        divergences = snapshot_divergences(
+            probe,
+            reloaded,
+            road.freeze(directory=name, backend=backend),
+            probes=2,
+            k=4,
+            max_radius=20.0,
+            directory=name,
+        )
+        assert divergences == [], (backend, name, divergences)
+
+    # The combined snapshots also agree with each other on their defaults.
+    assert snapshot_divergences(
+        random.Random(seed + 2), reloaded, original, probes=2, k=4,
+        max_radius=20.0,
+    ) == []
