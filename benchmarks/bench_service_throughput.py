@@ -1,7 +1,7 @@
-"""RoadService front-end: async admission batching vs naive per-query submit.
+"""RoadService front-end: admission batching, thread shards, process shards.
 
 A serving node sees many concurrent users whose queries overlap heavily
-(popular places get asked for again and again).  This bench races three
+(popular places get asked for again and again).  This bench races the
 front-end policies over the same frozen engine and a hot workload
 (``NUM_QUERIES`` in-flight queries drawn from ``DISTINCT_QUERIES``
 distinct ones):
@@ -13,12 +13,28 @@ distinct ones):
   queries join one bucket, duplicates execute once, each bucket runs as
   a single ``execute_many``;
 * ``sharded`` — the batched policy over ``REPLICA_COUNT`` read-only
-  frozen replicas served from worker threads.
+  frozen replicas served from worker threads;
+* ``thread-shard`` / ``process-shard`` — the CPU-heavy scenario: small
+  admission batches (coalescing off) slice the workload into many
+  round-robin dispatches across the shards, so the race measures where
+  traversal CPU actually runs — interpreter threads serialised by the
+  GIL versus worker processes attached to one shared-memory snapshot
+  (``ServiceConfig(replica_mode="process")``).
+
+Beyond wall-clock, every path records per-query latency percentiles
+(``p50_ms``/``p95_ms``/``p99_ms``) into the BENCH artifact — the
+``python -m repro.eval.compare`` ratchet holds tail latency, not just
+the mean, to its committed baseline.
 
 Acceptance gates: every path (and every installed array backend) must
-return results byte-identical to the sync ``run_many`` reference, and —
-in full runs — the batched path must beat naive per-query submission by
-at least :data:`MIN_SPEEDUP` in queries/sec.
+return results byte-identical to the sync ``run_many`` reference; a
+snapshot saved with :func:`repro.core.serialize.save_snapshot` and
+cold-loaded via mmap must serve the workload identically without
+recompiling; after a maintenance broadcast, thread and process shards
+must show zero ``snapshot_divergences`` against a fresh freeze; and —
+in full runs — batched must beat naive by :data:`MIN_SPEEDUP` and, on a
+box with at least :data:`PROCESS_GATE_CPUS` cores, process shards must
+beat thread shards by :data:`MIN_PROCESS_SPEEDUP` in queries/sec.
 
 Run standalone (``python benchmarks/bench_service_throughput.py``) or via
 pytest with the usual harness fixtures.
@@ -27,9 +43,12 @@ pytest with the usual harness fixtures.
 from __future__ import annotations
 
 import asyncio
+import math
 import os
+import random
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -38,9 +57,12 @@ try:
 except ModuleNotFoundError:  # standalone run from a clean checkout
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.frozen_backends import installed_backends
+from repro.core.frozen_backends import installed_backends, shared_memory_available
+from repro.core.maintenance import MaintenanceReport
+from repro.core.serialize import load_snapshot, save_snapshot
 from repro.eval.config import DEFAULT_K, DEFAULT_OBJECTS, DEFAULT_RANGE_FRACTION
 from repro.eval.datasets import dataset_levels, load_dataset
+from repro.eval.metrics import snapshot_divergences
 from repro.eval.reporting import ExperimentResult
 from repro.eval.runner import build_engine, make_objects
 from repro.queries.workload import mixed_workload
@@ -49,12 +71,18 @@ from repro.serving import RoadService, ServiceConfig
 #: Queries/sec the batched path must gain over naive submission (full runs).
 MIN_SPEEDUP = 2.0
 
+#: Queries/sec process shards must gain over thread shards (full runs on a
+#: box with at least PROCESS_GATE_CPUS cores — the GIL race needs cores).
+MIN_PROCESS_SPEEDUP = 2.0
+PROCESS_GATE_CPUS = 4
+
 #: In-flight queries per timed round and the distinct pool they draw from
 #: (the overlap is what admission coalescing exploits).
 NUM_QUERIES = 240
 DISTINCT_QUERIES = 30
 
-#: Read-only frozen replicas in the sharded configuration.
+#: Read-only frozen replicas in the sharded configuration (smoke runs);
+#: full runs on a multi-core box race PROCESS_GATE_CPUS shards instead.
 REPLICA_COUNT = 2
 
 #: Timed rounds per path; the median absorbs scheduler noise.
@@ -68,19 +96,37 @@ def _hot_workload(network, count, distinct, *, k, radius, seed):
 
 
 def _submit_all(service, queries):
-    async def go():
-        return await asyncio.gather(*(service.submit(q) for q in queries))
+    """All queries through the async front-end; answers + per-query ms."""
 
-    return asyncio.run(go())
+    async def timed(query):
+        start = time.perf_counter()
+        answer = await service.submit(query)
+        return answer, (time.perf_counter() - start) * 1000.0
+
+    async def go():
+        return await asyncio.gather(*(timed(q) for q in queries))
+
+    pairs = asyncio.run(go())
+    return [answer for answer, _ in pairs], [ms for _, ms in pairs]
+
+
+def _percentile(sorted_ms, fraction):
+    """Nearest-rank percentile over an already sorted latency list."""
+    if not sorted_ms:
+        return 0.0
+    rank = math.ceil(fraction * len(sorted_ms)) - 1
+    return sorted_ms[min(max(rank, 0), len(sorted_ms) - 1)]
 
 
 def _timed_rounds(service, queries):
-    timings, answers = [], None
+    timings, answers, latencies = [], None, []
     for _ in range(ROUNDS):
         start = time.perf_counter()
-        answers = _submit_all(service, queries)
+        answers, round_ms = _submit_all(service, queries)
         timings.append((time.perf_counter() - start) * 1000.0)
-    return statistics.median(timings), answers
+        latencies.extend(round_ms)
+    latencies.sort()
+    return statistics.median(timings), answers, latencies
 
 
 def run_throughput_comparison(
@@ -92,13 +138,16 @@ def run_throughput_comparison(
     num_queries: int = NUM_QUERIES,
     distinct: int = DISTINCT_QUERIES,
     num_nodes=None,
+    shard_workers=None,
     seed: int = 0,
 ):
-    """Race the three front-end policies over one frozen engine.
+    """Race the front-end policies over one frozen engine.
 
     Returns ``(result, summary)``: the rendered table data and
-    ``{path: {qps, speedup, identical}}``.  ``num_nodes`` overrides the
-    profile size (CI smoke runs use a tiny replica).
+    ``{path: {qps, speedup, identical, p50/p95/p99}}`` plus the
+    cold-start, divergence and backend-identity verdicts.  ``num_nodes``
+    overrides the profile size and ``shard_workers`` the shard count
+    (CI smoke runs use a tiny replica and a fixed worker count).
     """
     dataset = load_dataset(network, num_nodes)
     objects = make_objects(dataset.network, num_objects, seed=seed)
@@ -110,8 +159,23 @@ def run_throughput_comparison(
     queries = _hot_workload(
         dataset.network, num_queries, distinct, k=k, radius=radius, seed=seed
     )
+    if shard_workers is None:
+        # The process-vs-thread race only means something with cores to
+        # spread over; a 1-2 core box keeps the smoke-sized shard count.
+        cpus = os.cpu_count() or 1
+        shard_workers = (
+            PROCESS_GATE_CPUS if cpus >= PROCESS_GATE_CPUS else REPLICA_COUNT
+        )
 
     batching_on = dict(max_batch=num_queries, max_delay_ms=50.0)
+    # CPU-heavy shard scenario: coalescing off (every query pays real
+    # traversal CPU) and small admission batches, so one wave round-robins
+    # many execute_many dispatches across the shards instead of one.
+    shard_batching = dict(
+        max_batch=max(4, num_queries // (shard_workers * 4)),
+        max_delay_ms=50.0,
+        coalesce=False,
+    )
     services = {
         "naive": RoadService(
             engine,
@@ -128,7 +192,21 @@ def run_throughput_comparison(
                 mode="frozen", replicas=REPLICA_COUNT, **batching_on
             ),
         ),
+        "thread-shard": RoadService(
+            engine,
+            config=ServiceConfig(
+                mode="frozen", replicas=shard_workers, **shard_batching
+            ),
+        ),
     }
+    if shared_memory_available():
+        services["process-shard"] = RoadService(
+            engine,
+            config=ServiceConfig(
+                mode="frozen", replicas=shard_workers,
+                replica_mode="process", **shard_batching
+            ),
+        )
     reference = services["batched"].run_many(queries)
 
     result = ExperimentResult(
@@ -136,12 +214,15 @@ def run_throughput_comparison(
         f"RoadService front-end policies on {network} "
         f"(|O|={num_objects}, {num_queries} in-flight queries, "
         f"{distinct} distinct, k={k})",
-        ["path", "wall_ms", "qps", "speedup", "identical"],
+        [
+            "path", "wall_ms", "p50_ms", "p95_ms", "p99_ms",
+            "qps", "speedup", "identical",
+        ],
     )
-    summary = {}
+    summary = {"shard_workers": shard_workers}
     naive_ms = None
     for name, service in services.items():
-        wall_ms, answers = _timed_rounds(service, queries)
+        wall_ms, answers, latencies = _timed_rounds(service, queries)
         if name == "naive":
             naive_ms = wall_ms
         identical = answers == reference
@@ -149,15 +230,20 @@ def run_throughput_comparison(
         speedup = naive_ms / wall_ms if wall_ms else float("inf")
         summary[name] = {
             "qps": qps, "speedup": speedup, "identical": identical,
+            "p50_ms": _percentile(latencies, 0.50),
+            "p95_ms": _percentile(latencies, 0.95),
+            "p99_ms": _percentile(latencies, 0.99),
         }
         result.add_row(
             path=name,
             wall_ms=wall_ms,
+            p50_ms=summary[name]["p50_ms"],
+            p95_ms=summary[name]["p95_ms"],
+            p99_ms=summary[name]["p99_ms"],
             qps=f"{qps:,.0f}",
             speedup=f"{speedup:.2f}x",
             identical=str(identical),
         )
-        service.close()
 
     # Byte-identity of the async front-end across every installed array
     # backend (the sync reference comes from the engine's own snapshot).
@@ -167,20 +253,89 @@ def run_throughput_comparison(
         service = RoadService(
             snapshot, config=ServiceConfig(mode="frozen", **batching_on)
         )
-        backend_identity[backend] = _submit_all(service, queries) == reference
+        backend_identity[backend] = (
+            _submit_all(service, queries)[0] == reference
+        )
         service.close()
+        snapshot.close()
     summary["backends_identical"] = backend_identity
+
+    # Snapshot cold start: save the frozen snapshot to disk, map it back
+    # with zero array copies, and serve the workload straight off the
+    # mmap — no freeze, no recompile, byte-identical answers.
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot_path = Path(tmp) / "service.roadsnp"
+        warm = engine.road.freeze()
+        snapshot_bytes = save_snapshot(warm, snapshot_path)
+        warm.close()
+        cold = load_snapshot(snapshot_path)
+        cold_service = RoadService(
+            cold, config=ServiceConfig(mode="frozen", **batching_on)
+        )
+        summary["cold_start"] = {
+            "identical": _submit_all(cold_service, queries)[0] == reference,
+            "snapshot_bytes": snapshot_bytes,
+            "backend": cold.backend,
+        }
+        cold_service.close()
+        cold.close()
+
+    # Maintenance churn: one edge update broadcast to every shard set,
+    # then probe thread and process shards for byte-identity against a
+    # fresh freeze of the maintained road — the lockstep contract.
+    u, v, dist = sorted(engine.network.edges())[0]
+    outcome = services["sharded"].update_edge_distance(u, v, dist * 1.25)
+    report = (
+        outcome
+        if isinstance(outcome, MaintenanceReport)
+        else engine.last_report
+    )
+    for name in ("thread-shard", "process-shard"):
+        if name in services:
+            services[name].apply_report(report)
+    fresh = engine.road.freeze()
+    rnd = random.Random(5)
+    divergences = {}
+    for name in ("sharded", "thread-shard", "process-shard"):
+        if name not in services:
+            continue
+        divergences[name] = sum(
+            len(snapshot_divergences(rnd, replica, fresh, probes=3))
+            for replica in services[name].replicas
+        )
+    fresh.close()
+    summary["divergences"] = divergences
+    # And the maintained shards still agree with the maintained primary.
+    post_churn = services["batched"].run_many(queries)
+    summary["post_churn_identical"] = all(
+        _submit_all(services[name], queries)[0] == post_churn
+        for name in divergences
+    )
+    summary["process_gate_live"] = (
+        "process-shard" in services
+        and (os.cpu_count() or 1) >= PROCESS_GATE_CPUS
+    )
+
+    for service in services.values():
+        service.close()
 
     result.note(
         f"workload: {num_queries} concurrent submits over {distinct} "
         f"distinct queries; batched coalesces duplicates and runs one "
         f"execute_many per predicate bucket; sharded adds "
-        f"{REPLICA_COUNT} frozen replicas on worker threads"
+        f"{REPLICA_COUNT} frozen replicas on worker threads; "
+        f"thread-shard/process-shard race {shard_workers} shards on "
+        f"small uncoalesced batches (max_batch="
+        f"{shard_batching['max_batch']})"
     )
     result.note(
         f"gates (full runs): batched >= {MIN_SPEEDUP:.0f}x naive "
-        f"queries/sec; all paths and backends "
-        f"({', '.join(backend_identity)}) byte-identical to sync run_many"
+        f"queries/sec; process-shard >= {MIN_PROCESS_SPEEDUP:.0f}x "
+        f"thread-shard on >= {PROCESS_GATE_CPUS} cores; all paths and "
+        f"backends ({', '.join(backend_identity)}) byte-identical to "
+        f"sync run_many; mmap cold start serves identically "
+        f"({summary['cold_start']['snapshot_bytes']:,} snapshot bytes); "
+        f"0 shard divergences after a maintenance broadcast"
     )
     result.note(
         f"params: network={network} num_nodes={dataset.network.num_nodes} "
@@ -191,18 +346,45 @@ def run_throughput_comparison(
 
 def _assert_gates(summary, *, smoke: bool) -> None:
     """The acceptance bars shared by the pytest gate and main()."""
-    for path in ("naive", "batched", "sharded"):
+    paths = ("naive", "batched", "sharded", "thread-shard", "process-shard")
+    for path in paths:
+        if path not in summary:
+            continue
         assert summary[path]["identical"], (
             f"{path}: async answers diverged from sync run_many"
         )
     for backend, identical in summary["backends_identical"].items():
         assert identical, f"{backend}: backend answers diverged"
+    assert summary["cold_start"]["identical"], (
+        "mmap cold start diverged from sync run_many"
+    )
+    assert summary["cold_start"]["backend"] == "mmap", (
+        "cold start did not serve straight off the mapped snapshot"
+    )
+    for path, count in summary["divergences"].items():
+        assert count == 0, (
+            f"{path}: {count} snapshot divergence(s) after the "
+            f"maintenance broadcast"
+        )
+    assert summary["post_churn_identical"], (
+        "maintained shards diverged from the maintained primary"
+    )
     if not smoke:  # tiny-network timings are scheduler noise
         speedup = summary["batched"]["speedup"]
         assert speedup >= MIN_SPEEDUP, (
             f"admission batching only {speedup:.2f}x naive submission "
             f"(bar: {MIN_SPEEDUP:.1f}x)"
         )
+        if summary["process_gate_live"]:
+            ratio = (
+                summary["process-shard"]["qps"]
+                / summary["thread-shard"]["qps"]
+            )
+            assert ratio >= MIN_PROCESS_SPEEDUP, (
+                f"process shards only {ratio:.2f}x thread shards "
+                f"(bar: {MIN_PROCESS_SPEEDUP:.1f}x at "
+                f"{summary['shard_workers']} workers)"
+            )
 
 
 def test_service_throughput(results_dir):
@@ -220,7 +402,8 @@ def main() -> int:
     smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
     if smoke:
         result, summary = run_throughput_comparison(
-            num_nodes=300, num_queries=80, distinct=16
+            num_nodes=300, num_queries=80, distinct=16,
+            shard_workers=REPLICA_COUNT,
         )
     else:
         result, summary = run_throughput_comparison()
@@ -235,6 +418,18 @@ def main() -> int:
         f"({summary['batched']['qps']:,.0f} vs "
         f"{summary['naive']['qps']:,.0f} queries/sec)"
     )
+    if "process-shard" in summary:
+        ratio = (
+            summary["process-shard"]["qps"] / summary["thread-shard"]["qps"]
+        )
+        gate = (
+            "live" if summary["process_gate_live"]
+            else f"off: needs >= {PROCESS_GATE_CPUS} cores"
+        )
+        print(
+            f"process shards: {ratio:.2f}x thread shards at "
+            f"{summary['shard_workers']} workers (gate {gate})"
+        )
     return 0
 
 

@@ -11,6 +11,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports self-register)
     ra003_dispatch,
     ra004_view_lifecycle,
     ra005_optional_imports,
+    ra006_shm_lifecycle,
 )
 
 __all__ = [
@@ -19,4 +20,5 @@ __all__ = [
     "ra003_dispatch",
     "ra004_view_lifecycle",
     "ra005_optional_imports",
+    "ra006_shm_lifecycle",
 ]

@@ -19,10 +19,12 @@ DROP_CALL = "_drop_views"
 EXEMPT_METHODS = frozenset({"__init__"})
 
 #: The only functions allowed to *create* zero-copy views: the backend
-#: primitives and FrozenRoad's cached view builders (which register
-#: their product for `_drop_views` to release).
+#: primitives, FrozenRoad's cached view builders (which register their
+#: product for `_drop_views` to release), and the snapshot-file mapper
+#: (whose product `_SnapshotFile.close` releases).
 VIEW_FACTORIES = frozenset(
-    {"view", "frombuffer", "_numpy_views", "_object_numpy_views"}
+    {"view", "frombuffer", "_numpy_views", "_object_numpy_views",
+     "_map_snapshot"}
 )
 
 

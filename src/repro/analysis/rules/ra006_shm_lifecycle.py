@@ -1,0 +1,202 @@
+"""RA006 — shared-memory segment lifecycle around the ``"shm"`` backend."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.analysis.engine import Finding, Rule, register_rule
+from repro.analysis.project import FunctionInfo, Project
+
+#: The only modules allowed to construct ``SharedMemory`` segments: the
+#: shm storage layer.  Everything else (backends, snapshots, the process
+#: pool) goes through :class:`ShmVector`, whose close/unlink discipline
+#: this rule checks below.
+GATE_MODULES = frozenset({"shm_arrays"})
+
+#: The raw segment constructor.
+CONSTRUCTOR = "SharedMemory"
+
+
+def _basename(module: str) -> str:
+    return module.rsplit(".", 1)[-1]
+
+
+def _creates_segments(node: ast.ClassDef) -> List[int]:
+    """Lines inside ``node`` that call the raw segment constructor."""
+    return [
+        child.lineno
+        for child in ast.walk(node)
+        if isinstance(child, ast.Call)
+        and (
+            (isinstance(child.func, ast.Name) and child.func.id == CONSTRUCTOR)
+            or (
+                isinstance(child.func, ast.Attribute)
+                and child.func.attr == CONSTRUCTOR
+            )
+        )
+    ]
+
+
+def _unlink_sites(node: ast.AST) -> List[Tuple[int, bool]]:
+    """``(line, guarded)`` for every ``.unlink(...)`` call under ``node``.
+
+    ``guarded`` is whether an ``if`` statement encloses the call — the
+    lexical shape of the owner check (``if self._owner: ... unlink()``).
+    """
+    sites: List[Tuple[int, bool]] = []
+
+    def walk(parent: ast.AST, guarded: bool) -> None:
+        for child in ast.iter_child_nodes(parent):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "unlink"
+            ):
+                sites.append((child.lineno, guarded))
+            walk(child, guarded or isinstance(child, ast.If))
+
+    walk(node, False)
+    return sites
+
+
+@register_rule
+class ShmLifecycleRule(Rule):
+    """Shm segments: ``close()`` on every path, ``unlink()`` exactly once.
+
+    Why: a POSIX shared-memory segment is an OS object with two distinct
+    teardown halves.  ``close()`` drops *this process's* mapping and must
+    run in every process that attached (a missed close leaks the mapping
+    until process exit, and the resource tracker complains at shutdown).
+    ``unlink()`` destroys the *name* for everyone and must run exactly
+    once, by the owning process — an attacher that unlinks yanks the
+    segment out from under the owner and every sibling worker, while an
+    owner that never unlinks leaks ``/dev/shm`` space past process death.
+    The serving design therefore funnels all raw ``SharedMemory`` use
+    through the :mod:`repro.core.shm_arrays` storage layer, whose
+    ``ShmVector.close`` is the single close/unlink path.
+
+    How it checks:
+
+    * ``SharedMemory(...)`` may only be called inside the gate modules
+      (:data:`GATE_MODULES`) — ad-hoc segments elsewhere are invisible to
+      the vector lifecycle and the pool's reload protocol;
+    * in a gate module, every class that constructs a segment must define
+      a ``close`` method that calls ``.close()`` on something (releasing
+      the mapping), and must contain exactly one ``.unlink(...)`` site,
+      lexically guarded by an ``if`` (the owner check) — zero unlinks
+      leak the segment, a second unlink (or an unguarded one) lets a
+      non-owner destroy it.
+
+    How to fix a finding: route segment creation through
+    ``repro.core.shm_arrays``, or give the owning class a ``close`` that
+    closes its mapping and unlinks once behind the owner flag.
+    """
+
+    id = "RA006"
+    title = "shm segments close everywhere, unlink exactly once (owner)"
+
+    def check(self, project: Project) -> List[Finding]:
+        findings = self._check_constructor_gate(project)
+        findings.extend(self._check_owner_classes(project))
+        findings.sort(key=lambda f: (f.path, f.line))
+        return findings
+
+    def _check_constructor_gate(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in project.functions.values():
+            if _basename(fn.module) in GATE_MODULES:
+                continue
+            for site in fn.calls:
+                if site.name == CONSTRUCTOR:
+                    findings.append(
+                        self._finding(project, fn, site.line)
+                    )
+        return findings
+
+    def _finding(
+        self, project: Project, fn: FunctionInfo, line: int
+    ) -> Finding:
+        return Finding(
+            self.id,
+            project.relative_path(project.module_of(fn)),
+            line,
+            f"raw {CONSTRUCTOR} segment created in {fn.name}, outside the "
+            f"shm storage layer ({', '.join(sorted(GATE_MODULES))}) — "
+            f"its close/unlink lifecycle is invisible to ShmVector and "
+            f"the process pool's reload protocol",
+        )
+
+    def _check_owner_classes(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.iter_modules():
+            if _basename(module.name) not in GATE_MODULES:
+                continue
+            path = project.relative_path(module)
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    findings.extend(
+                        self._check_class(path, node)
+                    )
+        return findings
+
+    def _check_class(
+        self, path: str, node: ast.ClassDef
+    ) -> List[Finding]:
+        if not _creates_segments(node):
+            return []
+        findings: List[Finding] = []
+        close = next(
+            (
+                child
+                for child in node.body
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child.name == "close"
+            ),
+            None,
+        )
+        if close is None:
+            findings.append(
+                Finding(
+                    self.id, path, node.lineno,
+                    f"{node.name} creates shm segments but defines no "
+                    f"close() — every attached process must be able to "
+                    f"drop its mapping",
+                )
+            )
+        elif not any(
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == "close"
+            for child in ast.walk(close)
+        ):
+            findings.append(
+                Finding(
+                    self.id, path, close.lineno,
+                    f"{node.name}.close never calls .close() on the "
+                    f"segment — the mapping outlives the vector and leaks "
+                    f"until process exit",
+                )
+            )
+        unlinks = _unlink_sites(node)
+        if len(unlinks) != 1:
+            line = unlinks[1][0] if len(unlinks) > 1 else node.lineno
+            findings.append(
+                Finding(
+                    self.id, path, line,
+                    f"{node.name} unlinks its segment {len(unlinks)} times "
+                    f"— the name must be destroyed exactly once, by the "
+                    f"owner's close()",
+                )
+            )
+        elif not unlinks[0][1]:
+            findings.append(
+                Finding(
+                    self.id, path, unlinks[0][0],
+                    f"{node.name} unlinks unconditionally — without an "
+                    f"owner guard (if self._owner: ...) an attached "
+                    f"process destroys the segment under the owner and "
+                    f"every sibling worker",
+                )
+            )
+        return findings

@@ -388,6 +388,7 @@ class ROAD(QueryExecutor):
         directories: Optional[Iterable[str]] = None,
         default: Optional[str] = None,
         backend=None,
+        mask_budget: Optional[int] = None,
     ) -> FrozenRoad:
         """Compile the index + directories into one :class:`FrozenRoad`.
 
@@ -409,9 +410,12 @@ class ROAD(QueryExecutor):
 
         ``backend`` selects the compiled array representation —
         ``"list"`` (pre-boxed, fastest), ``"compact"`` (stdlib typed
-        buffers, ~4x less memory) or ``"numpy"`` (compact layout +
-        vectorised relaxation; optional dependency); None defers to
-        ``REPRO_BACKEND``/the default.
+        buffers, ~4x less memory), ``"numpy"`` (compact layout +
+        vectorised relaxation; optional dependency) or ``"shm"`` (compact
+        layout in shared-memory segments for process-shard serving); None
+        defers to ``REPRO_BACKEND``/the default.  ``mask_budget`` caps
+        the cached predicate masks per compiled directory (default
+        ``frozen.MAX_CACHED_PREDICATES``).
         """
         return FrozenRoad.from_road(
             self,
@@ -419,6 +423,7 @@ class ROAD(QueryExecutor):
             directories=directories,
             default=default,
             backend=backend,
+            mask_budget=mask_budget,
         )
 
     # ------------------------------------------------------------------

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import copy
 import heapq
+import os
 import sys
 import warnings
 import weakref
@@ -86,6 +87,7 @@ from repro.core.frozen_backends import (
     ListBackend,
     resolve_backend,
 )
+from repro.core.shm_arrays import ShmVector
 from repro.core.search import SearchStats
 from repro.core.shortcut_tree import ShortcutTree, ShortcutTreeEntry
 from repro.objects.model import SpatialObject
@@ -129,10 +131,14 @@ _TreePatch = Tuple[
 #: unique, so the code is never compared.
 _INF = float("inf")
 
-#: Distinct predicates whose compiled masks are retained per snapshot.  A
-#: long-lived server seeing high-cardinality predicates (per-user filters)
-#: would otherwise grow the mask caches without bound; eviction is FIFO —
-#: a re-seen predicate just recompiles in O(rnets + objects).
+#: Distinct predicates whose compiled masks are retained per (directory,
+#: mask-kind) cache.  A long-lived server seeing high-cardinality
+#: predicates (per-user filters) would otherwise grow the mask caches
+#: without bound; eviction is LRU (hits re-insert the key, so the oldest
+#: dict entry is always the coldest) — an evicted predicate recompiles in
+#: O(rnets + objects) on its next use, and each eviction counts into the
+#: per-directory ``mask_evictions`` surfaced by ``memory_stats()``.
+#: Override per snapshot via ``freeze(mask_budget=...)``.
 MAX_CACHED_PREDICATES = 128
 
 #: Smallest span the numpy backend relaxes through vectorised slice
@@ -193,6 +199,7 @@ class _DirectoryState:
         "abstracts",
         "rnet_masks",
         "obj_masks",
+        "mask_evictions",
         "views",
         "np_views",
     )
@@ -207,6 +214,8 @@ class _DirectoryState:
         self.abstracts: List[Optional["ObjectAbstract"]] = []
         self.rnet_masks: Dict[Predicate, BoolMask] = {}
         self.obj_masks: Dict[Predicate, bytearray] = {}
+        #: Masks dropped by the per-directory LRU budget since compile.
+        self.mask_evictions = 0
         #: Cached (obj_start, obj_id, obj_delta) query views; dropped with
         #: the snapshot's shared views before any patch.
         self.views: Optional[Tuple[Any, Any, Any]] = None
@@ -239,6 +248,7 @@ class FrozenRoad(QueryExecutor):
         directories: Optional[Dict[str, _DirectoryExport]] = None,
         default_directory: Optional[str] = None,
         backend: Optional[Union[str, ListBackend]] = None,
+        mask_budget: Optional[int] = None,
     ) -> None:
         """Compile ``trees`` plus one or more exported directories.
 
@@ -273,6 +283,19 @@ class FrozenRoad(QueryExecutor):
         #: None for the REPRO_BACKEND/default selection.  Recompiles keep
         #: the same backend for the snapshot's whole lifetime.
         self._backend = resolve_backend(backend)
+        #: Cached-predicate budget per (directory, mask-kind) cache; the
+        #: LRU eviction counter lives on each directory state.
+        self._mask_budget = (
+            MAX_CACHED_PREDICATES if mask_budget is None else mask_budget
+        )
+        if self._mask_budget < 1:
+            raise ValueError(
+                f"mask_budget must be >= 1, got {self._mask_budget}"
+            )
+        #: Path of the snapshot file this instance was loaded from (set by
+        #: :func:`repro.core.serialize.load_snapshot`); surfaced by
+        #: :meth:`memory_stats`.
+        self._snapshot_path: Optional[str] = None
         #: Weak reference to the live ROAD this snapshot was compiled from
         #: (set by :meth:`from_road`); :meth:`apply` patches against it.
         #: Weak so a snapshot never pins the O(network) charged structures
@@ -422,6 +445,7 @@ class FrozenRoad(QueryExecutor):
         directories: Optional[Sequence[str]] = None,
         default: Optional[str] = None,
         backend: Optional[Union[str, ListBackend]] = None,
+        mask_budget: Optional[int] = None,
     ) -> "FrozenRoad":
         """Compile a built :class:`~repro.core.framework.ROAD`.
 
@@ -462,9 +486,227 @@ class FrozenRoad(QueryExecutor):
             directories=exports,
             default_directory=default,
             backend=backend,
+            mask_budget=mask_budget,
         )
         frozen._source = weakref.ref(road)
         return frozen
+
+    @classmethod
+    def from_parts(
+        cls,
+        *,
+        backend: Union[str, ListBackend],
+        arrays: Dict[str, Any],
+        node_ids: Sequence[int],
+        rnet_slots: Sequence[int],
+        directories: Dict[
+            str, Tuple[List[SpatialObject], List[Optional["ObjectAbstract"]]]
+        ],
+        default_directory: str,
+        mask_budget: Optional[int] = None,
+        snapshot_path: Optional[str] = None,
+    ) -> "FrozenRoad":
+        """Assemble a snapshot from already-materialised arrays — no compile.
+
+        The constructor behind both cold-start paths: a snapshot file
+        loaded by :func:`repro.core.serialize.load_snapshot` and a worker
+        process attaching a primary's shared-memory segments
+        (:meth:`from_manifest`).  ``arrays`` is keyed exactly like
+        :meth:`_arrays` (directory-prefixed object arrays); ``rnet_slots``
+        lists Rnet ids in compiled slot order; each directory contributes
+        its ``(obj_ref, abstracts-in-slot-order)`` pair.  The instance has
+        no source ROAD — :meth:`apply` needs one passed explicitly — and
+        empty mask caches (predicates recompile lazily, as after a fresh
+        freeze).
+        """
+        frozen = cls.__new__(cls)
+        frozen._backend = resolve_backend(backend)
+        frozen._mask_budget = (
+            MAX_CACHED_PREDICATES if mask_budget is None else mask_budget
+        )
+        frozen._snapshot_path = snapshot_path
+        frozen._source = None
+        frozen.node_ids = list(node_ids)
+        frozen._index = {node: i for i, node in enumerate(frozen.node_ids)}
+        frozen._rnet_index = {
+            rnet_id: slot for slot, rnet_id in enumerate(rnet_slots)
+        }
+        frozen._entry_start = arrays["entry_start"]
+        frozen._entry_rnet = arrays["entry_rnet"]
+        frozen._entry_next = arrays["entry_next"]
+        frozen._sc_start = arrays["sc_start"]
+        frozen._sc_target = arrays["sc_target"]
+        frozen._sc_weight = arrays["sc_weight"]
+        frozen._ed_start = arrays["ed_start"]
+        frozen._ed_target = arrays["ed_target"]
+        frozen._ed_weight = arrays["ed_weight"]
+        frozen._local_start = arrays["local_start"]
+        frozen._local_target = arrays["local_target"]
+        frozen._local_weight = arrays["local_weight"]
+        if not directories:
+            raise ValueError("directories must compile at least one directory")
+        frozen._dirs = {}
+        prefixed = len(directories) > 1
+        for name, (obj_ref, abstracts) in directories.items():
+            prefix = f"{name}:" if prefixed else ""
+            state = _DirectoryState(name)
+            state.obj_start = arrays[f"{prefix}obj_start"]
+            state.obj_id = arrays[f"{prefix}obj_id"]
+            state.obj_delta = arrays[f"{prefix}obj_delta"]
+            state.obj_ref = list(obj_ref)
+            state.abstracts = list(abstracts)
+            frozen._dirs[name] = state
+        if default_directory not in frozen._dirs:
+            raise UnknownDirectoryError(
+                frozen, default_directory, frozen._dirs
+            )
+        frozen._default_directory = default_directory
+        frozen._views = None
+        frozen._np_views = None
+        return frozen
+
+    def export_parts(self) -> Dict[str, Any]:
+        """The snapshot's assembly state, keyed like :meth:`from_parts`.
+
+        Everything a cold process needs to reconstruct this snapshot
+        without recompiling: the compiled arrays (by their
+        directory-prefixed names), node/Rnet id spaces in slot order, the
+        default directory, the mask-cache budget, and each directory's
+        ``(obj_ref, abstracts)`` pair.  The arrays are the live backend
+        objects, not copies — consumers serialise or re-home them
+        (:func:`repro.core.serialize.save_snapshot`, :meth:`shm_manifest`)
+        rather than mutate.
+        """
+        slot_order = sorted(
+            self._rnet_index, key=lambda rnet: self._rnet_index[rnet]
+        )
+        return {
+            "arrays": self._arrays(),
+            "node_ids": list(self.node_ids),
+            "rnet_slots": slot_order,
+            "default_directory": self._default_directory,
+            "mask_budget": self._mask_budget,
+            "directories": {
+                name: (list(state.obj_ref), list(state.abstracts))
+                for name, state in self._dirs.items()
+            },
+        }
+
+    def shm_manifest(self) -> Dict[str, Any]:
+        """A picklable handle another process turns into this snapshot.
+
+        Only meaningful for ``backend="shm"`` snapshots: the manifest
+        carries each compiled array's segment name + typecode (attached
+        zero-copy on the other side) plus the Python-side state the
+        segments cannot carry — node/Rnet id spaces, object references
+        and abstract snapshots per directory.  Feed to
+        :meth:`from_manifest` in the worker.
+        """
+        parts = self.export_parts()
+        segments: Dict[str, Tuple[str, str]] = {}
+        for key, arr in parts.pop("arrays").items():
+            if not isinstance(arr, ShmVector):
+                raise FrozenRoadError(
+                    "shm_manifest() needs a backend='shm' snapshot; "
+                    f"array {key!r} of this {self.backend!r} snapshot is "
+                    "not shared"
+                )
+            segments[key] = (arr.segment_name, arr.typecode)
+        parts["segments"] = segments
+        return parts
+
+    @classmethod
+    def from_manifest(cls, manifest: Dict[str, Any]) -> "FrozenRoad":
+        """Attach a primary's shared snapshot in this process (zero-copy).
+
+        The inverse of :meth:`shm_manifest`: every compiled array is an
+        attach to the primary's named segment — the primary's patch
+        writes are visible here immediately — while object references and
+        abstracts are this process's own copies (the process pool's sync
+        protocol refreshes them on object churn).  The attachment is
+        read-only in practice: resizing splices are refused off-owner,
+        and the pool never routes ``apply`` to workers.  Call
+        :meth:`close` to drop the attachments; the primary alone unlinks.
+        """
+        arrays: Dict[str, Any] = {
+            key: ShmVector.attach(segment, typecode)
+            for key, (segment, typecode) in manifest["segments"].items()
+        }
+        return cls.from_parts(
+            backend="shm",
+            arrays=arrays,
+            node_ids=manifest["node_ids"],
+            rnet_slots=manifest["rnet_slots"],
+            directories=manifest["directories"],
+            default_directory=manifest["default_directory"],
+            mask_budget=manifest["mask_budget"],
+        )
+
+    def close(self) -> None:
+        """Release backend resources this snapshot holds; idempotent.
+
+        Shared-memory snapshots drop their segment mappings (the owning
+        primary also unlinks them — workers merely detach); mmap-loaded
+        snapshots close the mapped file.  Heap backends have nothing to
+        release.  The snapshot must not serve queries afterwards.
+        """
+        self._drop_views()
+        for state in self._dirs.values():
+            for mask in state.rnet_masks.values():
+                release_mask = getattr(mask, "close", None)
+                if release_mask is not None:
+                    release_mask()
+            state.rnet_masks.clear()
+            state.obj_masks.clear()
+        for arr in self._arrays().values():
+            release = getattr(arr, "close", None)
+            if release is not None:
+                release()
+        backend_close = getattr(self._backend, "close", None)
+        if backend_close is not None:
+            backend_close()
+
+    def refresh_views(self) -> None:
+        """Drop cached array views; the next query rebuilds them fresh.
+
+        The process-pool sync hook for workers attached to a primary's
+        shared segments: after the primary patches (and possibly
+        resizes) the shared arrays, cached memoryviews can be stale —
+        the shm vectors re-derive their payload views lazily once the
+        stale caches are gone.
+        """
+        self._drop_views()
+
+    def sync_directories(
+        self,
+        directories: Dict[
+            str, Tuple[List[SpatialObject], List[Optional["ObjectAbstract"]]]
+        ],
+    ) -> None:
+        """Adopt a primary's post-churn directory state (pool sync).
+
+        The shared segments already carry the primary's patched object
+        spans; what they cannot carry is the Python-side state — the
+        object references queries return and the abstract snapshots that
+        drive Rnet pruning.  Replaces both per directory, invalidates
+        the compiled predicate masks (they summarise the old abstracts),
+        and drops cached array views so the next query re-reads the
+        (possibly resized) shared arrays.  Directories this snapshot
+        never compiled are ignored, mirroring :meth:`apply_object_delta`.
+        """
+        for name, (obj_ref, abstracts) in directories.items():
+            state = self._dirs.get(name)
+            if state is None:
+                continue
+            state.obj_ref = list(obj_ref)
+            state.abstracts = list(abstracts)
+            for mask in state.rnet_masks.values():
+                release_mask = getattr(mask, "close", None)
+                if release_mask is not None:
+                    release_mask()
+            state.rnet_masks.clear()
+            state.obj_masks.clear()
+        self._drop_views()
 
     @property
     def backend(self) -> str:
@@ -501,6 +743,7 @@ class FrozenRoad(QueryExecutor):
         post-update state or raise.  Completed queries and future queries
         are unaffected; a serving loop applies updates between batches.
         """
+        self._require_patchable()
         if report.kind in ("insert_object", "delete_object", "update_object"):
             # Object deltas manage the source requirement and view caches
             # themselves: churn in a directory this snapshot never
@@ -558,6 +801,7 @@ class FrozenRoad(QueryExecutor):
         snapshot never compiled is a no-op.  A legacy report without a
         directory refreshes every compiled directory from live state.
         """
+        self._require_patchable()
         obj = report.obj
         if obj is None:
             raise FrozenRoadError(
@@ -592,6 +836,16 @@ class FrozenRoad(QueryExecutor):
             self._rebuild_node_objects(road, list(obj.edge), state)
             self._refresh_abstracts(road, report.dirty_rnets, state)
         return "patched"
+
+    def _require_patchable(self) -> None:
+        """Reject maintenance on read-only (mmap snapshot view) backends."""
+        if not self._backend.patchable:
+            raise FrozenRoadError(
+                "this snapshot is a read-only view of "
+                f"{self._snapshot_path or 'a snapshot file'}; "
+                "load_snapshot(path, backend='compact') (or any live "
+                "backend) materialises a patchable copy"
+            )
 
     def _require_source(self, road: Optional["ROAD"]) -> "ROAD":
         if road is None:
@@ -905,11 +1159,14 @@ class FrozenRoad(QueryExecutor):
     ) -> Sequence[bool]:
         """Per-Rnet "may contain an object of interest" bitmask.
 
-        List backend: a list of bools; compact/numpy: a bytearray — the
-        query loop only needs truthy indexing, and the patch paths only
-        need item assignment, which both honour.  Cached per (directory,
-        predicate): two directories never share a mask, however equal
-        their predicates.
+        List backend: a list of bools; compact/numpy: a bytearray; shm: a
+        shared-memory byte vector — the query loop only needs truthy
+        indexing, and the patch paths only need item assignment, which
+        all of them honour.  Cached per (directory, predicate): two
+        directories never share a mask, however equal their predicates.
+        The *cached* object is the backend's mask (so patch writes
+        persist); the hot loop indexes ``mask_view`` of it (identity
+        everywhere but shm, where it is the payload memoryview).
         """
         mask = state.rnet_masks.get(predicate)
         if mask is None:
@@ -917,8 +1174,11 @@ class FrozenRoad(QueryExecutor):
                 abstract is not None and abstract.may_contain(predicate)
                 for abstract in state.abstracts
             )
-            _cache_put(state.rnet_masks, predicate, mask)
-        return mask
+            self._cache_put(state, state.rnet_masks, predicate, mask)
+        else:
+            # LRU refresh: a re-seen predicate moves to the young end.
+            state.rnet_masks[predicate] = state.rnet_masks.pop(predicate)
+        return self._backend.mask_view(mask)
 
     def _object_mask(
         self, state: _DirectoryState, predicate: Predicate
@@ -931,8 +1191,32 @@ class FrozenRoad(QueryExecutor):
             mask = bytearray(len(state.obj_ref))
             for j, obj in enumerate(state.obj_ref):
                 mask[j] = predicate.matches(obj)
-            _cache_put(state.obj_masks, predicate, mask)
+            self._cache_put(state, state.obj_masks, predicate, mask)
+        else:
+            state.obj_masks[predicate] = state.obj_masks.pop(predicate)
         return mask
+
+    def _cache_put(
+        self,
+        state: _DirectoryState,
+        cache: Dict[Predicate, Any],
+        key: Predicate,
+        value: Any,
+    ) -> None:
+        """Insert into one directory's bounded mask cache, LRU-evicting.
+
+        Both mask caches (per-Rnet and per-object-slot) are insertion-
+        ordered dicts whose hit paths re-insert the key, so the first
+        entry is always the least recently used.  Evictions count into
+        ``state.mask_evictions`` (surfaced by :meth:`memory_stats` /
+        ``RoadService.stats()``); an evicted shared-memory mask releases
+        its segment when the last in-flight reader drops its view (the
+        GC finalizer in :mod:`repro.core.shm_arrays`).
+        """
+        while len(cache) >= self._mask_budget:
+            cache.pop(next(iter(cache)))
+            state.mask_evictions += 1
+        cache[key] = value
 
     # ------------------------------------------------------------------
     # Queries
@@ -1156,6 +1440,7 @@ class FrozenRoad(QueryExecutor):
         }
         mask_bytes = 0
         mask_entries = 0
+        mask_evictions = 0
         per_directory: Dict[str, Dict[str, int]] = {}
         for name, state in self._dirs.items():
             prefix = self._dir_prefix(name)
@@ -1165,6 +1450,7 @@ class FrozenRoad(QueryExecutor):
             ) + sum(sys.getsizeof(mask) for mask in state.obj_masks.values())
             mask_bytes += dir_mask_bytes
             mask_entries += len(state.rnet_masks) + len(state.obj_masks)
+            mask_evictions += state.mask_evictions
             per_directory[name] = {
                 "object_array_bytes": sum(
                     per_array[f"{prefix}{key}"]
@@ -1176,8 +1462,9 @@ class FrozenRoad(QueryExecutor):
                 "mask_cache_entries": (
                     len(state.rnet_masks) + len(state.obj_masks)
                 ),
+                "mask_evictions": state.mask_evictions,
             }
-        return {
+        stats: Dict[str, object] = {
             "backend": self.backend,
             "arrays": per_array,
             "total_bytes": sum(per_array.values()),
@@ -1189,8 +1476,42 @@ class FrozenRoad(QueryExecutor):
             ),
             "mask_cache_bytes": mask_bytes,
             "mask_cache_entries": mask_entries,
+            "mask_budget": self._mask_budget,
+            "mask_evictions": mask_evictions,
             "directories": per_directory,
         }
+        shm_segments: Dict[str, Dict[str, object]] = {}
+        shm_bytes = 0
+        shared: List[Tuple[str, Any]] = [
+            (name, arr)
+            for name, arr in self._arrays().items()
+            if isinstance(arr, ShmVector)
+        ]
+        for name, state in self._dirs.items():
+            prefix = self._dir_prefix(name)
+            shared.extend(
+                (f"{prefix}rnet_mask[{i}]", mask)
+                for i, mask in enumerate(state.rnet_masks.values())
+                if isinstance(mask, ShmVector)
+            )
+        for name, vector in shared:
+            shm_segments[name] = {
+                "segment": vector.segment_name,
+                "bytes": vector.segment_bytes,
+            }
+            shm_bytes += vector.segment_bytes
+        if shm_segments:
+            stats["shm_segments"] = shm_segments
+            stats["shm_bytes"] = shm_bytes
+        if self._snapshot_path is not None:
+            stats["snapshot_path"] = self._snapshot_path
+            try:
+                stats["snapshot_file_bytes"] = os.path.getsize(
+                    self._snapshot_path
+                )
+            except OSError:
+                stats["snapshot_file_bytes"] = 0
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -1555,13 +1876,6 @@ class FrozenRoad(QueryExecutor):
         stats.shortcuts_taken += counters[3]
         stats.rnets_bypassed += counters[4]
         stats.rnets_descended += counters[5]
-
-
-def _cache_put(cache: Dict[Any, Any], key: Any, value: Any) -> None:
-    """Insert into a bounded mask cache, evicting oldest entries (FIFO)."""
-    while len(cache) >= MAX_CACHED_PREDICATES:
-        del cache[next(iter(cache))]
-    cache[key] = value
 
 
 def freeze_road(

@@ -16,12 +16,18 @@ representations, selected per snapshot:
   source of truth for in-place span patching) with zero-copy
   ``np.frombuffer`` views that vectorise the span-relaxation inner loop.
   Optional: requires the ``numpy`` extra.
+* ``"shm"`` — the ``compact`` layout stored in named
+  ``multiprocessing.shared_memory`` segments
+  (:class:`repro.core.shm_arrays.ShmVector`), so worker *processes*
+  attach the same snapshot zero-copy and the primary's ``apply()`` patch
+  writes land in every attached process at once.  Requires a host with
+  POSIX shared memory (``/dev/shm``); see ``installed_backends``.
 
 Every backend serves byte-identical answers — the equivalence probes
-(:func:`repro.eval.metrics.snapshot_divergences`) hold across all three —
-and supports the incremental-freeze patch lifecycle: span rewrites are
-slice assignments (``arr[a:b] = values``), which lists, stdlib arrays and
-the numpy-over-stdlib layout all honour.
+(:func:`repro.eval.metrics.snapshot_divergences`) hold across all of them
+— and supports the incremental-freeze patch lifecycle: span rewrites are
+slice assignments (``arr[a:b] = values``), which lists, stdlib arrays,
+the numpy-over-stdlib layout and the shared-memory vectors all honour.
 
 Select a backend per call (``road.freeze(backend="compact")``), per engine
 (``ROADEngine(..., backend=...)``), or globally via ``REPRO_BACKEND`` /
@@ -35,15 +41,17 @@ import sys
 from array import array
 from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.shm_arrays import ShmVector, shared_memory_available
+
 #: One compiled integer CSR array, whichever backend materialised it.
-IntVector = Union[List[int], "array[int]"]
+IntVector = Union[List[int], "array[int]", ShmVector]
 #: One compiled float CSR array.
-FloatVector = Union[List[float], "array[float]"]
+FloatVector = Union[List[float], "array[float]", ShmVector]
 #: One per-slot predicate mask.
-BoolMask = Union[List[bool], bytearray]
+BoolMask = Union[List[bool], bytearray, ShmVector]
 
 #: Valid FrozenRoad array backends, in documentation order.
-BACKENDS = ("list", "compact", "numpy")
+BACKENDS = ("list", "compact", "numpy", "shm")
 
 #: Environment variable overriding the default backend.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -55,6 +63,11 @@ class ListBackend:
     name = "list"
     #: Whether :meth:`FrozenRoad._search` should take the vectorised path.
     vectorised = False
+    #: Whether ``FrozenRoad.apply`` may mutate arrays this backend built.
+    #: Every live backend is patchable; the read-only mmap layout a
+    #: snapshot file loads into (:func:`repro.core.serialize.load_snapshot`)
+    #: is the one exception.
+    patchable = True
 
     def int_array(self, values: Iterable[int]) -> IntVector:
         """Materialise an integer CSR array from staged values."""
@@ -79,6 +92,15 @@ class ListBackend:
     def view(self, arr: Any) -> Any:
         """The object query loops should index (identity for lists)."""
         return arr
+
+    def mask_view(self, mask: Any) -> Any:
+        """The object the hot loop indexes for one predicate mask.
+
+        Lists and bytearrays index fast as-is; the shm backend swaps in
+        the mask vector's payload memoryview so per-entry mask tests stay
+        one C-level index instead of a Python-level ``__getitem__``.
+        """
+        return mask
 
     def resident_bytes(self, arr: Sequence[object]) -> int:
         """Resident heap bytes of one array, boxes included.
@@ -160,6 +182,54 @@ class NumpyBackend(CompactBackend):
         return self.np.frombuffer(arr, dtype=dtype)
 
 
+class ShmBackend(CompactBackend):
+    """The compact layout in named shared-memory segments.
+
+    Same 8 B/slot CSR arrays and bytes-per-slot masks as ``compact``, but
+    each array is a :class:`~repro.core.shm_arrays.ShmVector` whose bytes
+    live in a ``multiprocessing.shared_memory`` segment.  One process —
+    the primary — owns the segments and applies patches; any number of
+    worker processes attach the same segments by name
+    (:meth:`repro.core.frozen.FrozenRoad.shm_manifest` +
+    :meth:`~repro.core.frozen.FrozenRoad.from_parts`) and serve queries
+    zero-copy while the primary's slice writes land in place.
+
+    Query loops read through the vectors' cached payload memoryviews, so
+    the scalar hot path costs the same as ``compact``.  Snapshots built
+    on this backend should be released deterministically
+    (``FrozenRoad.close()``); a GC finalizer backstop covers the rest.
+    """
+
+    name = "shm"
+    vectorised = False
+
+    def int_array(self, values: Iterable[int]) -> IntVector:
+        return ShmVector("q", values)
+
+    def float_array(self, values: Iterable[float]) -> FloatVector:
+        return ShmVector("d", values)
+
+    def bool_mask(self, flags: Iterable[bool]) -> BoolMask:
+        return ShmVector("b", (1 if flag else 0 for flag in flags))
+
+    def view(self, arr: Any) -> Any:
+        """The vector's cached payload memoryview (see CompactBackend)."""
+        if isinstance(arr, ShmVector):
+            return arr.view()
+        return memoryview(arr)
+
+    def mask_view(self, mask: Any) -> Any:
+        if isinstance(mask, ShmVector):
+            return mask.view()
+        return mask
+
+    def resident_bytes(self, arr: Sequence[object]) -> int:
+        """Mapped segment size (header + capacity slack) for shm vectors."""
+        if isinstance(arr, ShmVector):
+            return arr.segment_bytes
+        return sys.getsizeof(arr)
+
+
 def get_backend(name: str) -> ListBackend:
     """Resolve a backend name to a backend instance.
 
@@ -182,6 +252,15 @@ def get_backend(name: str) -> ListBackend:
                 "(or pip install numpy), or use backend='compact' for the "
                 "stdlib-only typed-array layout"
             ) from exc
+    if name == "shm":
+        if not shared_memory_available():
+            raise OSError(
+                "FrozenRoad backend 'shm' requires POSIX shared memory "
+                "(/dev/shm), which this host does not provide; use "
+                "backend='compact' for the same layout in process-private "
+                "buffers"
+            )
+        return ShmBackend()
     raise AssertionError(f"unhandled validated backend {name!r}")
 
 
@@ -227,7 +306,8 @@ def installed_backends() -> Tuple[str, ...]:
     """The backends constructible in this environment, in BACKENDS order.
 
     ``"list"`` and ``"compact"`` are stdlib-only and always present;
-    ``"numpy"`` appears when the optional dependency imports.
+    ``"numpy"`` appears when the optional dependency imports, ``"shm"``
+    when the host provides POSIX shared memory (``/dev/shm``).
     """
     available = ["list", "compact"]
     try:
@@ -236,4 +316,6 @@ def installed_backends() -> Tuple[str, ...]:
         pass
     else:
         available.append("numpy")
+    if shared_memory_available():
+        available.append("shm")
     return tuple(available)

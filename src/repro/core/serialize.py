@@ -17,15 +17,42 @@ Format (little-endian, section order fixed)::
 
 Attached directories are saved with their objects; abstracts are rebuilt on
 load (they are derived data), using the factory given to :func:`load_road`.
+
+A second, independent format persists **compiled frozen snapshots**
+(:func:`save_snapshot` / :func:`load_snapshot`): the CSR array buffers of a
+:class:`~repro.core.frozen.FrozenRoad` written sectioned and checksummed,
+so a cold serving worker can ``mmap`` the file and answer queries with
+**zero recompilation** — no ROAD rebuild, no charged directory export, no
+pager traffic.  Layout (little-endian)::
+
+    magic "ROADSNP1" | u64 payload-length | sha256(payload)
+    payload:  u64 meta-length | pickled meta | pad to 8 | array blob
+
+where meta carries the id spaces, per-directory object references and
+abstract snapshots, and an array table ``(key, typecode, length, offset,
+nbytes)`` with 8-aligned blob offsets — every array is directly castable
+in place.  The sha256 is verified before the meta pickle is touched.
 """
 
 from __future__ import annotations
 
+import hashlib
+import mmap
+import pickle
 import struct
+import sys
+from array import array
 from pathlib import Path
-from typing import BinaryIO, Dict, List, Union
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple, Union
 
 from repro.core.framework import ROAD, BuildReport
+from repro.core.frozen import FrozenRoad
+from repro.core.frozen_backends import (
+    CompactBackend,
+    ListBackend,
+    resolve_backend,
+)
+from repro.core.shm_arrays import ShmVector
 from repro.core.object_abstract import AbstractFactory, exact_abstract
 from repro.core.rnet import RnetHierarchy
 from repro.core.route_overlay import RouteOverlay
@@ -233,3 +260,283 @@ def _rebuild_tree(records) -> PartitionNode:
 
     attach(roots[0])
     return by_id[roots[0]]
+
+
+# ---------------------------------------------------------------------------
+# Frozen snapshots: sectioned + checksummed compiled-array files
+# ---------------------------------------------------------------------------
+
+SNAPSHOT_MAGIC = b"ROADSNP1"
+SNAPSHOT_VERSION = 1
+_U64 = struct.Struct("<Q")
+#: magic | u64 payload-length | sha256 digest — everything before payload.
+_SNAPSHOT_HEADER_BYTES = len(SNAPSHOT_MAGIC) + _U64.size + 32
+
+#: Compiled arrays stored as float64; every other array is int64.
+_SNAPSHOT_FLOAT_KEYS = frozenset(
+    {"sc_weight", "ed_weight", "local_weight", "obj_delta"}
+)
+
+
+def _snapshot_typecode(key: str) -> str:
+    """Array typecode for one :meth:`FrozenRoad._arrays` key.
+
+    Directory-prefixed object arrays (``"poi:obj_delta"``) carry the
+    same base layout as their flat single-directory forms.
+    """
+    base = key.rsplit(":", 1)[-1]
+    return "d" if base in _SNAPSHOT_FLOAT_KEYS else "q"
+
+
+def _array_payload(arr: Any, typecode: str) -> bytes:
+    """One compiled array's raw little-endian payload bytes."""
+    if isinstance(arr, ShmVector):
+        return arr.tobytes()
+    if isinstance(arr, array) and arr.typecode == typecode:
+        return arr.tobytes()
+    if isinstance(arr, memoryview):
+        return bytes(arr)
+    # list backend (or any other sequence): stage through a typed array.
+    return array(typecode, arr).tobytes()
+
+
+def save_snapshot(frozen: FrozenRoad, path: PathLike) -> int:
+    """Write one compiled snapshot to ``path``; returns bytes written.
+
+    Works for every backend — the buffers are serialised in the canonical
+    typed-array layout, so a snapshot saved from a ``"list"`` compile and
+    one saved from ``"shm"`` are byte-identical.  Predicate masks are
+    derived data and are not persisted (they recompile lazily on load).
+    """
+    parts = frozen.export_parts()
+    table: List[Tuple[str, str, int, int, int]] = []
+    chunks: List[bytes] = []
+    blob_len = 0
+    for key, arr in parts["arrays"].items():
+        typecode = _snapshot_typecode(key)
+        payload = _array_payload(arr, typecode)
+        pad = (-blob_len) % 8
+        if pad:
+            chunks.append(b"\0" * pad)
+            blob_len += pad
+        table.append((key, typecode, len(arr), blob_len, len(payload)))
+        chunks.append(payload)
+        blob_len += len(payload)
+    # NOTE: deliberately backend-free — a snapshot is the canonical array
+    # bytes, so saves from any backend are byte-identical and the loader
+    # picks its own representation.
+    meta = {
+        "version": SNAPSHOT_VERSION,
+        "node_ids": parts["node_ids"],
+        "rnet_slots": parts["rnet_slots"],
+        "default_directory": parts["default_directory"],
+        "mask_budget": parts["mask_budget"],
+        "arrays": table,
+        "directories": parts["directories"],
+    }
+    meta_blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    head = _U64.pack(len(meta_blob)) + meta_blob
+    head += b"\0" * ((-len(head)) % 8)
+    payload_bytes = head + b"".join(chunks)
+    digest = hashlib.sha256(payload_bytes).digest()
+    with open(path, "wb") as out:
+        written = out.write(SNAPSHOT_MAGIC)
+        written += out.write(_U64.pack(len(payload_bytes)))
+        written += out.write(digest)
+        written += out.write(payload_bytes)
+    return written
+
+
+class _SnapshotFile:
+    """Owns one mapped snapshot file and every buffer exported from it.
+
+    The mmap cannot close while any exported memoryview is alive, so the
+    mapping and all views derived from it (the payload/blob slices and
+    the per-array casts) release together, views first.
+    """
+
+    def __init__(self, handle: BinaryIO, mapping: mmap.mmap) -> None:
+        self._handle = handle
+        self._mmap = mapping
+        self._views: List[memoryview] = []
+        self._closed = False
+
+    def track(self, *views: memoryview) -> None:
+        self._views.extend(views)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        while self._views:
+            self._views.pop().release()
+        self._mmap.close()
+        self._handle.close()
+
+
+class _SnapshotViewBackend(CompactBackend):
+    """Read-only serving over an mmapped snapshot file.
+
+    The compiled arrays ARE the file's pages — int64/float64 memoryview
+    casts straight into the mapping, so cold start costs one sha256 pass
+    (page-cache warm-up) and zero array copies.  Patching is refused
+    (``patchable = False``): the file is shared, immutable truth; a
+    deployment that needs live maintenance loads the snapshot into a
+    patchable backend instead (``load_snapshot(path, backend=...)``).
+    """
+
+    name = "mmap"
+    vectorised = False
+    patchable = False
+
+    def __init__(self, source: _SnapshotFile) -> None:
+        self._source = source
+
+    def view(self, arr: Any) -> Any:
+        """Identity: the stored arrays are already memoryview casts."""
+        return arr
+
+    def resident_bytes(self, arr: Any) -> int:
+        """File-backed bytes of one array (resident only when touched)."""
+        if isinstance(arr, memoryview):
+            return arr.nbytes
+        return sys.getsizeof(arr)
+
+    def close(self) -> None:
+        """Release every array view and unmap the file; idempotent."""
+        self._source.close()
+
+
+def _map_snapshot(path: PathLike) -> Tuple[BinaryIO, mmap.mmap, memoryview]:
+    """Map ``path`` read-only; the single place snapshot buffers export.
+
+    Every downstream buffer (payload slice, blob slice, array casts) is
+    derived from the returned view and must be released — via
+    :class:`_SnapshotFile` — before the mapping can close.
+    """
+    handle = open(path, "rb")
+    try:
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (ValueError, OSError):
+        handle.close()
+        raise
+    return handle, mapping, memoryview(mapping)
+
+
+def _parse_snapshot(
+    path: PathLike, buf: memoryview
+) -> Tuple[Dict[str, Any], memoryview]:
+    """Verify ``buf`` and return ``(meta, blob-view)``.
+
+    The sha256 over the full payload is checked *before* the meta pickle
+    is deserialised — a corrupted or truncated file fails closed with
+    :class:`SerializeError`, never with a pickle error (or worse, a
+    silently wrong snapshot).
+    """
+    if len(buf) < _SNAPSHOT_HEADER_BYTES:
+        raise SerializeError(f"{path}: snapshot header truncated")
+    if bytes(buf[: len(SNAPSHOT_MAGIC)]) != SNAPSHOT_MAGIC:
+        raise SerializeError(f"{path}: not a ROAD snapshot file")
+    (payload_len,) = _U64.unpack_from(buf, len(SNAPSHOT_MAGIC))
+    digest = bytes(buf[len(SNAPSHOT_MAGIC) + _U64.size : _SNAPSHOT_HEADER_BYTES])
+    if _SNAPSHOT_HEADER_BYTES + payload_len != len(buf):
+        raise SerializeError(
+            f"{path}: snapshot payload length mismatch (header says "
+            f"{payload_len}, file carries "
+            f"{len(buf) - _SNAPSHOT_HEADER_BYTES})"
+        )
+    payload = buf[_SNAPSHOT_HEADER_BYTES:]
+    try:
+        if hashlib.sha256(payload).digest() != digest:
+            raise SerializeError(
+                f"{path}: snapshot checksum mismatch — file is corrupted"
+            )
+        (meta_len,) = _U64.unpack_from(payload, 0)
+        meta_end = _U64.size + meta_len
+        if meta_end > len(payload):
+            raise SerializeError(f"{path}: snapshot meta section truncated")
+        meta = pickle.loads(bytes(payload[_U64.size : meta_end]))
+    finally:
+        payload.release()
+    if not isinstance(meta, dict) or meta.get("version") != SNAPSHOT_VERSION:
+        raise SerializeError(
+            f"{path}: unsupported snapshot version "
+            f"{meta.get('version') if isinstance(meta, dict) else meta!r}"
+        )
+    blob_start = _SNAPSHOT_HEADER_BYTES + meta_end + ((-meta_end) % 8)
+    return meta, buf[blob_start:]
+
+
+def load_snapshot(
+    path: PathLike,
+    *,
+    backend: Optional[Union[str, ListBackend]] = None,
+    mask_budget: Optional[int] = None,
+) -> FrozenRoad:
+    """Reload a compiled snapshot saved by :func:`save_snapshot`.
+
+    With ``backend=None`` (the default cold-start path) the arrays are
+    memoryview casts straight into the mmapped file: queries serve with
+    no recompilation and no copies, and the snapshot is read-only —
+    ``apply`` raises, and ``close()`` unmaps the file.  Passing a backend
+    name (or instance) instead materialises the arrays into that backend
+    — e.g. ``backend="shm"`` to seed a process pool's shared segments
+    from a snapshot file.
+    """
+    handle, mapping, buf = _map_snapshot(path)
+    source = _SnapshotFile(handle, mapping)
+    source.track(buf)
+    keep_mapped = False
+    try:
+        meta, blob = _parse_snapshot(path, buf)
+        source.track(blob)
+        arrays: Dict[str, Any] = {}
+        if backend is None:
+            holder = _SnapshotViewBackend(source)
+            for key, typecode, length, offset, nbytes in meta["arrays"]:
+                view = blob[offset : offset + nbytes].cast(typecode)
+                if len(view) != length:
+                    raise SerializeError(
+                        f"{path}: array {key!r} length mismatch"
+                    )
+                source.track(view)
+                arrays[key] = view
+            frozen = FrozenRoad.from_parts(
+                backend=holder,
+                arrays=arrays,
+                node_ids=meta["node_ids"],
+                rnet_slots=meta["rnet_slots"],
+                directories=meta["directories"],
+                default_directory=meta["default_directory"],
+                mask_budget=(
+                    meta["mask_budget"] if mask_budget is None else mask_budget
+                ),
+                snapshot_path=str(path),
+            )
+            keep_mapped = True
+            return frozen
+        chosen = resolve_backend(backend)
+        for key, typecode, length, offset, nbytes in meta["arrays"]:
+            staged: "array[Any]" = array(typecode)
+            staged.frombytes(bytes(blob[offset : offset + nbytes]))
+            if len(staged) != length:
+                raise SerializeError(f"{path}: array {key!r} length mismatch")
+            if typecode == "d":
+                arrays[key] = chosen.float_array(staged)
+            else:
+                arrays[key] = chosen.int_array(staged)
+        return FrozenRoad.from_parts(
+            backend=chosen,
+            arrays=arrays,
+            node_ids=meta["node_ids"],
+            rnet_slots=meta["rnet_slots"],
+            directories=meta["directories"],
+            default_directory=meta["default_directory"],
+            mask_budget=(
+                meta["mask_budget"] if mask_budget is None else mask_budget
+            ),
+            snapshot_path=str(path),
+        )
+    finally:
+        if not keep_mapped:
+            source.close()

@@ -26,6 +26,7 @@ from repro.baselines import ROAD_MAINTENANCE_MODES, ROAD_MODES
 from repro.core.frozen_backends import BACKEND_ENV, BACKENDS
 from repro.eval import ablations, experiments
 from repro.eval.reporting import ExperimentResult
+from repro.serving.service import REPLICA_MODE_ENV, REPLICA_MODES
 
 #: Experiment name -> zero-argument callable producing an ExperimentResult.
 REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
@@ -99,6 +100,14 @@ def build_parser() -> argparse.ArgumentParser:
         "ServiceConfig.from_env override)",
     )
     parser.add_argument(
+        "--replica-mode",
+        choices=REPLICA_MODES,
+        help="replica sharding mode: interpreter threads over per-replica "
+        "snapshots or worker processes attached to one shared-memory "
+        "snapshot (sets REPRO_REPLICA_MODE, a ServiceConfig.from_env "
+        "override)",
+    )
+    parser.add_argument(
         "--directories",
         metavar="NAMES",
         help="comma-separated Association Directories frozen snapshots "
@@ -121,6 +130,8 @@ def main(argv=None) -> int:
         os.environ["REPRO_MAINTENANCE"] = args.maintenance
     if args.backend is not None:
         os.environ[BACKEND_ENV] = args.backend
+    if args.replica_mode is not None:
+        os.environ[REPLICA_MODE_ENV] = args.replica_mode
     if args.directories is not None:
         os.environ["REPRO_DIRECTORIES"] = args.directories
 

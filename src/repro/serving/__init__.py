@@ -12,7 +12,10 @@ Two layers:
   sync ``run``/``run_many``, an asyncio front-end (``await
   service.submit(query)``) with per-predicate admission batching, and
   sharded read-only :class:`~repro.core.frozen.FrozenRoad` replicas with
-  patch-broadcast reconciliation.
+  patch-broadcast reconciliation — as interpreter threads
+  (``replica_mode="thread"``) or as worker processes attached to one
+  shared-memory snapshot (``replica_mode="process"``, backed by
+  :class:`~repro.serving.process_pool.ProcessReplicaPool`).
 
 The service layer is imported lazily (PEP 562): the core engine modules
 import the dispatch protocol from here, while the service imports those
@@ -33,18 +36,22 @@ from repro.serving.dispatch import (
 __all__ = [
     "DEFAULT_DIRECTORY",
     "BatchContext",
+    "ProcessPoolError",
+    "ProcessReplicaPool",
     "QueryExecutor",
     "RoadService",
     "ServiceConfig",
     "ServiceError",
     "UnknownDirectoryError",
     "UnsupportedQueryError",
+    "WorkerError",
     "lookup_handler",
     "register_handler",
     "supported_queries",
 ]
 
 _SERVICE_EXPORTS = ("RoadService", "ServiceConfig", "ServiceError")
+_POOL_EXPORTS = ("ProcessPoolError", "ProcessReplicaPool", "WorkerError")
 
 
 def __getattr__(name: str):
@@ -52,6 +59,10 @@ def __getattr__(name: str):
         from repro.serving import service
 
         return getattr(service, name)
+    if name in _POOL_EXPORTS:
+        from repro.serving import process_pool
+
+        return getattr(process_pool, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -1,0 +1,521 @@
+"""Process-shard serving over one shared-memory snapshot.
+
+Thread replicas (:class:`~repro.serving.RoadService` with
+``replica_mode="thread"``) time-slice one interpreter: the query hot
+loop is pure Python, so N threads never buy N cores.  This module runs
+the shards as **worker processes** instead, without N copies of the
+compiled arrays: the primary freezes one ``backend="shm"`` snapshot
+(every CSR array a named ``multiprocessing.shared_memory`` segment),
+each worker attaches the same segments zero-copy
+(:meth:`~repro.core.frozen.FrozenRoad.from_manifest`) and serves query
+batches from its own interpreter — real CPU parallelism, one snapshot's
+worth of memory.
+
+Consistency is a seqlock over a tiny shared control vector
+``[generation, sync_seq]``:
+
+* The primary publishes every maintenance patch inside a generation
+  window — generation goes odd, the patch lands as in-place slice
+  writes on the shared arrays, a sync payload (what the segments cannot
+  carry: view invalidation, object references/abstracts, or a full
+  re-attach manifest when patching re-homed a segment) is enqueued to
+  every worker, ``sync_seq`` is bumped, generation goes even.
+* A worker serves a batch only on an even generation **after** applying
+  every published sync payload, and re-checks the generation afterwards
+  — a batch that overlapped a patch window is retried, so readers never
+  return torn state; they retry instead.
+
+The pool fronts this with :class:`concurrent.futures.Future` results so
+the service's asyncio front-end awaits process batches exactly like
+thread batches (``asyncio.wrap_future``).
+
+Lifecycle: the pool owns the primary snapshot and the control segment;
+``close()`` stops the workers (each detaches its attachments), then
+closes both — the single owner unlinks every segment exactly once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.frozen import FrozenRoad
+from repro.core.shm_arrays import ShmVector
+from repro.queries.types import ResultEntry
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from multiprocessing.context import SpawnContext
+    from multiprocessing.queues import SimpleQueue
+
+    from repro.core.framework import ROAD
+    from repro.core.maintenance import MaintenanceReport
+
+#: Maintenance kinds whose sync payload must carry fresh directory state.
+OBJECT_KINDS = ("insert_object", "delete_object", "update_object")
+
+#: Seconds a worker sleeps while the primary holds the patch window.
+_PATCH_WAIT_S = 0.0002
+
+#: Seconds the pool waits for each worker's ready handshake.
+_READY_TIMEOUT_S = 60.0
+
+#: Seconds ``close()`` grants a worker before escalating to terminate.
+_STOP_TIMEOUT_S = 10.0
+
+
+class ProcessPoolError(RuntimeError):
+    """A pool-level failure: dead worker, closed pool, bad snapshot."""
+
+
+class WorkerError(RuntimeError):
+    """A query batch failed inside a worker process.
+
+    Worker exceptions do not round-trip through pickle reliably (custom
+    constructors), so the pool re-raises them as this typed wrapper
+    carrying the original type name and message.
+    """
+
+    def __init__(self, exc_type: str, message: str) -> None:
+        self.exc_type = exc_type
+        super().__init__(f"worker raised {exc_type}: {message}")
+
+
+class ProcessReplicaPool:
+    """N worker processes serving one shared ``backend="shm"`` snapshot.
+
+    Construct over the primary's shm snapshot; the pool spawns the
+    workers (``spawn`` context — no forked locks or event loops), hands
+    each the attach manifest, and confirms every worker's ready
+    handshake before returning.  :meth:`submit` round-robins query
+    batches to the workers and returns a
+    :class:`concurrent.futures.Future`; :meth:`apply` publishes one
+    maintenance report to the shared arrays under the seqlock;
+    :meth:`replace_snapshot` swaps in a freshly frozen snapshot (the
+    directory-membership path patching cannot cover).
+    """
+
+    def __init__(
+        self,
+        frozen: FrozenRoad,
+        *,
+        workers: int,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if frozen.backend != "shm":
+            raise ProcessPoolError(
+                "a process pool needs a backend='shm' snapshot whose "
+                f"arrays live in shared segments, got {frozen.backend!r}"
+            )
+        self._frozen = frozen
+        #: [generation, sync_seq] — the seqlock workers read.
+        self._ctrl = ShmVector("q", [0, 0])
+        manifest = frozen.shm_manifest()
+        self._segments = _segment_names(manifest)
+        context: "SpawnContext" = multiprocessing.get_context("spawn")
+        self._tasks: List["SimpleQueue[Any]"] = [
+            context.SimpleQueue() for _ in range(workers)
+        ]
+        self._syncs: List["SimpleQueue[Any]"] = [
+            context.SimpleQueue() for _ in range(workers)
+        ]
+        self._results: "SimpleQueue[Any]" = context.SimpleQueue()
+        self._ready = [threading.Event() for _ in range(workers)]
+        self._futures: Dict[int, "Future[List[List[ResultEntry]]]"] = {}
+        self._state_lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+        self._ticket = 0
+        self._round_robin = 0
+        self._seq = 0
+        self._closed = False
+        self._counters = {
+            "batches": 0,     # batches dispatched to workers
+            "queries": 0,     # queries inside those batches
+            "syncs": 0,       # seqlock publications broadcast
+            "reloads": 0,     # syncs that re-attached segments
+            "retries": 0,     # worker batch retries (patch overlap)
+        }
+        self._listener = threading.Thread(
+            target=self._listen, name="road-shard-results", daemon=True
+        )
+        self._processes = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    manifest,
+                    self._ctrl.segment_name,
+                    self._tasks[index],
+                    self._syncs[index],
+                    self._results,
+                ),
+                name=f"road-shard-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        try:
+            for process in self._processes:
+                process.start()
+            self._listener.start()
+            self._await_ready()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> FrozenRoad:
+        """The primary's shared snapshot (owner of every segment)."""
+        return self._frozen
+
+    @property
+    def workers(self) -> int:
+        return len(self._processes)
+
+    def stats(self) -> Dict[str, object]:
+        """Pool counters plus per-worker liveness."""
+        with self._state_lock:
+            counters = dict(self._counters)
+            closed = self._closed
+        summary: Dict[str, object] = {
+            **counters,
+            "workers": self.workers,
+            "alive": sum(1 for p in self._processes if p.is_alive()),
+            "closed": closed,
+        }
+        if not closed:  # the control segment is gone after close()
+            summary["generation"] = int(self._ctrl[0])
+            summary["sync_seq"] = int(self._ctrl[1])
+        return summary
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(
+        self, queries: Sequence[object], directory: str
+    ) -> "Future[List[List[ResultEntry]]]":
+        """Dispatch one batch to the next worker; returns its future.
+
+        The batch runs as one ``execute_many`` inside the worker (the
+        per-predicate batch caches apply there, exactly as on a thread
+        replica).  The future completes on the pool's listener thread.
+        """
+        future: "Future[List[List[ResultEntry]]]" = Future()
+        with self._state_lock:
+            if self._closed:
+                raise ProcessPoolError("process pool is closed")
+            ticket = self._ticket
+            self._ticket += 1
+            index = self._round_robin % len(self._processes)
+            self._round_robin += 1
+            self._futures[ticket] = future
+            self._counters["batches"] += 1
+            self._counters["queries"] += len(queries)
+        self._tasks[index].put(("batch", ticket, list(queries), directory))
+        return future
+
+    # ------------------------------------------------------------------
+    # Maintenance publication (the seqlock writer side)
+    # ------------------------------------------------------------------
+    def apply(
+        self, report: "MaintenanceReport", road: Optional["ROAD"] = None
+    ) -> str:
+        """Patch the shared snapshot and publish the change to workers.
+
+        The patch happens once, in place, on the shared arrays — every
+        worker sees the new spans without copying — inside an odd
+        generation window so no worker returns a half-patched read.
+        Returns the snapshot's patch outcome (``"patched"`` /
+        ``"recompiled"``).
+        """
+        with self._publish_lock:
+            self._ctrl[0] = int(self._ctrl[0]) + 1  # odd: readers pause
+            try:
+                outcome = self._frozen.apply(report, road)
+            finally:
+                # Publish even on failure: a half-applied patch must
+                # still invalidate worker view caches, and the
+                # generation must return even or serving deadlocks.
+                self._broadcast(report)
+        return outcome
+
+    def replace_snapshot(self, frozen: FrozenRoad) -> None:
+        """Swap in a freshly frozen shm snapshot (directory changes).
+
+        Patching keeps shard contents current but cannot add or remove
+        a compiled directory; the service re-freezes and the pool
+        publishes the new manifest — workers re-attach between batches.
+        The old snapshot closes (and unlinks its segments) immediately;
+        POSIX keeps the memory alive for workers still mapping it until
+        their re-attach lands.
+        """
+        if frozen.backend != "shm":
+            raise ProcessPoolError(
+                "replace_snapshot needs a backend='shm' snapshot, got "
+                f"{frozen.backend!r}"
+            )
+        with self._publish_lock:
+            self._ctrl[0] = int(self._ctrl[0]) + 1
+            old, self._frozen = self._frozen, frozen
+            try:
+                self._broadcast(None, force_reload=True)
+            finally:
+                self._ctrl[0] = int(self._ctrl[0]) + (self._ctrl[0] % 2)
+        if old is not frozen:
+            old.close()
+
+    def _broadcast(
+        self,
+        report: Optional["MaintenanceReport"],
+        *,
+        force_reload: bool = False,
+    ) -> None:
+        """Enqueue one sync payload everywhere; close the patch window.
+
+        Payload selection: a changed segment set (a splice re-homed an
+        array, or the snapshot recompiled/was replaced) forces a full
+        re-attach manifest; object churn ships the refreshed directory
+        state; a pure weight patch only invalidates worker view caches.
+        """
+        self._seq += 1
+        manifest = self._frozen.shm_manifest()
+        segments = _segment_names(manifest)
+        payload: Tuple[Any, ...]
+        if force_reload or segments != self._segments:
+            self._segments = segments
+            payload = ("reload", self._seq, manifest)
+            with self._state_lock:
+                self._counters["reloads"] += 1
+        elif report is not None and report.kind in OBJECT_KINDS:
+            payload = ("objects", self._seq, manifest["directories"])
+        else:
+            payload = ("arrays", self._seq)
+        for queue in self._syncs:
+            queue.put(payload)
+        with self._state_lock:
+            self._counters["syncs"] += 1
+        self._ctrl[1] = self._seq
+        generation = int(self._ctrl[0])
+        self._ctrl[0] = generation + (generation % 2)  # even: resume
+
+    # ------------------------------------------------------------------
+    # Listener + lifecycle
+    # ------------------------------------------------------------------
+    def _await_ready(self) -> None:
+        deadline = time.monotonic() + _READY_TIMEOUT_S
+        for index, event in enumerate(self._ready):
+            if event.wait(max(0.0, deadline - time.monotonic())):
+                continue
+            process = self._processes[index]
+            raise ProcessPoolError(
+                f"worker {index} failed to attach the shared snapshot "
+                f"(alive={process.is_alive()}, "
+                f"exitcode={process.exitcode})"
+            )
+
+    def _listen(self) -> None:
+        """Listener-thread body: complete futures as workers answer."""
+        while True:
+            item = self._results.get()
+            if item is None:
+                return
+            if item[0] == "ready":
+                self._ready[item[1]].set()
+                continue
+            _tag, ticket, ok, payload, retries = item
+            with self._state_lock:
+                future = self._futures.pop(ticket, None)
+                self._counters["retries"] += retries
+            if future is None:
+                continue
+            if ok:
+                future.set_result(payload)
+            else:
+                future.set_exception(WorkerError(payload[0], payload[1]))
+
+    def close(self) -> None:
+        """Stop workers, fail pending futures, release every segment.
+
+        Idempotent.  Workers detach their segment attachments on the
+        way out; the pool (sole owner) then unlinks the snapshot's
+        segments and the control vector — exactly once.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for queue in self._tasks:
+            queue.put(("stop",))
+        for process in self._processes:
+            if process.pid is None:
+                continue
+            process.join(timeout=_STOP_TIMEOUT_S)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_STOP_TIMEOUT_S)
+        if self._listener.is_alive():
+            self._results.put(None)
+            self._listener.join(timeout=_STOP_TIMEOUT_S)
+        with self._state_lock:
+            pending, self._futures = self._futures, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    ProcessPoolError("process pool closed with the batch "
+                                     "in flight")
+                )
+        self._ctrl.close()
+        self._frozen.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessReplicaPool(workers={self.workers}, "
+            f"sync_seq={self._seq}, closed={self._closed})"
+        )
+
+
+def _segment_names(manifest: Dict[str, Any]) -> FrozenSet[str]:
+    """The shared-segment name set a manifest references."""
+    return frozenset(
+        segment for segment, _typecode in manifest["segments"].values()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker process body
+# ---------------------------------------------------------------------------
+
+class _WorkerState:
+    """One worker's mutable serving state (snapshot + sync progress)."""
+
+    __slots__ = ("frozen", "applied_seq", "retries")
+
+    def __init__(self, frozen: FrozenRoad) -> None:
+        self.frozen = frozen
+        self.applied_seq = 0
+        self.retries = 0
+
+
+def _worker_main(
+    worker_id: int,
+    manifest: Dict[str, Any],
+    ctrl_segment: str,
+    tasks: "SimpleQueue[Any]",
+    syncs: "SimpleQueue[Any]",
+    results: "SimpleQueue[Any]",
+) -> None:
+    """Worker-process entry point: attach, handshake, serve batches.
+
+    Spawn-friendly (module-level, picklable arguments only).  The
+    worker owns no shared segment — its snapshot and control vector are
+    attachments, detached on exit; the primary alone unlinks.
+    """
+    frozen = FrozenRoad.from_manifest(manifest)
+    ctrl = ShmVector.attach(ctrl_segment, "q")
+    state = _WorkerState(frozen)
+    results.put(("ready", worker_id))
+    try:
+        while True:
+            item = tasks.get()
+            if item[0] == "stop":
+                return
+            _tag, ticket, queries, directory = item
+            state.retries = 0
+            try:
+                answers = _serve_batch(state, ctrl, syncs, queries, directory)
+            except Exception as exc:  # noqa: BLE001 — fan the error out
+                results.put(
+                    (
+                        "done",
+                        ticket,
+                        False,
+                        (type(exc).__name__, str(exc)),
+                        state.retries,
+                    )
+                )
+            else:
+                results.put(("done", ticket, True, answers, state.retries))
+    finally:
+        state.frozen.close()
+        ctrl.close()
+
+
+def _serve_batch(
+    state: _WorkerState,
+    ctrl: ShmVector,
+    syncs: "SimpleQueue[Any]",
+    queries: List[object],
+    directory: str,
+) -> List[List[ResultEntry]]:
+    """One batch under the seqlock: sync, execute, validate, retry.
+
+    The read is consistent when the generation was even and unchanged
+    across the whole ``execute_many`` and every published sync payload
+    had been applied first.  A batch that overlapped a patch window
+    retries — by then the catch-up loop has applied the new state, so
+    the retry serves post-patch answers (never torn ones).
+    """
+    while True:
+        _catch_up(state, ctrl, syncs)
+        generation = int(ctrl[0])
+        try:
+            answers = state.frozen.execute_many(queries, directory=directory)
+        except Exception:
+            # A patch window overlapping the read can surface as an
+            # exception (offsets mid-splice); only a quiescent failure
+            # is a real error.
+            if int(ctrl[0]) == generation and generation % 2 == 0:
+                raise
+            state.retries += 1
+            continue
+        if int(ctrl[0]) == generation and state.applied_seq >= int(ctrl[1]):
+            return answers
+        state.retries += 1
+
+
+def _catch_up(
+    state: _WorkerState, ctrl: ShmVector, syncs: "SimpleQueue[Any]"
+) -> None:
+    """Wait out any patch window and apply every published sync payload.
+
+    The primary enqueues the payload *before* bumping ``sync_seq``, so
+    whenever ``applied_seq`` trails the published sequence the payload
+    is already in (or on its way into) this worker's sync queue — the
+    blocking ``get`` cannot starve.
+    """
+    while True:
+        if int(ctrl[0]) % 2:
+            time.sleep(_PATCH_WAIT_S)
+            continue
+        if state.applied_seq >= int(ctrl[1]):
+            return
+        _apply_sync(state, syncs.get())
+
+
+def _apply_sync(state: _WorkerState, payload: Tuple[Any, ...]) -> None:
+    """Apply one published sync payload to this worker's snapshot."""
+    kind, seq = payload[0], payload[1]
+    if kind == "reload":
+        replacement = FrozenRoad.from_manifest(payload[2])
+        state.frozen.close()
+        state.frozen = replacement
+    elif kind == "objects":
+        state.frozen.sync_directories(payload[2])
+    else:  # "arrays"
+        state.frozen.refresh_views()
+    state.applied_seq = seq

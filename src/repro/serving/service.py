@@ -61,6 +61,7 @@ from repro.serving.dispatch import (
     UnknownDirectoryError,
     UnsupportedQueryError,
 )
+from repro.serving.process_pool import ProcessReplicaPool
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.core.framework import ROAD
@@ -82,10 +83,15 @@ MODES = ROAD_MODES
 #: Frozen-snapshot maintenance lifecycles (same source of truth).
 MAINTENANCE_MODES = ROAD_MAINTENANCE_MODES
 
+#: How replica shards execute: interpreter threads over per-shard
+#: snapshots, or worker processes over one shared-memory snapshot.
+REPLICA_MODES = ("thread", "process")
+
 #: Environment overrides honoured by :meth:`ServiceConfig.from_env`.
 MODE_ENV = "REPRO_ENGINE"
 MAINTENANCE_ENV = "REPRO_MAINTENANCE"
 REPLICAS_ENV = "REPRO_REPLICAS"
+REPLICA_MODE_ENV = "REPRO_REPLICA_MODE"
 DIRECTORIES_ENV = "REPRO_DIRECTORIES"
 
 
@@ -105,7 +111,13 @@ class ServiceConfig:
     long an under-full bucket waits for company, ``coalesce`` whether
     identical in-flight queries share one execution, and ``replicas``
     how many read-only frozen shards serve from the worker pool
-    (0 = serve on the primary executor).
+    (0 = serve on the primary executor), and ``replica_mode`` what a
+    shard *is*: ``"thread"`` replicas are per-shard snapshot copies
+    served by pool threads (one interpreter, concurrency not
+    parallelism), ``"process"`` replicas are worker processes attached
+    to one shared ``backend="shm"`` snapshot
+    (:class:`~repro.serving.process_pool.ProcessReplicaPool`) — real
+    CPU parallelism at one snapshot's memory cost.
     """
 
     engine: str = "ROAD"
@@ -125,6 +137,7 @@ class ServiceConfig:
     max_delay_ms: float = 2.0
     coalesce: bool = True
     replicas: int = 0
+    replica_mode: str = "thread"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_NAMES:
@@ -174,6 +187,11 @@ class ServiceConfig:
             )
         if self.replicas < 0:
             raise ValueError(f"replicas must be >= 0, got {self.replicas}")
+        if self.replica_mode not in REPLICA_MODES:
+            raise ValueError(
+                f"replica_mode must be one of {REPLICA_MODES}, "
+                f"got {self.replica_mode!r}"
+            )
 
     @classmethod
     def from_env(cls, **overrides: Any) -> "ServiceConfig":
@@ -194,6 +212,8 @@ class ServiceConfig:
             env["backend"] = os.environ[BACKEND_ENV].lower()
         if REPLICAS_ENV in os.environ:
             env["replicas"] = int(os.environ[REPLICAS_ENV])
+        if REPLICA_MODE_ENV in os.environ:
+            env["replica_mode"] = os.environ[REPLICA_MODE_ENV].lower()
         if DIRECTORIES_ENV in os.environ:
             names = tuple(
                 name.strip()
@@ -248,6 +268,7 @@ class RoadService:
         self._replicas: List[QueryExecutor] = []
         self._replica_locks: List[threading.Lock] = []
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessReplicaPool] = None
         self._round_robin = 0
         self._counters = {
             "submitted": 0,       # queries accepted by submit()
@@ -320,16 +341,31 @@ class RoadService:
 
     @property
     def replicas(self) -> Tuple[QueryExecutor, ...]:
-        """The read-only frozen shards (empty when ``replicas == 0``)."""
+        """The read-only frozen shards (empty when ``replicas == 0``).
+
+        Thread mode has one snapshot per shard; process mode has one
+        *shared* snapshot every worker process attaches, so this returns
+        that single primary-owned snapshot (probe it to probe what every
+        worker serves).
+        """
+        if self._process_pool is not None:
+            return (self._process_pool.frozen,)
         return tuple(self._replicas)
 
     def stats(self) -> Dict[str, object]:
         """Serving counters plus the executor's own stats when it has any."""
         summary: Dict[str, object] = {
             "service": dict(self._counters),
-            "replicas": len(self._replicas),
+            "replicas": (
+                self._process_pool.workers
+                if self._process_pool is not None
+                else len(self._replicas)
+            ),
+            "replica_mode": self.config.replica_mode,
             "config": self.config,
         }
+        if self._process_pool is not None:
+            summary["process_pool"] = self._process_pool.stats()
         engine_stats = getattr(self._executor, "stats", None)
         if callable(engine_stats):
             summary["engine"] = engine_stats()
@@ -400,7 +436,7 @@ class RoadService:
         whichever comes first.  With ``coalesce`` on, an identical
         in-flight query is executed once and fanned out.
         """
-        serving = self._replicas[0] if self._replicas else self._executor
+        serving = self._serving_executor()
         # Fail fast — a bad query or directory must reject *this* call,
         # not poison the whole flush it would have joined.
         if not serving.supports(query):
@@ -469,6 +505,18 @@ class RoadService:
             unique = [query for query, _future in entries]
         self._counters["batches"] += 1
         self._counters["executed"] += len(unique)
+        if self._process_pool is not None:
+            # The pool round-robins workers itself; its listener thread
+            # completes the concurrent future, which wrap_future relays
+            # back onto this loop.
+            loop = asyncio.get_running_loop()
+            task = asyncio.wrap_future(
+                self._process_pool.submit(unique, directory), loop=loop
+            )
+            task.add_done_callback(
+                lambda done: self._resolve(entries, slot, done)
+            )
+            return
         if self._pool is None:
             try:
                 results = self._executor.execute_many(
@@ -544,6 +592,20 @@ class RoadService:
     # ------------------------------------------------------------------
     # Sharded replicas + maintenance broadcast
     # ------------------------------------------------------------------
+    def _serving_executor(self) -> QueryExecutor:
+        """The executor async submits are validated against (and, when
+        unsharded, executed on): the shared process snapshot, the first
+        thread replica, or the primary."""
+        if self._process_pool is not None:
+            return self._process_pool.frozen
+        if self._replicas:
+            return self._replicas[0]
+        return self._executor
+
+    def _sharded(self) -> bool:
+        """True when replica shards (thread or process) are serving."""
+        return bool(self._replicas) or self._process_pool is not None
+
     def _road(self) -> Optional["ROAD"]:
         """The charged ROAD behind the executor, if there is one."""
         road = getattr(self._executor, "road", None)
@@ -563,6 +625,19 @@ class RoadService:
             )
         directories = self._shard_directories()
         default = self._shard_default(directories)
+        if self.config.replica_mode == "process":
+            # One shared-memory snapshot, N attached worker processes:
+            # the shards are real CPUs, not interpreter time slices, and
+            # the arrays exist once whatever the worker count.  The
+            # shard backend is necessarily "shm" (the config's backend
+            # still governs the primary executor's own snapshot).
+            snapshot = road.freeze(
+                directories=directories, default=default, backend="shm"
+            )
+            self._process_pool = ProcessReplicaPool(
+                snapshot, workers=self.config.replicas
+            )
+            return
         # Each shard is one multi-directory snapshot: the configured
         # directory set (None = every attached provider) shares the entry
         # arrays, and the service's serving directory becomes the shard's
@@ -651,11 +726,19 @@ class RoadService:
         batches finish on the old snapshot and new batches only wait for
         the swap.
         """
-        if not self._replicas:
+        if not self._sharded():
             return
         road = self._road()
         directories = self._shard_directories()
         default = self._shard_default(directories)
+        if self._process_pool is not None:
+            # One fresh shared snapshot; the pool publishes the new
+            # attach manifest and workers re-attach between batches.
+            replacement = road.freeze(
+                directories=directories, default=default, backend="shm"
+            )
+            self._process_pool.replace_snapshot(replacement)
+            return
         for index, lock in enumerate(self._replica_locks):
             replacement = road.freeze(
                 directories=directories,
@@ -679,7 +762,7 @@ class RoadService:
         pinned ∩ attached and grows when a pinned name gets attached.
         """
         attach = self._directory_manager("attach_objects")
-        if not self._replicas:
+        if not self._sharded():
             return attach(objects, name=name, **kwargs)
         before = self._shard_directories()
         directory = attach(objects, name=name, **kwargs)
@@ -745,10 +828,15 @@ class RoadService:
         """Patch-broadcast one maintenance report to every replica.
 
         The primary executor reconciles itself (ROADEngine's lifecycle);
-        this keeps the read-only shards in lockstep.  Each replica is
-        locked against its in-flight batches while patched.
+        this keeps the read-only shards in lockstep.  Thread replicas
+        are each locked against their in-flight batches while patched;
+        the process pool patches its one shared snapshot inside the
+        seqlock window every worker honours.
         """
         road = self._road()
+        if self._process_pool is not None:
+            self._process_pool.apply(report, road)
+            return
         for replica, lock in zip(self._replicas, self._replica_locks):
             with lock:
                 replica.apply(report, road)
@@ -760,7 +848,7 @@ class RoadService:
             if isinstance(result, MaintenanceReport)
             else getattr(self._executor, "last_report", None)
         )
-        if report is not None and self._replicas:
+        if report is not None and self._sharded():
             self.apply_report(report)
         return result
 
@@ -813,6 +901,9 @@ class RoadService:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
 
     async def __aenter__(self) -> "RoadService":
         return self

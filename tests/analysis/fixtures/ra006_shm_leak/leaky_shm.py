@@ -1,0 +1,13 @@
+"""RA006 seeded violation: a raw segment created outside the storage layer.
+
+Ad-hoc ``SharedMemory`` segments bypass ``ShmVector``'s single
+close/unlink path — nothing tracks who owns them, and the process pool's
+reload protocol never sees their names change.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def scratch_segment(nbytes):
+    # BAD: raw segment constructed outside the gated shm storage module.
+    return SharedMemory(create=True, size=nbytes)

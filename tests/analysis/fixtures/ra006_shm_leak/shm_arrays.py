@@ -1,0 +1,37 @@
+"""RA006 seeded violations inside the gate module itself.
+
+Two segment-owning classes with broken lifecycles: one whose ``close``
+never drops the mapping, and one that unlinks without an owner guard.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+HEADER_BYTES = 16
+
+
+class LeakyVector:
+    """Mapping leak: ``close`` releases the view but not the segment."""
+
+    def __init__(self, size):
+        self._shm = SharedMemory(create=True, size=size)
+        self._head = self._shm.buf[:HEADER_BYTES]
+
+    def close(self):
+        # BAD: no .close() on the segment; the mapping outlives the
+        # vector until process exit.
+        self._head = None
+        if self._shm is not None:
+            self._shm.unlink()
+
+
+class EagerVector:
+    """Destroys the shared name even when this process only attached."""
+
+    def __init__(self, size):
+        self._shm = SharedMemory(create=True, size=size)
+
+    def close(self):
+        self._shm.close()
+        # BAD: unguarded unlink — an attacher destroys the segment under
+        # the owner and every sibling worker.
+        self._shm.unlink()

@@ -21,6 +21,7 @@ SEEDED = {
     "ra003_isinstance_ladder": ("RA003", 2),
     "ra004_missing_drop": ("RA004", 2),
     "ra005_eager_numpy": ("RA005", 1),
+    "ra006_shm_leak": ("RA006", 3),
 }
 
 
@@ -118,6 +119,21 @@ def test_ra004_drop_before_resize_passes(tmp_path):
         "        pass\n",
         "RA004",
     ) == []
+
+
+def test_ra006_owner_guarded_lifecycle_passes(tmp_path):
+    (tmp_path / "shm_arrays.py").write_text(
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "class Vector:\n"
+        "    def __init__(self, size):\n"
+        "        self._shm = SharedMemory(create=True, size=size)\n"
+        "        self._owner = True\n"
+        "    def close(self):\n"
+        "        self._shm.close()\n"
+        "        if self._owner:\n"
+        "            self._shm.unlink()\n"
+    )
+    assert analyze_path(tmp_path, rule_ids=["RA006"]) == []
 
 
 def test_ra005_type_checking_guard_passes(tmp_path):

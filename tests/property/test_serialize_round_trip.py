@@ -1,11 +1,22 @@
 """Property-based check: persistence is invisible to the frozen contract.
 
-freeze → ``save_road`` → ``load_road`` → freeze again must yield a
-snapshot with ``snapshot_divergences == []`` against the original — per
-installed array backend and per attached directory.  The probe is the
-same byte-identity contract the patch/equivalence suites enforce
-(results, tie order, SearchStats, predicate-filtered and aggregate
-queries), so a persistence bug cannot hide behind a weaker comparison.
+Two persistence layers, one contract:
+
+* freeze → ``save_road`` → ``load_road`` → freeze again must yield a
+  snapshot with ``snapshot_divergences == []`` against the original —
+  per installed array backend and per attached directory;
+* freeze → ``save_snapshot`` → ``load_snapshot`` (the zero-copy mmap
+  cold-start path, and every materialising backend) must serve
+  identically too — *without* recompiling — and the snapshot bytes must
+  be canonical: saving from any backend, or re-saving from a loaded
+  snapshot, produces the identical file.
+
+The probe is the same byte-identity contract the patch/equivalence
+suites enforce (results, tie order, SearchStats, predicate-filtered and
+aggregate queries), so a persistence bug cannot hide behind a weaker
+comparison.  Corrupted snapshots (flipped payload byte, truncation,
+foreign magic) must be rejected with :class:`SerializeError` before any
+unpickling happens.
 """
 
 import random
@@ -15,7 +26,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.frozen_backends import installed_backends
-from repro.core.serialize import load_road, save_road
+from repro.core.serialize import (
+    SerializeError,
+    load_road,
+    load_snapshot,
+    save_road,
+    save_snapshot,
+)
 from repro.eval.metrics import snapshot_divergences
 from tests.property.test_multi_directory_equivalence import (
     DIRECTORIES,
@@ -57,3 +74,74 @@ def test_round_trip_diverges_nowhere(backend, seed, tmp_path_factory):
         random.Random(seed + 2), reloaded, original, probes=2, k=4,
         max_radius=20.0,
     ) == []
+
+
+@pytest.mark.parametrize("backend", installed_backends())
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_snapshot_round_trip_diverges_nowhere(backend, seed, tmp_path_factory):
+    rnd = random.Random(seed)
+    _network, road, _directories = _build_multi_road(rnd)
+    path = tmp_path_factory.mktemp("snp") / f"snap-{backend}-{seed}.roadsnp"
+
+    original = road.freeze(backend=backend)
+    written = save_snapshot(original, path)
+    assert written == path.stat().st_size > 0
+
+    # Cold start: mmap the file, serve without freezing or recompiling.
+    cold = load_snapshot(path)
+    assert cold.backend == "mmap"
+    assert cold.directory_names == original.directory_names
+    probe = random.Random(seed + 1)
+    for name in DIRECTORIES:
+        divergences = snapshot_divergences(
+            probe, cold, road.freeze(directory=name, backend=backend),
+            probes=2, k=4, max_radius=20.0, directory=name,
+        )
+        assert divergences == [], (backend, name, divergences)
+
+    # Materialise into this backend: same contract, and re-saving (from
+    # the materialised copy *and* from the mmap view) reproduces the
+    # canonical bytes — the format is backend-free.
+    warm = load_snapshot(path, backend=backend)
+    assert snapshot_divergences(
+        random.Random(seed + 2), warm, original, probes=2, k=4,
+        max_radius=20.0,
+    ) == []
+    canonical = path.read_bytes()
+    resaved = path.with_suffix(".resaved")
+    for source in (warm, cold):
+        save_snapshot(source, resaved)
+        assert resaved.read_bytes() == canonical, backend
+
+    for frozen in (cold, warm, original):
+        frozen.close()
+
+
+def test_snapshot_rejects_corruption(tmp_path):
+    _network, road, _directories = _build_multi_road(random.Random(7))
+    path = tmp_path / "good.roadsnp"
+    frozen = road.freeze()
+    save_snapshot(frozen, path)
+    frozen.close()
+    blob = bytearray(path.read_bytes())
+
+    # A flipped payload byte fails the checksum before any unpickle.
+    flipped = tmp_path / "flipped.roadsnp"
+    corrupt = bytearray(blob)
+    corrupt[-1] ^= 0xFF
+    flipped.write_bytes(corrupt)
+    with pytest.raises(SerializeError, match="checksum"):
+        load_snapshot(flipped)
+
+    # A truncated payload is rejected on length, not parsed partially.
+    truncated = tmp_path / "truncated.roadsnp"
+    truncated.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(SerializeError):
+        load_snapshot(truncated)
+
+    # Foreign bytes are not a snapshot at all.
+    foreign = tmp_path / "foreign.roadsnp"
+    foreign.write_bytes(b"PNG\x0d\x0a\x1a\x0a" + bytes(64))
+    with pytest.raises(SerializeError, match="not a ROAD snapshot"):
+        load_snapshot(foreign)

@@ -1,0 +1,192 @@
+"""Process-shard serving: seqlock broadcasts vs in-flight worker batches.
+
+The process analog of ``test_replica_stress``: query batches execute in
+worker *processes* attached to one shared-memory snapshot, while
+maintenance broadcasts patch that snapshot in place on the primary under
+the seqlock generation counter (odd = patch in flight, workers retry
+instead of serving torn reads).  The suite hammers both sides at once
+through the full RoadService front-end, then checks the pool's own
+contract surface directly (worker errors, snapshot replacement,
+lifecycle).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.frozen_backends import shared_memory_available
+from repro.eval.metrics import snapshot_divergences
+from repro.graph.generators import grid_network
+from repro.objects.model import SpatialObject
+from repro.objects.placement import place_uniform
+from repro.queries.types import KNNQuery, Predicate
+from repro.queries.workload import mixed_workload
+from repro.serving import (
+    ProcessPoolError,
+    ProcessReplicaPool,
+    RoadService,
+    ServiceConfig,
+    UnknownDirectoryError,
+    WorkerError,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="host has no POSIX shared memory (/dev/shm)",
+)
+
+ROUNDS = 4
+
+
+@pytest.fixture
+def service_parts():
+    network = grid_network(9, 9, seed=3)
+    objects = place_uniform(
+        network, 24, seed=8, attr_choices={"type": ["cafe", "fuel"]}
+    )
+    workload = mixed_workload(
+        network, 24, k=3, radius=300.0, seed=21,
+        predicates=[Predicate.of(type="cafe")],
+    )
+    return network, objects, workload
+
+
+@pytest.fixture
+def service(service_parts):
+    network, objects, _ = service_parts
+    service = RoadService.build(
+        network.copy(), objects,
+        config=ServiceConfig(
+            mode="frozen", levels=3, replicas=2, replica_mode="process",
+            max_batch=4, max_delay_ms=0.5,
+        ),
+    )
+    yield service
+    service.close()
+
+
+def test_broadcasts_under_concurrent_process_batches(service_parts, service):
+    network, objects, workload = service_parts
+    rnd = random.Random(97)
+    edges = sorted((u, v) for u, v, _ in service.executor.network.edges())
+
+    async def stress():
+        waves = []
+        for step in range(ROUNDS):
+            in_flight = asyncio.gather(
+                *(service.submit(q) for q in workload)
+            )
+            # Let the flush timer fire and batches reach the workers ...
+            for _ in range(4):
+                await asyncio.sleep(0.001)
+            # ... then patch the shared snapshot while they execute:
+            # apply() holds the generation counter odd for the patch
+            # window, so a worker mid-batch re-runs instead of tearing.
+            u, v = edges[rnd.randrange(len(edges))]
+            if step % 2 == 0:
+                service.update_edge_distance(
+                    u, v, service.executor.network.edge_distance(u, v) * 1.5
+                )
+            else:
+                service.insert_object(
+                    SpatialObject(
+                        objects.next_id() + step, (u, v), 0.0,
+                        {"type": "cafe"},
+                    )
+                )
+            waves.append(await in_flight)
+        return waves
+
+    waves = asyncio.run(stress())
+    assert len(waves) == ROUNDS
+    # Quiesced: the shared snapshot is byte-identical to a fresh freeze
+    # of the maintained road — the broadcasts lost nothing.
+    fresh = service.executor.road.freeze()
+    for replica in service.replicas:
+        assert snapshot_divergences(
+            random.Random(5), replica, fresh, probes=3
+        ) == []
+
+    # And the async process-sharded path agrees with the sync primary.
+    async def final():
+        return await asyncio.gather(*(service.submit(q) for q in workload))
+
+    assert asyncio.run(final()) == service.run_many(workload)
+
+    stats = service.stats()
+    assert stats["replicas"] == 2
+    assert stats["replica_mode"] == "process"
+    pool = stats["process_pool"]
+    assert pool["workers"] == 2
+    assert pool["syncs"] >= ROUNDS
+    assert pool["queries"] > 0
+
+
+def test_attach_objects_replaces_the_shared_snapshot(service_parts, service):
+    network, _, workload = service_parts
+    banks = place_uniform(network, 6, seed=77, attr_choices={"type": ["bank"]})
+    service.attach_objects(banks, name="banks")
+
+    async def wave():
+        return await asyncio.gather(
+            *(service.submit(q, directory="banks") for q in workload)
+        )
+
+    assert asyncio.run(wave()) == service.run_many(workload, directory="banks")
+    assert service.stats()["process_pool"]["reloads"] >= 1
+
+
+def test_worker_errors_surface_with_type_and_message(service):
+    async def ask():
+        return await service.submit(
+            KNNQuery(node=0, k=2), directory="nowhere"
+        )
+
+    with pytest.raises(UnknownDirectoryError):
+        asyncio.run(ask())
+
+
+def _pool_parts():
+    network = grid_network(7, 7, seed=11)
+    objects = place_uniform(
+        network, 16, seed=4, attr_choices={"type": ["cafe", "fuel"]}
+    )
+    road = RoadService.build(
+        network, objects, config=ServiceConfig(mode="frozen", levels=3)
+    ).executor.road
+    workload = mixed_workload(network, 12, k=3, radius=250.0, seed=9)
+    return road, workload
+
+
+def test_pool_rejects_non_shm_snapshots():
+    road, _ = _pool_parts()
+    snapshot = road.freeze()
+    try:
+        with pytest.raises(ProcessPoolError, match="shm"):
+            ProcessReplicaPool(snapshot, workers=1)
+    finally:
+        snapshot.close()
+
+
+def test_pool_serves_raises_and_closes():
+    road, workload = _pool_parts()
+    pool = ProcessReplicaPool(road.freeze(backend="shm"), workers=2)
+    try:
+        reference = road.freeze()
+        answers = pool.submit(workload, None).result(timeout=60)
+        assert answers == reference.execute_many(workload)
+        reference.close()
+        # A worker-side failure arrives as a typed, picklable error.
+        with pytest.raises(WorkerError, match="UnknownDirectoryError"):
+            pool.submit(workload[:1], "nowhere").result(timeout=60)
+        stats = pool.stats()
+        assert stats["batches"] == 2
+        assert stats["workers"] == 2
+    finally:
+        pool.close()
+        pool.close()  # idempotent
+    assert pool.stats()["closed"] is True
+    # A closed pool refuses new work instead of hanging.
+    with pytest.raises(ProcessPoolError, match="closed"):
+        pool.submit(workload, None)
