@@ -151,6 +151,20 @@ class FrozenRoadError(Exception):
     """Raised on queries against nodes missing from the frozen snapshot."""
 
 
+def _resolve_mask_budget(mask_budget: Optional[int]) -> int:
+    """Default and validate a mask-cache budget.
+
+    Shared by ``__init__`` and ``from_parts`` so every construction path
+    — freeze, snapshot load, worker attach — enforces the same floor: a
+    budget below 1 would make the LRU eviction loop pop from an empty
+    cache on the first cached predicate.
+    """
+    budget = MAX_CACHED_PREDICATES if mask_budget is None else mask_budget
+    if budget < 1:
+        raise ValueError(f"mask_budget must be >= 1, got {budget}")
+    return budget
+
+
 def _flatten_tree_entries(
     roots: List[ShortcutTreeEntry],
 ) -> Tuple[List[ShortcutTreeEntry], List[int]]:
@@ -285,13 +299,7 @@ class FrozenRoad(QueryExecutor):
         self._backend = resolve_backend(backend)
         #: Cached-predicate budget per (directory, mask-kind) cache; the
         #: LRU eviction counter lives on each directory state.
-        self._mask_budget = (
-            MAX_CACHED_PREDICATES if mask_budget is None else mask_budget
-        )
-        if self._mask_budget < 1:
-            raise ValueError(
-                f"mask_budget must be >= 1, got {self._mask_budget}"
-            )
+        self._mask_budget = _resolve_mask_budget(mask_budget)
         #: Path of the snapshot file this instance was loaded from (set by
         #: :func:`repro.core.serialize.load_snapshot`); surfaced by
         #: :meth:`memory_stats`.
@@ -521,9 +529,7 @@ class FrozenRoad(QueryExecutor):
         """
         frozen = cls.__new__(cls)
         frozen._backend = resolve_backend(backend)
-        frozen._mask_budget = (
-            MAX_CACHED_PREDICATES if mask_budget is None else mask_budget
-        )
+        frozen._mask_budget = _resolve_mask_budget(mask_budget)
         frozen._snapshot_path = snapshot_path
         frozen._source = None
         frozen.node_ids = list(node_ids)
@@ -1482,18 +1488,13 @@ class FrozenRoad(QueryExecutor):
         }
         shm_segments: Dict[str, Dict[str, object]] = {}
         shm_bytes = 0
+        # Mask caches never appear here: they are process-local bytearrays
+        # on every backend, shm included (see ShmBackend's docstring).
         shared: List[Tuple[str, Any]] = [
             (name, arr)
             for name, arr in self._arrays().items()
             if isinstance(arr, ShmVector)
         ]
-        for name, state in self._dirs.items():
-            prefix = self._dir_prefix(name)
-            shared.extend(
-                (f"{prefix}rnet_mask[{i}]", mask)
-                for i, mask in enumerate(state.rnet_masks.values())
-                if isinstance(mask, ShmVector)
-            )
         for name, vector in shared:
             shm_segments[name] = {
                 "segment": vector.segment_name,

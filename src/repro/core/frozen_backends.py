@@ -96,9 +96,9 @@ class ListBackend:
     def mask_view(self, mask: Any) -> Any:
         """The object the hot loop indexes for one predicate mask.
 
-        Lists and bytearrays index fast as-is; the shm backend swaps in
-        the mask vector's payload memoryview so per-entry mask tests stay
-        one C-level index instead of a Python-level ``__getitem__``.
+        Lists and bytearrays index fast as-is, so every backend keeps the
+        identity mapping — masks are process-local on all of them,
+        including ``shm`` (see :class:`ShmBackend`).
         """
         return mask
 
@@ -194,6 +194,13 @@ class ShmBackend(CompactBackend):
     :meth:`~repro.core.frozen.FrozenRoad.from_parts`) and serve queries
     zero-copy while the primary's slice writes land in place.
 
+    Predicate mask caches deliberately stay process-local bytearrays
+    (inherited from ``compact``): masks are never in the manifest — each
+    attacher recompiles its own lazily — so a named segment per cached
+    predicate would buy no sharing while leaking a ``/dev/shm`` entry
+    whenever a worker dies without running its ``close()`` (e.g.
+    SIGKILL), until the resource tracker reaps it at interpreter exit.
+
     Query loops read through the vectors' cached payload memoryviews, so
     the scalar hot path costs the same as ``compact``.  Snapshots built
     on this backend should be released deterministically
@@ -209,19 +216,11 @@ class ShmBackend(CompactBackend):
     def float_array(self, values: Iterable[float]) -> FloatVector:
         return ShmVector("d", values)
 
-    def bool_mask(self, flags: Iterable[bool]) -> BoolMask:
-        return ShmVector("b", (1 if flag else 0 for flag in flags))
-
     def view(self, arr: Any) -> Any:
         """The vector's cached payload memoryview (see CompactBackend)."""
         if isinstance(arr, ShmVector):
             return arr.view()
         return memoryview(arr)
-
-    def mask_view(self, mask: Any) -> Any:
-        if isinstance(mask, ShmVector):
-            return mask.view()
-        return mask
 
     def resident_bytes(self, arr: Sequence[object]) -> int:
         """Mapped segment size (header + capacity slack) for shm vectors."""

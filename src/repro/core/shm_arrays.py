@@ -44,7 +44,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence, Union
 HEADER_BYTES = 16
 
 #: Supported element typecodes -> itemsize. ``"q"`` carries the integer
-#: CSR arrays, ``"d"`` the weight/delta arrays, ``"b"`` predicate masks.
+#: CSR arrays, ``"d"`` the weight/delta arrays, ``"b"`` byte flags.
 ITEMSIZES = {"q": 8, "d": 8, "b": 1}
 
 #: Minimum capacity slack (elements) left beyond the initial length, so

@@ -12,7 +12,7 @@ batches from its own interpreter — real CPU parallelism, one snapshot's
 worth of memory.
 
 Consistency is a seqlock over a tiny shared control vector
-``[generation, sync_seq]``:
+``[generation, sync_seq, stopping]``:
 
 * The primary publishes every maintenance patch inside a generation
   window — generation goes odd, the patch lands as in-place slice
@@ -37,6 +37,7 @@ closes both — the single owner unlinks every segment exactly once.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import threading
 import time
 from concurrent.futures import Future
@@ -48,6 +49,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -56,6 +58,7 @@ from repro.core.shm_arrays import ShmVector
 from repro.queries.types import ResultEntry
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from multiprocessing.connection import Connection
     from multiprocessing.context import SpawnContext
     from multiprocessing.queues import SimpleQueue
 
@@ -120,8 +123,10 @@ class ProcessReplicaPool:
                 f"arrays live in shared segments, got {frozen.backend!r}"
             )
         self._frozen = frozen
-        #: [generation, sync_seq] — the seqlock workers read.
-        self._ctrl = ShmVector("q", [0, 0])
+        #: [generation, sync_seq, stopping] — the seqlock workers read,
+        #: plus a stop flag so close() can abort workers parked inside a
+        #: patch window that will never close (degraded pool).
+        self._ctrl = ShmVector("q", [0, 0, 0])
         manifest = frozen.shm_manifest()
         self._segments = _segment_names(manifest)
         context: "SpawnContext" = multiprocessing.get_context("spawn")
@@ -131,21 +136,47 @@ class ProcessReplicaPool:
         self._syncs: List["SimpleQueue[Any]"] = [
             context.SimpleQueue() for _ in range(workers)
         ]
-        self._results: "SimpleQueue[Any]" = context.SimpleQueue()
+        # One result pipe PER WORKER, not one shared queue: a shared
+        # SimpleQueue serialises writers through one cross-process lock,
+        # and a worker killed inside put() (SIGKILL lands between the
+        # pipe write and the lock release — an easily-hit window, since
+        # the listener completes the future the moment the bytes arrive)
+        # would leave that lock held forever, wedging every survivor's
+        # next result.  With a single writer per pipe there is no shared
+        # lock to poison.
+        result_ends = [context.Pipe(duplex=False) for _ in range(workers)]
+        self._result_readers: List["Connection"] = [
+            reader for reader, _writer in result_ends
+        ]
+        self._result_writers: List["Connection"] = [
+            writer for _reader, writer in result_ends
+        ]
+        wake_r, wake_w = context.Pipe(duplex=False)
+        self._wake_r: "Connection" = wake_r
+        self._wake_w: "Connection" = wake_w
         self._ready = [threading.Event() for _ in range(workers)]
         self._futures: Dict[int, "Future[List[List[ResultEntry]]]"] = {}
+        #: ticket -> worker index, so a worker death can fail exactly the
+        #: futures routed to it.
+        self._owners: Dict[int, int] = {}
+        self._dead: Set[int] = set()
         self._state_lock = threading.Lock()
         self._publish_lock = threading.Lock()
         self._ticket = 0
         self._round_robin = 0
         self._seq = 0
         self._closed = False
+        #: True after frozen.apply() failed mid-patch: the shared arrays
+        #: may be half-patched, the generation stays odd (workers pause),
+        #: and only replace_snapshot() with a fresh freeze recovers.
+        self._degraded = False
         self._counters = {
-            "batches": 0,     # batches dispatched to workers
-            "queries": 0,     # queries inside those batches
-            "syncs": 0,       # seqlock publications broadcast
-            "reloads": 0,     # syncs that re-attached segments
-            "retries": 0,     # worker batch retries (patch overlap)
+            "batches": 0,        # batches dispatched to workers
+            "queries": 0,        # queries inside those batches
+            "syncs": 0,          # seqlock publications broadcast
+            "reloads": 0,        # syncs that re-attached segments
+            "retries": 0,        # worker batch retries (patch overlap)
+            "worker_deaths": 0,  # workers lost to crash/kill
         }
         self._listener = threading.Thread(
             target=self._listen, name="road-shard-results", daemon=True
@@ -159,7 +190,7 @@ class ProcessReplicaPool:
                     self._ctrl.segment_name,
                     self._tasks[index],
                     self._syncs[index],
-                    self._results,
+                    result_ends[index][1],
                 ),
                 name=f"road-shard-{index}",
                 daemon=True,
@@ -169,6 +200,12 @@ class ProcessReplicaPool:
         try:
             for process in self._processes:
                 process.start()
+            # start() has pickled the args (the spawn resource sharer
+            # holds fd duplicates for the children), so the primary can
+            # drop its copies of the write ends — a worker's exit then
+            # EOFs its pipe instead of leaving it half-open.
+            for writer in self._result_writers:
+                writer.close()
             self._listener.start()
             self._await_ready()
         except BaseException:
@@ -192,15 +229,23 @@ class ProcessReplicaPool:
         with self._state_lock:
             counters = dict(self._counters)
             closed = self._closed
+            degraded = self._degraded
+            # Read the control words under the same lock acquisition as
+            # the closed check: close() flips _closed (also under the
+            # lock) before it releases the control segment, so these
+            # memoryview reads can never race its close().
+            generation = None if closed else int(self._ctrl[0])
+            sync_seq = None if closed else int(self._ctrl[1])
         summary: Dict[str, object] = {
             **counters,
             "workers": self.workers,
             "alive": sum(1 for p in self._processes if p.is_alive()),
             "closed": closed,
+            "degraded": degraded,
         }
         if not closed:  # the control segment is gone after close()
-            summary["generation"] = int(self._ctrl[0])
-            summary["sync_seq"] = int(self._ctrl[1])
+            summary["generation"] = generation
+            summary["sync_seq"] = sync_seq
         return summary
 
     # ------------------------------------------------------------------
@@ -219,11 +264,23 @@ class ProcessReplicaPool:
         with self._state_lock:
             if self._closed:
                 raise ProcessPoolError("process pool is closed")
+            if self._degraded:
+                raise ProcessPoolError(
+                    "process pool is degraded (a maintenance patch "
+                    "failed mid-apply); replace_snapshot() with a fresh "
+                    "freeze to resume serving"
+                )
+            alive = [
+                i for i in range(len(self._processes)) if i not in self._dead
+            ]
+            if not alive:
+                raise ProcessPoolError("every worker process has died")
             ticket = self._ticket
             self._ticket += 1
-            index = self._round_robin % len(self._processes)
+            index = alive[self._round_robin % len(alive)]
             self._round_robin += 1
             self._futures[ticket] = future
+            self._owners[ticket] = index
             self._counters["batches"] += 1
             self._counters["queries"] += len(queries)
         self._tasks[index].put(("batch", ticket, list(queries), directory))
@@ -242,16 +299,34 @@ class ProcessReplicaPool:
         generation window so no worker returns a half-patched read.
         Returns the snapshot's patch outcome (``"patched"`` /
         ``"recompiled"``).
+
+        If the patch itself raises, the shared arrays may be left
+        half-written; the pool does **not** resume serving them.  The
+        window stays open (generation odd, workers pause), the pool goes
+        degraded — :meth:`submit` and :meth:`apply` raise
+        :class:`ProcessPoolError` — and :meth:`replace_snapshot` with a
+        freshly frozen snapshot is the recovery path.
         """
         with self._publish_lock:
+            with self._state_lock:
+                if self._degraded:
+                    raise ProcessPoolError(
+                        "process pool is degraded (a previous patch "
+                        "failed mid-apply); replace_snapshot() with a "
+                        "fresh freeze before patching again"
+                    )
             self._ctrl[0] = int(self._ctrl[0]) + 1  # odd: readers pause
             try:
                 outcome = self._frozen.apply(report, road)
-            finally:
-                # Publish even on failure: a half-applied patch must
-                # still invalidate worker view caches, and the
-                # generation must return even or serving deadlocks.
-                self._broadcast(report)
+            except BaseException:
+                # The shared arrays may be half-patched.  Leaving the
+                # generation odd keeps every worker paused (no torn or
+                # half-patched answers); replace_snapshot() closes the
+                # window over a known-good snapshot.
+                with self._state_lock:
+                    self._degraded = True
+                raise
+            self._broadcast(report)
         return outcome
 
     def replace_snapshot(self, frozen: FrozenRoad) -> None:
@@ -263,6 +338,12 @@ class ProcessReplicaPool:
         The old snapshot closes (and unlinks its segments) immediately;
         POSIX keeps the memory alive for workers still mapping it until
         their re-attach lands.
+
+        This is also the recovery path out of a degraded pool (a patch
+        that failed mid-apply): the still-open patch window stays open
+        across the swap, so workers only resume — and only validate
+        batches — after the reload payload pointing at the fresh
+        snapshot is published.
         """
         if frozen.backend != "shm":
             raise ProcessPoolError(
@@ -270,12 +351,21 @@ class ProcessReplicaPool:
                 f"{frozen.backend!r}"
             )
         with self._publish_lock:
-            self._ctrl[0] = int(self._ctrl[0]) + 1
+            generation = int(self._ctrl[0])
+            if generation % 2 == 0:
+                self._ctrl[0] = generation + 1
             old, self._frozen = self._frozen, frozen
             try:
                 self._broadcast(None, force_reload=True)
-            finally:
-                self._ctrl[0] = int(self._ctrl[0]) + (self._ctrl[0] % 2)
+            except BaseException:
+                # Workers may hold a mix of old and new attachments;
+                # keep the window open and the pool degraded rather
+                # than resume over an inconsistent fleet.
+                with self._state_lock:
+                    self._degraded = True
+                raise
+            with self._state_lock:
+                self._degraded = False
         if old is not frozen:
             old.close()
 
@@ -329,24 +419,105 @@ class ProcessReplicaPool:
             )
 
     def _listen(self) -> None:
-        """Listener-thread body: complete futures as workers answer."""
+        """Listener-thread body: results, liveness, and shutdown in one.
+
+        Waits on every worker's result pipe *and* its process sentinel
+        (plus the pool's private wake pipe, which ``close()`` pokes).
+        A readable pipe completes futures; a fired sentinel is a worker
+        death — ``WorkerError`` only covers exceptions raised inside a
+        live worker, so without the sentinels a segfault/OOM-kill would
+        leave the victim's in-flight future pending forever and keep the
+        round-robin routing batches at a corpse.
+        """
+        readers = {
+            reader: index
+            for index, reader in enumerate(self._result_readers)
+        }
+        sentinels = {
+            process.sentinel: index
+            for index, process in enumerate(self._processes)
+        }
         while True:
-            item = self._results.get()
-            if item is None:
-                return
-            if item[0] == "ready":
-                self._ready[item[1]].set()
-                continue
-            _tag, ticket, ok, payload, retries = item
+            ready = multiprocessing.connection.wait(
+                [self._wake_r, *readers, *sentinels]
+            )
             with self._state_lock:
-                future = self._futures.pop(ticket, None)
-                self._counters["retries"] += retries
-            if future is None:
-                continue
-            if ok:
-                future.set_result(payload)
-            else:
-                future.set_exception(WorkerError(payload[0], payload[1]))
+                if self._closed:
+                    return
+            # Results before sentinels: a worker that answered and then
+            # exited must complete its future, not fail it.
+            for conn in list(readers):
+                if conn not in ready:
+                    continue
+                if not self._drain(conn, readers[conn]):
+                    del readers[conn]
+            for sentinel in list(sentinels):
+                if sentinel not in ready:
+                    continue
+                index = sentinels.pop(sentinel)
+                reader = self._result_readers[index]
+                if reader in readers and not self._drain(reader, index):
+                    del readers[reader]
+                self._on_worker_death(index)
+
+    def _drain(self, conn: "Connection", index: int) -> bool:
+        """Consume every complete message on one result pipe.
+
+        Returns False once the pipe is dead (worker exited or was killed
+        mid-send) — a truncated trailing message is simply dropped; the
+        sentinel path fails the future it belonged to.
+        """
+        try:
+            while conn.poll():
+                self._handle(conn.recv())
+        except (EOFError, OSError):
+            return False
+        return True
+
+    def _handle(self, item: Tuple[Any, ...]) -> None:
+        """Apply one worker message (ready handshake or batch result)."""
+        if item[0] == "ready":
+            self._ready[item[1]].set()
+            return
+        _tag, ticket, ok, payload, retries = item
+        with self._state_lock:
+            future = self._futures.pop(ticket, None)
+            self._owners.pop(ticket, None)
+            self._counters["retries"] += retries
+        if future is None:
+            return
+        if ok:
+            future.set_result(payload)
+        else:
+            future.set_exception(WorkerError(payload[0], payload[1]))
+
+    def _on_worker_death(self, index: int) -> None:
+        """Fail the dead worker's in-flight futures; stop routing to it."""
+        process = self._processes[index]
+        with self._state_lock:
+            if self._closed or index in self._dead:
+                return
+            self._dead.add(index)
+            self._counters["worker_deaths"] += 1
+            doomed = [
+                ticket
+                for ticket, owner in self._owners.items()
+                if owner == index
+            ]
+            futures = [
+                future
+                for ticket in doomed
+                if (future := self._futures.pop(ticket, None)) is not None
+            ]
+            for ticket in doomed:
+                self._owners.pop(ticket, None)
+        error = ProcessPoolError(
+            f"worker {index} died (exitcode={process.exitcode}) with the "
+            "batch in flight"
+        )
+        for future in futures:
+            if not future.done():
+                future.set_exception(error)
 
     def close(self) -> None:
         """Stop workers, fail pending futures, release every segment.
@@ -359,6 +530,10 @@ class ProcessReplicaPool:
             if self._closed:
                 return
             self._closed = True
+        # The stop word unblocks workers spinning inside a patch window
+        # that will never close (degraded pool) so they can reach the
+        # "stop" task instead of waiting out the terminate timeout.
+        self._ctrl[2] = 1
         for queue in self._tasks:
             queue.put(("stop",))
         for process in self._processes:
@@ -369,16 +544,23 @@ class ProcessReplicaPool:
                 process.terminate()
                 process.join(timeout=_STOP_TIMEOUT_S)
         if self._listener.is_alive():
-            self._results.put(None)
+            self._wake_w.send(("stop",))  # unblock the connection wait
             self._listener.join(timeout=_STOP_TIMEOUT_S)
         with self._state_lock:
             pending, self._futures = self._futures, {}
+            self._owners = {}
         for future in pending.values():
             if not future.done():
                 future.set_exception(
                     ProcessPoolError("process pool closed with the batch "
                                      "in flight")
                 )
+        for reader in self._result_readers:
+            reader.close()
+        for writer in self._result_writers:
+            writer.close()  # no-op normally; real on failed-start paths
+        self._wake_r.close()
+        self._wake_w.close()
         self._ctrl.close()
         self._frozen.close()
 
@@ -417,18 +599,20 @@ def _worker_main(
     ctrl_segment: str,
     tasks: "SimpleQueue[Any]",
     syncs: "SimpleQueue[Any]",
-    results: "SimpleQueue[Any]",
+    results: "Connection",
 ) -> None:
     """Worker-process entry point: attach, handshake, serve batches.
 
     Spawn-friendly (module-level, picklable arguments only).  The
     worker owns no shared segment — its snapshot and control vector are
-    attachments, detached on exit; the primary alone unlinks.
+    attachments, detached on exit; the primary alone unlinks.  Results
+    go over this worker's private pipe — no lock shared with the other
+    workers, so this worker dying mid-send cannot wedge anyone else.
     """
     frozen = FrozenRoad.from_manifest(manifest)
     ctrl = ShmVector.attach(ctrl_segment, "q")
     state = _WorkerState(frozen)
-    results.put(("ready", worker_id))
+    results.send(("ready", worker_id))
     try:
         while True:
             item = tasks.get()
@@ -439,7 +623,7 @@ def _worker_main(
             try:
                 answers = _serve_batch(state, ctrl, syncs, queries, directory)
             except Exception as exc:  # noqa: BLE001 — fan the error out
-                results.put(
+                results.send(
                     (
                         "done",
                         ticket,
@@ -449,10 +633,11 @@ def _worker_main(
                     )
                 )
             else:
-                results.put(("done", ticket, True, answers, state.retries))
+                results.send(("done", ticket, True, answers, state.retries))
     finally:
         state.frozen.close()
         ctrl.close()
+        results.close()
 
 
 def _serve_batch(
@@ -483,7 +668,16 @@ def _serve_batch(
                 raise
             state.retries += 1
             continue
-        if int(ctrl[0]) == generation and state.applied_seq >= int(ctrl[1]):
+        # The even check matters even though _catch_up only returns on
+        # even generations: the primary can open a patch window between
+        # _catch_up returning and the sample above, and a window that
+        # outlasts the whole batch leaves both control words looking
+        # unchanged around a torn read.
+        if (
+            generation % 2 == 0
+            and int(ctrl[0]) == generation
+            and state.applied_seq >= int(ctrl[1])
+        ):
             return answers
         state.retries += 1
 
@@ -497,8 +691,14 @@ def _catch_up(
     whenever ``applied_seq`` trails the published sequence the payload
     is already in (or on its way into) this worker's sync queue — the
     blocking ``get`` cannot starve.
+
+    A degraded pool leaves the patch window open indefinitely; the stop
+    word (``ctrl[2]``, set by the primary's ``close()``) aborts the wait
+    so the worker can drain its task queue and exit.
     """
     while True:
+        if int(ctrl[2]):
+            raise ProcessPoolError("process pool is stopping")
         if int(ctrl[0]) % 2:
             time.sleep(_PATCH_WAIT_S)
             continue

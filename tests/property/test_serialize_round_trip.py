@@ -118,6 +118,24 @@ def test_snapshot_round_trip_diverges_nowhere(backend, seed, tmp_path_factory):
         frozen.close()
 
 
+def test_load_rejects_invalid_mask_budget(tmp_path):
+    """Every construction path enforces the mask-budget floor.
+
+    ``from_parts`` (behind ``load_snapshot``) shares ``__init__``'s
+    validation: a budget below 1 would make the mask-cache LRU pop from
+    an empty dict on the first cached predicate.
+    """
+    _network, road, _directories = _build_multi_road(random.Random(3))
+    path = tmp_path / "good.roadsnp"
+    frozen = road.freeze()
+    save_snapshot(frozen, path)
+    frozen.close()
+    with pytest.raises(ValueError, match="mask_budget"):
+        load_snapshot(path, mask_budget=0)
+    with pytest.raises(ValueError, match="mask_budget"):
+        road.freeze(mask_budget=0)
+
+
 def test_snapshot_rejects_corruption(tmp_path):
     _network, road, _directories = _build_multi_road(random.Random(7))
     path = tmp_path / "good.roadsnp"

@@ -11,7 +11,11 @@ lifecycle).
 """
 
 import asyncio
+import glob
+import os
 import random
+import signal
+import time
 
 import pytest
 
@@ -190,3 +194,129 @@ def test_pool_serves_raises_and_closes():
     # A closed pool refuses new work instead of hanging.
     with pytest.raises(ProcessPoolError, match="closed"):
         pool.submit(workload, None)
+
+
+def _await(predicate, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError("condition not reached within the timeout")
+
+
+def test_worker_death_fails_futures_and_reroutes():
+    """A killed worker neither hangs its futures nor keeps taking work.
+
+    The watchdog waits on the process sentinels: a SIGKILL (stand-in for
+    segfault/OOM) fails any batch routed at the corpse with a typed
+    error, drops the worker from the round-robin, and the survivor keeps
+    serving.  Only when every worker is gone does submit() refuse.
+
+    Killed workers must also not leak /dev/shm entries: mask caches are
+    process-local bytearrays even on the shm backend precisely so a
+    worker that dies without running close() owns no named segments.
+    """
+    # Segments only: the queue semaphores (sem.mp-*) rightly live as long
+    # as the pool object itself and are not a leak.
+    shm_before = set(glob.glob("/dev/shm/psm_*")) | set(
+        glob.glob("/dev/shm/repro_*")
+    )
+    road, workload = _pool_parts()
+    pool = ProcessReplicaPool(road.freeze(backend="shm"), workers=2)
+    try:
+        reference = road.freeze()
+        expected = reference.execute_many(workload)
+        reference.close()
+        assert pool.submit(workload, None).result(timeout=60) == expected
+
+        os.kill(pool._processes[0].pid, signal.SIGKILL)
+        # Batches routed at the corpse before the watchdog notices fail
+        # instead of pending forever; once it has, everything reroutes.
+        served = 0
+        for _ in range(6):
+            future = pool.submit(workload, None)
+            try:
+                assert future.result(timeout=60) == expected
+                served += 1
+            except ProcessPoolError as exc:
+                assert "died" in str(exc)
+            time.sleep(0.1)
+        assert served > 0
+        _await(lambda: pool.stats()["worker_deaths"] == 1)
+        assert pool.submit(workload, None).result(timeout=60) == expected
+
+        os.kill(pool._processes[1].pid, signal.SIGKILL)
+        _await(lambda: pool.stats()["worker_deaths"] == 2)
+        with pytest.raises(ProcessPoolError, match="died"):
+            pool.submit(workload, None)
+    finally:
+        pool.close()
+    leaked = (
+        set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/repro_*"))
+    ) - shm_before
+    assert not leaked, f"worker deaths leaked shm entries: {sorted(leaked)}"
+
+
+def test_failed_patch_degrades_pool_until_snapshot_replaced(monkeypatch):
+    """A patch that dies mid-apply must not resume over torn arrays.
+
+    The window stays open (generation odd, workers paused), the pool
+    refuses submit()/apply() as degraded, and replace_snapshot() with a
+    fresh freeze is the recovery path that closes the window over
+    known-good state.
+    """
+    road, workload = _pool_parts()
+    pool = ProcessReplicaPool(road.freeze(backend="shm"), workers=2)
+    try:
+        reference = road.freeze()
+        expected = reference.execute_many(workload)
+        reference.close()
+        assert pool.submit(workload, None).result(timeout=60) == expected
+
+        def explode(report, source=None):
+            raise RuntimeError("simulated mid-patch failure")
+
+        monkeypatch.setattr(pool.frozen, "apply", explode)
+        with pytest.raises(RuntimeError, match="mid-patch"):
+            pool.apply(object(), None)
+
+        stats = pool.stats()
+        assert stats["degraded"] is True
+        assert stats["generation"] % 2 == 1  # window held open
+        with pytest.raises(ProcessPoolError, match="degraded"):
+            pool.submit(workload, None)
+        with pytest.raises(ProcessPoolError, match="degraded"):
+            pool.apply(object(), None)
+
+        pool.replace_snapshot(road.freeze(backend="shm"))
+        stats = pool.stats()
+        assert stats["degraded"] is False
+        assert stats["generation"] % 2 == 0
+        assert pool.submit(workload, None).result(timeout=60) == expected
+    finally:
+        pool.close()
+
+
+def test_close_unblocks_workers_parked_in_an_open_patch_window(monkeypatch):
+    """close() on a degraded pool stops workers without terminate().
+
+    A worker spinning in the seqlock catch-up (the patch window never
+    closes after a failed apply) honours the control vector's stop word,
+    aborts the batch, and exits cleanly on the stop task.
+    """
+    road, workload = _pool_parts()
+    pool = ProcessReplicaPool(road.freeze(backend="shm"), workers=2)
+
+    def explode(report, source=None):
+        raise RuntimeError("simulated mid-patch failure")
+
+    monkeypatch.setattr(pool.frozen, "apply", explode)
+    with pytest.raises(RuntimeError, match="mid-patch"):
+        pool.apply(object(), None)
+    # Hand a worker a batch directly (submit() refuses while degraded):
+    # it parks in the catch-up loop because the window never closes.
+    pool._tasks[0].put(("batch", 10_000, list(workload), None))
+    time.sleep(0.3)
+    pool.close()
+    assert all(process.exitcode == 0 for process in pool._processes)
