@@ -1,0 +1,420 @@
+"""HTTP serving edge: open-loop load over the ASGI app, per-path tails.
+
+The serving stack's last hop is :class:`repro.serving.http.RoadServiceApp`
+— queries arrive as JSON, ride the admission buckets, and leave as JSON.
+This bench drives that app **in process** (ASGI calls, no socket: the
+numbers measure the serving stack, not loopback TCP) with an open-loop
+arrival schedule: request *i* is dispatched at ``t0 + i/rate`` whether or
+not earlier requests have finished, and each latency is measured from its
+*scheduled* dispatch time — the coordinated-omission-free convention, so
+a stall inflates the tail instead of politely pausing the load.
+
+The run table crosses workload mixes (pure kNN vs the mixed kNN/range/
+aggregate workload) with serving paths (unsharded frozen engine, thread
+shards, process shards when shared memory is available), recording
+achieved qps plus exact nearest-rank ``p50_ms``/``p95_ms``/``p99_ms``
+into ``BENCH_http_serving[_smoke].json`` — the ``repro.eval.compare``
+ratchet holds the ``p*_ms`` columns to their committed baseline by
+**max** per-row ratio (see ``--tail-threshold``).
+
+Acceptance gates: every HTTP answer decodes byte-identical to the sync
+``run_many`` reference (the wire codecs add nothing and lose nothing —
+JSON carries exact IEEE doubles); every response is a 200; and after an
+edge-distance patch submitted through ``POST /maintenance``, the sharded
+services show zero ``snapshot_divergences`` against a fresh freeze and
+keep answering byte-identical to the maintained primary.
+
+Run standalone (``python benchmarks/bench_http_serving.py``,
+``REPRO_BENCH_SMOKE=1`` for the CI-sized run) or via pytest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH/pytest-pythonpath)
+except ModuleNotFoundError:  # standalone run from a clean checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.frozen_backends import shared_memory_available
+from repro.eval.config import DEFAULT_K, DEFAULT_OBJECTS, DEFAULT_RANGE_FRACTION
+from repro.eval.datasets import dataset_levels, load_dataset
+from repro.eval.metrics import snapshot_divergences
+from repro.eval.reporting import ExperimentResult
+from repro.eval.runner import build_engine, make_objects
+from repro.queries.types import KNNQuery
+from repro.queries.workload import mixed_workload
+from repro.serving import RoadService, ServiceConfig
+from repro.serving.http import RoadServiceApp
+from repro.serving.wire import decode_result, encode_query
+
+#: Requests per timed round and the distinct pool they draw from.
+NUM_REQUESTS = 240
+DISTINCT_QUERIES = 30
+
+#: Replica shards per sharded path (smoke and full: the tails being
+#: ratcheted must come from a fixed topology).
+REPLICA_COUNT = 2
+
+#: Timed open-loop rounds per row; latencies pool across rounds so the
+#: p99 rank rests on rounds * NUM_REQUESTS samples.
+ROUNDS = 3
+
+#: The offered rate is this fraction of the calibrated closed-loop
+#: throughput: high enough to queue, low enough not to diverge.
+LOAD_FACTOR = 0.7
+MIN_RATE = 50.0
+
+
+def _knn_workload(network, count, *, k, seed):
+    rnd = random.Random(seed)
+    nodes = list(range(network.num_nodes))
+    return [KNNQuery(node=rnd.choice(nodes), k=k) for _ in range(count)]
+
+
+def _hot(pool, count):
+    """``count`` requests cycling over the distinct query pool."""
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+async def _call(app, method, path, payload=None):
+    """One in-process ASGI request; returns (status, decoded JSON body)."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    messages = [{"type": "http.request", "body": body, "more_body": False}]
+    response = {"status": 0, "body": b""}
+
+    async def receive():
+        if messages:
+            return messages.pop(0)
+        return {"type": "http.disconnect"}
+
+    async def send(message):
+        if message["type"] == "http.response.start":
+            response["status"] = message["status"]
+        else:
+            response["body"] += message.get("body", b"")
+
+    await app({"type": "http", "method": method, "path": path}, receive, send)
+    raw = response["body"]
+    return response["status"], json.loads(raw) if raw else None
+
+
+def _percentile(sorted_ms, fraction):
+    """Nearest-rank percentile over an already sorted latency list."""
+    if not sorted_ms:
+        return 0.0
+    rank = math.ceil(fraction * len(sorted_ms)) - 1
+    return sorted_ms[min(max(rank, 0), len(sorted_ms) - 1)]
+
+
+def _closed_loop(app, queries):
+    """All queries at once (closed loop): answers + wall-clock ms.
+
+    Doubles as the warm-up and the rate calibration for the open-loop
+    rounds that follow.
+    """
+
+    async def go():
+        return await asyncio.gather(
+            *(
+                _call(app, "POST", "/query", {"query": encode_query(q)})
+                for q in queries
+            )
+        )
+
+    start = time.perf_counter()
+    responses = asyncio.run(go())
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    answers = [_decode_answer(status, body) for status, body in responses]
+    return answers, wall_ms
+
+
+def _decode_answer(status, body):
+    if status != 200 or not isinstance(body, dict):
+        return None
+    return decode_result(body.get("result", body.get("results")))
+
+
+def _open_loop(app, queries, rate):
+    """One open-loop round at ``rate`` req/s; per-request scheduled latency."""
+
+    async def go():
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+
+        async def one(index, query):
+            target = t0 + index / rate
+            delay = target - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            status, body = await _call(
+                app, "POST", "/query", {"query": encode_query(query)}
+            )
+            # Latency from the *scheduled* dispatch time: queueing delay
+            # (including a late start under backlog) counts against the
+            # tail — closing the loop here would hide exactly the stalls
+            # an open-loop harness exists to see.
+            return status, body, (loop.time() - target) * 1000.0
+
+        results = await asyncio.gather(
+            *(one(i, q) for i, q in enumerate(queries))
+        )
+        return results, loop.time() - t0
+
+    results, wall_s = asyncio.run(go())
+    ok = all(status == 200 for status, _body, _ms in results)
+    answers = [_decode_answer(status, body) for status, body, _ms in results]
+    latencies = [ms for _status, _body, ms in results]
+    qps = len(queries) / wall_s if wall_s else float("inf")
+    return ok, answers, latencies, qps
+
+
+def run_http_load(
+    *,
+    network: str = "CA",
+    num_objects: int = DEFAULT_OBJECTS,
+    k: int = DEFAULT_K,
+    fraction: float = DEFAULT_RANGE_FRACTION,
+    num_requests: int = NUM_REQUESTS,
+    distinct: int = DISTINCT_QUERIES,
+    num_nodes=None,
+    rounds: int = ROUNDS,
+    seed: int = 0,
+):
+    """The run table: workload mix x serving path, open-loop percentiles.
+
+    Returns ``(result, summary)`` where ``summary`` carries per-row
+    ``{qps, rate, identical, http_ok, p50/p95/p99}`` plus the
+    maintenance-churn verdicts (``divergences``,
+    ``post_churn_identical``).
+    """
+    dataset = load_dataset(network, num_nodes)
+    objects = make_objects(dataset.network, num_objects, seed=seed)
+    engine = build_engine(
+        "ROAD", dataset.network, objects,
+        road_levels=dataset_levels(network), road_mode_override="frozen",
+    )
+    radius = dataset.radius(fraction)
+    mixes = {
+        "knn": _hot(
+            _knn_workload(dataset.network, distinct, k=k, seed=seed),
+            num_requests,
+        ),
+        "mixed": _hot(
+            mixed_workload(
+                dataset.network, distinct, k=k, radius=radius, seed=seed
+            ),
+            num_requests,
+        ),
+    }
+    batching = dict(max_batch=64, max_delay_ms=2.0)
+    services = {
+        "direct": RoadService(
+            engine, config=ServiceConfig(mode="frozen", **batching)
+        ),
+        "thread-shard": RoadService(
+            engine,
+            config=ServiceConfig(
+                mode="frozen", replicas=REPLICA_COUNT, **batching
+            ),
+        ),
+    }
+    if shared_memory_available():
+        services["process-shard"] = RoadService(
+            engine,
+            config=ServiceConfig(
+                mode="frozen", replicas=REPLICA_COUNT,
+                replica_mode="process", **batching
+            ),
+        )
+    apps = {name: RoadServiceApp(service) for name, service in services.items()}
+
+    result = ExperimentResult(
+        "http_serving",
+        f"HTTP serving edge on {network} (|O|={num_objects}, "
+        f"{num_requests} open-loop requests over {distinct} distinct, "
+        f"k={k}, {REPLICA_COUNT} replicas)",
+        ["path", "rate_qps", "qps", "p50_ms", "p95_ms", "p99_ms", "identical"],
+    )
+    summary = {}
+    for mix_name, queries in mixes.items():
+        reference = services["direct"].run_many(queries)
+        for path_name, app in apps.items():
+            row = f"{mix_name}:{path_name}"
+            # Closed-loop warm-up calibrates the offered rate.
+            warm_answers, warm_ms = _closed_loop(app, queries)
+            closed_qps = (
+                len(queries) / (warm_ms / 1000.0) if warm_ms else MIN_RATE
+            )
+            rate = max(MIN_RATE, closed_qps * LOAD_FACTOR)
+            ok, answers, latencies, qps = True, warm_answers, [], 0.0
+            pooled = []
+            for _ in range(rounds):
+                round_ok, answers, round_ms, qps = _open_loop(
+                    app, queries, rate
+                )
+                ok = ok and round_ok
+                pooled.extend(round_ms)
+            pooled.sort()
+            identical = warm_answers == reference and answers == reference
+            summary[row] = {
+                "qps": qps,
+                "rate": rate,
+                "http_ok": ok,
+                "identical": identical,
+                "p50_ms": _percentile(pooled, 0.50),
+                "p95_ms": _percentile(pooled, 0.95),
+                "p99_ms": _percentile(pooled, 0.99),
+            }
+            result.add_row(
+                path=row,
+                rate_qps=f"{rate:,.0f}",
+                qps=f"{qps:,.0f}",
+                p50_ms=summary[row]["p50_ms"],
+                p95_ms=summary[row]["p95_ms"],
+                p99_ms=summary[row]["p99_ms"],
+                identical=str(identical),
+            )
+
+    # Maintenance churn through the HTTP edge: one edge-distance patch
+    # POSTed to the thread-shard app broadcasts through that service;
+    # the report is then relayed to the other shard sets (they share the
+    # one primary engine), and every replica must probe byte-identical
+    # to a fresh freeze of the maintained road.
+    u, v, dist = sorted(engine.network.edges())[0]
+    status, body = asyncio.run(
+        _call(
+            apps["thread-shard"], "POST", "/maintenance",
+            {
+                "op": "update_edge_distance",
+                "u": u, "v": v, "distance": dist * 1.25,
+            },
+        )
+    )
+    summary["maintenance_http"] = {"status": status, "body": body}
+    report = engine.last_report
+    for name, service in services.items():
+        if name != "thread-shard" and service.replicas:
+            service.apply_report(report)
+    fresh = engine.road.freeze()
+    rnd = random.Random(5)
+    divergences = {}
+    for name, service in services.items():
+        divergences[name] = sum(
+            len(snapshot_divergences(rnd, replica, fresh, probes=3))
+            for replica in service.replicas
+        )
+    fresh.close()
+    summary["divergences"] = divergences
+    # Post-churn: the HTTP batch endpoint against the maintained primary.
+    churn_queries = mixes["mixed"][:distinct]
+    post_churn = services["direct"].run_many(churn_queries)
+    batch_payload = {"queries": [encode_query(q) for q in churn_queries]}
+    post_ok = True
+    for app in apps.values():
+        status, body = asyncio.run(
+            _call(app, "POST", "/query", batch_payload)
+        )
+        answers = (
+            [decode_result(item) for item in body["results"]]
+            if status == 200
+            else None
+        )
+        post_ok = post_ok and answers == post_churn
+    summary["post_churn_identical"] = post_ok
+
+    for service in services.values():
+        service.close()
+
+    result.note(
+        f"open loop: requests dispatched at t0 + i/rate with rate = "
+        f"{LOAD_FACTOR:.0%} of the calibrated closed-loop throughput; "
+        f"latency measured from the scheduled dispatch time "
+        f"(coordinated-omission-free); percentiles pool "
+        f"{rounds} x {num_requests} samples"
+    )
+    result.note(
+        "gates: every response 200 and byte-identical to sync run_many; "
+        "after a POST /maintenance edge patch, zero snapshot divergences "
+        "on every shard set and byte-identical post-churn batch answers"
+    )
+    result.note(
+        f"params: network={network} num_nodes={dataset.network.num_nodes} "
+        f"objects={num_objects} k={k} rounds={rounds} seed={seed}"
+    )
+    return result, summary
+
+
+def _assert_gates(summary) -> None:
+    """The acceptance bars shared by the pytest gate and main()."""
+    for row, stats in summary.items():
+        if not isinstance(stats, dict) or "identical" not in stats:
+            continue
+        assert stats["http_ok"], f"{row}: non-200 responses under load"
+        assert stats["identical"], (
+            f"{row}: HTTP answers diverged from sync run_many"
+        )
+    assert summary["maintenance_http"]["status"] == 200, (
+        f"POST /maintenance failed: {summary['maintenance_http']}"
+    )
+    for name, count in summary["divergences"].items():
+        assert count == 0, (
+            f"{name}: {count} snapshot divergence(s) after the HTTP "
+            f"maintenance patch"
+        )
+    assert summary["post_churn_identical"], (
+        "post-churn HTTP batch answers diverged from the maintained primary"
+    )
+
+
+def test_http_serving(results_dir):
+    """The acceptance gate: byte-identical HTTP serving, patched shards."""
+    from conftest import publish
+
+    result, summary = run_http_load()
+    _assert_gates(summary)
+    publish(result, results_dir)
+
+
+def main() -> int:
+    from conftest import publish_main
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    if smoke:
+        result, summary = run_http_load(
+            num_nodes=300, num_requests=60, distinct=12, rounds=2,
+        )
+    else:
+        result, summary = run_http_load()
+    publish_main(
+        result, smoke=smoke,
+        smoke_note="smoke mode: 300-node replica, 60 open-loop requests — "
+                   "not comparable to full CA runs",
+    )
+    _assert_gates(summary)
+    rows = {
+        name: stats
+        for name, stats in summary.items()
+        if isinstance(stats, dict) and "qps" in stats
+    }
+    best = max(rows, key=lambda name: rows[name]["qps"])
+    print(
+        f"\nbest path: {best} at {rows[best]['qps']:,.0f} qps "
+        f"(p99 {rows[best]['p99_ms']:.3f} ms); "
+        f"median p99 across rows: "
+        f"{statistics.median(s['p99_ms'] for s in rows.values()):.3f} ms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

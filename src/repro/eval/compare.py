@@ -11,8 +11,14 @@ checked-in baseline of the same name under ``--baseline-dir``, matching
 rows by their label column and collecting, per latency column (any column
 ending in ``_ms``), the per-row ``current / baseline`` ratios.  The gate
 fails when a column's **median** ratio exceeds ``1 + --threshold`` (default
-25%).  A trajectory table is printed and, when ``$GITHUB_STEP_SUMMARY`` is
-set (or ``--summary`` given), appended to the CI job summary as markdown.
+25%).  Tail-percentile columns (``p50_ms``/``p95_ms``/``p99_ms`` — any
+``p<digits>_ms``) are held to a stricter aggregation and a looser limit:
+their gate is the **max** per-row ratio against ``1 + --tail-threshold``
+(default 75%), so a single path's tail blow-up fails the gate even when
+every other row is flat — a median would average it away, which is
+precisely how tail regressions hide.  A trajectory table is printed and,
+when ``$GITHUB_STEP_SUMMARY`` is set (or ``--summary`` given), appended to
+the CI job summary as markdown.
 
 Benchmarks without a baseline yet pass with a ``new`` status — commit the
 current artifact under ``--baseline-dir`` to start ratcheting them.
@@ -23,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import statistics
 import sys
 from dataclasses import dataclass
@@ -37,6 +44,14 @@ DEFAULT_CURRENT_DIR = "benchmarks/results"
 DEFAULT_PATTERN = "BENCH_*_smoke.json"
 #: Allowed median-latency growth before the gate fails.
 DEFAULT_THRESHOLD = 0.25
+#: Allowed tail-percentile growth (max per-row ratio).  Looser than the
+#: median gate: a smoke run's p99 rides on a handful of samples, and one
+#: scheduler hiccup on a shared CI runner can double it honestly.
+DEFAULT_TAIL_THRESHOLD = 0.75
+
+#: Columns carrying a latency percentile (p50_ms, p95_ms, p99_ms, ...):
+#: ratcheted on their worst row, not their middle one.
+_TAIL_COLUMN_RE = re.compile(r"^p\d+_ms$")
 
 
 @dataclass(frozen=True)
@@ -47,8 +62,11 @@ class ColumnVerdict:
     column: str
     baseline_ms: float  # median over matched rows
     current_ms: float
-    ratio: Optional[float]  # median of per-row ratios; None = incomparable
+    ratio: Optional[float]  # aggregated per-row ratio; None = incomparable
     status: str  # "ok" | "REGRESSION" | "new" | "incomparable"
+    #: How the per-row ratios were aggregated: "median" for plain latency
+    #: columns, "max" for tail-percentile (p<digits>_ms) columns.
+    aggregate: str = "median"
 
     @property
     def failed(self) -> bool:
@@ -74,6 +92,10 @@ def _median(values: List[float]) -> float:
     return statistics.median(values) if values else 0.0
 
 
+def _aggregate_for(column: str) -> str:
+    return "max" if _TAIL_COLUMN_RE.match(column) else "median"
+
+
 def compare_file(current: Path, baseline: Path) -> List[ColumnVerdict]:
     """Verdicts for every latency column of one benchmark artifact."""
     bench = current.stem.replace("BENCH_", "")
@@ -88,6 +110,7 @@ def compare_file(current: Path, baseline: Path) -> List[ColumnVerdict]:
                 ),
                 ratio=None,
                 status="new",
+                aggregate=_aggregate_for(col),
             )
             for col in latency_cols
         ]
@@ -115,36 +138,42 @@ def compare_file(current: Path, baseline: Path) -> List[ColumnVerdict]:
             base_values.append(float(base))
             if base > 0:
                 ratios.append(float(cur) / float(base))
+        aggregate = _aggregate_for(col)
         if not ratios:
             verdicts.append(
                 ColumnVerdict(
                     bench, col, _median(base_values), _median(cur_values),
-                    None, "incomparable",
+                    None, "incomparable", aggregate,
                 )
             )
             continue
-        ratio = _median(ratios)
+        # Tail columns regress on their *worst* row: one path's p99
+        # doubling is a tail regression even if the other rows are flat.
+        ratio = max(ratios) if aggregate == "max" else _median(ratios)
         verdicts.append(
             ColumnVerdict(
                 bench, col, _median(base_values), _median(cur_values),
-                ratio, "ok",
+                ratio, "ok", aggregate,
             )
         )
     return verdicts
 
 
 def _apply_threshold(
-    verdicts: List[ColumnVerdict], threshold: float
+    verdicts: List[ColumnVerdict],
+    threshold: float,
+    tail_threshold: float = DEFAULT_TAIL_THRESHOLD,
 ) -> List[ColumnVerdict]:
     out = []
     for v in verdicts:
+        limit = tail_threshold if v.aggregate == "max" else threshold
         if v.status == "ok" and v.ratio is not None and (
-            v.ratio > 1.0 + threshold
+            v.ratio > 1.0 + limit
         ):
             out.append(
                 ColumnVerdict(
                     v.bench, v.column, v.baseline_ms, v.current_ms,
-                    v.ratio, "REGRESSION",
+                    v.ratio, "REGRESSION", v.aggregate,
                 )
             )
         else:
@@ -152,27 +181,40 @@ def _apply_threshold(
     return out
 
 
-def render_text(verdicts: List[ColumnVerdict], threshold: float) -> str:
+def render_text(
+    verdicts: List[ColumnVerdict],
+    threshold: float,
+    tail_threshold: float = DEFAULT_TAIL_THRESHOLD,
+) -> str:
     """The trajectory table, monospace (stdout form)."""
-    header = ("bench", "column", "baseline_ms", "current_ms", "ratio", "status")
+    header = (
+        "bench", "column", "baseline_ms", "current_ms", "ratio", "agg",
+        "status",
+    )
     lines = [_table_row(header)]
     lines.append(_table_row(tuple("-" * len(h) for h in header)))
     for v in verdicts:
         lines.append(_table_row(_cells(v)))
     lines.append(
         f"gate: fail when a column's median latency ratio exceeds "
-        f"{1.0 + threshold:.2f}x its committed baseline"
+        f"{1.0 + threshold:.2f}x its committed baseline "
+        f"(tail p*_ms columns: max per-row ratio over "
+        f"{1.0 + tail_threshold:.2f}x)"
     )
     return "\n".join(lines)
 
 
-def render_markdown(verdicts: List[ColumnVerdict], threshold: float) -> str:
+def render_markdown(
+    verdicts: List[ColumnVerdict],
+    threshold: float,
+    tail_threshold: float = DEFAULT_TAIL_THRESHOLD,
+) -> str:
     """The trajectory table as GitHub job-summary markdown."""
     lines = [
         "### Bench-regression trajectory",
         "",
-        "| bench | column | baseline ms | current ms | ratio | status |",
-        "| --- | --- | ---: | ---: | ---: | --- |",
+        "| bench | column | baseline ms | current ms | ratio | agg | status |",
+        "| --- | --- | ---: | ---: | ---: | --- | --- |",
     ]
     for v in verdicts:
         cells = _cells(v)
@@ -180,7 +222,9 @@ def render_markdown(verdicts: List[ColumnVerdict], threshold: float) -> str:
     lines.append("")
     lines.append(
         f"Gate: fail when a column's median latency ratio exceeds "
-        f"**{1.0 + threshold:.2f}x** its committed baseline."
+        f"**{1.0 + threshold:.2f}x** its committed baseline; tail "
+        f"``p*_ms`` columns fail on their **max** per-row ratio over "
+        f"**{1.0 + tail_threshold:.2f}x**."
     )
     return "\n".join(lines) + "\n"
 
@@ -192,11 +236,12 @@ def _cells(v: ColumnVerdict):
         f"{v.baseline_ms:.3f}" if v.status != "new" else "-",
         f"{v.current_ms:.3f}",
         f"{v.ratio:.2f}x" if v.ratio is not None else "-",
+        v.aggregate,
         v.status,
     )
 
 
-_WIDTHS = (28, 14, 12, 11, 7, 10)
+_WIDTHS = (28, 14, 12, 11, 7, 6, 10)
 
 
 def _table_row(cells) -> str:
@@ -229,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: {DEFAULT_THRESHOLD})",
     )
     parser.add_argument(
+        "--tail-threshold", type=float, default=DEFAULT_TAIL_THRESHOLD,
+        metavar="FRAC",
+        help="allowed growth of the worst row of p*_ms percentile columns "
+        f"(default: {DEFAULT_TAIL_THRESHOLD})",
+    )
+    parser.add_argument(
         "--summary", metavar="FILE",
         help="append the markdown trajectory table to FILE "
         "(default: $GITHUB_STEP_SUMMARY when set)",
@@ -251,17 +302,19 @@ def main(argv=None) -> int:
     verdicts: List[ColumnVerdict] = []
     for current in current_files:
         verdicts.extend(compare_file(current, baseline_dir / current.name))
-    verdicts = _apply_threshold(verdicts, args.threshold)
-    print(render_text(verdicts, args.threshold))
+    verdicts = _apply_threshold(verdicts, args.threshold, args.tail_threshold)
+    print(render_text(verdicts, args.threshold, args.tail_threshold))
     summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a") as fh:
-            fh.write(render_markdown(verdicts, args.threshold))
+            fh.write(
+                render_markdown(verdicts, args.threshold, args.tail_threshold)
+            )
     failures = [v for v in verdicts if v.failed]
     if failures:
         print(
             f"{len(failures)} bench-regression failure(s) "
-            f"(threshold +{args.threshold:.0%}):",
+            f"(median +{args.threshold:.0%}, tail +{args.tail_threshold:.0%}):",
             file=sys.stderr,
         )
         for v in failures:
@@ -274,7 +327,8 @@ def main(argv=None) -> int:
                 )
             else:
                 print(
-                    f"  {v.bench}.{v.column}: {v.ratio:.2f}x baseline "
+                    f"  {v.bench}.{v.column}: {v.aggregate} ratio "
+                    f"{v.ratio:.2f}x baseline "
                     f"({v.baseline_ms:.3f} -> {v.current_ms:.3f} ms)",
                     file=sys.stderr,
                 )

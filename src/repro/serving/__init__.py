@@ -7,6 +7,11 @@ Two layers:
   ``@register_handler`` registry replacing the per-engine ``isinstance``
   ladders, and the typed :class:`UnsupportedQueryError` /
   :class:`UnknownDirectoryError` errors.
+* :mod:`repro.serving.metrics` / :mod:`repro.serving.wire` /
+  :mod:`repro.serving.http` — the observability and HTTP edge: the
+  :class:`MetricsRegistry` threaded through the service and scraped by
+  ``GET /metrics``, the JSON wire codecs, and the stdlib-only ASGI app
+  (``python -m repro.serving.http`` hosts it).
 * :mod:`repro.serving.service` — the :class:`RoadService` facade: typed
   :class:`ServiceConfig` (the ``REPRO_*`` env vars become overrides),
   sync ``run``/``run_many``, an asyncio front-end (``await
@@ -36,22 +41,30 @@ from repro.serving.dispatch import (
 __all__ = [
     "DEFAULT_DIRECTORY",
     "BatchContext",
+    "MetricError",
+    "MetricsRegistry",
     "ProcessPoolError",
     "ProcessReplicaPool",
     "QueryExecutor",
     "RoadService",
+    "RoadServiceApp",
     "ServiceConfig",
     "ServiceError",
     "UnknownDirectoryError",
     "UnsupportedQueryError",
+    "WireError",
     "WorkerError",
     "lookup_handler",
     "register_handler",
+    "serve",
     "supported_queries",
 ]
 
 _SERVICE_EXPORTS = ("RoadService", "ServiceConfig", "ServiceError")
 _POOL_EXPORTS = ("ProcessPoolError", "ProcessReplicaPool", "WorkerError")
+_METRICS_EXPORTS = ("MetricError", "MetricsRegistry")
+_HTTP_EXPORTS = ("RoadServiceApp", "serve")
+_WIRE_EXPORTS = ("WireError",)
 
 
 def __getattr__(name: str):
@@ -63,6 +76,18 @@ def __getattr__(name: str):
         from repro.serving import process_pool
 
         return getattr(process_pool, name)
+    if name in _METRICS_EXPORTS:
+        from repro.serving import metrics
+
+        return getattr(metrics, name)
+    if name in _HTTP_EXPORTS:
+        from repro.serving import http
+
+        return getattr(http, name)
+    if name in _WIRE_EXPORTS:
+        from repro.serving import wire
+
+        return getattr(wire, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -48,6 +49,7 @@ from typing import (
     Callable,
     Dict,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -61,10 +63,12 @@ from repro.serving.dispatch import (
     UnknownDirectoryError,
     UnsupportedQueryError,
 )
+from repro.serving.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
 from repro.serving.process_pool import ProcessReplicaPool
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.core.framework import ROAD
+    from repro.core.frozen import FrozenRoad
     from repro.core.search import SearchStats
     from repro.graph.network import RoadNetwork
     from repro.objects.model import ObjectSet
@@ -97,6 +101,24 @@ DIRECTORIES_ENV = "REPRO_DIRECTORIES"
 
 class ServiceError(RuntimeError):
     """A service-level misconfiguration (e.g. replicas without a ROAD)."""
+
+
+#: Service-level counters and their ``/metrics`` help lines.  The dict in
+#: ``RoadService._counters`` stays the cheap in-process view; each name is
+#: mirrored into a ``road_service_<name>_total`` counter family.
+_SERVICE_COUNTER_HELP: Dict[str, str] = {
+    "submitted": "Queries accepted by submit().",
+    "flushes": "Admission-bucket flushes drained.",
+    "batches": "execute_many calls issued by flushes.",
+    "executed": "Queries actually executed (after coalescing).",
+    "coalesced": "Queries answered by an in-flight twin.",
+}
+
+
+def _stat_number(stats: Mapping[str, object], key: str) -> float:
+    """One numeric field of a stats mapping, 0.0 when absent/non-numeric."""
+    value = stats.get(key)
+    return float(value) if isinstance(value, (int, float)) else 0.0
 
 
 @dataclass(frozen=True)
@@ -145,9 +167,7 @@ class ServiceConfig:
                 f"engine must be one of {ENGINE_NAMES}, got {self.engine!r}"
             )
         if self.mode not in MODES:
-            raise ValueError(
-                f"mode must be one of {MODES}, got {self.mode!r}"
-            )
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if self.maintenance not in MAINTENANCE_MODES:
             raise ValueError(
                 f"maintenance must be one of {MAINTENANCE_MODES}, "
@@ -165,26 +185,20 @@ class ServiceConfig:
                     f"into per-character names); wrap it in a tuple"
                 )
             names = tuple(self.directories)
-            if not names or not all(
-                isinstance(name, str) and name for name in names
-            ):
+            if not names or not all(isinstance(name, str) and name for name in names):
                 raise ValueError(
                     "directories must be a non-empty sequence of directory "
                     f"names, got {self.directories!r}"
                 )
             if len(set(names)) != len(names):
-                raise ValueError(
-                    f"directories lists a name twice: {names!r}"
-                )
+                raise ValueError(f"directories lists a name twice: {names!r}")
             # Normalise any iterable to the hashable tuple form (the
             # dataclass is frozen, hence the object.__setattr__).
             object.__setattr__(self, "directories", names)
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_delay_ms < 0:
-            raise ValueError(
-                f"max_delay_ms must be >= 0, got {self.max_delay_ms}"
-            )
+            raise ValueError(f"max_delay_ms must be >= 0, got {self.max_delay_ms}")
         if self.replicas < 0:
             raise ValueError(f"replicas must be >= 0, got {self.replicas}")
         if self.replica_mode not in REPLICA_MODES:
@@ -252,6 +266,7 @@ class RoadService:
         executor: QueryExecutor,
         *,
         config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not isinstance(executor, QueryExecutor):
             raise TypeError(
@@ -270,13 +285,21 @@ class RoadService:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessReplicaPool] = None
         self._round_robin = 0
-        self._counters = {
-            "submitted": 0,       # queries accepted by submit()
-            "flushes": 0,         # admission flushes
-            "batches": 0,         # execute_many calls issued by flushes
-            "executed": 0,        # queries actually executed
-            "coalesced": 0,       # queries answered by an in-flight twin
+        self._counters = {name: 0 for name in _SERVICE_COUNTER_HELP}
+        # Thread-mode replica-pool counters, mirroring the field names of
+        # ProcessReplicaPool.stats() so replica_pool_stats() is uniform
+        # across modes.  Touched only on the loop thread (dispatch) and
+        # the maintenance caller — informational, not synchronised.
+        self._pool_counters = {
+            "batches": 0,
+            "queries": 0,
+            "syncs": 0,
+            "reloads": 0,
+            "retries": 0,
+            "worker_deaths": 0,
         }
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._register_metrics()
         if self.config.replicas:
             self._init_replicas()
 
@@ -363,13 +386,146 @@ class RoadService:
             ),
             "replica_mode": self.config.replica_mode,
             "config": self.config,
+            "replica_pool": self.replica_pool_stats(),
+            "metrics": self.metrics.snapshot(),
         }
-        if self._process_pool is not None:
-            summary["process_pool"] = self._process_pool.stats()
         engine_stats = getattr(self._executor, "stats", None)
         if callable(engine_stats):
             summary["engine"] = engine_stats()
         return summary
+
+    def replica_pool_stats(self) -> Dict[str, object]:
+        """Replica-pool counters under mode-independent key names.
+
+        Process mode reports :meth:`ProcessReplicaPool.stats` verbatim;
+        thread mode reports the same keys from the service's own
+        dispatch/broadcast counters (``retries``/``worker_deaths`` stay 0
+        — threads neither re-attach nor die silently).  ``/metrics`` and
+        ``stats()`` consumers never branch on ``replica_mode``.
+        """
+        if self._process_pool is not None:
+            return self._process_pool.stats()
+        stats: Dict[str, object] = dict(self._pool_counters)
+        stats["workers"] = len(self._replicas)
+        stats["alive"] = len(self._replicas) if self._pool is not None else 0
+        stats["closed"] = bool(self._replicas) and self._pool is None
+        # Thread replicas never serve a torn patch: a failed apply raises
+        # straight to the maintenance caller under the shard lock.
+        stats["degraded"] = False
+        return stats
+
+    # ------------------------------------------------------------------
+    # Metrics surface
+    # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        """Register this service's counter/histogram/gauge families."""
+        registry = self.metrics
+        self._metric_counters = {
+            name: registry.counter(f"road_service_{name}_total", text)
+            for name, text in _SERVICE_COUNTER_HELP.items()
+        }
+        self._batch_sizes = registry.histogram(
+            "road_admission_batch_size",
+            "Unique queries per execute_many admission batch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._latency = registry.histogram(
+            "road_query_latency_ms",
+            "Per-query submit() latency (admission to delivery) in ms.",
+        )
+        registry.gauge(
+            "road_replica_pool",
+            "Replica-pool state (ProcessReplicaPool.stats() keys, both "
+            "modes).",
+            self._pool_gauge,
+            label="field",
+        )
+        registry.gauge(
+            "road_directory_resident_bytes",
+            "Resident bytes per compiled directory of the serving "
+            "snapshot.",
+            self._directory_bytes_gauge,
+            label="directory",
+        )
+        registry.gauge(
+            "road_mask_cache",
+            "Mask-cache occupancy/eviction state of the serving snapshot.",
+            self._mask_cache_gauge,
+            label="field",
+        )
+        registry.gauge(
+            "road_snapshot_resident_bytes",
+            "Total resident bytes of the serving snapshot.",
+            self._snapshot_bytes_gauge,
+        )
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump one service counter in both surfaces (dict + /metrics)."""
+        self._counters[name] += amount
+        self._metric_counters[name].inc(amount)
+
+    def _pool_gauge(self) -> Dict[str, float]:
+        return {
+            key: float(value)
+            for key, value in self.replica_pool_stats().items()
+            if isinstance(value, (int, float))
+        }
+
+    def _serving_frozen(self) -> Optional["FrozenRoad"]:
+        """The frozen snapshot the memory gauges sample, if one serves."""
+        from repro.core.frozen import FrozenRoad
+
+        if self._process_pool is not None:
+            return self._process_pool.frozen
+        if self._replicas:
+            first = self._replicas[0]
+            return first if isinstance(first, FrozenRoad) else None
+        if isinstance(self._executor, FrozenRoad):
+            return self._executor
+        frozen = getattr(self._executor, "frozen", None)
+        return frozen if isinstance(frozen, FrozenRoad) else None
+
+    def _directory_bytes_gauge(self) -> Dict[str, float]:
+        frozen = self._serving_frozen()
+        if frozen is None:
+            return {}
+        directories = frozen.memory_stats().get("directories")
+        if not isinstance(directories, Mapping):
+            return {}
+        out: Dict[str, float] = {}
+        for name, entry in directories.items():
+            if not isinstance(entry, Mapping):
+                continue
+            out[str(name)] = sum(
+                _stat_number(entry, key)
+                for key in (
+                    "object_array_bytes",
+                    "object_ref_bytes",
+                    "mask_cache_bytes",
+                )
+            )
+        return out
+
+    def _mask_cache_gauge(self) -> Dict[str, float]:
+        frozen = self._serving_frozen()
+        if frozen is None:
+            return {}
+        stats = frozen.memory_stats()
+        return {
+            key: _stat_number(stats, key)
+            for key in (
+                "mask_cache_bytes",
+                "mask_cache_entries",
+                "mask_budget",
+                "mask_evictions",
+            )
+        }
+
+    def _snapshot_bytes_gauge(self) -> float:
+        frozen = self._serving_frozen()
+        if frozen is None:
+            return 0.0
+        return _stat_number(frozen.memory_stats(), "total_bytes")
 
     # ------------------------------------------------------------------
     # Sync path
@@ -453,14 +609,20 @@ class RoadService:
         key = (directory, getattr(query, "predicate", None))
         self._pending.setdefault(key, []).append((query, future))
         self._pending_count += 1
-        self._counters["submitted"] += 1
+        self._count("submitted")
         if self._pending_count >= self.config.max_batch:
             self._flush()
         elif self._flush_handle is None:
             self._flush_handle = loop.call_later(
                 self.config.max_delay_ms / 1000.0, self._flush
             )
-        return await future
+        start = time.perf_counter()
+        try:
+            return await future
+        finally:
+            # Failed queries are observed too: a latency surface that
+            # drops errors under load reports a fantasy tail.
+            self._latency.observe((time.perf_counter() - start) * 1000.0)
 
     def _adopt_loop(self, loop: asyncio.AbstractEventLoop) -> None:
         """Reset admission state bound to a previous (dead) event loop."""
@@ -485,7 +647,7 @@ class RoadService:
         self._pending_count = 0
         if not pending:
             return
-        self._counters["flushes"] += 1
+        self._count("flushes")
         for (directory, _predicate), entries in pending.items():
             self._dispatch_batch(directory, entries)
 
@@ -499,12 +661,13 @@ class RoadService:
                 if query not in slot:
                     slot[query] = len(unique)
                     unique.append(query)
-            self._counters["coalesced"] += len(entries) - len(unique)
+            self._count("coalesced", len(entries) - len(unique))
         else:
             slot = None
             unique = [query for query, _future in entries]
-        self._counters["batches"] += 1
-        self._counters["executed"] += len(unique)
+        self._count("batches")
+        self._count("executed", len(unique))
+        self._batch_sizes.observe(float(len(unique)))
         if self._process_pool is not None:
             # The pool round-robins workers itself; its listener thread
             # completes the concurrent future, which wrap_future relays
@@ -519,9 +682,7 @@ class RoadService:
             return
         if self._pool is None:
             try:
-                results = self._executor.execute_many(
-                    unique, directory=directory
-                )
+                results = self._executor.execute_many(unique, directory=directory)
             except Exception as exc:  # noqa: BLE001 — fan the error out
                 self._reject(entries, exc)
                 return
@@ -529,6 +690,8 @@ class RoadService:
             return
         index = self._round_robin % len(self._replicas)
         self._round_robin += 1
+        self._pool_counters["batches"] += 1
+        self._pool_counters["queries"] += len(unique)
         loop = asyncio.get_running_loop()
         task = loop.run_in_executor(
             self._pool, self._run_on_replica, index, unique, directory
@@ -542,9 +705,7 @@ class RoadService:
     ) -> List[List[ResultEntry]]:
         """Worker-thread body: one batch on one locked replica."""
         with self._replica_locks[index]:
-            return self._replicas[index].execute_many(
-                queries, directory=directory
-            )
+            return self._replicas[index].execute_many(queries, directory=directory)
 
     def _resolve(
         self,
@@ -674,9 +835,7 @@ class RoadService:
             directories = self.config.directories
             if directories is not None:
                 serving = self._executor.directory_names
-                directories = tuple(
-                    name for name in directories if name in serving
-                )
+                directories = tuple(name for name in directories if name in serving)
                 if not directories:
                     raise ServiceError(
                         f"none of the configured directories "
@@ -747,6 +906,7 @@ class RoadService:
             )
             with lock:
                 self._replicas[index] = replacement
+        self._pool_counters["reloads"] += 1
 
     def attach_objects(
         self, objects: "ObjectSet", *, name: str, **kwargs: Any
@@ -840,6 +1000,8 @@ class RoadService:
         for replica, lock in zip(self._replicas, self._replica_locks):
             with lock:
                 replica.apply(report, road)
+        if self._replicas:
+            self._pool_counters["syncs"] += 1
 
     def _maintained(self, result: Any) -> Any:
         """Broadcast after a maintenance call; pass its result through."""
@@ -848,8 +1010,14 @@ class RoadService:
             if isinstance(result, MaintenanceReport)
             else getattr(self._executor, "last_report", None)
         )
-        if report is not None and self._sharded():
-            self.apply_report(report)
+        if report is not None:
+            self.metrics.counter(
+                "road_patches_total",
+                "Maintenance patches processed, by report kind.",
+                labels={"kind": report.kind},
+            ).inc()
+            if self._sharded():
+                self.apply_report(report)
         return result
 
     def insert_object(self, obj: Any, **kwargs: Any) -> Any:
@@ -858,9 +1026,7 @@ class RoadService:
 
     def delete_object(self, object_id: int, **kwargs: Any) -> Any:
         """Delete an object through the executor; reconcile all replicas."""
-        return self._maintained(
-            self._executor.delete_object(object_id, **kwargs)
-        )
+        return self._maintained(self._executor.delete_object(object_id, **kwargs))
 
     def update_object_attrs(
         self, object_id: int, attrs: Dict[str, Any], **kwargs: Any
@@ -872,15 +1038,11 @@ class RoadService:
 
     def update_edge_distance(self, u: int, v: int, distance: float) -> Any:
         """Change an edge distance; reconcile all replicas."""
-        return self._maintained(
-            self._executor.update_edge_distance(u, v, distance)
-        )
+        return self._maintained(self._executor.update_edge_distance(u, v, distance))
 
     def add_edge(self, u: int, v: int, distance: float, **kwargs: Any) -> Any:
         """Open a road segment; reconcile all replicas."""
-        return self._maintained(
-            self._executor.add_edge(u, v, distance, **kwargs)
-        )
+        return self._maintained(self._executor.add_edge(u, v, distance, **kwargs))
 
     def remove_edge(self, u: int, v: int) -> Any:
         """Close a road segment; reconcile all replicas."""

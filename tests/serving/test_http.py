@@ -1,0 +1,451 @@
+"""The HTTP serving edge: wire round-trips, typed statuses, health.
+
+Exercises :class:`repro.serving.http.RoadServiceApp` in process (ASGI
+calls, no sockets) against a real :class:`RoadService`:
+
+* every query class with a wire codec round-trips through JSON and
+  answers byte-identical to the sync primary (the registry-parity
+  parametrisation mirrors ``tests/serving/test_dispatch.py``),
+* errors map to the contract statuses (malformed 400, unknown directory
+  404, wrong method 405, unknown route 404),
+* ``POST /maintenance`` rides the patch-broadcast path and answers with
+  the report kind,
+* ``/metrics`` scrapes the service registry, ``/healthz`` grades the
+  replica pool (ok / degraded / unhealthy) per the PR 7 containment
+  contract,
+* the built-in HTTP/1.1 parser serves pipelined keep-alive requests and
+  rejects what it does not speak (chunked bodies).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.frozen_backends import shared_memory_available
+from repro.graph.generators import grid_network
+from repro.objects.placement import place_uniform
+from repro.queries.types import (
+    AggregateKNNQuery,
+    KNNQuery,
+    Predicate,
+    RangeQuery,
+)
+from repro.serving import RoadService, ServiceConfig
+from repro.serving.http import RoadServiceApp, _handle_connection
+from repro.serving.wire import (
+    WireError,
+    decode_query,
+    decode_result,
+    encode_query,
+    wire_kinds,
+    wire_types,
+)
+
+#: One representative (predicate-bearing where supported) query per
+#: registered wire codec — the coverage guard below keeps this dict in
+#: lockstep with the registry.
+SAMPLES = {
+    "KNNQuery": KNNQuery(0, 3, Predicate.of(type="a")),
+    "RangeQuery": RangeQuery(0, 250.0),
+    "AggregateKNNQuery": AggregateKNNQuery((0, 20), 2, agg="max"),
+}
+
+
+def call(app, method, path, payload=None, raw=None):
+    """One in-process ASGI request: (status, decoded JSON | bytes)."""
+    if raw is None:
+        raw = b"" if payload is None else json.dumps(payload).encode()
+    messages = [{"type": "http.request", "body": raw, "more_body": False}]
+    out = {"status": 0, "type": "", "body": b""}
+
+    async def receive():
+        if messages:
+            return messages.pop(0)
+        return {"type": "http.disconnect"}
+
+    async def send(message):
+        if message["type"] == "http.response.start":
+            out["status"] = message["status"]
+            out["type"] = dict(message["headers"])[b"content-type"].decode()
+        else:
+            out["body"] += message.get("body", b"")
+
+    async def go():
+        await app({"type": "http", "method": method, "path": path},
+                  receive, send)
+
+    asyncio.run(go())
+    if out["type"].startswith("application/json"):
+        return out["status"], json.loads(out["body"])
+    return out["status"], out["body"]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    network = grid_network(8, 8, seed=13)
+    objects = place_uniform(
+        network, 16, seed=5, attr_choices={"type": ["a", "b"]}
+    )
+    service = RoadService.build(
+        network.copy(), objects,
+        config=ServiceConfig(
+            mode="frozen", levels=3, replicas=2,
+            max_batch=8, max_delay_ms=0.5,
+        ),
+    )
+    yield service, RoadServiceApp(service)
+    service.close()
+
+
+class TestWireCodecs:
+    def test_every_registered_type_has_a_sample(self):
+        assert {t.__name__ for t in wire_types()} == set(SAMPLES)
+        assert len(wire_kinds()) == len(wire_types())
+
+    @pytest.mark.parametrize(
+        "query_type", wire_types(), ids=lambda t: t.__name__
+    )
+    def test_json_round_trip(self, query_type):
+        query = SAMPLES[query_type.__name__]
+        payload = json.loads(json.dumps(encode_query(query)))
+        assert decode_query(payload) == query
+
+    def test_unconstrained_predicate_is_omitted(self):
+        assert "predicate" not in encode_query(RangeQuery(0, 10.0))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a mapping",
+            {"type": "warp", "node": 0},
+            {"type": "knn", "node": 0},  # k missing
+            {"type": "knn", "node": 0, "k": True},  # bool is not an int
+            {"type": "knn", "node": 0, "k": 0},  # engine-side bound
+            {"type": "range", "node": 0, "radius": "far"},
+            {"type": "aggregate_knn", "nodes": [], "k": 1},
+            {"type": "aggregate_knn", "nodes": [0], "k": 1, "agg": "mode"},
+        ],
+    )
+    def test_malformed_payloads_raise_wire_errors(self, payload):
+        with pytest.raises((WireError, ValueError)):
+            decode_query(payload)
+
+
+class TestQueryRoute:
+    @pytest.mark.parametrize(
+        "query_type", wire_types(), ids=lambda t: t.__name__
+    )
+    def test_single_query_matches_the_sync_primary(self, setting, query_type):
+        service, app = setting
+        query = SAMPLES[query_type.__name__]
+        status, body = call(
+            app, "POST", "/query", {"query": encode_query(query)}
+        )
+        assert status == 200
+        assert decode_result(body["result"]) == service.run_many([query])[0]
+        assert body["count"] == len(body["result"])
+
+    def test_batch_matches_run_many(self, setting):
+        service, app = setting
+        queries = [SAMPLES[t.__name__] for t in wire_types()]
+        status, body = call(
+            app, "POST", "/query",
+            {"queries": [encode_query(q) for q in queries]},
+        )
+        assert status == 200
+        assert [
+            decode_result(item) for item in body["results"]
+        ] == service.run_many(queries)
+
+    def test_unknown_directory_is_404(self, setting):
+        _, app = setting
+        status, body = call(
+            app, "POST", "/query",
+            {"query": encode_query(KNNQuery(0, 1)), "directory": "nope"},
+        )
+        assert status == 404
+        assert "nope" in body["error"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # neither query nor queries
+            {"query": {"type": "knn", "node": 0, "k": 1}, "queries": []},
+            {"queries": "not a list"},
+            {"query": {"type": "knn", "node": 0, "k": None}},
+            {"query": {"type": "knn", "node": 0, "k": 1}, "directory": 7},
+        ],
+    )
+    def test_bad_requests_are_400(self, setting, payload):
+        _, app = setting
+        status, body = call(app, "POST", "/query", payload)
+        assert status == 400
+        assert "error" in body
+
+    def test_invalid_json_is_400(self, setting):
+        _, app = setting
+        status, body = call(app, "POST", "/query", raw=b"{nope")
+        assert status == 400
+        assert "JSON" in body["error"]
+
+    def test_unknown_route_404_and_wrong_method_405(self, setting):
+        _, app = setting
+        assert call(app, "GET", "/nope")[0] == 404
+        assert call(app, "GET", "/query")[0] == 405
+        assert call(app, "POST", "/metrics")[0] == 405
+
+
+class TestMaintenanceRoute:
+    def test_edge_patch_reports_kind_and_broadcasts(self, setting):
+        service, app = setting
+        u, v, dist = sorted(service.executor.network.edges())[0]
+        status, body = call(
+            app, "POST", "/maintenance",
+            {"op": "update_edge_distance", "u": u, "v": v,
+             "distance": dist * 1.25},
+        )
+        assert status == 200
+        assert body == {
+            "op": "update_edge_distance", "ok": True,
+            "kind": "edge_distance", "structural": False,
+        }
+        # The patch reached the shards: async answers == maintained primary.
+        queries = [SAMPLES[t.__name__] for t in wire_types()]
+        status, got = call(
+            app, "POST", "/query",
+            {"queries": [encode_query(q) for q in queries]},
+        )
+        assert status == 200
+        assert [
+            decode_result(item) for item in got["results"]
+        ] == service.run_many(queries)
+
+    def test_insert_then_delete_object(self, setting):
+        service, app = setting
+        u, v, _ = sorted(service.executor.network.edges())[0]
+        object_id = 9_000
+        status, body = call(
+            app, "POST", "/maintenance",
+            {"op": "insert_object",
+             "object": {"object_id": object_id, "edge": [u, v],
+                        "delta": 0.0, "attrs": {"type": "a"}}},
+        )
+        assert (status, body["ok"]) == (200, True)
+        status, _ = call(
+            app, "POST", "/maintenance",
+            {"op": "delete_object", "object_id": object_id},
+        )
+        assert status == 200
+
+    def test_unknown_object_id_is_400(self, setting):
+        _, app = setting
+        status, body = call(
+            app, "POST", "/maintenance",
+            {"op": "delete_object", "object_id": 123_456_789},
+        )
+        assert status == 400
+        assert "not present" in body["error"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"op": "reticulate"},
+            {"op": "update_edge_distance", "u": 0},  # v missing
+            {"op": "update_edge_distance", "u": 0, "v": 1,
+             "distance": "near"},
+            {"op": "insert_object", "object": {"object_id": 1,
+             "edge": [0], "delta": 0.0}},
+            {"op": "insert_object", "object": {"object_id": 1,
+             "edge": [0, 1], "delta": 0.0, "attrs": {"type": 3}}},
+        ],
+    )
+    def test_bad_maintenance_is_400(self, setting, payload):
+        _, app = setting
+        status, body = call(app, "POST", "/maintenance", payload)
+        assert status == 400
+        assert "error" in body
+
+
+class TestMetricsRoute:
+    def test_scrape_carries_service_and_http_families(self, setting):
+        service, app = setting
+        call(app, "POST", "/query",
+             {"query": encode_query(KNNQuery(0, 2))})
+        status, body = call(app, "GET", "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "# TYPE road_service_submitted_total counter" in text
+        assert "# TYPE road_query_latency_ms histogram" in text
+        assert 'road_http_requests_total{path="/query"}' in text
+        assert 'road_http_responses_total{code="200"}' in text
+        assert 'road_replica_pool{field="workers"} 2' in text
+        # And the same numbers surface through stats()["metrics"].
+        snapshot = service.stats()["metrics"]
+        assert snapshot["road_service_submitted_total"] >= 1
+        assert snapshot["road_query_latency_ms"]["count"] >= 1
+
+
+class TestHealthz:
+    def test_thread_shards_report_ok(self, setting):
+        _, app = setting
+        status, body = call(app, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert (body["workers"], body["alive"]) == (2, 2)
+
+    def test_unsharded_service_is_ok_with_zero_workers(self):
+        network = grid_network(4, 4, seed=1)
+        objects = place_uniform(network, 4, seed=2)
+        service = RoadService.build(
+            network, objects, config=ServiceConfig(mode="frozen", levels=2)
+        )
+        try:
+            status, body = call(
+                RoadServiceApp(service), "GET", "/healthz"
+            )
+            assert (status, body["status"]) == (200, "ok")
+            assert body["workers"] == 0
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize(
+        ("pool", "status", "verdict"),
+        [
+            ({"workers": 2, "alive": 1, "degraded": False,
+              "closed": False}, 200, "degraded"),
+            ({"workers": 2, "alive": 2, "degraded": True,
+              "closed": False}, 503, "unhealthy"),
+            ({"workers": 2, "alive": 0, "degraded": False,
+              "closed": False}, 503, "unhealthy"),
+            ({"workers": 2, "alive": 2, "degraded": False,
+              "closed": True}, 503, "unhealthy"),
+        ],
+    )
+    def test_pool_grades(self, setting, monkeypatch, pool, status, verdict):
+        service, app = setting
+        monkeypatch.setattr(
+            service, "replica_pool_stats", lambda: dict(pool)
+        )
+        got_status, body = call(app, "GET", "/healthz")
+        assert (got_status, body["status"]) == (status, verdict)
+
+    @pytest.mark.skipif(
+        not shared_memory_available(),
+        reason="host has no POSIX shared memory (/dev/shm)",
+    )
+    def test_torn_patch_degrades_process_pool_healthz(self, monkeypatch):
+        """A failed mid-patch apply flips /healthz to 503 for real."""
+        network = grid_network(6, 6, seed=3)
+        objects = place_uniform(
+            network, 8, seed=4, attr_choices={"type": ["a"]}
+        )
+        service = RoadService.build(
+            network, objects,
+            config=ServiceConfig(
+                mode="frozen", levels=2, replicas=2, replica_mode="process"
+            ),
+        )
+        app = RoadServiceApp(service)
+        try:
+            assert call(app, "GET", "/healthz")[0] == 200
+            pool = service._process_pool
+
+            def explode(report, source=None):
+                raise RuntimeError("simulated mid-patch failure")
+
+            monkeypatch.setattr(pool.frozen, "apply", explode)
+            status, _ = call(
+                app, "POST", "/maintenance",
+                {"op": "update_edge_distance", "u": 0, "v": 1,
+                 "distance": 1.0},
+            )
+            assert status == 500  # the patch itself failed loudly
+            status, body = call(app, "GET", "/healthz")
+            assert (status, body["status"]) == (503, "unhealthy")
+            assert body["degraded"] is True
+        finally:
+            service.close()
+
+
+class _Writer:
+    """A StreamWriter stand-in collecting what the server would send."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+
+    async def drain(self):
+        return None
+
+    def close(self):
+        return None
+
+    async def wait_closed(self):
+        return None
+
+    @property
+    def data(self):
+        return b"".join(self.chunks)
+
+
+def _run_connection(app, payload):
+    """Feed raw bytes through the server loop; returns what it wrote."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        reader.feed_eof()
+        writer = _Writer()
+        await _handle_connection(app, reader, writer)
+        return writer.data
+
+    return asyncio.run(go())
+
+
+class TestHttp11Parser:
+    def test_pipelined_keep_alive_requests(self, setting):
+        _, app = setting
+        first = b"GET /healthz HTTP/1.1\r\n\r\n"
+        second = (
+            b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+
+        data = _run_connection(app, first + second)
+        responses = data.split(b"HTTP/1.1 ")
+        assert len(responses) == 3  # leading empty split + two replies
+        assert responses[1].startswith(b"200 OK")
+        assert responses[2].startswith(b"200 OK")
+        assert b"road_http_requests_total" in data
+
+    def test_post_body_via_content_length(self, setting):
+        service, app = setting
+        body = json.dumps(
+            {"query": encode_query(KNNQuery(0, 2))}
+        ).encode()
+        request = (
+            b"POST /query HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        head, _, payload = _run_connection(app, request).partition(
+            b"\r\n\r\n"
+        )
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert decode_result(
+            json.loads(payload)["result"]
+        ) == service.run_many([KNNQuery(0, 2)])[0]
+
+    def test_chunked_bodies_answer_501(self, setting):
+        _, app = setting
+        request = (
+            b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )
+        assert _run_connection(app, request).startswith(b"HTTP/1.1 501")
+
+    def test_malformed_request_line_answers_400(self, setting):
+        _, app = setting
+        data = _run_connection(app, b"BOGUS\r\n\r\n")
+        assert data.startswith(b"HTTP/1.1 400")

@@ -1,0 +1,197 @@
+"""The metrics registry: lock-cheap children, honest scrapes.
+
+The contract surface of :mod:`repro.serving.metrics`: get-or-create
+children (the service and the HTTP app hold handles to the same counter
+without coordination), Prometheus text exposition that a scraper will
+actually parse (HELP/TYPE lines, cumulative ``le`` buckets, escaped
+label values), and a ``snapshot()`` mirror for ``RoadService.stats()``.
+Gauges are sampled callbacks: one that raises is dropped from that
+scrape and counted, never turned into a 500.
+"""
+
+import math
+
+import pytest
+
+from repro.serving.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_get_or_create_returns_the_same_child(self, registry):
+        first = registry.counter("road_things_total", "Things.")
+        second = registry.counter("road_things_total")
+        assert first is second
+        first.inc()
+        second.inc(2.0)
+        assert first.value == 3.0
+
+    def test_label_sets_are_distinct_children(self, registry):
+        ok = registry.counter("road_http_total", labels={"code": "200"})
+        bad = registry.counter("road_http_total", labels={"code": "500"})
+        assert ok is not bad
+        ok.inc(5)
+        assert ok.value == 5.0
+        assert bad.value == 0.0
+        # Label order does not mint a new child.
+        assert registry.counter(
+            "road_http_total", labels={"code": "200"}
+        ) is ok
+
+    def test_counters_only_go_up(self, registry):
+        counter = registry.counter("road_up_total")
+        with pytest.raises(MetricError, match="only go up"):
+            counter.inc(-1.0)
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("road_mixed")
+        with pytest.raises(MetricError, match="already registered"):
+            registry.histogram("road_mixed")
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(MetricError, match="invalid metric name"):
+            registry.counter("road-dashes")
+        with pytest.raises(MetricError, match="invalid label name"):
+            registry.counter("road_ok_total", labels={"bad-label": "x"})
+
+
+class TestHistogram:
+    def test_observe_accumulates_count_and_sum(self, registry):
+        histogram = registry.histogram("road_wait_ms")
+        for value in (0.2, 0.2, 7.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(7.4)
+
+    def test_percentile_interpolates_within_the_bucket(self, registry):
+        histogram = registry.histogram(
+            "road_size", buckets=(1.0, 10.0, 100.0)
+        )
+        for _ in range(99):
+            histogram.observe(5.0)  # all in the (1, 10] bucket
+        histogram.observe(50.0)  # one in the (10, 100] bucket
+        assert 1.0 <= histogram.percentile(0.50) <= 10.0
+        assert 10.0 <= histogram.percentile(0.999) <= 100.0
+        with pytest.raises(MetricError, match="fraction"):
+            histogram.percentile(0.0)
+
+    def test_empty_histogram_percentile_is_zero(self, registry):
+        assert registry.histogram("road_idle_ms").percentile(0.99) == 0.0
+
+    def test_bounds_must_increase(self, registry):
+        with pytest.raises(MetricError, match="distinct and increasing"):
+            registry.histogram("road_bad_ms", buckets=(5.0, 1.0))
+
+    def test_snapshot_shape(self, registry):
+        histogram = registry.histogram(
+            "road_batch", buckets=BATCH_SIZE_BUCKETS
+        )
+        histogram.observe(4.0)
+        snap = histogram.snapshot()
+        assert set(snap) == {"count", "sum", "p50", "p95", "p99"}
+        assert snap["count"] == 1
+
+    def test_render_buckets_are_cumulative_with_inf(self, registry):
+        histogram = registry.histogram(
+            "road_lat_ms", "Latency.", buckets=(1.0, 10.0)
+        )
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        histogram.observe(5000.0)  # beyond the last bound: +Inf bucket
+        text = registry.render()
+        assert "# HELP road_lat_ms Latency." in text
+        assert "# TYPE road_lat_ms histogram" in text
+        assert 'road_lat_ms_bucket{le="1"} 1' in text
+        assert 'road_lat_ms_bucket{le="10"} 2' in text
+        assert 'road_lat_ms_bucket{le="+Inf"} 3' in text
+        assert "road_lat_ms_count 3" in text
+
+
+class TestGauge:
+    def test_scalar_gauge_samples_at_scrape_time(self, registry):
+        state = {"value": 1.0}
+        registry.gauge("road_depth", "Depth.", lambda: state["value"])
+        assert "road_depth 1" in registry.render()
+        state["value"] = 2.5
+        assert "road_depth 2.5" in registry.render()
+        assert registry.snapshot()["road_depth"] == 2.5
+
+    def test_labelled_gauge_expands_the_mapping(self, registry):
+        registry.gauge(
+            "road_bytes",
+            "Bytes by directory.",
+            lambda: {"objects": 10.0, "hotels": 3.0},
+            label="directory",
+        )
+        text = registry.render()
+        assert 'road_bytes{directory="hotels"} 3' in text
+        assert 'road_bytes{directory="objects"} 10' in text
+        assert registry.snapshot()["road_bytes"] == {
+            "objects": 10.0,
+            "hotels": 3.0,
+        }
+
+    def test_raising_gauge_is_skipped_and_counted(self, registry):
+        def explode():
+            raise RuntimeError("engine half closed")
+
+        registry.gauge("road_broken", "Broken.", explode)
+        registry.counter("road_fine_total").inc()
+        text = registry.render()
+        assert "road_broken" not in text.replace(
+            "road_metrics_gauge_errors_total", ""
+        )
+        assert "road_fine_total 1" in text
+        assert "road_metrics_gauge_errors_total 1" in text
+        # snapshot() drops it silently (same must-not-raise contract).
+        assert "road_broken" not in registry.snapshot()
+
+    def test_mapping_without_label_declared_is_an_error(self, registry):
+        registry.gauge("road_oops", "Oops.", lambda: {"a": 1.0})
+        # The bad sample is contained as a scrape error, not propagated.
+        assert "road_metrics_gauge_errors_total 1" in registry.render()
+
+
+class TestExposition:
+    def test_label_values_are_escaped(self, registry):
+        registry.counter(
+            "road_esc_total", labels={"path": 'a"b\\c\nd'}
+        ).inc()
+        assert 'path="a\\"b\\\\c\\nd"' in registry.render()
+
+    def test_value_formatting(self, registry):
+        registry.gauge("road_nan", "NaN.", lambda: math.nan)
+        registry.gauge("road_inf", "Inf.", lambda: math.inf)
+        registry.gauge("road_int", "Int.", lambda: 42.0)
+        text = registry.render()
+        assert "road_nan NaN" in text
+        assert "road_inf +Inf" in text
+        assert "road_int 42" in text
+
+    def test_families_render_sorted_and_end_with_newline(self, registry):
+        registry.counter("road_z_total").inc()
+        registry.counter("road_a_total").inc()
+        text = registry.render()
+        assert text.index("road_a_total") < text.index("road_z_total")
+        assert text.endswith("\n")
+
+    def test_snapshot_collapses_single_unlabelled_children(self, registry):
+        registry.counter("road_plain_total").inc(7)
+        registry.counter("road_by_code_total", labels={"code": "200"}).inc()
+        snap = registry.snapshot()
+        assert snap["road_plain_total"] == 7.0
+        assert snap["road_by_code_total"] == {'{code="200"}': 1.0}
+
+    def test_default_latency_buckets_span_the_serving_range(self):
+        assert LATENCY_BUCKETS_MS[0] <= 0.05
+        assert LATENCY_BUCKETS_MS[-1] >= 1000.0
+        assert list(LATENCY_BUCKETS_MS) == sorted(LATENCY_BUCKETS_MS)

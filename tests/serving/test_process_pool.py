@@ -121,7 +121,7 @@ def test_broadcasts_under_concurrent_process_batches(service_parts, service):
     stats = service.stats()
     assert stats["replicas"] == 2
     assert stats["replica_mode"] == "process"
-    pool = stats["process_pool"]
+    pool = stats["replica_pool"]
     assert pool["workers"] == 2
     assert pool["syncs"] >= ROUNDS
     assert pool["queries"] > 0
@@ -138,7 +138,7 @@ def test_attach_objects_replaces_the_shared_snapshot(service_parts, service):
         )
 
     assert asyncio.run(wave()) == service.run_many(workload, directory="banks")
-    assert service.stats()["process_pool"]["reloads"] >= 1
+    assert service.stats()["replica_pool"]["reloads"] >= 1
 
 
 def test_worker_errors_surface_with_type_and_message(service):
