@@ -1,0 +1,392 @@
+"""Network-analysis workloads: OD matrices, service areas, in-route kNN.
+
+The multi-source kernel's reason to exist is amortisation: one frontier
+(or one lane-tagged heap) answers for S sources what the single-source
+path answers S times.  This bench measures exactly that trade on the
+frozen engine:
+
+* ``od-single`` — every (source, target) pair as its own
+  ``ODMatrixQuery((s,), (t,))`` through one ``execute_many`` batch: the
+  pre-kernel behaviour of looping point-to-point queries;
+* ``od-batched`` — the same cell set as one ``ODMatrixQuery(sources,
+  targets)``: one shared heap, lanes retiring as their targets settle;
+* ``service-area`` / ``route-knn`` — the collect sweeps, timed per query
+  for tail percentiles.
+
+Beyond wall-clock, the artifact records per-query ``p50_ms``/``p95_ms``/
+``p99_ms`` — the ``python -m repro.eval.compare`` ratchet holds the tails
+to their committed baselines, not just the medians.
+
+Acceptance gates: the batched matrix must produce cell-for-cell the same
+distances as the single-pair loop; charged ROAD, the frozen snapshot on
+every installed backend, and the async serving paths (thread shards, and
+process shards where shared memory exists) must return byte-identical
+answers for one mixed workload of all three query kinds; after a
+maintenance broadcast the shards must show zero ``snapshot_divergences``
+(whose probes include the network workloads) and still match the
+maintained primary; and — in full runs — ``od-batched`` must clear
+:data:`MIN_BATCH_SPEEDUP` x the single-pair cells/sec.
+
+Run standalone (``python benchmarks/bench_network_workloads.py``) or via
+pytest with the usual harness fixtures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import os
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH/pytest-pythonpath)
+except ModuleNotFoundError:  # standalone run from a clean checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.frozen_backends import installed_backends, shared_memory_available
+from repro.core.maintenance import MaintenanceReport
+from repro.eval.config import DEFAULT_OBJECTS, DEFAULT_RANGE_FRACTION
+from repro.eval.datasets import dataset_levels, load_dataset
+from repro.eval.metrics import snapshot_divergences
+from repro.eval.reporting import ExperimentResult
+from repro.eval.runner import build_engine, make_objects
+from repro.queries.types import ODMatrixQuery, RouteKNNQuery, ServiceAreaQuery
+from repro.serving import RoadService, ServiceConfig
+
+#: Cells/sec the batched OD matrix must gain over the single-pair loop
+#: (full runs only; smoke networks are scheduler noise).
+MIN_BATCH_SPEEDUP = 2.0
+
+#: OD matrix shape (|sources| x |targets|) and collect-sweep counts.
+OD_SOURCES = 12
+OD_TARGETS = 12
+SWEEP_QUERIES = 30
+
+#: Random-walk length seeding each RouteKNNQuery and its k.
+ROUTE_STEPS = 8
+ROUTE_K = 5
+
+#: Timed rounds per path; the median absorbs scheduler noise.
+ROUNDS = 5
+
+#: Read-only frozen replicas per shard set in the identity checks.
+REPLICA_COUNT = 2
+
+
+def _random_walk(network, rnd, start, steps):
+    """A connected node path: the shape of a routed trip."""
+    path = [start]
+    for _ in range(steps):
+        hops = [node for node, _ in network.neighbours(path[-1])]
+        if not hops:
+            break
+        path.append(rnd.choice(hops))
+    return tuple(path)
+
+
+def _build_workloads(network, rnd, *, od_sources, od_targets, sweeps, radius):
+    """(batched OD, single-pair ODs, service areas, route kNNs)."""
+    nodes = list(network.node_ids())
+    sources = tuple(rnd.sample(nodes, od_sources))
+    targets = tuple(rnd.sample(nodes, od_targets))
+    batched = ODMatrixQuery(sources, targets)
+    singles = [
+        ODMatrixQuery((s,), (t,)) for s in sources for t in targets
+    ]
+    breaks = (radius / 3.0, 2.0 * radius / 3.0, radius)
+    service_areas = [
+        ServiceAreaQuery(rnd.choice(nodes), breaks) for _ in range(sweeps)
+    ]
+    route_knns = [
+        RouteKNNQuery(
+            _random_walk(network, rnd, rnd.choice(nodes), ROUTE_STEPS),
+            ROUTE_K,
+        )
+        for _ in range(sweeps)
+    ]
+    return batched, singles, service_areas, route_knns
+
+
+def _percentile(sorted_ms, fraction):
+    """Nearest-rank percentile over an already sorted latency list."""
+    if not sorted_ms:
+        return 0.0
+    rank = math.ceil(fraction * len(sorted_ms)) - 1
+    return sorted_ms[min(max(rank, 0), len(sorted_ms) - 1)]
+
+
+def _timed_rounds(engine, queries):
+    """Median wall ms over ROUNDS, answers, and sorted per-query ms."""
+    walls, answers, latencies = [], None, []
+    for _ in range(ROUNDS):
+        round_answers = []
+        start = time.perf_counter()
+        for query in queries:
+            t0 = time.perf_counter()
+            round_answers.append(engine.execute(query))
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+        walls.append((time.perf_counter() - start) * 1000.0)
+        answers = round_answers
+    latencies.sort()
+    return statistics.median(walls), answers, latencies
+
+
+def _submit_all(service, queries):
+    """All queries through the async front-end, answers in order."""
+
+    async def go():
+        return await asyncio.gather(*(service.submit(q) for q in queries))
+
+    return asyncio.run(go())
+
+
+def run_network_workloads(
+    *,
+    network: str = "CA",
+    num_objects: int = DEFAULT_OBJECTS,
+    fraction: float = DEFAULT_RANGE_FRACTION,
+    od_sources: int = OD_SOURCES,
+    od_targets: int = OD_TARGETS,
+    sweeps: int = SWEEP_QUERIES,
+    num_nodes=None,
+    seed: int = 0,
+):
+    """Race batched vs single-pair OD and time the collect sweeps.
+
+    Returns ``(result, summary)``: the rendered table data and the gate
+    inputs (``batch_speedup``, per-path identity verdicts, shard
+    divergence counts).  ``num_nodes`` shrinks the profile for CI smoke.
+    """
+    dataset = load_dataset(network, num_nodes)
+    objects = make_objects(dataset.network, num_objects, seed=seed)
+    engine = build_engine(
+        "ROAD", dataset.network, objects,
+        road_levels=dataset_levels(network), road_mode_override="frozen",
+    )
+    frozen = engine.road.freeze()
+    rnd = random.Random(seed)
+    batched, singles, service_areas, route_knns = _build_workloads(
+        dataset.network, rnd,
+        od_sources=od_sources, od_targets=od_targets, sweeps=sweeps,
+        radius=dataset.radius(fraction),
+    )
+    cells = len(singles)
+    mixed = [batched, *service_areas, *route_knns, *singles[:od_sources]]
+
+    result = ExperimentResult(
+        "network_workloads",
+        f"Network-analysis workloads on {network} "
+        f"(|O|={num_objects}, {od_sources}x{od_targets} OD cells, "
+        f"{sweeps} sweeps per kind)",
+        [
+            "workload", "wall_ms", "p50_ms", "p95_ms", "p99_ms",
+            "throughput", "speedup", "identical",
+        ],
+    )
+    summary = {}
+
+    # -- OD: the batched kernel vs the single-pair loop ----------------
+    single_wall, single_answers, single_lat = _timed_rounds(frozen, singles)
+    batched_wall, batched_answers, batched_lat = _timed_rounds(
+        frozen, [batched]
+    )
+    flat_single = [cell for answer in single_answers for cell in answer]
+    od_identical = flat_single == batched_answers[0]
+    speedup = single_wall / batched_wall if batched_wall else float("inf")
+    summary["od"] = {
+        "batch_speedup": speedup,
+        "identical": od_identical,
+        "single_cells_per_sec": cells / (single_wall / 1000.0),
+        "batched_cells_per_sec": cells / (batched_wall / 1000.0),
+    }
+    result.add_row(
+        workload="od-single",
+        wall_ms=single_wall,
+        p50_ms=_percentile(single_lat, 0.50),
+        p95_ms=_percentile(single_lat, 0.95),
+        p99_ms=_percentile(single_lat, 0.99),
+        throughput=f"{summary['od']['single_cells_per_sec']:,.0f} cells/s",
+        speedup="1.00x",
+        identical=str(od_identical),
+    )
+    result.add_row(
+        workload="od-batched",
+        wall_ms=batched_wall,
+        p50_ms=_percentile(batched_lat, 0.50),
+        p95_ms=_percentile(batched_lat, 0.95),
+        p99_ms=_percentile(batched_lat, 0.99),
+        throughput=f"{summary['od']['batched_cells_per_sec']:,.0f} cells/s",
+        speedup=f"{speedup:.2f}x",
+        identical=str(od_identical),
+    )
+
+    # -- The collect sweeps, timed per query for the tail ratchet ------
+    reference = engine.road.execute_many(mixed)
+    for label, queries in (
+        ("service-area", service_areas),
+        ("route-knn", route_knns),
+    ):
+        wall, answers, latencies = _timed_rounds(frozen, queries)
+        identical = answers == engine.road.execute_many(queries)
+        summary[label] = {"identical": identical}
+        qps = len(queries) / (wall / 1000.0) if wall else float("inf")
+        result.add_row(
+            workload=label,
+            wall_ms=wall,
+            p50_ms=_percentile(latencies, 0.50),
+            p95_ms=_percentile(latencies, 0.95),
+            p99_ms=_percentile(latencies, 0.99),
+            throughput=f"{qps:,.0f} q/s",
+            speedup="",
+            identical=str(identical),
+        )
+
+    # -- Byte identity: every backend serves the mixed workload -------
+    summary["backends_identical"] = {}
+    for backend in installed_backends():
+        snapshot = engine.road.freeze(backend=backend)
+        summary["backends_identical"][backend] = (
+            snapshot.execute_many(mixed) == reference
+        )
+        snapshot.close()
+
+    # -- Byte identity: the async serving paths ------------------------
+    shard_config = dict(
+        mode="frozen", replicas=REPLICA_COUNT,
+        max_batch=8, max_delay_ms=5.0,
+    )
+    services = {
+        "thread-shard": RoadService(
+            engine, config=ServiceConfig(**shard_config)
+        ),
+    }
+    if shared_memory_available():
+        services["process-shard"] = RoadService(
+            engine,
+            config=ServiceConfig(replica_mode="process", **shard_config),
+        )
+    summary["serving_identical"] = {
+        name: _submit_all(service, mixed) == reference
+        for name, service in services.items()
+    }
+
+    # -- Maintenance churn: broadcast one patch, probe for divergence --
+    u, v, dist = sorted(engine.network.edges())[0]
+    outcome = services["thread-shard"].update_edge_distance(u, v, dist * 1.25)
+    report = (
+        outcome
+        if isinstance(outcome, MaintenanceReport)
+        else engine.last_report
+    )
+    for name, service in services.items():
+        if name != "thread-shard":
+            service.apply_report(report)
+    fresh = engine.road.freeze()
+    probe_rnd = random.Random(5)
+    summary["divergences"] = {
+        name: sum(
+            len(snapshot_divergences(probe_rnd, replica, fresh, probes=3))
+            for replica in service.replicas
+        )
+        for name, service in services.items()
+    }
+    fresh.close()
+    post_churn = engine.road.execute_many(mixed)
+    summary["post_churn_identical"] = all(
+        _submit_all(service, mixed) == post_churn
+        for service in services.values()
+    )
+    for service in services.values():
+        service.close()
+    frozen.close()
+
+    result.note(
+        f"workloads: {cells} OD cells as {cells} single-pair queries vs "
+        f"one {od_sources}x{od_targets} batched matrix; {sweeps} "
+        f"service-area queries (3 breaks) and {sweeps} route-kNN queries "
+        f"({ROUTE_STEPS}-step walks, k={ROUTE_K}); identity checked on a "
+        f"mixed workload across charged ROAD, every backend "
+        f"({', '.join(summary['backends_identical'])}), and "
+        f"{'/'.join(services) or 'no'} serving shards"
+    )
+    result.note(
+        f"gates (full runs): od-batched >= {MIN_BATCH_SPEEDUP:.0f}x "
+        f"single-pair cells/sec; all paths byte-identical; 0 shard "
+        f"divergences after a maintenance broadcast"
+    )
+    result.note(
+        f"params: network={network} num_nodes={dataset.network.num_nodes} "
+        f"objects={num_objects} rounds={ROUNDS} seed={seed}"
+    )
+    return result, summary
+
+
+def _assert_gates(summary, *, smoke: bool) -> None:
+    """The acceptance bars shared by the pytest gate and main()."""
+    assert summary["od"]["identical"], (
+        "batched OD matrix diverged from the single-pair loop"
+    )
+    for label in ("service-area", "route-knn"):
+        assert summary[label]["identical"], (
+            f"{label}: frozen answers diverged from charged ROAD"
+        )
+    for backend, identical in summary["backends_identical"].items():
+        assert identical, f"{backend}: backend answers diverged"
+    for path, identical in summary["serving_identical"].items():
+        assert identical, f"{path}: async answers diverged from the primary"
+    for path, count in summary["divergences"].items():
+        assert count == 0, (
+            f"{path}: {count} snapshot divergence(s) after the "
+            f"maintenance broadcast"
+        )
+    assert summary["post_churn_identical"], (
+        "maintained shards diverged from the maintained primary"
+    )
+    if not smoke:  # tiny-network timings are scheduler noise
+        speedup = summary["od"]["batch_speedup"]
+        assert speedup >= MIN_BATCH_SPEEDUP, (
+            f"batched OD matrix only {speedup:.2f}x the single-pair loop "
+            f"(bar: {MIN_BATCH_SPEEDUP:.1f}x)"
+        )
+
+
+def test_network_workloads(results_dir):
+    """The acceptance gate: >=2x batched OD, byte-identical everywhere."""
+    from conftest import publish
+
+    result, summary = run_network_workloads()
+    _assert_gates(summary, smoke=False)
+    publish(result, results_dir)
+
+
+def main() -> int:
+    from conftest import publish_main
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    if smoke:
+        result, summary = run_network_workloads(
+            num_nodes=300, od_sources=6, od_targets=6, sweeps=10,
+        )
+    else:
+        result, summary = run_network_workloads()
+    publish_main(
+        result, smoke=smoke,
+        smoke_note="smoke mode: 300-node network, 6x6 OD matrix, 10 "
+                   "sweeps per kind — not comparable to full CA runs",
+    )
+    _assert_gates(summary, smoke=smoke)
+    print(
+        f"\nbatched OD matrix: {summary['od']['batch_speedup']:.2f}x the "
+        f"single-pair loop "
+        f"({summary['od']['batched_cells_per_sec']:,.0f} vs "
+        f"{summary['od']['single_cells_per_sec']:,.0f} cells/sec)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,11 @@ class DispatchCompletenessRule(Rule):
       target): imports the executors and asserts the charged (``ROAD``)
       and frozen (``FrozenRoad``) engines serve *identical* query-type
       sets, the ``ROADEngine`` facade serves everything charged does,
-      and every executor serves at least ``KNNQuery`` + ``RangeQuery``.
+      every executor serves at least ``KNNQuery`` + ``RangeQuery``, and
+      the wire-codec registry (``repro.serving.wire``) matches the
+      dispatch registry in *both* directions — a query type no engine
+      can reach over HTTP, or a codec for a type no engine executes, is
+      a finding.
 
     How to fix a finding: for a ladder, register one handler per query
     type with ``@register_handler``; for a coverage gap, add the missing
@@ -97,6 +101,7 @@ class DispatchCompletenessRule(Rule):
             from repro.core.frozen import FrozenRoad
             from repro.queries.types import KNNQuery, RangeQuery
             from repro.serving.dispatch import supported_queries
+            from repro.serving.wire import wire_types
         except ImportError:  # pragma: no cover - partial install
             return []
 
@@ -133,8 +138,10 @@ class DispatchCompletenessRule(Rule):
             ("ROADEngine", ROADEngine),
             ("SearchEngine", SearchEngine),
         ]
+        served_anywhere: set = set()
         for label, executor in executors:
             served = set(supported_queries(executor))
+            served_anywhere |= served
             core_missing = {KNNQuery, RangeQuery} - served
             if core_missing:
                 findings.append(
@@ -143,4 +150,25 @@ class DispatchCompletenessRule(Rule):
                         f"(every engine must serve kNN and range)"
                     )
                 )
+        # Wire-registry parity, both directions: every executable query
+        # type must cross the HTTP edge, and no codec may advertise a
+        # type nothing executes.
+        on_wire = set(wire_types())
+        unreachable = served_anywhere - on_wire
+        if unreachable:
+            findings.append(
+                finding(
+                    f"query types {names(unreachable)} are registered for "
+                    f"dispatch but have no wire codec (register_wire in "
+                    f"repro.serving.wire)"
+                )
+            )
+        orphaned = on_wire - served_anywhere
+        if orphaned:
+            findings.append(
+                finding(
+                    f"wire codecs for {names(orphaned)} name query types "
+                    f"no executor serves (dead wire surface)"
+                )
+            )
         return findings

@@ -43,9 +43,12 @@ from repro.queries.types import (
     ANY,
     AggregateKNNQuery,
     KNNQuery,
+    ODMatrixQuery,
     Predicate,
     RangeQuery,
     ResultEntry,
+    RouteKNNQuery,
+    ServiceAreaQuery,
 )
 from repro.serving.dispatch import (
     DEFAULT_DIRECTORY,
@@ -433,6 +436,13 @@ def _road_forward(engine: ROADEngine, query, ctx: BatchContext):
     )
 
 
-for _query_type in (KNNQuery, RangeQuery, AggregateKNNQuery):
+for _query_type in (
+    KNNQuery,
+    RangeQuery,
+    AggregateKNNQuery,
+    ODMatrixQuery,
+    ServiceAreaQuery,
+    RouteKNNQuery,
+):
     register_handler(_query_type, engine="road")(_road_forward)
 del _query_type

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.association_directory import AssociationDirectory
 from repro.core.maintenance import (
@@ -30,11 +30,27 @@ from repro.core.maintenance import (
     remove_edge as _remove_edge,
 )
 from repro.core.frozen import FrozenRoad
+from repro.core.multi_source import (
+    Expand,
+    bucket_entries,
+    multi_source_objects,
+    normalize_breaks,
+    od_entries,
+    od_matrix_generic,
+)
 from repro.core.object_abstract import AbstractFactory, exact_abstract
 from repro.core.paths import PathTracer, object_path
 from repro.core.rnet import RnetHierarchy
-from repro.core.route_overlay import RouteOverlay
-from repro.core.search import AbstractCache, SearchStats, knn_search, range_search
+from repro.core.route_overlay import RouteOverlay, RouteOverlayError
+from repro.core.search import (
+    AbstractCache,
+    SearchStats,
+    _Frontier,
+    _choose_path_cached,
+    _collect_node_objects,
+    knn_search,
+    range_search,
+)
 from repro.core.shortcuts import ShortcutIndex, build_shortcuts
 from repro.graph.network import RoadNetwork, edge_key
 from repro.objects.model import ObjectSet, SpatialObject
@@ -43,9 +59,14 @@ from repro.queries.types import (
     ANY,
     AggregateKNNQuery,
     KNNQuery,
+    ODMatrixEntry,
+    ODMatrixQuery,
     Predicate,
     RangeQuery,
     ResultEntry,
+    RouteKNNQuery,
+    ServiceAreaEntry,
+    ServiceAreaQuery,
 )
 from repro.serving.dispatch import (
     DEFAULT_DIRECTORY,
@@ -327,6 +348,109 @@ class ROAD(QueryExecutor):
             abstracts,
         )
 
+    def od_matrix(
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        *,
+        stats: Optional[SearchStats] = None,
+    ) -> List[ODMatrixEntry]:
+        """Many-to-many network distances (the OD cost matrix workload).
+
+        One lane-tagged multi-source Dijkstra
+        (:func:`repro.core.multi_source.od_matrix_generic`) over the full
+        physical adjacency, charging pager I/O per expanded node the way
+        every charged traversal does.  Cells come back row-major with
+        ``inf`` for unreachable pairs; unknown sources *or* targets raise
+        :class:`~repro.core.route_overlay.RouteOverlayError` rather than
+        silently reporting them unreachable.
+        """
+        src = list(sources)
+        if not src:
+            raise ValueError("need at least one source node")
+        tgt = list(targets)
+        overlay = self.overlay
+        for node in (*src, *tgt):
+            if not overlay.has_node(node):
+                raise RouteOverlayError(f"node {node} not in Route Overlay")
+
+        def expand_flat(
+            node: int, distance: float, push: Callable[[int, float], None]
+        ) -> None:
+            for neighbour, weight in overlay.neighbours(node):
+                push(neighbour, distance + weight)
+
+        rows = od_matrix_generic(src, tgt, expand_flat, stats=stats)
+        return od_entries(src, tgt, rows)
+
+    def service_area(
+        self,
+        node: int,
+        breaks: Sequence[float],
+        predicate: Predicate = ANY,
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+        stats: Optional[SearchStats] = None,
+        abstracts: Optional[AbstractCache] = None,
+    ) -> List[ServiceAreaEntry]:
+        """Multi-break isochrone: RangeSearch at ``max(breaks)``, with
+        every answer tagged by the first break covering it.
+
+        Rides the shared multi-source kernel (single seed); a batch
+        caller passes ``abstracts`` to share Rnet-pruning decisions.
+        """
+        assoc = self.directory(directory)
+        cut = normalize_breaks(breaks)
+        search_stats = stats if stats is not None else SearchStats()
+        cache = (
+            abstracts
+            if abstracts is not None
+            else AbstractCache(assoc, predicate)
+        )
+        entries = multi_source_objects(
+            [node],
+            _charged_expand(self.overlay, assoc, predicate, cache, search_stats),
+            radius=cut[-1],
+            stats=search_stats,
+        )
+        return bucket_entries(entries, cut)
+
+    def route_knn(
+        self,
+        path: Iterable[int],
+        k: int,
+        predicate: Predicate = ANY,
+        *,
+        directory: str = DEFAULT_DIRECTORY,
+        stats: Optional[SearchStats] = None,
+        abstracts: Optional[AbstractCache] = None,
+    ) -> List[ResultEntry]:
+        """In-route kNN: the k best objects by detour distance from a path.
+
+        Every path node seeds one shared frontier at distance 0 — the
+        batched multi-source form of kNNSearch, paying each predicate's
+        Rnet-pruning decision once for the whole route instead of once
+        per source.
+        """
+        seeds = list(path)
+        if not seeds:
+            raise ValueError("need at least one path node")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        assoc = self.directory(directory)
+        search_stats = stats if stats is not None else SearchStats()
+        cache = (
+            abstracts
+            if abstracts is not None
+            else AbstractCache(assoc, predicate)
+        )
+        return multi_source_objects(
+            seeds,
+            _charged_expand(self.overlay, assoc, predicate, cache, search_stats),
+            k=k,
+            stats=search_stats,
+        )
+
     def knn_routed(
         self,
         node: int,
@@ -514,6 +638,31 @@ class ROAD(QueryExecutor):
 # ----------------------------------------------------------------------
 # Charged-path query handlers (the "charged" dispatch key).
 # ----------------------------------------------------------------------
+def _charged_expand(
+    overlay: RouteOverlay,
+    assoc: AssociationDirectory,
+    predicate: Predicate,
+    abstracts: AbstractCache,
+    stats: SearchStats,
+) -> Expand:
+    """The multi-source kernel's expansion step over the charged index.
+
+    Exactly one node's worth of kNNSearch body — SearchObject then
+    ChoosePath — pushed through the shared frontier, so the sweep is
+    push-for-push identical to the frozen CSR walk.
+    """
+
+    def expand(
+        frontier: _Frontier, node: int, distance: float, seen_objects: Set[int]
+    ) -> None:
+        _collect_node_objects(
+            assoc, frontier, node, distance, predicate, seen_objects
+        )
+        _choose_path_cached(overlay, abstracts, frontier, node, distance, stats)
+
+    return expand
+
+
 def _charged_cache(road: ROAD, predicate: Predicate, ctx: BatchContext):
     """One AbstractCache per (batch, predicate): Rnet pruning paid once."""
     assoc = road.directory(ctx.directory)
@@ -554,6 +703,36 @@ def _charged_aggregate(road: ROAD, query: AggregateKNNQuery, ctx: BatchContext):
         query.nodes,
         query.k,
         query.agg,
+        query.predicate,
+        directory=ctx.directory,
+        stats=ctx.stats,
+        abstracts=_charged_cache(road, query.predicate, ctx),
+    )
+
+
+@register_handler(ODMatrixQuery, engine="charged")
+def _charged_od_matrix(road: ROAD, query: ODMatrixQuery, ctx: BatchContext):
+    # The matrix is object-free; ctx.directory only gated admission.
+    return road.od_matrix(query.sources, query.targets, stats=ctx.stats)
+
+
+@register_handler(ServiceAreaQuery, engine="charged")
+def _charged_service_area(road: ROAD, query: ServiceAreaQuery, ctx: BatchContext):
+    return road.service_area(
+        query.node,
+        query.breaks,
+        query.predicate,
+        directory=ctx.directory,
+        stats=ctx.stats,
+        abstracts=_charged_cache(road, query.predicate, ctx),
+    )
+
+
+@register_handler(RouteKNNQuery, engine="charged")
+def _charged_route_knn(road: ROAD, query: RouteKNNQuery, ctx: BatchContext):
+    return road.route_knn(
+        query.path,
+        query.k,
         query.predicate,
         directory=ctx.directory,
         stats=ctx.stats,

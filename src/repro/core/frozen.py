@@ -69,17 +69,28 @@ import weakref
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Iterable,
     Iterator,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
 from repro.core.aggregate import aggregate_knn_generic
+from repro.core.multi_source import (
+    Expand,
+    ExpandFlat,
+    bucket_entries,
+    multi_source_objects,
+    normalize_breaks,
+    od_entries,
+    od_matrix_generic,
+)
 from repro.core.frozen_backends import (
     BoolMask,
     FloatVector,
@@ -88,16 +99,21 @@ from repro.core.frozen_backends import (
     resolve_backend,
 )
 from repro.core.shm_arrays import ShmVector
-from repro.core.search import SearchStats
+from repro.core.search import SearchStats, _Frontier
 from repro.core.shortcut_tree import ShortcutTree, ShortcutTreeEntry
 from repro.objects.model import SpatialObject
 from repro.queries.types import (
     ANY,
     AggregateKNNQuery,
     KNNQuery,
+    ODMatrixEntry,
+    ODMatrixQuery,
     Predicate,
     RangeQuery,
     ResultEntry,
+    RouteKNNQuery,
+    ServiceAreaEntry,
+    ServiceAreaQuery,
 )
 from repro.serving.dispatch import (
     DEFAULT_DIRECTORY,
@@ -1286,6 +1302,98 @@ class FrozenRoad(QueryExecutor):
             agg,
         )
 
+    def od_matrix(
+        self,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        stats: Optional[SearchStats] = None,
+        *,
+        directory: Optional[str] = None,
+    ) -> List[ODMatrixEntry]:
+        """Many-to-many network distances over the compiled flat adjacency.
+
+        One lane-tagged multi-source Dijkstra
+        (:func:`repro.core.multi_source.od_matrix_generic`) relaxes the
+        contiguous edge spans for all S sources from a single shared
+        heap; cells are returned row-major with ``inf`` for unreachable
+        pairs.  ``directory`` only routes admission — the matrix itself
+        is a pure network product.
+        """
+        self._state(directory)
+        src = [self._code(node) for node in sources]
+        if not src:
+            raise ValueError("need at least one source node")
+        tgt = [self._code(node) for node in targets]
+        rows = od_matrix_generic(src, tgt, self._flat_expand(), stats=stats)
+        return od_entries(list(sources), list(targets), rows)
+
+    def service_area(
+        self,
+        node: int,
+        breaks: Sequence[float],
+        predicate: Predicate = ANY,
+        stats: Optional[SearchStats] = None,
+        *,
+        directory: Optional[str] = None,
+    ) -> List[ServiceAreaEntry]:
+        """Multi-break isochrone against the compiled arrays.
+
+        A RangeSearch sweep cut at ``max(breaks)``, with every answer
+        tagged by the first break covering it.  Rides the shared
+        multi-source kernel (single seed), so the per-predicate masks
+        serve the whole sweep.
+        """
+        state = self._state(directory)
+        cut = normalize_breaks(breaks)
+        source = self._code(node)
+        may = self._rnet_mask(state, predicate)
+        omask = self._object_mask(state, predicate)
+        counters = [0, 0, 0, 0, 0, 0]
+        entries = multi_source_objects(
+            [source],
+            self._frontier_expand(state, may, omask, counters),
+            radius=cut[-1],
+            stats=stats,
+        )
+        if stats is not None:
+            self._flush_stats(stats, counters)
+        return bucket_entries(entries, cut)
+
+    def route_knn(
+        self,
+        path: Sequence[int],
+        k: int,
+        predicate: Predicate = ANY,
+        stats: Optional[SearchStats] = None,
+        *,
+        directory: Optional[str] = None,
+    ) -> List[ResultEntry]:
+        """In-route kNN: the k best objects by detour from ``path``.
+
+        Every path node seeds one shared frontier at distance 0 (the
+        batched multi-source form of kNNSearch), so an answer's distance
+        is the smallest detour from any point of the route; the k-cutoff
+        drains ties and resolves them canonically by (distance, id).
+        """
+        state = self._state(directory)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        seeds = [self._code(n) for n in path]
+        if not seeds:
+            raise ValueError("need at least one path node")
+        may = self._rnet_mask(state, predicate)
+        omask = self._object_mask(state, predicate)
+        counters = [0, 0, 0, 0, 0, 0]
+        result = multi_source_objects(
+            seeds,
+            self._frontier_expand(state, may, omask, counters),
+            k=k,
+            stats=stats,
+        )
+        if stats is not None:
+            self._flush_stats(stats, counters)
+        return result
+
     # ``execute`` / ``execute_many`` are inherited from QueryExecutor and
     # served by the ``engine="frozen"`` handlers at the bottom of this
     # module.  Predicate state (Rnet masks, object match masks) is
@@ -1869,6 +1977,107 @@ class FrozenRoad(QueryExecutor):
                 i = entry_next[i]
         return seq
 
+    def _code(self, node: int) -> int:
+        """One node id's dense code; unknown ids raise like the queries."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise FrozenRoadError(f"node {node} not in frozen index") from None
+
+    def _frontier_expand(
+        self,
+        state: _DirectoryState,
+        may: Sequence[bool],
+        omask: Optional[bytearray],
+        counters: List[int],
+    ) -> Expand:
+        """The multi-source kernel's expansion step over the CSR spans.
+
+        The frontier twin of :meth:`_expand`: identical decisions in
+        identical order (objects first, then the entry walk), pushing
+        through the shared :class:`~repro.core.search._Frontier` instead
+        of the raw heap — which is what keeps the multi-source sweeps
+        push-for-push identical to the charged engine.  ``counters``
+        accumulates edge/shortcut/Rnet work (indexes 2..5 of
+        :meth:`_flush_stats`); the kernel itself counts the pops.
+        """
+        obj_start, obj_id, obj_delta = self._object_views(state)
+        (
+            entry_start, entry_rnet, entry_next,
+            sc_start, sc_target, sc_weight,
+            ed_start, ed_target, ed_weight,
+            local_start, local_target, local_weight,
+        ) = self._array_views()
+
+        def expand(
+            frontier: "_Frontier", item: int, distance: float,
+            seen_objects: Set[int],
+        ) -> None:
+            push_node = frontier.push_node
+            push_object = frontier.push_object
+            for j in range(obj_start[item], obj_start[item + 1]):
+                oid = obj_id[j]
+                if oid in seen_objects:
+                    continue
+                if omask is None or omask[j]:
+                    push_object(oid, distance + obj_delta[j])
+            i = entry_start[item]
+            end = entry_start[item + 1]
+            if i == end:
+                for j in range(local_start[item], local_start[item + 1]):
+                    push_node(local_target[j], distance + local_weight[j])
+                    counters[2] += 1
+                return
+            while i < end:
+                if may[entry_rnet[i]]:
+                    if entry_next[i] == i + 1:
+                        for j in range(ed_start[i], ed_start[i + 1]):
+                            push_node(ed_target[j], distance + ed_weight[j])
+                            counters[2] += 1
+                    else:
+                        counters[5] += 1
+                    i += 1
+                else:
+                    counters[4] += 1
+                    for j in range(sc_start[i], sc_start[i + 1]):
+                        push_node(sc_target[j], distance + sc_weight[j])
+                        counters[3] += 1
+                    i = entry_next[i]
+
+        return expand
+
+    def _flat_expand(self) -> ExpandFlat:
+        """The OD sweep's step: a node's full physical adjacency.
+
+        A non-border node relaxes its local span; a border node's leaf
+        edges sit contiguous across its entry spans (``_compile`` emits
+        them in entry order and patches preserve the layout), so the
+        whole adjacency is one ``range(ed_start[i0], ed_start[i1])``.
+        Same edge multiset as the charged ``overlay.neighbours`` — and
+        Dijkstra's settled distances are relaxation-order independent,
+        so the OD rows agree across engines byte-for-byte.
+        """
+        (
+            entry_start, _entry_rnet, _entry_next,
+            _sc_start, _sc_target, _sc_weight,
+            ed_start, ed_target, ed_weight,
+            local_start, local_target, local_weight,
+        ) = self._array_views()
+
+        def expand_flat(
+            item: int, distance: float, push: Callable[[int, float], None]
+        ) -> None:
+            i0 = entry_start[item]
+            i1 = entry_start[item + 1]
+            if i0 == i1:
+                for j in range(local_start[item], local_start[item + 1]):
+                    push(local_target[j], distance + local_weight[j])
+            else:
+                for j in range(ed_start[i0], ed_start[i1]):
+                    push(ed_target[j], distance + ed_weight[j])
+
+        return expand_flat
+
     @staticmethod
     def _flush_stats(stats: SearchStats, counters: Sequence[int]) -> None:
         stats.nodes_popped += counters[0]
@@ -1930,5 +2139,34 @@ def _frozen_aggregate(
 ) -> List[ResultEntry]:
     return snapshot.aggregate_knn(
         query.nodes, query.k, query.agg, query.predicate, stats=ctx.stats,
+        directory=ctx.directory,
+    )
+
+
+@register_handler(ODMatrixQuery, engine="frozen")
+def _frozen_od_matrix(
+    snapshot: FrozenRoad, query: ODMatrixQuery, ctx: BatchContext
+) -> List[ODMatrixEntry]:
+    return snapshot.od_matrix(
+        query.sources, query.targets, stats=ctx.stats, directory=ctx.directory,
+    )
+
+
+@register_handler(ServiceAreaQuery, engine="frozen")
+def _frozen_service_area(
+    snapshot: FrozenRoad, query: ServiceAreaQuery, ctx: BatchContext
+) -> List[ServiceAreaEntry]:
+    return snapshot.service_area(
+        query.node, query.breaks, query.predicate, stats=ctx.stats,
+        directory=ctx.directory,
+    )
+
+
+@register_handler(RouteKNNQuery, engine="frozen")
+def _frozen_route_knn(
+    snapshot: FrozenRoad, query: RouteKNNQuery, ctx: BatchContext
+) -> List[ResultEntry]:
+    return snapshot.route_knn(
+        query.path, query.k, query.predicate, stats=ctx.stats,
         directory=ctx.directory,
     )

@@ -1,0 +1,219 @@
+"""Shared batched multi-source search core for the network workloads.
+
+The paper's LDSQs expand from one query node; production road-network
+traffic is dominated by many-to-many and reachability shapes (OD cost
+matrices, service-area isochrones, "nearest charger along my route").
+All of them are the same sweep with S sources instead of one, so this
+module hosts the one kernel every engine rides:
+
+* :func:`multi_source_objects` — one frontier seeded with every source
+  at distance 0, popping objects in non-descending *minimum-over-seeds*
+  distance.  ``ServiceAreaQuery`` is the radius-bounded form,
+  ``RouteKNNQuery`` the k-bounded form.  Because there is a single
+  frontier, the per-predicate Rnet masks and the
+  :class:`~repro.core.search.AbstractCache` decisions are paid once for
+  all S sources, the way ``execute_many`` amortises them across a batch.
+* :func:`od_matrix_generic` — a lane-tagged multi-source Dijkstra over
+  the flat physical adjacency: one shared heap carries entries for all S
+  source lanes, each lane settling its targets and retiring as soon as
+  the last one is found.  Final distances are push-order independent, so
+  charged and frozen expansions agree byte-for-byte even though they
+  enumerate edges in different orders.
+
+The expansion step is a callable the engine supplies: the charged side
+closes over :func:`~repro.core.search._choose_path_cached`, the frozen
+side over its CSR span walk (:meth:`repro.core.frozen.FrozenRoad`), and
+both push into the same :class:`~repro.core.search._Frontier`, which is
+what makes the collect sweeps push-for-push identical across engines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.search import SearchStats, _Frontier
+from repro.queries.types import (
+    ODMatrixEntry,
+    ResultEntry,
+    ServiceAreaEntry,
+    _require_distance,
+    sort_result,
+)
+
+_INF = float("inf")
+
+#: One engine-supplied expansion step for the collect sweep:
+#: ``expand(frontier, node, distance, seen_objects)`` pushes the node's
+#: matching objects (skipping ids already in ``seen_objects``) and its
+#: outgoing moves (edges / shortcuts / span walks) into the frontier.
+Expand = Callable[[_Frontier, int, float, Set[int]], None]
+
+#: One engine-supplied flat-adjacency step for the OD sweep:
+#: ``expand_flat(node, distance, push)`` calls ``push(neighbour,
+#: distance + weight)`` for every physical edge out of ``node``.
+ExpandFlat = Callable[[int, float, Callable[[int, float], None]], None]
+
+
+def multi_source_objects(
+    seeds: Sequence[int],
+    expand: Expand,
+    *,
+    radius: float = _INF,
+    k: Optional[int] = None,
+    stats: Optional[SearchStats] = None,
+) -> List[ResultEntry]:
+    """Matching objects reachable from any seed, nearest seed first.
+
+    Every seed enters one shared frontier at distance 0 (duplicates
+    collapse), so a popped object's distance is the minimum over seeds —
+    the detour distance for a route, the coverage distance for a service
+    area.  ``radius`` bounds the sweep inclusively (``distance <=
+    radius`` qualifies, matching RangeSearch); ``k`` stops it after the
+    k-th object, draining distance ties first so the returned prefix is
+    the canonical (distance, object id) cut rather than an artifact of
+    push order.
+    """
+    frontier = _Frontier()
+    seeded: Set[int] = set()
+    for node in seeds:
+        if node not in seeded:
+            seeded.add(node)
+            frontier.push_node(node, 0.0)
+    visited: Set[int] = set()
+    seen_objects: Set[int] = set()
+    result: List[ResultEntry] = []
+    tie_bound: Optional[float] = None
+    while frontier:
+        distance, is_object, item, _origin = frontier.pop()
+        if distance > radius:
+            break  # everything else is farther: the bounded space is done
+        if tie_bound is not None and distance > tie_bound:
+            break  # k answers found and their distance ties are drained
+        if is_object:
+            if item in seen_objects:
+                continue
+            seen_objects.add(item)
+            if stats is not None:
+                stats.objects_popped += 1
+            result.append(ResultEntry(item, distance))
+            if k is not None and tie_bound is None and len(result) >= k:
+                tie_bound = distance
+            continue
+        if item in visited:
+            continue
+        visited.add(item)
+        if stats is not None:
+            stats.nodes_popped += 1
+        expand(frontier, item, distance, seen_objects)
+    result = sort_result(result)
+    if k is not None:
+        del result[k:]
+    return result
+
+
+def od_matrix_generic(
+    sources: Sequence[int],
+    targets: Sequence[int],
+    expand_flat: ExpandFlat,
+    *,
+    stats: Optional[SearchStats] = None,
+) -> List[List[float]]:
+    """Distance rows (one per source, one cell per target), ``inf`` when
+    unreachable.
+
+    One shared heap carries ``(distance, seq, lane, node)`` for all S
+    source lanes at once; a lane retires the moment its last target
+    settles, and the sweep stops when every lane has.  Because Dijkstra's
+    settled distances do not depend on relaxation order, any engine
+    enumerating the same physical edge multiset produces identical rows.
+    """
+    rows = [[_INF] * len(targets) for _ in sources]
+    if not sources or not targets:
+        return rows
+    target_slots: Dict[int, List[int]] = {}
+    for j, target in enumerate(targets):
+        target_slots.setdefault(target, []).append(j)
+    heap: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    for lane, node in enumerate(sources):
+        heap.append((0.0, seq, lane, node))
+        seq += 1
+    heapq.heapify(heap)
+    visited: List[Set[int]] = [set() for _ in sources]
+    remaining = [len(targets)] * len(sources)
+    active = len(sources)
+    while heap and active:
+        distance, _, lane, node = heapq.heappop(heap)
+        if not remaining[lane]:
+            continue  # stale entry of a retired lane
+        seen = visited[lane]
+        if node in seen:
+            continue
+        seen.add(node)
+        if stats is not None:
+            stats.nodes_popped += 1
+        slots = target_slots.get(node)
+        if slots is not None:
+            row = rows[lane]
+            for j in slots:
+                row[j] = distance
+            remaining[lane] -= len(slots)
+            if not remaining[lane]:
+                active -= 1
+                continue  # lane done: nothing left worth expanding
+
+        def push(target: int, new_distance: float, _lane: int = lane) -> None:
+            nonlocal seq
+            if target not in visited[_lane]:
+                heapq.heappush(heap, (new_distance, seq, _lane, target))
+                seq += 1
+                if stats is not None:
+                    stats.edges_relaxed += 1
+
+        expand_flat(node, distance, push)
+    return rows
+
+
+def od_entries(
+    sources: Sequence[int],
+    targets: Sequence[int],
+    rows: Sequence[Sequence[float]],
+) -> List[ODMatrixEntry]:
+    """Rows flattened to the wire/result shape: row-major cells."""
+    return [
+        ODMatrixEntry(source, target, rows[i][j])
+        for i, source in enumerate(sources)
+        for j, target in enumerate(targets)
+    ]
+
+
+def normalize_breaks(breaks: Sequence[float]) -> Tuple[float, ...]:
+    """Validated ascending break cut-offs.
+
+    The engines' method-level twin of ``ServiceAreaQuery``'s dataclass
+    validation (one rule set, shared): every break must be a finite
+    non-negative number, at least one is required, and unsorted input is
+    normalised to ascending order.
+    """
+    cleaned = tuple(sorted(_require_distance(b, field="break") for b in breaks))
+    if not cleaned:
+        raise ValueError("need at least one break")
+    return cleaned
+
+
+def bucket_entries(
+    entries: Sequence[ResultEntry], breaks: Sequence[float]
+) -> List[ServiceAreaEntry]:
+    """Tag range answers with the index of the first break covering them.
+
+    ``breaks`` must be sorted ascending (the query dataclass normalises)
+    and the entries already cut at ``max(breaks)`` by the sweep's radius.
+    """
+    return [
+        ServiceAreaEntry(
+            entry.object_id, entry.distance, bisect_left(breaks, entry.distance)
+        )
+        for entry in entries
+    ]

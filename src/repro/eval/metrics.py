@@ -166,4 +166,21 @@ def snapshot_divergences(
             [node, other], k
         ):
             divergences.append(f"aggregate_knn([{node}, {other}]) diverged")
+        # Network-workload probes (hasattr-guarded so the function still
+        # accepts snapshots predating the multi-source kernel).
+        if hasattr(patched, "od_matrix"):
+            got_od = patched.od_matrix([node, other], [other, node], **kw)
+            if got_od != fresh.od_matrix([node, other], [other, node]):
+                divergences.append(f"od_matrix([{node}, {other}]) diverged")
+        if hasattr(patched, "service_area"):
+            breaks = (max_radius / 2.0, max_radius)
+            if patched.service_area(node, breaks, **kw) != fresh.service_area(
+                node, breaks
+            ):
+                divergences.append(f"service_area({node}, {breaks}) diverged")
+        if hasattr(patched, "route_knn"):
+            if patched.route_knn([node, other], k, **kw) != fresh.route_knn(
+                [node, other], k
+            ):
+                divergences.append(f"route_knn([{node}, {other}]) diverged")
     return divergences

@@ -1,13 +1,19 @@
-"""LDSQ query types and workload generators."""
+"""LDSQ query types, network workloads, and workload generators."""
 
 from repro.queries.types import (
     AGGREGATE_FUNCTIONS,
     ANY,
     AggregateKNNQuery,
     KNNQuery,
+    ODMatrixEntry,
+    ODMatrixQuery,
     Predicate,
     RangeQuery,
     ResultEntry,
+    ResultRow,
+    RouteKNNQuery,
+    ServiceAreaEntry,
+    ServiceAreaQuery,
     sort_result,
 )
 from repro.queries.workload import (
@@ -22,9 +28,15 @@ __all__ = [
     "ANY",
     "AggregateKNNQuery",
     "KNNQuery",
+    "ODMatrixEntry",
+    "ODMatrixQuery",
     "Predicate",
     "RangeQuery",
     "ResultEntry",
+    "ResultRow",
+    "RouteKNNQuery",
+    "ServiceAreaEntry",
+    "ServiceAreaQuery",
     "knn_workload",
     "mixed_workload",
     "random_query_nodes",

@@ -1,4 +1,4 @@
-"""Location-dependent spatial queries (LDSQs).
+"""Location-dependent spatial queries (LDSQs) and network workloads.
 
 Section 3.1: "Each LDSQ is specified with a distance condition D and
 attribute predicate A" — an object qualifies if its network distance from
@@ -6,14 +6,68 @@ the query node satisfies ``D`` and its attributes satisfy ``A`` (e.g.
 ``o.type = 'seafood'``).  The two common LDSQs the paper evaluates are kNN
 queries (distance condition: among the k smallest) and range queries
 (distance condition: within radius r).
+
+Beyond the paper's menu, the network-analysis workloads ride the same
+dispatch registry: :class:`ODMatrixQuery` (many-to-many cost matrices),
+:class:`ServiceAreaQuery` (multi-break isochrones) and
+:class:`RouteKNNQuery` (k best objects by detour distance from a route).
+
+Every query dataclass validates through one small set of shared helpers
+(`_require_node` and friends) so the rules are identical everywhere:
+node ids are ints with bools rejected (matching the wire codecs'
+bool-rejecting integer rule), counts are ints >= 1, and radii/breaks are
+finite non-negative numbers.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
 
 from repro.objects.model import SpatialObject
+
+
+def _require_node(value: object, *, field: str = "node") -> int:
+    """An integer node id; bools are rejected (they are int subclasses)."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{field} must be an integer node id, got {value!r}")
+    return value
+
+
+def _require_nodes(
+    values: Iterable[object], *, field: str, allow_empty: bool = False
+) -> Tuple[int, ...]:
+    """A tuple of node ids, non-empty unless ``allow_empty``."""
+    nodes = tuple(values)
+    if not nodes and not allow_empty:
+        raise ValueError(f"need at least one {field} node")
+    for node in nodes:
+        _require_node(node, field=field)
+    return nodes  # type: ignore[return-value]
+
+
+def _require_count(value: object, *, field: str = "k") -> int:
+    """An integer count >= 1; bools are rejected."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{field} must be an integer, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{field} must be >= 1, got {value}")
+    return value
+
+
+def _require_distance(value: object, *, field: str) -> float:
+    """A finite non-negative number (radius, break, ...), as a float."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"{field} must be a number, got {value!r}")
+    number = float(value)
+    if math.isnan(number):
+        raise ValueError(f"{field} must be a number, got {value!r}")
+    if number < 0:
+        raise ValueError(f"{field} must be >= 0, got {value}")
+    if math.isinf(number):
+        raise ValueError(f"{field} must be finite, got {value}")
+    return number
 
 
 @dataclass(frozen=True)
@@ -69,8 +123,8 @@ class KNNQuery:
     predicate: Predicate = ANY
 
     def __post_init__(self) -> None:
-        if self.k < 1:
-            raise ValueError(f"k must be >= 1, got {self.k}")
+        _require_node(self.node)
+        _require_count(self.k)
 
 
 @dataclass(frozen=True)
@@ -82,8 +136,10 @@ class RangeQuery:
     predicate: Predicate = ANY
 
     def __post_init__(self) -> None:
-        if self.radius < 0:
-            raise ValueError(f"radius must be >= 0, got {self.radius}")
+        _require_node(self.node)
+        object.__setattr__(
+            self, "radius", _require_distance(self.radius, field="radius")
+        )
 
 
 #: Aggregate functions an :class:`AggregateKNNQuery` may request (the
@@ -107,15 +163,82 @@ class AggregateKNNQuery:
     predicate: Predicate = ANY
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "nodes", tuple(self.nodes))
-        if not self.nodes:
-            raise ValueError("need at least one query node")
-        if self.k < 1:
-            raise ValueError(f"k must be >= 1, got {self.k}")
+        object.__setattr__(self, "nodes", _require_nodes(self.nodes, field="query"))
+        _require_count(self.k)
         if self.agg not in AGGREGATE_FUNCTIONS:
             raise ValueError(
                 f"agg must be one of {AGGREGATE_FUNCTIONS}, got {self.agg!r}"
             )
+
+
+@dataclass(frozen=True)
+class ODMatrixQuery:
+    """Origin-destination cost matrix: many-to-many network distances.
+
+    The answer is one :class:`ODMatrixEntry` per (source, target) pair in
+    row-major order (all targets of the first source, then the second,
+    ...); an unreachable pair carries ``distance = inf``.  ``sources``
+    must be non-empty; ``targets`` may be empty (an empty matrix — the
+    degenerate "no destinations yet" shape).  There is no attribute
+    predicate: the matrix is a pure network-distance product.
+    """
+
+    sources: Tuple[int, ...]
+    targets: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sources", _require_nodes(self.sources, field="sources")
+        )
+        object.__setattr__(
+            self,
+            "targets",
+            _require_nodes(self.targets, field="targets", allow_empty=True),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceAreaQuery:
+    """Multi-break isochrone: matching objects bucketed by travel cost.
+
+    ``breaks`` are the cumulative cost cut-offs (e.g. ``(5, 10, 15)``
+    minutes); the answer is every matching object within the largest
+    break, each tagged with the index of the first break covering it
+    (:attr:`ServiceAreaEntry.bucket`).  Breaks may arrive unsorted —
+    they are normalised to ascending order; each must be a finite
+    non-negative number and at least one is required.
+    """
+
+    node: int
+    breaks: Tuple[float, ...]
+    predicate: Predicate = ANY
+
+    def __post_init__(self) -> None:
+        _require_node(self.node)
+        raw = tuple(self.breaks)
+        if not raw:
+            raise ValueError("need at least one break")
+        cleaned = sorted(_require_distance(b, field="break") for b in raw)
+        object.__setattr__(self, "breaks", tuple(cleaned))
+
+
+@dataclass(frozen=True)
+class RouteKNNQuery:
+    """In-route kNN: the k best objects by detour distance from a path.
+
+    "Nearest charger along my route": every node of ``path`` seeds one
+    multi-source sweep at distance 0, so an object's distance is the
+    smallest detour from any point of the route.  Duplicate path nodes
+    are legal (loops, stuttered GPS traces) and collapse to one seed.
+    """
+
+    path: Tuple[int, ...]
+    k: int
+    predicate: Predicate = ANY
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "path", _require_nodes(self.path, field="path"))
+        _require_count(self.k)
 
 
 @dataclass(frozen=True)
@@ -124,6 +247,35 @@ class ResultEntry:
 
     object_id: int
     distance: float
+
+
+@dataclass(frozen=True)
+class ServiceAreaEntry(ResultEntry):
+    """A service-area answer: the object plus its isochrone bucket.
+
+    ``bucket`` indexes into the query's (sorted) ``breaks``: the first
+    break that covers the object's distance.
+    """
+
+    bucket: int
+
+
+@dataclass(frozen=True)
+class ODMatrixEntry:
+    """One source->target cell of an OD cost matrix.
+
+    ``distance`` is ``inf`` when the target is unreachable from the
+    source (``null`` on the wire).
+    """
+
+    source: int
+    target: int
+    distance: float
+
+
+#: Any row an executor may return: plain / bucketed object answers, or
+#: OD matrix cells.  (``ServiceAreaEntry`` is a ``ResultEntry``.)
+ResultRow = Union[ResultEntry, ODMatrixEntry]
 
 
 def sort_result(entries: List[ResultEntry]) -> List[ResultEntry]:

@@ -55,14 +55,18 @@ from typing import (
     Type,
 )
 
-from repro.queries.types import ResultEntry
+from repro.queries.types import ResultRow
 
 #: The implicit directory name every engine serves (the charged path can
 #: attach more; see :meth:`repro.core.framework.ROAD.attach_objects`).
 DEFAULT_DIRECTORY = "objects"
 
 #: A registered query handler: ``(executor, query, ctx) -> results``.
-Handler = Callable[["QueryExecutor", object, "BatchContext"], List[ResultEntry]]
+#: The return type is a covariant ``Sequence`` of the result-row union
+#: (:data:`repro.queries.types.ResultRow`), so a handler may keep the
+#: precise ``List[ResultEntry]`` / ``List[ODMatrixEntry]`` annotation of
+#: the method it wraps.
+Handler = Callable[["QueryExecutor", object, "BatchContext"], Sequence[ResultRow]]
 
 #: (engine key, query type) -> handler.
 _HANDLERS: Dict[Tuple[str, Type], Handler] = {}
@@ -262,7 +266,7 @@ class QueryExecutor(ABC):
         *,
         directory: Optional[str] = None,
         stats: Optional[object] = None,
-    ) -> List[ResultEntry]:
+    ) -> List[ResultRow]:
         """Run one query object through the registered handler.
 
         ``directory=None`` targets :attr:`default_directory` — for a
@@ -277,7 +281,7 @@ class QueryExecutor(ABC):
         *,
         directory: Optional[str] = None,
         stats: Optional[object] = None,
-    ) -> List[List[ResultEntry]]:
+    ) -> List[List[ResultRow]]:
         """Run a whole workload through one shared :class:`BatchContext`.
 
         Queries sharing a predicate share the context's memoised state
@@ -288,8 +292,8 @@ class QueryExecutor(ABC):
         ctx = BatchContext(self.check_directory(directory), stats)
         return [self._dispatch(query, ctx) for query in queries]
 
-    def _dispatch(self, query: object, ctx: BatchContext) -> List[ResultEntry]:
+    def _dispatch(self, query: object, ctx: BatchContext) -> List[ResultRow]:
         handler = lookup_handler(type(self), type(query))
         if handler is None:
             raise UnsupportedQueryError(self, query)
-        return handler(self, query, ctx)
+        return list(handler(self, query, ctx))

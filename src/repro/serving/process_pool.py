@@ -55,7 +55,7 @@ from typing import (
 
 from repro.core.frozen import FrozenRoad
 from repro.core.shm_arrays import ShmVector
-from repro.queries.types import ResultEntry
+from repro.queries.types import ResultRow
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from multiprocessing.connection import Connection
@@ -155,7 +155,7 @@ class ProcessReplicaPool:
         self._wake_r: "Connection" = wake_r
         self._wake_w: "Connection" = wake_w
         self._ready = [threading.Event() for _ in range(workers)]
-        self._futures: Dict[int, "Future[List[List[ResultEntry]]]"] = {}
+        self._futures: Dict[int, "Future[List[List[ResultRow]]]"] = {}
         #: ticket -> worker index, so a worker death can fail exactly the
         #: futures routed to it.
         self._owners: Dict[int, int] = {}
@@ -253,14 +253,14 @@ class ProcessReplicaPool:
     # ------------------------------------------------------------------
     def submit(
         self, queries: Sequence[object], directory: str
-    ) -> "Future[List[List[ResultEntry]]]":
+    ) -> "Future[List[List[ResultRow]]]":
         """Dispatch one batch to the next worker; returns its future.
 
         The batch runs as one ``execute_many`` inside the worker (the
         per-predicate batch caches apply there, exactly as on a thread
         replica).  The future completes on the pool's listener thread.
         """
-        future: "Future[List[List[ResultEntry]]]" = Future()
+        future: "Future[List[List[ResultRow]]]" = Future()
         with self._state_lock:
             if self._closed:
                 raise ProcessPoolError("process pool is closed")
@@ -646,7 +646,7 @@ def _serve_batch(
     syncs: "SimpleQueue[Any]",
     queries: List[object],
     directory: str,
-) -> List[List[ResultEntry]]:
+) -> List[List[ResultRow]]:
     """One batch under the seqlock: sync, execute, validate, retry.
 
     The read is consistent when the generation was even and unchanged

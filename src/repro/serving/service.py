@@ -57,13 +57,13 @@ from typing import (
 
 from repro.baselines.road_adapter import ROAD_MAINTENANCE_MODES, ROAD_MODES
 from repro.core.maintenance import MaintenanceReport
-from repro.queries.types import ResultEntry
+from repro.queries.types import ResultRow
 from repro.serving.dispatch import (
     QueryExecutor,
     UnknownDirectoryError,
     UnsupportedQueryError,
 )
-from repro.serving.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
+from repro.serving.metrics import BATCH_SIZE_BUCKETS, Counter, MetricsRegistry
 from repro.serving.process_pool import ProcessReplicaPool
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -76,7 +76,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
 
 #: One admitted (query, completion future) pair; the future completes
 #: with that query's result list.
-_Entry = Tuple[object, "asyncio.Future[List[ResultEntry]]"]
+_Entry = Tuple[object, "asyncio.Future[List[ResultRow]]"]
 
 #: Engine families :meth:`RoadService.build` can construct.
 ENGINE_NAMES = ("ROAD", "NetExp", "Euclidean", "DistIdx")
@@ -424,6 +424,9 @@ class RoadService:
             name: registry.counter(f"road_service_{name}_total", text)
             for name, text in _SERVICE_COUNTER_HELP.items()
         }
+        # Per-kind admission counters materialise lazily: query classes
+        # appear as their first instance is submitted.
+        self._kind_counters: Dict[str, Counter] = {}
         self._batch_sizes = registry.histogram(
             "road_admission_batch_size",
             "Unique queries per execute_many admission batch.",
@@ -463,6 +466,18 @@ class RoadService:
         """Bump one service counter in both surfaces (dict + /metrics)."""
         self._counters[name] += amount
         self._metric_counters[name].inc(amount)
+
+    def _count_kind(self, kind: str) -> None:
+        """Bump the per-query-class admission counter."""
+        counter = self._kind_counters.get(kind)
+        if counter is None:
+            counter = self.metrics.counter(
+                "road_queries_by_kind_total",
+                "Queries admitted by submit(), per query class.",
+                labels={"kind": kind},
+            )
+            self._kind_counters[kind] = counter
+        counter.inc()
 
     def _pool_gauge(self) -> Dict[str, float]:
         return {
@@ -536,7 +551,7 @@ class RoadService:
         *,
         directory: Optional[str] = None,
         stats: Optional["SearchStats"] = None,
-    ) -> List[ResultEntry]:
+    ) -> List[ResultRow]:
         """Run one query synchronously on the primary executor."""
         return self._executor.execute(
             query, directory=self._directory(directory), stats=stats
@@ -548,7 +563,7 @@ class RoadService:
         *,
         directory: Optional[str] = None,
         stats: Optional["SearchStats"] = None,
-    ) -> List[List[ResultEntry]]:
+    ) -> List[List[ResultRow]]:
         """Run a workload synchronously on the primary executor."""
         return self._executor.execute_many(
             queries, directory=self._directory(directory), stats=stats
@@ -583,7 +598,7 @@ class RoadService:
     # ------------------------------------------------------------------
     async def submit(
         self, query: object, *, directory: Optional[str] = None
-    ) -> List[ResultEntry]:
+    ) -> List[ResultRow]:
         """Admit one query; await its results.
 
         The query joins the in-flight bucket for its (directory,
@@ -605,11 +620,12 @@ class RoadService:
             # handle would suppress rescheduling forever and its futures
             # can no longer be completed.  Adopt the new loop cleanly.
             self._adopt_loop(loop)
-        future: "asyncio.Future[List[ResultEntry]]" = loop.create_future()
+        future: "asyncio.Future[List[ResultRow]]" = loop.create_future()
         key = (directory, getattr(query, "predicate", None))
         self._pending.setdefault(key, []).append((query, future))
         self._pending_count += 1
         self._count("submitted")
+        self._count_kind(type(query).__name__)
         if self._pending_count >= self.config.max_batch:
             self._flush()
         elif self._flush_handle is None:
@@ -702,7 +718,7 @@ class RoadService:
 
     def _run_on_replica(
         self, index: int, queries: List[object], directory: str
-    ) -> List[List[ResultEntry]]:
+    ) -> List[List[ResultRow]]:
         """Worker-thread body: one batch on one locked replica."""
         with self._replica_locks[index]:
             return self._replicas[index].execute_many(queries, directory=directory)
@@ -711,7 +727,7 @@ class RoadService:
         self,
         entries: List[_Entry],
         slot: Optional[Dict[object, int]],
-        done: "asyncio.Future[List[List[ResultEntry]]]",
+        done: "asyncio.Future[List[List[ResultRow]]]",
     ) -> None:
         """Loop-thread callback completing a replica batch's futures."""
         exc = done.exception()
@@ -724,7 +740,7 @@ class RoadService:
     def _deliver(
         entries: List[_Entry],
         slot: Optional[Dict[object, int]],
-        results: List[List[ResultEntry]],
+        results: List[List[ResultRow]],
     ) -> None:
         for position, (query, future) in enumerate(entries):
             if future.done():

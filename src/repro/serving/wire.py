@@ -13,7 +13,11 @@ mapping between wire payloads and the dataclasses in
   (:func:`register_wire`) mirroring ``@register_handler``;
 * ``encode_result`` / ``decode_result`` — result lists as
   ``[{"object_id": ..., "distance": ...}, ...]``, exact float
-  round-trip (JSON carries the ``repr`` of IEEE doubles);
+  round-trip (JSON carries the ``repr`` of IEEE doubles); rows carry
+  their shape in their keys (``source``/``target`` for OD cells —
+  where an unreachable ``inf`` crosses as ``null``, since JSON has no
+  infinities — ``bucket`` for service-area hits), so heterogeneous
+  batch responses decode without a side channel;
 * :class:`WireError` — every malformed payload raises this one typed
   error, which the HTTP tier maps to a 400.
 
@@ -24,14 +28,21 @@ execution without also being reachable over the wire.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple, Type
 
 from repro.queries.types import (
     AggregateKNNQuery,
     KNNQuery,
+    ODMatrixEntry,
+    ODMatrixQuery,
     Predicate,
     RangeQuery,
     ResultEntry,
+    ResultRow,
+    RouteKNNQuery,
+    ServiceAreaEntry,
+    ServiceAreaQuery,
 )
 
 __all__ = [
@@ -127,28 +138,56 @@ def decode_query(payload: object) -> object:
         raise WireError(f"invalid {kind} query: {exc}") from exc
 
 
-def encode_result(entries: Sequence[ResultEntry]) -> List[Dict[str, Any]]:
+def _encode_row(entry: ResultRow) -> Dict[str, Any]:
+    if isinstance(entry, ODMatrixEntry):
+        # JSON has no infinities: an unreachable cell crosses as null.
+        return {
+            "source": entry.source,
+            "target": entry.target,
+            "distance": None if math.isinf(entry.distance) else entry.distance,
+        }
+    if isinstance(entry, ServiceAreaEntry):
+        return {
+            "object_id": entry.object_id,
+            "distance": entry.distance,
+            "bucket": entry.bucket,
+        }
+    return {"object_id": entry.object_id, "distance": entry.distance}
+
+
+def encode_result(entries: Sequence[ResultRow]) -> List[Dict[str, Any]]:
     """One result list as its JSON-safe wire form."""
-    return [
-        {"object_id": entry.object_id, "distance": entry.distance}
-        for entry in entries
-    ]
+    return [_encode_row(entry) for entry in entries]
 
 
-def decode_result(payload: object) -> List[ResultEntry]:
-    """One wire result list back into :class:`ResultEntry` objects."""
+def _decode_row(body: Mapping[str, Any]) -> ResultRow:
+    # A row's keys carry its shape: OD cells name source/target,
+    # service-area hits add a bucket, plain entries carry neither.
+    if "source" in body:
+        raw = body.get("distance")
+        distance = float("inf") if raw is None else _require_number(body, "distance")
+        return ODMatrixEntry(
+            source=_require_int(body, "source"),
+            target=_require_int(body, "target"),
+            distance=distance,
+        )
+    if "bucket" in body:
+        return ServiceAreaEntry(
+            object_id=_require_int(body, "object_id"),
+            distance=_require_number(body, "distance"),
+            bucket=_require_int(body, "bucket"),
+        )
+    return ResultEntry(
+        object_id=_require_int(body, "object_id"),
+        distance=_require_number(body, "distance"),
+    )
+
+
+def decode_result(payload: object) -> List[ResultRow]:
+    """One wire result list back into its result-row objects."""
     if not isinstance(payload, Sequence) or isinstance(payload, (str, bytes)):
         raise WireError("result payload must be a list of entries")
-    out: List[ResultEntry] = []
-    for item in payload:
-        body = _require_mapping(item, "result entry")
-        out.append(
-            ResultEntry(
-                object_id=_require_int(body, "object_id"),
-                distance=_require_number(body, "distance"),
-            )
-        )
-    return out
+    return [_decode_row(_require_mapping(item, "result entry")) for item in payload]
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +219,30 @@ def _require_str(body: Mapping[str, Any], field: str) -> str:
     if not isinstance(value, str):
         raise WireError(f"field {field!r} must be a string, got {value!r}")
     return value
+
+
+def _require_node_list(body: Mapping[str, Any], field: str) -> Tuple[int, ...]:
+    raw = body.get(field)
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+        raise WireError(f"field {field!r} must be a list of node ids, got {raw!r}")
+    nodes: List[int] = []
+    for node in raw:
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise WireError(f"field {field!r} must hold integers, got {node!r}")
+        nodes.append(node)
+    return tuple(nodes)
+
+
+def _require_number_list(body: Mapping[str, Any], field: str) -> Tuple[float, ...]:
+    raw = body.get(field)
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+        raise WireError(f"field {field!r} must be a list of numbers, got {raw!r}")
+    values: List[float] = []
+    for value in raw:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise WireError(f"field {field!r} must hold numbers, got {value!r}")
+        values.append(float(value))
+    return tuple(values)
 
 
 def _decode_predicate(body: Mapping[str, Any]) -> Predicate:
@@ -243,21 +306,52 @@ def _encode_aggregate(query: AggregateKNNQuery) -> Dict[str, Any]:
 
 
 def _decode_aggregate(body: Mapping[str, Any]) -> AggregateKNNQuery:
-    raw = body.get("nodes")
-    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
-        raise WireError(f"field 'nodes' must be a list of node ids, got {raw!r}")
-    nodes: List[int] = []
-    for node in raw:
-        if not isinstance(node, int) or isinstance(node, bool):
-            raise WireError(f"field 'nodes' must hold integers, got {node!r}")
-        nodes.append(node)
     agg = body.get("agg", "sum")
     if not isinstance(agg, str):
         raise WireError(f"field 'agg' must be a string, got {agg!r}")
     return AggregateKNNQuery(
-        nodes=tuple(nodes),
+        nodes=_require_node_list(body, "nodes"),
         k=_require_int(body, "k"),
         agg=agg,
+        predicate=_decode_predicate(body),
+    )
+
+
+def _encode_od_matrix(query: ODMatrixQuery) -> Dict[str, Any]:
+    return {"sources": list(query.sources), "targets": list(query.targets)}
+
+
+def _decode_od_matrix(body: Mapping[str, Any]) -> ODMatrixQuery:
+    return ODMatrixQuery(
+        sources=_require_node_list(body, "sources"),
+        targets=_require_node_list(body, "targets"),
+    )
+
+
+def _encode_service_area(query: ServiceAreaQuery) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"node": query.node, "breaks": list(query.breaks)}
+    _encode_predicate(query.predicate, payload)
+    return payload
+
+
+def _decode_service_area(body: Mapping[str, Any]) -> ServiceAreaQuery:
+    return ServiceAreaQuery(
+        node=_require_int(body, "node"),
+        breaks=_require_number_list(body, "breaks"),
+        predicate=_decode_predicate(body),
+    )
+
+
+def _encode_route_knn(query: RouteKNNQuery) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"path": list(query.path), "k": query.k}
+    _encode_predicate(query.predicate, payload)
+    return payload
+
+
+def _decode_route_knn(body: Mapping[str, Any]) -> RouteKNNQuery:
+    return RouteKNNQuery(
+        path=_require_node_list(body, "path"),
+        k=_require_int(body, "k"),
         predicate=_decode_predicate(body),
     )
 
@@ -269,4 +363,22 @@ register_wire(
     "aggregate_knn",
     encode=_encode_aggregate,
     decode=_decode_aggregate,
+)
+register_wire(
+    ODMatrixQuery,
+    "od_matrix",
+    encode=_encode_od_matrix,
+    decode=_decode_od_matrix,
+)
+register_wire(
+    ServiceAreaQuery,
+    "service_area",
+    encode=_encode_service_area,
+    decode=_decode_service_area,
+)
+register_wire(
+    RouteKNNQuery,
+    "route_knn",
+    encode=_encode_route_knn,
+    decode=_decode_route_knn,
 )

@@ -5,10 +5,16 @@ import pytest
 from repro.objects.model import SpatialObject
 from repro.queries.types import (
     ANY,
+    AggregateKNNQuery,
     KNNQuery,
+    ODMatrixEntry,
+    ODMatrixQuery,
     Predicate,
     RangeQuery,
     ResultEntry,
+    RouteKNNQuery,
+    ServiceAreaEntry,
+    ServiceAreaQuery,
     sort_result,
 )
 
@@ -62,6 +68,61 @@ class TestQueryValidation:
     def test_queries_are_hashable(self):
         assert len({KNNQuery(0, 1), KNNQuery(0, 1), RangeQuery(0, 5.0)}) == 2
 
+    @pytest.mark.parametrize("bad", [True, 1.5, "0", None])
+    def test_node_fields_reject_non_ints(self, bad):
+        with pytest.raises(ValueError):
+            KNNQuery(bad, 1)
+        with pytest.raises(ValueError):
+            ODMatrixQuery((0, bad), (1,))
+        with pytest.raises(ValueError):
+            ServiceAreaQuery(bad, (1.0,))
+        with pytest.raises(ValueError):
+            RouteKNNQuery((bad,), 1)
+
+    def test_bool_k_is_rejected(self):
+        # bool is an int subclass; k=True must not mean k=1.
+        with pytest.raises(ValueError):
+            KNNQuery(0, True)
+        with pytest.raises(ValueError):
+            RouteKNNQuery((0,), True)
+
+    @pytest.mark.parametrize(
+        "bad_radius", [float("nan"), float("inf"), -1.0, "far", True]
+    )
+    def test_distances_must_be_finite_non_negative(self, bad_radius):
+        with pytest.raises(ValueError):
+            RangeQuery(0, bad_radius)
+        with pytest.raises(ValueError):
+            ServiceAreaQuery(0, (bad_radius,))
+
+    def test_od_matrix_sources_must_be_non_empty(self):
+        with pytest.raises(ValueError, match="need at least one source"):
+            ODMatrixQuery((), (0,))
+        assert ODMatrixQuery((0,), ()).targets == ()
+
+    def test_route_path_must_be_non_empty(self):
+        with pytest.raises(ValueError, match="need at least one path"):
+            RouteKNNQuery((), 1)
+
+    def test_aggregate_nodes_must_be_non_empty(self):
+        with pytest.raises(ValueError, match="need at least one query"):
+            AggregateKNNQuery((), 1)
+
+    def test_breaks_normalise_to_sorted_floats(self):
+        query = ServiceAreaQuery(0, (10, 2.5, 7))
+        assert query.breaks == (2.5, 7.0, 10.0)
+        with pytest.raises(ValueError, match="need at least one break"):
+            ServiceAreaQuery(0, ())
+
+    def test_new_queries_are_hashable(self):
+        queries = {
+            ODMatrixQuery((0,), (1,)),
+            ODMatrixQuery((0,), (1,)),
+            ServiceAreaQuery(0, (1.0,)),
+            RouteKNNQuery((0,), 1),
+        }
+        assert len(queries) == 3
+
 
 class TestResults:
     def test_sort_result_by_distance_then_id(self):
@@ -71,3 +132,12 @@ class TestResults:
             ResultEntry(2, 1.0),
         ]
         assert [e.object_id for e in sort_result(entries)] == [2, 1, 3]
+
+    def test_service_area_entry_is_a_result_entry(self):
+        entry = ServiceAreaEntry(4, 2.0, 1)
+        assert isinstance(entry, ResultEntry)
+        assert (entry.object_id, entry.distance, entry.bucket) == (4, 2.0, 1)
+
+    def test_od_entry_equality_and_hash(self):
+        assert ODMatrixEntry(0, 1, 2.0) == ODMatrixEntry(0, 1, 2.0)
+        assert len({ODMatrixEntry(0, 1, 2.0), ODMatrixEntry(0, 1, 2.0)}) == 1

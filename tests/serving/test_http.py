@@ -28,8 +28,11 @@ from repro.objects.placement import place_uniform
 from repro.queries.types import (
     AggregateKNNQuery,
     KNNQuery,
+    ODMatrixQuery,
     Predicate,
     RangeQuery,
+    RouteKNNQuery,
+    ServiceAreaQuery,
 )
 from repro.serving import RoadService, ServiceConfig
 from repro.serving.http import RoadServiceApp, _handle_connection
@@ -49,6 +52,9 @@ SAMPLES = {
     "KNNQuery": KNNQuery(0, 3, Predicate.of(type="a")),
     "RangeQuery": RangeQuery(0, 250.0),
     "AggregateKNNQuery": AggregateKNNQuery((0, 20), 2, agg="max"),
+    "ODMatrixQuery": ODMatrixQuery((0, 9), (20, 63)),
+    "ServiceAreaQuery": ServiceAreaQuery(0, (150.0, 400.0), Predicate.of(type="a")),
+    "RouteKNNQuery": RouteKNNQuery((0, 1, 9), 2, Predicate.of(type="b")),
 }
 
 
@@ -125,6 +131,14 @@ class TestWireCodecs:
             {"type": "range", "node": 0, "radius": "far"},
             {"type": "aggregate_knn", "nodes": [], "k": 1},
             {"type": "aggregate_knn", "nodes": [0], "k": 1, "agg": "mode"},
+            {"type": "od_matrix", "sources": [], "targets": [0]},
+            {"type": "od_matrix", "sources": "0", "targets": [0]},
+            {"type": "od_matrix", "sources": [0, True], "targets": [0]},
+            {"type": "service_area", "node": 0, "breaks": []},
+            {"type": "service_area", "node": 0, "breaks": [100.0, "far"]},
+            {"type": "service_area", "node": 0, "breaks": [-1.0]},
+            {"type": "route_knn", "path": [], "k": 1},
+            {"type": "route_knn", "path": [0, 1], "k": 0},
         ],
     )
     def test_malformed_payloads_raise_wire_errors(self, payload):
