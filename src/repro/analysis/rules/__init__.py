@@ -12,6 +12,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports self-register)
     ra004_view_lifecycle,
     ra005_optional_imports,
     ra006_shm_lifecycle,
+    ra007_cache_invalidation,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "ra004_view_lifecycle",
     "ra005_optional_imports",
     "ra006_shm_lifecycle",
+    "ra007_cache_invalidation",
 ]

@@ -59,6 +59,17 @@ class _Expansion:
             self.radius = math.inf
         return consumed
 
+    def close(self) -> None:
+        """Close the underlying iterator deterministically.
+
+        Generator close is when the engines flush the frontier-boundary
+        footprint into ``SearchStats`` — leaving it to garbage collection
+        would make the visit sets timing-dependent.
+        """
+        close = getattr(self._iter, "close", None)
+        if close is not None:
+            close()
+
 
 def aggregate_knn(
     overlay: RouteOverlay,
@@ -114,6 +125,20 @@ def aggregate_knn_generic(
     m = len(query_nodes)
 
     expansions = [_Expansion(expand(node)) for node in query_nodes]
+    try:
+        return _lockstep(expansions, combine, agg, k, m)
+    finally:
+        for expansion in expansions:
+            expansion.close()
+
+
+def _lockstep(
+    expansions: List[_Expansion],
+    combine: Callable[[Sequence[float]], float],
+    agg: str,
+    k: int,
+    m: int,
+) -> List[ResultEntry]:
     partials: Dict[int, Dict[int, float]] = {}
     finalised: Dict[int, float] = {}
 

@@ -1324,7 +1324,9 @@ class FrozenRoad(QueryExecutor):
         if not src:
             raise ValueError("need at least one source node")
         tgt = [self._code(node) for node in targets]
-        rows = od_matrix_generic(src, tgt, self._flat_expand(), stats=stats)
+        rows = od_matrix_generic(
+            src, tgt, self._flat_expand(), stats=stats, node_ids=self.node_ids
+        )
         return od_entries(list(sources), list(targets), rows)
 
     def service_area(
@@ -1349,14 +1351,17 @@ class FrozenRoad(QueryExecutor):
         may = self._rnet_mask(state, predicate)
         omask = self._object_mask(state, predicate)
         counters = [0, 0, 0, 0, 0, 0]
+        rnet_slots: Set[int] = set()
         entries = multi_source_objects(
             [source],
-            self._frontier_expand(state, may, omask, counters),
+            self._frontier_expand(state, may, omask, counters, rnet_slots),
             radius=cut[-1],
             stats=stats,
+            node_ids=self.node_ids,
         )
         if stats is not None:
             self._flush_stats(stats, counters)
+            self._flush_rnet_slots(stats, rnet_slots)
         return bucket_entries(entries, cut)
 
     def route_knn(
@@ -1384,14 +1389,17 @@ class FrozenRoad(QueryExecutor):
         may = self._rnet_mask(state, predicate)
         omask = self._object_mask(state, predicate)
         counters = [0, 0, 0, 0, 0, 0]
+        rnet_slots: Set[int] = set()
         result = multi_source_objects(
             seeds,
-            self._frontier_expand(state, may, omask, counters),
+            self._frontier_expand(state, may, omask, counters, rnet_slots),
             k=k,
             stats=stats,
+            node_ids=self.node_ids,
         )
         if stats is not None:
             self._flush_stats(stats, counters)
+            self._flush_rnet_slots(stats, rnet_slots)
         return result
 
     # ``execute`` / ``execute_many`` are inherited from QueryExecutor and
@@ -1441,6 +1449,9 @@ class FrozenRoad(QueryExecutor):
         seen_objects: set = set()
         counters = [0, 0, 0, 0, 0, 0]
         flushed = [0, 0, 0, 0, 0, 0]
+        rnet_slots: Set[int] = set()
+        pending_nodes: List[int] = []
+        slot_ids = self._rnet_ids_by_slot() if stats is not None else {}
 
         def flush() -> None:
             # Stats update incrementally, like the charged iterator: a
@@ -1451,6 +1462,13 @@ class FrozenRoad(QueryExecutor):
                     stats, [c - f for c, f in zip(counters, flushed)]
                 )
                 flushed[:] = counters
+                node_ids = self.node_ids
+                stats.visited_nodes.update(
+                    node_ids[code] for code in pending_nodes
+                )
+                pending_nodes.clear()
+                while rnet_slots:
+                    stats.visited_rnets.add(slot_ids[rnet_slots.pop()])
 
         try:
             while heap:
@@ -1468,11 +1486,18 @@ class FrozenRoad(QueryExecutor):
                     continue
                 visited[code] = 1
                 counters[0] += 1
+                if stats is not None:
+                    pending_nodes.append(code)
                 seq = self._expand(
                     heap, seq, code, distance, may, omask, seen_objects,
-                    counters, state,
+                    counters, state, rnet_slots,
                 )
         finally:
+            if stats is not None:
+                # The frontier boundary joins the footprint when the
+                # consumer stops pulling (charged twin: the
+                # ``_Frontier.pending_nodes`` union on generator close).
+                pending_nodes.extend(c for _, _, c in heap if c >= 0)
             flush()
 
     # ------------------------------------------------------------------
@@ -1681,6 +1706,8 @@ class FrozenRoad(QueryExecutor):
         # nodes/objects popped, edges relaxed, shortcuts taken,
         # rnets bypassed/descended
         c_np = c_op = c_er = c_st = c_rb = c_rd = 0
+        track = stats is not None
+        rnet_seen: Set[int] = set()
         while heap:
             distance, _, code = pop(heap)
             if distance > bound:
@@ -1726,6 +1753,8 @@ class FrozenRoad(QueryExecutor):
                         seq += 1
                 continue
             while i < end:
+                if track:
+                    rnet_seen.add(entry_rnet[i])
                 if may[entry_rnet[i]]:
                     nxt = entry_next[i]
                     if nxt == i + 1:
@@ -1751,6 +1780,7 @@ class FrozenRoad(QueryExecutor):
                     i = entry_next[i]
         if stats is not None:
             self._flush_stats(stats, (c_np, c_op, c_er, c_st, c_rb, c_rd))
+            self._flush_footprint(stats, visited, rnet_seen, heap)
         return result
 
     def _search_vec(
@@ -1799,6 +1829,8 @@ class FrozenRoad(QueryExecutor):
         limit = k if k is not None else -1
         bound = radius if radius is not None else _INF
         c_np = c_op = c_er = c_st = c_rb = c_rd = 0
+        track = stats is not None
+        rnet_seen: Set[int] = set()
         while heap:
             distance, _, code = pop(heap)
             if distance > bound:
@@ -1858,6 +1890,8 @@ class FrozenRoad(QueryExecutor):
                             seq += 1
                 continue
             while i < end:
+                if track:
+                    rnet_seen.add(entry_rnet[i])
                 if may[entry_rnet[i]]:
                     nxt = entry_next[i]
                     if nxt == i + 1:
@@ -1909,6 +1943,7 @@ class FrozenRoad(QueryExecutor):
                     i = entry_next[i]
         if stats is not None:
             self._flush_stats(stats, (c_np, c_op, c_er, c_st, c_rb, c_rd))
+            self._flush_footprint(stats, visited, rnet_seen, heap)
         return result
 
     def _expand(
@@ -1922,6 +1957,7 @@ class FrozenRoad(QueryExecutor):
         seen_objects: set,
         counters: List[int],
         state: _DirectoryState,
+        rnet_slots: Set[int],
     ) -> int:
         """SearchObject + ChoosePath for one popped node; returns next seq.
 
@@ -1956,6 +1992,7 @@ class FrozenRoad(QueryExecutor):
                 counters[2] += 1
             return seq
         while i < end:
+            rnet_slots.add(entry_rnet[i])
             if may[entry_rnet[i]]:
                 nxt = entry_next[i]
                 if nxt == i + 1:
@@ -1990,6 +2027,7 @@ class FrozenRoad(QueryExecutor):
         may: Sequence[bool],
         omask: Optional[bytearray],
         counters: List[int],
+        rnet_slots: Set[int],
     ) -> Expand:
         """The multi-source kernel's expansion step over the CSR spans.
 
@@ -2029,6 +2067,7 @@ class FrozenRoad(QueryExecutor):
                     counters[2] += 1
                 return
             while i < end:
+                rnet_slots.add(entry_rnet[i])
                 if may[entry_rnet[i]]:
                     if entry_next[i] == i + 1:
                         for j in range(ed_start[i], ed_start[i + 1]):
@@ -2086,6 +2125,51 @@ class FrozenRoad(QueryExecutor):
         stats.shortcuts_taken += counters[3]
         stats.rnets_bypassed += counters[4]
         stats.rnets_descended += counters[5]
+
+    def _rnet_ids_by_slot(self) -> Dict[int, int]:
+        """Slot -> Rnet id: the inverse of ``_rnet_index``.
+
+        Built per stats-carrying query (slots are few); the dense codes
+        in ``entry_rnet`` mean nothing outside one snapshot, so the
+        footprint must speak real Rnet ids like the charged engine.
+        """
+        return {slot: rnet_id for rnet_id, slot in self._rnet_index.items()}
+
+    def _flush_rnet_slots(
+        self, stats: SearchStats, rnet_slots: Set[int]
+    ) -> None:
+        """Translate one sweep's examined entry slots into the footprint."""
+        if rnet_slots:
+            slot_ids = self._rnet_ids_by_slot()
+            stats.visited_rnets.update(
+                slot_ids[slot] for slot in rnet_slots
+            )
+
+    def _flush_footprint(
+        self,
+        stats: SearchStats,
+        visited: bytearray,
+        rnet_slots: Set[int],
+        heap: Sequence[Tuple[float, int, int]] = (),
+    ) -> None:
+        """Record one sweep's examined nodes + examined Rnets, translated.
+
+        ``visited`` is the pop-time bytearray (codes are set only when a
+        node settles, matching the charged pop-time recording) and
+        ``heap`` the unpopped remnant — together the *examined* set: the
+        frontier boundary is part of the footprint because a patch on an
+        exactly-tied boundary node can reach into the answer (charged
+        twin: ``_Frontier.pending_nodes``).  Both are scanned once after
+        the sweep so the hot loop pays nothing extra.
+        """
+        node_ids = self.node_ids
+        stats.visited_nodes.update(
+            node_ids[code] for code, seen in enumerate(visited) if seen
+        )
+        stats.visited_nodes.update(
+            node_ids[code] for _, _, code in heap if code >= 0
+        )
+        self._flush_rnet_slots(stats, rnet_slots)
 
 
 def freeze_road(

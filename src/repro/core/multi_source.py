@@ -63,6 +63,7 @@ def multi_source_objects(
     radius: float = _INF,
     k: Optional[int] = None,
     stats: Optional[SearchStats] = None,
+    node_ids: Optional[Sequence[int]] = None,
 ) -> List[ResultEntry]:
     """Matching objects reachable from any seed, nearest seed first.
 
@@ -74,6 +75,11 @@ def multi_source_objects(
     k-th object, draining distance ties first so the returned prefix is
     the canonical (distance, object id) cut rather than an artifact of
     push order.
+
+    ``node_ids`` translates the engine's frontier items back to real
+    node ids for the ``stats.visited_nodes`` footprint (the frozen
+    engine sweeps dense codes; the charged engine passes ``None`` and
+    records items as-is).
     """
     frontier = _Frontier()
     seeded: Set[int] = set()
@@ -107,6 +113,14 @@ def multi_source_objects(
         if stats is not None:
             stats.nodes_popped += 1
         expand(frontier, item, distance, seen_objects)
+    if stats is not None:
+        # Settled nodes plus the frontier boundary: every node whose
+        # distance the sweep examined (see _Frontier.pending_nodes).
+        examined = visited.union(frontier.pending_nodes())
+        if node_ids is None:
+            stats.visited_nodes.update(examined)
+        else:
+            stats.visited_nodes.update(node_ids[item] for item in examined)
     result = sort_result(result)
     if k is not None:
         del result[k:]
@@ -119,6 +133,7 @@ def od_matrix_generic(
     expand_flat: ExpandFlat,
     *,
     stats: Optional[SearchStats] = None,
+    node_ids: Optional[Sequence[int]] = None,
 ) -> List[List[float]]:
     """Distance rows (one per source, one cell per target), ``inf`` when
     unreachable.
@@ -173,6 +188,14 @@ def od_matrix_generic(
                     stats.edges_relaxed += 1
 
         expand_flat(node, distance, push)
+    if stats is not None:
+        examined: Set[int] = {node for _, _, _, node in heap}
+        for seen in visited:
+            examined.update(seen)
+        if node_ids is None:
+            stats.visited_nodes.update(examined)
+        else:
+            stats.visited_nodes.update(node_ids[item] for item in examined)
     return rows
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.association_directory import AssociationDirectory
@@ -31,7 +31,19 @@ from repro.queries.types import ANY, Predicate, ResultEntry
 
 @dataclass
 class SearchStats:
-    """Traversal counters for one query (used by the evaluation and tests)."""
+    """Traversal counters for one query (used by the evaluation and tests).
+
+    Besides the scalar counters, a search records its *footprint*: the
+    node ids it settled (``visited_nodes``) and the Rnet ids whose
+    Association Directory abstract it consulted (``visited_rnets``,
+    every entry examined by ChoosePath — bypassed, descended, or leaf).
+    The footprint is the identity set a ``MaintenanceReport``'s dirty
+    nodes/Rnets must intersect for a patch to possibly change the
+    answer, which is what the serving result cache keys invalidation
+    on.  Both engines must report identical sets for the same query —
+    the cross-engine parity suites compare whole ``SearchStats``
+    values, footprints included.
+    """
 
     nodes_popped: int = 0
     objects_popped: int = 0
@@ -39,6 +51,8 @@ class SearchStats:
     shortcuts_taken: int = 0
     rnets_bypassed: int = 0
     rnets_descended: int = 0
+    visited_nodes: Set[int] = field(default_factory=set)
+    visited_rnets: Set[int] = field(default_factory=set)
 
     @property
     def expansions(self) -> int:
@@ -119,6 +133,21 @@ class _Frontier:
         distance, _, kind, item, origin = heapq.heappop(self._heap)
         return distance, kind == self._OBJECT, item, origin
 
+    def pending_nodes(self) -> List[int]:
+        """Nodes still queued (pushed, never popped).
+
+        The sweep's *frontier boundary*: together with the settled set it
+        is every node whose distance the search examined, which is the
+        closure a result-cache footprint needs — a patch strictly beyond
+        the boundary cannot reach into the answer, but one *on* it can
+        (an exact distance tie at the stopping bound).
+        """
+        return [
+            item  # type: ignore[misc]  # _NODE entries carry int items
+            for _, _, kind, item, _ in self._heap
+            if kind == self._NODE
+        ]
+
     def __bool__(self) -> bool:
         return bool(self._heap)
 
@@ -167,12 +196,14 @@ def knn_search(
             continue
         visited_nodes.add(item)
         stats.nodes_popped += 1
+        stats.visited_nodes.add(item)
         if tracer is not None and origin is not None:
             tracer.record_node(item, origin[0], origin[1])
         _collect_node_objects(
             directory, frontier, item, distance, predicate, visited_objects
         )
         _choose_path_cached(overlay, abstracts, frontier, item, distance, stats)
+    stats.visited_nodes.update(frontier.pending_nodes())
     return result
 
 
@@ -219,12 +250,14 @@ def range_search(
             continue
         visited_nodes.add(item)
         stats.nodes_popped += 1
+        stats.visited_nodes.add(item)
         if tracer is not None and origin is not None:
             tracer.record_node(item, origin[0], origin[1])
         _collect_node_objects(
             directory, frontier, item, distance, predicate, visited_objects
         )
         _choose_path_cached(overlay, abstracts, frontier, item, distance, stats)
+    stats.visited_nodes.update(frontier.pending_nodes())
     return result
 
 
@@ -252,23 +285,31 @@ def iter_nearest_objects(
     if abstracts is None:
         abstracts = AbstractCache(directory, predicate)
 
-    while frontier:
-        distance, is_object, item, _ = frontier.pop()
-        if is_object:
-            if item in visited_objects:
+    try:
+        while frontier:
+            distance, is_object, item, _ = frontier.pop()
+            if is_object:
+                if item in visited_objects:
+                    continue
+                visited_objects.add(item)
+                stats.objects_popped += 1
+                yield distance, item
                 continue
-            visited_objects.add(item)
-            stats.objects_popped += 1
-            yield distance, item
-            continue
-        if item in visited_nodes:
-            continue
-        visited_nodes.add(item)
-        stats.nodes_popped += 1
-        _collect_node_objects(
-            directory, frontier, item, distance, predicate, visited_objects
-        )
-        _choose_path_cached(overlay, abstracts, frontier, item, distance, stats)
+            if item in visited_nodes:
+                continue
+            visited_nodes.add(item)
+            stats.nodes_popped += 1
+            stats.visited_nodes.add(item)
+            _collect_node_objects(
+                directory, frontier, item, distance, predicate, visited_objects
+            )
+            _choose_path_cached(
+                overlay, abstracts, frontier, item, distance, stats
+            )
+    finally:
+        # The frontier boundary joins the footprint when the consumer
+        # stops pulling — see :meth:`_Frontier.pending_nodes`.
+        stats.visited_nodes.update(frontier.pending_nodes())
 
 
 def choose_path(
@@ -311,6 +352,7 @@ def _choose_path_cached(
     stack = list(tree.roots)
     while stack:
         entry = stack.pop()
+        stats.visited_rnets.add(entry.rnet_id)
         if not abstracts.may_contain(entry.rnet_id):
             # Bypass: jump straight to the Rnet's other border nodes.
             stats.rnets_bypassed += 1

@@ -155,32 +155,71 @@ def snapshot_divergences(
                 f"knn({node}, {k}) stats: {s_patched} != {s_fresh}"
             )
         radius = rnd.uniform(0.0, max_radius)
-        if patched.range(node, radius, **kw) != fresh.range(node, radius):
-            divergences.append(f"range({node}, {radius:.3f}) diverged")
-        if predicate is not None and patched.knn(
-            node, k, predicate, **kw
-        ) != fresh.knn(node, k, predicate):
-            divergences.append(f"knn({node}, {k}, {predicate}) diverged")
-        other = patched.node_ids[rnd.randrange(patched.num_nodes)]
-        if patched.aggregate_knn([node, other], k, **kw) != fresh.aggregate_knn(
-            [node, other], k
+        s_patched, s_fresh = SearchStats(), SearchStats()
+        if patched.range(node, radius, stats=s_patched, **kw) != fresh.range(
+            node, radius, stats=s_fresh
         ):
+            divergences.append(f"range({node}, {radius:.3f}) diverged")
+        if s_patched != s_fresh:
+            divergences.append(f"range({node}, {radius:.3f}) stats diverged")
+        if predicate is not None:
+            s_patched, s_fresh = SearchStats(), SearchStats()
+            if patched.knn(
+                node, k, predicate, stats=s_patched, **kw
+            ) != fresh.knn(node, k, predicate, stats=s_fresh):
+                divergences.append(f"knn({node}, {k}, {predicate}) diverged")
+            if s_patched != s_fresh:
+                divergences.append(
+                    f"knn({node}, {k}, {predicate}) stats diverged"
+                )
+        other = patched.node_ids[rnd.randrange(patched.num_nodes)]
+        s_patched, s_fresh = SearchStats(), SearchStats()
+        if patched.aggregate_knn(
+            [node, other], k, stats=s_patched, **kw
+        ) != fresh.aggregate_knn([node, other], k, stats=s_fresh):
             divergences.append(f"aggregate_knn([{node}, {other}]) diverged")
+        if s_patched != s_fresh:
+            divergences.append(
+                f"aggregate_knn([{node}, {other}]) stats diverged"
+            )
         # Network-workload probes (hasattr-guarded so the function still
-        # accepts snapshots predating the multi-source kernel).
+        # accepts snapshots predating the multi-source kernel).  Each
+        # compares SearchStats too: the visit-set footprints drive
+        # result-cache invalidation, so a patched snapshot reporting a
+        # different footprint than a fresh freeze is a divergence even
+        # when the answers agree.
         if hasattr(patched, "od_matrix"):
-            got_od = patched.od_matrix([node, other], [other, node], **kw)
-            if got_od != fresh.od_matrix([node, other], [other, node]):
+            s_patched, s_fresh = SearchStats(), SearchStats()
+            got_od = patched.od_matrix(
+                [node, other], [other, node], stats=s_patched, **kw
+            )
+            if got_od != fresh.od_matrix(
+                [node, other], [other, node], stats=s_fresh
+            ):
                 divergences.append(f"od_matrix([{node}, {other}]) diverged")
+            if s_patched != s_fresh:
+                divergences.append(
+                    f"od_matrix([{node}, {other}]) stats diverged"
+                )
         if hasattr(patched, "service_area"):
             breaks = (max_radius / 2.0, max_radius)
-            if patched.service_area(node, breaks, **kw) != fresh.service_area(
-                node, breaks
-            ):
+            s_patched, s_fresh = SearchStats(), SearchStats()
+            if patched.service_area(
+                node, breaks, stats=s_patched, **kw
+            ) != fresh.service_area(node, breaks, stats=s_fresh):
                 divergences.append(f"service_area({node}, {breaks}) diverged")
+            if s_patched != s_fresh:
+                divergences.append(
+                    f"service_area({node}, {breaks}) stats diverged"
+                )
         if hasattr(patched, "route_knn"):
-            if patched.route_knn([node, other], k, **kw) != fresh.route_knn(
-                [node, other], k
-            ):
+            s_patched, s_fresh = SearchStats(), SearchStats()
+            if patched.route_knn(
+                [node, other], k, stats=s_patched, **kw
+            ) != fresh.route_knn([node, other], k, stats=s_fresh):
                 divergences.append(f"route_knn([{node}, {other}]) diverged")
+            if s_patched != s_fresh:
+                divergences.append(
+                    f"route_knn([{node}, {other}]) stats diverged"
+                )
     return divergences

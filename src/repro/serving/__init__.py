@@ -46,6 +46,7 @@ __all__ = [
     "ProcessPoolError",
     "ProcessReplicaPool",
     "QueryExecutor",
+    "ResultCache",
     "RoadService",
     "RoadServiceApp",
     "ServiceConfig",
@@ -62,6 +63,7 @@ __all__ = [
 
 _SERVICE_EXPORTS = ("RoadService", "ServiceConfig", "ServiceError")
 _POOL_EXPORTS = ("ProcessPoolError", "ProcessReplicaPool", "WorkerError")
+_CACHE_EXPORTS = ("ResultCache",)
 _METRICS_EXPORTS = ("MetricError", "MetricsRegistry")
 _HTTP_EXPORTS = ("RoadServiceApp", "serve")
 _WIRE_EXPORTS = ("WireError",)
@@ -76,6 +78,10 @@ def __getattr__(name: str):
         from repro.serving import process_pool
 
         return getattr(process_pool, name)
+    if name in _CACHE_EXPORTS:
+        from repro.serving import result_cache
+
+        return getattr(result_cache, name)
     if name in _METRICS_EXPORTS:
         from repro.serving import metrics
 

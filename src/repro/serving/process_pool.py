@@ -155,7 +155,7 @@ class ProcessReplicaPool:
         self._wake_r: "Connection" = wake_r
         self._wake_w: "Connection" = wake_w
         self._ready = [threading.Event() for _ in range(workers)]
-        self._futures: Dict[int, "Future[List[List[ResultRow]]]"] = {}
+        self._futures: Dict[int, "Future[Any]"] = {}
         #: ticket -> worker index, so a worker death can fail exactly the
         #: futures routed to it.
         self._owners: Dict[int, int] = {}
@@ -252,15 +252,25 @@ class ProcessReplicaPool:
     # Query path
     # ------------------------------------------------------------------
     def submit(
-        self, queries: Sequence[object], directory: str
-    ) -> "Future[List[List[ResultRow]]]":
+        self,
+        queries: Sequence[object],
+        directory: str,
+        *,
+        footprints: bool = False,
+    ) -> "Future[Any]":
         """Dispatch one batch to the next worker; returns its future.
 
         The batch runs as one ``execute_many`` inside the worker (the
         per-predicate batch caches apply there, exactly as on a thread
         replica).  The future completes on the pool's listener thread.
+
+        With ``footprints=True`` the worker instead executes each query
+        individually with its own :class:`~repro.core.search.SearchStats`
+        and the future resolves to ``(answers, [(visited_nodes,
+        visited_rnets), ...])`` — the per-query visit sets the service's
+        result cache records as invalidation footprints.
         """
-        future: "Future[List[List[ResultRow]]]" = Future()
+        future: "Future[Any]" = Future()
         with self._state_lock:
             if self._closed:
                 raise ProcessPoolError("process pool is closed")
@@ -283,7 +293,9 @@ class ProcessReplicaPool:
             self._owners[ticket] = index
             self._counters["batches"] += 1
             self._counters["queries"] += len(queries)
-        self._tasks[index].put(("batch", ticket, list(queries), directory))
+        self._tasks[index].put(
+            ("batch", ticket, list(queries), directory, footprints)
+        )
         return future
 
     # ------------------------------------------------------------------
@@ -618,10 +630,16 @@ def _worker_main(
             item = tasks.get()
             if item[0] == "stop":
                 return
-            _tag, ticket, queries, directory = item
+            _tag, ticket, queries, directory = item[:4]
+            # Tolerant unpack: a 4-tuple (pre-footprint primary) means
+            # the plain execute_many path.
+            footprints = bool(item[4]) if len(item) > 4 else False
             state.retries = 0
             try:
-                answers = _serve_batch(state, ctrl, syncs, queries, directory)
+                answers = _serve_batch(
+                    state, ctrl, syncs, queries, directory,
+                    footprints=footprints,
+                )
             except Exception as exc:  # noqa: BLE001 — fan the error out
                 results.send(
                     (
@@ -646,20 +664,37 @@ def _serve_batch(
     syncs: "SimpleQueue[Any]",
     queries: List[object],
     directory: str,
-) -> List[List[ResultRow]]:
+    *,
+    footprints: bool = False,
+) -> Any:
     """One batch under the seqlock: sync, execute, validate, retry.
 
     The read is consistent when the generation was even and unchanged
-    across the whole ``execute_many`` and every published sync payload
-    had been applied first.  A batch that overlapped a patch window
-    retries — by then the catch-up loop has applied the new state, so
-    the retry serves post-patch answers (never torn ones).
+    across the whole execution and every published sync payload had
+    been applied first.  A batch that overlapped a patch window retries
+    — by then the catch-up loop has applied the new state, so the retry
+    serves post-patch answers (never torn ones).  ``footprints`` runs
+    each query with its own stats (see :meth:`ProcessReplicaPool.submit`);
+    a retry rebuilds the stats, so a footprint never mixes pre- and
+    post-patch visit sets.
     """
+    from repro.core.search import SearchStats
+
     while True:
         _catch_up(state, ctrl, syncs)
         generation = int(ctrl[0])
+        stats_list: Optional[List[SearchStats]] = None
         try:
-            answers = state.frozen.execute_many(queries, directory=directory)
+            if footprints:
+                stats_list = [SearchStats() for _ in queries]
+                answers = [
+                    state.frozen.execute(query, directory=directory, stats=s)
+                    for query, s in zip(queries, stats_list)
+                ]
+            else:
+                answers = state.frozen.execute_many(
+                    queries, directory=directory
+                )
         except Exception:
             # A patch window overlapping the read can surface as an
             # exception (offsets mid-splice); only a quiescent failure
@@ -678,6 +713,11 @@ def _serve_batch(
             and int(ctrl[0]) == generation
             and state.applied_seq >= int(ctrl[1])
         ):
+            if stats_list is not None:
+                return answers, [
+                    (set(s.visited_nodes), set(s.visited_rnets))
+                    for s in stats_list
+                ]
             return answers
         state.retries += 1
 

@@ -65,6 +65,12 @@ from repro.serving.dispatch import (
 )
 from repro.serving.metrics import BATCH_SIZE_BUCKETS, Counter, MetricsRegistry
 from repro.serving.process_pool import ProcessReplicaPool
+from repro.serving.result_cache import (
+    MISS,
+    ResultCache,
+    canonical_key,
+    query_nodes,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.core.framework import ROAD
@@ -97,6 +103,27 @@ MAINTENANCE_ENV = "REPRO_MAINTENANCE"
 REPLICAS_ENV = "REPRO_REPLICAS"
 REPLICA_MODE_ENV = "REPRO_REPLICA_MODE"
 DIRECTORIES_ENV = "REPRO_DIRECTORIES"
+RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
+CACHE_BUDGET_ENV = "REPRO_CACHE_BUDGET"
+
+#: Counter names the result cache mirrors into ``/metrics`` families
+#: (``road_cache_<name>_total``).
+_CACHE_COUNTER_HELP: Dict[str, str] = {
+    "hits": "Queries answered from the result cache.",
+    "misses": "Cache lookups that fell through to execution.",
+    "evictions": "Entries dropped by the LRU budget.",
+    "invalidations": "Entries evicted by maintenance reports.",
+}
+
+
+def _parse_bool(name: str, raw: str) -> bool:
+    """A strict boolean env flag — a typo must not silently disable."""
+    value = raw.strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off", ""):
+        return False
+    raise ValueError(f"{name} must be a boolean flag, got {raw!r}")
 
 
 class ServiceError(RuntimeError):
@@ -160,6 +187,14 @@ class ServiceConfig:
     coalesce: bool = True
     replicas: int = 0
     replica_mode: str = "thread"
+    #: Serve repeated queries from a cross-request result cache whose
+    #: entries are invalidated by maintenance-report footprints
+    #: (:mod:`repro.serving.result_cache`).  Composes with ``coalesce``:
+    #: coalescing dedupes *in-flight* twins inside one flush, the cache
+    #: dedupes *across* flushes.
+    result_cache: bool = False
+    #: Max cached entries (LRU evicts beyond this).
+    cache_budget: int = 2048
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_NAMES:
@@ -206,6 +241,10 @@ class ServiceConfig:
                 f"replica_mode must be one of {REPLICA_MODES}, "
                 f"got {self.replica_mode!r}"
             )
+        if self.cache_budget < 1:
+            raise ValueError(
+                f"cache_budget must be >= 1, got {self.cache_budget}"
+            )
 
     @classmethod
     def from_env(cls, **overrides: Any) -> "ServiceConfig":
@@ -242,6 +281,12 @@ class ServiceConfig:
                     f"got {os.environ[DIRECTORIES_ENV]!r}"
                 )
             env["directories"] = names
+        if RESULT_CACHE_ENV in os.environ:
+            env["result_cache"] = _parse_bool(
+                RESULT_CACHE_ENV, os.environ[RESULT_CACHE_ENV]
+            )
+        if CACHE_BUDGET_ENV in os.environ:
+            env["cache_budget"] = int(os.environ[CACHE_BUDGET_ENV])
         env.update(overrides)
         return cls(**env)
 
@@ -298,8 +343,14 @@ class RoadService:
             "retries": 0,
             "worker_deaths": 0,
         }
+        self._result_cache: Optional[ResultCache] = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._register_metrics()
+        if self.config.result_cache:
+            self._result_cache = ResultCache(
+                self.config.cache_budget,
+                counters=dict(self._cache_counters),
+            )
         if self.config.replicas:
             self._init_replicas()
 
@@ -389,6 +440,8 @@ class RoadService:
             "replica_pool": self.replica_pool_stats(),
             "metrics": self.metrics.snapshot(),
         }
+        if self._result_cache is not None:
+            summary["result_cache"] = self._result_cache.stats()
         engine_stats = getattr(self._executor, "stats", None)
         if callable(engine_stats):
             summary["engine"] = engine_stats()
@@ -461,6 +514,32 @@ class RoadService:
             "Total resident bytes of the serving snapshot.",
             self._snapshot_bytes_gauge,
         )
+        self._cache_counters = {
+            name: registry.counter(f"road_cache_{name}_total", text)
+            for name, text in _CACHE_COUNTER_HELP.items()
+        }
+        registry.gauge(
+            "road_cache_hit_ratio",
+            "Result-cache hits / lookups (0 while cold or disabled).",
+            self._cache_hit_ratio_gauge,
+        )
+        registry.gauge(
+            "road_cache_entries",
+            "Entries resident in the result cache.",
+            self._cache_entries_gauge,
+        )
+
+    def _cache_hit_ratio_gauge(self) -> float:
+        cache = self._result_cache
+        if cache is None:
+            return 0.0
+        hits, misses = cache.hits, cache.misses
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
+
+    def _cache_entries_gauge(self) -> float:
+        cache = self._result_cache
+        return 0.0 if cache is None else float(len(cache))
 
     def _count(self, name: str, amount: int = 1) -> None:
         """Bump one service counter in both surfaces (dict + /metrics)."""
@@ -681,6 +760,9 @@ class RoadService:
         else:
             slot = None
             unique = [query for query, _future in entries]
+        if self._result_cache is not None:
+            self._dispatch_cached(directory, entries, slot, unique)
+            return
         self._count("batches")
         self._count("executed", len(unique))
         self._batch_sizes.observe(float(len(unique)))
@@ -722,6 +804,168 @@ class RoadService:
         """Worker-thread body: one batch on one locked replica."""
         with self._replica_locks[index]:
             return self._replicas[index].execute_many(queries, directory=directory)
+
+    # ------------------------------------------------------------------
+    # Result-cache admission path
+    # ------------------------------------------------------------------
+    def _dispatch_cached(
+        self,
+        directory: str,
+        entries: List[_Entry],
+        slot: Optional[Dict[object, int]],
+        unique: List[object],
+    ) -> None:
+        """Split one bucket into cache hits and misses.
+
+        Hits complete their futures immediately (each caller gets its
+        own list copy — cached lists are never handed out aliased);
+        misses ride the usual execution paths, but per-query with their
+        own :class:`~repro.core.search.SearchStats` so each answer's
+        visit-set footprint can be recorded for report-driven
+        invalidation.  The populate is guarded by the generation
+        captured *before* execution: an invalidation landing mid-flight
+        refuses the store rather than caching a pre-patch answer.
+        """
+        cache = self._result_cache
+        assert cache is not None
+        keys = [canonical_key(directory, query) for query in unique]
+        hits: Dict[int, List[ResultRow]] = {}
+        miss_idx: List[int] = []
+        for index, key in enumerate(keys):
+            answer = cache.lookup(key)
+            if answer is MISS:
+                miss_idx.append(index)
+            else:
+                hits[index] = answer  # type: ignore[assignment]
+        if hits:
+            self._deliver_indexed(entries, slot, hits)
+        if not miss_idx:
+            return
+        generation = cache.generation(directory)
+        misses = [unique[index] for index in miss_idx]
+        self._count("batches")
+        self._count("executed", len(misses))
+        self._batch_sizes.observe(float(len(misses)))
+
+        def populate_and_deliver(
+            results: List[List[ResultRow]],
+            footprints: List[Tuple[set, set]],
+        ) -> None:
+            delivered: Dict[int, List[ResultRow]] = {}
+            for position, index in enumerate(miss_idx):
+                query = unique[index]
+                answer = results[position]
+                delivered[index] = answer
+                nodes, rnets = footprints[position]
+                if not nodes:
+                    # The executor reported no visit set (a baseline
+                    # without footprint support): caching it would make
+                    # the entry invisible to report invalidation.
+                    continue
+                footprint = set(nodes)
+                footprint.update(query_nodes(query))
+                cache.store(
+                    keys[index], list(answer), footprint, rnets, generation
+                )
+            self._deliver_indexed(entries, slot, delivered)
+
+        if self._process_pool is not None:
+            loop = asyncio.get_running_loop()
+            task = asyncio.wrap_future(
+                self._process_pool.submit(misses, directory, footprints=True),
+                loop=loop,
+            )
+            task.add_done_callback(
+                lambda done: self._resolve_footprints(
+                    entries, done, populate_and_deliver
+                )
+            )
+            return
+        if self._pool is None:
+            try:
+                results, footprints = self._execute_with_footprints(
+                    self._executor, misses, directory
+                )
+            except Exception as exc:  # noqa: BLE001 — fan the error out
+                self._reject(entries, exc)
+                return
+            populate_and_deliver(results, footprints)
+            return
+        index = self._round_robin % len(self._replicas)
+        self._round_robin += 1
+        self._pool_counters["batches"] += 1
+        self._pool_counters["queries"] += len(misses)
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(
+            self._pool,
+            self._run_on_replica_footprints,
+            index,
+            misses,
+            directory,
+        )
+        task.add_done_callback(
+            lambda done: self._resolve_footprints(
+                entries, done, populate_and_deliver
+            )
+        )
+
+    def _resolve_footprints(
+        self,
+        entries: List[_Entry],
+        done: "asyncio.Future",
+        deliver: Callable[[List[List[ResultRow]], List[Tuple[set, set]]], None],
+    ) -> None:
+        """Loop-thread callback for a footprint-carrying miss batch."""
+        exc = done.exception()
+        if exc is not None:
+            # Hit futures are already complete; _reject skips done ones.
+            self._reject(entries, exc)
+            return
+        results, footprints = done.result()
+        deliver(results, footprints)
+
+    @staticmethod
+    def _deliver_indexed(
+        entries: List[_Entry],
+        slot: Optional[Dict[object, int]],
+        answers: Dict[int, List[ResultRow]],
+    ) -> None:
+        """Complete the futures whose unique-index has an answer.
+
+        Always copies: the answer lists are (or are about to become)
+        cache-resident, and a caller sorting/truncating its result must
+        corrupt neither the cache nor its coalesced twins.
+        """
+        for position, (query, future) in enumerate(entries):
+            index = slot[query] if slot is not None else position
+            answer = answers.get(index)
+            if answer is not None and not future.done():
+                future.set_result(list(answer))
+
+    def _execute_with_footprints(
+        self, executor: QueryExecutor, queries: List[object], directory: str
+    ) -> Tuple[List[List[ResultRow]], List[Tuple[set, set]]]:
+        """Execute per-query with individual stats; (answers, footprints)."""
+        from repro.core.search import SearchStats
+
+        results: List[List[ResultRow]] = []
+        footprints: List[Tuple[set, set]] = []
+        for query in queries:
+            stats = SearchStats()
+            results.append(
+                executor.execute(query, directory=directory, stats=stats)
+            )
+            footprints.append((stats.visited_nodes, stats.visited_rnets))
+        return results, footprints
+
+    def _run_on_replica_footprints(
+        self, index: int, queries: List[object], directory: str
+    ) -> Tuple[List[List[ResultRow]], List[Tuple[set, set]]]:
+        """Worker-thread body: one miss batch, per-query stats, locked."""
+        with self._replica_locks[index]:
+            return self._execute_with_footprints(
+                self._replicas[index], queries, directory
+            )
 
     def _resolve(
         self,
@@ -901,6 +1145,10 @@ class RoadService:
         batches finish on the old snapshot and new batches only wait for
         the swap.
         """
+        if self._result_cache is not None:
+            # Directory membership changed: every key's snapshot identity
+            # is suspect, so the whole cache goes.
+            self._result_cache.clear_all()
         if not self._sharded():
             return
         road = self._road()
@@ -939,9 +1187,14 @@ class RoadService:
         """
         attach = self._directory_manager("attach_objects")
         if not self._sharded():
-            return attach(objects, name=name, **kwargs)
+            directory = attach(objects, name=name, **kwargs)
+            if self._result_cache is not None:
+                self._result_cache.invalidate_directory(directory)
+            return directory
         before = self._shard_directories()
         directory = attach(objects, name=name, **kwargs)
+        if self._result_cache is not None:
+            self._result_cache.invalidate_directory(directory)
         if before is None or self._shard_directories() != before:
             self._rebuild_replicas()
         return directory
@@ -963,6 +1216,8 @@ class RoadService:
             )
         compiled = self._shard_directories()
         detach(name)
+        if self._result_cache is not None:
+            self._result_cache.invalidate_directory(name)
         if compiled is None or name in compiled:
             self._rebuild_replicas()
 
@@ -1009,6 +1264,10 @@ class RoadService:
         the process pool patches its one shared snapshot inside the
         seqlock window every worker honours.
         """
+        # Cache entries dirtied by this report die before any shard could
+        # serve their keys post-patch; racing populates are refused by
+        # the generation bump this performs.
+        self._invalidate_cache(report)
         road = self._road()
         if self._process_pool is not None:
             self._process_pool.apply(report, road)
@@ -1018,6 +1277,25 @@ class RoadService:
                 replica.apply(report, road)
         if self._replicas:
             self._pool_counters["syncs"] += 1
+
+    def _invalidate_cache(self, report: MaintenanceReport) -> None:
+        """Report-driven cache eviction (no-op when the cache is off).
+
+        ``maintenance="refreeze"`` recompiles the serving snapshot
+        wholesale, so the affected scope is cleared wholesale too; the
+        patch lifecycles evict by footprint intersection (structural
+        reports clear wholesale inside ``invalidate_report``).
+        """
+        cache = self._result_cache
+        if cache is None:
+            return
+        if self.config.maintenance == "refreeze":
+            if report.directory is None:
+                cache.clear_all()
+            else:
+                cache.invalidate_directory(report.directory)
+            return
+        cache.invalidate_report(report)
 
     def _maintained(self, result: Any) -> Any:
         """Broadcast after a maintenance call; pass its result through."""
@@ -1033,7 +1311,9 @@ class RoadService:
                 labels={"kind": report.kind},
             ).inc()
             if self._sharded():
-                self.apply_report(report)
+                self.apply_report(report)  # invalidates the cache first
+            else:
+                self._invalidate_cache(report)
         return result
 
     def insert_object(self, obj: Any, **kwargs: Any) -> Any:
@@ -1076,6 +1356,8 @@ class RoadService:
         self._pending_count = 0
         for entries in pending.values():
             self._reject(entries, ServiceError("service closed"))
+        if self._result_cache is not None:
+            self._result_cache.clear_all()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

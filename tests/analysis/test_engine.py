@@ -15,7 +15,9 @@ from repro.analysis import (
     run_rules,
 )
 
-EXPECTED_RULES = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006")
+EXPECTED_RULES = (
+    "RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007"
+)
 
 
 def test_all_rules_registered_in_report_order():

@@ -22,6 +22,7 @@ SEEDED = {
     "ra004_missing_drop": ("RA004", 2),
     "ra005_eager_numpy": ("RA005", 1),
     "ra006_shm_leak": ("RA006", 3),
+    "ra007_stale_cache": ("RA007", 3),
 }
 
 
@@ -134,6 +135,53 @@ def test_ra006_owner_guarded_lifecycle_passes(tmp_path):
         "            self._shm.unlink()\n"
     )
     assert analyze_path(tmp_path, rule_ids=["RA006"]) == []
+
+
+def test_ra007_invalidating_entry_points_pass(tmp_path):
+    assert _check(
+        tmp_path,
+        "class ResultCache:\n"
+        "    def invalidate_report(self, report): pass\n"
+        "    def invalidate_directory(self, directory): pass\n"
+        "    def clear_all(self): pass\n"
+        "class Service:\n"
+        "    def __init__(self):\n"
+        "        self._cache = ResultCache()\n"
+        "    def add_edge(self, u, v, distance):\n"
+        "        report = self._executor.open_segment(u, v, distance)\n"
+        "        self._invalidate(report)\n"
+        "        return report\n"
+        "    def _rebuild_replicas(self):\n"
+        "        self._cache.clear_all()\n"
+        "    def _invalidate(self, report):\n"
+        "        self._cache.invalidate_report(report)\n",
+        "RA007",
+    ) == []
+
+
+def test_ra007_cacheless_classes_are_exempt(tmp_path):
+    # Engines and pools have maintenance entry points but no cache to
+    # invalidate — the rule only binds classes that hold one.
+    assert _check(
+        tmp_path,
+        "class ResultCache:\n"
+        "    def invalidate_report(self, report): pass\n"
+        "    def clear_all(self): pass\n"
+        "class Engine:\n"
+        "    def add_edge(self, u, v, distance):\n"
+        "        return self._network.open_segment(u, v, distance)\n",
+        "RA007",
+    ) == []
+
+
+def test_ra007_inert_without_a_result_cache(tmp_path):
+    assert _check(
+        tmp_path,
+        "class Service:\n"
+        "    def add_edge(self, u, v, distance):\n"
+        "        return self._executor.open_segment(u, v, distance)\n",
+        "RA007",
+    ) == []
 
 
 def test_ra005_type_checking_guard_passes(tmp_path):

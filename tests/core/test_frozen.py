@@ -256,6 +256,7 @@ class TestIncrementalStats:
         )
         assert next(lazy) == next(charged)
         lazy.close()
+        charged.close()
         assert s_frozen.objects_popped == s_charged.objects_popped == 1
         assert s_frozen == s_charged
 

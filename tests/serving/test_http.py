@@ -382,6 +382,79 @@ class TestHealthz:
             service.close()
 
 
+class TestCachedServiceLeg:
+    """The HTTP edge over a cache-enabled service: report-driven
+    invalidation is visible end to end — a previously cached ``POST
+    /query`` answer changes the moment ``POST /maintenance`` dirties its
+    footprint, and the ``road_cache_*`` families ride ``GET /metrics``."""
+
+    @pytest.fixture
+    def cached(self):
+        network = grid_network(6, 6, seed=7)
+        objects = place_uniform(
+            network, 10, seed=11, attr_choices={"type": ["a", "b"]}
+        )
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(
+                mode="frozen", levels=2, max_batch=8, max_delay_ms=0.5,
+                result_cache=True, cache_budget=32,
+            ),
+        )
+        yield service, RoadServiceApp(service)
+        service.close()
+
+    def test_maintenance_refreshes_a_cached_answer(self, cached):
+        service, app = cached
+        query = KNNQuery(0, 2)
+        payload = {"query": encode_query(query)}
+        status, before = call(app, "POST", "/query", payload)
+        assert status == 200
+        # Second request is served out of the cache, byte-identical.
+        status, again = call(app, "POST", "/query", payload)
+        assert (status, again) == (200, before)
+        assert service.stats()["result_cache"]["hits"] >= 1
+        # Insert an object at the queried node: the cached answer's
+        # footprint contains node 0, so the report must evict it.
+        u, v, _ = sorted(service.executor.network.edges())[0]
+        assert u == 0
+        status, body = call(
+            app, "POST", "/maintenance",
+            {"op": "insert_object",
+             "object": {"object_id": 9_100, "edge": [u, v],
+                        "delta": 0.0, "attrs": {"type": "a"}}},
+        )
+        assert (status, body["ok"]) == (200, True)
+        assert service.stats()["result_cache"]["invalidations"] >= 1
+        # /healthz stays ok across the invalidation.
+        status, health = call(app, "GET", "/healthz")
+        assert (status, health["status"]) == (200, "ok")
+        # The same request now answers post-patch: the new object sits
+        # at network distance 0 from the query node.
+        status, after = call(app, "POST", "/query", payload)
+        assert status == 200
+        assert after != before
+        assert decode_result(after["result"]) == service.run_many([query])[0]
+        assert decode_result(after["result"])[0].object_id == 9_100
+        call(app, "POST", "/maintenance",
+             {"op": "delete_object", "object_id": 9_100})
+
+    def test_metrics_scrape_carries_cache_families(self, cached):
+        service, app = cached
+        payload = {"query": encode_query(KNNQuery(5, 2))}
+        call(app, "POST", "/query", payload)
+        call(app, "POST", "/query", payload)
+        status, body = call(app, "GET", "/metrics")
+        assert status == 200
+        text = body.decode()
+        for name in ("hits", "misses", "evictions", "invalidations"):
+            assert f"# TYPE road_cache_{name}_total counter" in text
+        counters = service.stats()["result_cache"]
+        assert f"road_cache_hits_total {counters['hits']}" in text
+        assert "road_cache_hit_ratio" in text
+        assert f"road_cache_entries {counters['entries']}" in text
+
+
 class _Writer:
     """A StreamWriter stand-in collecting what the server would send."""
 

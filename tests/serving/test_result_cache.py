@@ -1,0 +1,575 @@
+"""Unit coverage for the cross-request result cache.
+
+Four contract surfaces of :mod:`repro.serving.result_cache`:
+
+* **key canonicalization** — permuted-but-equal predicates and RouteKNN
+  seed sets share a key; ODMatrix row order and AggregateKNN node
+  multisets are answer-significant, so permutations must miss;
+* **LRU budget** — least-recently-*used* eviction order, with hits
+  refreshing recency;
+* **invalidation precision** — a report dirtying node A must evict
+  every entry whose footprint contains A and no entry whose footprint
+  excludes it, scoped to the report's directory; structural reports
+  drop the scope wholesale; the populate generation refuses stale
+  stores;
+* **counter accuracy** — the attribute counters, ``stats()`` and the
+  ``road_cache_*_total`` families on ``/metrics`` all tell the same
+  story.
+
+The churn-soak equivalence suite
+(``tests/property/test_result_cache_equivalence.py``) proves the cache
+never changes an answer; this file pins the mechanism.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.frozen_backends import shared_memory_available
+from repro.core.maintenance import MaintenanceReport
+from repro.graph.generators import grid_network
+from repro.objects.model import SpatialObject
+from repro.objects.placement import place_uniform
+from repro.queries.types import (
+    AggregateKNNQuery,
+    KNNQuery,
+    ODMatrixQuery,
+    Predicate,
+    RangeQuery,
+    RouteKNNQuery,
+    ServiceAreaQuery,
+)
+from repro.serving import RoadService, ServiceConfig
+from repro.serving.result_cache import (
+    MISS,
+    ResultCache,
+    canonical_key,
+    query_nodes,
+)
+
+DIR = "objects"
+
+
+def _store(cache, key, answer, nodes, rnets=()):
+    """Populate with a fresh (non-stale) generation for the key's scope."""
+    return cache.store(key, answer, nodes, rnets, cache.generation(key[0]))
+
+
+class TestCanonicalKey:
+    def test_permuted_predicates_share_a_key(self):
+        # Predicate() stores `required` verbatim — only Predicate.of
+        # sorts — so these are *unequal* dataclasses with equal meaning.
+        forward = Predicate((("type", "cafe"), ("zone", "a")))
+        backward = Predicate((("zone", "a"), ("type", "cafe")))
+        assert forward != backward
+        assert canonical_key(DIR, KNNQuery(3, 2, forward)) == canonical_key(
+            DIR, KNNQuery(3, 2, backward)
+        )
+
+    def test_distinct_predicates_do_not_collide(self):
+        assert canonical_key(
+            DIR, KNNQuery(3, 2, Predicate.of(type="cafe"))
+        ) != canonical_key(DIR, KNNQuery(3, 2, Predicate.of(type="fuel")))
+
+    def test_route_knn_seed_set_collapses_order_and_duplicates(self):
+        # The multi-source kernel seeds a frontier set: order and
+        # duplicates cannot show in the answer.
+        base = canonical_key(DIR, RouteKNNQuery((0, 1, 9), 2))
+        assert canonical_key(DIR, RouteKNNQuery((9, 0, 1), 2)) == base
+        assert canonical_key(DIR, RouteKNNQuery((1, 9, 0, 1, 9), 2)) == base
+        assert canonical_key(DIR, RouteKNNQuery((0, 1), 2)) != base
+
+    def test_od_matrix_row_order_is_answer_significant(self):
+        base = canonical_key(DIR, ODMatrixQuery((0, 1), (2, 3)))
+        assert canonical_key(DIR, ODMatrixQuery((1, 0), (2, 3))) != base
+        assert canonical_key(DIR, ODMatrixQuery((0, 1), (3, 2))) != base
+
+    def test_aggregate_nodes_are_multiset_significant(self):
+        # sum/max/min aggregate over the per-node distance multiset:
+        # a duplicated node doubles its weight under "sum".
+        base = canonical_key(DIR, AggregateKNNQuery((0, 1), 2))
+        assert canonical_key(DIR, AggregateKNNQuery((0, 0, 1), 2)) != base
+        assert canonical_key(DIR, AggregateKNNQuery((1, 0), 2)) != base
+        assert canonical_key(
+            DIR, AggregateKNNQuery((0, 1), 2, agg="max")
+        ) != base
+
+    def test_query_kind_and_directory_scope_the_key(self):
+        assert canonical_key(DIR, KNNQuery(0, 2)) != canonical_key(
+            DIR, RouteKNNQuery((0,), 2)
+        )
+        assert canonical_key(DIR, KNNQuery(0, 2)) != canonical_key(
+            "hotels", KNNQuery(0, 2)
+        )
+
+    def test_service_area_breaks_already_normalised(self):
+        # ServiceAreaQuery.__post_init__ sorts breaks, so permuted break
+        # lists are the *same* query and the same key.
+        assert canonical_key(
+            DIR, ServiceAreaQuery(0, (400.0, 150.0))
+        ) == canonical_key(DIR, ServiceAreaQuery(0, (150.0, 400.0)))
+
+    def test_unknown_query_class_is_uncacheable(self):
+        assert canonical_key(DIR, object()) is None
+        cache = ResultCache(budget=4)
+        assert cache.lookup(None) is MISS
+        # An uncacheable query is not a cache miss — it never reached it.
+        assert cache.misses == 0
+
+    @pytest.mark.parametrize(
+        ("query", "nodes"),
+        [
+            (KNNQuery(7, 2), (7,)),
+            (RangeQuery(7, 5.0), (7,)),
+            (ServiceAreaQuery(7, (5.0,)), (7,)),
+            (AggregateKNNQuery((3, 7), 1), (3, 7)),
+            (ODMatrixQuery((1, 2), (3,)), (1, 2, 3)),
+            (RouteKNNQuery((4, 5), 1), (4, 5)),
+        ],
+    )
+    def test_query_nodes_covers_every_kind(self, query, nodes):
+        assert query_nodes(query) == nodes
+
+    def test_query_nodes_unknown_class_is_empty(self):
+        assert query_nodes(object()) == ()
+
+
+class TestLRUBudget:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ResultCache(budget=0)
+
+    def test_least_recently_used_is_evicted_first(self):
+        cache = ResultCache(budget=2)
+        a = canonical_key(DIR, KNNQuery(0, 1))
+        b = canonical_key(DIR, KNNQuery(1, 1))
+        c = canonical_key(DIR, KNNQuery(2, 1))
+        assert _store(cache, a, ["a"], {0})
+        assert _store(cache, b, ["b"], {1})
+        assert cache.lookup(a) == ["a"]  # refresh a: b is now the LRU
+        assert _store(cache, c, ["c"], {2})
+        assert cache.lookup(b) is MISS
+        assert cache.lookup(a) == ["a"]
+        assert cache.lookup(c) == ["c"]
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_restore_replaces_in_place(self):
+        cache = ResultCache(budget=2)
+        key = canonical_key(DIR, KNNQuery(0, 1))
+        assert _store(cache, key, ["old"], {0, 1})
+        assert _store(cache, key, ["new"], {0})
+        assert len(cache) == 1
+        assert cache.lookup(key) == ["new"]
+        # The replaced entry's old footprint is unlinked: dirtying the
+        # node only the *old* footprint touched evicts nothing.
+        assert cache.invalidate_report(
+            MaintenanceReport(kind="edge_distance", dirty_nodes={1})
+        ) == 0
+        assert cache.lookup(key) == ["new"]
+
+    def test_eviction_unlinks_the_inverted_indexes(self):
+        cache = ResultCache(budget=1)
+        a = canonical_key(DIR, KNNQuery(0, 1))
+        b = canonical_key(DIR, KNNQuery(1, 1))
+        assert _store(cache, a, ["a"], {0}, {10})
+        assert _store(cache, b, ["b"], {1}, {11})  # evicts a
+        # Dirtying a's footprint must not count a phantom invalidation.
+        assert cache.invalidate_report(
+            MaintenanceReport(kind="edge_distance", dirty_nodes={0},
+                              dirty_rnets={10})
+        ) == 0
+        assert cache.lookup(b) == ["b"]
+
+
+class TestPopulateGuards:
+    def test_empty_node_footprint_is_refused(self):
+        # An entry no report could ever reach must not be cached: it
+        # would serve stale answers forever.
+        cache = ResultCache(budget=4)
+        key = canonical_key(DIR, KNNQuery(0, 1))
+        assert not _store(cache, key, ["x"], set())
+        assert len(cache) == 0
+
+    def test_stale_generation_is_refused(self):
+        cache = ResultCache(budget=4)
+        key = canonical_key(DIR, KNNQuery(0, 1))
+        generation = cache.generation(DIR)  # captured before the "miss"
+        cache.invalidate_directory(DIR)  # a patch lands mid-execution
+        assert not cache.store(key, ["stale"], {0}, (), generation)
+        assert cache.lookup(key) is MISS
+
+    def test_network_report_refuses_every_directory(self):
+        cache = ResultCache(budget=4)
+        generation = cache.generation("hotels")
+        cache.invalidate_report(
+            MaintenanceReport(kind="edge_distance", dirty_nodes={99})
+        )
+        key = canonical_key("hotels", KNNQuery(0, 1))
+        assert not cache.store(key, ["stale"], {0}, (), generation)
+
+    def test_directory_churn_does_not_refuse_other_directories(self):
+        cache = ResultCache(budget=4)
+        generation = cache.generation("hotels")
+        cache.invalidate_directory(DIR)  # churn elsewhere
+        key = canonical_key("hotels", KNNQuery(0, 1))
+        assert cache.store(key, ["fresh"], {0}, (), generation)
+        assert cache.lookup(key) == ["fresh"]
+
+
+class TestInvalidationPrecision:
+    def test_only_footprint_intersecting_entries_die(self):
+        cache = ResultCache(budget=8)
+        near = canonical_key(DIR, KNNQuery(1, 1))
+        far = canonical_key(DIR, KNNQuery(6, 1))
+        assert _store(cache, near, ["near"], {1, 2})
+        assert _store(cache, far, ["far"], {6, 7})
+        evicted = cache.invalidate_report(
+            MaintenanceReport(kind="edge_distance", dirty_nodes={2, 3})
+        )
+        assert evicted == 1
+        assert cache.lookup(near) is MISS
+        assert cache.lookup(far) == ["far"]  # footprint excludes node 2
+        assert cache.invalidations == 1
+
+    def test_dirty_rnets_reach_bypassed_expansions(self):
+        # ChoosePath may answer without settling any node of an Rnet it
+        # bypassed — the examined-Rnet set is the only hook a report has.
+        cache = ResultCache(budget=8)
+        key = canonical_key(DIR, KNNQuery(0, 1))
+        assert _store(cache, key, ["x"], {0}, rnets={3})
+        evicted = cache.invalidate_report(
+            MaintenanceReport(
+                kind="insert_object", directory=DIR, dirty_rnets={3}
+            )
+        )
+        assert (evicted, cache.lookup(key)) == (1, MISS)
+
+    def test_object_reports_are_directory_scoped(self):
+        cache = ResultCache(budget=8)
+        objects_key = canonical_key(DIR, KNNQuery(5, 1))
+        hotels_key = canonical_key("hotels", KNNQuery(5, 1))
+        assert _store(cache, objects_key, ["o"], {5})
+        assert _store(cache, hotels_key, ["h"], {5})
+        cache.invalidate_report(
+            MaintenanceReport(
+                kind="insert_object", directory=DIR, dirty_nodes={5}
+            )
+        )
+        assert cache.lookup(objects_key) is MISS
+        assert cache.lookup(hotels_key) == ["h"]
+
+    def test_network_reports_consult_every_directory(self):
+        cache = ResultCache(budget=8)
+        objects_key = canonical_key(DIR, KNNQuery(5, 1))
+        hotels_key = canonical_key("hotels", KNNQuery(5, 1))
+        assert _store(cache, objects_key, ["o"], {5})
+        assert _store(cache, hotels_key, ["h"], {5})
+        evicted = cache.invalidate_report(
+            MaintenanceReport(kind="edge_distance", dirty_nodes={5})
+        )
+        assert evicted == 2
+        assert cache.lookup(objects_key) is MISS
+        assert cache.lookup(hotels_key) is MISS
+
+    def test_structural_reports_drop_the_scope_wholesale(self):
+        cache = ResultCache(budget=8)
+        report = MaintenanceReport(kind="add_edge", dirty_nodes={99})
+        assert report.structural
+        keys = [canonical_key(DIR, KNNQuery(n, 1)) for n in range(3)]
+        for n, key in enumerate(keys):
+            assert _store(cache, key, [n], {n})  # none touch node 99
+        assert cache.invalidate_report(report) == 3
+        assert len(cache) == 0
+
+    def test_invalidate_directory_and_clear_all(self):
+        cache = ResultCache(budget=8)
+        objects_key = canonical_key(DIR, KNNQuery(0, 1))
+        hotels_key = canonical_key("hotels", KNNQuery(0, 1))
+        assert _store(cache, objects_key, ["o"], {0})
+        assert _store(cache, hotels_key, ["h"], {0})
+        assert cache.invalidate_directory(DIR) == 1
+        assert cache.lookup(hotels_key) == ["h"]
+        assert cache.clear_all() == 1
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+
+    def test_stats_snapshot_shape(self):
+        cache = ResultCache(budget=8)
+        key = canonical_key(DIR, KNNQuery(0, 1))
+        assert _store(cache, key, ["x"], {0})
+        cache.lookup(key)
+        cache.lookup(canonical_key(DIR, KNNQuery(9, 1)))
+        assert cache.stats() == {
+            "entries": 1, "budget": 8, "hits": 1, "misses": 1,
+            "evictions": 0, "invalidations": 0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Service integration
+# ---------------------------------------------------------------------------
+
+
+def submit_all(service, queries, repeats=1):
+    """`repeats` sequential passes of per-query submits (no coalescing
+    between passes — the second pass exercises the cross-flush cache)."""
+
+    async def go():
+        passes = []
+        for _ in range(repeats):
+            passes.append(
+                await asyncio.gather(*(service.submit(q) for q in queries))
+            )
+        return passes
+
+    return asyncio.run(go())
+
+
+@pytest.fixture
+def network():
+    return grid_network(8, 8, seed=3)
+
+
+@pytest.fixture
+def objects(network):
+    return place_uniform(
+        network, 20, seed=8, attr_choices={"type": ["cafe", "fuel"]}
+    )
+
+
+@pytest.fixture
+def cached_service(network, objects):
+    service = RoadService.build(
+        network.copy(), objects,
+        config=ServiceConfig(
+            mode="frozen", levels=3, max_batch=64,
+            result_cache=True, cache_budget=64,
+        ),
+    )
+    yield service
+    service.close()
+
+
+QUERIES = [
+    KNNQuery(0, 3, Predicate.of(type="cafe")),
+    RangeQuery(9, 300.0),
+    AggregateKNNQuery((0, 27), 2, agg="max"),
+    ODMatrixQuery((0, 9), (27, 63)),
+    ServiceAreaQuery(18, (150.0, 400.0)),
+    RouteKNNQuery((0, 1, 9), 2, Predicate.of(type="fuel")),
+]
+
+
+class TestServiceConfigKnobs:
+    def test_defaults_off(self):
+        config = ServiceConfig()
+        assert not config.result_cache
+        assert config.cache_budget == 2048
+
+    def test_cache_budget_validated(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(result_cache=True, cache_budget=0)
+
+    def test_from_env_reads_cache_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "on")
+        monkeypatch.setenv("REPRO_CACHE_BUDGET", "17")
+        config = ServiceConfig.from_env()
+        assert config.result_cache and config.cache_budget == 17
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+        assert not ServiceConfig.from_env().result_cache
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "maybe")
+        with pytest.raises(ValueError):
+            ServiceConfig.from_env()
+
+    def test_uncached_service_reports_no_cache_stats(self, network, objects):
+        service = RoadService.build(
+            network.copy(), objects, config=ServiceConfig(levels=3)
+        )
+        try:
+            assert "result_cache" not in service.stats()
+        finally:
+            service.close()
+
+
+class TestCachedService:
+    def test_warm_pass_hits_and_stays_byte_identical(self, cached_service):
+        cold, warm = submit_all(cached_service, QUERIES, repeats=2)
+        assert cold == warm == cached_service.run_many(QUERIES)
+        counters = cached_service.stats()["result_cache"]
+        assert counters["entries"] == len(QUERIES)
+        assert counters["misses"] == len(QUERIES)
+        assert counters["hits"] == len(QUERIES)
+
+    def test_cached_answers_are_independent_lists(self, cached_service):
+        query = KNNQuery(4, 3)
+        (first,), (second,) = submit_all(
+            cached_service, [query], repeats=2
+        )
+        assert first is not second
+        expected = list(second)
+        first.reverse()
+        first.pop()
+        assert second == expected
+        # The cache-resident answer is intact too: a third pass still
+        # serves the original.
+        ((third,),) = submit_all(cached_service, [query])
+        assert third == expected
+
+    def test_coalescing_and_cache_compose(self, cached_service):
+        # One flush of 8 identical queries: coalescing folds them to a
+        # single cache probe (one miss), and the next flush hits.
+        query = KNNQuery(12, 2)
+
+        async def burst():
+            return await asyncio.gather(
+                *(cached_service.submit(query) for _ in range(8))
+            )
+
+        answers = asyncio.run(burst())
+        assert all(a == answers[0] for a in answers)
+        counters = cached_service.stats()["result_cache"]
+        assert (counters["misses"], counters["hits"]) == (1, 0)
+        asyncio.run(burst())
+        assert cached_service.stats()["result_cache"]["hits"] == 1
+
+    def test_patch_invalidates_and_serves_fresh_answers(self, cached_service):
+        submit_all(cached_service, QUERIES)
+        u, v, distance = sorted(cached_service.executor.network.edges())[0]
+        cached_service.update_edge_distance(u, v, distance * 2.5)
+        counters = cached_service.stats()["result_cache"]
+        assert counters["invalidations"] > 0
+        (post,) = submit_all(cached_service, QUERIES)
+        assert post == cached_service.run_many(QUERIES)
+
+    def test_invalidation_matches_footprints_exactly(self, cached_service):
+        """Service-level precision: recompute the victims a report should
+        claim from the stored footprints and hold the cache to exactly
+        that set — no sparing, no collateral."""
+        submit_all(cached_service, QUERIES)
+        cache = cached_service._result_cache
+        before = {
+            key: (entry.nodes, entry.rnets)
+            for key, entry in cache._entries.items()
+        }
+        assert len(before) == len(QUERIES)
+        u, v, distance = sorted(
+            cached_service.executor.network.edges()
+        )[0]
+        report = cached_service.update_edge_distance(u, v, distance * 1.7)
+        assert not report.structural
+        expected_victims = {
+            key
+            for key, (nodes, rnets) in before.items()
+            if nodes & report.dirty_nodes or rnets & report.dirty_rnets
+        }
+        assert set(before) - set(cache._entries) == expected_victims
+        assert cache.invalidations == len(expected_victims)
+
+    def test_structural_patch_nukes_the_cache(self, cached_service):
+        submit_all(cached_service, QUERIES)
+        network = cached_service.executor.network
+        a, b = 0, 27
+        assert not network.has_edge(a, b)
+        report = cached_service.add_edge(a, b, 1.0)
+        assert report.structural
+        assert len(cached_service._result_cache) == 0
+        (post,) = submit_all(cached_service, QUERIES)
+        assert post == cached_service.run_many(QUERIES)
+
+    def test_object_churn_spares_other_directories(
+        self, network, objects, cached_service
+    ):
+        hotels = place_uniform(
+            network, 6, seed=41, attr_choices={"type": ["cafe"]}
+        )
+        cached_service.attach_objects(hotels, name="hotels")
+        query = KNNQuery(0, 2)
+
+        async def one(directory):
+            return await cached_service.submit(query, directory=directory)
+
+        asyncio.run(one("objects"))
+        asyncio.run(one("hotels"))
+        cache = cached_service._result_cache
+        assert len(cache) == 2
+        u, v, _ = sorted(network.edges())[0]
+        cached_service.insert_object(
+            SpatialObject(hotels.next_id(), (u, v), 0.0, {"type": "cafe"}),
+            directory="hotels",
+        )
+        # The objects-directory entry survives hotel churn.
+        assert canonical_key("objects", query) in cache._entries
+        assert asyncio.run(one("objects")) == cached_service.run(
+            query, directory="objects"
+        )
+        assert asyncio.run(one("hotels")) == cached_service.run(
+            query, directory="hotels"
+        )
+
+    def test_attach_invalidates_only_the_new_directory(
+        self, network, cached_service
+    ):
+        submit_all(cached_service, QUERIES)
+        entries = len(cached_service._result_cache)
+        hotels = place_uniform(network, 6, seed=5)
+        cached_service.attach_objects(hotels, name="hotels")
+        assert len(cached_service._result_cache) == entries
+        (post,) = submit_all(cached_service, QUERIES)
+        assert post == cached_service.run_many(QUERIES)
+
+    def test_counters_agree_with_metrics_render_and_stats(
+        self, cached_service
+    ):
+        submit_all(cached_service, QUERIES, repeats=2)
+        u, v, distance = sorted(cached_service.executor.network.edges())[0]
+        cached_service.update_edge_distance(u, v, distance * 2.0)
+        counters = cached_service.stats()["result_cache"]
+        text = cached_service.metrics.render()
+        for name in ("hits", "misses", "evictions", "invalidations"):
+            line = f"road_cache_{name}_total {counters[name]}"
+            assert line in text, (line, text)
+            assert f"# TYPE road_cache_{name}_total counter" in text
+        hits, misses = counters["hits"], counters["misses"]
+        ratio = hits / (hits + misses)
+        snapshot = cached_service.stats()["metrics"]
+        assert snapshot["road_cache_hit_ratio"] == pytest.approx(ratio)
+        assert snapshot["road_cache_entries"] == float(
+            len(cached_service._result_cache)
+        )
+
+
+@pytest.mark.parametrize(
+    "replica_mode",
+    [
+        "thread",
+        pytest.param(
+            "process",
+            marks=pytest.mark.skipif(
+                not shared_memory_available(),
+                reason="host has no POSIX shared memory (/dev/shm)",
+            ),
+        ),
+    ],
+)
+class TestCachedReplicaModes:
+    def test_cache_sits_above_the_shards(self, network, objects, replica_mode):
+        service = RoadService.build(
+            network.copy(), objects,
+            config=ServiceConfig(
+                mode="frozen", levels=3, replicas=2,
+                replica_mode=replica_mode, max_batch=64,
+                result_cache=True, cache_budget=64,
+            ),
+        )
+        try:
+            cold, warm = submit_all(service, QUERIES, repeats=2)
+            assert cold == warm == service.run_many(QUERIES)
+            counters = service.stats()["result_cache"]
+            assert counters["hits"] == len(QUERIES)
+            u, v, distance = sorted(service.executor.network.edges())[0]
+            service.update_edge_distance(u, v, distance * 2.5)
+            (post,) = submit_all(service, QUERIES)
+            assert post == service.run_many(QUERIES)
+        finally:
+            service.close()
